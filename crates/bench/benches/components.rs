@@ -1,0 +1,184 @@
+//! Criterion micro-benchmarks of the building blocks: the simulated engine
+//! step loop, the resource allocator, the lock manager, the controllers and
+//! the decision models. These bound the overhead a workload-management
+//! layer adds per control cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wlm_control::economic::{Consumer, EconomicMarket};
+use wlm_control::fuzzy::{FuzzyController, FuzzyRule, FuzzyVariable};
+use wlm_control::pi::PiController;
+use wlm_control::queueing::ClosedNetwork;
+use wlm_core::admission::{DecisionTree, ThresholdAdmission};
+use wlm_core::api::AdmissionController;
+use wlm_core::execution::{optimal_suspend_plan, SuspendCosts};
+use wlm_core::policy::AdmissionPolicy;
+use wlm_dbsim::engine::{DbEngine, EngineConfig};
+use wlm_dbsim::locks::LockTable;
+use wlm_dbsim::plan::PlanBuilder;
+use wlm_dbsim::resources::{fair_share, Claim};
+
+fn engine_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_step");
+    for &n in &[8usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut engine = DbEngine::new(EngineConfig::default());
+            for _ in 0..n {
+                engine.submit(
+                    PlanBuilder::table_scan(50_000_000)
+                        .filter(0.5)
+                        .aggregate(100)
+                        .build()
+                        .into_spec(),
+                );
+            }
+            b.iter(|| {
+                black_box(engine.step());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn allocator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fair_share");
+    for &n in &[16usize, 256, 2048] {
+        let claims: Vec<Claim> = (0..n)
+            .map(|i| Claim {
+                weight: 1.0 + (i % 4) as f64,
+                demand: 100.0 + (i % 17) as f64 * 50.0,
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &claims, |b, claims| {
+            b.iter(|| black_box(fair_share(black_box(10_000.0), claims)));
+        });
+    }
+    group.finish();
+}
+
+fn locks(c: &mut Criterion) {
+    c.bench_function("lock_table_acquire_release_64txns", |b| {
+        b.iter(|| {
+            let mut lt = LockTable::new();
+            for txn in 0..64u64 {
+                let keys: Vec<u64> = (0..4).map(|k| (txn * 7 + k * 13) % 100).collect();
+                let mut sorted = keys.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                let n = sorted.len();
+                let _ = lt.acquire_up_to(txn, &sorted, n);
+            }
+            for txn in 0..64u64 {
+                black_box(lt.release_all(txn));
+            }
+        });
+    });
+}
+
+fn controllers(c: &mut Criterion) {
+    c.bench_function("pi_controller_update", |b| {
+        let mut pi = PiController::new(0.4, 0.15, 0.0, 1.0);
+        let mut e = 1.0;
+        b.iter(|| {
+            e = -e;
+            black_box(pi.update(black_box(e)))
+        });
+    });
+
+    c.bench_function("fuzzy_inference_3vars_5rules", |b| {
+        let vars = vec![
+            FuzzyVariable::low_medium_high("progress", 0.0, 1.0),
+            FuzzyVariable::low_medium_high("resource", 0.0, 1.0),
+            FuzzyVariable::low_medium_high("priority", 0.0, 1.0),
+        ];
+        let rules = vec![
+            FuzzyRule::when(&[(0, "low"), (1, "high"), (2, "low")], "kill"),
+            FuzzyRule::when(&[(0, "high"), (1, "high")], "reprioritize"),
+            FuzzyRule::when(&[(1, "low")], "none"),
+            FuzzyRule::when(&[(2, "high")], "none"),
+            FuzzyRule::when(&[(0, "medium"), (1, "medium")], "none"),
+        ];
+        let ctl = FuzzyController::new(vars, rules);
+        b.iter(|| black_box(ctl.best_action(black_box(&[0.3, 0.8, 0.2]))));
+    });
+
+    c.bench_function("economic_market_clear_32", |b| {
+        let consumers: Vec<Consumer> = (0..32)
+            .map(|i| Consumer {
+                name: format!("c{i}"),
+                wealth: 1.0 + (i % 5) as f64,
+                demand: 50.0,
+            })
+            .collect();
+        let market = EconomicMarket::new(100.0);
+        b.iter(|| black_box(market.clear(black_box(&consumers))));
+    });
+
+    c.bench_function("mva_closed_network_n128", |b| {
+        let net = ClosedNetwork::new(vec![0.05, 0.02, 0.01], 1.0);
+        b.iter(|| black_box(net.mva(black_box(128))));
+    });
+}
+
+fn decisions(c: &mut Criterion) {
+    c.bench_function("threshold_admission_decide", |b| {
+        let mut adm = ThresholdAdmission::with_global_mpl(32).with_policy(
+            "bi",
+            AdmissionPolicy {
+                max_cost_timerons: Some(1e6),
+                ..Default::default()
+            },
+        );
+        let spec = PlanBuilder::table_scan(1_000_000).build().into_spec();
+        let est = wlm_dbsim::optimizer::CostModel::oracle().estimate_spec(&spec);
+        let req = wlm_core::api::ManagedRequest {
+            request: wlm_workload::request::Request {
+                id: wlm_workload::request::RequestId(1),
+                arrival: wlm_dbsim::time::SimTime::ZERO,
+                origin: wlm_workload::request::Origin::new("a", "u", 1),
+                spec,
+                importance: wlm_workload::request::Importance::Medium,
+            },
+            estimate: est,
+            workload: "bi".into(),
+            importance: wlm_workload::request::Importance::Medium,
+            weight: 1.0,
+        };
+        let snap = wlm_core::api::SystemSnapshot::default();
+        b.iter(|| black_box(adm.decide(black_box(&req), black_box(&snap))));
+    });
+
+    c.bench_function("decision_tree_fit_400x6", |b| {
+        let x: Vec<Vec<f64>> = (0..400)
+            .map(|i| {
+                (0..6)
+                    .map(|d| ((i * 31 + d * 17) % 100) as f64 / 10.0)
+                    .collect()
+            })
+            .collect();
+        let y: Vec<usize> = x.iter().map(|r| usize::from(r[0] > 5.0)).collect();
+        b.iter(|| black_box(DecisionTree::fit(black_box(&x), black_box(&y), 4, 6, 4)));
+    });
+
+    c.bench_function("optimal_suspend_plan_32q", |b| {
+        let costs: Vec<SuspendCosts> = (0..32)
+            .map(|i| SuspendCosts {
+                dump_suspend_us: 100_000 + i * 10_000,
+                dump_resume_us: 100_000 + i * 10_000,
+                goback_suspend_us: 100,
+                goback_resume_us: 50_000 * (i + 1),
+            })
+            .collect();
+        b.iter(|| black_box(optimal_suspend_plan(black_box(&costs), 2_000_000)));
+    });
+}
+
+criterion_group!(
+    benches,
+    engine_step,
+    allocator,
+    locks,
+    controllers,
+    decisions
+);
+criterion_main!(benches);

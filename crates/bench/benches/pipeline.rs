@@ -1,0 +1,122 @@
+//! Criterion benches of the full workload-management pipeline: what one
+//! control cycle costs with each technique stack enabled. This bounds the
+//! overhead the management layer adds on top of the simulated engine —
+//! the practical "is the WLM layer itself cheap?" question.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wlm_core::admission::ThresholdAdmission;
+use wlm_core::autonomic::{AutonomicController, GoalSpec};
+use wlm_core::execution::{PriorityAging, UtilityThrottler};
+use wlm_core::manager::{ManagerConfig, WorkloadManager};
+use wlm_core::policy::{AdmissionPolicy, AdmissionViolationAction};
+use wlm_core::scheduling::ServiceClassConfig;
+use wlm_core::scheduling::{PriorityScheduler, UtilityScheduler};
+use wlm_dbsim::engine::EngineConfig;
+use wlm_dbsim::optimizer::CostModel;
+use wlm_workload::generators::{BiSource, OltpSource};
+use wlm_workload::mix::MixedSource;
+
+fn config() -> ManagerConfig {
+    ManagerConfig {
+        engine: EngineConfig {
+            cores: 8,
+            memory_mb: 2_048,
+            ..Default::default()
+        },
+        cost_model: CostModel::oracle(),
+        ..Default::default()
+    }
+}
+
+fn mix(seed: u64) -> MixedSource {
+    MixedSource::new()
+        .with(Box::new(OltpSource::new(60.0, seed)))
+        .with(Box::new(BiSource::new(2.0, seed + 1)))
+}
+
+fn build_manager(stack: &str) -> WorkloadManager {
+    let mut mgr = WorkloadManager::new(config());
+    match stack {
+        "unmanaged" => {}
+        "admission+priority" => {
+            mgr.set_admission(Box::new(ThresholdAdmission::default().with_policy(
+                "bi",
+                AdmissionPolicy {
+                    max_workload_mpl: Some(4),
+                    on_violation: AdmissionViolationAction::Defer,
+                    ..Default::default()
+                },
+            )));
+            mgr.set_scheduler(Box::new(PriorityScheduler::new(32)));
+        }
+        "full-stack" => {
+            mgr.set_admission(Box::new(ThresholdAdmission::with_global_mpl(64)));
+            mgr.set_scheduler(Box::new(UtilityScheduler::new(
+                vec![
+                    ServiceClassConfig {
+                        workload: "oltp".into(),
+                        goal_secs: 0.5,
+                        importance_weight: 8.0,
+                    },
+                    ServiceClassConfig {
+                        workload: "bi".into(),
+                        goal_secs: 60.0,
+                        importance_weight: 2.0,
+                    },
+                ],
+                30_000_000.0,
+            )));
+            mgr.add_exec_controller(Box::new(PriorityAging::new(30.0)));
+            mgr.add_exec_controller(Box::new(UtilityThrottler::new("oltp", 0.02, 0.3)));
+            mgr.add_exec_controller(Box::new(AutonomicController::new(vec![GoalSpec {
+                workload: "oltp".into(),
+                goal_secs: 0.5,
+                importance_weight: 10.0,
+            }])));
+        }
+        other => panic!("unknown stack {other}"),
+    }
+    mgr
+}
+
+/// Cost of one control cycle (tick) at a warm steady state, per stack.
+fn manager_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manager_tick");
+    for stack in ["unmanaged", "admission+priority", "full-stack"] {
+        group.bench_with_input(BenchmarkId::from_parameter(stack), &stack, |b, stack| {
+            let mut mgr = build_manager(stack);
+            let mut sources = mix(7);
+            // Warm up to a populated steady state.
+            for _ in 0..2_000 {
+                mgr.tick(&mut sources);
+            }
+            b.iter(|| {
+                mgr.tick(black_box(&mut sources));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Simulated-seconds-per-wall-second of the whole harness (how fast the
+/// experiments run), one short consolidation run per iteration.
+fn simulation_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_rate");
+    group.sample_size(10);
+    group.bench_function("10s_consolidation_run", |b| {
+        b.iter(|| {
+            let mut mgr = build_manager("admission+priority");
+            let mut sources = mix(11);
+            let report = mgr.run(
+                black_box(&mut sources),
+                wlm_dbsim::time::SimDuration::from_secs(10),
+            );
+            black_box(report.completed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, manager_tick, simulation_rate);
+criterion_main!(benches);

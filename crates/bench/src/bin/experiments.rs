@@ -1,0 +1,82 @@
+//! The experiment harness binary: regenerates every table and figure of the
+//! paper and runs the quantitative experiments E1–E14.
+//!
+//! Usage:
+//!   experiments            # everything
+//!   experiments figures    # only Figure 1 and Tables 1–5
+//!   experiments e1 e5 e9   # selected experiments
+//!   experiments --json e1  # machine-readable output
+
+use wlm_bench::exp;
+use wlm_core::registry::{builtin_registry, TABLE5_TECHNIQUES};
+use wlm_core::taxonomy::render_table1;
+use wlm_systems::table4::{render_table4, Facility};
+use wlm_systems::{Db2WorkloadManager, ResourceGovernor, TeradataAsm};
+
+fn figures() {
+    let registry = builtin_registry();
+    println!("FIGURE 1 — Taxonomy of Workload Management Techniques for DBMSs\n");
+    println!("{}", registry.render_figure1());
+    println!("{}", render_table1());
+    println!("{}", registry.render_table2());
+    println!("{}", registry.render_table3());
+    let rows = [
+        Db2WorkloadManager::example().table4_row(),
+        ResourceGovernor::example().table4_row(),
+        TeradataAsm::example().table4_row(),
+    ];
+    println!("{}", render_table4(&rows));
+    println!("{}", registry.render_table5(&TABLE5_TECHNIQUES));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--json")
+        .map(String::as_str)
+        .collect();
+    let want =
+        |id: &str| selected.is_empty() || selected.contains(&id) || selected.contains(&"all");
+
+    if want("figures") || want("fig1") {
+        figures();
+    }
+
+    macro_rules! run {
+        ($id:literal, $f:path) => {
+            if want($id) {
+                let result = $f();
+                if json {
+                    println!(
+                        "{{\"experiment\":\"{}\",\"result\":{}}}",
+                        $id,
+                        serde_json::to_string(&result).expect("serializable")
+                    );
+                } else {
+                    println!("{}", result.render());
+                }
+            }
+        };
+    }
+
+    run!("e1", exp::e1_mpl_curve);
+    run!("e2", exp::e2_thresholds);
+    run!("e3", exp::e3_dynamic_mpl);
+    run!("e4", exp::e4_throttling);
+    run!("e5", exp::e5_suspend);
+    run!("e6", exp::e6_schedulers);
+    run!("e7", exp::e7_economic);
+    run!("e8", exp::e8_prediction);
+    run!("e9", exp::e9_facilities);
+    run!("e10", exp::e10_mape);
+    run!("e11", exp::e11_restructuring);
+    run!("e12", exp::e12_kill_precision);
+    run!("e13", exp::e13_classifier);
+    run!("e14", exp::e14_metric_admission);
+    run!("e15", exp::e15_open_vs_closed);
+    run!("a1", exp::a1_restructure_pieces);
+    run!("a2", exp::a2_checkpoint_interval);
+    run!("a3", exp::a3_mape_period);
+}

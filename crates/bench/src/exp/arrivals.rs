@@ -1,0 +1,192 @@
+//! E15 — open vs. closed arrivals: a cautionary tale (Schroeder, Wierman &
+//! Harchol-Balter, NSDI'06 — reference \[70] of the paper).
+//!
+//! The paper's scheduling discussion leans on \[69]\[70]: whether a workload
+//! is *open* (arrivals independent of completions) or *closed* (a fixed
+//! population with think times) changes what a workload manager must do.
+//! Near saturation an open system's queue — and therefore its response
+//! time — grows without bound, while a closed system self-limits: its MPL
+//! can never exceed the population, so response times stay finite and
+//! throughput saturates gracefully. Sizing MPLs or thresholds from a
+//! closed-system test and deploying against open arrivals is the classic
+//! mistake this experiment makes measurable.
+
+use serde::Serialize;
+use wlm_core::manager::{ManagerConfig, WorkloadManager};
+use wlm_dbsim::engine::EngineConfig;
+use wlm_dbsim::optimizer::CostModel;
+use wlm_dbsim::plan::{OperatorKind, PlanBuilder};
+use wlm_dbsim::time::SimDuration;
+use wlm_workload::generators::{ClosedLoopOltpSource, Source};
+
+/// One load level's outcome under both arrival models.
+#[derive(Debug, Clone, Serialize)]
+pub struct E15Row {
+    /// Offered load as a fraction of capacity (open: arrival rate ×
+    /// service demand; closed: population chosen for the same nominal
+    /// demand).
+    pub load: f64,
+    /// Open system mean response, seconds.
+    pub open_mean: f64,
+    /// Open system backlog (requests still in flight at the end).
+    pub open_backlog: usize,
+    /// Closed system mean response, seconds.
+    pub closed_mean: f64,
+    /// Closed system backlog at the end.
+    pub closed_backlog: usize,
+}
+
+/// Result of E15.
+#[derive(Debug, Clone, Serialize)]
+pub struct E15Result {
+    /// Rows across load levels.
+    pub rows: Vec<E15Row>,
+}
+
+/// Closed-loop arrivals carrying the same query template as the open side
+/// (apples-to-apples service demands).
+struct ClosedTemplateSource {
+    inner: ClosedLoopOltpSource,
+    template: wlm_dbsim::plan::QuerySpec,
+}
+
+impl Source for ClosedTemplateSource {
+    fn poll(
+        &mut self,
+        from: wlm_dbsim::time::SimTime,
+        to: wlm_dbsim::time::SimTime,
+    ) -> Vec<wlm_workload::request::Request> {
+        let mut reqs = self.inner.poll(from, to);
+        for r in &mut reqs {
+            let label = r.spec.label.clone();
+            r.spec = self.template.clone().labeled(label);
+        }
+        reqs
+    }
+
+    fn on_completion(&mut self, label: &str, at: wlm_dbsim::time::SimTime) {
+        self.inner.on_completion(label, at);
+    }
+
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+}
+
+fn engine() -> EngineConfig {
+    EngineConfig {
+        cores: 1,
+        disk_pages_per_sec: 2_000,
+        memory_mb: 4_096,
+        ..Default::default()
+    }
+}
+
+fn run(source: &mut dyn Source, secs: u64) -> (f64, usize) {
+    let mut mgr = WorkloadManager::new(ManagerConfig {
+        engine: engine(),
+        cost_model: CostModel::oracle(),
+        ..Default::default()
+    });
+    let report = mgr.run(source, SimDuration::from_secs(secs));
+    let mean = report
+        .workloads
+        .first()
+        .map_or(f64::NAN, |w| w.summary.mean);
+    (mean, mgr.engine().mpl() + mgr.queued() + mgr.deferred())
+}
+
+/// Run E15: sweep the offered load through and past saturation under both
+/// arrival models. Transactions read cold pages (no buffer-pool rescue):
+/// ~8 pages at 2 000 pages/s is 4 ms of disk each, so capacity is
+/// ≈ 250 txns/s.
+pub fn e15_open_vs_closed() -> E15Result {
+    let capacity_tps = 250.0;
+    let template = || {
+        let mut spec = PlanBuilder::index_lookup(300)
+            .write(OperatorKind::Update, 2)
+            .build()
+            .into_spec();
+        spec.working_set_pages = u64::MAX / 4; // cold reads
+        spec
+    };
+    let rows = [0.5, 0.8, 0.95, 1.2]
+        .into_iter()
+        .map(|load| {
+            let rate = capacity_tps * load;
+            let mut open =
+                wlm_workload::generators::UniformSource::new(template(), rate, "txn", 1_500);
+            let (open_mean, open_backlog) = run(&mut open, 60);
+            // Closed population sized so its *maximum* possible throughput
+            // matches the open arrival rate: N = rate × (think + service).
+            let think = 0.05;
+            let service = 1.0 / capacity_tps;
+            let n = ((rate * (think + service)).round() as usize).max(1);
+            let mut closed = ClosedTemplateSource {
+                inner: ClosedLoopOltpSource::new(n, think, 1_501),
+                template: template(),
+            };
+            let (closed_mean, closed_backlog) = run(&mut closed, 60);
+            E15Row {
+                load,
+                open_mean,
+                open_backlog,
+                closed_mean,
+                closed_backlog,
+            }
+        })
+        .collect();
+    E15Result { rows }
+}
+
+impl E15Result {
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "E15 — open vs closed arrivals near saturation (Schroeder et al. [70])\n  load   open mean   open backlog   closed mean   closed backlog\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "  {:>4.2}   {:>8.3}s   {:>10}   {:>10.3}s   {:>12}\n",
+                r.load, r.open_mean, r.open_backlog, r.closed_mean, r.closed_backlog
+            ));
+        }
+        out.push_str(
+            "  past saturation the open backlog grows without bound; the closed\n  population self-limits (its MPL can never exceed N)\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_explodes_closed_self_limits() {
+        let r = e15_open_vs_closed();
+        let light = &r.rows[0];
+        let over = r.rows.last().unwrap();
+        // Below saturation both behave.
+        assert!(light.open_mean < 0.2, "open light {}", light.open_mean);
+        assert!(
+            light.closed_mean < 0.2,
+            "closed light {}",
+            light.closed_mean
+        );
+        // Past saturation the open system's backlog explodes...
+        assert!(
+            over.open_backlog > 500,
+            "open backlog {}",
+            over.open_backlog
+        );
+        // ...while the closed population stays bounded by N.
+        assert!(
+            over.closed_backlog < 30,
+            "closed backlog {}",
+            over.closed_backlog
+        );
+        // And the open response times dwarf the closed ones.
+        assert!(over.open_mean > over.closed_mean * 3.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! E1 — the throughput-vs-MPL thrashing knee (§3.2 of the paper).
+//!
+//! "If the number of requests increases, throughput of the system increases
+//! up to some maximum. Beyond the maximum, it begins to decrease
+//! dramatically as the system starts thrashing", and "for the same database
+//! system, different types of workloads have different optimal MPLs."
+//!
+//! The experiment drives a backlog of identical queries through an FCFS
+//! gate at a fixed MPL and measures completion throughput, for two workload
+//! types: memory-hungry analytical queries (early knee — memory overcommit)
+//! and lean CPU/IO queries (late knee — pure saturation).
+
+use serde::Serialize;
+use wlm_core::manager::{ManagerConfig, WorkloadManager};
+use wlm_core::scheduling::FcfsScheduler;
+use wlm_dbsim::engine::EngineConfig;
+use wlm_dbsim::optimizer::CostModel;
+use wlm_dbsim::plan::PlanBuilder;
+use wlm_dbsim::time::{SimDuration, SimTime};
+use wlm_workload::generators::Source;
+use wlm_workload::request::{Importance, Origin, Request, RequestId};
+
+/// A pre-built backlog of requests all arriving at t=0.
+pub struct Backlog {
+    requests: Vec<Request>,
+    served: bool,
+}
+
+impl Backlog {
+    /// Build a backlog of `n` copies of a query with the given demands.
+    pub fn uniform(n: usize, cpu_secs: f64, io_pages: u64, mem_mb: u64) -> Self {
+        let requests = (0..n)
+            .map(|i| {
+                let mut plan = PlanBuilder::utility(cpu_secs, io_pages).build();
+                plan.ops[0].mem_mb = mem_mb;
+                Request {
+                    id: RequestId(i as u64 + 1),
+                    arrival: SimTime::ZERO,
+                    origin: Origin::new("backlog", "bench", i as u64),
+                    spec: plan.into_spec().labeled("backlog"),
+                    importance: Importance::Medium,
+                }
+            })
+            .collect();
+        Backlog {
+            requests,
+            served: false,
+        }
+    }
+}
+
+impl Source for Backlog {
+    fn poll(&mut self, _from: SimTime, _to: SimTime) -> Vec<Request> {
+        if self.served {
+            Vec::new()
+        } else {
+            self.served = true;
+            std::mem::take(&mut self.requests)
+        }
+    }
+
+    fn label(&self) -> &str {
+        "backlog"
+    }
+}
+
+/// One point of the MPL curve.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct MplPoint {
+    /// The fixed MPL.
+    pub mpl: usize,
+    /// Throughput of the memory-hungry analytical workload, completions/s.
+    pub tput_analytical: f64,
+    /// Throughput of the lean workload, completions/s.
+    pub tput_lean: f64,
+}
+
+/// Result of E1.
+#[derive(Debug, Clone, Serialize)]
+pub struct E1Result {
+    /// The measured curve.
+    pub points: Vec<MplPoint>,
+    /// argmax MPL of the analytical workload.
+    pub knee_analytical: usize,
+    /// argmax MPL of the lean workload.
+    pub knee_lean: usize,
+}
+
+fn run_backlog(mpl: usize, cpu_secs: f64, io_pages: u64, mem_mb: u64) -> f64 {
+    let mut mgr = WorkloadManager::new(ManagerConfig {
+        engine: EngineConfig {
+            cores: 8,
+            disk_pages_per_sec: 40_000,
+            memory_mb: 2_048,
+            ..Default::default()
+        },
+        cost_model: CostModel::oracle(),
+        ..Default::default()
+    });
+    mgr.set_scheduler(Box::new(FcfsScheduler::new(mpl)));
+    let mut backlog = Backlog::uniform(400, cpu_secs, io_pages, mem_mb);
+    let horizon = SimDuration::from_secs(60);
+    let report = mgr.run(&mut backlog, horizon);
+    report.completed as f64 / horizon.as_secs_f64()
+}
+
+/// Run E1: sweep MPL for both workload types.
+pub fn e1_mpl_curve() -> E1Result {
+    let mpls = [1usize, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64];
+    let points: Vec<MplPoint> = mpls
+        .iter()
+        .map(|&mpl| MplPoint {
+            mpl,
+            // Analytical: 0.3s CPU + 6k pages + 256 MiB each — eight of them
+            // fill memory.
+            tput_analytical: run_backlog(mpl, 0.3, 6_000, 256),
+            // Lean: same CPU/IO, trivial memory.
+            tput_lean: run_backlog(mpl, 0.3, 6_000, 4),
+        })
+        .collect();
+    let knee = |f: fn(&MplPoint) -> f64| {
+        points
+            .iter()
+            .max_by(|a, b| f(a).total_cmp(&f(b)))
+            .map(|p| p.mpl)
+            .unwrap_or(0)
+    };
+    E1Result {
+        knee_analytical: knee(|p| p.tput_analytical),
+        knee_lean: knee(|p| p.tput_lean),
+        points,
+    }
+}
+
+impl E1Result {
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "E1 — throughput vs MPL (thrashing knee; §3.2)\n  MPL   analytical(mem-hungry)   lean\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "  {:>3}   {:>10.2}/s             {:>7.2}/s\n",
+                p.mpl, p.tput_analytical, p.tput_lean
+            ));
+        }
+        out.push_str(&format!(
+            "  knee: analytical at MPL {}, lean at MPL {} (different optimal MPLs per workload type)\n",
+            self.knee_analytical, self.knee_lean
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytical_workload_thrashes_lean_does_not() {
+        let r = e1_mpl_curve();
+        // Shape 1: the analytical curve rises then falls.
+        let first = r.points.first().unwrap();
+        let peak = r
+            .points
+            .iter()
+            .map(|p| p.tput_analytical)
+            .fold(0.0f64, f64::max);
+        let last = r.points.last().unwrap();
+        assert!(peak > first.tput_analytical * 1.3, "rises to a knee");
+        assert!(
+            last.tput_analytical < peak * 0.8,
+            "falls beyond the knee: peak {peak}, at 64 {}",
+            last.tput_analytical
+        );
+        // Shape 2: the lean workload's knee is at a higher MPL.
+        assert!(r.knee_lean > r.knee_analytical);
+        // Shape 3: lean throughput does not collapse at high MPL.
+        assert!(last.tput_lean > 0.8 * r.points.iter().map(|p| p.tput_lean).fold(0.0f64, f64::max));
+    }
+}

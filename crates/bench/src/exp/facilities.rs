@@ -1,0 +1,148 @@
+//! E9 — the three commercial facilities on the same consolidation scenario
+//! (§4.1): each emulation manages an identical OLTP + BI overload with its
+//! own technique set; the outcome differences reflect the paper's Table 4
+//! classification.
+
+use serde::Serialize;
+use wlm_core::manager::{ManagerConfig, WorkloadManager};
+use wlm_dbsim::engine::EngineConfig;
+use wlm_dbsim::optimizer::CostModel;
+use wlm_dbsim::time::SimDuration;
+use wlm_systems::{Db2WorkloadManager, ResourceGovernor, TeradataAsm};
+use wlm_workload::generators::{BiSource, OltpSource};
+use wlm_workload::mix::MixedSource;
+
+/// One facility's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct E9Row {
+    /// Facility name.
+    pub facility: String,
+    /// OLTP-class completions (whatever the facility calls that class).
+    pub oltp_completed: u64,
+    /// OLTP-class p95, seconds.
+    pub oltp_p95: f64,
+    /// Total completions.
+    pub total_completed: u64,
+    /// Rejections.
+    pub rejected: u64,
+    /// Kills.
+    pub killed: u64,
+}
+
+/// Result of E9.
+#[derive(Debug, Clone, Serialize)]
+pub struct E9Result {
+    /// Unmanaged baseline plus one row per facility.
+    pub rows: Vec<E9Row>,
+}
+
+fn mix(seed: u64) -> MixedSource {
+    MixedSource::new()
+        .with(Box::new(OltpSource::new(50.0, seed)))
+        .with(Box::new(
+            BiSource::new(3.0, seed + 1).with_size(15_000_000.0, 0.9),
+        ))
+}
+
+fn config() -> ManagerConfig {
+    ManagerConfig {
+        engine: EngineConfig {
+            cores: 8,
+            memory_mb: 256,
+            ..Default::default()
+        },
+        cost_model: CostModel::with_error(0.3, 99),
+        uniform_weights: true,
+        ..Default::default()
+    }
+}
+
+fn summarize(facility: &str, oltp_class: &str, mgr: &mut WorkloadManager) -> E9Row {
+    let report = mgr.run(&mut mix(1_000), SimDuration::from_secs(120));
+    let oltp = report.workload(oltp_class).cloned();
+    E9Row {
+        facility: facility.into(),
+        oltp_completed: oltp.as_ref().map_or(0, |w| w.stats.completed),
+        oltp_p95: oltp.as_ref().map_or(f64::NAN, |w| w.summary.p95),
+        total_completed: report.completed,
+        rejected: report.rejected,
+        killed: report.killed,
+    }
+}
+
+/// Run E9.
+pub fn e9_facilities() -> E9Result {
+    let mut rows = Vec::new();
+
+    let mut baseline = WorkloadManager::new(config());
+    rows.push(summarize("unmanaged baseline", "oltp", &mut baseline));
+
+    let db2 = Db2WorkloadManager::example();
+    let mut mgr = db2.build(config());
+    rows.push(summarize(
+        "IBM DB2 Workload Manager",
+        "INTERACTIVE",
+        &mut mgr,
+    ));
+
+    let rg = ResourceGovernor::example();
+    let mut mgr = rg.build(config());
+    rows.push(summarize(
+        "SQL Server Resource/Query Governor",
+        "oltp_group",
+        &mut mgr,
+    ));
+
+    let asm = TeradataAsm::example();
+    let mut mgr = asm.build(config());
+    rows.push(summarize(
+        "Teradata Active System Management",
+        "WD-Tactical",
+        &mut mgr,
+    ));
+
+    E9Result { rows }
+}
+
+impl E9Result {
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "E9 — the commercial facilities on one consolidation overload (§4.1)\n  facility                                oltp done   oltp p95   total done  rejected  killed\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "  {:<39} {:>8}   {:>7.3}s   {:>9}  {:>8}  {:>6}\n",
+                r.facility, r.oltp_completed, r.oltp_p95, r.total_completed, r.rejected, r.killed
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_facility_beats_the_unmanaged_baseline_for_oltp() {
+        let r = e9_facilities();
+        let baseline = &r.rows[0];
+        for row in &r.rows[1..] {
+            assert!(
+                row.oltp_p95 < baseline.oltp_p95 * 0.5,
+                "{}: p95 {} vs baseline {}",
+                row.facility,
+                row.oltp_p95,
+                baseline.oltp_p95
+            );
+            assert!(
+                row.oltp_completed as f64 >= baseline.oltp_completed as f64 * 0.95,
+                "{}: completions {} vs baseline {}",
+                row.facility,
+                row.oltp_completed,
+                baseline.oltp_completed
+            );
+        }
+    }
+}

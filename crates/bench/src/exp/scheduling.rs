@@ -1,0 +1,360 @@
+//! E3, E6, E11 — the scheduling experiments.
+
+use serde::Serialize;
+use wlm_core::api::Scheduler;
+use wlm_core::manager::{ManagerConfig, WorkloadManager};
+use wlm_core::policy::WorkloadPolicy;
+use wlm_core::scheduling::{
+    FcfsScheduler, MplFeedbackScheduler, PriorityScheduler, RankScheduler, Restructurer,
+    ServiceClassConfig, UtilityScheduler,
+};
+use wlm_dbsim::engine::EngineConfig;
+use wlm_dbsim::optimizer::CostModel;
+use wlm_dbsim::time::{SimDuration, SimTime};
+use wlm_workload::generators::{AdHocSource, BiSource, OltpSource, Source};
+use wlm_workload::mix::MixedSource;
+use wlm_workload::request::{Importance, Request};
+use wlm_workload::sla::ServiceLevelAgreement;
+
+/// A two-phase source: OLTP-heavy then BI-heavy (the "dynamic environment"
+/// in which static thresholds fail, §3.3).
+struct PhasedMix {
+    oltp: OltpSource,
+    bi: BiSource,
+    switch_at: SimTime,
+    switched: bool,
+}
+
+impl PhasedMix {
+    fn new(seed: u64, switch_secs: u64) -> Self {
+        PhasedMix {
+            oltp: OltpSource::new(80.0, seed),
+            bi: BiSource::new(0.2, seed + 1).with_size(6_000_000.0, 0.6),
+            switch_at: SimTime::ZERO + SimDuration::from_secs(switch_secs),
+            switched: false,
+        }
+    }
+}
+
+impl Source for PhasedMix {
+    fn poll(&mut self, from: SimTime, to: SimTime) -> Vec<Request> {
+        if !self.switched && to >= self.switch_at {
+            self.switched = true;
+            // Phase 2: BI floods in, OLTP drops off.
+            self.oltp.set_rate(10.0);
+            self.bi.set_rate(3.0);
+        }
+        let mut all = self.oltp.poll(from, to);
+        all.extend(self.bi.poll(from, to));
+        all.sort_by_key(|r| (r.arrival, r.id));
+        all
+    }
+
+    fn label(&self) -> &str {
+        "phased"
+    }
+}
+
+/// One variant row of E3.
+#[derive(Debug, Clone, Serialize)]
+pub struct E3Row {
+    /// Variant name.
+    pub variant: String,
+    /// OLTP p95 over the whole run, seconds.
+    pub oltp_p95: f64,
+    /// Total completions.
+    pub completed: u64,
+    /// BI queries finished.
+    pub bi_completed: u64,
+}
+
+/// Result of E3.
+#[derive(Debug, Clone, Serialize)]
+pub struct E3Result {
+    /// All variants.
+    pub rows: Vec<E3Row>,
+}
+
+/// E3 — static MPLs under/over-load a dynamic environment; feedback MPL
+/// adapts (§3.3). The mix flips from OLTP-heavy to BI-heavy at t=60s.
+pub fn e3_dynamic_mpl() -> E3Result {
+    let config = || ManagerConfig {
+        engine: EngineConfig {
+            cores: 8,
+            memory_mb: 1_024,
+            ..Default::default()
+        },
+        cost_model: CostModel::oracle(),
+        policies: vec![WorkloadPolicy::new("oltp", Importance::High)
+            .with_sla(ServiceLevelAgreement::percentile(95.0, 0.5))],
+        ..Default::default()
+    };
+    let run = |name: &str, scheduler: Box<dyn Scheduler>| -> E3Row {
+        let mut mgr = WorkloadManager::new(config());
+        mgr.set_scheduler(scheduler);
+        let report = mgr.run(&mut PhasedMix::new(200, 60), SimDuration::from_secs(150));
+        E3Row {
+            variant: name.into(),
+            oltp_p95: report.workload("oltp").map_or(f64::NAN, |w| w.summary.p95),
+            completed: report.completed,
+            bi_completed: report.workload("bi").map_or(0, |w| w.stats.completed),
+        }
+    };
+    E3Result {
+        rows: vec![
+            run(
+                "static MPL 64 (tuned for phase 1)",
+                Box::new(FcfsScheduler::new(64)),
+            ),
+            run(
+                "static MPL 6 (tuned for phase 2)",
+                Box::new(FcfsScheduler::new(6)),
+            ),
+            run(
+                "feedback-controlled MPL",
+                Box::new(MplFeedbackScheduler::new(32, "oltp", 0.4)),
+            ),
+        ],
+    }
+}
+
+impl E3Result {
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "E3 — static vs feedback MPL across a workload shift (§3.3)\n  variant                               oltp p95   total done  bi done\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "  {:<37} {:>7.3}s   {:>8}  {:>7}\n",
+                r.variant, r.oltp_p95, r.completed, r.bi_completed
+            ));
+        }
+        out
+    }
+}
+
+/// One scheduler row of E6.
+#[derive(Debug, Clone, Serialize)]
+pub struct E6Row {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// OLTP p95, seconds.
+    pub oltp_p95: f64,
+    /// Whether OLTP met its SLO.
+    pub oltp_met: bool,
+    /// BI mean response, seconds.
+    pub bi_mean: f64,
+    /// Total completions.
+    pub completed: u64,
+}
+
+/// Result of E6.
+#[derive(Debug, Clone, Serialize)]
+pub struct E6Result {
+    /// All schedulers on the same mix and MPL budget.
+    pub rows: Vec<E6Row>,
+}
+
+/// E6 — queue-management schedulers on a mixed load under one MPL budget
+/// (§4.2.1): FCFS vs priority vs rank function vs Niu's utility scheduler.
+pub fn e6_schedulers() -> E6Result {
+    let config = || ManagerConfig {
+        engine: EngineConfig {
+            cores: 8,
+            memory_mb: 1_024,
+            ..Default::default()
+        },
+        cost_model: CostModel::oracle(),
+        policies: vec![
+            WorkloadPolicy::new("oltp", Importance::High)
+                .with_sla(ServiceLevelAgreement::percentile(95.0, 0.5)),
+            WorkloadPolicy::new("bi", Importance::Medium),
+        ],
+        ..Default::default()
+    };
+    let mix = || {
+        MixedSource::new()
+            .with(Box::new(OltpSource::new(40.0, 300)))
+            .with(Box::new(
+                BiSource::new(1.5, 301).with_size(8_000_000.0, 0.8),
+            ))
+    };
+    let run = |name: &str, scheduler: Box<dyn Scheduler>| -> E6Row {
+        let mut mgr = WorkloadManager::new(config());
+        mgr.set_scheduler(scheduler);
+        let report = mgr.run(&mut mix(), SimDuration::from_secs(120));
+        E6Row {
+            scheduler: name.into(),
+            oltp_p95: report.workload("oltp").map_or(f64::NAN, |w| w.summary.p95),
+            oltp_met: report.workload("oltp").is_some_and(|w| w.sla.met()),
+            bi_mean: report.workload("bi").map_or(f64::NAN, |w| w.summary.mean),
+            completed: report.completed,
+        }
+    };
+    E6Result {
+        rows: vec![
+            run("FCFS (MPL 12)", Box::new(FcfsScheduler::new(12))),
+            run("Priority (MPL 12)", Box::new(PriorityScheduler::new(12))),
+            run("Rank/FEED (MPL 12)", Box::new(RankScheduler::new(12))),
+            run(
+                "Utility cost-limit (Niu)",
+                Box::new(UtilityScheduler::new(
+                    vec![
+                        ServiceClassConfig {
+                            workload: "oltp".into(),
+                            goal_secs: 0.5,
+                            importance_weight: 8.0,
+                        },
+                        ServiceClassConfig {
+                            workload: "bi".into(),
+                            goal_secs: 90.0,
+                            importance_weight: 2.0,
+                        },
+                    ],
+                    40_000_000.0,
+                )),
+            ),
+        ],
+    }
+}
+
+impl E6Result {
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "E6 — scheduler comparison on a mixed load (§4.2.1)\n  scheduler                   oltp p95   oltp SLO   bi mean    total done\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "  {:<27} {:>7.3}s   {:<7}  {:>7.2}s   {:>8}\n",
+                r.scheduler,
+                r.oltp_p95,
+                if r.oltp_met { "MET" } else { "MISSED" },
+                r.bi_mean,
+                r.completed
+            ));
+        }
+        out
+    }
+}
+
+/// Result of E11.
+#[derive(Debug, Clone, Serialize)]
+pub struct E11Result {
+    /// Short-query p95 without restructuring, seconds.
+    pub short_p95_whole: f64,
+    /// Short-query p95 with restructuring, seconds.
+    pub short_p95_sliced: f64,
+    /// Monster completions without restructuring.
+    pub monsters_whole: u64,
+    /// Monster completions with restructuring.
+    pub monsters_sliced: u64,
+}
+
+/// E11 — query restructuring frees short queries from convoying behind
+/// monsters (§3.3): an FCFS gate at MPL 2 with occasional huge ad-hoc
+/// queries and a stream of small BI queries.
+pub fn e11_restructuring() -> E11Result {
+    let run = |restructure: bool| -> (f64, u64) {
+        let mut mgr = WorkloadManager::new(ManagerConfig {
+            engine: EngineConfig {
+                cores: 8,
+                ..Default::default()
+            },
+            cost_model: CostModel::oracle(),
+            ..Default::default()
+        });
+        mgr.set_scheduler(Box::new(FcfsScheduler::new(2)));
+        if restructure {
+            mgr.set_restructurer(Restructurer {
+                slice_threshold_timerons: 5_000_000.0,
+                target_piece_timerons: 3_000_000.0,
+                max_pieces: 24,
+            });
+        }
+        let mut mix = MixedSource::new()
+            .with(Box::new(
+                BiSource::new(1.5, 400)
+                    .with_label("short")
+                    .with_size(300_000.0, 0.3),
+            ))
+            .with(Box::new(AdHocSource::new(0.08, 401)));
+        let report = mgr.run(&mut mix, SimDuration::from_secs(180));
+        (
+            report.workload("short").map_or(f64::NAN, |w| w.summary.p95),
+            report.workload("adhoc").map_or(0, |w| w.stats.completed),
+        )
+    };
+    let (short_p95_whole, monsters_whole) = run(false);
+    let (short_p95_sliced, monsters_sliced) = run(true);
+    E11Result {
+        short_p95_whole,
+        short_p95_sliced,
+        monsters_whole,
+        monsters_sliced,
+    }
+}
+
+impl E11Result {
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "E11 — query restructuring (slicing) vs convoying (§3.3)\n  \
+             whole monsters:  short-query p95 {:>8.3}s   monsters finished {}\n  \
+             sliced monsters: short-query p95 {:>8.3}s   monsters finished {}\n  \
+             slicing lets short queries overtake between pieces\n",
+            self.short_p95_whole, self.monsters_whole, self.short_p95_sliced, self.monsters_sliced
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_feedback_beats_both_static_settings() {
+        let r = e3_dynamic_mpl();
+        let wide = &r.rows[0];
+        let narrow = &r.rows[1];
+        let feedback = &r.rows[2];
+        // The wide static MPL lets phase-2 BI trash OLTP response times; the
+        // narrow one throttles phase-1 throughput. Feedback lands near the
+        // better of both on each axis.
+        assert!(
+            feedback.oltp_p95 < wide.oltp_p95 * 0.9 || feedback.completed > wide.completed,
+            "feedback {feedback:?} vs wide {wide:?}"
+        );
+        assert!(
+            feedback.completed as f64 >= narrow.completed as f64 * 0.95,
+            "feedback {feedback:?} vs narrow {narrow:?}"
+        );
+    }
+
+    #[test]
+    fn e6_differentiated_schedulers_protect_oltp() {
+        let r = e6_schedulers();
+        let fcfs = &r.rows[0];
+        let prio = &r.rows[1];
+        let rank = &r.rows[2];
+        let util = &r.rows[3];
+        assert!(
+            prio.oltp_p95 < fcfs.oltp_p95,
+            "priority beats FCFS for OLTP"
+        );
+        assert!(rank.oltp_p95 < fcfs.oltp_p95, "rank beats FCFS for OLTP");
+        assert!(util.oltp_p95 < fcfs.oltp_p95, "utility beats FCFS for OLTP");
+    }
+
+    #[test]
+    fn e11_slicing_shrinks_short_query_tail() {
+        let r = e11_restructuring();
+        assert!(
+            r.short_p95_sliced < r.short_p95_whole * 0.7,
+            "sliced {} vs whole {}",
+            r.short_p95_sliced,
+            r.short_p95_whole
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! # wlm-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the taxonomy paper (Figure 1,
+//! Tables 1–5 — printed directly from the technique registry and facility
+//! emulations) and runs the quantitative experiments E1–E14 of DESIGN.md
+//! that validate each behavioural claim the paper makes about the surveyed
+//! techniques. EXPERIMENTS.md records the paper-claim ↔ measured-shape
+//! correspondence.
+//!
+//! Everything here is deterministic given the seeds baked into each
+//! experiment, so reruns reproduce the recorded numbers exactly.
+
+pub mod exp;
+
+pub use exp::*;

@@ -1,0 +1,148 @@
+//! Black-box model feedback controller.
+//!
+//! Powley et al.'s second controller treats the system as a black box: it
+//! fits a first-order linear model `y = a·u + b` online from observed
+//! (control, performance) pairs using recursive least squares with a
+//! forgetting factor, then inverts the model to choose the control value
+//! that should achieve the setpoint. Until enough observations exist it
+//! falls back to a conservative probing step.
+
+use serde::{Deserialize, Serialize};
+
+/// Online first-order model-inverting controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlackBoxController {
+    /// Lower output bound.
+    pub out_min: f64,
+    /// Upper output bound.
+    pub out_max: f64,
+    /// Forgetting factor in `(0, 1]`: smaller forgets faster.
+    pub forgetting: f64,
+    // Weighted sums for least squares on (u, y).
+    n: f64,
+    su: f64,
+    sy: f64,
+    suu: f64,
+    suy: f64,
+    last_u: f64,
+    probes: u32,
+}
+
+impl BlackBoxController {
+    /// New controller probing from `initial_u`.
+    pub fn new(initial_u: f64, out_min: f64, out_max: f64) -> Self {
+        assert!(out_min <= out_max, "bounds must be ordered");
+        BlackBoxController {
+            out_min,
+            out_max,
+            forgetting: 0.9,
+            n: 0.0,
+            su: 0.0,
+            sy: 0.0,
+            suu: 0.0,
+            suy: 0.0,
+            last_u: initial_u.clamp(out_min, out_max),
+            probes: 0,
+        }
+    }
+
+    /// Fitted slope of the model, if identifiable.
+    pub fn slope(&self) -> Option<f64> {
+        let denom = self.n * self.suu - self.su * self.su;
+        if self.n < 2.0 || denom.abs() < 1e-12 {
+            return None;
+        }
+        Some((self.n * self.suy - self.su * self.sy) / denom)
+    }
+
+    fn intercept(&self, a: f64) -> f64 {
+        (self.sy - a * self.su) / self.n
+    }
+
+    /// Observe the performance `measured` produced by the previous output
+    /// and compute the next control value aiming at `setpoint`.
+    pub fn update(&mut self, setpoint: f64, measured: f64) -> f64 {
+        // Decay old evidence, then absorb the new observation.
+        let f = self.forgetting;
+        self.n = self.n * f + 1.0;
+        self.su = self.su * f + self.last_u;
+        self.sy = self.sy * f + measured;
+        self.suu = self.suu * f + self.last_u * self.last_u;
+        self.suy = self.suy * f + self.last_u * measured;
+
+        let next = match self.slope() {
+            Some(a) if a.abs() > 1e-9 => {
+                let b = self.intercept(a);
+                (setpoint - b) / a
+            }
+            _ => {
+                // Not identifiable yet: probe with alternating nudges so the
+                // (u, y) pairs span a range.
+                self.probes += 1;
+                let span = self.out_max - self.out_min;
+                let nudge = span
+                    * 0.1
+                    * if self.probes.is_multiple_of(2) {
+                        1.0
+                    } else {
+                        -1.0
+                    };
+                self.last_u + nudge
+            }
+        };
+        self.last_u = next.clamp(self.out_min, self.out_max);
+        self.last_u
+    }
+
+    /// The controller's current output.
+    pub fn output(&self) -> f64 {
+        self.last_u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifies_and_inverts_a_linear_plant() {
+        // Plant: y = -60u + 80 (more throttling -> less degradation).
+        // Target y = 20 => u* = 1.0... pick target 35 => u* = 0.75.
+        let plant = |u: f64| -60.0 * u + 80.0;
+        let mut c = BlackBoxController::new(0.2, 0.0, 1.0);
+        let mut u = c.output();
+        for _ in 0..40 {
+            u = c.update(35.0, plant(u));
+        }
+        assert!((u - 0.75).abs() < 0.05, "u {u}");
+        let a = c.slope().unwrap();
+        assert!((a + 60.0).abs() < 5.0, "slope {a}");
+    }
+
+    #[test]
+    fn tracks_a_plant_shift() {
+        let mut c = BlackBoxController::new(0.2, 0.0, 1.0);
+        let mut u = c.output();
+        for _ in 0..40 {
+            u = c.update(35.0, -60.0 * u + 80.0);
+        }
+        // Plant gain doubles (load doubled): new u* for y=35 is
+        // -120u + 110 = 35 -> u* = 0.625.
+        for _ in 0..60 {
+            u = c.update(35.0, -120.0 * u + 110.0);
+        }
+        assert!((u - 0.625).abs() < 0.07, "u {u}");
+    }
+
+    #[test]
+    fn probes_until_identifiable() {
+        let mut c = BlackBoxController::new(0.5, 0.0, 1.0);
+        assert!(c.slope().is_none());
+        // Constant measured output regardless of u: slope stays ~0 and the
+        // controller keeps probing without leaving bounds.
+        for _ in 0..20 {
+            let u = c.update(10.0, 42.0);
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+}

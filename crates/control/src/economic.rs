@@ -1,0 +1,169 @@
+//! Market-based resource brokering.
+//!
+//! Boughton/Martin/Zhang et al. capture *business importance policy* with an
+//! economic model: competing workloads are consumers endowed with wealth in
+//! proportion to their importance; resources are sold at a market-clearing
+//! price, so more important workloads simply out-bid the rest — and a
+//! mid-run importance change re-endows the consumer and shifts the
+//! allocation without any bespoke re-planning logic.
+
+use serde::{Deserialize, Serialize};
+
+/// One bidder for the resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Consumer {
+    /// Reporting name.
+    pub name: String,
+    /// Endowed wealth (typically the importance weight × workload size).
+    pub wealth: f64,
+    /// Maximum amount of resource the consumer can usefully consume.
+    pub demand: f64,
+}
+
+/// Outcome of clearing the market.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarketOutcome {
+    /// Allocation per consumer, parallel to the input slice.
+    pub allocations: Vec<f64>,
+    /// Clearing price per unit of resource (0 when supply exceeds total
+    /// demand).
+    pub price: f64,
+}
+
+/// A single-resource market with fixed capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EconomicMarket {
+    /// Units of resource for sale.
+    pub capacity: f64,
+}
+
+impl EconomicMarket {
+    /// New market.
+    pub fn new(capacity: f64) -> Self {
+        EconomicMarket { capacity }
+    }
+
+    /// Clear the market: find the price `p` at which total purchases
+    /// `Σ min(demandᵢ, wealthᵢ/p)` equal capacity, and allocate accordingly.
+    /// When total demand fits in capacity the price is zero and everyone
+    /// receives their demand.
+    pub fn clear(&self, consumers: &[Consumer]) -> MarketOutcome {
+        let total_demand: f64 = consumers.iter().map(|c| c.demand.max(0.0)).sum();
+        if total_demand <= self.capacity || self.capacity <= 0.0 {
+            return MarketOutcome {
+                allocations: consumers.iter().map(|c| c.demand.max(0.0)).collect(),
+                price: 0.0,
+            };
+        }
+        let purchased = |p: f64| -> f64 {
+            consumers
+                .iter()
+                .map(|c| (c.wealth.max(0.0) / p).min(c.demand.max(0.0)))
+                .sum()
+        };
+        // Bisection on price: purchases are monotone decreasing in price.
+        let total_wealth: f64 = consumers.iter().map(|c| c.wealth.max(0.0)).sum();
+        let mut lo = total_wealth / (self.capacity * 1e6).max(1e-12); // ~everyone demand-capped
+        let mut hi = total_wealth.max(1e-12) / (self.capacity * 1e-6).max(1e-12);
+        for _ in 0..200 {
+            let mid = (lo * hi).sqrt(); // geometric: price spans decades
+            if purchased(mid) > self.capacity {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let price = (lo * hi).sqrt();
+        let allocations = consumers
+            .iter()
+            .map(|c| (c.wealth.max(0.0) / price).min(c.demand.max(0.0)))
+            .collect();
+        MarketOutcome { allocations, price }
+    }
+}
+
+/// Endow consumers with wealth proportional to importance weights, scaled so
+/// total wealth equals `budget` (keeps prices comparable across rounds).
+pub fn endow_by_importance(weights: &[f64], budget: f64) -> Vec<f64> {
+    let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+    if total <= 0.0 {
+        return vec![0.0; weights.len()];
+    }
+    weights
+        .iter()
+        .map(|w| if *w > 0.0 { budget * w / total } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consumer(name: &str, wealth: f64, demand: f64) -> Consumer {
+        Consumer {
+            name: name.into(),
+            wealth,
+            demand,
+        }
+    }
+
+    #[test]
+    fn underload_is_free() {
+        let m = EconomicMarket::new(100.0);
+        let out = m.clear(&[consumer("a", 1.0, 30.0), consumer("b", 5.0, 40.0)]);
+        assert_eq!(out.price, 0.0);
+        assert_eq!(out.allocations, vec![30.0, 40.0]);
+    }
+
+    #[test]
+    fn overload_splits_by_wealth() {
+        let m = EconomicMarket::new(100.0);
+        let out = m.clear(&[consumer("rich", 3.0, 1000.0), consumer("poor", 1.0, 1000.0)]);
+        assert!(out.price > 0.0);
+        let total: f64 = out.allocations.iter().sum();
+        assert!((total - 100.0).abs() < 0.1, "market must clear: {total}");
+        assert!(
+            (out.allocations[0] / out.allocations[1] - 3.0).abs() < 0.05,
+            "3x wealth buys 3x resource: {:?}",
+            out.allocations
+        );
+    }
+
+    #[test]
+    fn demand_caps_redistribute_to_others() {
+        let m = EconomicMarket::new(100.0);
+        let out = m.clear(&[
+            consumer("rich_but_small", 10.0, 10.0),
+            consumer("poor_hungry", 1.0, 1000.0),
+        ]);
+        assert!((out.allocations[0] - 10.0).abs() < 0.1);
+        assert!((out.allocations[1] - 90.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn reendowment_shifts_allocation() {
+        let m = EconomicMarket::new(100.0);
+        let before = m.clear(&[consumer("a", 4.0, 1000.0), consumer("b", 1.0, 1000.0)]);
+        // Importance flip: b is promoted.
+        let after = m.clear(&[consumer("a", 1.0, 1000.0), consumer("b", 4.0, 1000.0)]);
+        assert!(before.allocations[0] > before.allocations[1]);
+        assert!(after.allocations[1] > after.allocations[0]);
+    }
+
+    #[test]
+    fn endowment_is_importance_proportional() {
+        let w = endow_by_importance(&[1.0, 2.0, 4.0], 70.0);
+        assert!((w[0] - 10.0).abs() < 1e-9);
+        assert!((w[1] - 20.0).abs() < 1e-9);
+        assert!((w[2] - 40.0).abs() < 1e-9);
+        assert_eq!(endow_by_importance(&[0.0, 0.0], 10.0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_capacity_allocates_demands_freely_is_avoided() {
+        // capacity <= 0 degenerates to "no market": document the behaviour.
+        let m = EconomicMarket::new(0.0);
+        let out = m.clear(&[consumer("a", 1.0, 5.0)]);
+        assert_eq!(out.price, 0.0);
+    }
+}

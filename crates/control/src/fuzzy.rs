@@ -1,0 +1,252 @@
+//! Rule-based fuzzy-logic controller (Krompass et al., VLDB'07).
+//!
+//! Krompass et al. govern problematic warehouse queries with a fuzzy
+//! controller because "the queries' execution times are not entirely
+//! predictable" and "complete knowledge about the state of a data warehouse
+//! ... is not available". This module implements the Mamdani-style core they
+//! need: triangular/shoulder membership functions, min-AND rule activation,
+//! max-OR aggregation per consequent, and argmax action selection.
+
+use serde::{Deserialize, Serialize};
+
+/// A triangular (or shoulder) fuzzy set over one input variable.
+///
+/// Membership rises from `a` to 1 at `b` and falls back to 0 at `c`.
+/// `a == b` makes a left shoulder (full membership below `b`);
+/// `b == c` makes a right shoulder (full membership above `b`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuzzySet {
+    /// Linguistic label, e.g. `"low"`.
+    pub name: String,
+    /// Left foot.
+    pub a: f64,
+    /// Peak.
+    pub b: f64,
+    /// Right foot.
+    pub c: f64,
+}
+
+impl FuzzySet {
+    /// New set; requires `a <= b <= c`.
+    pub fn new(name: &str, a: f64, b: f64, c: f64) -> Self {
+        assert!(a <= b && b <= c, "fuzzy set points must be ordered");
+        FuzzySet {
+            name: name.into(),
+            a,
+            b,
+            c,
+        }
+    }
+
+    /// Degree of membership of `x` in `[0, 1]`.
+    pub fn membership(&self, x: f64) -> f64 {
+        if x < self.a {
+            return if self.a == self.b { 1.0 } else { 0.0 };
+        }
+        if x > self.c {
+            return if self.b == self.c { 1.0 } else { 0.0 };
+        }
+        if x <= self.b {
+            if self.b == self.a {
+                1.0
+            } else {
+                (x - self.a) / (self.b - self.a)
+            }
+        } else if self.c == self.b {
+            1.0
+        } else {
+            (self.c - x) / (self.c - self.b)
+        }
+    }
+}
+
+/// An input variable with its linguistic sets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuzzyVariable {
+    /// Variable name, e.g. `"progress"`.
+    pub name: String,
+    /// Its linguistic sets.
+    pub sets: Vec<FuzzySet>,
+}
+
+impl FuzzyVariable {
+    /// A standard low/medium/high partition of `[lo, hi]`.
+    pub fn low_medium_high(name: &str, lo: f64, hi: f64) -> Self {
+        let mid = (lo + hi) / 2.0;
+        FuzzyVariable {
+            name: name.into(),
+            sets: vec![
+                FuzzySet::new("low", lo, lo, mid),
+                FuzzySet::new("medium", lo, mid, hi),
+                FuzzySet::new("high", mid, hi, hi),
+            ],
+        }
+    }
+
+    fn membership(&self, set_name: &str, x: f64) -> f64 {
+        self.sets
+            .iter()
+            .find(|s| s.name == set_name)
+            .map_or(0.0, |s| s.membership(x))
+    }
+}
+
+/// IF (var₀ is set) AND (var₁ is set) ... THEN action, with a rule weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuzzyRule {
+    /// `(variable index, set name)` conjuncts.
+    pub antecedents: Vec<(usize, String)>,
+    /// The action this rule argues for.
+    pub action: String,
+    /// Rule confidence multiplier in `(0, 1]`.
+    pub weight: f64,
+}
+
+impl FuzzyRule {
+    /// Convenience constructor with weight 1.
+    pub fn when(antecedents: &[(usize, &str)], action: &str) -> Self {
+        FuzzyRule {
+            antecedents: antecedents
+                .iter()
+                .map(|(i, s)| (*i, (*s).to_string()))
+                .collect(),
+            action: action.into(),
+            weight: 1.0,
+        }
+    }
+
+    /// Set the rule weight.
+    pub fn weighted(mut self, weight: f64) -> Self {
+        self.weight = weight.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// The inference engine: variables + rules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuzzyController {
+    /// Input variables, indexed by rule antecedents.
+    pub variables: Vec<FuzzyVariable>,
+    /// The rule base.
+    pub rules: Vec<FuzzyRule>,
+}
+
+impl FuzzyController {
+    /// New controller.
+    pub fn new(variables: Vec<FuzzyVariable>, rules: Vec<FuzzyRule>) -> Self {
+        FuzzyController { variables, rules }
+    }
+
+    /// Activation per action: max over rules of
+    /// `weight · min(antecedent memberships)`. `inputs` must parallel
+    /// `variables`.
+    pub fn infer(&self, inputs: &[f64]) -> Vec<(String, f64)> {
+        assert_eq!(inputs.len(), self.variables.len(), "one input per variable");
+        let mut activations: Vec<(String, f64)> = Vec::new();
+        for rule in &self.rules {
+            let firing = rule
+                .antecedents
+                .iter()
+                .map(|(var, set)| self.variables[*var].membership(set, inputs[*var]))
+                .fold(1.0_f64, f64::min)
+                * rule.weight;
+            match activations.iter_mut().find(|(a, _)| *a == rule.action) {
+                Some((_, act)) => *act = act.max(firing),
+                None => activations.push((rule.action.clone(), firing)),
+            }
+        }
+        activations
+    }
+
+    /// The action with the highest activation, if any fired at all.
+    pub fn best_action(&self, inputs: &[f64]) -> Option<(String, f64)> {
+        self.infer(inputs)
+            .into_iter()
+            .filter(|(_, a)| *a > 0.0)
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangular_membership() {
+        let s = FuzzySet::new("med", 0.0, 0.5, 1.0);
+        assert_eq!(s.membership(-0.1), 0.0);
+        assert_eq!(s.membership(0.0), 0.0);
+        assert!((s.membership(0.25) - 0.5).abs() < 1e-9);
+        assert_eq!(s.membership(0.5), 1.0);
+        assert!((s.membership(0.75) - 0.5).abs() < 1e-9);
+        assert_eq!(s.membership(1.1), 0.0);
+    }
+
+    #[test]
+    fn shoulder_membership() {
+        let left = FuzzySet::new("low", 0.0, 0.0, 0.5);
+        assert_eq!(left.membership(-1.0), 1.0);
+        assert_eq!(left.membership(0.0), 1.0);
+        assert!((left.membership(0.25) - 0.5).abs() < 1e-9);
+        let right = FuzzySet::new("high", 0.5, 1.0, 1.0);
+        assert_eq!(right.membership(2.0), 1.0);
+        assert_eq!(right.membership(0.5), 0.0);
+    }
+
+    #[test]
+    fn low_medium_high_partition_covers() {
+        let v = FuzzyVariable::low_medium_high("x", 0.0, 1.0);
+        for x in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            let total: f64 = v.sets.iter().map(|s| s.membership(x)).sum();
+            assert!(total > 0.9, "partition gap at {x}: {total}");
+        }
+    }
+
+    fn krompass_like_controller() -> FuzzyController {
+        // vars: 0 = progress [0,1], 1 = resource share consumed [0,1],
+        // 2 = priority [0,1].
+        let vars = vec![
+            FuzzyVariable::low_medium_high("progress", 0.0, 1.0),
+            FuzzyVariable::low_medium_high("resource_use", 0.0, 1.0),
+            FuzzyVariable::low_medium_high("priority", 0.0, 1.0),
+        ];
+        let rules = vec![
+            FuzzyRule::when(&[(0, "low"), (1, "high"), (2, "low")], "kill"),
+            FuzzyRule::when(&[(0, "high"), (1, "high"), (2, "low")], "reprioritize"),
+            FuzzyRule::when(&[(1, "high"), (2, "medium")], "reprioritize"),
+            FuzzyRule::when(&[(1, "low")], "none"),
+            FuzzyRule::when(&[(2, "high")], "none").weighted(0.9),
+        ];
+        FuzzyController::new(vars, rules)
+    }
+
+    #[test]
+    fn hog_with_no_progress_gets_killed() {
+        let c = krompass_like_controller();
+        let (action, act) = c.best_action(&[0.05, 0.95, 0.1]).unwrap();
+        assert_eq!(action, "kill");
+        assert!(act > 0.5);
+    }
+
+    #[test]
+    fn nearly_done_hog_is_reprioritized_not_killed() {
+        let c = krompass_like_controller();
+        let (action, _) = c.best_action(&[0.9, 0.95, 0.1]).unwrap();
+        assert_eq!(action, "reprioritize");
+    }
+
+    #[test]
+    fn light_query_is_left_alone() {
+        let c = krompass_like_controller();
+        let (action, _) = c.best_action(&[0.5, 0.05, 0.5]).unwrap();
+        assert_eq!(action, "none");
+    }
+
+    #[test]
+    fn no_rule_fires_returns_none() {
+        let vars = vec![FuzzyVariable::low_medium_high("x", 0.0, 1.0)];
+        let rules = vec![FuzzyRule::when(&[(0, "high")], "act")];
+        let c = FuzzyController::new(vars, rules);
+        assert!(c.best_action(&[0.0]).is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! # wlm-control — controllers and decision models for workload management
+//!
+//! The research techniques the taxonomy surveys are built on a small set of
+//! control-theoretic and economic primitives:
+//!
+//! * [`pi::PiController`] — the Proportional-Integral controller Parekh et
+//!   al. use to set utility throttling levels;
+//! * [`step::DiminishingStepController`] — Powley et al.'s "simple
+//!   controller" based on a diminishing step function;
+//! * [`blackbox::BlackBoxController`] — Powley et al.'s black-box model
+//!   feedback controller (online first-order model fit + inversion);
+//! * [`fuzzy`] — Krompass et al.'s rule-based fuzzy-logic execution
+//!   controller;
+//! * [`utility`] — utility and objective functions (Kephart & Das, Walsh et
+//!   al.) that express "how valuable is this performance level to the
+//!   business";
+//! * [`economic`] — market-based resource brokering driven by business
+//!   importance (Boughton et al., Zhang et al.);
+//! * [`queueing`] — M/M/c and closed-network Mean Value Analysis used to
+//!   predict good multiprogramming levels (Schroeder et al., Lazowska et
+//!   al.).
+//!
+//! Everything here is deterministic and engine-agnostic: inputs are numbers,
+//! outputs are numbers; `wlm-core` wires them to the simulated DBMS.
+
+pub mod blackbox;
+pub mod economic;
+pub mod fuzzy;
+pub mod pi;
+pub mod queueing;
+pub mod step;
+pub mod utility;
+
+pub use blackbox::BlackBoxController;
+pub use economic::{Consumer, EconomicMarket};
+pub use fuzzy::{FuzzyController, FuzzyRule, FuzzySet, FuzzyVariable};
+pub use pi::PiController;
+pub use queueing::{mm1_response, mmc_response, ClosedNetwork};
+pub use step::DiminishingStepController;
+pub use utility::{sigmoid_utility, ObjectiveFunction, UtilityWeight};

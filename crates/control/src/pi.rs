@@ -1,0 +1,125 @@
+//! Proportional-Integral controller.
+//!
+//! Parekh et al. "assume a linear relationship between the amount of
+//! throttling and system performance and use a Proportional-Integral
+//! controller to control the amount of throttling". This is a textbook
+//! discrete PI loop with output clamping and conditional anti-windup
+//! (the integral freezes while the output saturates).
+
+use serde::{Deserialize, Serialize};
+
+/// A discrete-time PI controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiController {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain (per control period).
+    pub ki: f64,
+    /// Lower output bound.
+    pub out_min: f64,
+    /// Upper output bound.
+    pub out_max: f64,
+    integral: f64,
+}
+
+impl PiController {
+    /// New controller with the given gains and output bounds.
+    pub fn new(kp: f64, ki: f64, out_min: f64, out_max: f64) -> Self {
+        assert!(out_min <= out_max, "bounds must be ordered");
+        PiController {
+            kp,
+            ki,
+            out_min,
+            out_max,
+            integral: 0.0,
+        }
+    }
+
+    /// One control period: feed the current error (`setpoint - measured`)
+    /// and receive the new control output.
+    pub fn update(&mut self, error: f64) -> f64 {
+        let tentative = self.kp * error + self.ki * (self.integral + error);
+        let clamped = tentative.clamp(self.out_min, self.out_max);
+        // Anti-windup: only accumulate when not saturated, or when the error
+        // pushes the output back inside the bounds.
+        let saturated_high = tentative > self.out_max && error > 0.0;
+        let saturated_low = tentative < self.out_min && error < 0.0;
+        if !(saturated_high || saturated_low) {
+            self.integral += error;
+        }
+        clamped
+    }
+
+    /// Reset the accumulated integral.
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+    }
+
+    /// Current integral term (for diagnostics).
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A first-order plant: y = gain * u. The PI loop must converge u such
+    /// that y reaches the setpoint.
+    #[test]
+    fn converges_on_linear_plant() {
+        let gain = 2.0;
+        let setpoint = 10.0;
+        let mut pi = PiController::new(0.2, 0.1, 0.0, 100.0);
+        let mut u = 0.0;
+        for _ in 0..200 {
+            let y = gain * u;
+            u = pi.update(setpoint - y);
+        }
+        let y = gain * u;
+        assert!((y - setpoint).abs() < 0.1, "converged to {y}");
+    }
+
+    #[test]
+    fn output_respects_bounds() {
+        let mut pi = PiController::new(10.0, 5.0, 0.0, 1.0);
+        for _ in 0..50 {
+            let out = pi.update(100.0);
+            assert!((0.0..=1.0).contains(&out));
+        }
+    }
+
+    #[test]
+    fn anti_windup_recovers_quickly() {
+        let mut pi = PiController::new(0.5, 0.2, 0.0, 1.0);
+        // Long saturation period...
+        for _ in 0..100 {
+            pi.update(50.0);
+        }
+        let windup = pi.integral();
+        // ...must not have accumulated unbounded integral.
+        assert!(windup < 60.0, "integral wound up to {windup}");
+        // And the output must fall promptly once the error flips.
+        let mut out = 1.0;
+        for _ in 0..20 {
+            out = pi.update(-5.0);
+        }
+        assert!(out < 0.5, "recovered to {out}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pi = PiController::new(0.1, 0.1, -1.0, 1.0);
+        pi.update(1.0);
+        assert!(pi.integral() != 0.0);
+        pi.reset();
+        assert_eq!(pi.integral(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must be ordered")]
+    fn rejects_inverted_bounds() {
+        let _ = PiController::new(1.0, 1.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Queueing models for system-capacity and MPL prediction.
+//!
+//! "Queuing network models or a feedback controller in conjunction with
+//! analytical models may be applied ... to dynamically predict the MPLs"
+//! (the paper, citing Kleinrock, Lazowska et al. and Schroeder et al.).
+//! This module provides the open-system M/M/1 and M/M/c response-time
+//! formulas and exact Mean Value Analysis for closed product-form networks,
+//! plus the Schroeder-style rule for picking the lowest MPL that achieves
+//! near-peak throughput.
+
+use serde::{Deserialize, Serialize};
+
+/// M/M/1 mean response time for arrival rate `lambda` and service rate
+/// `mu`. Returns `None` when the queue is unstable (`lambda >= mu`).
+pub fn mm1_response(lambda: f64, mu: f64) -> Option<f64> {
+    if lambda < 0.0 || mu <= 0.0 || lambda >= mu {
+        return None;
+    }
+    Some(1.0 / (mu - lambda))
+}
+
+/// Erlang-C probability of queueing for an M/M/c system at offered load
+/// `a = lambda / mu` with `c` servers.
+fn erlang_c(c: u32, a: f64) -> f64 {
+    // Compute a^k/k! iteratively to avoid overflow.
+    let mut term = 1.0; // a^0/0!
+    let mut sum = term;
+    for k in 1..c {
+        term *= a / k as f64;
+        sum += term;
+    }
+    let term_c = term * a / c as f64; // a^c/c!
+    let rho = a / c as f64;
+    let numer = term_c / (1.0 - rho);
+    numer / (sum + numer)
+}
+
+/// M/M/c mean response time. Returns `None` when unstable
+/// (`lambda >= c·mu`).
+pub fn mmc_response(lambda: f64, mu: f64, c: u32) -> Option<f64> {
+    if lambda < 0.0 || mu <= 0.0 || c == 0 || lambda >= c as f64 * mu {
+        return None;
+    }
+    let a = lambda / mu;
+    let pq = erlang_c(c, a);
+    Some(1.0 / mu + pq / (c as f64 * mu - lambda))
+}
+
+/// A closed product-form queueing network: `K` queueing service centers with
+/// per-visit service demands `demands[k]` (seconds) plus a delay center
+/// (think time).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosedNetwork {
+    /// Total service demand at each queueing center, seconds.
+    pub demands: Vec<f64>,
+    /// Think time at the delay center, seconds.
+    pub think_time: f64,
+}
+
+/// MVA solution at one population level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MvaPoint {
+    /// Population (MPL).
+    pub n: u32,
+    /// System throughput, jobs/second.
+    pub throughput: f64,
+    /// Mean response time (excluding think time), seconds.
+    pub response: f64,
+}
+
+impl ClosedNetwork {
+    /// New network.
+    pub fn new(demands: Vec<f64>, think_time: f64) -> Self {
+        ClosedNetwork {
+            demands,
+            think_time,
+        }
+    }
+
+    /// Exact MVA: solve for populations `1..=n_max` and return every point.
+    pub fn mva(&self, n_max: u32) -> Vec<MvaPoint> {
+        let k = self.demands.len();
+        let mut queue = vec![0.0_f64; k];
+        let mut out = Vec::with_capacity(n_max as usize);
+        for n in 1..=n_max {
+            let residences: Vec<f64> = self
+                .demands
+                .iter()
+                .zip(&queue)
+                .map(|(d, q)| d * (1.0 + q))
+                .collect();
+            let r: f64 = residences.iter().sum();
+            let x = n as f64 / (self.think_time + r);
+            for (qk, rk) in queue.iter_mut().zip(&residences) {
+                *qk = x * rk;
+            }
+            out.push(MvaPoint {
+                n,
+                throughput: x,
+                response: r,
+            });
+        }
+        out
+    }
+
+    /// The Schroeder et al. rule: the smallest MPL whose throughput is at
+    /// least `efficiency` (e.g. 0.9) of the peak over `1..=n_max`.
+    pub fn mpl_for_efficiency(&self, n_max: u32, efficiency: f64) -> u32 {
+        let points = self.mva(n_max);
+        let peak = points.iter().map(|p| p.throughput).fold(0.0_f64, f64::max);
+        points
+            .iter()
+            .find(|p| p.throughput >= efficiency * peak)
+            .map_or(n_max, |p| p.n)
+    }
+
+    /// Asymptotic throughput bound: `1 / max_k demands[k]`.
+    pub fn throughput_bound(&self) -> f64 {
+        let dmax = self.demands.iter().copied().fold(0.0_f64, f64::max);
+        if dmax <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / dmax
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_matches_formula_and_rejects_unstable() {
+        assert!((mm1_response(0.5, 1.0).unwrap() - 2.0).abs() < 1e-9);
+        assert!(mm1_response(1.0, 1.0).is_none());
+        assert!(mm1_response(2.0, 1.0).is_none());
+        assert!(mm1_response(-1.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn mmc_reduces_to_mm1_at_c1() {
+        let a = mmc_response(0.6, 1.0, 1).unwrap();
+        let b = mm1_response(0.6, 1.0).unwrap();
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mmc_more_servers_is_faster() {
+        let r1 = mmc_response(1.5, 1.0, 2).unwrap();
+        let r2 = mmc_response(1.5, 1.0, 4).unwrap();
+        assert!(r2 < r1);
+        // With many servers, response approaches pure service time.
+        let r8 = mmc_response(1.5, 1.0, 32).unwrap();
+        assert!((r8 - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mva_monotone_throughput_with_saturation() {
+        let net = ClosedNetwork::new(vec![0.05, 0.02], 1.0);
+        let pts = net.mva(60);
+        // Throughput rises monotonically to the asymptotic bound 1/0.05=20.
+        assert!(pts
+            .windows(2)
+            .all(|w| w[1].throughput >= w[0].throughput - 1e-9));
+        let last = pts.last().unwrap();
+        assert!(last.throughput <= net.throughput_bound() + 1e-9);
+        assert!(last.throughput > 0.9 * net.throughput_bound());
+        // Response grows with population once saturated.
+        assert!(pts.last().unwrap().response > pts[0].response);
+    }
+
+    #[test]
+    fn mva_single_customer_has_no_queueing() {
+        let net = ClosedNetwork::new(vec![0.1, 0.2], 0.5);
+        let p1 = net.mva(1)[0];
+        assert!((p1.response - 0.3).abs() < 1e-9);
+        assert!((p1.throughput - 1.0 / 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_mpl_is_near_the_knee() {
+        let net = ClosedNetwork::new(vec![0.05], 0.0);
+        // With no think time and a single center, N=1 already saturates.
+        assert_eq!(net.mpl_for_efficiency(50, 0.9), 1);
+        let net2 = ClosedNetwork::new(vec![0.05], 1.0);
+        // Think time 1s, demand 0.05 -> knee near N* = (1+0.05)/0.05 = 21.
+        let mpl = net2.mpl_for_efficiency(100, 0.9);
+        assert!((15..=25).contains(&mpl), "mpl {mpl}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Diminishing step-function controller.
+//!
+//! Powley et al.'s "simple controller": move the control variable by a step
+//! in the direction that reduces the goal violation; every time the required
+//! direction *reverses*, halve the step. The step never falls below a floor,
+//! so the controller keeps tracking if the workload shifts.
+
+use serde::{Deserialize, Serialize};
+
+/// A one-dimensional diminishing-step search controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiminishingStepController {
+    /// Current control value.
+    value: f64,
+    /// Current step magnitude.
+    step: f64,
+    /// Minimum step magnitude (keeps the controller live).
+    pub min_step: f64,
+    /// Lower bound on the control value.
+    pub min_value: f64,
+    /// Upper bound on the control value.
+    pub max_value: f64,
+    last_direction: i8,
+}
+
+impl DiminishingStepController {
+    /// New controller starting at `value` with initial `step`.
+    pub fn new(value: f64, step: f64, min_value: f64, max_value: f64) -> Self {
+        assert!(min_value <= max_value, "bounds must be ordered");
+        DiminishingStepController {
+            value: value.clamp(min_value, max_value),
+            step: step.abs(),
+            min_step: step.abs() / 64.0,
+            min_value,
+            max_value,
+            last_direction: 0,
+        }
+    }
+
+    /// Current control value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Current step magnitude.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Advance one period. `direction` is the sign of the needed adjustment:
+    /// `+1` raise the control value, `-1` lower it, `0` hold (goal met).
+    /// Returns the new control value.
+    pub fn update(&mut self, direction: i8) -> f64 {
+        if direction == 0 {
+            return self.value;
+        }
+        if self.last_direction != 0 && direction != self.last_direction {
+            self.step = (self.step / 2.0).max(self.min_step);
+        }
+        self.last_direction = direction;
+        self.value =
+            (self.value + direction as f64 * self.step).clamp(self.min_value, self.max_value);
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homes_in_on_a_target() {
+        // Plant: performance degradation = 80 * (1 - u), target deg <= 20
+        // with u minimal => u* = 0.75.
+        let mut c = DiminishingStepController::new(0.0, 0.4, 0.0, 1.0);
+        for _ in 0..100 {
+            let deg = 80.0 * (1.0 - c.value());
+            let dir = if deg > 20.0 { 1 } else { -1 };
+            c.update(dir);
+        }
+        assert!((c.value() - 0.75).abs() < 0.05, "value {}", c.value());
+    }
+
+    #[test]
+    fn step_halves_on_reversal_only() {
+        let mut c = DiminishingStepController::new(0.5, 0.2, 0.0, 1.0);
+        c.update(1);
+        assert_eq!(c.step(), 0.2, "same direction keeps the step");
+        c.update(1);
+        assert_eq!(c.step(), 0.2);
+        c.update(-1);
+        assert_eq!(c.step(), 0.1, "reversal halves the step");
+    }
+
+    #[test]
+    fn zero_direction_holds() {
+        let mut c = DiminishingStepController::new(0.3, 0.1, 0.0, 1.0);
+        assert_eq!(c.update(0), 0.3);
+        assert_eq!(c.step(), 0.1);
+    }
+
+    #[test]
+    fn respects_bounds_and_min_step() {
+        let mut c = DiminishingStepController::new(0.9, 0.5, 0.0, 1.0);
+        for _ in 0..10 {
+            c.update(1);
+        }
+        assert_eq!(c.value(), 1.0);
+        for _ in 0..200 {
+            c.update(if c.value() > 0.5 { -1 } else { 1 });
+        }
+        assert!(c.step() >= c.min_step);
+    }
+}

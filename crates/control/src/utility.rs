@@ -1,0 +1,118 @@
+//! Utility and objective functions.
+//!
+//! Autonomic workload management expresses "how valuable is this performance
+//! level to the business" with utility functions (Kephart & Das; Walsh et
+//! al.) and combines per-workload utilities — weighted by business
+//! importance — into one objective function that planners maximise (Niu et
+//! al.'s scheduler).
+
+use serde::{Deserialize, Serialize};
+
+/// Sigmoid utility of an achieved performance value against a goal, for
+/// lower-is-better metrics (response time): ~1 when well under the goal,
+/// exactly 0.5 at the goal, and → 0 as the goal is exceeded. `steepness`
+/// controls how sharply utility collapses around the goal.
+pub fn sigmoid_utility(achieved: f64, goal: f64, steepness: f64) -> f64 {
+    if goal <= 0.0 {
+        return if achieved <= 0.0 { 1.0 } else { 0.0 };
+    }
+    let ratio = achieved / goal;
+    1.0 / (1.0 + (steepness * (ratio - 1.0)).exp())
+}
+
+/// One service class's contribution to the objective function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilityWeight {
+    /// Class name (reporting only).
+    pub name: String,
+    /// Business-importance weight.
+    pub importance_weight: f64,
+    /// Performance goal for the class (lower-is-better metric).
+    pub goal: f64,
+}
+
+/// Importance-weighted sum of per-class sigmoid utilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveFunction {
+    /// The classes being balanced.
+    pub classes: Vec<UtilityWeight>,
+    /// Sigmoid steepness shared by all classes.
+    pub steepness: f64,
+}
+
+impl ObjectiveFunction {
+    /// New objective over the given classes.
+    pub fn new(classes: Vec<UtilityWeight>) -> Self {
+        ObjectiveFunction {
+            classes,
+            steepness: 6.0,
+        }
+    }
+
+    /// Evaluate for the achieved values (parallel to `classes`). Higher is
+    /// better; the maximum is the sum of importance weights.
+    pub fn evaluate(&self, achieved: &[f64]) -> f64 {
+        assert_eq!(achieved.len(), self.classes.len(), "one value per class");
+        self.classes
+            .iter()
+            .zip(achieved)
+            .map(|(c, &a)| c.importance_weight * sigmoid_utility(a, c.goal, self.steepness))
+            .sum()
+    }
+
+    /// Maximum attainable objective value.
+    pub fn max_value(&self) -> f64 {
+        self.classes.iter().map(|c| c.importance_weight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_shape() {
+        assert!(sigmoid_utility(0.1, 1.0, 6.0) > 0.95);
+        assert!((sigmoid_utility(1.0, 1.0, 6.0) - 0.5).abs() < 1e-9);
+        assert!(sigmoid_utility(3.0, 1.0, 6.0) < 0.05);
+        // Monotone decreasing in achieved.
+        let u: Vec<f64> = (0..10)
+            .map(|i| sigmoid_utility(i as f64 * 0.4, 1.0, 6.0))
+            .collect();
+        assert!(u.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn degenerate_goal() {
+        assert_eq!(sigmoid_utility(0.0, 0.0, 6.0), 1.0);
+        assert_eq!(sigmoid_utility(1.0, 0.0, 6.0), 0.0);
+    }
+
+    #[test]
+    fn objective_prefers_protecting_the_important_class() {
+        let obj = ObjectiveFunction::new(vec![
+            UtilityWeight {
+                name: "oltp".into(),
+                importance_weight: 10.0,
+                goal: 1.0,
+            },
+            UtilityWeight {
+                name: "adhoc".into(),
+                importance_weight: 1.0,
+                goal: 60.0,
+            },
+        ]);
+        // Scenario A: OLTP meets its goal, ad-hoc blows its goal.
+        let a = obj.evaluate(&[0.5, 300.0]);
+        // Scenario B: ad-hoc fine, OLTP suffering.
+        let b = obj.evaluate(&[5.0, 30.0]);
+        assert!(a > b, "protecting the important class must score higher");
+        assert!(obj.max_value() == 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per class")]
+    fn arity_mismatch_panics() {
+        ObjectiveFunction::new(vec![]).evaluate(&[1.0]);
+    }
+}

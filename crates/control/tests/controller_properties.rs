@@ -1,0 +1,69 @@
+//! Property-based tests of controller invariants.
+
+use proptest::prelude::*;
+use wlm_control::blackbox::BlackBoxController;
+use wlm_control::pi::PiController;
+use wlm_control::step::DiminishingStepController;
+
+proptest! {
+    /// PI output stays in bounds for arbitrary gains and error sequences,
+    /// and the integral does not wind up while saturated.
+    #[test]
+    fn pi_output_always_bounded(
+        kp in 0.0f64..10.0,
+        ki in 0.0f64..10.0,
+        errors in prop::collection::vec(-100.0f64..100.0, 1..200),
+    ) {
+        let mut pi = PiController::new(kp, ki, 0.0, 1.0);
+        for e in errors {
+            let out = pi.update(e);
+            prop_assert!((0.0..=1.0).contains(&out), "out {out}");
+            prop_assert!(pi.integral().is_finite());
+        }
+    }
+
+    /// The step controller's value stays in bounds and its step never falls
+    /// below the floor, whatever direction sequence is fed.
+    #[test]
+    fn step_controller_stays_in_bounds(
+        start in 0.0f64..1.0,
+        step in 0.001f64..0.5,
+        dirs in prop::collection::vec(-1i8..=1, 1..300),
+    ) {
+        let mut c = DiminishingStepController::new(start, step, 0.0, 1.0);
+        for d in dirs {
+            let v = c.update(d);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(c.step() >= c.min_step - 1e-12);
+        }
+    }
+
+    /// The black-box controller never emits out-of-range outputs even on
+    /// adversarial (noisy, constant, or flipping) measurements.
+    #[test]
+    fn blackbox_output_always_bounded(
+        initial in 0.0f64..1.0,
+        measurements in prop::collection::vec(-1e6f64..1e6, 1..100),
+        setpoint in -100.0f64..100.0,
+    ) {
+        let mut c = BlackBoxController::new(initial, 0.0, 1.0);
+        for m in measurements {
+            let u = c.update(setpoint, m);
+            prop_assert!((0.0..=1.0).contains(&u), "u {u}");
+        }
+    }
+
+    /// PI on any stable first-order plant (y = g·u, g > 0, setpoint
+    /// reachable) converges when gains are modest.
+    #[test]
+    fn pi_converges_on_reachable_plants(g in 0.5f64..5.0, setpoint in 0.1f64..2.0) {
+        let mut pi = PiController::new(0.1 / g, 0.05 / g, 0.0, 10.0);
+        let mut u = 0.0;
+        for _ in 0..2_000 {
+            let y = g * u;
+            u = pi.update(setpoint - y);
+        }
+        let y = g * u;
+        prop_assert!((y - setpoint).abs() < 0.05 * setpoint + 0.01, "y {y} target {setpoint}");
+    }
+}

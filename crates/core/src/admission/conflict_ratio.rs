@@ -1,0 +1,100 @@
+//! Conflict-ratio admission control (Moenkeberg & Weikum, VLDB'92).
+//!
+//! "The conflict ratio is the ratio of the total number of locks that are
+//! held by all transactions in the system and total number of locks held by
+//! active transactions. If the conflict ratio exceeds a (critical)
+//! threshold, then new transactions are suspended, otherwise they are
+//! admitted." The published critical value is ≈1.3; it is configurable
+//! here. Read-only requests carry no locks and are exempt.
+
+use crate::api::{AdmissionController, AdmissionDecision, ManagedRequest, SystemSnapshot};
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+
+/// Admission gate on the lock manager's conflict ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct ConflictRatioAdmission {
+    /// Critical conflict ratio above which new transactions are deferred.
+    pub critical_ratio: f64,
+}
+
+impl Default for ConflictRatioAdmission {
+    fn default() -> Self {
+        ConflictRatioAdmission {
+            critical_ratio: 1.3,
+        }
+    }
+}
+
+impl ConflictRatioAdmission {
+    /// New gate with the given critical ratio.
+    pub fn new(critical_ratio: f64) -> Self {
+        ConflictRatioAdmission { critical_ratio }
+    }
+}
+
+impl Classified for ConflictRatioAdmission {
+    fn taxonomy(&self) -> TaxonomyPath {
+        TaxonomyPath::new(TechniqueClass::AdmissionControl, "Threshold-based")
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "Conflict Ratio"
+    }
+}
+
+impl AdmissionController for ConflictRatioAdmission {
+    fn decide(&mut self, req: &ManagedRequest, snap: &SystemSnapshot) -> AdmissionDecision {
+        let is_transaction = !req.request.spec.write_keys.is_empty();
+        if is_transaction && snap.conflict_ratio > self.critical_ratio {
+            AdmissionDecision::Defer
+        } else {
+            AdmissionDecision::Admit
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{managed, snapshot};
+    use wlm_workload::request::Importance;
+
+    fn txn() -> ManagedRequest {
+        let mut r = managed("oltp", 100, Importance::High);
+        r.request.spec.write_keys = vec![1, 2];
+        r
+    }
+
+    #[test]
+    fn calm_system_admits() {
+        let mut adm = ConflictRatioAdmission::default();
+        let mut snap = snapshot(10, 0);
+        snap.conflict_ratio = 1.05;
+        assert_eq!(adm.decide(&txn(), &snap), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn contended_system_defers_transactions() {
+        let mut adm = ConflictRatioAdmission::default();
+        let mut snap = snapshot(10, 0);
+        snap.conflict_ratio = 1.6;
+        assert_eq!(adm.decide(&txn(), &snap), AdmissionDecision::Defer);
+    }
+
+    #[test]
+    fn read_only_queries_are_exempt() {
+        let mut adm = ConflictRatioAdmission::default();
+        let mut snap = snapshot(10, 0);
+        snap.conflict_ratio = 5.0;
+        let read = managed("bi", 1_000_000, Importance::Low);
+        assert_eq!(adm.decide(&read, &snap), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn custom_critical_ratio() {
+        let mut strict = ConflictRatioAdmission::new(1.01);
+        let mut snap = snapshot(10, 0);
+        snap.conflict_ratio = 1.05;
+        assert_eq!(strict.decide(&txn(), &snap), AdmissionDecision::Defer);
+    }
+}

@@ -1,0 +1,132 @@
+//! Indicator-based admission (Zhang et al., SMDB/ICDE'12 & it'14).
+//!
+//! "The indicator approach uses a set of monitor metrics of a DBMS to
+//! detect the performance failure. If the indicator's values exceed
+//! pre-defined thresholds, low priority requests are no longer admitted."
+//! The congestion indicators here are the ones the engine's monitor
+//! surfaces: CPU/disk utilization, blocked-query count, queue length and
+//! conflict ratio.
+
+use crate::api::{AdmissionController, AdmissionDecision, ManagedRequest, SystemSnapshot};
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use serde::{Deserialize, Serialize};
+use wlm_workload::request::Importance;
+
+/// Thresholds on monitor metrics; exceeding any marks the system congested.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndicatorThresholds {
+    /// CPU utilization ceiling.
+    pub cpu_utilization: f64,
+    /// Disk utilization ceiling.
+    pub io_utilization: f64,
+    /// Blocked-query ceiling.
+    pub blocked: usize,
+    /// Wait-queue-length ceiling.
+    pub queued: usize,
+    /// Conflict-ratio ceiling.
+    pub conflict_ratio: f64,
+}
+
+impl Default for IndicatorThresholds {
+    fn default() -> Self {
+        IndicatorThresholds {
+            cpu_utilization: 0.95,
+            io_utilization: 0.95,
+            blocked: 16,
+            queued: 64,
+            conflict_ratio: 1.3,
+        }
+    }
+}
+
+/// Congestion-indicator admission gate: when indicators fire, only requests
+/// at or above `min_importance_when_congested` get in.
+#[derive(Debug, Clone, Copy)]
+pub struct IndicatorAdmission {
+    /// The indicator thresholds.
+    pub thresholds: IndicatorThresholds,
+    /// Importance floor applied while congested.
+    pub min_importance_when_congested: Importance,
+}
+
+impl Default for IndicatorAdmission {
+    fn default() -> Self {
+        IndicatorAdmission {
+            thresholds: IndicatorThresholds::default(),
+            min_importance_when_congested: Importance::High,
+        }
+    }
+}
+
+impl IndicatorAdmission {
+    /// Whether the snapshot trips any indicator.
+    pub fn congested(&self, snap: &SystemSnapshot) -> bool {
+        let t = &self.thresholds;
+        snap.cpu_utilization > t.cpu_utilization
+            || snap.io_utilization > t.io_utilization
+            || snap.blocked > t.blocked
+            || snap.queued > t.queued
+            || snap.conflict_ratio > t.conflict_ratio
+    }
+}
+
+impl Classified for IndicatorAdmission {
+    fn taxonomy(&self) -> TaxonomyPath {
+        TaxonomyPath::new(TechniqueClass::AdmissionControl, "Threshold-based")
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "Indicators"
+    }
+}
+
+impl AdmissionController for IndicatorAdmission {
+    fn decide(&mut self, req: &ManagedRequest, snap: &SystemSnapshot) -> AdmissionDecision {
+        if self.congested(snap) && req.importance < self.min_importance_when_congested {
+            AdmissionDecision::Defer
+        } else {
+            AdmissionDecision::Admit
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{managed, snapshot};
+
+    #[test]
+    fn calm_system_admits_everyone() {
+        let mut adm = IndicatorAdmission::default();
+        let low = managed("adhoc", 1_000_000, Importance::Low);
+        assert_eq!(adm.decide(&low, &snapshot(5, 0)), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn congestion_gates_low_priority_only() {
+        let mut adm = IndicatorAdmission::default();
+        let mut snap = snapshot(50, 0);
+        snap.cpu_utilization = 0.99;
+        let low = managed("adhoc", 1_000_000, Importance::Low);
+        let high = managed("oltp", 100, Importance::High);
+        assert_eq!(adm.decide(&low, &snap), AdmissionDecision::Defer);
+        assert_eq!(adm.decide(&high, &snap), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn each_indicator_can_trip() {
+        let adm = IndicatorAdmission::default();
+        let mut base = snapshot(0, 0);
+        assert!(!adm.congested(&base));
+        base.io_utilization = 0.99;
+        assert!(adm.congested(&base));
+        let mut s = snapshot(0, 0);
+        s.blocked = 17;
+        assert!(adm.congested(&s));
+        let mut s = snapshot(0, 100);
+        assert!(adm.congested(&s), "queue overflow indicator");
+        s.queued = 0;
+        s.conflict_ratio = 2.0;
+        assert!(adm.congested(&s));
+    }
+}

@@ -1,0 +1,46 @@
+//! Admission control (taxonomy class 2).
+//!
+//! Two subclasses, as in Figure 1:
+//!
+//! * **Threshold-based** — system parameters ([`threshold`]: query cost and
+//!   MPL limits) and performance/monitor metrics ([`conflict_ratio`],
+//!   [`throughput_feedback`], [`indicators`]);
+//! * **Prediction-based** — models trained on completed queries predict a
+//!   newcomer's behaviour before it runs ([`prediction`]).
+
+pub mod conflict_ratio;
+pub mod indicators;
+pub mod prediction;
+pub mod threshold;
+pub mod throughput_feedback;
+
+pub use conflict_ratio::ConflictRatioAdmission;
+pub use indicators::IndicatorAdmission;
+pub use prediction::{DecisionTree, KnnEstimator, PredictionAdmission, PredictorKind};
+pub use threshold::ThresholdAdmission;
+pub use throughput_feedback::ThroughputFeedbackAdmission;
+
+use crate::api::{AdmissionController, AdmissionDecision, ManagedRequest, SystemSnapshot};
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+
+/// An admission controller that admits everything — the uncontrolled
+/// baseline every experiment compares against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmitAll;
+
+impl Classified for AdmitAll {
+    fn taxonomy(&self) -> TaxonomyPath {
+        // Degenerate member of the threshold family (thresholds = ∞).
+        TaxonomyPath::new(TechniqueClass::AdmissionControl, "Threshold-based")
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "Admit All (baseline)"
+    }
+}
+
+impl AdmissionController for AdmitAll {
+    fn decide(&mut self, _req: &ManagedRequest, _snap: &SystemSnapshot) -> AdmissionDecision {
+        AdmissionDecision::Admit
+    }
+}

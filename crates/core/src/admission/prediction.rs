@@ -1,0 +1,513 @@
+//! Prediction-based admission control.
+//!
+//! Instead of comparing the optimizer's (possibly wrong) cost estimate
+//! against a threshold, these techniques *learn* a query's likely behaviour
+//! from previously completed queries:
+//!
+//! * [`DecisionTree`] / PQR — Gupta, Mehta & Dayal (ICAC'08) "build a
+//!   decision tree based on a training set of queries, and use the decision
+//!   tree to predict ranges of the new query's execution time";
+//! * [`KnnEstimator`] — Ganapathi et al. (ICDE'09) "find correlations among
+//!   the query properties, which are available before a query's execution"
+//!   and predict the performance of newcomers with the same properties
+//!   (nearest neighbours in feature space stand in for their KCCA).
+//!
+//! Features are drawn from what is truly available pre-execution: the noisy
+//! cost/row estimates *plus* honest plan-structure signals (operator count,
+//! join presence, memory grant), which is exactly why learned predictors
+//! outrun naive cost thresholds when the optimizer errs.
+
+use crate::api::{AdmissionController, AdmissionDecision, ManagedRequest, SystemSnapshot};
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use serde::{Deserialize, Serialize};
+use wlm_dbsim::plan::OperatorKind;
+
+/// Execution-time buckets for PQR range prediction, in seconds. Bucket `i`
+/// covers `[BUCKETS[i], BUCKETS[i+1])`; the last is open-ended.
+pub const TIME_BUCKETS: [f64; 4] = [0.0, 1.0, 10.0, 60.0];
+
+/// Bucket index for an execution time.
+pub fn bucket_of(secs: f64) -> usize {
+    TIME_BUCKETS.iter().rposition(|&b| secs >= b).unwrap_or(0)
+}
+
+/// Pre-execution feature vector of a request.
+pub fn features(req: &ManagedRequest) -> Vec<f64> {
+    let plan = &req.request.spec.plan;
+    let has_join = plan.ops.iter().any(|o| {
+        matches!(
+            o.kind,
+            OperatorKind::HashJoin | OperatorKind::MergeJoin | OperatorKind::NestedLoopJoin
+        )
+    });
+    vec![
+        (req.estimate.timerons.max(1.0)).log10(),
+        ((req.estimate.rows + 1) as f64).log10(),
+        (req.estimate.mem_mb as f64 + 1.0).log10(),
+        plan.ops.len() as f64,
+        if has_join { 1.0 } else { 0.0 },
+        if plan.is_write() { 1.0 } else { 0.0 },
+    ]
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A CART-style classification tree (entropy splits).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    n_classes: usize,
+}
+
+fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+fn majority(counts: &[usize]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+impl DecisionTree {
+    /// Fit a tree. Panics on empty or ragged input.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[usize],
+        n_classes: usize,
+        max_depth: usize,
+        min_samples: usize,
+    ) -> Self {
+        assert!(!x.is_empty() && x.len() == y.len(), "bad training data");
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let root = Self::build(x, y, &idx, n_classes, max_depth, min_samples.max(2));
+        DecisionTree { root, n_classes }
+    }
+
+    fn class_counts(y: &[usize], idx: &[usize], n_classes: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n_classes];
+        for &i in idx {
+            counts[y[i].min(n_classes - 1)] += 1;
+        }
+        counts
+    }
+
+    fn build(
+        x: &[Vec<f64>],
+        y: &[usize],
+        idx: &[usize],
+        n_classes: usize,
+        depth: usize,
+        min_samples: usize,
+    ) -> Node {
+        let counts = Self::class_counts(y, idx, n_classes);
+        let parent_entropy = entropy(&counts);
+        if depth == 0 || idx.len() < min_samples || parent_entropy == 0.0 {
+            return Node::Leaf {
+                class: majority(&counts),
+            };
+        }
+        let n_features = x[0].len();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        #[allow(clippy::needless_range_loop)] // f indexes per-row columns
+        for f in 0..n_features {
+            // Candidate thresholds: midpoints of sorted unique values.
+            let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
+            vals.sort_by(|a, b| a.total_cmp(b));
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            // Subsample candidates for speed on large nodes.
+            let step = (vals.len() / 16).max(1);
+            for w in vals.windows(2).step_by(step) {
+                let threshold = (w[0] + w[1]) / 2.0;
+                let (mut lc, mut rc) = (vec![0usize; n_classes], vec![0usize; n_classes]);
+                for &i in idx {
+                    if x[i][f] <= threshold {
+                        lc[y[i].min(n_classes - 1)] += 1;
+                    } else {
+                        rc[y[i].min(n_classes - 1)] += 1;
+                    }
+                }
+                let ln: usize = lc.iter().sum();
+                let rn: usize = rc.iter().sum();
+                if ln == 0 || rn == 0 {
+                    continue;
+                }
+                let child =
+                    (ln as f64 * entropy(&lc) + rn as f64 * entropy(&rc)) / idx.len() as f64;
+                let gain = parent_entropy - child;
+                if best.is_none() || gain > best.unwrap().2 {
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+        match best {
+            Some((feature, threshold, gain)) if gain > 1e-9 => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| x[i][feature] <= threshold);
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(Self::build(
+                        x,
+                        y,
+                        &left_idx,
+                        n_classes,
+                        depth - 1,
+                        min_samples,
+                    )),
+                    right: Box::new(Self::build(
+                        x,
+                        y,
+                        &right_idx,
+                        n_classes,
+                        depth - 1,
+                        min_samples,
+                    )),
+                }
+            }
+            _ => Node::Leaf {
+                class: majority(&counts),
+            },
+        }
+    }
+
+    /// Predicted class of one feature vector.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of classes the tree predicts over.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+/// k-nearest-neighbour execution-time estimator.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KnnEstimator {
+    samples: Vec<(Vec<f64>, f64)>,
+    /// Neighbours consulted.
+    pub k: usize,
+}
+
+impl KnnEstimator {
+    /// New estimator with `k` neighbours.
+    pub fn new(k: usize) -> Self {
+        KnnEstimator {
+            samples: Vec::new(),
+            k: k.max(1),
+        }
+    }
+
+    /// Add a training observation.
+    pub fn push(&mut self, features: Vec<f64>, exec_secs: f64) {
+        self.samples.push((features, exec_secs));
+    }
+
+    /// Number of stored observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no observations are stored.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Predict execution time as the mean of the `k` nearest neighbours;
+    /// `None` until any data exists.
+    pub fn predict(&self, x: &[f64]) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut dists: Vec<(f64, f64)> = self
+            .samples
+            .iter()
+            .map(|(f, t)| {
+                let d: f64 = f.iter().zip(x).map(|(a, b)| (a - b).powi(2)).sum();
+                (d, *t)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let k = self.k.min(dists.len());
+        Some(dists[..k].iter().map(|(_, t)| t).sum::<f64>() / k as f64)
+    }
+}
+
+/// Which predictor backs the admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// PQR decision tree over time buckets.
+    Pqr,
+    /// k-NN regression on execution time.
+    Knn,
+}
+
+/// Prediction-based admission: learn from completions, gate newcomers whose
+/// predicted execution time exceeds the limit. Until `min_training` samples
+/// accumulate, everything is admitted (there is nothing to predict from).
+#[derive(Debug, Clone)]
+pub struct PredictionAdmission {
+    /// Which model to use.
+    pub kind: PredictorKind,
+    /// Admission limit on predicted execution time, seconds.
+    pub max_predicted_secs: f64,
+    /// Samples needed before the gate activates.
+    pub min_training: usize,
+    /// Reject (true) or defer (false) over-limit requests.
+    pub reject: bool,
+    knn: KnnEstimator,
+    tree: Option<DecisionTree>,
+    train_x: Vec<Vec<f64>>,
+    train_y: Vec<usize>,
+    since_refit: usize,
+}
+
+impl PredictionAdmission {
+    /// New controller.
+    pub fn new(kind: PredictorKind, max_predicted_secs: f64) -> Self {
+        PredictionAdmission {
+            kind,
+            max_predicted_secs,
+            min_training: 30,
+            reject: true,
+            knn: KnnEstimator::new(5),
+            tree: None,
+            train_x: Vec::new(),
+            train_y: Vec::new(),
+            since_refit: 0,
+        }
+    }
+
+    /// Predicted execution time of a request, if the model is trained.
+    pub fn predict_secs(&self, req: &ManagedRequest) -> Option<f64> {
+        let x = features(req);
+        match self.kind {
+            PredictorKind::Knn => {
+                if self.knn.len() < self.min_training {
+                    None
+                } else {
+                    self.knn.predict(&x)
+                }
+            }
+            PredictorKind::Pqr => self
+                .tree
+                .as_ref()
+                .map(|t| TIME_BUCKETS[t.predict(&x).min(TIME_BUCKETS.len() - 1)]),
+        }
+    }
+
+    /// Training-set size so far.
+    pub fn training_size(&self) -> usize {
+        self.train_x.len()
+    }
+}
+
+impl Classified for PredictionAdmission {
+    fn taxonomy(&self) -> TaxonomyPath {
+        TaxonomyPath::new(TechniqueClass::AdmissionControl, "Prediction-based")
+    }
+
+    fn technique_name(&self) -> &'static str {
+        match self.kind {
+            PredictorKind::Pqr => "PQR Decision Tree",
+            PredictorKind::Knn => "Statistical (kNN) Predictor",
+        }
+    }
+}
+
+impl AdmissionController for PredictionAdmission {
+    fn decide(&mut self, req: &ManagedRequest, _snap: &SystemSnapshot) -> AdmissionDecision {
+        match self.predict_secs(req) {
+            Some(pred) if pred > self.max_predicted_secs => {
+                if self.reject {
+                    AdmissionDecision::Reject(format!(
+                        "predicted execution time {pred:.1}s exceeds {:.1}s",
+                        self.max_predicted_secs
+                    ))
+                } else {
+                    AdmissionDecision::Defer
+                }
+            }
+            _ => AdmissionDecision::Admit,
+        }
+    }
+
+    fn learn(&mut self, req: &ManagedRequest, _actual_secs: f64, true_work_us: u64) {
+        // Train on the intrinsic execution time (work at full speed), which
+        // is what the admission limit is about; measured response times are
+        // contaminated by whatever contention happened to exist.
+        let exec_secs = true_work_us as f64 / 1e6;
+        let x = features(req);
+        self.knn.push(x.clone(), exec_secs);
+        self.train_x.push(x);
+        self.train_y.push(bucket_of(exec_secs));
+        self.since_refit += 1;
+        let enough = self.train_x.len() >= self.min_training;
+        let due = self.tree.is_none() || self.since_refit >= 50;
+        if self.kind == PredictorKind::Pqr && enough && due {
+            self.tree = Some(DecisionTree::fit(
+                &self.train_x,
+                &self.train_y,
+                TIME_BUCKETS.len(),
+                6,
+                4,
+            ));
+            self.since_refit = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{managed, snapshot};
+    use wlm_workload::request::Importance;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(0.99), 0);
+        assert_eq!(bucket_of(1.0), 1);
+        assert_eq!(bucket_of(9.9), 1);
+        assert_eq!(bucket_of(10.0), 2);
+        assert_eq!(bucket_of(60.0), 3);
+        assert_eq!(bucket_of(1e6), 3);
+    }
+
+    #[test]
+    fn tree_learns_a_threshold_rule() {
+        // y = 1 iff x0 > 5.
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0, 0.0]).collect();
+        let y: Vec<usize> = (0..100)
+            .map(|i| usize::from(i as f64 / 10.0 > 5.0))
+            .collect();
+        let tree = DecisionTree::fit(&x, &y, 2, 4, 2);
+        assert_eq!(tree.predict(&[2.0, 0.0]), 0);
+        assert_eq!(tree.predict(&[8.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn tree_learns_a_nested_conjunction() {
+        // y = 1 iff x0 > 0.5 AND x1 > 0.5 — needs a depth-2 tree.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let (a, b) = (i as f64 / 10.0, j as f64 / 10.0);
+                x.push(vec![a, b]);
+                y.push(usize::from(a > 0.5 && b > 0.5));
+            }
+        }
+        let tree = DecisionTree::fit(&x, &y, 2, 4, 2);
+        assert_eq!(tree.predict(&[0.2, 0.9]), 0);
+        assert_eq!(tree.predict(&[0.9, 0.2]), 0);
+        assert_eq!(tree.predict(&[0.9, 0.9]), 1);
+        assert_eq!(tree.predict(&[0.2, 0.2]), 0);
+    }
+
+    #[test]
+    fn knn_averages_neighbours() {
+        let mut knn = KnnEstimator::new(2);
+        assert!(knn.predict(&[0.0]).is_none());
+        knn.push(vec![0.0], 1.0);
+        knn.push(vec![0.1], 3.0);
+        knn.push(vec![10.0], 100.0);
+        let pred = knn.predict(&[0.05]).unwrap();
+        assert!((pred - 2.0).abs() < 1e-9, "pred {pred}");
+    }
+
+    #[test]
+    fn admits_everything_until_trained() {
+        let mut adm = PredictionAdmission::new(PredictorKind::Knn, 5.0);
+        let huge = managed("bi", 100_000_000, Importance::Low);
+        assert_eq!(adm.decide(&huge, &snapshot(0, 0)), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn knn_gate_learns_to_reject_long_runners() {
+        let mut adm = PredictionAdmission::new(PredictorKind::Knn, 5.0);
+        // Train: small queries finish fast, huge ones slow.
+        for i in 0..40 {
+            let small = managed("w", 10_000 + i, Importance::Low);
+            adm.learn(&small, 0.1, small.request.spec.plan.total_work());
+            let big = managed("w", 50_000_000 + i, Importance::Low);
+            adm.learn(&big, 80.0, big.request.spec.plan.total_work());
+        }
+        let small = managed("w", 12_000, Importance::Low);
+        let big = managed("w", 60_000_000, Importance::Low);
+        assert_eq!(
+            adm.decide(&small, &snapshot(0, 0)),
+            AdmissionDecision::Admit
+        );
+        assert!(matches!(
+            adm.decide(&big, &snapshot(0, 0)),
+            AdmissionDecision::Reject(_)
+        ));
+    }
+
+    #[test]
+    fn pqr_gate_predicts_ranges() {
+        let mut adm = PredictionAdmission::new(PredictorKind::Pqr, 5.0);
+        for i in 0..60 {
+            let small = managed("w", 10_000 + i, Importance::Low);
+            adm.learn(&small, 0.1, small.request.spec.plan.total_work());
+            let big = managed("w", 50_000_000 + i, Importance::Low);
+            adm.learn(&big, 80.0, big.request.spec.plan.total_work());
+        }
+        assert!(adm.training_size() >= 120);
+        let small = managed("w", 12_000, Importance::Low);
+        let big = managed("w", 60_000_000, Importance::Low);
+        assert!(adm.predict_secs(&small).unwrap() < 5.0);
+        assert!(adm.predict_secs(&big).unwrap() >= 10.0);
+        assert!(matches!(
+            adm.decide(&big, &snapshot(0, 0)),
+            AdmissionDecision::Reject(_)
+        ));
+    }
+}

@@ -1,0 +1,246 @@
+//! Threshold-based admission on system parameters: query cost and MPL.
+//!
+//! "The query cost thresholds dictate that if a newly arriving query has
+//! estimated costs greater than the threshold, then the query is rejected,
+//! otherwise it is admitted. The MPL threshold dictates if the number of
+//! concurrently running requests reaches the threshold, then no new
+//! requests are admitted." Workloads carry their own threshold sets from
+//! their [`crate::policy::AdmissionPolicy`], so high-priority workloads get
+//! less restrictive limits — and thresholds can differ by operating period.
+
+use crate::api::{AdmissionController, AdmissionDecision, ManagedRequest, SystemSnapshot};
+use crate::policy::{AdmissionPolicy, AdmissionViolationAction};
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use std::collections::BTreeMap;
+
+/// Cost/MPL threshold admission with per-workload policies.
+#[derive(Debug, Clone, Default)]
+pub struct ThresholdAdmission {
+    /// Global MPL limit across all workloads (None = unlimited).
+    pub global_max_mpl: Option<usize>,
+    /// Per-workload threshold sets.
+    pub policies: BTreeMap<String, AdmissionPolicy>,
+    /// Policy applied to workloads without an entry.
+    pub default_policy: AdmissionPolicy,
+}
+
+impl ThresholdAdmission {
+    /// New controller with only a global MPL cap.
+    pub fn with_global_mpl(max_mpl: usize) -> Self {
+        ThresholdAdmission {
+            global_max_mpl: Some(max_mpl),
+            ..Default::default()
+        }
+    }
+
+    /// Set the threshold set for one workload.
+    pub fn set_policy(&mut self, workload: &str, policy: AdmissionPolicy) {
+        self.policies.insert(workload.to_string(), policy);
+    }
+
+    /// Builder-style [`set_policy`](Self::set_policy).
+    pub fn with_policy(mut self, workload: &str, policy: AdmissionPolicy) -> Self {
+        self.set_policy(workload, policy);
+        self
+    }
+
+    fn policy_for(&self, workload: &str) -> &AdmissionPolicy {
+        self.policies.get(workload).unwrap_or(&self.default_policy)
+    }
+}
+
+impl Classified for ThresholdAdmission {
+    fn taxonomy(&self) -> TaxonomyPath {
+        TaxonomyPath::new(TechniqueClass::AdmissionControl, "Threshold-based")
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "Query Cost & MPL Thresholds"
+    }
+}
+
+impl AdmissionController for ThresholdAdmission {
+    fn decide(&mut self, req: &ManagedRequest, snap: &SystemSnapshot) -> AdmissionDecision {
+        // Global MPL: a full system defers everyone. The gate counts
+        // running *plus* already-admitted (queued) requests — otherwise one
+        // completion would let the whole deferred backlog flood through in
+        // a single cycle.
+        if let Some(max) = self.global_max_mpl {
+            if snap.running + snap.admitted_queued() >= max {
+                return AdmissionDecision::Defer;
+            }
+        }
+        let policy = self.policy_for(&req.workload);
+        // Per-workload MPL, same in-flight accounting.
+        if let Some(max) = policy.max_workload_mpl {
+            if snap.in_flight(&req.workload) >= max {
+                return AdmissionDecision::Defer;
+            }
+        }
+        // Cost and estimated-time thresholds (operating-period scaled).
+        let too_costly = policy
+            .effective_cost_threshold(snap.now)
+            .is_some_and(|limit| req.estimate.timerons > limit);
+        let too_slow = policy
+            .effective_time_threshold(snap.now)
+            .is_some_and(|limit| req.estimate.exec_secs > limit);
+        let too_many_rows = policy
+            .max_estimated_rows
+            .is_some_and(|limit| req.estimate.rows > limit);
+        if too_costly || too_slow || too_many_rows {
+            return match policy.on_violation {
+                AdmissionViolationAction::Reject => AdmissionDecision::Reject(format!(
+                    "estimated cost {:.0} timerons / {:.1}s exceeds the workload threshold",
+                    req.estimate.timerons, req.estimate.exec_secs
+                )),
+                AdmissionViolationAction::Defer => AdmissionDecision::Defer,
+            };
+        }
+        AdmissionDecision::Admit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::OperatingPeriod;
+    use crate::testutil::{managed, snapshot};
+    use wlm_dbsim::time::{SimDuration, SimTime};
+    use wlm_workload::request::Importance;
+
+    #[test]
+    fn global_mpl_defers_when_full() {
+        let mut adm = ThresholdAdmission::with_global_mpl(5);
+        let req = managed("w", 1000, Importance::Medium);
+        assert_eq!(adm.decide(&req, &snapshot(4, 0)), AdmissionDecision::Admit);
+        assert_eq!(adm.decide(&req, &snapshot(5, 0)), AdmissionDecision::Defer);
+    }
+
+    #[test]
+    fn cost_threshold_rejects_or_defers_per_policy() {
+        let mut adm = ThresholdAdmission::default().with_policy(
+            "bi",
+            AdmissionPolicy {
+                max_cost_timerons: Some(10_000.0),
+                on_violation: AdmissionViolationAction::Reject,
+                ..Default::default()
+            },
+        );
+        let small = managed("bi", 1_000, Importance::Medium);
+        let big = managed("bi", 10_000_000, Importance::Medium);
+        assert_eq!(
+            adm.decide(&small, &snapshot(0, 0)),
+            AdmissionDecision::Admit
+        );
+        assert!(matches!(
+            adm.decide(&big, &snapshot(0, 0)),
+            AdmissionDecision::Reject(_)
+        ));
+        // Same threshold but Defer mode.
+        adm.set_policy(
+            "bi",
+            AdmissionPolicy {
+                max_cost_timerons: Some(10_000.0),
+                on_violation: AdmissionViolationAction::Defer,
+                ..Default::default()
+            },
+        );
+        assert_eq!(adm.decide(&big, &snapshot(0, 0)), AdmissionDecision::Defer);
+    }
+
+    #[test]
+    fn per_workload_mpl_is_independent() {
+        let mut adm = ThresholdAdmission::default().with_policy(
+            "bi",
+            AdmissionPolicy {
+                max_workload_mpl: Some(2),
+                ..Default::default()
+            },
+        );
+        let bi = managed("bi", 1000, Importance::Medium);
+        let oltp = managed("oltp", 10, Importance::High);
+        let mut snap = snapshot(10, 0);
+        snap.running_by_workload.insert("bi".into(), 2);
+        snap.running_by_workload.insert("oltp".into(), 8);
+        assert_eq!(adm.decide(&bi, &snap), AdmissionDecision::Defer);
+        assert_eq!(adm.decide(&oltp, &snap), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn different_workloads_different_thresholds() {
+        // High-priority workloads get "higher (less restrictive) thresholds".
+        let mut adm = ThresholdAdmission::default()
+            .with_policy(
+                "vip",
+                AdmissionPolicy {
+                    max_cost_timerons: Some(1e9),
+                    on_violation: AdmissionViolationAction::Reject,
+                    ..Default::default()
+                },
+            )
+            .with_policy(
+                "adhoc",
+                AdmissionPolicy {
+                    max_cost_timerons: Some(1e4),
+                    on_violation: AdmissionViolationAction::Reject,
+                    ..Default::default()
+                },
+            );
+        let vip = managed("vip", 10_000_000, Importance::High);
+        let adhoc = managed("adhoc", 10_000_000, Importance::Low);
+        assert_eq!(adm.decide(&vip, &snapshot(0, 0)), AdmissionDecision::Admit);
+        assert!(matches!(
+            adm.decide(&adhoc, &snapshot(0, 0)),
+            AdmissionDecision::Reject(_)
+        ));
+    }
+
+    #[test]
+    fn estimated_rows_threshold() {
+        let mut adm = ThresholdAdmission::default().with_policy(
+            "bi",
+            AdmissionPolicy {
+                max_estimated_rows: Some(100_000),
+                on_violation: AdmissionViolationAction::Reject,
+                ..Default::default()
+            },
+        );
+        let wide = managed("bi", 50_000_000, Importance::Medium); // rows≈est
+        let narrow = managed("bi", 10_000, Importance::Medium);
+        assert!(matches!(
+            adm.decide(&wide, &snapshot(0, 0)),
+            AdmissionDecision::Reject(_)
+        ));
+        assert_eq!(
+            adm.decide(&narrow, &snapshot(0, 0)),
+            AdmissionDecision::Admit
+        );
+    }
+
+    #[test]
+    fn night_window_relaxes_thresholds() {
+        let mut adm = ThresholdAdmission::default().with_policy(
+            "batch",
+            AdmissionPolicy {
+                max_cost_timerons: Some(10_000.0),
+                on_violation: AdmissionViolationAction::Reject,
+                periods: vec![OperatingPeriod {
+                    start_hour: 0,
+                    end_hour: 6,
+                    threshold_scale: 1000.0,
+                }],
+                ..Default::default()
+            },
+        );
+        let big = managed("batch", 1_000_000, Importance::Low);
+        let mut day = snapshot(0, 0);
+        day.now = SimTime::ZERO + SimDuration::from_secs(12 * 3600);
+        assert!(matches!(
+            adm.decide(&big, &day),
+            AdmissionDecision::Reject(_)
+        ));
+        let mut night = snapshot(0, 0);
+        night.now = SimTime::ZERO + SimDuration::from_secs(2 * 3600);
+        assert_eq!(adm.decide(&big, &night), AdmissionDecision::Admit);
+    }
+}

@@ -1,0 +1,145 @@
+//! Throughput-feedback admission (Heiss & Wagner, VLDB'91).
+//!
+//! "The approach measures the transaction throughput over time intervals.
+//! If the throughput in the last measurement interval has increased
+//! (compared to the interval before), more transactions are admitted; if
+//! the throughput has decreased, fewer transactions are admitted." — an
+//! incremental hill-climb on the admission MPL that finds the throughput
+//! knee without any model of the system.
+
+use crate::api::{AdmissionController, AdmissionDecision, ManagedRequest, SystemSnapshot};
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use wlm_dbsim::time::SimTime;
+
+/// Hill-climbing MPL admission gate driven by interval throughput.
+#[derive(Debug, Clone)]
+pub struct ThroughputFeedbackAdmission {
+    mpl: f64,
+    /// Smallest MPL the controller will fall to.
+    pub min_mpl: f64,
+    /// Largest MPL it will climb to.
+    pub max_mpl: f64,
+    /// Step per adaptation.
+    pub step: f64,
+    direction: f64,
+    last_seen_throughput: f64,
+    last_adapted: SimTime,
+}
+
+impl ThroughputFeedbackAdmission {
+    /// New controller starting at `initial_mpl`.
+    pub fn new(initial_mpl: usize) -> Self {
+        ThroughputFeedbackAdmission {
+            mpl: initial_mpl as f64,
+            min_mpl: 1.0,
+            max_mpl: 512.0,
+            step: 1.0,
+            direction: 1.0,
+            last_seen_throughput: -1.0,
+            last_adapted: SimTime::ZERO,
+        }
+    }
+
+    /// The current admission MPL.
+    pub fn current_mpl(&self) -> usize {
+        self.mpl.round() as usize
+    }
+}
+
+impl Classified for ThroughputFeedbackAdmission {
+    fn taxonomy(&self) -> TaxonomyPath {
+        TaxonomyPath::new(TechniqueClass::AdmissionControl, "Threshold-based")
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "Transaction Throughput"
+    }
+}
+
+impl AdmissionController for ThroughputFeedbackAdmission {
+    fn observe(&mut self, snap: &SystemSnapshot) {
+        // Adapt once per new metrics interval: the interval is new when the
+        // (last, prev) throughput pair changed.
+        if snap.last_throughput == self.last_seen_throughput || snap.prev_throughput == 0.0 {
+            return;
+        }
+        self.last_seen_throughput = snap.last_throughput;
+        self.last_adapted = snap.now;
+        if snap.last_throughput >= snap.prev_throughput {
+            // Improving: keep moving the same way.
+        } else {
+            // Worse: reverse course.
+            self.direction = -self.direction;
+        }
+        self.mpl = (self.mpl + self.direction * self.step).clamp(self.min_mpl, self.max_mpl);
+    }
+
+    fn decide(&mut self, _req: &ManagedRequest, snap: &SystemSnapshot) -> AdmissionDecision {
+        if snap.running < self.current_mpl() {
+            AdmissionDecision::Admit
+        } else {
+            AdmissionDecision::Defer
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{managed, snapshot};
+    use wlm_workload::request::Importance;
+
+    fn snap_with_tput(running: usize, last: f64, prev: f64) -> SystemSnapshot {
+        let mut s = snapshot(running, 0);
+        s.last_throughput = last;
+        s.prev_throughput = prev;
+        s
+    }
+
+    #[test]
+    fn admits_below_mpl_defers_at_mpl() {
+        let mut adm = ThroughputFeedbackAdmission::new(4);
+        let req = managed("w", 100, Importance::Medium);
+        assert_eq!(adm.decide(&req, &snapshot(3, 0)), AdmissionDecision::Admit);
+        assert_eq!(adm.decide(&req, &snapshot(4, 0)), AdmissionDecision::Defer);
+    }
+
+    #[test]
+    fn rising_throughput_raises_mpl() {
+        let mut adm = ThroughputFeedbackAdmission::new(4);
+        adm.observe(&snap_with_tput(4, 10.0, 8.0));
+        assert_eq!(adm.current_mpl(), 5);
+        adm.observe(&snap_with_tput(4, 12.0, 10.0));
+        assert_eq!(adm.current_mpl(), 6);
+    }
+
+    #[test]
+    fn falling_throughput_reverses() {
+        let mut adm = ThroughputFeedbackAdmission::new(4);
+        adm.observe(&snap_with_tput(4, 10.0, 8.0)); // up -> 5
+        adm.observe(&snap_with_tput(4, 7.0, 10.0)); // worse -> reverse -> 4
+        assert_eq!(adm.current_mpl(), 4);
+        adm.observe(&snap_with_tput(4, 9.0, 7.0)); // better, keep going down -> 3
+        assert_eq!(adm.current_mpl(), 3);
+    }
+
+    #[test]
+    fn adapts_once_per_interval() {
+        let mut adm = ThroughputFeedbackAdmission::new(4);
+        let s = snap_with_tput(4, 10.0, 8.0);
+        adm.observe(&s);
+        adm.observe(&s); // same interval: no double step
+        assert_eq!(adm.current_mpl(), 5);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut adm = ThroughputFeedbackAdmission::new(1);
+        adm.min_mpl = 1.0;
+        // Keep telling it throughput fell; it oscillates but never below 1.
+        for i in 0..20 {
+            adm.observe(&snap_with_tput(1, 1.0 + (i % 2) as f64 * 0.1, 5.0));
+        }
+        assert!(adm.current_mpl() >= 1);
+    }
+}

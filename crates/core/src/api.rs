@@ -1,0 +1,209 @@
+//! Shared interfaces of the workload management pipeline.
+//!
+//! The paper's three-step practice — understand objectives, identify
+//! requests, impose controls — becomes three trait families here:
+//! [`AdmissionController`] (control point: request arrival),
+//! [`Scheduler`] (control point: before dispatch to the engine) and
+//! [`ExecutionController`] (control point: during execution), each guided by
+//! policies ([`crate::policy`]) and classified in the taxonomy
+//! ([`crate::taxonomy::Classified`]).
+
+use crate::taxonomy::Classified;
+use serde::{Deserialize, Serialize};
+use wlm_dbsim::engine::{QueryId, QueryProgress};
+use wlm_dbsim::optimizer::CostEstimate;
+use wlm_dbsim::suspend::SuspendStrategy;
+use wlm_dbsim::time::SimTime;
+use wlm_workload::request::{Importance, Request};
+
+/// A request after identification: the raw request plus everything the
+/// workload manager derived about it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManagedRequest {
+    /// The arriving request.
+    pub request: Request,
+    /// Optimizer cost estimate (available before execution).
+    pub estimate: CostEstimate,
+    /// The workload (service class) it was mapped to.
+    pub workload: String,
+    /// Effective importance after classification (the workload definition
+    /// may override the request's own level).
+    pub importance: Importance,
+    /// Fair-share weight the query will run with.
+    pub weight: f64,
+}
+
+/// The monitor snapshot handed to every controller at each decision point.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SystemSnapshot {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Queries currently in the engine (the actual MPL).
+    pub running: usize,
+    /// Queries blocked on locks.
+    pub blocked: usize,
+    /// Requests waiting in the scheduler queue.
+    pub queued: usize,
+    /// Lock-manager conflict ratio.
+    pub conflict_ratio: f64,
+    /// Throughput of the last closed metrics interval, completions/s.
+    pub last_throughput: f64,
+    /// Throughput of the interval before that.
+    pub prev_throughput: f64,
+    /// Mean CPU utilization over recent intervals, `[0, 1]`.
+    pub cpu_utilization: f64,
+    /// Mean disk utilization over recent intervals, `[0, 1]`.
+    pub io_utilization: f64,
+    /// Sum of estimated costs (timerons) of queries now in the engine.
+    pub running_cost: f64,
+    /// Running-query counts per workload (for per-workload MPL policies).
+    pub running_by_workload: std::collections::BTreeMap<String, usize>,
+    /// Wait-queue counts per workload (admitted but not yet dispatched) —
+    /// throttles that meter a workload's *in-flight* total need both.
+    pub queued_by_workload: std::collections::BTreeMap<String, usize>,
+    /// Sum of estimated costs (timerons) of running queries per workload
+    /// (cost-limit schedulers).
+    pub running_cost_by_workload: std::collections::BTreeMap<String, f64>,
+    /// Mean response time (seconds) per workload over the recent window
+    /// (feedback schedulers and throttlers).
+    pub recent_response_by_workload: std::collections::BTreeMap<String, f64>,
+    /// Working memory held by running queries, MiB (memory-aware batch
+    /// schedulers).
+    pub running_mem_mb: u64,
+    /// Engine memory capacity, MiB.
+    pub memory_capacity_mb: u64,
+}
+
+impl SystemSnapshot {
+    /// Running queries belonging to `workload`.
+    pub fn running_in(&self, workload: &str) -> usize {
+        self.running_by_workload.get(workload).copied().unwrap_or(0)
+    }
+
+    /// Admitted-but-queued requests belonging to `workload`.
+    pub fn queued_in(&self, workload: &str) -> usize {
+        self.queued_by_workload.get(workload).copied().unwrap_or(0)
+    }
+
+    /// Running plus queued requests of `workload` (in-flight total).
+    pub fn in_flight(&self, workload: &str) -> usize {
+        self.running_in(workload) + self.queued_in(workload)
+    }
+
+    /// Total admitted-but-undispatched requests (the wait queue only —
+    /// excludes requests still held at the admission gate).
+    pub fn admitted_queued(&self) -> usize {
+        self.queued_by_workload.values().sum()
+    }
+
+    /// Estimated running cost of `workload`, timerons.
+    pub fn running_cost_in(&self, workload: &str) -> f64 {
+        self.running_cost_by_workload
+            .get(workload)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Recent mean response of `workload`, seconds (`None` if unobserved).
+    pub fn recent_response_of(&self, workload: &str) -> Option<f64> {
+        self.recent_response_by_workload.get(workload).copied()
+    }
+}
+
+/// An admission verdict.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionDecision {
+    /// Enter the scheduler's wait queue.
+    Admit,
+    /// Hold at the admission gate; the controller is asked again next cycle.
+    Defer,
+    /// Turn the request away with a message.
+    Reject(String),
+}
+
+/// Control point 1: request arrival.
+pub trait AdmissionController: Classified {
+    /// Decide the fate of an arriving (or deferred) request.
+    fn decide(&mut self, req: &ManagedRequest, snap: &SystemSnapshot) -> AdmissionDecision;
+
+    /// Called once per control cycle with the fresh monitor snapshot, before
+    /// any [`decide`](Self::decide) calls — feedback controllers adapt their
+    /// internal limits here.
+    fn observe(&mut self, _snap: &SystemSnapshot) {}
+
+    /// Learn from a completed query (prediction-based controllers train on
+    /// these). `actual_secs` is the measured response time and
+    /// `true_work_us` the work the engine actually performed.
+    fn learn(&mut self, _req: &ManagedRequest, _actual_secs: f64, _true_work_us: u64) {}
+}
+
+/// Control point 2: ordering and releasing the wait queue.
+pub trait Scheduler: Classified {
+    /// Remove and return the requests to dispatch now. `queue` is ordered by
+    /// arrival; implementations may reorder freely.
+    fn select(
+        &mut self,
+        queue: &mut Vec<ManagedRequest>,
+        snap: &SystemSnapshot,
+    ) -> Vec<ManagedRequest>;
+}
+
+/// What the execution controllers see about one running query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunningQuery {
+    /// Engine id.
+    pub id: QueryId,
+    /// The managed request it came from.
+    pub request: ManagedRequest,
+    /// Live progress from the engine.
+    pub progress: QueryProgress,
+    /// Current fair-share weight.
+    pub weight: f64,
+    /// Current throttle sleep fraction applied (0 = none).
+    pub throttle: f64,
+    /// Times this query has already been killed-and-resubmitted.
+    pub restarts: u32,
+}
+
+/// An action an execution controller asks the manager to apply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlAction {
+    /// Change a query's resource-access weight (reprioritization).
+    SetWeight(QueryId, f64),
+    /// Set a query's duty-cycle throttle (0 = full speed).
+    Throttle(QueryId, f64),
+    /// Fully pause a query.
+    Pause(QueryId),
+    /// Resume a paused query.
+    Resume(QueryId),
+    /// Cancel a query; optionally re-queue it for later execution.
+    Kill {
+        /// The victim.
+        id: QueryId,
+        /// Whether to resubmit it to the wait queue.
+        resubmit: bool,
+    },
+    /// Suspend a query to disk with the given strategy; the manager resumes
+    /// it later per its policy.
+    Suspend(QueryId, SuspendStrategy),
+}
+
+/// Control point 3: during execution.
+pub trait ExecutionController: Classified {
+    /// Inspect the running set and issue control actions.
+    fn control(&mut self, running: &[RunningQuery], snap: &SystemSnapshot) -> Vec<ControlAction>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_decision_equality() {
+        assert_eq!(AdmissionDecision::Admit, AdmissionDecision::Admit);
+        assert_ne!(
+            AdmissionDecision::Admit,
+            AdmissionDecision::Reject("x".into())
+        );
+    }
+}

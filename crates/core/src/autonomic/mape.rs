@@ -1,0 +1,357 @@
+//! The MAPE loop controller.
+
+use crate::api::{ControlAction, ExecutionController, RunningQuery, SystemSnapshot};
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+use wlm_control::utility::sigmoid_utility;
+use wlm_dbsim::suspend::SuspendStrategy;
+use wlm_dbsim::time::SimTime;
+use wlm_workload::request::Importance;
+
+/// A per-workload goal the loop protects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoalSpec {
+    /// Workload name.
+    pub workload: String,
+    /// Response-time goal, seconds.
+    pub goal_secs: f64,
+    /// Business-importance weight in the utility function.
+    pub importance_weight: f64,
+}
+
+/// What the planner chose in one cycle (for explanation and experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoopDecision {
+    /// Goals met; any prior controls were relaxed one step.
+    Relax,
+    /// Goals met and no controls active.
+    Steady,
+    /// Demoted victim weights (query reprioritization).
+    Reprioritize,
+    /// Throttled victims at the embedded level.
+    Throttle,
+    /// Suspended victims to disk.
+    Suspend,
+    /// Killed-and-resubmitted victims.
+    KillResubmit,
+}
+
+/// The autonomic controller: monitor → analyze → plan → execute.
+///
+/// The planner is an escalation ladder over the taxonomy's execution
+/// controls, ordered by disruption: reprioritize → throttle (two levels) →
+/// suspend → kill-and-resubmit. Persistent goal violation escalates one
+/// rung per planning interval; sustained health de-escalates. The utility
+/// function decides *whether* the system is violating; the ladder decides
+/// *which technique* to apply, mirroring the paper's "planner that decides
+/// what technique is most effective ... by applying the utility function".
+#[derive(Debug, Clone)]
+pub struct AutonomicController {
+    /// Protected goals.
+    pub goals: Vec<GoalSpec>,
+    /// Utility below this fraction of maximum counts as violating.
+    pub violation_utility: f64,
+    /// Seconds between planning decisions.
+    pub plan_every_secs: f64,
+    /// Healthy planning periods required before de-escalating one rung.
+    pub relax_after_healthy: u8,
+    /// Victims must carry at least this much total work, µs.
+    pub min_victim_work_us: u64,
+    escalation: u8,
+    healthy_streak: u8,
+    last_plan: SimTime,
+    decisions: Rc<RefCell<Vec<(SimTime, LoopDecision)>>>,
+}
+
+impl AutonomicController {
+    /// New loop protecting `goals`.
+    pub fn new(goals: Vec<GoalSpec>) -> Self {
+        AutonomicController {
+            goals,
+            violation_utility: 0.6,
+            plan_every_secs: 2.0,
+            relax_after_healthy: 5,
+            min_victim_work_us: 5_000_000,
+            escalation: 0,
+            healthy_streak: 0,
+            last_plan: SimTime::ZERO,
+            decisions: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// The decision history (a shared handle: clone it before boxing the
+    /// controller into a manager, read it afterwards).
+    pub fn decisions(&self) -> Rc<RefCell<Vec<(SimTime, LoopDecision)>>> {
+        Rc::clone(&self.decisions)
+    }
+
+    /// Current escalation rung (0 = no control applied).
+    pub fn escalation(&self) -> u8 {
+        self.escalation
+    }
+
+    /// MONITOR + ANALYZE: normalized utility of the current performance in
+    /// `[0, 1]`.
+    pub fn utility(&self, snap: &SystemSnapshot) -> f64 {
+        let max: f64 = self.goals.iter().map(|g| g.importance_weight).sum();
+        if max <= 0.0 {
+            return 1.0;
+        }
+        let achieved: f64 = self
+            .goals
+            .iter()
+            .map(|g| {
+                let resp = snap.recent_response_of(&g.workload).unwrap_or(0.0);
+                g.importance_weight * sigmoid_utility(resp, g.goal_secs, 6.0)
+            })
+            .sum();
+        achieved / max
+    }
+
+    /// ANALYZE, part 2: completed-request metrics go silent when the system
+    /// is so overloaded that nothing completes, so the analyzer also checks
+    /// *in-flight* requests of protected workloads: any of them already
+    /// older than its goal is a live violation.
+    pub fn live_violation(&self, running: &[RunningQuery]) -> bool {
+        running.iter().any(|q| {
+            self.goals
+                .iter()
+                .find(|g| g.workload == q.request.workload)
+                .is_some_and(|g| q.progress.elapsed.as_secs_f64() > g.goal_secs)
+        })
+    }
+
+    fn victims<'a>(&self, running: &'a [RunningQuery]) -> Vec<&'a RunningQuery> {
+        let protected: Vec<&str> = self.goals.iter().map(|g| g.workload.as_str()).collect();
+        running
+            .iter()
+            .filter(|q| !protected.contains(&q.request.workload.as_str()))
+            .filter(|q| q.request.importance < Importance::High)
+            .filter(|q| q.progress.work_total_us >= self.min_victim_work_us)
+            .collect()
+    }
+
+    fn act(&self, running: &[RunningQuery]) -> (LoopDecision, Vec<ControlAction>) {
+        let victims = self.victims(running);
+        match self.escalation {
+            0 => (LoopDecision::Steady, Vec::new()),
+            1 => (
+                LoopDecision::Reprioritize,
+                victims
+                    .iter()
+                    .filter(|q| q.weight > 0.21)
+                    .map(|q| ControlAction::SetWeight(q.id, 0.2))
+                    .collect(),
+            ),
+            2 | 3 => {
+                let level = if self.escalation == 2 { 0.5 } else { 0.9 };
+                (
+                    LoopDecision::Throttle,
+                    victims
+                        .iter()
+                        .filter(|q| (q.throttle - level).abs() > 0.01)
+                        .map(|q| ControlAction::Throttle(q.id, level))
+                        .collect(),
+                )
+            }
+            4 => (
+                LoopDecision::Suspend,
+                victims
+                    .iter()
+                    // Suspending a nearly-finished query is waste.
+                    .filter(|q| q.progress.fraction < 0.8)
+                    .map(|q| ControlAction::Suspend(q.id, SuspendStrategy::DumpState))
+                    .collect(),
+            ),
+            _ => (
+                LoopDecision::KillResubmit,
+                victims
+                    .iter()
+                    .map(|q| ControlAction::Kill {
+                        id: q.id,
+                        resubmit: q.restarts < 1,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    fn relax_actions(&self, running: &[RunningQuery]) -> Vec<ControlAction> {
+        // Undo throttles and weight demotions on victims as we de-escalate.
+        self.victims(running)
+            .iter()
+            .flat_map(|q| {
+                let mut a = Vec::new();
+                if q.throttle > 0.0 {
+                    a.push(ControlAction::Throttle(q.id, 0.0));
+                }
+                if q.weight < q.request.weight {
+                    a.push(ControlAction::SetWeight(q.id, q.request.weight));
+                }
+                a
+            })
+            .collect()
+    }
+}
+
+impl Classified for AutonomicController {
+    fn taxonomy(&self) -> TaxonomyPath {
+        // The loop *selects* techniques; its own decisive arm spans the
+        // execution-control class. Registered under reprioritization, its
+        // mildest and most common action.
+        TaxonomyPath::new(TechniqueClass::ExecutionControl, "Query Reprioritization")
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "Autonomic MAPE Loop"
+    }
+}
+
+impl ExecutionController for AutonomicController {
+    fn control(&mut self, running: &[RunningQuery], snap: &SystemSnapshot) -> Vec<ControlAction> {
+        // PLAN at the planning period only.
+        if snap.now.since(self.last_plan).as_secs_f64() < self.plan_every_secs {
+            return Vec::new();
+        }
+        self.last_plan = snap.now;
+        let utility = self.utility(snap);
+        let violating = utility < self.violation_utility || self.live_violation(running);
+        if violating {
+            self.healthy_streak = 0;
+            // Severe violation skips a rung: a collapsing system has no
+            // time for the polite options.
+            let step = if utility < 0.3 { 2 } else { 1 };
+            self.escalation = (self.escalation + step).min(5);
+        } else {
+            self.healthy_streak = self.healthy_streak.saturating_add(1);
+            if self.healthy_streak >= self.relax_after_healthy && self.escalation > 0 {
+                self.escalation -= 1;
+                self.healthy_streak = 0;
+                let actions = self.relax_actions(running);
+                self.decisions
+                    .borrow_mut()
+                    .push((snap.now, LoopDecision::Relax));
+                return actions;
+            }
+        }
+        // EXECUTE the current rung.
+        let (decision, actions) = self.act(running);
+        self.decisions.borrow_mut().push((snap.now, decision));
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{running, snapshot};
+
+    fn goals() -> Vec<GoalSpec> {
+        vec![GoalSpec {
+            workload: "oltp".into(),
+            goal_secs: 1.0,
+            importance_weight: 10.0,
+        }]
+    }
+
+    fn snap_at(secs: f64, oltp_resp: f64) -> crate::api::SystemSnapshot {
+        let mut s = snapshot(2, 0);
+        s.now = SimTime((secs * 1e6) as u64);
+        s.recent_response_by_workload
+            .insert("oltp".into(), oltp_resp);
+        s
+    }
+
+    fn victim(id: u64) -> RunningQuery {
+        let mut q = running(id, "adhoc", Importance::Low, 10.0, 0.2);
+        q.progress.work_total_us = 50_000_000;
+        q
+    }
+
+    #[test]
+    fn utility_reflects_goal_state() {
+        let c = AutonomicController::new(goals());
+        assert!(c.utility(&snap_at(0.0, 0.2)) > 0.9);
+        assert!(c.utility(&snap_at(0.0, 5.0)) < 0.1);
+    }
+
+    #[test]
+    fn escalates_through_the_ladder_under_persistent_violation() {
+        let mut c = AutonomicController::new(goals());
+        // Mild violation (utility between 0.3 and 0.6): single-rung steps
+        // walk the whole ladder.
+        let victims = vec![victim(1)];
+        for i in 1..=6 {
+            c.control(&victims, &snap_at(i as f64 * 3.0, 1.1 + i as f64 * 0.001));
+        }
+        let decisions: Vec<LoopDecision> = c.decisions().borrow().iter().map(|(_, d)| *d).collect();
+        assert!(decisions.contains(&LoopDecision::Reprioritize));
+        assert!(decisions.contains(&LoopDecision::Throttle));
+        assert!(decisions.contains(&LoopDecision::Suspend));
+        assert!(decisions.contains(&LoopDecision::KillResubmit));
+        // Escalation saturates at the top rung.
+        assert_eq!(c.escalation(), 5);
+    }
+
+    #[test]
+    fn severe_violation_skips_rungs() {
+        let mut c = AutonomicController::new(goals());
+        let victims = vec![victim(1)];
+        // 5x the goal: utility ~0 -> two rungs per period.
+        c.control(&victims, &snap_at(3.0, 5.0));
+        assert_eq!(c.escalation(), 2);
+        c.control(&victims, &snap_at(6.0, 5.01));
+        assert_eq!(c.escalation(), 4);
+    }
+
+    #[test]
+    fn deescalates_when_healthy() {
+        let mut c = AutonomicController::new(goals());
+        c.relax_after_healthy = 2;
+        let victims = vec![victim(1)];
+        for i in 1..=2 {
+            c.control(&victims, &snap_at(i as f64 * 3.0, 1.1 + i as f64 * 0.001));
+        }
+        assert_eq!(c.escalation(), 2);
+        // Healthy measurements: two planning periods per step down.
+        let mut t = 10.0;
+        for i in 0..12 {
+            c.control(&victims, &snap_at(t, 0.2 + i as f64 * 0.001));
+            t += 3.0;
+        }
+        assert_eq!(c.escalation(), 0, "fully relaxed");
+        assert!(c
+            .decisions()
+            .borrow()
+            .iter()
+            .any(|(_, d)| *d == LoopDecision::Relax));
+    }
+
+    #[test]
+    fn respects_planning_period() {
+        let mut c = AutonomicController::new(goals());
+        let victims = vec![victim(1)];
+        c.control(&victims, &snap_at(3.0, 5.0));
+        let esc = c.escalation();
+        // 0.5s later: within the planning period, no decision.
+        let actions = c.control(&victims, &snap_at(3.5, 9.0));
+        assert!(actions.is_empty());
+        assert_eq!(c.escalation(), esc);
+    }
+
+    #[test]
+    fn protected_workloads_are_never_victims() {
+        let mut c = AutonomicController::new(goals());
+        let mut protected = running(1, "oltp", Importance::High, 10.0, 0.2);
+        protected.progress.work_total_us = 50_000_000;
+        for i in 1..=6 {
+            let actions = c.control(
+                &[protected.clone()],
+                &snap_at(i as f64 * 3.0, 5.0 + i as f64 * 0.01),
+            );
+            assert!(actions.is_empty(), "protected workload was touched");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Autonomic workload management: the MAPE feedback loop (§5.3 of the
+//! paper).
+//!
+//! "The feedback loop control consists of four components: a **monitor**
+//! that continuously monitors a database system performance, an
+//! **analyzer** that analyzes the database system available capacity and
+//! the running query's execution progress, and compares the running query's
+//! performance with their required performance goals, a **planner** that
+//! decides what technique is most effective for a running workload under
+//! its certain circumstances by applying the utility function, and an
+//! **effector** that imposes the control on the workload."
+//!
+//! The loop here is an [`crate::api::ExecutionController`] (plus admission
+//! awareness through the shared snapshot), so it plugs into the
+//! [`crate::manager::WorkloadManager`] like any other technique — but
+//! instead of applying one fixed technique it *selects among them* each
+//! cycle, scoring candidate actions with a utility function over the
+//! goal-violation state.
+
+pub mod mape;
+
+pub use mape::{AutonomicController, GoalSpec, LoopDecision};

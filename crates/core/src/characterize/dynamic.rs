@@ -1,0 +1,246 @@
+//! Dynamic workload characterization: learning what kind of workload is
+//! present (Elnaffar, Martin & Horman, CIKM'02; Tran et al., SIGMOD'15).
+//!
+//! "The system learns the characteristics of sample workloads running on a
+//! database server, builds a workload classifier and uses the workload
+//! classifier to dynamically identify unknown arriving workloads." The
+//! classifier here is Gaussian naive Bayes over *system snapshot features*
+//! (mean request cost, write fraction, arrival rate, rows per request) —
+//! small, interpretable and exactly sufficient to separate OLTP from
+//! DSS/OLAP mixes.
+
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use serde::{Deserialize, Serialize};
+
+/// Features summarising a short observation window of arriving work.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SnapshotFeatures {
+    /// Mean estimated cost of requests in the window, log10 timerons.
+    pub log_mean_cost: f64,
+    /// Fraction of requests that write.
+    pub write_fraction: f64,
+    /// Arrivals per second.
+    pub arrival_rate: f64,
+    /// Mean estimated rows returned, log10.
+    pub log_mean_rows: f64,
+}
+
+impl SnapshotFeatures {
+    /// As a feature vector.
+    pub fn as_vec(&self) -> [f64; 4] {
+        [
+            self.log_mean_cost,
+            self.write_fraction,
+            self.arrival_rate,
+            self.log_mean_rows,
+        ]
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ClassModel {
+    label: String,
+    prior_log: f64,
+    means: Vec<f64>,
+    vars: Vec<f64>,
+}
+
+/// Gaussian naive Bayes over fixed-length feature vectors.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GaussianNb {
+    classes: Vec<ClassModel>,
+    dims: usize,
+}
+
+impl GaussianNb {
+    /// Fit from labeled samples. Panics if samples are empty or ragged.
+    pub fn fit(samples: &[(Vec<f64>, String)]) -> Self {
+        assert!(!samples.is_empty(), "need training data");
+        let dims = samples[0].0.len();
+        assert!(samples.iter().all(|(x, _)| x.len() == dims), "ragged data");
+        let mut labels: Vec<String> = samples.iter().map(|(_, l)| l.clone()).collect();
+        labels.sort();
+        labels.dedup();
+        let n_total = samples.len() as f64;
+        let classes = labels
+            .into_iter()
+            .map(|label| {
+                let rows: Vec<&Vec<f64>> = samples
+                    .iter()
+                    .filter(|(_, l)| *l == label)
+                    .map(|(x, _)| x)
+                    .collect();
+                let n = rows.len() as f64;
+                let means: Vec<f64> = (0..dims)
+                    .map(|d| rows.iter().map(|r| r[d]).sum::<f64>() / n)
+                    .collect();
+                let vars: Vec<f64> = (0..dims)
+                    .map(|d| {
+                        let v = rows.iter().map(|r| (r[d] - means[d]).powi(2)).sum::<f64>() / n;
+                        v.max(1e-6) // variance floor keeps likelihoods finite
+                    })
+                    .collect();
+                ClassModel {
+                    label,
+                    prior_log: (n / n_total).ln(),
+                    means,
+                    vars,
+                }
+            })
+            .collect();
+        GaussianNb { classes, dims }
+    }
+
+    /// Log-posterior (up to a constant) of each class for `x`.
+    pub fn log_posteriors(&self, x: &[f64]) -> Vec<(String, f64)> {
+        assert_eq!(x.len(), self.dims, "feature arity");
+        self.classes
+            .iter()
+            .map(|c| {
+                let ll: f64 = x
+                    .iter()
+                    .zip(c.means.iter().zip(&c.vars))
+                    .map(|(&xi, (&m, &v))| {
+                        -0.5 * ((xi - m).powi(2) / v + v.ln() + (2.0 * std::f64::consts::PI).ln())
+                    })
+                    .sum();
+                (c.label.clone(), c.prior_log + ll)
+            })
+            .collect()
+    }
+
+    /// Most likely class for `x`.
+    pub fn predict(&self, x: &[f64]) -> String {
+        self.log_posteriors(x)
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(l, _)| l)
+            .expect("fitted model has classes")
+    }
+}
+
+/// The workload-type classifier: naive Bayes over [`SnapshotFeatures`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadTypeClassifier {
+    model: GaussianNb,
+}
+
+impl WorkloadTypeClassifier {
+    /// Train from labeled snapshots.
+    pub fn train(samples: &[(SnapshotFeatures, String)]) -> Self {
+        let rows: Vec<(Vec<f64>, String)> = samples
+            .iter()
+            .map(|(f, l)| (f.as_vec().to_vec(), l.clone()))
+            .collect();
+        WorkloadTypeClassifier {
+            model: GaussianNb::fit(&rows),
+        }
+    }
+
+    /// Identify the workload type present in a snapshot.
+    pub fn identify(&self, snapshot: &SnapshotFeatures) -> String {
+        self.model.predict(&snapshot.as_vec())
+    }
+}
+
+impl Classified for WorkloadTypeClassifier {
+    fn taxonomy(&self) -> TaxonomyPath {
+        TaxonomyPath::new(
+            TechniqueClass::WorkloadCharacterization,
+            "Dynamic Characterization",
+        )
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "ML Workload Classifier"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn oltp_snapshot(rng: &mut SmallRng) -> SnapshotFeatures {
+        SnapshotFeatures {
+            log_mean_cost: 2.5 + rng.gen::<f64>(),
+            write_fraction: 0.6 + 0.3 * rng.gen::<f64>(),
+            arrival_rate: 50.0 + 100.0 * rng.gen::<f64>(),
+            log_mean_rows: 1.0 + rng.gen::<f64>(),
+        }
+    }
+
+    fn dss_snapshot(rng: &mut SmallRng) -> SnapshotFeatures {
+        SnapshotFeatures {
+            log_mean_cost: 6.0 + 1.5 * rng.gen::<f64>(),
+            write_fraction: 0.05 * rng.gen::<f64>(),
+            arrival_rate: 0.5 + 3.0 * rng.gen::<f64>(),
+            log_mean_rows: 2.5 + 2.0 * rng.gen::<f64>(),
+        }
+    }
+
+    #[test]
+    fn separates_oltp_from_dss() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut train = Vec::new();
+        for _ in 0..100 {
+            train.push((oltp_snapshot(&mut rng), "OLTP".to_string()));
+            train.push((dss_snapshot(&mut rng), "DSS".to_string()));
+        }
+        let clf = WorkloadTypeClassifier::train(&train);
+        let mut correct = 0;
+        let n = 200;
+        for _ in 0..n / 2 {
+            if clf.identify(&oltp_snapshot(&mut rng)) == "OLTP" {
+                correct += 1;
+            }
+            if clf.identify(&dss_snapshot(&mut rng)) == "DSS" {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / n as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn nb_handles_zero_variance_features() {
+        let samples = vec![
+            (vec![1.0, 5.0], "a".to_string()),
+            (vec![1.0, 5.1], "a".to_string()),
+            (vec![1.0, 9.0], "b".to_string()),
+            (vec![1.0, 9.2], "b".to_string()),
+        ];
+        let nb = GaussianNb::fit(&samples);
+        assert_eq!(nb.predict(&[1.0, 5.05]), "a");
+        assert_eq!(nb.predict(&[1.0, 9.1]), "b");
+    }
+
+    #[test]
+    fn priors_matter_for_ambiguous_points() {
+        // Class "common" has 9x the prior of "rare"; the midpoint between
+        // their means should go to "common".
+        let mut samples = Vec::new();
+        for i in 0..90 {
+            samples.push((vec![0.0 + (i % 3) as f64 * 0.01], "common".to_string()));
+        }
+        for i in 0..10 {
+            samples.push((vec![2.0 + (i % 3) as f64 * 0.01], "rare".to_string()));
+        }
+        let nb = GaussianNb::fit(&samples);
+        assert_eq!(nb.predict(&[1.0]), "common");
+    }
+
+    #[test]
+    #[should_panic(expected = "need training data")]
+    fn fit_rejects_empty() {
+        GaussianNb::fit(&[]);
+    }
+
+    #[test]
+    fn taxonomy_is_dynamic_characterization() {
+        let c = WorkloadTypeClassifier::default();
+        assert_eq!(c.taxonomy().subclass, "Dynamic Characterization");
+        assert!(c.taxonomy().is_valid());
+    }
+}

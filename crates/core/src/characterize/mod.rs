@@ -1,0 +1,24 @@
+//! Workload characterization (taxonomy class 1).
+//!
+//! *Static characterization* defines workloads before requests arrive and
+//! maps each arrival to a workload by its operational properties (origin,
+//! statement type, estimated cost/cardinality) or user-written criteria
+//! functions. *Dynamic characterization* learns to identify the type of a
+//! workload from what it observes at run time (Elnaffar et al.'s
+//! machine-learning classifier).
+
+pub mod dynamic;
+pub mod static_def;
+
+pub use dynamic::{GaussianNb, SnapshotFeatures, WorkloadTypeClassifier};
+pub use static_def::{Classification, Predicate, StaticCharacterizer, WorkloadDefinition};
+
+use crate::taxonomy::Classified;
+use wlm_dbsim::optimizer::CostEstimate;
+use wlm_workload::request::Request;
+
+/// Maps arriving requests to workloads.
+pub trait Characterizer: Classified {
+    /// Classify one arriving request.
+    fn classify(&mut self, request: &Request, estimate: &CostEstimate) -> Classification;
+}

@@ -1,0 +1,291 @@
+//! Static workload characterization: workload definitions.
+//!
+//! The approach every commercial facility uses (DB2 workloads + work
+//! classes, SQL Server workload groups + classifier functions, Teradata
+//! classification criteria): workloads are defined *before* requests
+//! arrive, each with a predicate over the request's operational properties
+//! — its origin ("who"), its statement type and estimates ("what") — and
+//! arriving requests are mapped to the first matching definition.
+
+use super::Characterizer;
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use serde::{Deserialize, Serialize};
+use wlm_dbsim::optimizer::CostEstimate;
+use wlm_dbsim::plan::StatementType;
+use wlm_workload::request::{Importance, Request};
+
+/// Result of classifying one request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Classification {
+    /// The workload (service class) the request was mapped to.
+    pub workload: String,
+    /// Effective importance (definition override or the request's own).
+    pub importance: Importance,
+}
+
+/// A predicate over request attributes — the classification criteria of the
+/// commercial facilities ("who", "what") in composable form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Application name equals.
+    ApplicationIs(String),
+    /// User name equals.
+    UserIs(String),
+    /// Client IP equals.
+    ClientIpIs([u8; 4]),
+    /// Statement type equals.
+    StatementIs(StatementType),
+    /// Estimated cost at least this many timerons (DB2's predictive work
+    /// classes: "all large queries with an estimated cost over ...").
+    EstCostAtLeast(f64),
+    /// Estimated cost strictly below.
+    EstCostBelow(f64),
+    /// Estimated returned rows at least.
+    EstRowsAtLeast(u64),
+    /// Request importance at least.
+    ImportanceAtLeast(Importance),
+    /// Conjunction.
+    All(Vec<Predicate>),
+    /// Disjunction.
+    Any(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Always true (catch-all definitions).
+    True,
+}
+
+impl Predicate {
+    /// Evaluate against a request and its estimate.
+    pub fn matches(&self, req: &Request, est: &CostEstimate) -> bool {
+        match self {
+            Predicate::ApplicationIs(a) => req.origin.application == *a,
+            Predicate::UserIs(u) => req.origin.user == *u,
+            Predicate::ClientIpIs(ip) => req.origin.client_ip == *ip,
+            Predicate::StatementIs(s) => req.spec.statement == *s,
+            Predicate::EstCostAtLeast(c) => est.timerons >= *c,
+            Predicate::EstCostBelow(c) => est.timerons < *c,
+            Predicate::EstRowsAtLeast(r) => est.rows >= *r,
+            Predicate::ImportanceAtLeast(i) => req.importance >= *i,
+            Predicate::All(ps) => ps.iter().all(|p| p.matches(req, est)),
+            Predicate::Any(ps) => ps.iter().any(|p| p.matches(req, est)),
+            Predicate::Not(p) => !p.matches(req, est),
+            Predicate::True => true,
+        }
+    }
+}
+
+/// One workload definition: a name, a predicate and an optional importance
+/// override.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadDefinition {
+    /// Workload name.
+    pub name: String,
+    /// Matching criteria.
+    pub predicate: Predicate,
+    /// Importance assigned to matching requests (None keeps the request's
+    /// own level).
+    pub importance: Option<Importance>,
+}
+
+impl WorkloadDefinition {
+    /// New definition.
+    pub fn new(name: &str, predicate: Predicate) -> Self {
+        WorkloadDefinition {
+            name: name.into(),
+            predicate,
+            importance: None,
+        }
+    }
+
+    /// Override the importance of matching requests.
+    pub fn with_importance(mut self, importance: Importance) -> Self {
+        self.importance = Some(importance);
+        self
+    }
+}
+
+/// User-written classifier logic (SQL Server's classification functions):
+/// returns a workload-group name, or `None` to fall through to the
+/// definitions.
+pub type CriteriaFn = Box<dyn Fn(&Request, &CostEstimate) -> Option<String> + Send>;
+
+/// The static characterizer: ordered definitions with first-match-wins
+/// semantics, optional criteria functions evaluated first, and a default
+/// workload for everything unmatched.
+pub struct StaticCharacterizer {
+    definitions: Vec<WorkloadDefinition>,
+    criteria_fns: Vec<CriteriaFn>,
+    default_workload: String,
+}
+
+impl std::fmt::Debug for StaticCharacterizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticCharacterizer")
+            .field("definitions", &self.definitions)
+            .field("criteria_fns", &self.criteria_fns.len())
+            .field("default_workload", &self.default_workload)
+            .finish()
+    }
+}
+
+impl StaticCharacterizer {
+    /// New characterizer with the given definitions.
+    pub fn new(definitions: Vec<WorkloadDefinition>) -> Self {
+        StaticCharacterizer {
+            definitions,
+            criteria_fns: Vec::new(),
+            default_workload: "default".into(),
+        }
+    }
+
+    /// Set the fall-through workload name (SQL Server's *default group*).
+    pub fn with_default(mut self, name: &str) -> Self {
+        self.default_workload = name.into();
+        self
+    }
+
+    /// Register a classification function, evaluated before the
+    /// definitions. A function that fails (returns a nonexistent behaviour)
+    /// simply falls through, as Resource Governor classifies failed
+    /// requests into the default group.
+    pub fn with_criteria_fn(mut self, f: CriteriaFn) -> Self {
+        self.criteria_fns.push(f);
+        self
+    }
+
+    /// The defined workload names (plus the default).
+    pub fn workload_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.definitions.iter().map(|d| d.name.clone()).collect();
+        names.push(self.default_workload.clone());
+        names
+    }
+}
+
+impl Classified for StaticCharacterizer {
+    fn taxonomy(&self) -> TaxonomyPath {
+        TaxonomyPath::new(
+            TechniqueClass::WorkloadCharacterization,
+            "Static Characterization",
+        )
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "Workload Definition"
+    }
+}
+
+impl Characterizer for StaticCharacterizer {
+    fn classify(&mut self, request: &Request, estimate: &CostEstimate) -> Classification {
+        for f in &self.criteria_fns {
+            if let Some(group) = f(request, estimate) {
+                return Classification {
+                    workload: group,
+                    importance: request.importance,
+                };
+            }
+        }
+        for def in &self.definitions {
+            if def.predicate.matches(request, estimate) {
+                return Classification {
+                    workload: def.name.clone(),
+                    importance: def.importance.unwrap_or(request.importance),
+                };
+            }
+        }
+        Classification {
+            workload: self.default_workload.clone(),
+            importance: request.importance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlm_dbsim::optimizer::CostModel;
+    use wlm_dbsim::plan::PlanBuilder;
+    use wlm_dbsim::time::SimTime;
+    use wlm_workload::request::{Origin, RequestId};
+
+    fn request(app: &str, rows: u64) -> (Request, CostEstimate) {
+        let spec = PlanBuilder::table_scan(rows).build().into_spec();
+        let est = CostModel::oracle().estimate_spec(&spec);
+        (
+            Request {
+                id: RequestId(1),
+                arrival: SimTime::ZERO,
+                origin: Origin::new(app, "u", 1),
+                spec,
+                importance: Importance::Medium,
+            },
+            est,
+        )
+    }
+
+    #[test]
+    fn first_match_wins_with_default_fallthrough() {
+        let mut c = StaticCharacterizer::new(vec![
+            WorkloadDefinition::new("pos", Predicate::ApplicationIs("pos_terminal".into()))
+                .with_importance(Importance::Critical),
+            WorkloadDefinition::new("big", Predicate::EstCostAtLeast(1e6)),
+        ])
+        .with_default("other");
+
+        let (req, est) = request("pos_terminal", 100);
+        let cls = c.classify(&req, &est);
+        assert_eq!(cls.workload, "pos");
+        assert_eq!(cls.importance, Importance::Critical, "override applies");
+
+        let (req, est) = request("sql_console", 50_000_000);
+        assert_eq!(c.classify(&req, &est).workload, "big");
+
+        let (req, est) = request("sql_console", 10);
+        let cls = c.classify(&req, &est);
+        assert_eq!(cls.workload, "other");
+        assert_eq!(cls.importance, Importance::Medium, "no override");
+    }
+
+    #[test]
+    fn criteria_functions_take_precedence() {
+        let mut c =
+            StaticCharacterizer::new(vec![WorkloadDefinition::new("everything", Predicate::True)])
+                .with_criteria_fn(Box::new(|req, _| {
+                    (req.origin.user == "ceo").then(|| "vip".to_string())
+                }));
+        let (mut req, est) = request("app", 100);
+        req.origin.user = "ceo".into();
+        assert_eq!(c.classify(&req, &est).workload, "vip");
+        req.origin.user = "pleb".into();
+        assert_eq!(c.classify(&req, &est).workload, "everything");
+    }
+
+    #[test]
+    fn predicate_combinators() {
+        let (req, est) = request("app", 1_000_000);
+        let p = Predicate::All(vec![
+            Predicate::ApplicationIs("app".into()),
+            Predicate::Not(Box::new(Predicate::EstCostBelow(10.0))),
+        ]);
+        assert!(p.matches(&req, &est));
+        let q = Predicate::Any(vec![
+            Predicate::UserIs("nobody".into()),
+            Predicate::EstRowsAtLeast(1),
+        ]);
+        assert!(q.matches(&req, &est));
+        assert!(Predicate::StatementIs(StatementType::Read).matches(&req, &est));
+        assert!(!Predicate::ImportanceAtLeast(Importance::High).matches(&req, &est));
+    }
+
+    #[test]
+    fn workload_names_include_default() {
+        let c = StaticCharacterizer::new(vec![WorkloadDefinition::new("a", Predicate::True)]);
+        assert_eq!(c.workload_names(), vec!["a".to_string(), "default".into()]);
+    }
+
+    #[test]
+    fn classified_as_static_characterization() {
+        let c = StaticCharacterizer::new(vec![]);
+        assert!(c.taxonomy().is_valid());
+        assert_eq!(c.taxonomy().subclass, "Static Characterization");
+    }
+}

@@ -1,0 +1,136 @@
+//! The live workload dashboard (monitoring surface).
+//!
+//! The paper treats *monitoring* as its own facility component: DB2 exposes
+//! real-time operational data through table functions and event monitors,
+//! SQL Server through performance counters and dynamic management views,
+//! and Teradata's *dashboard workload monitor* shows "CPU usage per
+//! workload, number of active sessions per workload, request arrival rate,
+//! the number of complete requests per workload, response time of requests
+//! in a workload, the number of requests that violate SLGs, and the number
+//! of requests currently on the delay queue per workload". This module is
+//! that view over a running [`crate::manager::WorkloadManager`].
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use wlm_dbsim::time::SimTime;
+
+/// Live per-workload statistics, one row of the dashboard.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct WorkloadRow {
+    /// Workload name.
+    pub workload: String,
+    /// Queries of this workload in the engine now.
+    pub active: usize,
+    /// Requests of this workload in the wait queue now.
+    pub queued: usize,
+    /// Share of currently running estimated cost held by this workload,
+    /// `[0, 1]` (the dashboard's "CPU usage per workload" proxy).
+    pub running_cost_share: f64,
+    /// Requests completed so far.
+    pub completed: u64,
+    /// Recent mean response time, seconds (`None` before any completion).
+    pub recent_response_secs: Option<f64>,
+    /// Requests that violated the workload's response goal so far (counted
+    /// against the SLA's tightest response-time objective, if any).
+    pub goal_violations: u64,
+    /// Rejected + killed so far.
+    pub shed: u64,
+}
+
+/// A point-in-time dashboard snapshot.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct Dashboard {
+    /// When the snapshot was taken.
+    pub at: SimTime,
+    /// Engine MPL.
+    pub running: usize,
+    /// Total waiting (wait queue + admission-deferred).
+    pub waiting: usize,
+    /// Suspended queries awaiting resumption.
+    pub suspended: usize,
+    /// Recent CPU utilization, `[0, 1]`.
+    pub cpu_utilization: f64,
+    /// Recent disk utilization, `[0, 1]`.
+    pub io_utilization: f64,
+    /// Lock-manager conflict ratio.
+    pub conflict_ratio: f64,
+    /// One row per workload, keyed by name.
+    pub workloads: BTreeMap<String, WorkloadRow>,
+}
+
+impl Dashboard {
+    /// Render as a fixed-width text panel.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "dashboard @ {} | running {} | waiting {} | suspended {} | cpu {:.0}% | io {:.0}% | conflict {:.2}",
+            self.at,
+            self.running,
+            self.waiting,
+            self.suspended,
+            self.cpu_utilization * 100.0,
+            self.io_utilization * 100.0,
+            self.conflict_ratio,
+        );
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>6} {:>10} {:>9} {:>12} {:>10} {:>5}",
+            "WORKLOAD",
+            "ACTIVE",
+            "QUEUED",
+            "COST-SHARE",
+            "COMPLETED",
+            "RECENT-RESP",
+            "VIOLATIONS",
+            "SHED"
+        );
+        for row in self.workloads.values() {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>6} {:>6} {:>9.0}% {:>9} {:>11} {:>10} {:>5}",
+                row.workload,
+                row.active,
+                row.queued,
+                row.running_cost_share * 100.0,
+                row.completed,
+                row.recent_response_secs
+                    .map_or("-".to_string(), |r| format!("{r:.3}s")),
+                row.goal_violations,
+                row.shed,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_rows_and_headline() {
+        let mut d = Dashboard {
+            at: SimTime(5_000_000),
+            running: 7,
+            waiting: 3,
+            ..Default::default()
+        };
+        d.workloads.insert(
+            "oltp".into(),
+            WorkloadRow {
+                workload: "oltp".into(),
+                active: 5,
+                completed: 100,
+                recent_response_secs: Some(0.02),
+                ..Default::default()
+            },
+        );
+        let s = d.render();
+        assert!(s.contains("running 7"));
+        assert!(s.contains("oltp"));
+        assert!(s.contains("0.020s"));
+        assert!(s.contains("WORKLOAD"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Query cancellation: kill and kill-and-resubmit.
+//!
+//! "Query cancellation is widely used in workload management facilities of
+//! commercial databases to kill the process of a running query. When a
+//! running query is terminated, the shared system resources used by the
+//! query are immediately released... The terminated query may be
+//! re-submitted to the system for later execution based on a query
+//! execution control policy."
+
+use crate::api::{ControlAction, ExecutionController, RunningQuery, SystemSnapshot};
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use wlm_workload::request::Importance;
+
+/// Threshold-triggered cancellation of long-running, low-importance work.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdKiller {
+    /// Kill once elapsed time exceeds this, seconds.
+    pub max_elapsed_secs: f64,
+    /// Also kill once performed work exceeds this, µs-equivalent.
+    pub max_work_us: Option<u64>,
+    /// Only queries below this importance are eligible victims.
+    pub protect_at_or_above: Importance,
+    /// Resubmit victims to the wait queue.
+    pub resubmit: bool,
+    /// Give up resubmitting after this many restarts (let it run).
+    pub max_restarts: u32,
+}
+
+impl ThresholdKiller {
+    /// Kill (no resubmit) after `max_elapsed_secs`.
+    pub fn new(max_elapsed_secs: f64) -> Self {
+        ThresholdKiller {
+            max_elapsed_secs,
+            max_work_us: None,
+            protect_at_or_above: Importance::High,
+            resubmit: false,
+            max_restarts: 0,
+        }
+    }
+
+    /// Kill-and-resubmit variant.
+    pub fn with_resubmit(mut self, max_restarts: u32) -> Self {
+        self.resubmit = true;
+        self.max_restarts = max_restarts;
+        self
+    }
+}
+
+impl Classified for ThresholdKiller {
+    fn taxonomy(&self) -> TaxonomyPath {
+        TaxonomyPath::new(TechniqueClass::ExecutionControl, "Query Cancellation")
+    }
+
+    fn technique_name(&self) -> &'static str {
+        if self.resubmit {
+            "Query Kill-and-Resubmit"
+        } else {
+            "Query Kill"
+        }
+    }
+}
+
+impl ExecutionController for ThresholdKiller {
+    fn control(&mut self, running: &[RunningQuery], _snap: &SystemSnapshot) -> Vec<ControlAction> {
+        let mut actions = Vec::new();
+        for q in running {
+            if q.request.importance >= self.protect_at_or_above {
+                continue;
+            }
+            let elapsed_violation = q.progress.elapsed.as_secs_f64() > self.max_elapsed_secs;
+            let work_violation = self
+                .max_work_us
+                .is_some_and(|w| q.progress.work_done_us > w);
+            if elapsed_violation || work_violation {
+                let resubmit = self.resubmit && q.restarts < self.max_restarts;
+                actions.push(ControlAction::Kill { id: q.id, resubmit });
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{running, snapshot};
+    use wlm_workload::request::Importance;
+
+    #[test]
+    fn kills_overdue_low_priority_only() {
+        let mut killer = ThresholdKiller::new(10.0);
+        let victims = vec![
+            running(1, "adhoc", Importance::Low, 60.0, 0.3),
+            running(2, "oltp", Importance::High, 60.0, 0.3),
+            running(3, "adhoc", Importance::Low, 2.0, 0.1),
+        ];
+        let actions = killer.control(&victims, &snapshot(3, 0));
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            ControlAction::Kill { id, resubmit: false } if id.0 == 1
+        ));
+    }
+
+    #[test]
+    fn work_threshold_triggers_too() {
+        let mut killer = ThresholdKiller::new(1e9);
+        killer.max_work_us = Some(10_000);
+        let q = running(1, "adhoc", Importance::Low, 1.0, 0.9);
+        let actions = killer.control(&[q], &snapshot(1, 0));
+        assert_eq!(actions.len(), 1);
+    }
+
+    #[test]
+    fn resubmit_until_restart_budget_spent() {
+        let mut killer = ThresholdKiller::new(10.0).with_resubmit(2);
+        let mut q = running(1, "adhoc", Importance::Low, 60.0, 0.3);
+        let a = killer.control(&[q.clone()], &snapshot(1, 0));
+        assert!(matches!(a[0], ControlAction::Kill { resubmit: true, .. }));
+        q.restarts = 2;
+        let a = killer.control(&[q], &snapshot(1, 0));
+        assert!(
+            matches!(
+                a[0],
+                ControlAction::Kill {
+                    resubmit: false,
+                    ..
+                }
+            ),
+            "restart budget exhausted: plain kill"
+        );
+    }
+}

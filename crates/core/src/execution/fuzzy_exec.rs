@@ -1,0 +1,198 @@
+//! Fuzzy-logic workload execution control (Krompass, Kuno, Dayal & Kemper,
+//! VLDB'07 — "Juggling Feathers and Bowling Balls").
+//!
+//! A rule-based fuzzy controller inspects each running query's *progress*,
+//! *resource consumption* and *priority* — quantities that are imprecise by
+//! nature in a warehouse — and selects among the control actions
+//! *reprioritize*, *kill* and *kill-and-resubmit*. "With the reprioritize
+//! action a query is re-prioritized and its resources are redistributed
+//! immediately... The kill action kills a running query and immediately
+//! frees the resources... The kill-and-resubmit action kills a running
+//! query and the query is queued again for subsequent execution."
+
+use crate::api::{ControlAction, ExecutionController, RunningQuery, SystemSnapshot};
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use wlm_control::fuzzy::{FuzzyController, FuzzyRule, FuzzyVariable};
+use wlm_workload::request::Importance;
+
+/// The fuzzy execution controller.
+#[derive(Debug, Clone)]
+pub struct FuzzyExecController {
+    controller: FuzzyController,
+    /// Controller only engages when the system is at least this loaded
+    /// (CPU or I/O utilization).
+    pub engage_utilization: f64,
+    /// Weight multiplier applied by a reprioritize action.
+    pub demotion_factor: f64,
+    /// Restart budget for kill-and-resubmit.
+    pub max_restarts: u32,
+}
+
+impl Default for FuzzyExecController {
+    fn default() -> Self {
+        // Variables: 0 progress [0,1], 1 relative resource consumption
+        // [0,1], 2 priority [0,1].
+        let vars = vec![
+            FuzzyVariable::low_medium_high("progress", 0.0, 1.0),
+            FuzzyVariable::low_medium_high("resource_use", 0.0, 1.0),
+            FuzzyVariable::low_medium_high("priority", 0.0, 1.0),
+        ];
+        // The Krompass policy: hogs making no progress die (resubmit if they
+        // deserve another chance), hogs near completion are merely starved
+        // of resources, priority shields from everything, and light queries
+        // are left alone.
+        let rules = vec![
+            FuzzyRule::when(&[(0, "low"), (1, "high"), (2, "low")], "kill_resubmit"),
+            FuzzyRule::when(&[(0, "low"), (1, "high"), (2, "medium")], "reprioritize"),
+            FuzzyRule::when(&[(0, "medium"), (1, "high"), (2, "low")], "reprioritize"),
+            FuzzyRule::when(&[(0, "high"), (1, "high")], "none").weighted(0.8),
+            FuzzyRule::when(&[(1, "low")], "none"),
+            FuzzyRule::when(&[(1, "medium")], "none").weighted(0.6),
+            FuzzyRule::when(&[(2, "high")], "none"),
+        ];
+        FuzzyExecController {
+            controller: FuzzyController::new(vars, rules),
+            engage_utilization: 0.85,
+            demotion_factor: 0.2,
+            max_restarts: 1,
+        }
+    }
+}
+
+impl FuzzyExecController {
+    fn priority_scale(importance: Importance) -> f64 {
+        match importance {
+            Importance::Low => 0.1,
+            Importance::Medium => 0.5,
+            Importance::High => 0.9,
+            Importance::Critical => 1.0,
+        }
+    }
+}
+
+impl Classified for FuzzyExecController {
+    fn taxonomy(&self) -> TaxonomyPath {
+        // Its decisive actions are cancellations; reprioritisation is its
+        // milder arm and is registered by the reprioritize module.
+        TaxonomyPath::new(TechniqueClass::ExecutionControl, "Query Cancellation")
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "Fuzzy Execution Controller"
+    }
+}
+
+impl ExecutionController for FuzzyExecController {
+    fn control(&mut self, running: &[RunningQuery], snap: &SystemSnapshot) -> Vec<ControlAction> {
+        if snap.cpu_utilization.max(snap.io_utilization) < self.engage_utilization {
+            return Vec::new();
+        }
+        let total_weight: f64 = running.iter().map(|q| q.weight).sum();
+        let mut actions = Vec::new();
+        for q in running {
+            // Resource consumption relative to the running set: weight share
+            // scaled by how much work the query has actually absorbed.
+            let share = if total_weight > 0.0 {
+                q.weight / total_weight
+            } else {
+                0.0
+            };
+            let size_factor = (q.progress.work_total_us as f64 / 1e7).clamp(0.0, 1.0); // ≥10s of work = 1.0
+            let inputs = [
+                q.progress.fraction,
+                (share * running.len() as f64).clamp(0.0, 1.0) * size_factor,
+                Self::priority_scale(q.request.importance),
+            ];
+            let Some((action, _activation)) = self.controller.best_action(&inputs) else {
+                continue;
+            };
+            match action.as_str() {
+                "kill" => actions.push(ControlAction::Kill {
+                    id: q.id,
+                    resubmit: false,
+                }),
+                "kill_resubmit" => actions.push(ControlAction::Kill {
+                    id: q.id,
+                    resubmit: q.restarts < self.max_restarts,
+                }),
+                "reprioritize" => {
+                    let w = (q.weight * self.demotion_factor).max(0.05);
+                    if w < q.weight {
+                        actions.push(ControlAction::SetWeight(q.id, w));
+                    }
+                }
+                _ => {}
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{running, snapshot};
+
+    fn busy_snap(running: usize) -> crate::api::SystemSnapshot {
+        let mut s = snapshot(running, 0);
+        s.cpu_utilization = 0.97;
+        s
+    }
+
+    #[test]
+    fn disengaged_when_system_is_calm() {
+        let mut c = FuzzyExecController::default();
+        let hog = running(1, "adhoc", Importance::Low, 100.0, 0.05);
+        assert!(c.control(&[hog], &snapshot(1, 0)).is_empty());
+    }
+
+    #[test]
+    fn no_progress_hog_is_killed_with_resubmit() {
+        let mut c = FuzzyExecController::default();
+        let mut hog = running(1, "adhoc", Importance::Low, 100.0, 0.05);
+        hog.weight = 10.0;
+        hog.progress.work_total_us = 100_000_000; // a bowling ball
+        let actions = c.control(&[hog], &busy_snap(1));
+        assert!(
+            matches!(
+                actions.first(),
+                Some(ControlAction::Kill { resubmit: true, .. })
+            ),
+            "got {actions:?}"
+        );
+    }
+
+    #[test]
+    fn nearly_done_hog_is_not_killed() {
+        let mut c = FuzzyExecController::default();
+        let mut hog = running(1, "adhoc", Importance::Low, 100.0, 0.95);
+        hog.weight = 10.0;
+        hog.progress.work_total_us = 100_000_000;
+        let actions = c.control(&[hog], &busy_snap(1));
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a, ControlAction::Kill { .. })),
+            "got {actions:?}"
+        );
+    }
+
+    #[test]
+    fn high_priority_is_shielded() {
+        let mut c = FuzzyExecController::default();
+        let mut vip = running(1, "oltp", Importance::Critical, 100.0, 0.05);
+        vip.weight = 10.0;
+        vip.progress.work_total_us = 100_000_000;
+        let actions = c.control(&[vip], &busy_snap(1));
+        assert!(actions.is_empty(), "got {actions:?}");
+    }
+
+    #[test]
+    fn light_queries_are_left_alone() {
+        let mut c = FuzzyExecController::default();
+        let mut feather = running(1, "oltp_like", Importance::Low, 0.5, 0.3);
+        feather.progress.work_total_us = 10_000; // tiny
+        let actions = c.control(&[feather], &busy_snap(1));
+        assert!(actions.is_empty(), "got {actions:?}");
+    }
+}

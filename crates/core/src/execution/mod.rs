@@ -1,0 +1,34 @@
+//! Execution control (taxonomy class 4).
+//!
+//! "Execution control aims to lessen the impact of executing work on other
+//! requests that are running concurrently." Three subclasses, as in
+//! Figure 1:
+//!
+//! * **Query reprioritization** — [`reprioritize`]: priority aging on
+//!   threshold violation, and policy-driven resource reallocation via the
+//!   economic market;
+//! * **Query cancellation** — [`cancel`]: kill and kill-and-resubmit;
+//! * **Request suspension** — [`throttle`] (request throttling: the
+//!   self-imposed-sleep utility and query throttlers of Parekh and Powley)
+//!   and [`suspend`] (query suspend-and-resume with DumpState/GoBack
+//!   strategies and the optimal suspend plan of Chandramouli et al.).
+//!
+//! [`fuzzy_exec`] is Krompass et al.'s fuzzy-logic controller that picks
+//! among reprioritize/kill/kill-and-resubmit; [`progress`] houses the
+//! progress-indicator-guided controls that replace manual time thresholds.
+
+pub mod cancel;
+pub mod fuzzy_exec;
+pub mod policy_enforcer;
+pub mod progress;
+pub mod reprioritize;
+pub mod suspend;
+pub mod throttle;
+
+pub use cancel::ThresholdKiller;
+pub use fuzzy_exec::FuzzyExecController;
+pub use policy_enforcer::PolicyEnforcer;
+pub use progress::ProgressGuidedKiller;
+pub use reprioritize::{EconomicReallocator, PriorityAging};
+pub use suspend::{optimal_suspend_plan, LoadShedSuspender, SuspendCosts};
+pub use throttle::{QueryThrottler, ThrottleMethod, UtilityThrottler};

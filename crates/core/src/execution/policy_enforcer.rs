@@ -1,0 +1,241 @@
+//! Declarative execution-policy enforcement.
+//!
+//! [`crate::policy::ExecutionPolicy`] expresses per-workload run-time rules
+//! as data ("kill after 600 s", "demote at 3× work overrun", "suspend on
+//! violation"); this controller interprets them. It is the generic form of
+//! the DB2 threshold actions and Teradata exception handling: one
+//! configured object instead of hand-wired controllers per workload.
+
+use crate::api::{ControlAction, ExecutionController, RunningQuery, SystemSnapshot};
+use crate::policy::{ExecutionPolicy, ExecutionViolationAction, WorkloadPolicy};
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use std::collections::BTreeMap;
+use wlm_dbsim::engine::QueryId;
+use wlm_dbsim::suspend::SuspendStrategy;
+
+/// Applies each workload's [`ExecutionPolicy`] to its running queries.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyEnforcer {
+    policies: BTreeMap<String, ExecutionPolicy>,
+    /// Violations recorded for `CollectOnly` policies:
+    /// `(workload, violations)`.
+    collected: BTreeMap<String, u64>,
+    /// Queries already acted upon (so Demote/Throttle fire once per query).
+    acted: BTreeMap<QueryId, ()>,
+}
+
+impl PolicyEnforcer {
+    /// Build from workload policies (ignores workloads with no execution
+    /// rules).
+    pub fn from_policies(policies: &[WorkloadPolicy]) -> Self {
+        PolicyEnforcer {
+            policies: policies
+                .iter()
+                .filter(|p| {
+                    p.execution.max_elapsed_secs.is_some()
+                        || p.execution.max_work_overrun_factor.is_some()
+                })
+                .map(|p| (p.workload.clone(), p.execution.clone()))
+                .collect(),
+            collected: BTreeMap::new(),
+            acted: BTreeMap::new(),
+        }
+    }
+
+    /// Add or replace one workload's execution policy.
+    pub fn set_policy(&mut self, workload: &str, policy: ExecutionPolicy) {
+        self.policies.insert(workload.into(), policy);
+    }
+
+    /// Violations recorded for `CollectOnly` workloads.
+    pub fn collected_violations(&self, workload: &str) -> u64 {
+        self.collected.get(workload).copied().unwrap_or(0)
+    }
+
+    fn violates(policy: &ExecutionPolicy, q: &RunningQuery) -> bool {
+        let elapsed = policy
+            .max_elapsed_secs
+            .is_some_and(|limit| q.progress.elapsed.as_secs_f64() > limit);
+        let overrun = policy.max_work_overrun_factor.is_some_and(|factor| {
+            q.progress.work_done_us as f64 > q.request.estimate.timerons * factor
+        });
+        elapsed || overrun
+    }
+}
+
+impl Classified for PolicyEnforcer {
+    fn taxonomy(&self) -> TaxonomyPath {
+        // Its action set spans the execution-control class; cancellation is
+        // the decisive arm.
+        TaxonomyPath::new(TechniqueClass::ExecutionControl, "Query Cancellation")
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "Execution Policy Enforcement"
+    }
+}
+
+impl ExecutionController for PolicyEnforcer {
+    fn control(&mut self, running: &[RunningQuery], _snap: &SystemSnapshot) -> Vec<ControlAction> {
+        let mut actions = Vec::new();
+        let live: std::collections::BTreeSet<QueryId> = running.iter().map(|q| q.id).collect();
+        self.acted.retain(|id, _| live.contains(id));
+        for q in running {
+            let Some(policy) = self.policies.get(&q.request.workload) else {
+                continue;
+            };
+            if !Self::violates(policy, q) {
+                continue;
+            }
+            match policy.on_violation {
+                ExecutionViolationAction::CollectOnly => {
+                    // Recorded once per query.
+                    if self.acted.insert(q.id, ()).is_none() {
+                        *self
+                            .collected
+                            .entry(q.request.workload.clone())
+                            .or_insert(0) += 1;
+                    }
+                }
+                ExecutionViolationAction::Demote => {
+                    if self.acted.insert(q.id, ()).is_none() {
+                        actions.push(ControlAction::SetWeight(q.id, (q.weight * 0.2).max(0.05)));
+                    }
+                }
+                ExecutionViolationAction::Kill => {
+                    actions.push(ControlAction::Kill {
+                        id: q.id,
+                        resubmit: false,
+                    });
+                }
+                ExecutionViolationAction::KillAndResubmit => {
+                    actions.push(ControlAction::Kill {
+                        id: q.id,
+                        resubmit: q.restarts < policy.max_restarts,
+                    });
+                }
+                ExecutionViolationAction::Suspend => {
+                    if q.progress.fraction < 0.9 {
+                        actions.push(ControlAction::Suspend(q.id, SuspendStrategy::DumpState));
+                    }
+                }
+                ExecutionViolationAction::Throttle(fraction) => {
+                    if (q.throttle - fraction).abs() > 0.01 {
+                        actions.push(ControlAction::Throttle(q.id, fraction));
+                    }
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{running, snapshot};
+    use wlm_workload::request::Importance;
+
+    fn policy(action: ExecutionViolationAction) -> ExecutionPolicy {
+        ExecutionPolicy {
+            max_elapsed_secs: Some(10.0),
+            max_work_overrun_factor: None,
+            on_violation: action,
+            max_restarts: 1,
+        }
+    }
+
+    fn overdue(id: u64) -> RunningQuery {
+        running(id, "bi", Importance::Low, 60.0, 0.3)
+    }
+
+    #[test]
+    fn kill_and_resubmit_honours_restart_budget() {
+        let mut e = PolicyEnforcer::default();
+        e.set_policy("bi", policy(ExecutionViolationAction::KillAndResubmit));
+        let fresh = overdue(1);
+        let a = e.control(std::slice::from_ref(&fresh), &snapshot(1, 0));
+        assert!(matches!(a[0], ControlAction::Kill { resubmit: true, .. }));
+        let mut spent = overdue(2);
+        spent.restarts = 1;
+        let a = e.control(&[spent], &snapshot(1, 0));
+        assert!(matches!(
+            a[0],
+            ControlAction::Kill {
+                resubmit: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn demote_fires_once_per_query() {
+        let mut e = PolicyEnforcer::default();
+        e.set_policy("bi", policy(ExecutionViolationAction::Demote));
+        let q = overdue(1);
+        assert_eq!(
+            e.control(std::slice::from_ref(&q), &snapshot(1, 0)).len(),
+            1
+        );
+        assert!(e
+            .control(std::slice::from_ref(&q), &snapshot(1, 0))
+            .is_empty());
+    }
+
+    #[test]
+    fn collect_only_counts_without_acting() {
+        let mut e = PolicyEnforcer::default();
+        e.set_policy("bi", policy(ExecutionViolationAction::CollectOnly));
+        let q = overdue(1);
+        assert!(e
+            .control(std::slice::from_ref(&q), &snapshot(1, 0))
+            .is_empty());
+        e.control(std::slice::from_ref(&q), &snapshot(1, 0));
+        assert_eq!(e.collected_violations("bi"), 1, "counted exactly once");
+    }
+
+    #[test]
+    fn throttle_and_suspend_actions() {
+        let mut e = PolicyEnforcer::default();
+        e.set_policy("bi", policy(ExecutionViolationAction::Throttle(0.7)));
+        let q = overdue(1);
+        let a = e.control(std::slice::from_ref(&q), &snapshot(1, 0));
+        assert!(matches!(a[0], ControlAction::Throttle(_, f) if (f - 0.7).abs() < 1e-9));
+
+        let mut e = PolicyEnforcer::default();
+        e.set_policy("bi", policy(ExecutionViolationAction::Suspend));
+        let a = e.control(&[overdue(2)], &snapshot(1, 0));
+        assert!(matches!(a[0], ControlAction::Suspend(..)));
+        // Nearly-done queries are never suspended.
+        let nearly = running(3, "bi", Importance::Low, 60.0, 0.95);
+        assert!(e.control(&[nearly], &snapshot(1, 0)).is_empty());
+    }
+
+    #[test]
+    fn work_overrun_trigger() {
+        let mut e = PolicyEnforcer::default();
+        e.set_policy(
+            "bi",
+            ExecutionPolicy {
+                max_elapsed_secs: None,
+                max_work_overrun_factor: Some(2.0),
+                on_violation: ExecutionViolationAction::Kill,
+                ..Default::default()
+            },
+        );
+        let mut q = running(1, "bi", Importance::Low, 1.0, 0.5);
+        // The optimizer thought this was tiny; it has done 10x the estimate.
+        q.request.estimate.timerons = q.progress.work_done_us as f64 / 10.0;
+        let a = e.control(&[q], &snapshot(1, 0));
+        assert!(matches!(a[0], ControlAction::Kill { .. }));
+    }
+
+    #[test]
+    fn from_policies_filters_inert_entries() {
+        let p1 = WorkloadPolicy::new("a", Importance::Low)
+            .with_execution(policy(ExecutionViolationAction::Kill));
+        let p2 = WorkloadPolicy::new("b", Importance::Low); // no rules
+        let e = PolicyEnforcer::from_policies(&[p1, p2]);
+        assert_eq!(e.policies.len(), 1);
+    }
+}

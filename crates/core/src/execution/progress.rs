@@ -1,0 +1,140 @@
+//! Progress-indicator-guided execution control.
+//!
+//! "The difference between the use of query execution time thresholds and
+//! query progress indicators is that thresholds have to be manually set,
+//! whereas query progress indicators do not need human intervention" — and,
+//! as the paper's open-problems section warns, a time threshold kills a
+//! query that merely *waited* a long time even when it "was not a big
+//! consumer of the resources", so killing it frees almost nothing. The
+//! progress-guided controller uses the engine's per-operator work model (a
+//! GSLPI-style indicator) and kills only queries whose *remaining work* is
+//! genuinely large — the queries whose termination actually releases
+//! resources.
+
+use crate::api::{ControlAction, ExecutionController, RunningQuery, SystemSnapshot};
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use wlm_workload::request::Importance;
+
+/// Kill low-priority queries with a large *remaining work*, rather than a
+/// long elapsed time.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressGuidedKiller {
+    /// Kill when the work remaining (at full speed) exceeds this, seconds.
+    pub max_remaining_work_secs: f64,
+    /// Grace period before any kill: the indicator needs some observations
+    /// to be trustworthy.
+    pub min_elapsed_secs: f64,
+    /// Only queries below this importance are victims.
+    pub protect_at_or_above: Importance,
+    /// Resubmit after killing.
+    pub resubmit: bool,
+}
+
+impl ProgressGuidedKiller {
+    /// New controller killing when remaining work exceeds
+    /// `max_remaining_work_secs`.
+    pub fn new(max_remaining_work_secs: f64) -> Self {
+        ProgressGuidedKiller {
+            max_remaining_work_secs,
+            min_elapsed_secs: 1.0,
+            protect_at_or_above: Importance::High,
+            resubmit: false,
+        }
+    }
+}
+
+impl Classified for ProgressGuidedKiller {
+    fn taxonomy(&self) -> TaxonomyPath {
+        TaxonomyPath::new(TechniqueClass::ExecutionControl, "Query Cancellation")
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "Progress-guided Cancellation"
+    }
+}
+
+impl ExecutionController for ProgressGuidedKiller {
+    fn control(&mut self, running: &[RunningQuery], _snap: &SystemSnapshot) -> Vec<ControlAction> {
+        let mut actions = Vec::new();
+        for q in running {
+            if q.request.importance >= self.protect_at_or_above {
+                continue;
+            }
+            if q.progress.elapsed.as_secs_f64() < self.min_elapsed_secs {
+                continue;
+            }
+            let remaining_work_secs =
+                q.progress
+                    .work_total_us
+                    .saturating_sub(q.progress.work_done_us) as f64
+                    / 1e6;
+            if remaining_work_secs > self.max_remaining_work_secs {
+                actions.push(ControlAction::Kill {
+                    id: q.id,
+                    resubmit: self.resubmit,
+                });
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{running, snapshot};
+
+    fn sized(id: u64, elapsed: f64, total_work_secs: f64, fraction: f64) -> RunningQuery {
+        let mut q = running(id, "bi", Importance::Low, elapsed, fraction);
+        q.progress.work_total_us = (total_work_secs * 1e6) as u64;
+        q.progress.work_done_us = (q.progress.work_total_us as f64 * fraction) as u64;
+        q
+    }
+
+    #[test]
+    fn kills_only_queries_with_much_remaining_work() {
+        let mut k = ProgressGuidedKiller::new(60.0);
+        // Ran 100s, 500s of work, 99% done: ~5s remain — spared.
+        let nearly_done = sized(1, 100.0, 500.0, 0.99);
+        // Ran 100s, 500s of work, 5% done: 475s remain — killed.
+        let hopeless = sized(2, 100.0, 500.0, 0.05);
+        let actions = k.control(&[nearly_done, hopeless], &snapshot(2, 0));
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], ControlAction::Kill { id, .. } if id.0 == 2));
+    }
+
+    #[test]
+    fn small_queries_are_spared_even_when_crawling() {
+        // The §5.2 scenario: a *small* query queued so long its elapsed time
+        // trips any manual threshold. Killing it frees nothing, so the
+        // progress-guided controller leaves it alone.
+        use crate::api::ExecutionController as _;
+        use crate::execution::cancel::ThresholdKiller;
+        let crawling_small = sized(1, 100.0, 2.0, 0.3); // 1.4s of work left
+        let mut time_killer = ThresholdKiller::new(10.0);
+        assert_eq!(
+            time_killer
+                .control(std::slice::from_ref(&crawling_small), &snapshot(1, 0))
+                .len(),
+            1,
+            "time threshold kills the poor little thing"
+        );
+        let mut progress_killer = ProgressGuidedKiller::new(60.0);
+        assert!(
+            progress_killer
+                .control(&[crawling_small], &snapshot(1, 0))
+                .is_empty(),
+            "progress indicator knows it is not a big consumer"
+        );
+    }
+
+    #[test]
+    fn grace_period_and_priority_shield() {
+        let mut k = ProgressGuidedKiller::new(10.0);
+        let fresh = sized(1, 0.5, 10_000.0, 0.001);
+        assert!(k.control(&[fresh], &snapshot(1, 0)).is_empty());
+        let mut vip = running(2, "oltp", Importance::Critical, 100.0, 0.01);
+        vip.progress.work_total_us = u64::MAX / 2;
+        assert!(k.control(&[vip], &snapshot(1, 0)).is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! Request throttling: slowing work down with self-imposed sleeps.
+//!
+//! Two published throttlers are implemented:
+//!
+//! * [`UtilityThrottler`] — Parekh et al. (DSOM'04): all work is divided
+//!   into *utilities* and *production applications*; the controller watches
+//!   production performance degradation against a baseline and a
+//!   Proportional-Integral controller translates the policy ("degradation
+//!   may not exceed x%") into a sleep fraction imposed on the utilities.
+//! * [`QueryThrottler`] — Powley et al. (SMDB'10, CASCON'08): large queries
+//!   are throttled so that high-priority workloads meet their goals, with a
+//!   choice of a diminishing-step "simple controller" or a black-box model
+//!   controller, and a choice of *constant* throttling (many short evenly
+//!   distributed pauses → the engine's duty-cycle throttle) or *interrupt*
+//!   throttling (one long pause → engine pause/resume).
+
+use crate::api::{ControlAction, ExecutionController, RunningQuery, SystemSnapshot};
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use std::collections::BTreeMap;
+use wlm_control::blackbox::BlackBoxController;
+use wlm_control::pi::PiController;
+use wlm_control::step::DiminishingStepController;
+use wlm_dbsim::engine::QueryId;
+use wlm_dbsim::plan::StatementType;
+
+const TAXONOMY: TaxonomyPath = TaxonomyPath::with_variant(
+    TechniqueClass::ExecutionControl,
+    "Request Suspension",
+    "Request Throttling",
+);
+
+/// Parekh et al.'s utility throttling.
+#[derive(Debug, Clone)]
+pub struct UtilityThrottler {
+    /// The production workload whose performance is protected.
+    pub production_workload: String,
+    /// Baseline (uncontended) production response time, seconds.
+    pub baseline_secs: f64,
+    /// Allowed degradation, e.g. 0.3 = up to 30% over baseline.
+    pub max_degradation: f64,
+    pi: PiController,
+    current_throttle: f64,
+    last_seen: f64,
+}
+
+impl UtilityThrottler {
+    /// New throttler protecting `production_workload`.
+    pub fn new(production_workload: &str, baseline_secs: f64, max_degradation: f64) -> Self {
+        UtilityThrottler {
+            production_workload: production_workload.into(),
+            baseline_secs,
+            max_degradation,
+            // Output is the sleep fraction in [0, 0.95].
+            pi: PiController::new(0.4, 0.15, 0.0, 0.95),
+            current_throttle: 0.0,
+            last_seen: -1.0,
+        }
+    }
+
+    /// The sleep fraction currently imposed on utilities.
+    pub fn current_throttle(&self) -> f64 {
+        self.current_throttle
+    }
+}
+
+impl Classified for UtilityThrottler {
+    fn taxonomy(&self) -> TaxonomyPath {
+        TAXONOMY
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "Utility Throttling (PI)"
+    }
+}
+
+impl ExecutionController for UtilityThrottler {
+    fn control(&mut self, running: &[RunningQuery], snap: &SystemSnapshot) -> Vec<ControlAction> {
+        if let Some(achieved) = snap.recent_response_of(&self.production_workload) {
+            if achieved != self.last_seen {
+                self.last_seen = achieved;
+                let degradation = (achieved - self.baseline_secs) / self.baseline_secs.max(1e-9);
+                // Error > 0 (too much degradation) raises the throttle.
+                let error = degradation - self.max_degradation;
+                self.current_throttle = self.pi.update(error);
+            }
+        }
+        running
+            .iter()
+            .filter(|q| q.request.request.spec.statement == StatementType::Utility)
+            .filter(|q| (q.throttle - self.current_throttle).abs() > 0.01)
+            .map(|q| ControlAction::Throttle(q.id, self.current_throttle))
+            .collect()
+    }
+}
+
+/// Which feedback controller drives [`QueryThrottler`].
+#[derive(Debug, Clone)]
+pub enum ThrottleController {
+    /// Powley's "simple controller" (diminishing step function).
+    Step(DiminishingStepController),
+    /// Powley's black-box model controller.
+    BlackBox(BlackBoxController),
+}
+
+/// Constant vs. interrupt throttling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThrottleMethod {
+    /// Many short, evenly distributed pauses (engine duty cycle).
+    Constant,
+    /// One long pause per episode; length scales with the throttle amount.
+    Interrupt {
+        /// Episode length over which the pause is scheduled, seconds.
+        episode_secs: f64,
+    },
+}
+
+/// Powley et al.'s autonomic query throttling of large queries.
+#[derive(Debug)]
+pub struct QueryThrottler {
+    /// Workload whose goal is protected.
+    pub protected_workload: String,
+    /// Response-time goal of the protected workload, seconds.
+    pub goal_secs: f64,
+    /// Queries from these workloads are throttled.
+    pub victim_workloads: Vec<String>,
+    /// Feedback controller choice.
+    pub controller: ThrottleController,
+    /// Pause pattern.
+    pub method: ThrottleMethod,
+    current_throttle: f64,
+    last_seen: f64,
+    /// For interrupt throttling: queries currently paused and when to
+    /// resume them (seconds timestamps).
+    paused_until: BTreeMap<QueryId, f64>,
+    episode_started: f64,
+}
+
+impl QueryThrottler {
+    /// New query throttler with the step controller and constant method.
+    pub fn new(protected_workload: &str, goal_secs: f64, victim_workloads: Vec<String>) -> Self {
+        QueryThrottler {
+            protected_workload: protected_workload.into(),
+            goal_secs,
+            victim_workloads,
+            controller: ThrottleController::Step(DiminishingStepController::new(
+                0.0, 0.3, 0.0, 0.95,
+            )),
+            method: ThrottleMethod::Constant,
+            current_throttle: 0.0,
+            last_seen: -1.0,
+            paused_until: BTreeMap::new(),
+            episode_started: 0.0,
+        }
+    }
+
+    /// Use the black-box model controller instead of the step controller.
+    pub fn with_blackbox(mut self) -> Self {
+        self.controller = ThrottleController::BlackBox(BlackBoxController::new(0.2, 0.0, 0.95));
+        self
+    }
+
+    /// Use interrupt throttling with the given episode length.
+    pub fn with_interrupt(mut self, episode_secs: f64) -> Self {
+        self.method = ThrottleMethod::Interrupt { episode_secs };
+        self
+    }
+
+    /// The current throttle amount.
+    pub fn current_throttle(&self) -> f64 {
+        self.current_throttle
+    }
+
+    fn is_victim(&self, q: &RunningQuery) -> bool {
+        self.victim_workloads.contains(&q.request.workload)
+    }
+
+    fn adapt(&mut self, snap: &SystemSnapshot) {
+        let Some(achieved) = snap.recent_response_of(&self.protected_workload) else {
+            return;
+        };
+        if achieved == self.last_seen {
+            return;
+        }
+        self.last_seen = achieved;
+        match &mut self.controller {
+            ThrottleController::Step(step) => {
+                let dir = if achieved > self.goal_secs {
+                    1 // more throttling
+                } else if achieved < self.goal_secs * 0.7 {
+                    -1 // goal comfortably met: release resources
+                } else {
+                    0
+                };
+                self.current_throttle = step.update(dir);
+            }
+            ThrottleController::BlackBox(bb) => {
+                self.current_throttle = bb.update(self.goal_secs * 0.9, achieved);
+            }
+        }
+    }
+}
+
+impl Classified for QueryThrottler {
+    fn taxonomy(&self) -> TaxonomyPath {
+        TAXONOMY
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "Query Throttling"
+    }
+}
+
+impl ExecutionController for QueryThrottler {
+    fn control(&mut self, running: &[RunningQuery], snap: &SystemSnapshot) -> Vec<ControlAction> {
+        self.adapt(snap);
+        let now = snap.now.as_secs_f64();
+        let mut actions = Vec::new();
+        match self.method {
+            ThrottleMethod::Constant => {
+                for q in running {
+                    if self.is_victim(q) && (q.throttle - self.current_throttle).abs() > 0.01 {
+                        actions.push(ControlAction::Throttle(q.id, self.current_throttle));
+                    }
+                }
+            }
+            ThrottleMethod::Interrupt { episode_secs } => {
+                // Resume queries whose single pause has elapsed.
+                let due: Vec<QueryId> = self
+                    .paused_until
+                    .iter()
+                    .filter(|(_, until)| now >= **until)
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in due {
+                    self.paused_until.remove(&id);
+                    actions.push(ControlAction::Resume(id));
+                }
+                // New episode: pause victims for throttle × episode.
+                if now - self.episode_started >= episode_secs {
+                    self.episode_started = now;
+                    if self.current_throttle > 0.01 {
+                        let pause_len = episode_secs * self.current_throttle;
+                        for q in running {
+                            if self.is_victim(q) && !self.paused_until.contains_key(&q.id) {
+                                self.paused_until.insert(q.id, now + pause_len);
+                                actions.push(ControlAction::Pause(q.id));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{running, snapshot};
+    use wlm_dbsim::time::SimTime;
+    use wlm_workload::request::Importance;
+
+    fn snap_with(production: &str, resp: f64, now_secs: f64) -> crate::api::SystemSnapshot {
+        let mut s = snapshot(2, 0);
+        s.now = SimTime((now_secs * 1e6) as u64);
+        s.recent_response_by_workload
+            .insert(production.into(), resp);
+        s
+    }
+
+    fn utility_query(id: u64) -> RunningQuery {
+        let mut q = running(id, "utility", Importance::Low, 5.0, 0.2);
+        q.request.request.spec.statement = StatementType::Utility;
+        q
+    }
+
+    #[test]
+    fn utility_throttler_raises_throttle_under_degradation() {
+        let mut t = UtilityThrottler::new("oltp", 1.0, 0.2);
+        // Production badly degraded (5x baseline).
+        let actions = t.control(&[utility_query(1)], &snap_with("oltp", 5.0, 1.0));
+        assert_eq!(actions.len(), 1);
+        match actions[0] {
+            ControlAction::Throttle(_, amount) => assert!(amount > 0.3, "amount {amount}"),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn utility_throttler_releases_when_healthy() {
+        let mut t = UtilityThrottler::new("oltp", 1.0, 0.3);
+        // Drive the throttle up, then feed healthy measurements.
+        t.control(&[utility_query(1)], &snap_with("oltp", 5.0, 1.0));
+        for i in 0..30 {
+            t.control(
+                &[utility_query(1)],
+                &snap_with("oltp", 1.0 + 0.001 * i as f64, 2.0 + i as f64),
+            );
+        }
+        assert!(
+            t.current_throttle() < 0.2,
+            "released to {}",
+            t.current_throttle()
+        );
+    }
+
+    #[test]
+    fn utility_throttler_ignores_non_utilities() {
+        let mut t = UtilityThrottler::new("oltp", 1.0, 0.2);
+        let normal = running(1, "bi", Importance::Low, 5.0, 0.2);
+        let actions = t.control(&[normal], &snap_with("oltp", 5.0, 1.0));
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn query_throttler_constant_targets_victims() {
+        let mut t = QueryThrottler::new("oltp", 1.0, vec!["bi".into()]);
+        let victims = vec![
+            running(1, "bi", Importance::Low, 5.0, 0.2),
+            running(2, "oltp", Importance::High, 0.2, 0.5),
+        ];
+        let actions = t.control(&victims, &snap_with("oltp", 4.0, 1.0));
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], ControlAction::Throttle(id, _) if id.0 == 1));
+    }
+
+    #[test]
+    fn interrupt_throttling_pauses_then_resumes() {
+        let mut t = QueryThrottler::new("oltp", 1.0, vec!["bi".into()]).with_interrupt(10.0);
+        let victim = running(1, "bi", Importance::Low, 5.0, 0.2);
+        // First adapt pushes throttle up; episode starts at t=20 (past the
+        // first 10s boundary from episode_started=0).
+        let a1 = t.control(std::slice::from_ref(&victim), &snap_with("oltp", 4.0, 20.0));
+        assert!(
+            a1.iter()
+                .any(|a| matches!(a, ControlAction::Pause(id) if id.0 == 1)),
+            "victim should be paused: {a1:?}"
+        );
+        // Pause length = 10 * throttle (0.3) = 3s; at t=24 it must resume.
+        let a2 = t.control(&[victim], &snap_with("oltp", 4.0001, 24.0));
+        assert!(
+            a2.iter()
+                .any(|a| matches!(a, ControlAction::Resume(id) if id.0 == 1)),
+            "victim should resume: {a2:?}"
+        );
+    }
+
+    #[test]
+    fn blackbox_variant_converges_on_goal() {
+        let mut t = QueryThrottler::new("oltp", 1.0, vec!["bi".into()]).with_blackbox();
+        // Plant: oltp response = 3 - 2.5*throttle.
+        let mut resp = 3.0;
+        for i in 0..40 {
+            t.control(
+                &[running(1, "bi", Importance::Low, 5.0, 0.2)],
+                &snap_with("oltp", resp, i as f64),
+            );
+            resp = 3.0 - 2.5 * t.current_throttle();
+        }
+        assert!(
+            resp <= 1.05,
+            "black-box throttling should reach the goal: {resp}"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! # wlm-core — the workload management framework
+//!
+//! A working implementation of the complete taxonomy of workload management
+//! techniques from Zhang, Martin, Powley & Chen, *Workload Management in
+//! Database Management Systems: A Taxonomy*. The four technique classes map
+//! directly onto modules:
+//!
+//! | taxonomy class            | module           |
+//! |---------------------------|------------------|
+//! | workload characterization | [`characterize`] |
+//! | admission control         | [`admission`]    |
+//! | scheduling                | [`scheduling`]   |
+//! | execution control         | [`execution`]    |
+//!
+//! [`taxonomy`] holds the classification tree itself together with a
+//! registry of every implemented technique — the paper's Figure 1 and
+//! Tables 1–5 are regenerated from that registry, so the printed taxonomy
+//! always reflects the living code.
+//!
+//! [`manager::WorkloadManager`] assembles the pipeline the paper describes:
+//! identify arriving requests (characterization), impose admission control,
+//! order the wait queue (scheduling), and manage running queries (execution
+//! control), all driven by [`policy`] objects derived from per-workload
+//! SLAs. [`autonomic`] closes the loop with a MAPE (monitor → analyze →
+//! plan → execute) controller, the paper's §5.3 vision.
+
+pub mod admission;
+pub mod api;
+pub mod autonomic;
+pub mod characterize;
+pub mod dashboard;
+pub mod execution;
+pub mod manager;
+pub mod policy;
+pub mod registry;
+pub mod scheduling;
+pub mod stats;
+pub mod taxonomy;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use api::{
+    AdmissionController, AdmissionDecision, ControlAction, ExecutionController, ManagedRequest,
+    RunningQuery, Scheduler, SystemSnapshot,
+};
+pub use manager::{ManagerConfig, RunReport, WorkloadManager};
+pub use taxonomy::{Classified, TaxonomyPath, TechniqueClass, TechniqueInfo};

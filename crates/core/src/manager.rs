@@ -1,0 +1,809 @@
+//! The workload manager: the full control pipeline over the simulated
+//! engine.
+//!
+//! Each control cycle (one engine quantum) performs the paper's process:
+//!
+//! 1. **identification** — poll the workload sources and classify every
+//!    arriving request into a workload (characterization);
+//! 2. **admission control** — decide admit / defer / reject, re-evaluating
+//!    previously deferred requests first;
+//! 3. **scheduling** — let the scheduler release requests from the wait
+//!    queue to the engine (optionally restructuring big queries into
+//!    chained pieces first);
+//! 4. **execution control** — give every execution controller a view of
+//!    the running set and apply the actions they return (reprioritize,
+//!    throttle, pause/resume, kill, kill-and-resubmit, suspend);
+//! 5. **monitoring** — step the engine, account completions per workload,
+//!    maintain the DBQL-style query log, feed closed-loop sources, resume
+//!    suspended queries when the system quiets down.
+
+use crate::admission::AdmitAll;
+use crate::api::{
+    AdmissionController, AdmissionDecision, ControlAction, ExecutionController, ManagedRequest,
+    RunningQuery, Scheduler, SystemSnapshot,
+};
+use crate::characterize::{Characterizer, StaticCharacterizer};
+use crate::dashboard::{Dashboard, WorkloadRow};
+use crate::policy::WorkloadPolicy;
+use crate::scheduling::{FcfsScheduler, Restructurer};
+use crate::stats::{StatsBook, WorkloadReport};
+use serde::Serialize;
+use std::collections::{BTreeMap, VecDeque};
+use wlm_dbsim::engine::{CompletionKind, DbEngine, EngineConfig, QueryId};
+use wlm_dbsim::optimizer::CostModel;
+use wlm_dbsim::plan::QuerySpec;
+use wlm_dbsim::suspend::SuspendedQuery;
+use wlm_dbsim::time::{SimDuration, SimTime};
+use wlm_workload::generators::Source;
+use wlm_workload::request::Request;
+use wlm_workload::sla::{velocity, ServiceLevelAgreement};
+use wlm_workload::trace::{QueryLog, QueryLogEntry};
+
+/// Manager configuration.
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// Engine configuration.
+    pub engine: EngineConfig,
+    /// Optimizer cost model (estimation error level).
+    pub cost_model: CostModel,
+    /// Per-workload policies (importance, SLA, admission/execution rules).
+    pub policies: Vec<WorkloadPolicy>,
+    /// Auto-resume suspended queries when fewer than this many queries run.
+    pub resume_when_running_below: usize,
+    /// Response samples per workload kept for the recent-performance window.
+    pub response_window: usize,
+    /// Ignore business importance when assigning engine weights (every
+    /// query weight 1.0 unless a policy overrides it). This models an
+    /// *unmanaged* engine that cannot see request priority — the baseline
+    /// the paper's techniques are measured against.
+    pub uniform_weights: bool,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            engine: EngineConfig::default(),
+            cost_model: CostModel::default(),
+            policies: Vec::new(),
+            resume_when_running_below: 4,
+            response_window: 20,
+            uniform_weights: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RunningMeta {
+    req: ManagedRequest,
+    throttle: f64,
+    restarts: u32,
+    /// Remaining pieces of a restructured query.
+    chain: VecDeque<QuerySpec>,
+    /// Suspend/resume overhead already accumulated by this request, µs.
+    suspend_overhead_us: u64,
+}
+
+/// End-of-run summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Simulated run length, seconds.
+    pub elapsed_secs: f64,
+    /// Per-workload outcomes and SLA evaluations.
+    pub workloads: Vec<WorkloadReport>,
+    /// Total completions.
+    pub completed: u64,
+    /// Total kills (not resubmitted).
+    pub killed: u64,
+    /// Total rejections.
+    pub rejected: u64,
+    /// Total suspend+resume overhead paid, µs.
+    pub suspend_overhead_us: u64,
+    /// Overall throughput, completions/second.
+    pub throughput: f64,
+}
+
+impl RunReport {
+    /// The report of one workload, if present.
+    pub fn workload(&self, name: &str) -> Option<&WorkloadReport> {
+        self.workloads.iter().find(|w| w.workload == name)
+    }
+}
+
+/// The workload manager.
+///
+/// ```
+/// use wlm_core::manager::{ManagerConfig, WorkloadManager};
+/// use wlm_core::scheduling::PriorityScheduler;
+/// use wlm_workload::generators::OltpSource;
+/// use wlm_dbsim::time::SimDuration;
+///
+/// let mut manager = WorkloadManager::new(ManagerConfig::default());
+/// manager.set_scheduler(Box::new(PriorityScheduler::new(16)));
+/// let mut source = OltpSource::new(20.0, 1);
+/// let report = manager.run(&mut source, SimDuration::from_secs(5));
+/// assert!(report.workload("oltp").is_some());
+/// ```
+pub struct WorkloadManager {
+    engine: DbEngine,
+    cost_model: CostModel,
+    characterizer: Box<dyn Characterizer>,
+    admission: Box<dyn AdmissionController>,
+    scheduler: Box<dyn Scheduler>,
+    exec_controllers: Vec<Box<dyn ExecutionController>>,
+    restructurer: Option<Restructurer>,
+    policies: BTreeMap<String, WorkloadPolicy>,
+    wait_queue: Vec<ManagedRequest>,
+    deferred: VecDeque<ManagedRequest>,
+    running: BTreeMap<QueryId, RunningMeta>,
+    suspended: Vec<(SuspendedQuery, ManagedRequest, u32)>,
+    stats: StatsBook,
+    recent: BTreeMap<String, VecDeque<f64>>,
+    query_log: QueryLog,
+    resume_when_running_below: usize,
+    response_window: usize,
+    uniform_weights: bool,
+    suspend_overhead_us: u64,
+    completed: u64,
+    killed: u64,
+    rejected: u64,
+    /// Goal violations per workload (completions over the tightest
+    /// response-time objective).
+    goal_violations: BTreeMap<String, u64>,
+    /// Remaining pieces of restructured queries, keyed by request id.
+    pending_chains: BTreeMap<wlm_workload::request::RequestId, Vec<QuerySpec>>,
+    /// Restart counts of re-queued (killed-and-resubmitted) requests.
+    restart_counts: BTreeMap<wlm_workload::request::RequestId, u32>,
+}
+
+impl WorkloadManager {
+    /// New manager with pass-through defaults: label-based identification,
+    /// admit-all, FCFS at effectively unlimited MPL, no execution control —
+    /// i.e. an unmanaged system. Swap components with the `set_*` methods.
+    pub fn new(config: ManagerConfig) -> Self {
+        let engine = DbEngine::new(config.engine);
+        let stats = StatsBook::new(engine.now());
+        WorkloadManager {
+            engine,
+            cost_model: config.cost_model,
+            characterizer: Box::new(
+                StaticCharacterizer::new(Vec::new())
+                    .with_default("default")
+                    // Label-based identification: the generator's workload
+                    // tag is the workload name unless definitions override.
+                    .with_criteria_fn(Box::new(|req, _| {
+                        (!req.spec.label.is_empty()).then(|| {
+                            // Chained restructured pieces carry "label#i".
+                            req.spec
+                                .label
+                                .split('#')
+                                .next()
+                                .unwrap_or(&req.spec.label)
+                                .to_string()
+                        })
+                    })),
+            ),
+            admission: Box::new(AdmitAll),
+            scheduler: Box::new(FcfsScheduler::new(usize::MAX / 2)),
+            exec_controllers: Vec::new(),
+            restructurer: None,
+            policies: config
+                .policies
+                .into_iter()
+                .map(|p| (p.workload.clone(), p))
+                .collect(),
+            wait_queue: Vec::new(),
+            deferred: VecDeque::new(),
+            running: BTreeMap::new(),
+            suspended: Vec::new(),
+            stats,
+            recent: BTreeMap::new(),
+            query_log: QueryLog::new(),
+            resume_when_running_below: config.resume_when_running_below,
+            response_window: config.response_window.max(1),
+            uniform_weights: config.uniform_weights,
+            suspend_overhead_us: 0,
+            completed: 0,
+            killed: 0,
+            rejected: 0,
+            goal_violations: BTreeMap::new(),
+            pending_chains: BTreeMap::new(),
+            restart_counts: BTreeMap::new(),
+        }
+    }
+
+    /// Replace the characterizer.
+    pub fn set_characterizer(&mut self, c: Box<dyn Characterizer>) {
+        self.characterizer = c;
+    }
+
+    /// Replace the admission controller.
+    pub fn set_admission(&mut self, a: Box<dyn AdmissionController>) {
+        self.admission = a;
+    }
+
+    /// Replace the scheduler.
+    pub fn set_scheduler(&mut self, s: Box<dyn Scheduler>) {
+        self.scheduler = s;
+    }
+
+    /// Add an execution controller (they run in insertion order).
+    pub fn add_exec_controller(&mut self, c: Box<dyn ExecutionController>) {
+        self.exec_controllers.push(c);
+    }
+
+    /// Remove all execution controllers.
+    pub fn clear_exec_controllers(&mut self) {
+        self.exec_controllers.clear();
+    }
+
+    /// Enable query restructuring with the given policy.
+    pub fn set_restructurer(&mut self, r: Restructurer) {
+        self.restructurer = Some(r);
+    }
+
+    /// Add or replace a workload policy at run time.
+    pub fn set_policy(&mut self, policy: WorkloadPolicy) {
+        self.policies.insert(policy.workload.clone(), policy);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// The engine (read access for experiments).
+    pub fn engine(&self) -> &DbEngine {
+        &self.engine
+    }
+
+    /// The DBQL-style query log of completed requests.
+    pub fn query_log(&self) -> &QueryLog {
+        &self.query_log
+    }
+
+    /// Requests waiting in the scheduler queue.
+    pub fn queued(&self) -> usize {
+        self.wait_queue.len()
+    }
+
+    /// Requests held at the admission gate.
+    pub fn deferred(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Suspended queries awaiting resumption.
+    pub fn suspended_count(&self) -> usize {
+        self.suspended.len()
+    }
+
+    /// Build the monitor snapshot.
+    pub fn snapshot(&self) -> SystemSnapshot {
+        let metrics = self.engine.metrics();
+        let mut running_by_workload: BTreeMap<String, usize> = BTreeMap::new();
+        let mut running_cost_by_workload: BTreeMap<String, f64> = BTreeMap::new();
+        let mut running_cost = 0.0;
+        let mut running_mem = 0u64;
+        for meta in self.running.values() {
+            *running_by_workload
+                .entry(meta.req.workload.clone())
+                .or_insert(0) += 1;
+            *running_cost_by_workload
+                .entry(meta.req.workload.clone())
+                .or_insert(0.0) += meta.req.estimate.timerons;
+            running_cost += meta.req.estimate.timerons;
+            running_mem += meta.req.estimate.mem_mb;
+        }
+        let mut queued_by_workload: BTreeMap<String, usize> = BTreeMap::new();
+        for req in &self.wait_queue {
+            *queued_by_workload.entry(req.workload.clone()).or_insert(0) += 1;
+        }
+        let recent_response_by_workload = self
+            .recent
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(k, v)| (k.clone(), v.iter().sum::<f64>() / v.len() as f64))
+            .collect();
+        SystemSnapshot {
+            now: self.engine.now(),
+            running: self.engine.mpl(),
+            blocked: self.engine.blocked_count(),
+            queued: self.wait_queue.len() + self.deferred.len(),
+            conflict_ratio: self.engine.conflict_ratio(),
+            last_throughput: metrics.last_throughput(),
+            prev_throughput: metrics.prev_throughput(),
+            cpu_utilization: metrics.recent_cpu_utilization(3),
+            io_utilization: {
+                let tail = metrics.intervals();
+                let n = tail.len().min(3);
+                if n == 0 {
+                    0.0
+                } else {
+                    tail[tail.len() - n..]
+                        .iter()
+                        .map(|i| i.io_utilization())
+                        .sum::<f64>()
+                        / n as f64
+                }
+            },
+            running_cost,
+            running_by_workload,
+            queued_by_workload,
+            running_cost_by_workload,
+            recent_response_by_workload,
+            running_mem_mb: running_mem,
+            memory_capacity_mb: self.engine.config().memory_mb,
+        }
+    }
+
+    /// A point-in-time dashboard over the live system — the monitoring
+    /// surface (Teradata's dashboard workload monitor, DB2 table functions,
+    /// SQL Server performance counters).
+    pub fn dashboard(&self) -> Dashboard {
+        let snap = self.snapshot();
+        let total_cost: f64 = snap.running_cost.max(1e-9);
+        let mut workloads: BTreeMap<String, WorkloadRow> = BTreeMap::new();
+        let mut names: Vec<String> = self.stats.workloads().map(str::to_string).collect();
+        names.extend(snap.running_by_workload.keys().cloned());
+        names.extend(snap.queued_by_workload.keys().cloned());
+        names.sort();
+        names.dedup();
+        for name in names {
+            let stats = self.stats.get(&name).cloned().unwrap_or_default();
+            workloads.insert(
+                name.clone(),
+                WorkloadRow {
+                    active: snap.running_in(&name),
+                    queued: snap.queued_in(&name),
+                    running_cost_share: snap.running_cost_in(&name) / total_cost,
+                    completed: stats.completed,
+                    recent_response_secs: snap.recent_response_of(&name),
+                    goal_violations: self.goal_violations.get(&name).copied().unwrap_or(0),
+                    shed: stats.rejected + stats.killed,
+                    workload: name,
+                },
+            );
+        }
+        Dashboard {
+            at: snap.now,
+            running: snap.running,
+            waiting: snap.queued,
+            suspended: self.suspended.len(),
+            cpu_utilization: snap.cpu_utilization,
+            io_utilization: snap.io_utilization,
+            conflict_ratio: snap.conflict_ratio,
+            workloads,
+        }
+    }
+
+    fn classify(&mut self, request: Request) -> ManagedRequest {
+        let estimate = self.cost_model.estimate_spec(&request.spec);
+        let classification = self.characterizer.classify(&request, &estimate);
+        let policy = self.policies.get(&classification.workload);
+        let importance = policy
+            .map(|p| p.importance)
+            .unwrap_or(classification.importance);
+        let weight = if self.uniform_weights {
+            // Only explicit policy weights survive; importance is invisible
+            // to an unmanaged engine.
+            policy.and_then(|p| p.weight).unwrap_or(1.0)
+        } else {
+            policy
+                .map(|p| p.effective_weight())
+                .unwrap_or_else(|| importance.default_weight())
+        };
+        ManagedRequest {
+            request,
+            estimate,
+            workload: classification.workload,
+            importance,
+            weight,
+        }
+    }
+
+    /// Returns whether the request was admitted to the wait queue.
+    fn admit(&mut self, req: ManagedRequest, snap: &SystemSnapshot) -> bool {
+        match self.admission.decide(&req, snap) {
+            AdmissionDecision::Admit => {
+                if let Some(r) = self.restructurer {
+                    let pieces = r.restructure(&req);
+                    if pieces.len() > 1 {
+                        let mut first = req.clone();
+                        first.request.spec = pieces[0].clone();
+                        first.estimate = self.cost_model.estimate_spec(&first.request.spec);
+                        // Stash the remaining pieces on the queued request
+                        // via the chain map when it is dispatched.
+                        self.wait_queue.push(first);
+                        // Chain is attached at dispatch; remember it keyed by
+                        // request id.
+                        self.pending_chains
+                            .insert(req.request.id, pieces[1..].to_vec());
+                        return true;
+                    }
+                }
+                self.wait_queue.push(req);
+                true
+            }
+            AdmissionDecision::Defer => {
+                self.deferred.push_back(req);
+                false
+            }
+            AdmissionDecision::Reject(_reason) => {
+                self.rejected += 1;
+                self.stats.entry(&req.workload).rejected += 1;
+                false
+            }
+        }
+    }
+
+    fn dispatch(&mut self, req: ManagedRequest) {
+        let restarts = self.restart_counts.remove(&req.request.id).unwrap_or(0);
+        let mut spec = req.request.spec.clone();
+        spec.weight = req.weight;
+        let id = self.engine.submit_at(spec, req.request.arrival);
+        let chain = self
+            .pending_chains
+            .remove(&req.request.id)
+            .map(VecDeque::from)
+            .unwrap_or_default();
+        self.running.insert(
+            id,
+            RunningMeta {
+                req,
+                throttle: 0.0,
+                restarts,
+                chain,
+                suspend_overhead_us: 0,
+            },
+        );
+    }
+
+    fn running_views(&self) -> Vec<RunningQuery> {
+        self.running
+            .iter()
+            .filter_map(|(id, meta)| {
+                let progress = self.engine.progress(*id).ok()?;
+                Some(RunningQuery {
+                    id: *id,
+                    request: meta.req.clone(),
+                    progress,
+                    weight: self.engine.weight(*id).unwrap_or(meta.req.weight),
+                    throttle: meta.throttle,
+                    restarts: meta.restarts,
+                })
+            })
+            .collect()
+    }
+
+    fn apply_action(&mut self, action: ControlAction) {
+        match action {
+            ControlAction::SetWeight(id, w) => {
+                let _ = self.engine.set_weight(id, w);
+            }
+            ControlAction::Throttle(id, f) => {
+                if self.engine.set_throttle(id, f).is_ok() {
+                    if let Some(meta) = self.running.get_mut(&id) {
+                        meta.throttle = f;
+                    }
+                }
+            }
+            ControlAction::Pause(id) => {
+                let _ = self.engine.pause(id);
+            }
+            ControlAction::Resume(id) => {
+                let _ = self.engine.resume_paused(id);
+            }
+            ControlAction::Kill { id, resubmit } => {
+                if self.engine.kill(id).is_ok() {
+                    if let Some(mut meta) = self.running.remove(&id) {
+                        if resubmit {
+                            meta.restarts += 1;
+                            self.stats.entry(&meta.req.workload).resubmitted += 1;
+                            // Re-queue with its chain and restart count
+                            // intact so controllers can honour budgets.
+                            if !meta.chain.is_empty() {
+                                self.pending_chains
+                                    .insert(meta.req.request.id, meta.chain.drain(..).collect());
+                            }
+                            self.restart_counts
+                                .insert(meta.req.request.id, meta.restarts);
+                            self.wait_queue.push(meta.req);
+                        } else {
+                            self.killed += 1;
+                            self.stats.entry(&meta.req.workload).killed += 1;
+                        }
+                    }
+                }
+            }
+            ControlAction::Suspend(id, strategy) => {
+                if let Some(meta) = self.running.get(&id) {
+                    let restarts = meta.restarts;
+                    if let Ok(sq) = self.engine.suspend(id, strategy) {
+                        let meta = self.running.remove(&id).expect("meta");
+                        self.suspend_overhead_us += sq.total_overhead_us();
+                        self.stats.entry(&meta.req.workload).suspended += 1;
+                        if !meta.chain.is_empty() {
+                            self.pending_chains
+                                .insert(meta.req.request.id, meta.chain.into_iter().collect());
+                        }
+                        self.suspended.push((sq, meta.req, restarts));
+                    }
+                }
+            }
+        }
+    }
+
+    fn maybe_resume_suspended(&mut self) {
+        if self.suspended.is_empty() || self.engine.mpl() >= self.resume_when_running_below {
+            return;
+        }
+        let (sq, req, restarts) = self.suspended.remove(0);
+        let id = self.engine.resume_suspended(sq);
+        let chain = self
+            .pending_chains
+            .remove(&req.request.id)
+            .map(VecDeque::from)
+            .unwrap_or_default();
+        self.running.insert(
+            id,
+            RunningMeta {
+                req,
+                throttle: 0.0,
+                restarts,
+                chain,
+                suspend_overhead_us: 0,
+            },
+        );
+    }
+
+    /// Advance one control cycle (one engine quantum), pulling arrivals from
+    /// `source`.
+    pub fn tick(&mut self, source: &mut dyn Source) {
+        let from = self.engine.now();
+        let to = from + self.engine.config().quantum;
+        let arrivals = source.poll(from, to);
+
+        let snap = self.snapshot();
+        self.admission.observe(&snap);
+
+        // Re-evaluate deferred requests first (FIFO), then fresh arrivals.
+        // The snapshot is refreshed after each admission so intra-cycle
+        // decisions see the requests just admitted ahead of them (otherwise
+        // two simultaneous arrivals would both slip past a concurrency
+        // throttle of 1).
+        let mut snap = snap;
+        let deferred: Vec<ManagedRequest> = self.deferred.drain(..).collect();
+        for req in deferred {
+            if self.admit(req, &snap) {
+                snap = self.snapshot();
+            }
+        }
+        for request in arrivals {
+            let req = self.classify(request);
+            if self.admit(req, &snap) {
+                snap = self.snapshot();
+            }
+        }
+
+        // Scheduling.
+        let snap = self.snapshot();
+        let released = self.scheduler.select(&mut self.wait_queue, &snap);
+        for req in released {
+            self.dispatch(req);
+        }
+
+        // Execution control.
+        if !self.exec_controllers.is_empty() {
+            let views = self.running_views();
+            let snap = self.snapshot();
+            let mut controllers = std::mem::take(&mut self.exec_controllers);
+            for c in &mut controllers {
+                for action in c.control(&views, &snap) {
+                    self.apply_action(action);
+                }
+            }
+            self.exec_controllers = controllers;
+        }
+
+        // Engine step and completion accounting.
+        let completions = self.engine.step();
+        for c in completions {
+            if c.kind != CompletionKind::Completed {
+                continue; // kills were accounted at the action site
+            }
+            let Some(mut meta) = self.running.remove(&c.id) else {
+                continue;
+            };
+            if let Some(next_piece) = meta.chain.pop_front() {
+                // Chained restructured query: queue the next piece with the
+                // original arrival time; only the last piece records stats.
+                let mut req = meta.req.clone();
+                req.request.spec = next_piece;
+                req.estimate = self.cost_model.estimate_spec(&req.request.spec);
+                if !meta.chain.is_empty() {
+                    self.pending_chains
+                        .insert(req.request.id, meta.chain.into_iter().collect());
+                }
+                // The next piece goes to the *back* of the queue: letting
+                // short queries overtake between pieces is the whole point
+                // of restructuring.
+                self.wait_queue.push(req);
+                continue;
+            }
+            self.completed += 1;
+            let response_secs = c.response.as_secs_f64();
+            let vel = velocity(meta.req.estimate.exec_secs, response_secs);
+            {
+                let ws = self.stats.entry(&meta.req.workload);
+                ws.responses_secs.push(response_secs);
+                ws.velocities.push(vel);
+                ws.completed += 1;
+            }
+            // Dashboard accounting: does this completion violate the
+            // workload's tightest response-time goal?
+            if let Some(policy) = self.policies.get(&meta.req.workload) {
+                let tightest = policy
+                    .sla
+                    .objectives
+                    .iter()
+                    .filter_map(|o| match o {
+                        wlm_workload::sla::PerformanceObjective::AvgResponseTime {
+                            target_secs,
+                        }
+                        | wlm_workload::sla::PerformanceObjective::Percentile {
+                            target_secs, ..
+                        } => Some(*target_secs),
+                        _ => None,
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                if response_secs > tightest {
+                    *self
+                        .goal_violations
+                        .entry(meta.req.workload.clone())
+                        .or_insert(0) += 1;
+                }
+            }
+            let window = self.recent.entry(meta.req.workload.clone()).or_default();
+            window.push_back(response_secs);
+            while window.len() > self.response_window {
+                window.pop_front();
+            }
+            self.query_log.record(QueryLogEntry {
+                arrival: meta.req.request.arrival,
+                label: meta.req.workload.clone(),
+                origin: meta.req.request.origin.clone(),
+                statement: meta.req.request.spec.statement,
+                estimated_cost: meta.req.estimate.timerons,
+                true_work_us: c.work_total_us,
+                response: c.response,
+                importance: meta.req.importance,
+            });
+            self.admission
+                .learn(&meta.req, response_secs, c.work_total_us);
+            source.on_completion(&meta.req.request.spec.label, c.finished);
+            meta.suspend_overhead_us = 0;
+        }
+
+        self.maybe_resume_suspended();
+    }
+
+    /// Run for `duration` of simulated time and report.
+    pub fn run(&mut self, source: &mut dyn Source, duration: SimDuration) -> RunReport {
+        let deadline = self.engine.now() + duration;
+        while self.engine.now() < deadline {
+            self.tick(source);
+        }
+        self.report()
+    }
+
+    /// Build the end-of-run report at the current time.
+    pub fn report(&self) -> RunReport {
+        let slas: BTreeMap<String, ServiceLevelAgreement> = self
+            .policies
+            .iter()
+            .map(|(name, p)| (name.clone(), p.sla.clone()))
+            .collect();
+        let elapsed = self.engine.now().since(self.stats.started);
+        RunReport {
+            elapsed_secs: elapsed.as_secs_f64(),
+            workloads: self.stats.report(&slas, self.engine.now()),
+            completed: self.completed,
+            killed: self.killed,
+            rejected: self.rejected,
+            suspend_overhead_us: self.suspend_overhead_us,
+            throughput: if elapsed.as_secs_f64() > 0.0 {
+                self.completed as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::ThresholdAdmission;
+    use crate::execution::ThresholdKiller;
+    use crate::scheduling::PriorityScheduler;
+    use wlm_workload::generators::{BiSource, OltpSource};
+    use wlm_workload::mix::MixedSource;
+    use wlm_workload::request::Importance;
+
+    fn small_config() -> ManagerConfig {
+        ManagerConfig {
+            engine: EngineConfig {
+                cores: 4,
+                disk_pages_per_sec: 20_000,
+                memory_mb: 4_096,
+                ..Default::default()
+            },
+            cost_model: CostModel::oracle(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn unmanaged_pipeline_completes_work() {
+        let mut mgr = WorkloadManager::new(small_config());
+        let mut src = OltpSource::new(20.0, 1);
+        let report = mgr.run(&mut src, SimDuration::from_secs(20));
+        assert!(report.completed > 200, "completed {}", report.completed);
+        assert!(report.rejected == 0);
+        let oltp = report.workload("oltp").unwrap();
+        assert!(oltp.summary.mean < 1.0, "oltp mean {}", oltp.summary.mean);
+    }
+
+    #[test]
+    fn threshold_admission_rejects_big_queries() {
+        let mut mgr = WorkloadManager::new(small_config());
+        let adm = ThresholdAdmission::default().with_policy(
+            "bi",
+            crate::policy::AdmissionPolicy {
+                max_cost_timerons: Some(100_000.0),
+                on_violation: crate::policy::AdmissionViolationAction::Reject,
+                ..Default::default()
+            },
+        );
+        mgr.set_admission(Box::new(adm));
+        let mut src = BiSource::new(2.0, 2);
+        let report = mgr.run(&mut src, SimDuration::from_secs(30));
+        assert!(report.rejected > 0, "big BI queries should be rejected");
+    }
+
+    #[test]
+    fn killer_controller_kills_long_runners() {
+        let mut mgr = WorkloadManager::new(small_config());
+        mgr.add_exec_controller(Box::new(ThresholdKiller::new(2.0)));
+        let mut src = BiSource::new(1.0, 3);
+        let report = mgr.run(&mut src, SimDuration::from_secs(30));
+        assert!(report.killed > 0, "long BI queries should be killed");
+    }
+
+    #[test]
+    fn priority_scheduler_under_mpl_prefers_oltp() {
+        let mut mgr = WorkloadManager::new(small_config());
+        mgr.set_scheduler(Box::new(PriorityScheduler::new(4)));
+        let mut mix = MixedSource::new()
+            .with(Box::new(OltpSource::new(20.0, 1)))
+            .with(Box::new(BiSource::new(2.0, 2)));
+        let report = mgr.run(&mut mix, SimDuration::from_secs(30));
+        let oltp = report.workload("oltp").unwrap();
+        assert!(oltp.stats.completed > 0);
+        // OLTP stays fast because it skips the queue.
+        assert!(oltp.summary.p90 < 2.0, "p90 {}", oltp.summary.p90);
+    }
+
+    #[test]
+    fn report_contains_sla_evaluation() {
+        let mut mgr = WorkloadManager::new(ManagerConfig {
+            policies: vec![WorkloadPolicy::new("oltp", Importance::High)
+                .with_sla(ServiceLevelAgreement::avg_response(1.0))],
+            ..small_config()
+        });
+        let mut src = OltpSource::new(10.0, 4);
+        let report = mgr.run(&mut src, SimDuration::from_secs(10));
+        let oltp = report.workload("oltp").unwrap();
+        assert!(!oltp.sla.results.is_empty());
+        assert!(oltp.sla.met(), "idle system must meet the OLTP SLA");
+    }
+}

@@ -1,0 +1,226 @@
+//! Workload management policies.
+//!
+//! "Policies are the plans of an organization to achieve its objectives" —
+//! they are *data*, derived from business priorities and SLAs, and they are
+//! interpreted at each control point: admission policies at arrival,
+//! scheduling policies at dispatch, execution control policies at run time.
+//! Keeping them as plain data (serde-serializable) means a policy can be
+//! authored, stored and swapped without touching controller code.
+
+use serde::{Deserialize, Serialize};
+use wlm_dbsim::time::SimTime;
+use wlm_workload::request::Importance;
+use wlm_workload::sla::ServiceLevelAgreement;
+
+/// What to do with a request that violates an admission threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AdmissionViolationAction {
+    /// Turn it away with a message.
+    Reject,
+    /// Queue it for later admission (re-evaluated every cycle).
+    #[default]
+    Defer,
+}
+
+/// A time window (hours of the simulated day) during which thresholds are
+/// scaled — the paper: "the admission control policy may also specify
+/// different thresholds for various operating periods, for example during
+/// the day or at night".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPeriod {
+    /// Window start hour, 0–23.
+    pub start_hour: u8,
+    /// Window end hour (exclusive), 1–24; must exceed `start_hour`.
+    pub end_hour: u8,
+    /// Multiplier applied to cost/time thresholds inside the window
+    /// (e.g. 10.0 at night relaxes the limits tenfold).
+    pub threshold_scale: f64,
+}
+
+impl OperatingPeriod {
+    /// Whether simulated time `now` falls in this window (day = 24 simulated
+    /// hours from epoch, repeating).
+    pub fn contains(&self, now: SimTime) -> bool {
+        let hour = (now.as_secs_f64() / 3600.0) % 24.0;
+        (self.start_hour as f64..self.end_hour as f64).contains(&hour)
+    }
+}
+
+/// Per-workload admission policy: the thresholds of Table 2's
+/// system-parameter rows.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AdmissionPolicy {
+    /// Reject/defer requests whose estimated cost exceeds this, timerons.
+    pub max_cost_timerons: Option<f64>,
+    /// Reject/defer requests whose estimated execution time exceeds this.
+    pub max_estimated_secs: Option<f64>,
+    /// Reject/defer requests whose estimated returned rows exceed this
+    /// (DB2's Rows Returned threshold, Teradata's "too many rows" filter).
+    pub max_estimated_rows: Option<u64>,
+    /// Defer arrivals while this many queries from the same workload run.
+    pub max_workload_mpl: Option<usize>,
+    /// What a threshold violation does.
+    pub on_violation: AdmissionViolationAction,
+    /// Operating-period scaling of the cost/time thresholds.
+    pub periods: Vec<OperatingPeriod>,
+}
+
+impl AdmissionPolicy {
+    /// Unlimited admission.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// The cost threshold effective at `now`, with operating-period scaling.
+    pub fn effective_cost_threshold(&self, now: SimTime) -> Option<f64> {
+        self.max_cost_timerons.map(|c| c * self.period_scale(now))
+    }
+
+    /// The estimated-time threshold effective at `now`.
+    pub fn effective_time_threshold(&self, now: SimTime) -> Option<f64> {
+        self.max_estimated_secs.map(|t| t * self.period_scale(now))
+    }
+
+    fn period_scale(&self, now: SimTime) -> f64 {
+        self.periods
+            .iter()
+            .find(|p| p.contains(now))
+            .map_or(1.0, |p| p.threshold_scale)
+    }
+}
+
+/// What an execution-threshold violation does to the running query — the
+/// DB2 threshold actions (stop execution, continue, remap) plus the research
+/// actions (kill-and-resubmit, suspend, throttle).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ExecutionViolationAction {
+    /// Record the violation, let the query continue (DB2 "collect data").
+    #[default]
+    CollectOnly,
+    /// Demote the query one importance level (priority aging).
+    Demote,
+    /// Cancel it.
+    Kill,
+    /// Cancel it and re-queue it for later execution.
+    KillAndResubmit,
+    /// Suspend it to disk (resume when load clears).
+    Suspend,
+    /// Apply this duty-cycle sleep fraction.
+    Throttle(f64),
+}
+
+/// Per-workload execution control policy.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExecutionPolicy {
+    /// Violation trigger: elapsed time exceeds this, seconds.
+    pub max_elapsed_secs: Option<f64>,
+    /// Violation trigger: query has performed more work than estimated by
+    /// this factor (catches optimizer underestimates).
+    pub max_work_overrun_factor: Option<f64>,
+    /// What happens on violation.
+    pub on_violation: ExecutionViolationAction,
+    /// Maximum kill-and-resubmit attempts before giving up and letting the
+    /// query run (prevents starvation loops).
+    pub max_restarts: u32,
+}
+
+/// Everything the manager needs to know about one defined workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadPolicy {
+    /// Workload (service class) name.
+    pub workload: String,
+    /// Business importance, from the SLA.
+    pub importance: Importance,
+    /// Performance objectives.
+    pub sla: ServiceLevelAgreement,
+    /// Admission thresholds.
+    pub admission: AdmissionPolicy,
+    /// Execution thresholds and actions.
+    pub execution: ExecutionPolicy,
+    /// Fair-share weight override (defaults to the importance weight).
+    pub weight: Option<f64>,
+}
+
+impl WorkloadPolicy {
+    /// A policy with the given name and importance and no controls.
+    pub fn new(workload: &str, importance: Importance) -> Self {
+        WorkloadPolicy {
+            workload: workload.into(),
+            importance,
+            sla: ServiceLevelAgreement::best_effort(),
+            admission: AdmissionPolicy::unlimited(),
+            execution: ExecutionPolicy::default(),
+            weight: None,
+        }
+    }
+
+    /// Attach an SLA.
+    pub fn with_sla(mut self, sla: ServiceLevelAgreement) -> Self {
+        self.sla = sla;
+        self
+    }
+
+    /// Attach an admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Attach an execution policy.
+    pub fn with_execution(mut self, execution: ExecutionPolicy) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// The fair-share weight this workload's queries run with.
+    pub fn effective_weight(&self) -> f64 {
+        self.weight
+            .unwrap_or_else(|| self.importance.default_weight())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlm_dbsim::time::SimDuration;
+
+    #[test]
+    fn operating_periods_scale_thresholds() {
+        let policy = AdmissionPolicy {
+            max_cost_timerons: Some(1000.0),
+            periods: vec![OperatingPeriod {
+                start_hour: 20,
+                end_hour: 24,
+                threshold_scale: 10.0,
+            }],
+            ..Default::default()
+        };
+        let day = SimTime::ZERO + SimDuration::from_secs(12 * 3600);
+        let night = SimTime::ZERO + SimDuration::from_secs(22 * 3600);
+        assert_eq!(policy.effective_cost_threshold(day), Some(1000.0));
+        assert_eq!(policy.effective_cost_threshold(night), Some(10_000.0));
+        // The day wraps.
+        let next_night = SimTime::ZERO + SimDuration::from_secs((24 + 22) * 3600);
+        assert_eq!(policy.effective_cost_threshold(next_night), Some(10_000.0));
+    }
+
+    #[test]
+    fn unlimited_policy_has_no_thresholds() {
+        let p = AdmissionPolicy::unlimited();
+        assert_eq!(p.effective_cost_threshold(SimTime::ZERO), None);
+        assert_eq!(p.effective_time_threshold(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn workload_policy_builder_and_weight() {
+        let p = WorkloadPolicy::new("oltp", Importance::High)
+            .with_sla(ServiceLevelAgreement::avg_response(1.0));
+        assert_eq!(p.effective_weight(), Importance::High.default_weight());
+        let p2 = WorkloadPolicy {
+            weight: Some(42.0),
+            ..p
+        };
+        assert_eq!(p2.effective_weight(), 42.0);
+        assert!(p2.sla.has_goals());
+    }
+}

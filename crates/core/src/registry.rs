@@ -1,0 +1,418 @@
+//! The built-in technique registry: every technique implemented in this
+//! crate, with the metadata the paper's tables print.
+//!
+//! [`builtin_registry`] is the single source the report generators read, and
+//! its unit tests assert that each entry's taxonomy path matches what the
+//! *implementation* reports through [`crate::taxonomy::Classified`] — so a
+//! drifting classification fails the build, keeping the regenerated
+//! Figure 1 and Tables 2/3/5 honest.
+
+use crate::taxonomy::{Registry, TaxonomyPath, TechniqueClass, TechniqueInfo};
+
+/// Names of the five research techniques summarised in Table 5, in the
+/// paper's row order.
+pub const TABLE5_TECHNIQUES: [&str; 5] = [
+    "Utility/Cost-Limit Scheduler",
+    "Utility Throttling (PI)",
+    "Query Throttling",
+    "Query Suspend-and-Resume",
+    "Fuzzy Execution Controller",
+];
+
+/// Build the registry of all implemented techniques.
+pub fn builtin_registry() -> Registry {
+    use TechniqueClass::*;
+    let mut r = Registry::new();
+    let entries = [
+        TechniqueInfo {
+            name: "Workload Definition",
+            path: TaxonomyPath::new(WorkloadCharacterization, "Static Characterization"),
+            description: "Maps arriving requests to pre-defined workloads by origin (who), statement type and estimates (what), or user-written criteria functions; allocates resources by workload priority",
+            objectives: "Identify incoming work so controls and resources can be applied per workload",
+            reference: "IBM DB2 WLM [30], SQL Server Resource Governor [50], Teradata ASM [72]",
+            metric_type: "Rule/Predicate",
+            module: "wlm-core::characterize::static_def",
+        },
+        TechniqueInfo {
+            name: "ML Workload Classifier",
+            path: TaxonomyPath::new(WorkloadCharacterization, "Dynamic Characterization"),
+            description: "Learns the characteristics of sample workloads and identifies the type of unknown arriving workloads (OLTP vs DSS) from run-time snapshots",
+            objectives: "Recognize workload-type shifts without manual re-definition",
+            reference: "Elnaffar et al. [19], Tran et al. [73]",
+            metric_type: "Naive Bayes",
+            module: "wlm-core::characterize::dynamic",
+        },
+        TechniqueInfo {
+            name: "Query Cost",
+            path: TaxonomyPath::new(AdmissionControl, "Threshold-based"),
+            description: "If an arriving query's estimated cost is greater than the threshold, the query's admission is denied, otherwise accepted",
+            objectives: "Keep resource-intensive work out of a loaded system",
+            reference: "[9] [50] [72]",
+            metric_type: "System Parameter",
+            module: "wlm-core::admission::threshold",
+        },
+        TechniqueInfo {
+            name: "MPLs",
+            path: TaxonomyPath::new(AdmissionControl, "Threshold-based"),
+            description: "If the number of concurrently running requests has reached the threshold, an arriving request's admission is denied, otherwise accepted",
+            objectives: "Bound concurrency to avoid thrashing",
+            reference: "[9] [50] [72]",
+            metric_type: "System Parameter",
+            module: "wlm-core::admission::threshold",
+        },
+        TechniqueInfo {
+            name: "Conflict Ratio",
+            path: TaxonomyPath::new(AdmissionControl, "Threshold-based"),
+            description: "If the conflict ratio of transactions exceeds the threshold, new transactions are suspended, otherwise admitted",
+            objectives: "Avert data-contention (lock) thrashing",
+            reference: "Moenkeberg & Weikum [56]",
+            metric_type: "Performance Metric",
+            module: "wlm-core::admission::conflict_ratio",
+        },
+        TechniqueInfo {
+            name: "Transaction Throughput",
+            path: TaxonomyPath::new(AdmissionControl, "Threshold-based"),
+            description: "If the system throughput in the last measurement interval has increased, more transactions are admitted, otherwise fewer transactions are admitted",
+            objectives: "Hill-climb the admission MPL to the throughput knee",
+            reference: "Heiss & Wagner [26]",
+            metric_type: "Performance Metric",
+            module: "wlm-core::admission::throughput_feedback",
+        },
+        TechniqueInfo {
+            name: "Indicators",
+            path: TaxonomyPath::new(AdmissionControl, "Threshold-based"),
+            description: "If monitor-metric values exceed the pre-defined thresholds, low priority requests are delayed, otherwise they are admitted",
+            objectives: "Detect congestion early and shed deferrable load",
+            reference: "Zhang et al. [79] [80]",
+            metric_type: "Monitor Metrics",
+            module: "wlm-core::admission::indicators",
+        },
+        TechniqueInfo {
+            name: "PQR Decision Tree",
+            path: TaxonomyPath::new(AdmissionControl, "Prediction-based"),
+            description: "Builds a decision tree from completed queries and predicts ranges of a new query's execution time before it runs",
+            objectives: "Gate long-runners robustly despite optimizer estimate error",
+            reference: "Gupta, Mehta & Dayal [23]",
+            metric_type: "Learned Model",
+            module: "wlm-core::admission::prediction",
+        },
+        TechniqueInfo {
+            name: "Statistical (kNN) Predictor",
+            path: TaxonomyPath::new(AdmissionControl, "Prediction-based"),
+            description: "Finds correlations between pre-execution query properties and performance metrics of completed queries; predicts newcomers from their nearest neighbours",
+            objectives: "Predict multiple performance metrics for admission and capacity planning",
+            reference: "Ganapathi et al. [21]",
+            metric_type: "Learned Model",
+            module: "wlm-core::admission::prediction",
+        },
+        TechniqueInfo {
+            name: "FCFS Queue",
+            path: TaxonomyPath::new(Scheduling, "Queue Management"),
+            description: "Dispatches admitted requests in arrival order under a fixed MPL",
+            objectives: "Baseline queue management",
+            reference: "folklore",
+            metric_type: "Queue",
+            module: "wlm-core::scheduling::queues",
+        },
+        TechniqueInfo {
+            name: "Priority Queue",
+            path: TaxonomyPath::new(Scheduling, "Queue Management"),
+            description: "Dispatches by business importance with arrival-order tie-break under a fixed MPL",
+            objectives: "Differentiate dispatch by importance",
+            reference: "[30] [72]",
+            metric_type: "Queue",
+            module: "wlm-core::scheduling::queues",
+        },
+        TechniqueInfo {
+            name: "Weighted Fair Queue",
+            path: TaxonomyPath::new(Scheduling, "Queue Management"),
+            description: "Shares dispatch slots among workloads in proportion to configured weights (start-time fair queueing); no positive-weight workload can starve",
+            objectives: "Differentiated dispatch without starvation",
+            reference: "[30] [72] (workload-weighted queues)",
+            metric_type: "Queue",
+            module: "wlm-core::scheduling::weighted",
+        },
+        TechniqueInfo {
+            name: "Rank Function (FEED)",
+            path: TaxonomyPath::new(Scheduling, "Queue Management"),
+            description: "Ranks queued queries by priority, queue-wait aging and estimated cost; dispatches in descending rank",
+            objectives: "Fair, effective, efficient and differentiated dispatch",
+            reference: "Gupta et al. [24]",
+            metric_type: "Rank Function",
+            module: "wlm-core::scheduling::rank",
+        },
+        TechniqueInfo {
+            name: "Utility/Cost-Limit Scheduler",
+            path: TaxonomyPath::new(Scheduling, "Queue Management"),
+            description: "Intercepts arriving queries, acquires their information, and determines an execution order via per-class cost limits re-planned against an importance-weighted utility objective",
+            objectives: "Achieve a set of service level objectives for multiple concurrent workloads",
+            reference: "Niu et al. [60]",
+            metric_type: "Utility/Objective Function",
+            module: "wlm-core::scheduling::utility_sched",
+        },
+        TechniqueInfo {
+            name: "Interaction-aware Batch Ordering",
+            path: TaxonomyPath::new(Scheduling, "Queue Management"),
+            description: "Orders batch report queries shortest-first subject to a working-memory packing constraint, exploiting query interactions",
+            objectives: "Minimise batch completion time",
+            reference: "Ahmad et al. [2]",
+            metric_type: "Optimization",
+            module: "wlm-core::scheduling::batch_lp",
+        },
+        TechniqueInfo {
+            name: "Feedback-controlled MPL",
+            path: TaxonomyPath::new(Scheduling, "Queue Management"),
+            description: "Adapts the external dispatch MPL with a feedback controller seeded by a closed queueing-network (MVA) model",
+            objectives: "Keep the system at the throughput knee as the mix shifts",
+            reference: "Schroeder et al. [69], Lazowska et al. [40]",
+            metric_type: "Feedback + Queueing Model",
+            module: "wlm-core::scheduling::mpl_feedback",
+        },
+        TechniqueInfo {
+            name: "Query Slicing",
+            path: TaxonomyPath::new(Scheduling, "Query Restructuring"),
+            description: "Decomposes a large query plan into a series of sub-plans scheduled individually, so short queries are not stuck behind large ones",
+            objectives: "Execute big work with lesser impact on concurrent requests",
+            reference: "Bruno et al. [6], Meng et al. [54]",
+            metric_type: "Plan Rewrite",
+            module: "wlm-core::scheduling::restructure",
+        },
+        TechniqueInfo {
+            name: "Priority Aging",
+            path: TaxonomyPath::new(ExecutionControl, "Query Reprioritization"),
+            description: "Dynamically changes the priority of system resource access for a request as it runs, on execution-threshold violation",
+            objectives: "Contain requests whose behaviour exceeds expectations",
+            reference: "[9] (DB2 service subclass remapping)",
+            metric_type: "Reprioritization",
+            module: "wlm-core::execution::reprioritize",
+        },
+        TechniqueInfo {
+            name: "Policy-driven Resource Allocation",
+            path: TaxonomyPath::new(ExecutionControl, "Query Reprioritization"),
+            description: "Amounts of shared system resources are dynamically allocated to concurrent workloads according to the levels of the workload's business importance, via an economic market",
+            objectives: "Enforce business-importance policy on resource shares at run time",
+            reference: "Boughton et al. [4], Zhang et al. [78]",
+            metric_type: "Reprioritization",
+            module: "wlm-core::execution::reprioritize",
+        },
+        TechniqueInfo {
+            name: "Query Kill",
+            path: TaxonomyPath::new(ExecutionControl, "Query Cancellation"),
+            description: "Kills the process of a request as it runs, immediately releasing its resources",
+            objectives: "Eliminate a problematic query's impact directly",
+            reference: "[30] [50] [61] [72]",
+            metric_type: "Cancellation",
+            module: "wlm-core::execution::cancel",
+        },
+        TechniqueInfo {
+            name: "Query Kill-and-Resubmit",
+            path: TaxonomyPath::new(ExecutionControl, "Query Cancellation"),
+            description: "Kills a running query and queues it again for subsequent execution",
+            objectives: "Defer, rather than lose, problematic work",
+            reference: "Krompass et al. [39]",
+            metric_type: "Cancellation",
+            module: "wlm-core::execution::cancel",
+        },
+        TechniqueInfo {
+            name: "Fuzzy Execution Controller",
+            path: TaxonomyPath::new(ExecutionControl, "Query Cancellation"),
+            description: "Cancelling or reprioritizing low-priority and long-running queries via a rule-based fuzzy-logic controller over progress, resource use and priority",
+            objectives: "Achieve high performance for high-priority requests",
+            reference: "Krompass et al. [39]",
+            metric_type: "Fuzzy Rules",
+            module: "wlm-core::execution::fuzzy_exec",
+        },
+        TechniqueInfo {
+            name: "Progress-guided Cancellation",
+            path: TaxonomyPath::new(ExecutionControl, "Query Cancellation"),
+            description: "Uses a query progress indicator's remaining-time estimate, instead of a manual time threshold, to decide whether a running query should be controlled",
+            objectives: "Automate execution control without human-set thresholds",
+            reference: "[11] [41] [43] [45] [55]",
+            metric_type: "Progress Indicator",
+            module: "wlm-core::execution::progress",
+        },
+        TechniqueInfo {
+            name: "Utility Throttling (PI)",
+            path: TaxonomyPath::with_variant(ExecutionControl, "Request Suspension", "Request Throttling"),
+            description: "A self-imposed sleep slows down online utilities; a Proportional-Integral controller determines the amount of throttling",
+            objectives: "Maintain performance of running workloads at an acceptable level",
+            reference: "Parekh et al. [64]",
+            metric_type: "Throttling",
+            module: "wlm-core::execution::throttle",
+        },
+        TechniqueInfo {
+            name: "Query Throttling",
+            path: TaxonomyPath::with_variant(ExecutionControl, "Request Suspension", "Request Throttling"),
+            description: "A self-imposed sleep slows down large queries; a step function or a black-box model determines the amount of throttling (constant or interrupt pauses)",
+            objectives: "Meet the service level objectives of high-priority requests",
+            reference: "Powley et al. [65] [66]",
+            metric_type: "Throttling",
+            module: "wlm-core::execution::throttle",
+        },
+        TechniqueInfo {
+            name: "Query Suspend-and-Resume",
+            path: TaxonomyPath::with_variant(ExecutionControl, "Request Suspension", "Query Suspend-and-Resume"),
+            description: "Query execution is augmented with suspend and resume phases triggered on demand; DumpState vs GoBack per-operator strategies chosen to minimise total overhead under a suspend-cost constraint",
+            objectives: "Achieve high performance for high-priority requests",
+            reference: "Chandramouli et al. [10]",
+            metric_type: "Suspend & Resume",
+            module: "wlm-core::execution::suspend",
+        },
+        TechniqueInfo {
+            name: "Autonomic MAPE Loop",
+            path: TaxonomyPath::new(ExecutionControl, "Query Reprioritization"),
+            description: "Monitor-analyze-plan-execute loop that selects the most effective technique for the circumstances by applying a utility function",
+            objectives: "Self-managing workload control toward high-level business objectives",
+            reference: "Zhang et al. [80], Kephart & Chess [32]",
+            metric_type: "Feedback Loop",
+            module: "wlm-core::autonomic",
+        },
+    ];
+    for e in entries {
+        r.register(e);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::{
+        ConflictRatioAdmission, IndicatorAdmission, PredictionAdmission, PredictorKind,
+        ThresholdAdmission, ThroughputFeedbackAdmission,
+    };
+    use crate::autonomic::AutonomicController;
+    use crate::characterize::{StaticCharacterizer, WorkloadTypeClassifier};
+    use crate::execution::{
+        FuzzyExecController, LoadShedSuspender, PriorityAging, ProgressGuidedKiller,
+        QueryThrottler, ThresholdKiller, UtilityThrottler,
+    };
+    use crate::scheduling::{
+        BatchScheduler, FcfsScheduler, MplFeedbackScheduler, PriorityScheduler, RankScheduler,
+        Restructurer, UtilityScheduler,
+    };
+    use crate::taxonomy::Classified;
+
+    #[test]
+    fn registry_is_nonempty_and_valid() {
+        let r = builtin_registry();
+        assert!(r.techniques().len() >= 20);
+        assert!(r.techniques().iter().all(|t| t.path.is_valid()));
+    }
+
+    #[test]
+    fn every_figure1_leaf_has_at_least_one_technique() {
+        let r = builtin_registry();
+        for class in crate::taxonomy::TechniqueClass::ALL {
+            for sub in class.subclasses() {
+                let variants = class.variants(sub);
+                if variants.is_empty() {
+                    assert!(
+                        r.techniques()
+                            .iter()
+                            .any(|t| t.path.class == class && t.path.subclass == *sub),
+                        "no technique under {class:?}/{sub}"
+                    );
+                } else {
+                    for v in variants {
+                        assert!(
+                            r.techniques().iter().any(|t| t.path.class == class
+                                && t.path.subclass == *sub
+                                && t.path.variant == Some(*v)),
+                            "no technique under {class:?}/{sub}/{v}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Registry rows must agree with what the implementations themselves
+    /// report via `Classified`.
+    #[test]
+    fn registry_paths_match_implementations() {
+        let r = builtin_registry();
+        let check = |name: &str, c: &dyn Classified| {
+            let info = r
+                .techniques()
+                .iter()
+                .find(|t| t.name == name)
+                .unwrap_or_else(|| panic!("{name} missing from registry"));
+            assert_eq!(info.path, c.taxonomy(), "path drift for {name}");
+            assert_eq!(info.name, c.technique_name(), "name drift for {name}");
+        };
+        check("Workload Definition", &StaticCharacterizer::new(vec![]));
+        check("ML Workload Classifier", &WorkloadTypeClassifier::default());
+        // `ThresholdAdmission` implements two table rows (Query Cost and
+        // MPLs) under one struct; verify the shared path only.
+        for row in ["Query Cost", "MPLs"] {
+            let info = r.techniques().iter().find(|t| t.name == row).unwrap();
+            assert_eq!(info.path, ThresholdAdmission::default().taxonomy());
+        }
+        check("Conflict Ratio", &ConflictRatioAdmission::default());
+        check(
+            "Transaction Throughput",
+            &ThroughputFeedbackAdmission::new(4),
+        );
+        check("Indicators", &IndicatorAdmission::default());
+        check(
+            "PQR Decision Tree",
+            &PredictionAdmission::new(PredictorKind::Pqr, 5.0),
+        );
+        check(
+            "Statistical (kNN) Predictor",
+            &PredictionAdmission::new(PredictorKind::Knn, 5.0),
+        );
+        check("FCFS Queue", &FcfsScheduler::new(1));
+        check("Priority Queue", &PriorityScheduler::new(1));
+        check(
+            "Weighted Fair Queue",
+            &crate::scheduling::WeightedFairScheduler::new(1, Default::default()),
+        );
+        check("Rank Function (FEED)", &RankScheduler::new(1));
+        check(
+            "Utility/Cost-Limit Scheduler",
+            &UtilityScheduler::new(vec![], 1.0),
+        );
+        check("Interaction-aware Batch Ordering", &BatchScheduler::new(1));
+        check(
+            "Feedback-controlled MPL",
+            &MplFeedbackScheduler::new(1, "x", 1.0),
+        );
+        check("Query Slicing", &Restructurer::default());
+        check("Priority Aging", &PriorityAging::new(1.0));
+        check(
+            "Policy-driven Resource Allocation",
+            &crate::execution::EconomicReallocator::default(),
+        );
+        check("Query Kill", &ThresholdKiller::new(1.0));
+        check(
+            "Query Kill-and-Resubmit",
+            &ThresholdKiller::new(1.0).with_resubmit(1),
+        );
+        check(
+            "Fuzzy Execution Controller",
+            &FuzzyExecController::default(),
+        );
+        check(
+            "Progress-guided Cancellation",
+            &ProgressGuidedKiller::new(1.0),
+        );
+        check(
+            "Utility Throttling (PI)",
+            &UtilityThrottler::new("x", 1.0, 0.2),
+        );
+        check("Query Throttling", &QueryThrottler::new("x", 1.0, vec![]));
+        check("Query Suspend-and-Resume", &LoadShedSuspender::default());
+        check("Autonomic MAPE Loop", &AutonomicController::new(vec![]));
+    }
+
+    #[test]
+    fn table5_names_resolve() {
+        let r = builtin_registry();
+        let rendered = r.render_table5(&TABLE5_TECHNIQUES);
+        for name in TABLE5_TECHNIQUES {
+            assert!(rendered.contains(name), "table 5 missing {name}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Scheduling (taxonomy class 3).
+//!
+//! "Request scheduling determines the execution order of requests in batch
+//! workloads or admitted requests in wait queues and decides when the
+//! requests can be sent to the database execution engine." Two subclasses,
+//! as in Figure 1:
+//!
+//! * **Queue management** — [`queues`] (FCFS and strict-priority),
+//!   [`weighted`] (weighted fair queueing),
+//!   [`rank`] (Gupta et al.'s rank-function scheduler),
+//!   [`utility_sched`] (Niu et al.'s cost-limit/utility scheduler),
+//!   [`batch_lp`] (Ahmad et al.-style interaction-aware batch ordering) and
+//!   [`mpl_feedback`] (Schroeder et al.'s feedback-controlled MPL);
+//! * **Query restructuring** — [`restructure`] (Bruno/Meng-style slicing of
+//!   large plans into independently schedulable pieces).
+
+pub mod batch_lp;
+pub mod mpl_feedback;
+pub mod queues;
+pub mod rank;
+pub mod restructure;
+pub mod utility_sched;
+pub mod weighted;
+
+pub use batch_lp::BatchScheduler;
+pub use mpl_feedback::MplFeedbackScheduler;
+pub use queues::{FcfsScheduler, PriorityScheduler};
+pub use rank::RankScheduler;
+pub use restructure::{slice_spec, Restructurer};
+pub use utility_sched::{ServiceClassConfig, UtilityScheduler};
+pub use weighted::WeightedFairScheduler;

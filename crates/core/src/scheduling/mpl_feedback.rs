@@ -1,0 +1,160 @@
+//! Feedback-controlled multiprogramming level (Schroeder, Harchol-Balter,
+//! Iyengar, Nahum & Wierman, ICDE'06).
+//!
+//! "How to determine a good multi-programming level for external
+//! scheduling": keep a small, feedback-tuned number of queries inside the
+//! DBMS and queue the rest outside. The controller seeds its MPL from a
+//! closed queueing-network (MVA) prediction when demands are known, then
+//! adapts it each metrics interval with an integral controller on the
+//! observed response time of a target workload — dynamic where static MPLs
+//! "can result in the database server running in an under-loaded or
+//! over-loaded state" as the mix shifts.
+
+use crate::api::{ManagedRequest, Scheduler, SystemSnapshot};
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use wlm_control::queueing::ClosedNetwork;
+
+/// The feedback-MPL scheduler (FCFS dispatch under a dynamic MPL).
+#[derive(Debug, Clone)]
+pub struct MplFeedbackScheduler {
+    mpl: f64,
+    /// Smallest MPL it will fall to.
+    pub min_mpl: f64,
+    /// Largest MPL it will climb to.
+    pub max_mpl: f64,
+    /// Workload whose response time is the control target.
+    pub target_workload: String,
+    /// Response-time setpoint, seconds.
+    pub target_secs: f64,
+    /// Integral gain (MPL change per relative error per interval).
+    pub gain: f64,
+    last_seen_response: f64,
+}
+
+impl MplFeedbackScheduler {
+    /// New controller starting at `initial_mpl`, steering `workload` toward
+    /// `target_secs`.
+    pub fn new(initial_mpl: usize, workload: &str, target_secs: f64) -> Self {
+        MplFeedbackScheduler {
+            mpl: initial_mpl as f64,
+            min_mpl: 1.0,
+            max_mpl: 256.0,
+            target_workload: workload.into(),
+            target_secs,
+            gain: 1.0,
+            last_seen_response: -1.0,
+        }
+    }
+
+    /// Seed the starting MPL from an MVA model of the workload (the
+    /// "analytical models" the paper pairs with feedback controllers).
+    pub fn seeded_from_model(workload: &str, target_secs: f64, model: &ClosedNetwork) -> Self {
+        let seed = model.mpl_for_efficiency(128, 0.9);
+        Self::new(seed as usize, workload, target_secs)
+    }
+
+    /// Current MPL.
+    pub fn current_mpl(&self) -> usize {
+        self.mpl.round().max(1.0) as usize
+    }
+
+    fn adapt(&mut self, snap: &SystemSnapshot) {
+        let Some(achieved) = snap.recent_response_of(&self.target_workload) else {
+            return;
+        };
+        if achieved == self.last_seen_response {
+            return; // same interval
+        }
+        self.last_seen_response = achieved;
+        // Positive error (meeting the goal with room) grows the MPL to buy
+        // throughput; negative error shrinks it to protect response time.
+        let error = (self.target_secs - achieved) / self.target_secs.max(1e-9);
+        self.mpl =
+            (self.mpl + self.gain * error.clamp(-1.0, 1.0)).clamp(self.min_mpl, self.max_mpl);
+    }
+}
+
+impl Classified for MplFeedbackScheduler {
+    fn taxonomy(&self) -> TaxonomyPath {
+        TaxonomyPath::new(TechniqueClass::Scheduling, "Queue Management")
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "Feedback-controlled MPL"
+    }
+}
+
+impl Scheduler for MplFeedbackScheduler {
+    fn select(
+        &mut self,
+        queue: &mut Vec<ManagedRequest>,
+        snap: &SystemSnapshot,
+    ) -> Vec<ManagedRequest> {
+        self.adapt(snap);
+        let slots = self.current_mpl().saturating_sub(snap.running);
+        let take = slots.min(queue.len());
+        queue.drain(..take).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{managed, snapshot};
+    use wlm_workload::request::Importance;
+
+    fn snap_with_resp(running: usize, resp: f64) -> crate::api::SystemSnapshot {
+        let mut s = snapshot(running, 0);
+        s.recent_response_by_workload.insert("oltp".into(), resp);
+        s
+    }
+
+    #[test]
+    fn mpl_shrinks_when_goal_violated() {
+        let mut s = MplFeedbackScheduler::new(10, "oltp", 1.0);
+        let mut q = Vec::new();
+        s.select(&mut q, &snap_with_resp(0, 3.0));
+        assert!(s.current_mpl() < 10);
+    }
+
+    #[test]
+    fn mpl_grows_when_goal_comfortably_met() {
+        let mut s = MplFeedbackScheduler::new(10, "oltp", 1.0);
+        let mut q = Vec::new();
+        s.select(&mut q, &snap_with_resp(0, 0.1));
+        s.select(&mut q, &snap_with_resp(0, 0.11));
+        assert!(s.current_mpl() > 10);
+    }
+
+    #[test]
+    fn adapts_once_per_interval_and_dispatches_fcfs() {
+        let mut s = MplFeedbackScheduler::new(3, "oltp", 1.0);
+        let snap = snap_with_resp(1, 5.0);
+        let mut q = vec![
+            managed("a", 10, Importance::Medium),
+            managed("b", 10, Importance::Medium),
+            managed("c", 10, Importance::Medium),
+        ];
+        let picked = s.select(&mut q, &snap);
+        let mpl_after = s.current_mpl();
+        assert_eq!(picked.len(), mpl_after.saturating_sub(1).min(3));
+        // Same snapshot again: no further adaptation.
+        s.select(&mut q, &snap);
+        assert_eq!(s.current_mpl(), mpl_after);
+    }
+
+    #[test]
+    fn model_seeding_lands_near_the_knee() {
+        let model = ClosedNetwork::new(vec![0.05], 1.0);
+        let s = MplFeedbackScheduler::seeded_from_model("oltp", 1.0, &model);
+        assert!((15..=25).contains(&s.current_mpl()), "{}", s.current_mpl());
+    }
+
+    #[test]
+    fn unobserved_workload_holds_mpl() {
+        let mut s = MplFeedbackScheduler::new(7, "oltp", 1.0);
+        let mut q = Vec::new();
+        s.select(&mut q, &snapshot(0, 0));
+        assert_eq!(s.current_mpl(), 7);
+    }
+}

@@ -1,0 +1,155 @@
+//! Basic queue-management schedulers: FCFS and strict priority.
+//!
+//! These are the reference points the research schedulers improve on. Both
+//! respect a dispatch MPL; the priority scheduler additionally orders the
+//! queue by business importance (with arrival order as the tie-break, so
+//! equal-importance work stays fair).
+
+use crate::api::{ManagedRequest, Scheduler, SystemSnapshot};
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+
+/// First-come-first-served dispatch under a fixed MPL.
+#[derive(Debug, Clone, Copy)]
+pub struct FcfsScheduler {
+    /// Dispatch while fewer than this many queries run.
+    pub max_mpl: usize,
+}
+
+impl FcfsScheduler {
+    /// New FCFS scheduler.
+    pub fn new(max_mpl: usize) -> Self {
+        FcfsScheduler { max_mpl }
+    }
+}
+
+impl Classified for FcfsScheduler {
+    fn taxonomy(&self) -> TaxonomyPath {
+        TaxonomyPath::new(TechniqueClass::Scheduling, "Queue Management")
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "FCFS Queue"
+    }
+}
+
+impl Scheduler for FcfsScheduler {
+    fn select(
+        &mut self,
+        queue: &mut Vec<ManagedRequest>,
+        snap: &SystemSnapshot,
+    ) -> Vec<ManagedRequest> {
+        let slots = self.max_mpl.saturating_sub(snap.running);
+        let take = slots.min(queue.len());
+        queue.drain(..take).collect()
+    }
+}
+
+/// Strict-priority dispatch under a fixed MPL: highest importance first,
+/// arrival order within a level.
+#[derive(Debug, Clone, Copy)]
+pub struct PriorityScheduler {
+    /// Dispatch while fewer than this many queries run.
+    pub max_mpl: usize,
+}
+
+impl PriorityScheduler {
+    /// New priority scheduler.
+    pub fn new(max_mpl: usize) -> Self {
+        PriorityScheduler { max_mpl }
+    }
+}
+
+impl Classified for PriorityScheduler {
+    fn taxonomy(&self) -> TaxonomyPath {
+        TaxonomyPath::new(TechniqueClass::Scheduling, "Queue Management")
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "Priority Queue"
+    }
+}
+
+impl Scheduler for PriorityScheduler {
+    fn select(
+        &mut self,
+        queue: &mut Vec<ManagedRequest>,
+        snap: &SystemSnapshot,
+    ) -> Vec<ManagedRequest> {
+        let slots = self.max_mpl.saturating_sub(snap.running);
+        if slots == 0 || queue.is_empty() {
+            return Vec::new();
+        }
+        // Stable sort keeps arrival order within an importance level.
+        queue.sort_by_key(|r| std::cmp::Reverse(r.importance));
+        let take = slots.min(queue.len());
+        queue.drain(..take).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{managed, snapshot};
+    use wlm_workload::request::Importance;
+
+    #[test]
+    fn fcfs_respects_mpl_and_order() {
+        let mut s = FcfsScheduler::new(3);
+        let mut q = vec![
+            managed("a", 1, Importance::Low),
+            managed("b", 2, Importance::Critical),
+            managed("c", 3, Importance::Medium),
+            managed("d", 4, Importance::High),
+        ];
+        let picked = s.select(&mut q, &snapshot(1, 0));
+        assert_eq!(picked.len(), 2, "3 slots - 1 running");
+        assert_eq!(picked[0].workload, "a");
+        assert_eq!(picked[1].workload, "b");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn fcfs_dispatches_nothing_when_full() {
+        let mut s = FcfsScheduler::new(2);
+        let mut q = vec![managed("a", 1, Importance::Low)];
+        assert!(s.select(&mut q, &snapshot(2, 0)).is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn priority_picks_important_first() {
+        let mut s = PriorityScheduler::new(2);
+        let mut q = vec![
+            managed("low1", 1, Importance::Low),
+            managed("crit", 2, Importance::Critical),
+            managed("low2", 3, Importance::Low),
+            managed("high", 4, Importance::High),
+        ];
+        let picked = s.select(&mut q, &snapshot(0, 0));
+        assert_eq!(picked[0].workload, "crit");
+        assert_eq!(picked[1].workload, "high");
+        // Remaining keep arrival order.
+        assert_eq!(q[0].workload, "low1");
+        assert_eq!(q[1].workload, "low2");
+    }
+
+    #[test]
+    fn priority_ties_break_by_arrival() {
+        let mut s = PriorityScheduler::new(1);
+        let mut q = vec![
+            managed("first", 1, Importance::Medium),
+            managed("second", 2, Importance::Medium),
+        ];
+        let picked = s.select(&mut q, &snapshot(0, 0));
+        assert_eq!(picked[0].workload, "first");
+    }
+
+    #[test]
+    fn taxonomy_is_queue_management() {
+        assert_eq!(
+            FcfsScheduler::new(1).taxonomy().subclass,
+            "Queue Management"
+        );
+        assert!(PriorityScheduler::new(1).taxonomy().is_valid());
+    }
+}

@@ -1,0 +1,149 @@
+//! Query restructuring (Bruno, Narasayya & Ramamurthy, PVLDB'10 "Slicing
+//! Long-Running Queries"; Meng, Bird, Martin & Powley, CASCON'07).
+//!
+//! "Query restructuring techniques decompose a query into a set of small
+//! queries ... a set of decomposed queries can then be put in a queue and
+//! scheduled individually. In releasing these queries for execution, no
+//! short queries will be stuck behind large queries." [`slice_spec`]
+//! decomposes a plan into sub-plans whose results compose to the original
+//! (each operator's work is partitioned; pieces execute in order), and
+//! [`Restructurer`] decides which requests to slice and into how many
+//! pieces. The manager dispatches piece *i+1* when piece *i* completes and
+//! attributes the original arrival time to the final piece, so end-to-end
+//! latency accounting is unchanged.
+
+use crate::api::ManagedRequest;
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use serde::{Deserialize, Serialize};
+use wlm_dbsim::plan::{Plan, QuerySpec};
+
+/// Slice a query into `pieces` sub-queries of roughly equal work. Returns
+/// the original spec untouched when `pieces <= 1` or the plan is empty.
+/// Lock-carrying (write) specs are never sliced: splitting a transaction
+/// would change its atomicity.
+pub fn slice_spec(spec: &QuerySpec, pieces: usize) -> Vec<QuerySpec> {
+    if pieces <= 1 || spec.plan.ops.is_empty() || !spec.write_keys.is_empty() {
+        return vec![spec.clone()];
+    }
+    let mut slices: Vec<QuerySpec> = (0..pieces)
+        .map(|_| QuerySpec {
+            plan: Plan { ops: Vec::new() },
+            ..spec.clone()
+        })
+        .collect();
+    for op in &spec.plan.ops {
+        for (slice, part) in slices.iter_mut().zip(op.split(pieces)) {
+            slice.plan.ops.push(part);
+        }
+    }
+    // Pieces after the first touch data the first piece pulled in, so give
+    // them the same working set but label them as continuations.
+    for (i, s) in slices.iter_mut().enumerate() {
+        s.label = format!("{}#{}", spec.label, i + 1);
+    }
+    slices
+}
+
+/// Policy for when and how much to slice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Restructurer {
+    /// Requests with estimated cost above this get sliced, timerons.
+    pub slice_threshold_timerons: f64,
+    /// Target work per piece, timerons; piece count is `ceil(cost/target)`.
+    pub target_piece_timerons: f64,
+    /// Upper bound on pieces per query.
+    pub max_pieces: usize,
+}
+
+impl Default for Restructurer {
+    fn default() -> Self {
+        Restructurer {
+            slice_threshold_timerons: 10_000_000.0, // ~10s of work
+            target_piece_timerons: 5_000_000.0,
+            max_pieces: 16,
+        }
+    }
+}
+
+impl Restructurer {
+    /// How many pieces this request should become (1 = leave whole).
+    pub fn pieces_for(&self, req: &ManagedRequest) -> usize {
+        if req.estimate.timerons <= self.slice_threshold_timerons
+            || !req.request.spec.write_keys.is_empty()
+        {
+            return 1;
+        }
+        ((req.estimate.timerons / self.target_piece_timerons).ceil() as usize)
+            .clamp(2, self.max_pieces)
+    }
+
+    /// Slice a request's spec per this policy.
+    pub fn restructure(&self, req: &ManagedRequest) -> Vec<QuerySpec> {
+        slice_spec(&req.request.spec, self.pieces_for(req))
+    }
+}
+
+impl Classified for Restructurer {
+    fn taxonomy(&self) -> TaxonomyPath {
+        TaxonomyPath::new(TechniqueClass::Scheduling, "Query Restructuring")
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "Query Slicing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::managed;
+    use wlm_dbsim::plan::PlanBuilder;
+    use wlm_workload::request::Importance;
+
+    #[test]
+    fn slices_preserve_total_work() {
+        let spec = PlanBuilder::table_scan(1_000_000)
+            .filter(0.5)
+            .aggregate(10)
+            .build()
+            .into_spec()
+            .labeled("bi");
+        let pieces = slice_spec(&spec, 4);
+        assert_eq!(pieces.len(), 4);
+        let total: u64 = pieces.iter().map(|p| p.plan.total_work()).sum();
+        assert_eq!(total, spec.plan.total_work());
+        // Pieces are roughly equal.
+        let works: Vec<u64> = pieces.iter().map(|p| p.plan.total_work()).collect();
+        let max = *works.iter().max().unwrap() as f64;
+        let min = *works.iter().min().unwrap() as f64;
+        assert!(max / min < 1.2, "uneven pieces: {works:?}");
+        assert_eq!(pieces[0].label, "bi#1");
+    }
+
+    #[test]
+    fn one_piece_and_writes_are_untouched() {
+        let spec = PlanBuilder::table_scan(1000).build().into_spec();
+        assert_eq!(slice_spec(&spec, 1).len(), 1);
+        let write = spec.clone().with_write_keys(vec![1]);
+        assert_eq!(slice_spec(&write, 8).len(), 1, "transactions stay atomic");
+    }
+
+    #[test]
+    fn policy_slices_only_big_queries() {
+        let r = Restructurer::default();
+        let small = managed("bi", 100_000, Importance::Low);
+        assert_eq!(r.pieces_for(&small), 1);
+        let big = managed("bi", 200_000_000, Importance::Low); // ~280M timerons
+        let n = r.pieces_for(&big);
+        assert!(n >= 2 && n <= r.max_pieces, "pieces {n}");
+        assert_eq!(r.restructure(&big).len(), n);
+    }
+
+    #[test]
+    fn taxonomy_is_query_restructuring() {
+        assert_eq!(
+            Restructurer::default().taxonomy().subclass,
+            "Query Restructuring"
+        );
+    }
+}

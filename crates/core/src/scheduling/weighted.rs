@@ -1,0 +1,188 @@
+//! Weighted fair queueing dispatch.
+//!
+//! Between strict priority (starves the unimportant) and FCFS (ignores
+//! importance) sits weighted sharing of *dispatch slots*: each workload
+//! receives dispatch opportunities in proportion to a configured weight.
+//! The scheduler tracks per-workload virtual dispatch counts and always
+//! releases the queued request whose workload has the smallest
+//! `dispatched / weight` ratio — a start-time-fair-queueing approximation
+//! that cannot starve anyone with a positive weight.
+
+use crate::api::{ManagedRequest, Scheduler, SystemSnapshot};
+use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use std::collections::BTreeMap;
+
+/// Weighted fair queueing over workloads, under a dispatch MPL.
+#[derive(Debug, Clone)]
+pub struct WeightedFairScheduler {
+    /// Dispatch while fewer than this many queries run.
+    pub max_mpl: usize,
+    /// Dispatch weight per workload; unlisted workloads get
+    /// [`Self::default_weight`].
+    pub weights: BTreeMap<String, f64>,
+    /// Weight of workloads without an entry.
+    pub default_weight: f64,
+    virtual_dispatched: BTreeMap<String, f64>,
+}
+
+impl WeightedFairScheduler {
+    /// New scheduler with the given per-workload weights.
+    pub fn new(max_mpl: usize, weights: BTreeMap<String, f64>) -> Self {
+        WeightedFairScheduler {
+            max_mpl,
+            weights,
+            default_weight: 1.0,
+            virtual_dispatched: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style weight entry.
+    pub fn with_weight(mut self, workload: &str, weight: f64) -> Self {
+        self.weights.insert(workload.into(), weight.max(1e-6));
+        self
+    }
+
+    fn weight_of(&self, workload: &str) -> f64 {
+        self.weights
+            .get(workload)
+            .copied()
+            .unwrap_or(self.default_weight)
+            .max(1e-6)
+    }
+
+    fn finish_tag(&self, workload: &str) -> f64 {
+        let dispatched = self
+            .virtual_dispatched
+            .get(workload)
+            .copied()
+            .unwrap_or(0.0);
+        dispatched / self.weight_of(workload)
+    }
+}
+
+impl Classified for WeightedFairScheduler {
+    fn taxonomy(&self) -> TaxonomyPath {
+        TaxonomyPath::new(TechniqueClass::Scheduling, "Queue Management")
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "Weighted Fair Queue"
+    }
+}
+
+impl Scheduler for WeightedFairScheduler {
+    fn select(
+        &mut self,
+        queue: &mut Vec<ManagedRequest>,
+        snap: &SystemSnapshot,
+    ) -> Vec<ManagedRequest> {
+        let mut slots = self.max_mpl.saturating_sub(snap.running);
+        let mut picked = Vec::new();
+        while slots > 0 && !queue.is_empty() {
+            // The queued workload with the smallest virtual finish tag wins;
+            // within a workload, arrival order (queue order) is preserved.
+            let (idx, workload) = {
+                let mut best: Option<(usize, f64)> = None;
+                let mut seen: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+                for (i, req) in queue.iter().enumerate() {
+                    if !seen.insert(req.workload.as_str()) {
+                        continue; // only each workload's head competes
+                    }
+                    let tag = self.finish_tag(&req.workload);
+                    if best.is_none_or(|(_, t)| tag < t) {
+                        best = Some((i, tag));
+                    }
+                }
+                let (i, _) = best.expect("queue non-empty");
+                (i, queue[i].workload.clone())
+            };
+            *self.virtual_dispatched.entry(workload).or_insert(0.0) += 1.0;
+            picked.push(queue.remove(idx));
+            slots -= 1;
+        }
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{managed, snapshot};
+    use wlm_workload::request::Importance;
+
+    fn scheduler() -> WeightedFairScheduler {
+        WeightedFairScheduler::new(4, BTreeMap::new())
+            .with_weight("gold", 3.0)
+            .with_weight("bronze", 1.0)
+    }
+
+    #[test]
+    fn dispatch_ratio_follows_weights() {
+        let mut s = WeightedFairScheduler::new(1, BTreeMap::new())
+            .with_weight("gold", 3.0)
+            .with_weight("bronze", 1.0);
+        let mut gold_dispatched = 0;
+        let mut bronze_dispatched = 0;
+        // Always-full backlogs of both workloads, one slot per round.
+        for _ in 0..200 {
+            let mut q = vec![
+                managed("gold", 100, Importance::Medium),
+                managed("bronze", 100, Importance::Medium),
+            ];
+            let picked = s.select(&mut q, &snapshot(0, 2));
+            match picked[0].workload.as_str() {
+                "gold" => gold_dispatched += 1,
+                _ => bronze_dispatched += 1,
+            }
+        }
+        let ratio = gold_dispatched as f64 / bronze_dispatched as f64;
+        assert!(
+            (2.5..=3.5).contains(&ratio),
+            "3:1 weights should give ~3:1 dispatches, got {gold_dispatched}:{bronze_dispatched}"
+        );
+    }
+
+    #[test]
+    fn no_starvation_with_positive_weights() {
+        let mut s = WeightedFairScheduler::new(1, BTreeMap::new())
+            .with_weight("gold", 100.0)
+            .with_weight("bronze", 0.5);
+        let mut bronze_seen = false;
+        for _ in 0..400 {
+            let mut q = vec![
+                managed("gold", 100, Importance::Medium),
+                managed("bronze", 100, Importance::Medium),
+            ];
+            if s.select(&mut q, &snapshot(0, 2))[0].workload == "bronze" {
+                bronze_seen = true;
+            }
+        }
+        assert!(bronze_seen, "even tiny weights must eventually dispatch");
+    }
+
+    #[test]
+    fn respects_mpl_and_arrival_order_within_workload() {
+        let mut s = scheduler();
+        s.max_mpl = 2;
+        let mut q = vec![
+            managed("gold", 1, Importance::Medium),
+            managed("gold", 2, Importance::Medium),
+            managed("gold", 3, Importance::Medium),
+        ];
+        let first_ids: Vec<u64> = {
+            let picked = s.select(&mut q, &snapshot(0, 3));
+            picked.iter().map(|r| r.request.id.0).collect()
+        };
+        assert_eq!(first_ids.len(), 2);
+        assert!(first_ids[0] < first_ids[1], "arrival order kept");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn unknown_workloads_use_default_weight() {
+        let mut s = scheduler();
+        s.max_mpl = 1;
+        let mut q = vec![managed("mystery", 1, Importance::Low)];
+        assert_eq!(s.select(&mut q, &snapshot(0, 1)).len(), 1);
+    }
+}

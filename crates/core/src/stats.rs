@@ -1,0 +1,145 @@
+//! Per-workload performance accounting and SLA reporting.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wlm_dbsim::metrics::{summarize, SummaryStats};
+use wlm_dbsim::time::SimTime;
+use wlm_workload::sla::{ServiceLevelAgreement, SlaEvaluation};
+
+/// Accumulated outcomes for one workload.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Response-time samples (arrival → completion), seconds.
+    pub responses_secs: Vec<f64>,
+    /// Execution-velocity samples.
+    pub velocities: Vec<f64>,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests killed (and not resubmitted).
+    pub killed: u64,
+    /// Requests rejected at admission.
+    pub rejected: u64,
+    /// Kill-and-resubmit events.
+    pub resubmitted: u64,
+    /// Suspension events.
+    pub suspended: u64,
+}
+
+impl WorkloadStats {
+    /// Response-time summary.
+    pub fn summary(&self) -> SummaryStats {
+        summarize(&self.responses_secs)
+    }
+
+    /// Mean velocity (1.0 if no samples).
+    pub fn mean_velocity(&self) -> f64 {
+        if self.velocities.is_empty() {
+            1.0
+        } else {
+            self.velocities.iter().sum::<f64>() / self.velocities.len() as f64
+        }
+    }
+}
+
+/// SLA outcome for one workload over a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// Workload name.
+    pub workload: String,
+    /// Outcome counts and samples.
+    pub stats: WorkloadStats,
+    /// Response summary.
+    pub summary: SummaryStats,
+    /// SLA evaluation (empty SLA evaluates as met).
+    pub sla: SlaEvaluation,
+}
+
+/// The book of per-workload stats for a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StatsBook {
+    workloads: BTreeMap<String, WorkloadStats>,
+    /// When accounting started.
+    pub started: SimTime,
+}
+
+impl StatsBook {
+    /// Fresh book starting at `started`.
+    pub fn new(started: SimTime) -> Self {
+        StatsBook {
+            workloads: BTreeMap::new(),
+            started,
+        }
+    }
+
+    /// Mutable stats for a workload (created on first touch).
+    pub fn entry(&mut self, workload: &str) -> &mut WorkloadStats {
+        self.workloads.entry(workload.to_string()).or_default()
+    }
+
+    /// Stats for a workload, if any were recorded.
+    pub fn get(&self, workload: &str) -> Option<&WorkloadStats> {
+        self.workloads.get(workload)
+    }
+
+    /// All workload names seen.
+    pub fn workloads(&self) -> impl Iterator<Item = &str> {
+        self.workloads.keys().map(String::as_str)
+    }
+
+    /// Build per-workload reports, evaluating each against its SLA.
+    pub fn report(
+        &self,
+        slas: &BTreeMap<String, ServiceLevelAgreement>,
+        now: SimTime,
+    ) -> Vec<WorkloadReport> {
+        let elapsed = now.since(self.started).as_secs_f64();
+        self.workloads
+            .iter()
+            .map(|(name, stats)| {
+                let sla = slas.get(name).cloned().unwrap_or_default();
+                WorkloadReport {
+                    workload: name.clone(),
+                    summary: stats.summary(),
+                    sla: sla.evaluate(&stats.responses_secs, &stats.velocities, elapsed),
+                    stats: stats.clone(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_accumulates_and_reports() {
+        let mut book = StatsBook::new(SimTime::ZERO);
+        {
+            let s = book.entry("oltp");
+            s.responses_secs.extend([0.1, 0.2, 0.3]);
+            s.completed = 3;
+        }
+        book.entry("bi").rejected = 2;
+
+        let mut slas = BTreeMap::new();
+        slas.insert("oltp".to_string(), ServiceLevelAgreement::avg_response(1.0));
+        let reports = book.report(&slas, SimTime(10_000_000));
+        assert_eq!(reports.len(), 2);
+        let oltp = reports.iter().find(|r| r.workload == "oltp").unwrap();
+        assert!(oltp.sla.met());
+        assert_eq!(oltp.summary.count, 3);
+        let bi = reports.iter().find(|r| r.workload == "bi").unwrap();
+        assert!(bi.sla.met(), "no-goal workload is vacuously met");
+        assert_eq!(bi.stats.rejected, 2);
+    }
+
+    #[test]
+    fn mean_velocity_defaults_to_one() {
+        let s = WorkloadStats::default();
+        assert_eq!(s.mean_velocity(), 1.0);
+        let mut s2 = WorkloadStats::default();
+        s2.velocities.extend([0.2, 0.4]);
+        assert!((s2.mean_velocity() - 0.3).abs() < 1e-9);
+    }
+}

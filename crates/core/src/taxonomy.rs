@@ -1,0 +1,432 @@
+//! The taxonomy of workload management techniques (the paper's Figure 1)
+//! and the registry that regenerates it — plus Tables 1–5 — from the
+//! implemented techniques.
+//!
+//! Every technique in this crate implements [`Classified`], reporting its
+//! position in the taxonomy. The report generators walk the registry, so
+//! the printed figure and tables describe exactly what the code contains.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// The four major technique classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TechniqueClass {
+    /// Identifying characteristic classes of a workload.
+    WorkloadCharacterization,
+    /// Deciding whether arriving requests may enter the system.
+    AdmissionControl,
+    /// Ordering and releasing requests from wait queues.
+    Scheduling,
+    /// Managing requests while they run.
+    ExecutionControl,
+}
+
+impl TechniqueClass {
+    /// All classes, in the paper's order.
+    pub const ALL: [TechniqueClass; 4] = [
+        TechniqueClass::WorkloadCharacterization,
+        TechniqueClass::AdmissionControl,
+        TechniqueClass::Scheduling,
+        TechniqueClass::ExecutionControl,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TechniqueClass::WorkloadCharacterization => "Workload Characterization",
+            TechniqueClass::AdmissionControl => "Admission Control",
+            TechniqueClass::Scheduling => "Scheduling",
+            TechniqueClass::ExecutionControl => "Execution Control",
+        }
+    }
+
+    /// The subclasses of this class, as in Figure 1.
+    pub fn subclasses(self) -> &'static [&'static str] {
+        match self {
+            TechniqueClass::WorkloadCharacterization => {
+                &["Static Characterization", "Dynamic Characterization"]
+            }
+            TechniqueClass::AdmissionControl => &["Threshold-based", "Prediction-based"],
+            TechniqueClass::Scheduling => &["Queue Management", "Query Restructuring"],
+            TechniqueClass::ExecutionControl => &[
+                "Query Reprioritization",
+                "Query Cancellation",
+                "Request Suspension",
+            ],
+        }
+    }
+
+    /// Sub-subclasses, where Figure 1 has them.
+    pub fn variants(self, subclass: &str) -> &'static [&'static str] {
+        if self == TechniqueClass::ExecutionControl && subclass == "Request Suspension" {
+            &["Request Throttling", "Query Suspend-and-Resume"]
+        } else {
+            &[]
+        }
+    }
+}
+
+/// A position in the taxonomy tree: class → subclass → optional variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct TaxonomyPath {
+    /// Major class.
+    pub class: TechniqueClass,
+    /// Subclass within the class (one of [`TechniqueClass::subclasses`]).
+    pub subclass: &'static str,
+    /// Sub-subclass, where Figure 1 nests further.
+    pub variant: Option<&'static str>,
+}
+
+impl TaxonomyPath {
+    /// Construct a class/subclass path.
+    pub const fn new(class: TechniqueClass, subclass: &'static str) -> Self {
+        TaxonomyPath {
+            class,
+            subclass,
+            variant: None,
+        }
+    }
+
+    /// Construct a class/subclass/variant path.
+    pub const fn with_variant(
+        class: TechniqueClass,
+        subclass: &'static str,
+        variant: &'static str,
+    ) -> Self {
+        TaxonomyPath {
+            class,
+            subclass,
+            variant: Some(variant),
+        }
+    }
+
+    /// Whether this path names a node that exists in Figure 1.
+    pub fn is_valid(&self) -> bool {
+        if !self.class.subclasses().contains(&self.subclass) {
+            return false;
+        }
+        match self.variant {
+            None => true,
+            Some(v) => self.class.variants(self.subclass).contains(&v),
+        }
+    }
+
+    /// Render as `Class / Subclass[ / Variant]`.
+    pub fn render(&self) -> String {
+        match self.variant {
+            Some(v) => format!("{} / {} / {}", self.class.name(), self.subclass, v),
+            None => format!("{} / {}", self.class.name(), self.subclass),
+        }
+    }
+}
+
+/// Implemented by every technique so the registry can classify it.
+pub trait Classified {
+    /// Where the technique sits in Figure 1.
+    fn taxonomy(&self) -> TaxonomyPath;
+    /// Short technique name for tables.
+    fn technique_name(&self) -> &'static str;
+}
+
+/// Registry metadata for one implemented technique (a row in the tables).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TechniqueInfo {
+    /// Technique name as the tables print it.
+    pub name: &'static str,
+    /// Position in Figure 1.
+    pub path: TaxonomyPath,
+    /// Mechanism description (Table 2/3 "Description", Table 5 "Features").
+    pub description: &'static str,
+    /// What the technique aims to achieve (Table 5 "Objectives").
+    pub objectives: &'static str,
+    /// Literature reference the implementation follows.
+    pub reference: &'static str,
+    /// Threshold/metric type for admission techniques (Table 2 "Type").
+    pub metric_type: &'static str,
+    /// Implementing module path (`wlm-core::...`), for the DESIGN.md index.
+    pub module: &'static str,
+}
+
+/// The registry of implemented techniques.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Registry {
+    techniques: Vec<TechniqueInfo>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a technique. Panics on an invalid taxonomy path — a
+    /// technique must sit somewhere in Figure 1.
+    pub fn register(&mut self, info: TechniqueInfo) {
+        assert!(
+            info.path.is_valid(),
+            "technique `{}` has invalid taxonomy path {:?}",
+            info.name,
+            info.path
+        );
+        self.techniques.push(info);
+    }
+
+    /// All registered techniques.
+    pub fn techniques(&self) -> &[TechniqueInfo] {
+        &self.techniques
+    }
+
+    /// Techniques in one class.
+    pub fn in_class(&self, class: TechniqueClass) -> Vec<&TechniqueInfo> {
+        self.techniques
+            .iter()
+            .filter(|t| t.path.class == class)
+            .collect()
+    }
+
+    /// Render Figure 1: the taxonomy tree, annotated with the implemented
+    /// techniques at each leaf.
+    pub fn render_figure1(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Workload Management Techniques for DBMSs\n");
+        for class in TechniqueClass::ALL {
+            let _ = writeln!(out, "├── {}", class.name());
+            let subs = class.subclasses();
+            for (si, sub) in subs.iter().enumerate() {
+                let last_sub = si == subs.len() - 1;
+                let sub_prefix = if last_sub { "└──" } else { "├──" };
+                let _ = writeln!(out, "│   {sub_prefix} {sub}");
+                let cont = if last_sub { "    " } else { "│   " };
+                let variants = class.variants(sub);
+                if variants.is_empty() {
+                    for t in self.leaf_techniques(class, sub, None) {
+                        let _ = writeln!(out, "│   {cont}    · {}", t.name);
+                    }
+                } else {
+                    for (vi, var) in variants.iter().enumerate() {
+                        let last_var = vi == variants.len() - 1;
+                        let vp = if last_var { "└──" } else { "├──" };
+                        let _ = writeln!(out, "│   {cont}{vp} {var}");
+                        let vcont = if last_var { "    " } else { "│   " };
+                        for t in self.leaf_techniques(class, sub, Some(var)) {
+                            let _ = writeln!(out, "│   {cont}{vcont}    · {}", t.name);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn leaf_techniques(
+        &self,
+        class: TechniqueClass,
+        subclass: &str,
+        variant: Option<&str>,
+    ) -> Vec<&TechniqueInfo> {
+        self.techniques
+            .iter()
+            .filter(|t| {
+                t.path.class == class && t.path.subclass == subclass && t.path.variant == variant
+            })
+            .collect()
+    }
+
+    /// Render Table 2: the admission-control approaches.
+    pub fn render_table2(&self) -> String {
+        let mut out = String::from("TABLE 2 — APPROACHES USED FOR WORKLOAD ADMISSION CONTROL\n");
+        let _ = writeln!(
+            out,
+            "{:<28} {:<20} DESCRIPTION",
+            "THRESHOLD/APPROACH", "TYPE"
+        );
+        for t in self.in_class(TechniqueClass::AdmissionControl) {
+            let _ = writeln!(
+                out,
+                "{:<28} {:<20} {}",
+                t.name, t.metric_type, t.description
+            );
+        }
+        out
+    }
+
+    /// Render Table 3: the execution-control approaches.
+    pub fn render_table3(&self) -> String {
+        let mut out = String::from("TABLE 3 — APPROACHES USED FOR WORKLOAD EXECUTION CONTROL\n");
+        let _ = writeln!(out, "{:<28} {:<26} DESCRIPTION", "APPROACH", "TYPE");
+        for t in self.in_class(TechniqueClass::ExecutionControl) {
+            let ty = t.path.variant.unwrap_or(t.path.subclass);
+            let _ = writeln!(out, "{:<28} {:<26} {}", t.name, ty, t.description);
+        }
+        out
+    }
+
+    /// Render Table 5: research techniques — classes, features, objectives.
+    pub fn render_table5(&self, names: &[&str]) -> String {
+        let mut out = String::from("TABLE 5 — SUMMARY OF THE WORKLOAD MANAGEMENT TECHNIQUES\n");
+        let _ = writeln!(
+            out,
+            "{:<26} {:<46} {:<56} OBJECTIVES",
+            "TECHNIQUE", "CLASS", "FEATURES"
+        );
+        for name in names {
+            if let Some(t) = self.techniques.iter().find(|t| t.name == *name) {
+                let _ = writeln!(
+                    out,
+                    "{:<26} {:<46} {:<56} {}",
+                    t.name,
+                    t.path.render(),
+                    t.description,
+                    t.objectives
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Render Table 1: the three control types in a workload management process.
+/// This table is structural (it describes the process, not particular
+/// techniques), so it is generated from the class definitions directly.
+pub fn render_table1() -> String {
+    let rows = [
+        (
+            "Admission Control",
+            "Determines whether or not an arriving request can be admitted into a database system",
+            "Upon arrival in the database system",
+            "Admission control policies derived from a workload management policy",
+        ),
+        (
+            "Scheduling",
+            "Determines the execution order of requests in batch workloads or in wait queues",
+            "Prior to sending requests to the database execution engine",
+            "Scheduling policies derived from a workload management policy",
+        ),
+        (
+            "Execution Control",
+            "Manages the execution of running requests to reduce their performance impact on other requests running concurrently",
+            "During execution of the requests",
+            "Execution control policies derived from a workload management policy",
+        ),
+    ];
+    let mut out =
+        String::from("TABLE 1 — THREE TYPES OF CONTROLS IN A WORKLOAD MANAGEMENT PROCESS\n");
+    let _ = writeln!(
+        out,
+        "{:<20} {:<100} {:<60} ASSOCIATED POLICY",
+        "CONTROL TYPE", "DESCRIPTION", "CONTROL POINT"
+    );
+    for (name, desc, point, policy) in rows {
+        let _ = writeln!(out, "{name:<20} {desc:<100} {point:<60} {policy}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &'static str, path: TaxonomyPath) -> TechniqueInfo {
+        TechniqueInfo {
+            name,
+            path,
+            description: "desc",
+            objectives: "obj",
+            reference: "ref",
+            metric_type: "System Parameter",
+            module: "m",
+        }
+    }
+
+    #[test]
+    fn paths_validate_against_figure1() {
+        let ok = TaxonomyPath::new(TechniqueClass::AdmissionControl, "Threshold-based");
+        assert!(ok.is_valid());
+        let bad = TaxonomyPath::new(TechniqueClass::AdmissionControl, "Queue Management");
+        assert!(!bad.is_valid());
+        let variant_ok = TaxonomyPath::with_variant(
+            TechniqueClass::ExecutionControl,
+            "Request Suspension",
+            "Request Throttling",
+        );
+        assert!(variant_ok.is_valid());
+        let variant_bad = TaxonomyPath::with_variant(
+            TechniqueClass::ExecutionControl,
+            "Query Cancellation",
+            "Request Throttling",
+        );
+        assert!(!variant_bad.is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid taxonomy path")]
+    fn register_rejects_invalid_paths() {
+        let mut r = Registry::new();
+        r.register(sample(
+            "bogus",
+            TaxonomyPath::new(TechniqueClass::Scheduling, "Threshold-based"),
+        ));
+    }
+
+    #[test]
+    fn figure1_contains_all_classes_and_registered_leaves() {
+        let mut r = Registry::new();
+        r.register(sample(
+            "MPL Threshold",
+            TaxonomyPath::new(TechniqueClass::AdmissionControl, "Threshold-based"),
+        ));
+        r.register(sample(
+            "Constant Throttle",
+            TaxonomyPath::with_variant(
+                TechniqueClass::ExecutionControl,
+                "Request Suspension",
+                "Request Throttling",
+            ),
+        ));
+        let fig = r.render_figure1();
+        for class in TechniqueClass::ALL {
+            assert!(fig.contains(class.name()), "missing {}", class.name());
+        }
+        assert!(fig.contains("MPL Threshold"));
+        assert!(fig.contains("Constant Throttle"));
+        assert!(fig.contains("Query Suspend-and-Resume"));
+    }
+
+    #[test]
+    fn tables_render_rows() {
+        let mut r = Registry::new();
+        r.register(sample(
+            "Query Cost",
+            TaxonomyPath::new(TechniqueClass::AdmissionControl, "Threshold-based"),
+        ));
+        r.register(sample(
+            "Query Kill",
+            TaxonomyPath::new(TechniqueClass::ExecutionControl, "Query Cancellation"),
+        ));
+        assert!(r.render_table2().contains("Query Cost"));
+        assert!(r.render_table3().contains("Query Kill"));
+        assert!(r.render_table5(&["Query Kill"]).contains("Query Kill"));
+        assert!(render_table1().contains("Admission Control"));
+        assert!(render_table1().contains("During execution"));
+    }
+
+    #[test]
+    fn in_class_filters() {
+        let mut r = Registry::new();
+        r.register(sample(
+            "a",
+            TaxonomyPath::new(TechniqueClass::Scheduling, "Queue Management"),
+        ));
+        r.register(sample(
+            "b",
+            TaxonomyPath::new(TechniqueClass::Scheduling, "Query Restructuring"),
+        ));
+        r.register(sample(
+            "c",
+            TaxonomyPath::new(TechniqueClass::AdmissionControl, "Prediction-based"),
+        ));
+        assert_eq!(r.in_class(TechniqueClass::Scheduling).len(), 2);
+        assert_eq!(r.in_class(TechniqueClass::ExecutionControl).len(), 0);
+    }
+}

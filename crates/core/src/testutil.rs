@@ -1,0 +1,73 @@
+//! Shared helpers for unit tests across the crate.
+
+use crate::api::{ManagedRequest, SystemSnapshot};
+use wlm_dbsim::optimizer::CostModel;
+use wlm_dbsim::plan::PlanBuilder;
+use wlm_dbsim::time::SimTime;
+use wlm_workload::request::{Importance, Origin, Request, RequestId};
+
+/// A managed request scanning `rows` rows, mapped to `workload`.
+pub(crate) fn managed(workload: &str, rows: u64, importance: Importance) -> ManagedRequest {
+    let spec = PlanBuilder::table_scan(rows)
+        .build()
+        .into_spec()
+        .labeled(workload);
+    let estimate = CostModel::oracle().estimate_spec(&spec);
+    ManagedRequest {
+        request: Request {
+            id: RequestId(rows),
+            arrival: SimTime::ZERO,
+            origin: Origin::new("test_app", "tester", 1),
+            spec,
+            importance,
+        },
+        estimate,
+        workload: workload.into(),
+        importance,
+        weight: importance.default_weight(),
+    }
+}
+
+/// A running-query view with the given elapsed time and progress fraction.
+pub(crate) fn running(
+    id: u64,
+    workload: &str,
+    importance: Importance,
+    elapsed_secs: f64,
+    fraction: f64,
+) -> crate::api::RunningQuery {
+    use wlm_dbsim::engine::{QueryId, QueryProgress};
+    use wlm_dbsim::plan::OperatorKind;
+    use wlm_dbsim::time::SimDuration;
+    let request = managed(workload, 1_000_000, importance);
+    let total = request.request.spec.plan.total_work();
+    crate::api::RunningQuery {
+        id: QueryId(id),
+        progress: QueryProgress {
+            work_done_us: (total as f64 * fraction) as u64,
+            work_total_us: total,
+            fraction,
+            elapsed: SimDuration::from_secs_f64(elapsed_secs),
+            est_remaining: Some(SimDuration::from_secs_f64(
+                elapsed_secs * (1.0 - fraction).max(0.0) / fraction.max(1e-6),
+            )),
+            blocked: false,
+            op_idx: 0,
+            op_kind: OperatorKind::TableScan,
+        },
+        weight: importance.default_weight(),
+        throttle: 0.0,
+        restarts: 0,
+        request,
+    }
+}
+
+/// A snapshot with the given running/queued counts, everything else calm.
+pub(crate) fn snapshot(running: usize, queued: usize) -> SystemSnapshot {
+    SystemSnapshot {
+        running,
+        queued,
+        conflict_ratio: 1.0,
+        ..Default::default()
+    }
+}

@@ -1,0 +1,100 @@
+//! Buffer-pool hit-ratio model.
+//!
+//! The buffer pool is shared among running queries in proportion to their
+//! buffer-pool priority (DB2's *buffer pool priority* service-class
+//! attribute). A query whose share covers more of its hot working set hits
+//! more often and issues fewer physical reads — which is how
+//! reprioritization translates into real I/O relief in the simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Buffer-pool configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferPool {
+    /// Total pages in the pool.
+    pub pages: u64,
+    /// Hit-ratio ceiling; even a fully cached working set misses on first
+    /// touch, so the ratio never reaches 1.0.
+    pub max_hit: f64,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool {
+            pages: 131_072, // 1 GiB of 8 KiB pages
+            max_hit: 0.95,
+        }
+    }
+}
+
+impl BufferPool {
+    /// Hit ratio for a query holding `share_pages` of the pool against a hot
+    /// working set of `working_set_pages`.
+    ///
+    /// The ratio rises linearly with coverage of the working set and is
+    /// capped by `max_hit`. A zero working set means everything the query
+    /// touches is cold (hit ratio 0).
+    pub fn hit_ratio(&self, share_pages: f64, working_set_pages: u64) -> f64 {
+        if working_set_pages == 0 {
+            return 0.0;
+        }
+        let coverage = (share_pages / working_set_pages as f64).clamp(0.0, 1.0);
+        coverage * self.max_hit
+    }
+
+    /// Divide the pool among queries by buffer-pool weight; returns one
+    /// share (in pages) per input weight.
+    pub fn shares(&self, weights: &[f64]) -> Vec<f64> {
+        let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+        if total <= 0.0 {
+            return vec![0.0; weights.len()];
+        }
+        weights
+            .iter()
+            .map(|w| {
+                if *w > 0.0 {
+                    self.pages as f64 * w / total
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_scales_with_coverage() {
+        let bp = BufferPool {
+            pages: 1000,
+            max_hit: 0.9,
+        };
+        assert_eq!(bp.hit_ratio(0.0, 100), 0.0);
+        assert!((bp.hit_ratio(50.0, 100) - 0.45).abs() < 1e-9);
+        assert!((bp.hit_ratio(100.0, 100) - 0.9).abs() < 1e-9);
+        // Over-coverage is capped.
+        assert!((bp.hit_ratio(500.0, 100) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_working_set_never_hits() {
+        let bp = BufferPool::default();
+        assert_eq!(bp.hit_ratio(1000.0, 0), 0.0);
+    }
+
+    #[test]
+    fn shares_are_weight_proportional_and_complete() {
+        let bp = BufferPool {
+            pages: 1000,
+            max_hit: 0.9,
+        };
+        let s = bp.shares(&[3.0, 1.0]);
+        assert!((s[0] - 750.0).abs() < 1e-9);
+        assert!((s[1] - 250.0).abs() < 1e-9);
+        assert_eq!(bp.shares(&[]), Vec::<f64>::new());
+        assert_eq!(bp.shares(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,159 @@
+//! A synthetic database catalog.
+//!
+//! Workload generators build query plans against these tables so that plan
+//! shapes (row counts, page counts, join fan-outs) are realistic and
+//! internally consistent rather than arbitrary constants.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per page, fixed at the common 8 KiB.
+pub const PAGE_BYTES: u64 = 8192;
+
+/// A table in the synthetic catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name, unique within a catalog.
+    pub name: String,
+    /// Number of rows.
+    pub rows: u64,
+    /// Average row width in bytes.
+    pub row_bytes: u64,
+    /// Whether a primary-key index exists (enables index lookups costing
+    /// O(log n) pages instead of a full scan).
+    pub has_pk_index: bool,
+}
+
+impl Table {
+    /// Number of data pages occupied by the table.
+    pub fn pages(&self) -> u64 {
+        let rows_per_page = (PAGE_BYTES / self.row_bytes.max(1)).max(1);
+        self.rows.div_ceil(rows_per_page)
+    }
+}
+
+/// A set of tables forming one simulated database.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: Vec<Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A star-schema catalog in the spirit of a retail data warehouse: one
+    /// large fact table plus dimensions, and a small OLTP order table. This
+    /// is the default database used by the workload generators.
+    pub fn retail() -> Self {
+        let mut c = Self::new();
+        c.add(Table {
+            name: "sales_fact".into(),
+            rows: 50_000_000,
+            row_bytes: 96,
+            has_pk_index: false,
+        });
+        c.add(Table {
+            name: "customer_dim".into(),
+            rows: 2_000_000,
+            row_bytes: 256,
+            has_pk_index: true,
+        });
+        c.add(Table {
+            name: "product_dim".into(),
+            rows: 100_000,
+            row_bytes: 200,
+            has_pk_index: true,
+        });
+        c.add(Table {
+            name: "store_dim".into(),
+            rows: 1_000,
+            row_bytes: 180,
+            has_pk_index: true,
+        });
+        c.add(Table {
+            name: "orders".into(),
+            rows: 5_000_000,
+            row_bytes: 128,
+            has_pk_index: true,
+        });
+        c.add(Table {
+            name: "order_lines".into(),
+            rows: 20_000_000,
+            row_bytes: 72,
+            has_pk_index: true,
+        });
+        c
+    }
+
+    /// Add a table. Replaces any existing table of the same name.
+    pub fn add(&mut self, table: Table) {
+        if let Some(existing) = self.tables.iter_mut().find(|t| t.name == table.name) {
+            *existing = table;
+        } else {
+            self.tables.push(table);
+        }
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_round_up() {
+        let t = Table {
+            name: "t".into(),
+            rows: 100,
+            row_bytes: 8192,
+            has_pk_index: false,
+        };
+        assert_eq!(t.pages(), 100);
+        let t2 = Table {
+            name: "t2".into(),
+            rows: 3,
+            row_bytes: 100,
+            has_pk_index: false,
+        };
+        assert_eq!(t2.pages(), 1);
+    }
+
+    #[test]
+    fn retail_catalog_is_consistent() {
+        let c = Catalog::retail();
+        assert!(c.table("sales_fact").is_some());
+        assert!(c.table("nonexistent").is_none());
+        let fact = c.table("sales_fact").unwrap();
+        assert!(fact.pages() > 100_000, "fact table should be large");
+    }
+
+    #[test]
+    fn add_replaces_same_name() {
+        let mut c = Catalog::new();
+        c.add(Table {
+            name: "t".into(),
+            rows: 1,
+            row_bytes: 10,
+            has_pk_index: false,
+        });
+        c.add(Table {
+            name: "t".into(),
+            rows: 99,
+            row_bytes: 10,
+            has_pk_index: false,
+        });
+        assert_eq!(c.tables().len(), 1);
+        assert_eq!(c.table("t").unwrap().rows, 99);
+    }
+}

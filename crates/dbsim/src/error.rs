@@ -1,0 +1,36 @@
+//! Engine error types.
+
+use crate::engine::QueryId;
+use std::fmt;
+
+/// Errors returned by [`crate::DbEngine`] control operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The query id does not name a live (running, blocked or paused) query.
+    UnknownQuery(QueryId),
+    /// The operation is invalid in the query's current state
+    /// (e.g. resuming a query that is not paused).
+    InvalidState {
+        /// The query the operation targeted.
+        id: QueryId,
+        /// What the caller attempted.
+        op: &'static str,
+    },
+    /// A suspended query token was already consumed or does not belong to
+    /// this engine.
+    BadSuspendToken,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownQuery(id) => write!(f, "unknown query {id:?}"),
+            EngineError::InvalidState { id, op } => {
+                write!(f, "operation `{op}` invalid for current state of {id:?}")
+            }
+            EngineError::BadSuspendToken => write!(f, "invalid suspended-query token"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

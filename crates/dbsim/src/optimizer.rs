@@ -1,0 +1,203 @@
+//! The query optimizer's cost model.
+//!
+//! Workload management decisions (admission thresholds, scheduling cost
+//! limits, predictive work classes) are driven by *estimated* costs produced
+//! before execution, and the paper stresses that "query costs estimated by
+//! the database query optimizer may be inaccurate", which is how problematic
+//! long-runners slip into a loaded system. This module models that: the true
+//! demands live in the [`crate::plan::Plan`]; [`CostModel::estimate`]
+//! reports them perturbed by a configurable multiplicative log-normal error,
+//! deterministically derived from a seed and the plan itself, so a given
+//! query always receives the same (wrong) estimate.
+
+use crate::plan::{Plan, QuerySpec};
+use rand::SeedableRng;
+use rand_distr_free::sample_standard_normal;
+use serde::{Deserialize, Serialize};
+
+/// Cost estimate for one query, in the units workload managers consume.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostEstimate {
+    /// Abstract optimizer cost units ("timerons"): CPU µs + 100·pages,
+    /// perturbed by the model error.
+    pub timerons: f64,
+    /// Estimated elapsed execution time at full, uncontended resources,
+    /// in seconds.
+    pub exec_secs: f64,
+    /// Estimated rows returned.
+    pub rows: u64,
+    /// Estimated peak working memory, MiB.
+    pub mem_mb: u64,
+}
+
+/// A deterministic, configurably-inaccurate cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Standard deviation of the log-normal multiplicative error. `0.0`
+    /// yields a perfect oracle; `0.5` is a realistic optimizer; `1.0` is a
+    /// poor one (errors commonly 3-5x in either direction).
+    pub error_sigma: f64,
+    /// Seed mixed with each plan's fingerprint to derive its error.
+    pub seed: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            error_sigma: 0.5,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+impl CostModel {
+    /// A perfect oracle (zero estimation error).
+    pub fn oracle() -> Self {
+        CostModel {
+            error_sigma: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// A model with the given error level and seed.
+    pub fn with_error(error_sigma: f64, seed: u64) -> Self {
+        CostModel { error_sigma, seed }
+    }
+
+    /// Fingerprint a plan so the same plan always draws the same error.
+    fn fingerprint(&self, plan: &Plan) -> u64 {
+        // FxHash-style multiply-xor mix over the plan's demand vector.
+        let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            h = h.rotate_left(23);
+        };
+        for op in &plan.ops {
+            mix(op.cpu_us);
+            mix(op.io_pages);
+            mix(op.rows_out);
+            mix(op.kind as u64);
+        }
+        h
+    }
+
+    /// Multiplicative error factor drawn for this plan.
+    fn error_factor(&self, plan: &Plan) -> f64 {
+        if self.error_sigma == 0.0 {
+            return 1.0;
+        }
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(self.fingerprint(plan));
+        let z = sample_standard_normal(&mut rng);
+        (z * self.error_sigma).exp()
+    }
+
+    /// Estimate the cost of a plan.
+    pub fn estimate(&self, plan: &Plan) -> CostEstimate {
+        let factor = self.error_factor(plan);
+        let true_timerons = plan.total_work() as f64;
+        let est = true_timerons * factor;
+        CostEstimate {
+            timerons: est,
+            // One timeron is one microsecond-equivalent of service demand.
+            exec_secs: est / 1e6,
+            rows: ((plan.rows_out() as f64) * factor).round() as u64,
+            mem_mb: plan.peak_mem_mb(),
+        }
+    }
+
+    /// Estimate a full query spec (same as the plan estimate today; kept as
+    /// the public entry point so estimates can later use spec attributes).
+    pub fn estimate_spec(&self, spec: &QuerySpec) -> CostEstimate {
+        self.estimate(&spec.plan)
+    }
+}
+
+/// Free-standing standard-normal sampler.
+///
+/// `rand` alone (without `rand_distr`) has no normal distribution, and the
+/// offline crate set is fixed, so we carry a small Box-Muller implementation
+/// here rather than add a dependency.
+pub mod rand_distr_free {
+    use rand::Rng;
+
+    /// Draw one standard-normal variate via the Box-Muller transform.
+    pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // Avoid ln(0) by sampling u1 from (0, 1].
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Draw a log-normal variate with the given location and scale of the
+    /// underlying normal.
+    pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * sample_standard_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanBuilder;
+    use rand::SeedableRng;
+
+    fn plan(rows: u64) -> Plan {
+        PlanBuilder::table_scan(rows).filter(0.5).build()
+    }
+
+    #[test]
+    fn oracle_is_exact() {
+        let p = plan(100_000);
+        let est = CostModel::oracle().estimate(&p);
+        assert_eq!(est.timerons, p.total_work() as f64);
+        assert_eq!(est.rows, p.rows_out());
+    }
+
+    #[test]
+    fn estimates_are_deterministic_per_plan() {
+        let m = CostModel::with_error(0.8, 42);
+        let p = plan(100_000);
+        assert_eq!(m.estimate(&p).timerons, m.estimate(&p).timerons);
+    }
+
+    #[test]
+    fn different_plans_draw_different_errors() {
+        let m = CostModel::with_error(0.8, 42);
+        let a = m.estimate(&plan(100_000));
+        let b = m.estimate(&plan(100_001));
+        let fa = a.timerons / plan(100_000).total_work() as f64;
+        let fb = b.timerons / plan(100_001).total_work() as f64;
+        assert!((fa - fb).abs() > 1e-9, "errors should differ across plans");
+    }
+
+    #[test]
+    fn error_is_roughly_unbiased_in_log_space() {
+        let m = CostModel::with_error(0.5, 7);
+        let mut log_sum = 0.0;
+        let n = 2_000;
+        for i in 0..n {
+            let p = plan(10_000 + i);
+            let f = m.estimate(&p).timerons / p.total_work() as f64;
+            log_sum += f.ln();
+        }
+        let mean = log_sum / n as f64;
+        assert!(mean.abs() < 0.05, "log-error mean should be ~0, got {mean}");
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let n = 50_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = rand_distr_free::sample_standard_normal(&mut rng);
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Weighted fair sharing of a divisible resource.
+//!
+//! Each quantum, CPU time and disk I/O are divided among the active queries
+//! in proportion to their weights (their *resource access priority* in
+//! workload-management terms), with unused share redistributed by
+//! progressive filling ("water-filling"). This is the mechanism underneath
+//! priority-based resource allocation: reprioritization techniques simply
+//! change a query's weight, and the engine's sharing does the rest.
+
+/// One claimant on the resource: a weight and a demand (both non-negative).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Claim {
+    /// Fair-share weight; relative, must be positive to receive anything.
+    pub weight: f64,
+    /// Maximum amount the claimant can use this round.
+    pub demand: f64,
+}
+
+/// Divide `capacity` among `claims` by weighted max-min fairness.
+///
+/// Returns one grant per claim, with `grant[i] <= claims[i].demand` and
+/// `sum(grants) <= capacity`. Progressive filling: satisfied claimants drop
+/// out and their share is re-divided among the rest, so capacity is wasted
+/// only when total demand is below capacity.
+pub fn fair_share(capacity: f64, claims: &[Claim]) -> Vec<f64> {
+    let mut grants = vec![0.0; claims.len()];
+    if capacity <= 0.0 || claims.is_empty() {
+        return grants;
+    }
+    let mut remaining_cap = capacity;
+    let mut unsatisfied: Vec<usize> = (0..claims.len())
+        .filter(|&i| claims[i].demand > 0.0 && claims[i].weight > 0.0)
+        .collect();
+
+    // Each pass either satisfies at least one claimant or exhausts capacity,
+    // so this terminates in at most `claims.len()` passes.
+    while !unsatisfied.is_empty() && remaining_cap > 1e-9 {
+        let total_weight: f64 = unsatisfied.iter().map(|&i| claims[i].weight).sum();
+        debug_assert!(total_weight > 0.0);
+        let mut newly_satisfied = Vec::new();
+        let mut granted_this_pass = 0.0;
+        for &i in &unsatisfied {
+            let share = remaining_cap * claims[i].weight / total_weight;
+            let want = claims[i].demand - grants[i];
+            let take = share.min(want);
+            grants[i] += take;
+            granted_this_pass += take;
+            if grants[i] + 1e-12 >= claims[i].demand {
+                newly_satisfied.push(i);
+            }
+        }
+        remaining_cap -= granted_this_pass;
+        if newly_satisfied.is_empty() {
+            // Everyone took their full proportional share; capacity is used up.
+            break;
+        }
+        unsatisfied.retain(|i| !newly_satisfied.contains(i));
+    }
+    grants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(grants: &[f64]) -> f64 {
+        grants.iter().sum()
+    }
+
+    #[test]
+    fn splits_by_weight_when_saturated() {
+        let claims = [
+            Claim {
+                weight: 3.0,
+                demand: 100.0,
+            },
+            Claim {
+                weight: 1.0,
+                demand: 100.0,
+            },
+        ];
+        let g = fair_share(40.0, &claims);
+        assert!((g[0] - 30.0).abs() < 1e-9);
+        assert!((g[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redistributes_unused_share() {
+        let claims = [
+            Claim {
+                weight: 1.0,
+                demand: 5.0,
+            },
+            Claim {
+                weight: 1.0,
+                demand: 100.0,
+            },
+        ];
+        let g = fair_share(40.0, &claims);
+        assert!((g[0] - 5.0).abs() < 1e-9);
+        assert!(
+            (g[1] - 35.0).abs() < 1e-9,
+            "leftover goes to the hungry one"
+        );
+    }
+
+    #[test]
+    fn never_exceeds_capacity_or_demand() {
+        let claims = [
+            Claim {
+                weight: 2.0,
+                demand: 10.0,
+            },
+            Claim {
+                weight: 5.0,
+                demand: 3.0,
+            },
+            Claim {
+                weight: 0.5,
+                demand: 200.0,
+            },
+        ];
+        let g = fair_share(50.0, &claims);
+        for (grant, claim) in g.iter().zip(&claims) {
+            assert!(*grant <= claim.demand + 1e-9);
+        }
+        assert!(total(&g) <= 50.0 + 1e-9);
+        // Total demand (213) exceeds capacity, so capacity is fully used.
+        assert!((total(&g) - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn underload_grants_all_demands() {
+        let claims = [
+            Claim {
+                weight: 1.0,
+                demand: 5.0,
+            },
+            Claim {
+                weight: 9.0,
+                demand: 7.0,
+            },
+        ];
+        let g = fair_share(100.0, &claims);
+        assert!((g[0] - 5.0).abs() < 1e-9);
+        assert!((g[1] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_and_zero_demand_get_nothing() {
+        let claims = [
+            Claim {
+                weight: 0.0,
+                demand: 10.0,
+            },
+            Claim {
+                weight: 1.0,
+                demand: 0.0,
+            },
+            Claim {
+                weight: 1.0,
+                demand: 10.0,
+            },
+        ];
+        let g = fair_share(100.0, &claims);
+        assert_eq!(g[0], 0.0);
+        assert_eq!(g[1], 0.0);
+        assert!((g[2] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_zero_capacity() {
+        assert!(fair_share(10.0, &[]).is_empty());
+        let g = fair_share(
+            0.0,
+            &[Claim {
+                weight: 1.0,
+                demand: 1.0,
+            }],
+        );
+        assert_eq!(g, vec![0.0]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Query suspend-and-resume support (Chandramouli et al., SIGMOD'07).
+//!
+//! The engine augments the query lifecycle with *suspend* and *resume*
+//! phases. Operators checkpoint asynchronously as they run; at suspend time
+//! each query chooses (or is told) a strategy:
+//!
+//! * [`SuspendStrategy::DumpState`] — write the current operator's full
+//!   intermediate state to disk. Suspend cost is proportional to the state
+//!   size; resume reads the state back and continues exactly where it was.
+//! * [`SuspendStrategy::GoBack`] — write only control state (near-free) and,
+//!   on resume, **redo** all work performed since the last checkpoint.
+//!   Lower suspend cost, potentially much higher resume cost.
+//!
+//! The engine produces a [`SuspendedQuery`] token recording progress and
+//! both costs; `wlm-core`'s suspend planner chooses per-operator strategies
+//! to minimise total overhead under a suspend-cost constraint.
+
+use crate::plan::QuerySpec;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Nominal device time to write or read one page of suspended state, µs.
+pub const STATE_PAGE_US: u64 = 100;
+/// Pages per MiB of state (8 KiB pages).
+pub const PAGES_PER_MB: u64 = 128;
+
+/// How a suspension captures the running operator's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SuspendStrategy {
+    /// Dump the operator's full in-memory state; exact resume.
+    DumpState,
+    /// Record only control state; redo work since the last checkpoint.
+    GoBack,
+}
+
+impl SuspendStrategy {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SuspendStrategy::DumpState => "DumpState",
+            SuspendStrategy::GoBack => "GoBack",
+        }
+    }
+}
+
+/// Everything needed to resume a suspended query, plus the overhead ledger.
+///
+/// This is the paper's `SuspendedQuery` structure: "encapsulates all the
+/// information needed to resume the query later".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuspendedQuery {
+    /// The original query.
+    pub spec: QuerySpec,
+    /// When the request originally entered the system (latency accounting
+    /// spans the suspension).
+    pub submitted: SimTime,
+    /// Index of the operator that was executing.
+    pub op_idx: usize,
+    /// CPU microseconds completed on that operator (post-rollback for
+    /// `GoBack`).
+    pub op_cpu_done: u64,
+    /// Logical I/O pages completed on that operator (post-rollback).
+    pub op_io_done: u64,
+    /// Strategy that was applied.
+    pub strategy: SuspendStrategy,
+    /// Device time spent writing state at suspension, µs.
+    pub suspend_cost_us: u64,
+    /// Extra work the resumed query must perform: state read for
+    /// `DumpState`, redone work for `GoBack`, µs-equivalent.
+    pub resume_cost_us: u64,
+    /// Total work the query had truly completed before rollback (for
+    /// overhead reporting).
+    pub work_done_at_suspend_us: u64,
+}
+
+impl SuspendedQuery {
+    /// Total suspend + resume overhead, µs-equivalent.
+    pub fn total_overhead_us(&self) -> u64 {
+        self.suspend_cost_us + self.resume_cost_us
+    }
+}
+
+/// Cost of dumping `state_mb` of operator state, µs.
+pub fn dump_cost_us(state_mb: f64) -> u64 {
+    ((state_mb.max(0.0) * PAGES_PER_MB as f64).ceil() as u64) * STATE_PAGE_US
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_cost_scales_with_state() {
+        assert_eq!(dump_cost_us(0.0), 0);
+        assert_eq!(dump_cost_us(1.0), 128 * 100);
+        assert!(dump_cost_us(10.0) == 10 * dump_cost_us(1.0));
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(SuspendStrategy::DumpState.name(), "DumpState");
+        assert_eq!(SuspendStrategy::GoBack.name(), "GoBack");
+    }
+}

@@ -1,0 +1,215 @@
+//! Property-based tests of engine invariants: conservation of work,
+//! monotone progress, and accounting consistency across arbitrary plans and
+//! control actions.
+
+use proptest::prelude::*;
+use wlm_dbsim::engine::{CompletionKind, DbEngine, EngineConfig};
+use wlm_dbsim::plan::{Operator, OperatorKind, Plan, QuerySpec, StatementType};
+use wlm_dbsim::suspend::SuspendStrategy;
+
+fn arb_operator() -> impl Strategy<Value = Operator> {
+    (0u64..2_000_000, 0u64..5_000, 0u64..128, 0u64..5_000).prop_map(
+        |(cpu_us, io_pages, mem_mb, rows_out)| Operator {
+            kind: OperatorKind::TableScan,
+            cpu_us,
+            io_pages,
+            mem_mb,
+            state_mb: rows_out as f64 * 64.0 / (1024.0 * 1024.0),
+            rows_out,
+        },
+    )
+}
+
+fn arb_spec() -> impl Strategy<Value = QuerySpec> {
+    prop::collection::vec(arb_operator(), 1..5).prop_map(|ops| QuerySpec {
+        plan: Plan { ops },
+        statement: StatementType::Read,
+        write_keys: Vec::new(),
+        weight: 1.0,
+        working_set_pages: 64,
+        label: "prop".into(),
+    })
+}
+
+fn small_engine() -> DbEngine {
+    DbEngine::new(EngineConfig {
+        cores: 2,
+        disk_pages_per_sec: 20_000,
+        memory_mb: 2_048,
+        ..Default::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every submitted query eventually completes, exactly once, with
+    /// `work_done == work_total`, and simulated time only moves forward.
+    #[test]
+    fn queries_complete_exactly_once_with_full_work(specs in prop::collection::vec(arb_spec(), 1..8)) {
+        let mut engine = small_engine();
+        let mut expected: Vec<(u64, u64)> = Vec::new();
+        for spec in specs {
+            let total = spec.plan.total_work();
+            let id = engine.submit(spec);
+            expected.push((id.0, total));
+        }
+        let mut last_now = engine.now();
+        let done = engine.drain(2_000_000);
+        prop_assert!(engine.live_ids().is_empty(), "engine must drain");
+        prop_assert_eq!(done.len(), expected.len());
+        for c in &done {
+            prop_assert_eq!(c.kind, CompletionKind::Completed);
+            let (_, total) = expected.iter().find(|(id, _)| *id == c.id.0).unwrap();
+            prop_assert_eq!(c.work_total_us, *total);
+            prop_assert_eq!(c.work_done_us, *total, "no work lost or invented");
+            prop_assert!(c.finished >= c.submitted);
+            prop_assert!(c.finished >= last_now || c.finished <= engine.now());
+            last_now = last_now.max(c.finished);
+        }
+    }
+
+    /// Progress fractions are monotone non-decreasing while a query runs.
+    #[test]
+    fn progress_is_monotone(spec in arb_spec()) {
+        let mut engine = small_engine();
+        let id = engine.submit(spec);
+        let mut last = 0.0f64;
+        for _ in 0..50_000 {
+            if !engine.is_running(id) {
+                break;
+            }
+            let p = engine.progress(id).unwrap();
+            prop_assert!(p.fraction >= last - 1e-12, "{} < {}", p.fraction, last);
+            prop_assert!(p.fraction <= 1.0 + 1e-12);
+            last = p.fraction;
+            engine.step();
+        }
+        prop_assert!(!engine.is_running(id), "must finish");
+    }
+
+    /// Suspend/resume round-trips preserve total delivered work for either
+    /// strategy: the resumed query still completes with full work, and
+    /// GoBack never resumes *ahead* of where it suspended.
+    #[test]
+    fn suspend_resume_conserves_work(
+        spec in arb_spec(),
+        steps_before in 1usize..200,
+        dump in any::<bool>(),
+    ) {
+        let total = spec.plan.total_work();
+        let mut engine = small_engine();
+        let id = engine.submit(spec);
+        for _ in 0..steps_before {
+            if !engine.is_running(id) {
+                break;
+            }
+            engine.step();
+        }
+        if engine.is_running(id) {
+            let strategy = if dump {
+                SuspendStrategy::DumpState
+            } else {
+                SuspendStrategy::GoBack
+            };
+            let before = engine.progress(id).unwrap().work_done_us;
+            let sq = engine.suspend(id, strategy).unwrap();
+            prop_assert!(sq.work_done_at_suspend_us <= total);
+            prop_assert_eq!(sq.work_done_at_suspend_us, before);
+            let id2 = engine.resume_suspended(sq);
+            let after = engine.progress(id2).unwrap().work_done_us;
+            match strategy {
+                SuspendStrategy::DumpState => prop_assert_eq!(after, before),
+                SuspendStrategy::GoBack => prop_assert!(after <= before),
+            }
+            let done = engine.drain(2_000_000);
+            prop_assert_eq!(done.len(), 1);
+            prop_assert_eq!(done[0].kind, CompletionKind::Completed);
+        }
+    }
+
+    /// Killing at any point yields exactly one Killed completion with
+    /// `work_done <= work_total`, and the engine keeps functioning.
+    #[test]
+    fn kill_is_always_clean(spec in arb_spec(), steps_before in 0usize..100) {
+        let mut engine = small_engine();
+        let id = engine.submit(spec);
+        for _ in 0..steps_before {
+            engine.step();
+        }
+        if engine.is_running(id) {
+            let c = engine.kill(id).unwrap();
+            prop_assert_eq!(c.kind, CompletionKind::Killed);
+            prop_assert!(c.work_done_us <= c.work_total_us);
+            prop_assert!(engine.kill(id).is_err(), "double kill must fail");
+        }
+        // The engine still runs new work afterwards.
+        let id2 = engine.submit(
+            wlm_dbsim::plan::PlanBuilder::table_scan(1_000).build().into_spec(),
+        );
+        let done = engine.drain(100_000);
+        prop_assert!(done.iter().any(|c| c.id == id2));
+    }
+
+    /// Throttling never deadlocks a query: any sleep fraction < 1 still
+    /// finishes, and a higher fraction never finishes sooner.
+    #[test]
+    fn throttle_slows_but_never_stops(frac in 0.0f64..0.95) {
+        let run_secs = |f: f64| -> f64 {
+            let mut engine = small_engine();
+            let id = engine.submit(
+                wlm_dbsim::plan::PlanBuilder::utility(0.2, 0).build().into_spec(),
+            );
+            engine.set_throttle(id, f).unwrap();
+            let done = engine.drain(1_000_000);
+            done[0].response.as_secs_f64()
+        };
+        let fast = run_secs(0.0);
+        let slow = run_secs(frac);
+        prop_assert!(slow >= fast - 1e-9);
+    }
+}
+
+/// Weighted sharing ratio test, deterministic: a weight-4 query must finish
+/// well before weight-1 competitors of identical demands.
+#[test]
+fn weights_translate_to_finish_order() {
+    let mut engine = small_engine();
+    let heavy = engine.submit(
+        wlm_dbsim::plan::PlanBuilder::utility(0.5, 0)
+            .build()
+            .into_spec()
+            .with_weight(4.0),
+    );
+    let mut others = Vec::new();
+    for _ in 0..6 {
+        others.push(
+            engine.submit(
+                wlm_dbsim::plan::PlanBuilder::utility(0.5, 0)
+                    .build()
+                    .into_spec(),
+            ),
+        );
+    }
+    let done = engine.drain(1_000_000);
+    let heavy_resp = done.iter().find(|c| c.id == heavy).unwrap().response;
+    for other in others {
+        let resp = done.iter().find(|c| c.id == other).unwrap().response;
+        assert!(heavy_resp <= resp, "weighted query must not finish last");
+    }
+}
+
+/// Simulated time is exactly quantized: `drain` leaves `now` at a whole
+/// number of quanta.
+#[test]
+fn time_is_quantized() {
+    let mut engine = small_engine();
+    engine.submit(
+        wlm_dbsim::plan::PlanBuilder::table_scan(10_000)
+            .build()
+            .into_spec(),
+    );
+    engine.drain(100_000);
+    let quantum = engine.config().quantum.as_micros();
+    assert_eq!(engine.now().as_micros() % quantum, 0);
+}

@@ -1,0 +1,568 @@
+//! IBM DB2 Workload Manager emulation (§4.1.1 of the paper).
+//!
+//! The DB2 model has three stages. **Identification**: *workloads* map
+//! connections to service classes by connection attributes (application
+//! name, system authorization id, session, client user id); *work classes*
+//! (in *work class sets*) identify work by type, including predictive
+//! elements (estimated cost / estimated return rows). **Management**:
+//! *service classes* and *subclasses* define execution environments with
+//! agent / prefetch / buffer-pool priorities; *thresholds* (elapsed time,
+//! estimated cost, rows returned, concurrency) trigger actions — collect
+//! data, stop execution, continue, queue activities, or remap to another
+//! subclass (priority aging). **Monitoring**: event monitors capture
+//! activity and threshold violations.
+
+use crate::table4::{Facility, Table4Row};
+use std::cell::RefCell;
+use std::rc::Rc;
+use wlm_core::admission::ThresholdAdmission;
+use wlm_core::api::{ControlAction, ExecutionController, RunningQuery, SystemSnapshot};
+use wlm_core::characterize::StaticCharacterizer;
+use wlm_core::manager::{ManagerConfig, WorkloadManager};
+use wlm_core::policy::{AdmissionPolicy, AdmissionViolationAction};
+use wlm_core::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use wlm_dbsim::plan::StatementType;
+use wlm_dbsim::time::SimTime;
+
+/// Resource-access priorities of a service (sub)class. Agent priority is
+/// the CPU fair-share weight; prefetch and buffer-pool priorities influence
+/// the same weight in the simulated engine (which has a single weight per
+/// query), combined multiplicatively.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceSubclass {
+    /// Subclass name.
+    pub name: &'static str,
+    /// CPU/agent priority weight.
+    pub agent_priority: f64,
+    /// Prefetch priority multiplier.
+    pub prefetch_priority: f64,
+    /// Buffer-pool priority multiplier.
+    pub bufferpool_priority: f64,
+}
+
+impl ServiceSubclass {
+    /// Effective engine weight of work in this subclass.
+    pub fn effective_weight(&self) -> f64 {
+        self.agent_priority * self.prefetch_priority.sqrt() * self.bufferpool_priority.sqrt()
+    }
+}
+
+/// A service class: the execution environment work runs in.
+#[derive(Debug, Clone)]
+pub struct ServiceClass {
+    /// Class name (used as the workload name in reports).
+    pub name: String,
+    /// Its subclasses; index 0 is where work starts.
+    pub subclasses: Vec<ServiceSubclass>,
+}
+
+/// A DB2 workload: maps connection attributes to a service class.
+#[derive(Debug, Clone)]
+pub struct Db2Workload {
+    /// Workload (object) name.
+    pub name: String,
+    /// Match on application name, if set.
+    pub application: Option<String>,
+    /// Match on user (system authorization id), if set.
+    pub user: Option<String>,
+    /// Target service class.
+    pub service_class: String,
+}
+
+/// A work class: identification by request type, with predictive elements.
+#[derive(Debug, Clone)]
+pub struct WorkClass {
+    /// Work class name.
+    pub name: String,
+    /// Statement type to match (`None` = ALL).
+    pub statement: Option<StatementType>,
+    /// Predictive: minimum estimated cost (timerons) to match.
+    pub min_est_cost: Option<f64>,
+    /// Predictive: minimum estimated return rows to match.
+    pub min_est_rows: Option<u64>,
+    /// Service class work in this class runs in.
+    pub service_class: String,
+}
+
+/// DB2 threshold kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Db2ThresholdKind {
+    /// Activity elapsed time, seconds.
+    ElapsedTime(f64),
+    /// Estimated cost at admission, timerons.
+    EstimatedCost(f64),
+    /// Estimated rows returned at admission.
+    RowsReturned(u64),
+    /// Concurrent activities in the matching service class.
+    ConcurrentWorkloadActivities(usize),
+    /// Concurrent activities database-wide.
+    ConcurrentDatabaseActivities(usize),
+}
+
+/// Action taken when a threshold is violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Db2ThresholdAction {
+    /// Record the violation only.
+    CollectData,
+    /// Kill the activity.
+    StopExecution,
+    /// Let it run (violation still recorded).
+    ContinueExecution,
+    /// Queue (defer) the arriving activity.
+    QueueActivities,
+    /// Remap to the subclass with this index (priority aging).
+    RemapToSubclass(usize),
+}
+
+/// A configured threshold.
+#[derive(Debug, Clone)]
+pub struct Db2Threshold {
+    /// Service class the threshold applies to (`None` = database-wide).
+    pub domain: Option<String>,
+    /// What is measured.
+    pub kind: Db2ThresholdKind,
+    /// What happens on violation.
+    pub action: Db2ThresholdAction,
+}
+
+/// A threshold-violation event (the threshold violations event monitor).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViolationEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// The service class of the violating activity.
+    pub service_class: String,
+    /// Which threshold fired (description).
+    pub threshold: String,
+    /// Action taken.
+    pub action: &'static str,
+}
+
+/// The run-time execution-threshold controller (elapsed time & remap).
+struct Db2ThresholdController {
+    thresholds: Vec<Db2Threshold>,
+    classes: Vec<ServiceClass>,
+    events: Rc<RefCell<Vec<ViolationEvent>>>,
+    /// Queries already remapped (query id -> subclass idx applied).
+    remapped: std::collections::BTreeMap<u64, usize>,
+}
+
+impl Classified for Db2ThresholdController {
+    fn taxonomy(&self) -> TaxonomyPath {
+        TaxonomyPath::new(TechniqueClass::ExecutionControl, "Query Reprioritization")
+    }
+
+    fn technique_name(&self) -> &'static str {
+        "DB2 Thresholds"
+    }
+}
+
+impl ExecutionController for Db2ThresholdController {
+    fn control(&mut self, running: &[RunningQuery], snap: &SystemSnapshot) -> Vec<ControlAction> {
+        let mut actions = Vec::new();
+        for q in running {
+            for t in &self.thresholds {
+                if let Some(domain) = &t.domain {
+                    if *domain != q.request.workload {
+                        continue;
+                    }
+                }
+                let violated = match t.kind {
+                    Db2ThresholdKind::ElapsedTime(limit) => {
+                        q.progress.elapsed.as_secs_f64() > limit
+                    }
+                    // Admission-time kinds are enforced by the gate, not here.
+                    _ => false,
+                };
+                if !violated {
+                    continue;
+                }
+                let action_name;
+                match t.action {
+                    Db2ThresholdAction::StopExecution => {
+                        actions.push(ControlAction::Kill {
+                            id: q.id,
+                            resubmit: false,
+                        });
+                        action_name = "stop execution";
+                    }
+                    Db2ThresholdAction::RemapToSubclass(idx) => {
+                        if self.remapped.get(&q.id.0) == Some(&idx) {
+                            continue; // already remapped here
+                        }
+                        let weight = self
+                            .classes
+                            .iter()
+                            .find(|c| c.name == q.request.workload)
+                            .and_then(|c| c.subclasses.get(idx))
+                            .map(|s| s.effective_weight());
+                        if let Some(w) = weight {
+                            actions.push(ControlAction::SetWeight(q.id, w));
+                            self.remapped.insert(q.id.0, idx);
+                            action_name = "remap activity (priority aging)";
+                        } else {
+                            continue;
+                        }
+                    }
+                    Db2ThresholdAction::CollectData | Db2ThresholdAction::ContinueExecution => {
+                        action_name = "collect data";
+                    }
+                    Db2ThresholdAction::QueueActivities => continue,
+                }
+                self.events.borrow_mut().push(ViolationEvent {
+                    at: snap.now,
+                    service_class: q.request.workload.clone(),
+                    threshold: format!("{:?}", t.kind),
+                    action: action_name,
+                });
+            }
+        }
+        actions
+    }
+}
+
+/// The DB2 Workload Manager facility.
+pub struct Db2WorkloadManager {
+    /// Defined workloads (connection-attribute identification).
+    pub workloads: Vec<Db2Workload>,
+    /// Work classes (type identification, predictive elements).
+    pub work_classes: Vec<WorkClass>,
+    /// Service classes (execution environments).
+    pub service_classes: Vec<ServiceClass>,
+    /// Thresholds.
+    pub thresholds: Vec<Db2Threshold>,
+    /// Default service class for unmatched work.
+    pub default_service_class: String,
+    events: Rc<RefCell<Vec<ViolationEvent>>>,
+}
+
+impl Db2WorkloadManager {
+    /// New, empty facility.
+    pub fn new() -> Self {
+        Db2WorkloadManager {
+            workloads: Vec::new(),
+            work_classes: Vec::new(),
+            service_classes: Vec::new(),
+            thresholds: Vec::new(),
+            default_service_class: "SYSDEFAULTUSERCLASS".into(),
+            events: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// The threshold-violations event monitor (shared handle; live during
+    /// and after a run).
+    pub fn violation_events(&self) -> Rc<RefCell<Vec<ViolationEvent>>> {
+        Rc::clone(&self.events)
+    }
+
+    /// Wire this facility's identification, thresholds and service classes
+    /// into a [`WorkloadManager`].
+    pub fn build(&self, config: ManagerConfig) -> WorkloadManager {
+        let mut mgr = WorkloadManager::new(config);
+
+        // Identification: workloads (by connection attributes) first, then
+        // work classes (by type/predictive elements), then the default.
+        let workloads = self.workloads.clone();
+        let work_classes = self.work_classes.clone();
+        let default = self.default_service_class.clone();
+        let characterizer = StaticCharacterizer::new(Vec::new())
+            .with_default(&default)
+            .with_criteria_fn(Box::new(move |req, est| {
+                for w in &workloads {
+                    let app_ok = w
+                        .application
+                        .as_ref()
+                        .is_none_or(|a| *a == req.origin.application);
+                    let user_ok = w.user.as_ref().is_none_or(|u| *u == req.origin.user);
+                    if app_ok && user_ok && (w.application.is_some() || w.user.is_some()) {
+                        return Some(w.service_class.clone());
+                    }
+                }
+                for wc in &work_classes {
+                    let stmt_ok = wc.statement.is_none_or(|s| s == req.spec.statement);
+                    let cost_ok = wc.min_est_cost.is_none_or(|c| est.timerons >= c);
+                    let rows_ok = wc.min_est_rows.is_none_or(|r| est.rows >= r);
+                    if stmt_ok && cost_ok && rows_ok {
+                        return Some(wc.service_class.clone());
+                    }
+                }
+                None
+            }));
+        mgr.set_characterizer(Box::new(characterizer));
+
+        // Service-class weights become workload policies.
+        for sc in &self.service_classes {
+            if let Some(first) = sc.subclasses.first() {
+                let mut policy = wlm_core::policy::WorkloadPolicy::new(
+                    &sc.name,
+                    wlm_workload::request::Importance::Medium,
+                );
+                policy.weight = Some(first.effective_weight());
+                mgr.set_policy(policy);
+            }
+        }
+
+        // Admission-time thresholds.
+        let mut admission = ThresholdAdmission::default();
+        for t in &self.thresholds {
+            match t.kind {
+                Db2ThresholdKind::EstimatedCost(limit) => {
+                    let on_violation = if t.action == Db2ThresholdAction::QueueActivities {
+                        AdmissionViolationAction::Defer
+                    } else {
+                        AdmissionViolationAction::Reject
+                    };
+                    let policy = AdmissionPolicy {
+                        max_cost_timerons: Some(limit),
+                        on_violation,
+                        ..Default::default()
+                    };
+                    match &t.domain {
+                        Some(d) => admission.set_policy(d, policy),
+                        None => admission.default_policy = policy,
+                    }
+                }
+                Db2ThresholdKind::RowsReturned(limit) => {
+                    let on_violation = if t.action == Db2ThresholdAction::QueueActivities {
+                        AdmissionViolationAction::Defer
+                    } else {
+                        AdmissionViolationAction::Reject
+                    };
+                    match &t.domain {
+                        Some(d) => {
+                            let mut p = admission.policies.get(d).cloned().unwrap_or_default();
+                            p.max_estimated_rows = Some(limit);
+                            p.on_violation = on_violation;
+                            admission.set_policy(d, p);
+                        }
+                        None => {
+                            admission.default_policy.max_estimated_rows = Some(limit);
+                            admission.default_policy.on_violation = on_violation;
+                        }
+                    }
+                }
+                Db2ThresholdKind::ConcurrentDatabaseActivities(n) => {
+                    admission.global_max_mpl = Some(n);
+                }
+                Db2ThresholdKind::ConcurrentWorkloadActivities(n) => {
+                    if let Some(d) = &t.domain {
+                        let mut p = admission.policies.get(d).cloned().unwrap_or_default();
+                        p.max_workload_mpl = Some(n);
+                        admission.set_policy(d, p);
+                    }
+                }
+                _ => {}
+            }
+        }
+        mgr.set_admission(Box::new(admission));
+
+        // Run-time thresholds.
+        mgr.add_exec_controller(Box::new(Db2ThresholdController {
+            thresholds: self.thresholds.clone(),
+            classes: self.service_classes.clone(),
+            events: Rc::clone(&self.events),
+            remapped: Default::default(),
+        }));
+        mgr
+    }
+
+    /// A representative configuration: an interactive class, a batch class
+    /// with priority aging, and database-wide concurrency control.
+    pub fn example() -> Self {
+        let mut f = Self::new();
+        f.service_classes = vec![
+            ServiceClass {
+                name: "INTERACTIVE".into(),
+                subclasses: vec![ServiceSubclass {
+                    name: "MAIN",
+                    agent_priority: 8.0,
+                    prefetch_priority: 1.0,
+                    bufferpool_priority: 1.5,
+                }],
+            },
+            ServiceClass {
+                name: "BATCH".into(),
+                subclasses: vec![
+                    ServiceSubclass {
+                        name: "FRESH",
+                        agent_priority: 2.0,
+                        prefetch_priority: 1.0,
+                        bufferpool_priority: 1.0,
+                    },
+                    ServiceSubclass {
+                        name: "AGED",
+                        agent_priority: 0.3,
+                        prefetch_priority: 0.5,
+                        bufferpool_priority: 0.5,
+                    },
+                ],
+            },
+        ];
+        f.workloads = vec![Db2Workload {
+            name: "WL_POS".into(),
+            application: Some("pos_terminal".into()),
+            user: None,
+            service_class: "INTERACTIVE".into(),
+        }];
+        f.work_classes = vec![WorkClass {
+            name: "BIG_READS".into(),
+            statement: Some(StatementType::Read),
+            min_est_cost: Some(500_000.0),
+            min_est_rows: None,
+            service_class: "BATCH".into(),
+        }];
+        f.thresholds = vec![
+            Db2Threshold {
+                domain: Some("BATCH".into()),
+                kind: Db2ThresholdKind::ElapsedTime(20.0),
+                action: Db2ThresholdAction::RemapToSubclass(1),
+            },
+            Db2Threshold {
+                domain: Some("BATCH".into()),
+                kind: Db2ThresholdKind::ConcurrentWorkloadActivities(4),
+                action: Db2ThresholdAction::QueueActivities,
+            },
+            Db2Threshold {
+                domain: Some("BATCH".into()),
+                kind: Db2ThresholdKind::EstimatedCost(500_000_000.0),
+                action: Db2ThresholdAction::StopExecution,
+            },
+        ];
+        f.default_service_class = "INTERACTIVE".into();
+        f
+    }
+}
+
+impl Default for Db2WorkloadManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Facility for Db2WorkloadManager {
+    fn table4_row(&self) -> Table4Row {
+        Table4Row {
+            system: "IBM DB2 Workload Manager",
+            characterization:
+                "Based on the source or type of incoming work, workloads are created",
+            admission:
+                "Thresholds are used to manage request concurrency at the workload or the database level",
+            execution:
+                "Service classes allocate resources; thresholds monitor and control the request's execution behaviour",
+            techniques: vec![
+                ("Workload Definition", TechniqueClass::WorkloadCharacterization),
+                ("Query Cost", TechniqueClass::AdmissionControl),
+                ("MPLs", TechniqueClass::AdmissionControl),
+                ("Priority Aging", TechniqueClass::ExecutionControl),
+                ("Query Kill", TechniqueClass::ExecutionControl),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlm_dbsim::engine::EngineConfig;
+    use wlm_dbsim::optimizer::CostModel;
+    use wlm_dbsim::time::SimDuration;
+    use wlm_workload::generators::{BiSource, OltpSource};
+    use wlm_workload::mix::MixedSource;
+
+    fn config() -> ManagerConfig {
+        ManagerConfig {
+            engine: EngineConfig {
+                cores: 4,
+                ..Default::default()
+            },
+            cost_model: CostModel::oracle(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn identification_maps_pos_to_interactive_and_big_reads_to_batch() {
+        let facility = Db2WorkloadManager::example();
+        let mut mgr = facility.build(config());
+        let mut mix = MixedSource::new()
+            .with(Box::new(OltpSource::new(10.0, 1)))
+            .with(Box::new(BiSource::new(1.0, 2)));
+        let report = mgr.run(&mut mix, SimDuration::from_secs(20));
+        let interactive = report.workload("INTERACTIVE").expect("interactive class");
+        assert!(interactive.stats.completed > 0);
+        assert!(report.workload("BATCH").is_some(), "big reads became BATCH");
+    }
+
+    #[test]
+    fn elapsed_threshold_remaps_batch_work_and_logs_events() {
+        let facility = Db2WorkloadManager::example();
+        let mut mgr = facility.build(config());
+        let mut src = BiSource::new(2.0, 3).with_size(20_000_000.0, 0.3);
+        mgr.run(&mut src, SimDuration::from_secs(60));
+        let events = facility.violation_events();
+        let events = events.borrow();
+        assert!(
+            events.iter().any(|e| e.action.contains("priority aging")),
+            "expected remap events, got {:?}",
+            events.len()
+        );
+    }
+
+    #[test]
+    fn estimated_cost_threshold_stops_huge_queries() {
+        let mut facility = Db2WorkloadManager::example();
+        facility.thresholds.push(Db2Threshold {
+            domain: Some("BATCH".into()),
+            kind: Db2ThresholdKind::EstimatedCost(1_000_000.0),
+            action: Db2ThresholdAction::StopExecution,
+        });
+        // Tighter than the example's 5e8: replace.
+        facility
+            .thresholds
+            .retain(|t| !matches!(t.kind, Db2ThresholdKind::EstimatedCost(c) if c > 2_000_000.0));
+        let mut mgr = facility.build(config());
+        let mut src = BiSource::new(2.0, 4);
+        let report = mgr.run(&mut src, SimDuration::from_secs(30));
+        assert!(report.rejected > 0, "admission threshold rejects big work");
+    }
+
+    #[test]
+    fn rows_returned_threshold_blocks_wide_queries() {
+        let mut facility = Db2WorkloadManager::example();
+        facility.thresholds.push(Db2Threshold {
+            domain: Some("BATCH".into()),
+            kind: Db2ThresholdKind::RowsReturned(100_000),
+            action: Db2ThresholdAction::StopExecution,
+        });
+        let mut mgr = facility.build(config());
+        // Ad-hoc scans return millions of rows (no aggregation in the plan),
+        // unlike report queries whose final output is small.
+        let mut src = wlm_workload::generators::AdHocSource::new(2.0, 9);
+        let report = mgr.run(&mut src, SimDuration::from_secs(30));
+        assert!(report.rejected > 0, "wide queries must be stopped");
+    }
+
+    #[test]
+    fn subclass_weights_order_correctly() {
+        let sc = Db2WorkloadManager::example().service_classes;
+        let batch = &sc[1];
+        assert!(
+            batch.subclasses[0].effective_weight() > batch.subclasses[1].effective_weight(),
+            "aged subclass must have lower effective weight"
+        );
+    }
+
+    #[test]
+    fn table4_row_matches_paper_classification() {
+        let row = Db2WorkloadManager::example().table4_row();
+        assert_eq!(row.system, "IBM DB2 Workload Manager");
+        let classes: Vec<TechniqueClass> = row.techniques.iter().map(|(_, c)| *c).collect();
+        assert!(classes.contains(&TechniqueClass::WorkloadCharacterization));
+        assert!(classes.contains(&TechniqueClass::AdmissionControl));
+        assert!(classes.contains(&TechniqueClass::ExecutionControl));
+        assert!(
+            !classes.contains(&TechniqueClass::Scheduling),
+            "the paper: none of the commercial systems implements scheduling"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # wlm-systems — emulations of commercial workload management facilities
+//!
+//! Section 4.1 of the taxonomy paper classifies three commercial systems;
+//! this crate implements each facility's *management model* on top of
+//! `wlm-core`, so Table 4's classification is regenerated from running
+//! code:
+//!
+//! * [`db2`] — IBM DB2 Workload Manager: workloads, work classes/work class
+//!   sets (with predictive elements), service classes/subclasses with
+//!   agent/prefetch/buffer-pool priorities, thresholds with
+//!   collect/stop/continue/remap actions (priority aging), event monitors;
+//! * [`sqlserver`] — Microsoft SQL Server Resource Governor + Query
+//!   Governor: resource pools (MIN/MAX), workload groups, user classifier
+//!   functions, the Query Governor Cost Limit;
+//! * [`teradata`] — Teradata Active System Management: object-access and
+//!   query-resource filters, object/utility throttles, workload definitions
+//!   (who/where/what classification, exceptions, SLGs), the workload
+//!   analyzer's DBQL clustering, and the regulator.
+//!
+//! Each facility configures a [`wlm_core::manager::WorkloadManager`] and
+//! reports which taxonomy techniques it employs via [`table4`].
+
+pub mod db2;
+pub mod sqlserver;
+pub mod table4;
+pub mod teradata;
+
+pub use db2::Db2WorkloadManager;
+pub use sqlserver::{ResourceGovernor, ResourcePool, WorkloadGroup};
+pub use table4::{render_table4, Facility, Table4Row};
+pub use teradata::{TeradataAsm, WorkloadAnalyzer};

@@ -1,0 +1,235 @@
+//! Catalog-driven workload generation.
+//!
+//! The synthetic [`wlm_dbsim::catalog::Catalog`] describes a concrete
+//! database (a retail star schema by default); this module derives query
+//! plans from the catalog's actual table sizes instead of free-floating row
+//! counts, so a workload's demands stay consistent with "its" database:
+//! point lookups hit the `orders` table through its primary key, report
+//! queries scan slices of `sales_fact` and join the dimensions.
+
+use crate::generators::Source;
+use crate::request::{Importance, Origin, Request, RequestId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wlm_dbsim::catalog::Catalog;
+use wlm_dbsim::optimizer::rand_distr_free::sample_lognormal;
+use wlm_dbsim::plan::{OperatorKind, PlanBuilder, QuerySpec};
+use wlm_dbsim::time::{SimDuration, SimTime};
+
+/// Query shapes the catalog source can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    /// Point lookup + small update on `orders` (OLTP).
+    OrderUpdate,
+    /// Fact-slice scan joined to a dimension, aggregated (reporting).
+    FactReport,
+    /// Fact scan joined to two dimensions with a sort (heavy analysis).
+    DeepAnalysis,
+}
+
+/// A workload source whose plans are derived from a catalog.
+pub struct CatalogSource {
+    catalog: Catalog,
+    label: String,
+    rng: SmallRng,
+    rate_per_sec: f64,
+    /// Probability of each shape: (order_update, fact_report); the
+    /// remainder is deep analysis.
+    pub shape_mix: (f64, f64),
+    /// Median fraction of the fact table a report scans.
+    pub median_fact_fraction: f64,
+    next_arrival: SimTime,
+    counter: u64,
+}
+
+impl CatalogSource {
+    /// New source over `catalog` at the given arrival rate.
+    pub fn new(catalog: Catalog, rate_per_sec: f64, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        let first = SimDuration::from_secs_f64(-u.ln() / rate_per_sec.max(1e-9));
+        CatalogSource {
+            catalog,
+            label: "catalog".into(),
+            rng,
+            rate_per_sec,
+            shape_mix: (0.85, 0.12),
+            median_fact_fraction: 0.02,
+            next_arrival: SimTime::ZERO + first,
+            counter: 0,
+        }
+    }
+
+    /// Override the workload tag.
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    fn rows(&self, table: &str) -> u64 {
+        self.catalog.table(table).map_or(1_000, |t| t.rows)
+    }
+
+    fn pick_shape(&mut self) -> Shape {
+        let u: f64 = self.rng.gen();
+        if u < self.shape_mix.0 {
+            Shape::OrderUpdate
+        } else if u < self.shape_mix.0 + self.shape_mix.1 {
+            Shape::FactReport
+        } else {
+            Shape::DeepAnalysis
+        }
+    }
+
+    fn build(&mut self, shape: Shape) -> (QuerySpec, Importance, Origin) {
+        match shape {
+            Shape::OrderUpdate => {
+                let order_rows = self.rows("orders");
+                let touched = self.rng.gen_range(1..=4u64);
+                let mut keys: Vec<u64> = (0..touched)
+                    .map(|_| self.rng.gen_range(0..order_rows))
+                    .collect();
+                keys.sort_unstable();
+                keys.dedup();
+                let spec = PlanBuilder::index_lookup(touched * 3)
+                    .write(OperatorKind::Update, keys.len() as u64)
+                    .build()
+                    .into_spec()
+                    .labeled(format!("{}_oltp", self.label))
+                    .with_write_keys(keys);
+                (
+                    spec,
+                    Importance::High,
+                    Origin::new("order_entry", "clerk", self.counter % 32),
+                )
+            }
+            Shape::FactReport => {
+                let fact = self.rows("sales_fact");
+                let fraction = sample_lognormal(&mut self.rng, self.median_fact_fraction.ln(), 0.8)
+                    .clamp(0.001, 0.3);
+                let slice = ((fact as f64) * fraction) as u64;
+                let dim = self.rows("product_dim");
+                let spec = PlanBuilder::table_scan(slice)
+                    .filter(0.4)
+                    .hash_join(dim, 1.0)
+                    .aggregate(500)
+                    .build()
+                    .into_spec()
+                    .labeled(format!("{}_report", self.label));
+                (
+                    spec,
+                    Importance::Medium,
+                    Origin::new("report_studio", "analyst", 100 + self.counter % 8),
+                )
+            }
+            Shape::DeepAnalysis => {
+                let fact = self.rows("sales_fact");
+                let fraction = sample_lognormal(&mut self.rng, (0.1f64).ln(), 0.5).clamp(0.02, 0.8);
+                let slice = ((fact as f64) * fraction) as u64;
+                let customers = self.rows("customer_dim");
+                let stores = self.rows("store_dim");
+                let spec = PlanBuilder::table_scan(slice)
+                    .filter(0.6)
+                    .hash_join(customers / 10, 1.0)
+                    .merge_join(stores, 1.0)
+                    .sort()
+                    .aggregate(2_000)
+                    .build()
+                    .into_spec()
+                    .labeled(format!("{}_analysis", self.label));
+                (
+                    spec,
+                    Importance::Low,
+                    Origin::new("sql_console", "scientist", 200 + self.counter % 4),
+                )
+            }
+        }
+    }
+}
+
+impl Source for CatalogSource {
+    fn poll(&mut self, _from: SimTime, to: SimTime) -> Vec<Request> {
+        let mut out = Vec::new();
+        while self.next_arrival <= to {
+            let arrival = self.next_arrival;
+            self.counter += 1;
+            let shape = self.pick_shape();
+            let (spec, importance, origin) = self.build(shape);
+            out.push(Request {
+                id: RequestId((8u64 << 48) | self.counter),
+                arrival,
+                origin,
+                spec,
+                importance,
+            });
+            let u: f64 = 1.0 - self.rng.gen::<f64>();
+            let gap = SimDuration::from_secs_f64(-u.ln() / self.rate_per_sec.max(1e-9));
+            self.next_arrival = arrival + gap;
+        }
+        out
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_track_catalog_sizes() {
+        let mut small_cat = Catalog::retail();
+        small_cat.add(wlm_dbsim::catalog::Table {
+            name: "sales_fact".into(),
+            rows: 100_000,
+            row_bytes: 96,
+            has_pk_index: false,
+        });
+        let mut small = CatalogSource::new(small_cat, 20.0, 3).with_label("s");
+        let mut big = CatalogSource::new(Catalog::retail(), 20.0, 3).with_label("b");
+        let window = SimTime::ZERO + SimDuration::from_secs(60);
+        let small_reports: Vec<u64> = small
+            .poll(SimTime::ZERO, window)
+            .iter()
+            .filter(|r| r.label().contains("report") || r.label().contains("analysis"))
+            .map(|r| r.spec.plan.total_work())
+            .collect();
+        let big_reports: Vec<u64> = big
+            .poll(SimTime::ZERO, window)
+            .iter()
+            .filter(|r| r.label().contains("report") || r.label().contains("analysis"))
+            .map(|r| r.spec.plan.total_work())
+            .collect();
+        assert!(!small_reports.is_empty() && !big_reports.is_empty());
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+        assert!(
+            mean(&big_reports) > mean(&small_reports) * 20.0,
+            "a 500x bigger fact table must yield much bigger reports: {} vs {}",
+            mean(&big_reports),
+            mean(&small_reports)
+        );
+    }
+
+    #[test]
+    fn mix_covers_all_shapes_with_expected_skew() {
+        let mut src = CatalogSource::new(Catalog::retail(), 50.0, 4);
+        let reqs = src.poll(SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(60));
+        let oltp = reqs.iter().filter(|r| r.label().ends_with("_oltp")).count();
+        let reports = reqs
+            .iter()
+            .filter(|r| r.label().ends_with("_report"))
+            .count();
+        let analysis = reqs
+            .iter()
+            .filter(|r| r.label().ends_with("_analysis"))
+            .count();
+        assert!(oltp > reports && reports > 0 && analysis > 0);
+        // OLTP updates lock real order keys.
+        assert!(reqs
+            .iter()
+            .filter(|r| r.label().ends_with("_oltp"))
+            .all(|r| !r.spec.write_keys.is_empty()));
+    }
+}

@@ -1,0 +1,852 @@
+//! Synthetic workload sources.
+//!
+//! Each source models one of the workload types the paper's introduction
+//! motivates: OLTP ("short and efficient transactions that may require only
+//! milliseconds of CPU time"), Business Intelligence ("longer, more complex
+//! and resource-intensive queries"), batch report generation, ad-hoc
+//! exploration and online administrative utilities. All randomness is
+//! seeded, so a given source configuration always produces the same request
+//! stream.
+
+use crate::request::{Importance, Origin, Request, RequestId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wlm_dbsim::optimizer::rand_distr_free::sample_lognormal;
+use wlm_dbsim::plan::{OperatorKind, PlanBuilder, StatementType};
+use wlm_dbsim::time::{SimDuration, SimTime};
+
+/// A stream of requests over simulated time.
+pub trait Source {
+    /// Requests arriving in the half-open window `(from, to]`, in arrival
+    /// order.
+    fn poll(&mut self, from: SimTime, to: SimTime) -> Vec<Request>;
+
+    /// Completion feedback for closed-loop sources. `label` is the
+    /// completed request's workload tag. Open-loop sources ignore this.
+    fn on_completion(&mut self, _label: &str, _at: SimTime) {}
+
+    /// The workload tag this source stamps on its requests.
+    fn label(&self) -> &str;
+}
+
+fn request_id(namespace: u16, counter: u64) -> RequestId {
+    RequestId(((namespace as u64) << 48) | counter)
+}
+
+/// Draw the next exponential interarrival gap for `rate_per_sec`.
+fn exp_gap(rng: &mut SmallRng, rate_per_sec: f64) -> SimDuration {
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    SimDuration::from_secs_f64(-u.ln() / rate_per_sec.max(1e-9))
+}
+
+/// Draw a hot-skewed key in `[0, space)`: squaring the uniform variate
+/// concentrates mass near zero, approximating the Zipfian access pattern of
+/// real OLTP hot sets.
+fn hot_key(rng: &mut SmallRng, space: u64) -> u64 {
+    let u: f64 = rng.gen();
+    ((u * u) * space as f64) as u64
+}
+
+/// Short transactions: an index lookup plus a small update, locking
+/// hot-skewed keys. High business importance ("directly generate revenue").
+#[derive(Debug)]
+pub struct OltpSource {
+    label: String,
+    namespace: u16,
+    rng: SmallRng,
+    rate_per_sec: f64,
+    /// Size of the contended key space; smaller = more lock conflicts.
+    pub hot_keys: u64,
+    /// Keys updated per transaction.
+    pub keys_per_txn: usize,
+    next_arrival: SimTime,
+    counter: u64,
+    importance: Importance,
+}
+
+impl OltpSource {
+    /// New OLTP source with the given arrival rate.
+    pub fn new(rate_per_sec: f64, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let first = exp_gap(&mut rng, rate_per_sec);
+        OltpSource {
+            label: "oltp".into(),
+            namespace: 1,
+            rng,
+            rate_per_sec,
+            hot_keys: 100_000,
+            keys_per_txn: 3,
+            next_arrival: SimTime::ZERO + first,
+            counter: 0,
+            importance: Importance::High,
+        }
+    }
+
+    /// Override the workload tag.
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Override the business importance.
+    pub fn with_importance(mut self, imp: Importance) -> Self {
+        self.importance = imp;
+        self
+    }
+
+    /// Shrink the hot key space to raise lock contention.
+    pub fn with_hot_keys(mut self, hot_keys: u64) -> Self {
+        self.hot_keys = hot_keys.max(1);
+        self
+    }
+
+    /// Change the arrival rate mid-run (time-varying mixes).
+    pub fn set_rate(&mut self, rate_per_sec: f64) {
+        self.rate_per_sec = rate_per_sec;
+    }
+
+    fn make_request(&mut self, arrival: SimTime) -> Request {
+        self.counter += 1;
+        let lookup_rows = self.rng.gen_range(3..=20);
+        let updated = self.rng.gen_range(1..=self.keys_per_txn.max(1));
+        let mut keys: Vec<u64> = (0..updated)
+            .map(|_| hot_key(&mut self.rng, self.hot_keys))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let spec = PlanBuilder::index_lookup(lookup_rows)
+            .write(OperatorKind::Update, keys.len() as u64)
+            .build()
+            .into_spec()
+            .labeled(self.label.clone())
+            .with_write_keys(keys);
+        Request {
+            id: request_id(self.namespace, self.counter),
+            arrival,
+            origin: Origin::new("pos_terminal", "cashier", self.counter % 64),
+            spec,
+            importance: self.importance,
+        }
+    }
+}
+
+impl Source for OltpSource {
+    fn poll(&mut self, _from: SimTime, to: SimTime) -> Vec<Request> {
+        let mut out = Vec::new();
+        while self.next_arrival <= to {
+            let arrival = self.next_arrival;
+            out.push(self.make_request(arrival));
+            let gap = exp_gap(&mut self.rng, self.rate_per_sec);
+            self.next_arrival = arrival + gap;
+        }
+        out
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Business-intelligence queries: scans and joins over the fact table with a
+/// heavy-tailed (log-normal) size distribution, so a minority of queries
+/// dominates resource consumption — the "problematic" long-runners.
+#[derive(Debug)]
+pub struct BiSource {
+    label: String,
+    namespace: u16,
+    rng: SmallRng,
+    rate_per_sec: f64,
+    /// Median rows scanned per query.
+    pub median_rows: f64,
+    /// Log-scale sigma of the size distribution.
+    pub sigma: f64,
+    next_arrival: SimTime,
+    counter: u64,
+    importance: Importance,
+}
+
+impl BiSource {
+    /// New BI source with the given arrival rate.
+    pub fn new(rate_per_sec: f64, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let first = exp_gap(&mut rng, rate_per_sec);
+        BiSource {
+            label: "bi".into(),
+            namespace: 2,
+            rng,
+            rate_per_sec,
+            median_rows: 2_000_000.0,
+            sigma: 1.0,
+            next_arrival: SimTime::ZERO + first,
+            counter: 0,
+            importance: Importance::Medium,
+        }
+    }
+
+    /// Override the workload tag.
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Override the business importance.
+    pub fn with_importance(mut self, imp: Importance) -> Self {
+        self.importance = imp;
+        self
+    }
+
+    /// Override the size distribution.
+    pub fn with_size(mut self, median_rows: f64, sigma: f64) -> Self {
+        self.median_rows = median_rows;
+        self.sigma = sigma;
+        self
+    }
+
+    /// Change the arrival rate mid-run.
+    pub fn set_rate(&mut self, rate_per_sec: f64) {
+        self.rate_per_sec = rate_per_sec;
+    }
+
+    fn make_request(&mut self, arrival: SimTime) -> Request {
+        self.counter += 1;
+        let rows = sample_lognormal(&mut self.rng, self.median_rows.ln(), self.sigma)
+            .clamp(10_000.0, 2e8) as u64;
+        let shape = self.rng.gen_range(0..3u8);
+        let builder = PlanBuilder::table_scan(rows).filter(0.3);
+        let plan = match shape {
+            0 => builder.aggregate(200).build(),
+            1 => builder.hash_join(rows / 20, 1.0).aggregate(500).build(),
+            _ => builder
+                .hash_join(rows / 50, 1.2)
+                .sort()
+                .aggregate(1_000)
+                .build(),
+        };
+        let spec = plan.into_spec().labeled(self.label.clone());
+        Request {
+            id: request_id(self.namespace, self.counter),
+            arrival,
+            origin: Origin::new("report_studio", "analyst", 1000 + self.counter % 16),
+            spec,
+            importance: self.importance,
+        }
+    }
+}
+
+impl Source for BiSource {
+    fn poll(&mut self, _from: SimTime, to: SimTime) -> Vec<Request> {
+        let mut out = Vec::new();
+        while self.next_arrival <= to {
+            let arrival = self.next_arrival;
+            out.push(self.make_request(arrival));
+            let gap = exp_gap(&mut self.rng, self.rate_per_sec);
+            self.next_arrival = arrival + gap;
+        }
+        out
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// A batch of report-generation queries all submitted at one instant — the
+/// "report-generation batch workload" a scheduler must order.
+#[derive(Debug)]
+pub struct BatchReportSource {
+    label: String,
+    namespace: u16,
+    rng: SmallRng,
+    release_at: SimTime,
+    count: usize,
+    released: bool,
+    importance: Importance,
+}
+
+impl BatchReportSource {
+    /// `count` report queries released at `release_at`.
+    pub fn new(release_at: SimTime, count: usize, seed: u64) -> Self {
+        BatchReportSource {
+            label: "batch_report".into(),
+            namespace: 3,
+            rng: SmallRng::seed_from_u64(seed),
+            release_at,
+            count,
+            released: false,
+            importance: Importance::Low,
+        }
+    }
+
+    /// Override the workload tag.
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+impl Source for BatchReportSource {
+    fn poll(&mut self, _from: SimTime, to: SimTime) -> Vec<Request> {
+        if self.released || self.release_at > to {
+            return Vec::new();
+        }
+        self.released = true;
+        (0..self.count)
+            .map(|i| {
+                let rows = sample_lognormal(&mut self.rng, (1_000_000.0f64).ln(), 0.8)
+                    .clamp(5e4, 5e7) as u64;
+                let spec = PlanBuilder::table_scan(rows)
+                    .filter(0.5)
+                    .aggregate(100)
+                    .build()
+                    .into_spec()
+                    .labeled(self.label.clone());
+                Request {
+                    id: request_id(self.namespace, i as u64 + 1),
+                    arrival: self.release_at,
+                    origin: Origin::new("nightly_reports", "batch", 5000),
+                    spec,
+                    importance: self.importance,
+                }
+            })
+            .collect()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Occasional very large ad-hoc queries (the workload the paper's open
+/// problems section wants restricted when important work arrives).
+#[derive(Debug)]
+pub struct AdHocSource {
+    label: String,
+    namespace: u16,
+    rng: SmallRng,
+    rate_per_sec: f64,
+    next_arrival: SimTime,
+    counter: u64,
+}
+
+impl AdHocSource {
+    /// New ad-hoc source with the given (low) arrival rate.
+    pub fn new(rate_per_sec: f64, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let first = exp_gap(&mut rng, rate_per_sec);
+        AdHocSource {
+            label: "adhoc".into(),
+            namespace: 4,
+            rng,
+            rate_per_sec,
+            next_arrival: SimTime::ZERO + first,
+            counter: 0,
+        }
+    }
+}
+
+impl Source for AdHocSource {
+    fn poll(&mut self, _from: SimTime, to: SimTime) -> Vec<Request> {
+        let mut out = Vec::new();
+        while self.next_arrival <= to {
+            let arrival = self.next_arrival;
+            self.counter += 1;
+            let rows = sample_lognormal(&mut self.rng, (2e7f64).ln(), 0.6).clamp(1e6, 5e8) as u64;
+            let spec = PlanBuilder::table_scan(rows)
+                .filter(0.8)
+                .sort()
+                .build()
+                .into_spec()
+                .labeled(self.label.clone());
+            out.push(Request {
+                id: request_id(self.namespace, self.counter),
+                arrival,
+                origin: Origin::new("sql_console", "data_scientist", 9000 + self.counter),
+                spec,
+                importance: Importance::Low,
+            });
+            let gap = exp_gap(&mut self.rng, self.rate_per_sec);
+            self.next_arrival = arrival + gap;
+        }
+        out
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// An online administrative utility (backup/reorg) started at a fixed time —
+/// the workload Parekh et al. throttle.
+#[derive(Debug)]
+pub struct UtilitySource {
+    label: String,
+    namespace: u16,
+    start_at: SimTime,
+    cpu_secs: f64,
+    io_pages: u64,
+    emitted: bool,
+}
+
+impl UtilitySource {
+    /// One utility run starting at `start_at` with the given total demands.
+    pub fn new(start_at: SimTime, cpu_secs: f64, io_pages: u64) -> Self {
+        UtilitySource {
+            label: "utility".into(),
+            namespace: 5,
+            start_at,
+            cpu_secs,
+            io_pages,
+            emitted: false,
+        }
+    }
+}
+
+impl Source for UtilitySource {
+    fn poll(&mut self, _from: SimTime, to: SimTime) -> Vec<Request> {
+        if self.emitted || self.start_at > to {
+            return Vec::new();
+        }
+        self.emitted = true;
+        let mut spec = PlanBuilder::utility(self.cpu_secs, self.io_pages)
+            .build()
+            .into_spec()
+            .labeled(self.label.clone());
+        spec.statement = StatementType::Utility;
+        vec![Request {
+            id: request_id(self.namespace, 1),
+            arrival: self.start_at,
+            origin: Origin::new("dba_console", "dba", 1),
+            spec,
+            importance: Importance::Low,
+        }]
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// An on/off-modulated (bursty) wrapper around any source: during ON
+/// periods the inner source's arrivals pass through; during OFF periods
+/// they are dropped. Alternating exponentially-distributed ON/OFF phases
+/// approximate the Markov-modulated arrival processes real consolidated
+/// servers see — the "requests present on a database server can fluctuate
+/// rapidly" regime that motivates dynamic workload management.
+pub struct BurstySource {
+    inner: Box<dyn Source>,
+    rng: SmallRng,
+    /// Mean ON-phase length, seconds.
+    pub mean_on_secs: f64,
+    /// Mean OFF-phase length, seconds.
+    pub mean_off_secs: f64,
+    on: bool,
+    phase_ends: SimTime,
+}
+
+impl BurstySource {
+    /// Wrap `inner` with alternating ON/OFF phases.
+    pub fn new(inner: Box<dyn Source>, mean_on_secs: f64, mean_off_secs: f64, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let first = exp_gap(&mut rng, 1.0 / mean_on_secs.max(1e-9));
+        BurstySource {
+            inner,
+            rng,
+            mean_on_secs,
+            mean_off_secs,
+            on: true,
+            phase_ends: SimTime::ZERO + first,
+        }
+    }
+
+    fn advance_phases(&mut self, to: SimTime) {
+        while self.phase_ends <= to {
+            self.on = !self.on;
+            let mean = if self.on {
+                self.mean_on_secs
+            } else {
+                self.mean_off_secs
+            };
+            let gap = exp_gap(&mut self.rng, 1.0 / mean.max(1e-9));
+            self.phase_ends += gap;
+        }
+    }
+}
+
+impl Source for BurstySource {
+    fn poll(&mut self, from: SimTime, to: SimTime) -> Vec<Request> {
+        // Phase resolution at window granularity: the whole window takes the
+        // phase in effect at its end (windows are one engine quantum, far
+        // shorter than any plausible phase).
+        let reqs = self.inner.poll(from, to);
+        self.advance_phases(to);
+        if self.on {
+            reqs
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_completion(&mut self, label: &str, at: SimTime) {
+        self.inner.on_completion(label, at);
+    }
+
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+}
+
+/// Poisson arrivals of one fixed query template — the workhorse for
+/// controlled experiments where the query population must be homogeneous.
+/// Optionally locks hot-skewed keys (heavy update transactions).
+#[derive(Debug)]
+pub struct UniformSource {
+    label: String,
+    namespace: u16,
+    rng: SmallRng,
+    rate_per_sec: f64,
+    template: wlm_dbsim::plan::QuerySpec,
+    /// When `Some((space, keys))`: each request locks `keys` uniformly
+    /// drawn keys from `[0, space)`. Uniform (not hot-skewed) draws make
+    /// transactions block at *different* positions in their key lists,
+    /// which is the regime in which partial lock holdings — and therefore
+    /// the conflict ratio — are meaningful.
+    pub lock_profile: Option<(u64, usize)>,
+    next_arrival: SimTime,
+    counter: u64,
+    importance: Importance,
+}
+
+impl UniformSource {
+    /// New source emitting copies of `template` at `rate_per_sec`.
+    pub fn new(
+        template: wlm_dbsim::plan::QuerySpec,
+        rate_per_sec: f64,
+        label: &str,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let first = exp_gap(&mut rng, rate_per_sec);
+        UniformSource {
+            label: label.into(),
+            namespace: 7,
+            rng,
+            rate_per_sec,
+            template,
+            lock_profile: None,
+            next_arrival: SimTime::ZERO + first,
+            counter: 0,
+            importance: Importance::Medium,
+        }
+    }
+
+    /// Override the business importance.
+    pub fn with_importance(mut self, imp: Importance) -> Self {
+        self.importance = imp;
+        self
+    }
+
+    /// Lock `keys` hot keys from a space of `space` per request.
+    pub fn with_locks(mut self, space: u64, keys: usize) -> Self {
+        self.lock_profile = Some((space.max(1), keys));
+        self
+    }
+}
+
+impl Source for UniformSource {
+    fn poll(&mut self, _from: SimTime, to: SimTime) -> Vec<Request> {
+        let mut out = Vec::new();
+        while self.next_arrival <= to {
+            let arrival = self.next_arrival;
+            self.counter += 1;
+            let mut spec = self.template.clone().labeled(self.label.clone());
+            if let Some((space, keys)) = self.lock_profile {
+                let mut ks: Vec<u64> = (0..keys).map(|_| self.rng.gen_range(0..space)).collect();
+                ks.sort_unstable();
+                ks.dedup();
+                spec.write_keys = ks;
+            }
+            out.push(Request {
+                id: request_id(self.namespace, self.counter),
+                arrival,
+                origin: Origin::new("uniform_bench", "bench", self.counter % 32),
+                spec,
+                importance: self.importance,
+            });
+            let gap = exp_gap(&mut self.rng, self.rate_per_sec);
+            self.next_arrival = arrival + gap;
+        }
+        out
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// A closed-loop OLTP population: `users` terminals, each thinking for an
+/// exponential time after its previous transaction completes and then
+/// submitting the next one. Closed loops self-limit under overload, which is
+/// why Schroeder et al. caution that open and closed arrivals behave
+/// differently; both are available here.
+#[derive(Debug)]
+pub struct ClosedLoopOltpSource {
+    inner: OltpSource,
+    users: usize,
+    think_mean_secs: f64,
+    /// Terminals ready to submit at these times.
+    pending_submissions: Vec<SimTime>,
+    outstanding: usize,
+}
+
+impl ClosedLoopOltpSource {
+    /// `users` terminals with the given mean think time.
+    pub fn new(users: usize, think_mean_secs: f64, seed: u64) -> Self {
+        let mut inner = OltpSource::new(1.0, seed).with_label("oltp_closed");
+        inner.namespace = 6;
+        // Initial think times stagger the first submissions.
+        let mut pending = Vec::with_capacity(users);
+        for _ in 0..users {
+            let gap = exp_gap(&mut inner.rng, 1.0 / think_mean_secs.max(1e-9));
+            pending.push(SimTime::ZERO + gap);
+        }
+        pending.sort_unstable();
+        ClosedLoopOltpSource {
+            inner,
+            users,
+            think_mean_secs,
+            pending_submissions: pending,
+            outstanding: 0,
+        }
+    }
+
+    /// Number of requests currently in the system (submitted, uncompleted).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Number of configured terminals.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+}
+
+impl Source for ClosedLoopOltpSource {
+    fn poll(&mut self, _from: SimTime, to: SimTime) -> Vec<Request> {
+        let mut out = Vec::new();
+        // Ready terminals submit; they stay outstanding until completion.
+        let mut i = 0;
+        while i < self.pending_submissions.len() {
+            if self.pending_submissions[i] <= to {
+                let arrival = self.pending_submissions.remove(i);
+                out.push(self.inner.make_request(arrival));
+                self.outstanding += 1;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn on_completion(&mut self, label: &str, at: SimTime) {
+        if label == self.inner.label && self.outstanding > 0 {
+            self.outstanding -= 1;
+            let gap = exp_gap(&mut self.inner.rng, 1.0 / self.think_mean_secs.max(1e-9));
+            self.pending_submissions.push(at + gap);
+            self.pending_submissions.sort_unstable();
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.inner.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(secs: u64) -> (SimTime, SimTime) {
+        (SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(secs))
+    }
+
+    #[test]
+    fn oltp_rate_is_respected() {
+        let mut src = OltpSource::new(50.0, 1);
+        let (from, to) = window(20);
+        let reqs = src.poll(from, to);
+        let rate = reqs.len() as f64 / 20.0;
+        assert!((35.0..65.0).contains(&rate), "rate {rate}");
+        // Arrival order, ids unique.
+        assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        let mut ids: Vec<_> = reqs.iter().map(|r| r.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), reqs.len());
+    }
+
+    #[test]
+    fn oltp_is_deterministic_per_seed() {
+        let collect = |seed| {
+            let mut s = OltpSource::new(20.0, seed);
+            let (f, t) = window(5);
+            s.poll(f, t)
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    fn oltp_requests_are_small_writes() {
+        let mut src = OltpSource::new(10.0, 2);
+        let (f, t) = window(10);
+        for r in src.poll(f, t) {
+            assert!(r.spec.plan.total_work() < 5_000, "OLTP must be tiny");
+            assert!(!r.spec.write_keys.is_empty());
+            assert!(r.spec.plan.is_write());
+            assert_eq!(r.importance, Importance::High);
+        }
+    }
+
+    #[test]
+    fn bi_sizes_are_heavy_tailed() {
+        let mut src = BiSource::new(5.0, 3);
+        let (f, t) = window(200);
+        let works: Vec<u64> = src
+            .poll(f, t)
+            .iter()
+            .map(|r| r.spec.plan.total_work())
+            .collect();
+        assert!(works.len() > 500);
+        let mut sorted = works.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        let max = *sorted.last().unwrap() as f64;
+        assert!(
+            max / median > 10.0,
+            "heavy tail expected: median {median}, max {max}"
+        );
+    }
+
+    #[test]
+    fn batch_releases_once_at_time() {
+        let mut src = BatchReportSource::new(SimTime(5_000_000), 10, 4);
+        let early = src.poll(SimTime::ZERO, SimTime(1_000_000));
+        assert!(early.is_empty());
+        let on_time = src.poll(SimTime(1_000_000), SimTime(10_000_000));
+        assert_eq!(on_time.len(), 10);
+        assert!(on_time.iter().all(|r| r.arrival == SimTime(5_000_000)));
+        let again = src.poll(SimTime(10_000_000), SimTime(60_000_000));
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn utility_emits_one_big_request() {
+        let mut src = UtilitySource::new(SimTime::ZERO, 30.0, 100_000);
+        let (f, t) = window(1);
+        let reqs = src.poll(f, t);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].spec.statement, StatementType::Utility);
+        assert!(reqs[0].spec.plan.total_cpu_us() == 30_000_000);
+        assert!(src.poll(f, t).is_empty());
+    }
+
+    #[test]
+    fn adhoc_queries_are_huge() {
+        let mut src = AdHocSource::new(1.0, 5);
+        let (f, t) = window(30);
+        let reqs = src.poll(f, t);
+        assert!(!reqs.is_empty());
+        assert!(reqs.iter().all(|r| r.spec.plan.total_work() > 1_000_000));
+    }
+
+    #[test]
+    fn closed_loop_limits_outstanding() {
+        let mut src = ClosedLoopOltpSource::new(5, 0.1, 6);
+        let (f, t) = window(60);
+        let reqs = src.poll(f, t);
+        // Without completions, at most `users` requests ever get submitted.
+        assert!(reqs.len() <= 5, "got {}", reqs.len());
+        assert_eq!(src.outstanding(), reqs.len());
+        // Completions recycle terminals.
+        for r in &reqs {
+            src.on_completion(r.label(), t);
+        }
+        assert_eq!(src.outstanding(), 0);
+        let more = src.poll(t, t + SimDuration::from_secs(60));
+        assert!(!more.is_empty());
+    }
+
+    #[test]
+    fn closed_loop_ignores_foreign_labels() {
+        let mut src = ClosedLoopOltpSource::new(2, 0.1, 7);
+        let (f, t) = window(60);
+        let n = src.poll(f, t).len();
+        src.on_completion("bi", t);
+        assert_eq!(src.outstanding(), n);
+    }
+}
+
+#[cfg(test)]
+mod bursty_tests {
+    use super::*;
+
+    #[test]
+    fn bursty_alternates_and_preserves_rate_statistically() {
+        let inner = Box::new(OltpSource::new(100.0, 21));
+        let mut bursty = BurstySource::new(inner, 2.0, 2.0, 22);
+        let mut total = 0usize;
+        let mut silent_windows = 0usize;
+        let mut busy_windows = 0usize;
+        let window = SimDuration::from_millis(500);
+        let mut t = SimTime::ZERO;
+        for _ in 0..240 {
+            let end = t + window;
+            let n = bursty.poll(t, end).len();
+            total += n;
+            if n == 0 {
+                silent_windows += 1;
+            } else {
+                busy_windows += 1;
+            }
+            t = end;
+        }
+        // Roughly half the time is OFF...
+        assert!(silent_windows > 40, "silent {silent_windows}");
+        assert!(busy_windows > 40, "busy {busy_windows}");
+        // ...so roughly half the inner arrivals pass (within generous noise).
+        let expected = 100.0 * 120.0 * 0.5;
+        assert!(
+            (total as f64) > expected * 0.5 && (total as f64) < expected * 1.5,
+            "total {total} vs expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn uniform_source_emits_template_copies() {
+        let template = PlanBuilder::table_scan(5_000).build().into_spec();
+        let mut src = UniformSource::new(template.clone(), 10.0, "bench", 5);
+        let reqs = src.poll(SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(10));
+        assert!(!reqs.is_empty());
+        for r in &reqs {
+            assert_eq!(r.spec.plan, template.plan);
+            assert_eq!(r.label(), "bench");
+            assert!(r.spec.write_keys.is_empty());
+        }
+    }
+
+    #[test]
+    fn uniform_source_lock_profile_draws_keys() {
+        let template = PlanBuilder::index_lookup(10)
+            .write(OperatorKind::Update, 2)
+            .build()
+            .into_spec();
+        let mut src = UniformSource::new(template, 20.0, "txn", 6).with_locks(32, 3);
+        let reqs = src.poll(SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(5));
+        assert!(!reqs.is_empty());
+        for r in &reqs {
+            assert!(!r.spec.write_keys.is_empty());
+            assert!(r.spec.write_keys.iter().all(|k| *k < 32));
+            assert!(r.spec.write_keys.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

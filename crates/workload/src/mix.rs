@@ -1,0 +1,103 @@
+//! Composite, time-varying workload mixes.
+//!
+//! Server consolidation puts "multiple types of workloads simultaneously
+//! present on a single database server", and the mix "can fluctuate rapidly"
+//! — which is why static threshold tuning fails and dynamic workload
+//! management is needed. [`MixedSource`] merges several sources into one
+//! arrival stream, preserving global arrival order.
+
+use crate::generators::Source;
+use crate::request::Request;
+use wlm_dbsim::time::SimTime;
+
+/// Several sources merged into one stream.
+pub struct MixedSource {
+    sources: Vec<Box<dyn Source>>,
+    label: String,
+}
+
+impl MixedSource {
+    /// Empty mix.
+    pub fn new() -> Self {
+        MixedSource {
+            sources: Vec::new(),
+            label: "mixed".into(),
+        }
+    }
+
+    /// Add a source.
+    pub fn push(&mut self, source: Box<dyn Source>) {
+        self.sources.push(source);
+    }
+
+    /// Builder-style add.
+    pub fn with(mut self, source: Box<dyn Source>) -> Self {
+        self.push(source);
+        self
+    }
+
+    /// Number of member sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether the mix has no members.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+}
+
+impl Default for MixedSource {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Source for MixedSource {
+    fn poll(&mut self, from: SimTime, to: SimTime) -> Vec<Request> {
+        let mut all: Vec<Request> = self
+            .sources
+            .iter_mut()
+            .flat_map(|s| s.poll(from, to))
+            .collect();
+        all.sort_by_key(|r| (r.arrival, r.id));
+        all
+    }
+
+    fn on_completion(&mut self, label: &str, at: SimTime) {
+        for s in &mut self.sources {
+            s.on_completion(label, at);
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{BiSource, OltpSource};
+    use wlm_dbsim::time::SimDuration;
+
+    #[test]
+    fn merge_preserves_arrival_order() {
+        let mut mix = MixedSource::new()
+            .with(Box::new(OltpSource::new(20.0, 1)))
+            .with(Box::new(BiSource::new(2.0, 2)));
+        assert_eq!(mix.len(), 2);
+        let reqs = mix.poll(SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(10));
+        assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        let labels: std::collections::HashSet<&str> = reqs.iter().map(|r| r.label()).collect();
+        assert!(labels.contains("oltp"));
+        assert!(labels.contains("bi"));
+    }
+
+    #[test]
+    fn empty_mix_is_empty() {
+        let mut mix = MixedSource::default();
+        assert!(mix.is_empty());
+        assert!(mix.poll(SimTime::ZERO, SimTime(1_000_000)).is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Requests and their identification attributes.
+//!
+//! Workload definition approaches map arriving requests to workloads using
+//! the request's *origin* ("who is making the request": application name,
+//! user, session id, client IP) and *type* ("what the request is":
+//! statement class, estimated cost, estimated cardinality). This module
+//! carries those attributes; classification itself lives in
+//! `wlm-core::characterize`.
+
+use serde::{Deserialize, Serialize};
+use wlm_dbsim::plan::QuerySpec;
+use wlm_dbsim::time::SimTime;
+
+/// Identifies a request across the whole workload-management pipeline
+/// (assigned by the generator, preserved through admission, queueing and
+/// execution).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RequestId(pub u64);
+
+/// "Who" is making the request.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Origin {
+    /// Application name (e.g. `"pos_terminal"`, `"report_studio"`).
+    pub application: String,
+    /// Authenticated user.
+    pub user: String,
+    /// Connection/session id.
+    pub session_id: u64,
+    /// Client IPv4 address.
+    pub client_ip: [u8; 4],
+}
+
+impl Origin {
+    /// Convenience constructor.
+    pub fn new(application: &str, user: &str, session_id: u64) -> Self {
+        Origin {
+            application: application.into(),
+            user: user.into(),
+            session_id,
+            client_ip: [10, 0, 0, 1],
+        }
+    }
+}
+
+/// Business importance levels assigned from the SLA. Workload management
+/// maps these to resource-access priorities; the mapping is policy, which is
+/// why the levels themselves carry no numeric weight.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Importance {
+    /// Best-effort (ad-hoc exploration, routine reports).
+    Low,
+    /// Normal business work.
+    #[default]
+    Medium,
+    /// Revenue-generating or executive work.
+    High,
+    /// Must never miss its objective.
+    Critical,
+}
+
+impl Importance {
+    /// All levels, ascending.
+    pub const ALL: [Importance; 4] = [
+        Importance::Low,
+        Importance::Medium,
+        Importance::High,
+        Importance::Critical,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Importance::Low => "Low",
+            Importance::Medium => "Medium",
+            Importance::High => "High",
+            Importance::Critical => "Critical",
+        }
+    }
+
+    /// A default fair-share weight embodying the common
+    /// "high gets roughly double the access of the level below" rule of
+    /// thumb. Policies may override this freely.
+    pub fn default_weight(self) -> f64 {
+        match self {
+            Importance::Low => 1.0,
+            Importance::Medium => 2.0,
+            Importance::High => 4.0,
+            Importance::Critical => 8.0,
+        }
+    }
+
+    /// One step less important (saturating) — used by priority aging.
+    pub fn demoted(self) -> Importance {
+        match self {
+            Importance::Low | Importance::Medium => Importance::Low,
+            Importance::High => Importance::Medium,
+            Importance::Critical => Importance::High,
+        }
+    }
+
+    /// One step more important (saturating).
+    pub fn promoted(self) -> Importance {
+        match self {
+            Importance::Low => Importance::Medium,
+            Importance::Medium => Importance::High,
+            Importance::High | Importance::Critical => Importance::Critical,
+        }
+    }
+}
+
+/// One arriving request: a query plan plus its identification attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique id.
+    pub id: RequestId,
+    /// When the request arrived at the database server.
+    pub arrival: SimTime,
+    /// Who submitted it.
+    pub origin: Origin,
+    /// The query itself (plan, statement type, lock keys, working set).
+    pub spec: QuerySpec,
+    /// Business importance from the submitting workload's SLA.
+    pub importance: Importance,
+}
+
+impl Request {
+    /// The generator label carried on the spec (workload tag).
+    pub fn label(&self) -> &str {
+        &self.spec.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn importance_ordering_and_steps() {
+        assert!(Importance::Critical > Importance::High);
+        assert!(Importance::High > Importance::Medium);
+        assert!(Importance::Medium > Importance::Low);
+        assert_eq!(Importance::Low.demoted(), Importance::Low);
+        assert_eq!(Importance::Critical.promoted(), Importance::Critical);
+        assert_eq!(Importance::High.demoted(), Importance::Medium);
+        assert_eq!(Importance::Medium.promoted(), Importance::High);
+    }
+
+    #[test]
+    fn weights_are_monotone() {
+        let w: Vec<f64> = Importance::ALL.iter().map(|i| i.default_weight()).collect();
+        assert!(w.windows(2).all(|p| p[0] < p[1]));
+    }
+}

@@ -1,0 +1,137 @@
+//! A DBQL-style query log.
+//!
+//! Teradata's workload analyzer recommends workload definitions "by
+//! analyzing the data of the database query log (DBQL)". This module records
+//! completed requests with the attributes such an analyzer needs: origin,
+//! statement type, estimated cost, measured response and resource
+//! consumption.
+
+use crate::request::{Importance, Origin};
+use serde::{Deserialize, Serialize};
+use wlm_dbsim::plan::StatementType;
+use wlm_dbsim::time::{SimDuration, SimTime};
+
+/// One completed request in the log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryLogEntry {
+    /// When the request arrived.
+    pub arrival: SimTime,
+    /// Workload tag it ran under (if any was assigned).
+    pub label: String,
+    /// Who submitted it.
+    pub origin: Origin,
+    /// Statement class.
+    pub statement: StatementType,
+    /// Optimizer cost estimate at submission, timerons.
+    pub estimated_cost: f64,
+    /// True total work performed, µs-equivalent.
+    pub true_work_us: u64,
+    /// Measured response time.
+    pub response: SimDuration,
+    /// Business importance it carried.
+    pub importance: Importance,
+}
+
+/// An append-only query log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct QueryLog {
+    entries: Vec<QueryLogEntry>,
+}
+
+impl QueryLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an entry.
+    pub fn record(&mut self, entry: QueryLogEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[QueryLogEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries grouped by application name (a common analysis dimension).
+    pub fn by_application(&self) -> std::collections::BTreeMap<&str, Vec<&QueryLogEntry>> {
+        let mut map: std::collections::BTreeMap<&str, Vec<&QueryLogEntry>> = Default::default();
+        for e in &self.entries {
+            map.entry(e.origin.application.as_str())
+                .or_default()
+                .push(e);
+        }
+        map
+    }
+
+    /// Mean response time in seconds of entries matching a predicate.
+    pub fn mean_response_secs<F: Fn(&QueryLogEntry) -> bool>(&self, pred: F) -> f64 {
+        let matching: Vec<f64> = self
+            .entries
+            .iter()
+            .filter(|e| pred(e))
+            .map(|e| e.response.as_secs_f64())
+            .collect();
+        if matching.is_empty() {
+            0.0
+        } else {
+            matching.iter().sum::<f64>() / matching.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(app: &str, resp_ms: u64) -> QueryLogEntry {
+        QueryLogEntry {
+            arrival: SimTime::ZERO,
+            label: "w".into(),
+            origin: Origin::new(app, "u", 1),
+            statement: StatementType::Read,
+            estimated_cost: 100.0,
+            true_work_us: 1000,
+            response: SimDuration::from_millis(resp_ms),
+            importance: Importance::Medium,
+        }
+    }
+
+    #[test]
+    fn record_and_group() {
+        let mut log = QueryLog::new();
+        assert!(log.is_empty());
+        log.record(entry("a", 100));
+        log.record(entry("b", 200));
+        log.record(entry("a", 300));
+        assert_eq!(log.len(), 3);
+        let grouped = log.by_application();
+        assert_eq!(grouped["a"].len(), 2);
+        assert_eq!(grouped["b"].len(), 1);
+    }
+
+    #[test]
+    fn mean_response_filters() {
+        let mut log = QueryLog::new();
+        log.record(entry("a", 100));
+        log.record(entry("a", 300));
+        log.record(entry("b", 1000));
+        let mean_a = log.mean_response_secs(|e| e.origin.application == "a");
+        assert!((mean_a - 0.2).abs() < 1e-9);
+        assert_eq!(
+            log.mean_response_secs(|e| e.origin.application == "zz"),
+            0.0
+        );
+    }
+}

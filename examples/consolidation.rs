@@ -1,0 +1,150 @@
+//! Server consolidation with the full workload-management stack.
+//!
+//! The paper's motivating scenario: OLTP, BI, a nightly report batch, ad-hoc
+//! exploration and an online backup utility all share one database server.
+//! This example assembles the complete pipeline — static characterization
+//! with workload definitions, threshold admission, the Niu utility
+//! scheduler, PI utility throttling, priority aging and progress-guided
+//! cancellation — and prints a per-workload report.
+//!
+//! Run with: `cargo run --release --example consolidation`
+
+use wlm::core::admission::ThresholdAdmission;
+use wlm::core::characterize::{Predicate, StaticCharacterizer, WorkloadDefinition};
+use wlm::core::execution::{PriorityAging, ProgressGuidedKiller, UtilityThrottler};
+use wlm::core::manager::{ManagerConfig, WorkloadManager};
+use wlm::core::policy::{AdmissionPolicy, AdmissionViolationAction, WorkloadPolicy};
+use wlm::core::scheduling::{ServiceClassConfig, UtilityScheduler};
+use wlm::dbsim::engine::EngineConfig;
+use wlm::dbsim::plan::StatementType;
+use wlm::dbsim::time::{SimDuration, SimTime};
+use wlm::workload::generators::{
+    AdHocSource, BatchReportSource, BiSource, OltpSource, UtilitySource,
+};
+use wlm::workload::mix::MixedSource;
+use wlm::workload::request::Importance;
+use wlm::workload::sla::ServiceLevelAgreement;
+
+fn main() {
+    let config = ManagerConfig {
+        engine: EngineConfig {
+            cores: 16,
+            disk_pages_per_sec: 80_000,
+            memory_mb: 2_048,
+            ..Default::default()
+        },
+        policies: vec![
+            WorkloadPolicy::new("transactions", Importance::Critical)
+                .with_sla(ServiceLevelAgreement::percentile(95.0, 0.5)),
+            WorkloadPolicy::new("reporting", Importance::Medium)
+                .with_sla(ServiceLevelAgreement::avg_response(90.0)),
+            WorkloadPolicy::new("exploration", Importance::Low),
+            WorkloadPolicy::new("maintenance", Importance::Low),
+        ],
+        ..Default::default()
+    };
+    let mut mgr = WorkloadManager::new(config);
+
+    // Identification: explicit workload definitions (origin + type), the
+    // commercial-facility way, instead of trusting generator labels.
+    mgr.set_characterizer(Box::new(
+        StaticCharacterizer::new(vec![
+            WorkloadDefinition::new(
+                "transactions",
+                Predicate::ApplicationIs("pos_terminal".into()),
+            )
+            .with_importance(Importance::Critical),
+            WorkloadDefinition::new(
+                "maintenance",
+                Predicate::StatementIs(StatementType::Utility),
+            ),
+            WorkloadDefinition::new(
+                "reporting",
+                Predicate::Any(vec![
+                    Predicate::ApplicationIs("report_studio".into()),
+                    Predicate::ApplicationIs("nightly_reports".into()),
+                ]),
+            ),
+            WorkloadDefinition::new("exploration", Predicate::True),
+        ])
+        .with_default("exploration"),
+    ));
+
+    // Admission: keep exploration monsters out during the day.
+    mgr.set_admission(Box::new(ThresholdAdmission::default().with_policy(
+        "exploration",
+        AdmissionPolicy {
+            max_estimated_secs: Some(120.0),
+            max_workload_mpl: Some(2),
+            on_violation: AdmissionViolationAction::Reject,
+            ..Default::default()
+        },
+    )));
+
+    // Scheduling: Niu's utility scheduler balancing the goal classes.
+    mgr.set_scheduler(Box::new(UtilityScheduler::new(
+        vec![
+            ServiceClassConfig {
+                workload: "transactions".into(),
+                goal_secs: 0.5,
+                importance_weight: 10.0,
+            },
+            ServiceClassConfig {
+                workload: "reporting".into(),
+                goal_secs: 90.0,
+                importance_weight: 3.0,
+            },
+        ],
+        30_000_000.0,
+    )));
+
+    // Execution control: throttle the backup when transactions degrade,
+    // age overdue reporting queries down, kill hopeless exploration.
+    mgr.add_exec_controller(Box::new(UtilityThrottler::new("transactions", 0.05, 0.5)));
+    mgr.add_exec_controller(Box::new(PriorityAging::new(120.0)));
+    mgr.add_exec_controller(Box::new(ProgressGuidedKiller::new(600.0)));
+
+    // The consolidated mix.
+    let mut mix = MixedSource::new()
+        .with(Box::new(OltpSource::new(80.0, 11)))
+        .with(Box::new(
+            BiSource::new(1.0, 12).with_size(10_000_000.0, 0.9),
+        ))
+        .with(Box::new(BatchReportSource::new(
+            SimTime::ZERO + SimDuration::from_secs(60),
+            20,
+            13,
+        )))
+        .with(Box::new(AdHocSource::new(0.1, 14)))
+        .with(Box::new(UtilitySource::new(
+            SimTime::ZERO + SimDuration::from_secs(30),
+            120.0,
+            2_000_000,
+        )));
+
+    let report = mgr.run(&mut mix, SimDuration::from_secs(300));
+
+    println!("consolidated server, 300 simulated seconds");
+    println!(
+        "completed {} | killed {} | rejected {} | suspend overhead {:.1}s",
+        report.completed,
+        report.killed,
+        report.rejected,
+        report.suspend_overhead_us as f64 / 1e6
+    );
+    println!();
+    for w in &report.workloads {
+        let status = if w.sla.met() { "MET   " } else { "MISSED" };
+        println!(
+            "{:<14} {} n={:<5} mean={:>8.3}s p95={:>8.3}s killed={} rejected={} velocity={:.2}",
+            w.workload,
+            status,
+            w.summary.count,
+            w.summary.mean,
+            w.summary.p95,
+            w.stats.killed,
+            w.stats.rejected,
+            w.stats.mean_velocity(),
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Driving the SQL Server Resource Governor emulation.
+//!
+//! Creates resource pools with MIN/MAX CPU shares, workload groups, a
+//! classification function routing requests by application, and a Query
+//! Governor cost limit — then runs a mixed OLTP + ad-hoc load and shows the
+//! pools protecting the OLTP group.
+//!
+//! Run with: `cargo run --release --example resource_governor`
+
+use wlm::core::manager::ManagerConfig;
+use wlm::dbsim::engine::EngineConfig;
+use wlm::dbsim::time::SimDuration;
+use wlm::systems::sqlserver::{ResourceGovernor, ResourcePool};
+use wlm::workload::generators::{AdHocSource, OltpSource};
+use wlm::workload::mix::MixedSource;
+
+fn main() {
+    let mut rg = ResourceGovernor::new();
+    rg.create_pool(ResourcePool::new("oltp_pool", 60.0, 100.0));
+    rg.create_pool(ResourcePool::new("adhoc_pool", 0.0, 25.0));
+    rg.create_group("oltp_group", "oltp_pool");
+    rg.create_group("adhoc_group", "adhoc_pool");
+    rg.register_classifier(Box::new(|req, _| match req.origin.application.as_str() {
+        "pos_terminal" => Some("oltp_group".into()),
+        "sql_console" => Some("adhoc_group".into()),
+        _ => None, // falls into the default group
+    }));
+    // Queries estimated over 10 minutes are disallowed outright.
+    rg.query_governor_cost_limit_secs = 600.0;
+
+    println!("pools:");
+    for p in &rg.pools {
+        println!(
+            "  {:<12} MIN {:>5.1}%  MAX {:>5.1}%",
+            p.name, p.min_cpu_pct, p.max_cpu_pct
+        );
+    }
+    println!("groups:");
+    for g in &rg.groups {
+        println!("  {:<12} -> pool {}", g.name, g.pool);
+    }
+    println!();
+
+    let mut mgr = rg.build(ManagerConfig {
+        engine: EngineConfig {
+            cores: 8,
+            memory_mb: 4_096,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+
+    let mut mix = MixedSource::new()
+        .with(Box::new(OltpSource::new(80.0, 31)))
+        .with(Box::new(AdHocSource::new(0.4, 32)));
+
+    let report = mgr.run(&mut mix, SimDuration::from_secs(120));
+
+    println!("120 simulated seconds of OLTP (pos_terminal) + ad-hoc (sql_console):");
+    println!(
+        "completed {} | rejected by the query governor {}",
+        report.completed, report.rejected
+    );
+    for w in &report.workloads {
+        println!(
+            "  {:<12} n={:<6} mean={:>8.3}s p95={:>8.3}s",
+            w.workload, w.summary.count, w.summary.mean, w.summary.p95
+        );
+    }
+    println!(
+        "\nthe adhoc pool is capped at 25% CPU, so scan storms cannot starve\n\
+         the OLTP pool's guaranteed 60% — and the query governor turned away\n\
+         {} monster queries before they ever ran.",
+        report.rejected
+    );
+}

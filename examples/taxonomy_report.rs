@@ -1,0 +1,36 @@
+//! Regenerate the paper's Figure 1 and Tables 1–5 from the implemented
+//! techniques.
+//!
+//! Run with: `cargo run --example taxonomy_report`
+
+use wlm::core::registry::{builtin_registry, TABLE5_TECHNIQUES};
+use wlm::core::taxonomy::render_table1;
+use wlm::systems::table4::{render_table4, Facility};
+use wlm::systems::{Db2WorkloadManager, ResourceGovernor, TeradataAsm};
+
+fn main() {
+    let registry = builtin_registry();
+
+    println!("FIGURE 1 — Taxonomy of Workload Management Techniques for DBMSs");
+    println!("(leaves annotated with the implemented techniques)\n");
+    println!("{}", registry.render_figure1());
+
+    println!("{}", render_table1());
+    println!("{}", registry.render_table2());
+    println!("{}", registry.render_table3());
+
+    let rows = [
+        Db2WorkloadManager::example().table4_row(),
+        ResourceGovernor::example().table4_row(),
+        TeradataAsm::example().table4_row(),
+    ];
+    println!("{}", render_table4(&rows));
+
+    println!("{}", registry.render_table5(&TABLE5_TECHNIQUES));
+
+    println!(
+        "\n{} techniques implemented across {} taxonomy classes.",
+        registry.techniques().len(),
+        wlm::core::taxonomy::TechniqueClass::ALL.len()
+    );
+}

@@ -1,0 +1,115 @@
+//! The Teradata workload-analyzer flow: learn workload definitions from the
+//! query log of an *unmanaged* server, then manage with them.
+//!
+//! 1. Run a consolidation mix unmanaged for a while, collecting the
+//!    DBQL-style query log.
+//! 2. `WorkloadAnalyzer` clusters the log by application × processing-time
+//!    band and recommends candidate workload definitions with per-candidate
+//!    support and observed response (the basis for an SLG).
+//! 3. Those candidates become a Teradata ASM configuration (definitions +
+//!    throttles), and the same mix is re-run managed.
+//!
+//! Run with: `cargo run --release --example workload_analyzer`
+
+use wlm::core::manager::{ManagerConfig, WorkloadManager};
+use wlm::dbsim::engine::EngineConfig;
+use wlm::dbsim::optimizer::CostModel;
+use wlm::dbsim::time::SimDuration;
+use wlm::systems::teradata::{TeradataAsm, WorkloadAnalyzer, WorkloadDefinition};
+use wlm::workload::generators::{BiSource, OltpSource};
+use wlm::workload::mix::MixedSource;
+use wlm::workload::sla::ServiceLevelAgreement;
+
+fn mix(seed: u64) -> MixedSource {
+    MixedSource::new()
+        .with(Box::new(OltpSource::new(40.0, seed)))
+        .with(Box::new(
+            BiSource::new(1.5, seed + 1).with_size(8_000_000.0, 0.9),
+        ))
+}
+
+fn config() -> ManagerConfig {
+    ManagerConfig {
+        engine: EngineConfig {
+            cores: 8,
+            memory_mb: 1_024,
+            ..Default::default()
+        },
+        cost_model: CostModel::with_error(0.3, 7),
+        uniform_weights: true,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    // Step 1: observe the unmanaged server.
+    let mut observe = WorkloadManager::new(config());
+    observe.run(&mut mix(40), SimDuration::from_secs(60));
+    println!(
+        "observation run: {} completed requests logged to the DBQL\n",
+        observe.query_log().len()
+    );
+
+    // Step 2: analyze.
+    let analyzer = WorkloadAnalyzer::new();
+    let candidates = analyzer.recommend(observe.query_log());
+    println!("workload analyzer recommendations:");
+    for c in &candidates {
+        println!(
+            "  {:<32} app={:<16} band={} support={:<5} mean resp={:.3}s",
+            c.name, c.application, c.band, c.support, c.mean_response_secs
+        );
+    }
+    println!();
+
+    // Step 3: turn the candidates into an ASM configuration. Band 0 work
+    // (sub-second) becomes tactical with a tight SLG; heavier bands get
+    // concurrency throttles sized from their support.
+    let mut asm = TeradataAsm::new();
+    for c in &candidates {
+        let (weight, throttle, slg) = match c.band {
+            0 => (
+                8.0,
+                None,
+                Some(ServiceLevelAgreement::percentile(95.0, 0.5)),
+            ),
+            1 => (
+                3.0,
+                Some(6),
+                Some(ServiceLevelAgreement::avg_response(60.0)),
+            ),
+            _ => (1.0, Some(2), None),
+        };
+        asm.definitions.push(WorkloadDefinition {
+            name: c.name.clone(),
+            who_application: Some(c.application.clone()),
+            what_min_est_secs: if c.band >= 1 { Some(1.0) } else { None },
+            what_max_est_secs: if c.band == 0 { Some(1.0) } else { None },
+            priority_weight: weight,
+            concurrency_throttle: throttle,
+            exception: None,
+            slg,
+        });
+    }
+    println!(
+        "installed {} workload definitions; re-running managed\n",
+        asm.definitions.len()
+    );
+
+    let mut managed = asm.build(config());
+    let report = managed.run(&mut mix(40), SimDuration::from_secs(60));
+    for w in &report.workloads {
+        println!(
+            "  {:<32} n={:<6} mean={:>8.3}s p95={:>8.3}s sla={}",
+            w.workload,
+            w.summary.count,
+            w.summary.mean,
+            w.summary.p95,
+            if w.sla.met() { "MET" } else { "MISSED" },
+        );
+    }
+    println!(
+        "\nlive dashboard at end of run:\n{}",
+        managed.dashboard().render()
+    );
+}

@@ -1,0 +1,43 @@
+//! # wlm — workload management for database management systems
+//!
+//! A complete, working implementation of the taxonomy of workload
+//! management techniques from Zhang, Martin, Powley & Chen (*Workload
+//! Management in Database Management Systems: A Taxonomy*): workload
+//! characterization, admission control, scheduling and execution control,
+//! exercised on a deterministic simulated DBMS engine.
+//!
+//! ## Crates
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`dbsim`] | `wlm-dbsim` | the simulated database engine substrate |
+//! | [`workload`] | `wlm-workload` | requests, SLAs, OLTP/BI/batch/utility generators |
+//! | [`control`] | `wlm-control` | PI / step / black-box / fuzzy controllers, utility, economic and queueing models |
+//! | [`core`] | `wlm-core` | the taxonomy, policies and all technique implementations plus the `WorkloadManager` pipeline |
+//! | [`systems`] | `wlm-systems` | IBM DB2 WLM, SQL Server Resource Governor and Teradata ASM emulations |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wlm::core::manager::{ManagerConfig, WorkloadManager};
+//! use wlm::core::scheduling::PriorityScheduler;
+//! use wlm::workload::generators::{BiSource, OltpSource};
+//! use wlm::workload::mix::MixedSource;
+//! use wlm::dbsim::time::SimDuration;
+//!
+//! let mut manager = WorkloadManager::new(ManagerConfig::default());
+//! manager.set_scheduler(Box::new(PriorityScheduler::new(16)));
+//!
+//! let mut mix = MixedSource::new()
+//!     .with(Box::new(OltpSource::new(50.0, 1)))
+//!     .with(Box::new(BiSource::new(1.0, 2)));
+//!
+//! let report = manager.run(&mut mix, SimDuration::from_secs(10));
+//! assert!(report.completed > 0);
+//! ```
+
+pub use wlm_control as control;
+pub use wlm_core as core;
+pub use wlm_dbsim as dbsim;
+pub use wlm_systems as systems;
+pub use wlm_workload as workload;

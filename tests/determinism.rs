@@ -1,0 +1,61 @@
+//! Reproducibility: identical seeds and configurations must produce
+//! identical runs, across every component of the stack.
+
+use wlm::core::manager::{ManagerConfig, WorkloadManager};
+use wlm::core::scheduling::RankScheduler;
+use wlm::dbsim::engine::EngineConfig;
+use wlm::dbsim::optimizer::CostModel;
+use wlm::dbsim::time::SimDuration;
+use wlm::workload::generators::{BiSource, OltpSource};
+use wlm::workload::mix::MixedSource;
+
+fn run_once(seed: u64) -> (u64, u64, Vec<f64>) {
+    let mut mgr = WorkloadManager::new(ManagerConfig {
+        engine: EngineConfig {
+            cores: 4,
+            memory_mb: 1_024,
+            ..Default::default()
+        },
+        cost_model: CostModel::with_error(0.5, 77),
+        ..Default::default()
+    });
+    mgr.set_scheduler(Box::new(RankScheduler::new(16)));
+    let mut mix = MixedSource::new()
+        .with(Box::new(OltpSource::new(30.0, seed)))
+        .with(Box::new(BiSource::new(1.5, seed + 1)));
+    let report = mgr.run(&mut mix, SimDuration::from_secs(45));
+    let oltp_responses = report
+        .workload("oltp")
+        .map(|w| w.stats.responses_secs.clone())
+        .unwrap_or_default();
+    (report.completed, report.killed, oltp_responses)
+}
+
+#[test]
+fn same_seed_same_history() {
+    let a = run_once(42);
+    let b = run_once(42);
+    assert_eq!(a.0, b.0, "completion counts must match");
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2, "every response time must match bit-for-bit");
+}
+
+#[test]
+fn different_seed_different_history() {
+    let a = run_once(42);
+    let b = run_once(43);
+    assert_ne!(a.2, b.2, "different arrivals must differ");
+}
+
+#[test]
+fn experiments_are_reproducible() {
+    // Spot-check a full experiment: two runs of E5 agree exactly.
+    let a = wlm_bench::e5_suspend();
+    let b = wlm_bench::e5_suspend();
+    assert_eq!(a.plan_optimal_us, b.plan_optimal_us);
+    assert_eq!(a.rows.len(), b.rows.len());
+    for (x, y) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(x.dump_suspend_us, y.dump_suspend_us);
+        assert_eq!(x.goback_resume_us, y.goback_resume_us);
+    }
+}

@@ -1,0 +1,247 @@
+//! Property-based tests on cross-crate invariants.
+
+use proptest::prelude::*;
+use wlm::control::economic::{Consumer, EconomicMarket};
+use wlm::control::queueing::ClosedNetwork;
+use wlm::core::execution::{optimal_suspend_plan, SuspendCosts};
+use wlm::core::scheduling::slice_spec;
+use wlm::dbsim::metrics::{percentile, summarize};
+use wlm::dbsim::plan::PlanBuilder;
+use wlm::dbsim::resources::{fair_share, Claim};
+use wlm::dbsim::suspend::SuspendStrategy;
+
+proptest! {
+    /// Weighted fair sharing: grants never exceed demands or capacity, and
+    /// capacity is exhausted whenever total demand allows it.
+    #[test]
+    fn fair_share_is_feasible_and_work_conserving(
+        capacity in 0.0f64..10_000.0,
+        claims in prop::collection::vec((0.01f64..100.0, 0.0f64..500.0), 0..40),
+    ) {
+        let claims: Vec<Claim> = claims
+            .into_iter()
+            .map(|(weight, demand)| Claim { weight, demand })
+            .collect();
+        let grants = fair_share(capacity, &claims);
+        prop_assert_eq!(grants.len(), claims.len());
+        let mut total = 0.0;
+        for (g, c) in grants.iter().zip(&claims) {
+            prop_assert!(*g >= -1e-9);
+            prop_assert!(*g <= c.demand + 1e-6, "grant {} demand {}", g, c.demand);
+            total += g;
+        }
+        prop_assert!(total <= capacity + 1e-6);
+        let total_demand: f64 = claims.iter().map(|c| c.demand).sum();
+        if total_demand > capacity + 1e-6 {
+            // Saturated: all capacity must be used.
+            prop_assert!(total >= capacity * 0.999 - 1e-6, "wasted capacity: {total} of {capacity}");
+        } else {
+            // Underloaded: everyone fully served.
+            prop_assert!((total - total_demand).abs() < 1e-6);
+        }
+    }
+
+    /// Market clearing: allocations respect demands; under scarcity the
+    /// market clears and richer consumers never receive less than poorer
+    /// ones with equal demand.
+    #[test]
+    fn market_clears_and_respects_wealth_order(
+        capacity in 1.0f64..1000.0,
+        consumers in prop::collection::vec((0.1f64..50.0, 0.1f64..500.0), 1..20),
+    ) {
+        let consumers: Vec<Consumer> = consumers
+            .into_iter()
+            .enumerate()
+            .map(|(i, (wealth, demand))| Consumer {
+                name: format!("c{i}"),
+                wealth,
+                demand,
+            })
+            .collect();
+        let out = EconomicMarket::new(capacity).clear(&consumers);
+        let total_demand: f64 = consumers.iter().map(|c| c.demand).sum();
+        let total_alloc: f64 = out.allocations.iter().sum();
+        for (a, c) in out.allocations.iter().zip(&consumers) {
+            prop_assert!(*a <= c.demand + 1e-6);
+            prop_assert!(*a >= -1e-9);
+        }
+        if total_demand > capacity {
+            prop_assert!((total_alloc - capacity).abs() < capacity * 0.01 + 1e-3,
+                "market must clear: {} of {}", total_alloc, capacity);
+            // Wealth monotonicity among unsatisfied consumers.
+            for i in 0..consumers.len() {
+                for j in 0..consumers.len() {
+                    let (ci, cj) = (&consumers[i], &consumers[j]);
+                    let (ai, aj) = (out.allocations[i], out.allocations[j]);
+                    let i_capped = ai + 1e-6 >= ci.demand;
+                    let j_capped = aj + 1e-6 >= cj.demand;
+                    if ci.wealth >= cj.wealth && !i_capped && !j_capped {
+                        prop_assert!(ai >= aj - 1e-6);
+                    }
+                }
+            }
+        } else {
+            prop_assert!((total_alloc - total_demand).abs() < 1e-6);
+        }
+    }
+
+    /// Slicing a plan preserves total work and memory profile, and the
+    /// pieces compose in order.
+    #[test]
+    fn slicing_preserves_work(rows in 10_000u64..5_000_000, pieces in 1usize..12) {
+        let spec = PlanBuilder::table_scan(rows)
+            .filter(0.5)
+            .aggregate(100)
+            .build()
+            .into_spec();
+        let slices = slice_spec(&spec, pieces);
+        prop_assert_eq!(slices.len(), pieces.max(1));
+        let total: u64 = slices.iter().map(|s| s.plan.total_work()).sum();
+        prop_assert_eq!(total, spec.plan.total_work());
+        for s in &slices {
+            prop_assert_eq!(s.plan.ops.len(), spec.plan.ops.len());
+            prop_assert!(s.plan.peak_mem_mb() <= spec.plan.peak_mem_mb());
+        }
+    }
+
+    /// The optimal suspend plan always respects the budget (when feasible)
+    /// and is never worse than all-GoBack.
+    #[test]
+    fn suspend_plan_is_feasible_and_dominant(
+        items in prop::collection::vec(
+            (1_000u64..2_000_000, 1_000u64..2_000_000, 1u64..1_000, 1_000u64..5_000_000),
+            0..16,
+        ),
+        budget in 1_000u64..10_000_000,
+    ) {
+        let costs: Vec<SuspendCosts> = items
+            .into_iter()
+            .map(|(ds, dr, gs, gr)| SuspendCosts {
+                dump_suspend_us: ds,
+                dump_resume_us: dr,
+                goback_suspend_us: gs,
+                goback_resume_us: gr,
+            })
+            .collect();
+        let plan = optimal_suspend_plan(&costs, budget);
+        prop_assert_eq!(plan.len(), costs.len());
+        let spend: u64 = costs
+            .iter()
+            .zip(&plan)
+            .map(|(c, s)| c.suspend_cost(*s))
+            .sum();
+        let all_goback_spend: u64 = costs.iter().map(|c| c.goback_suspend_us).sum();
+        if all_goback_spend <= budget {
+            prop_assert!(spend <= budget, "plan spends {} of {}", spend, budget);
+            let total: u64 = costs.iter().zip(&plan).map(|(c, s)| c.total(*s)).sum();
+            let goback_total: u64 = costs
+                .iter()
+                .map(|c| c.total(SuspendStrategy::GoBack))
+                .sum();
+            prop_assert!(total <= goback_total);
+        }
+    }
+
+    /// Percentiles are monotone in p and bounded by the sample range.
+    #[test]
+    fn percentiles_are_monotone(samples in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
+            let v = percentile(&sorted, p);
+            prop_assert!(v >= last);
+            prop_assert!(v >= sorted[0] && v <= *sorted.last().unwrap());
+            last = v;
+        }
+        let s = summarize(&samples);
+        prop_assert!(s.p50 <= s.p90 && s.p90 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        prop_assert!(s.mean <= s.max && s.mean >= sorted[0]);
+    }
+
+    /// MVA throughput is monotone non-decreasing in population and bounded
+    /// by the bottleneck law.
+    #[test]
+    fn mva_respects_bottleneck_bound(
+        demands in prop::collection::vec(0.001f64..0.5, 1..6),
+        think in 0.0f64..5.0,
+    ) {
+        let net = ClosedNetwork::new(demands, think);
+        let pts = net.mva(64);
+        let bound = net.throughput_bound();
+        let mut last = 0.0;
+        for p in &pts {
+            prop_assert!(p.throughput >= last - 1e-9, "throughput must not fall");
+            prop_assert!(p.throughput <= bound + 1e-9, "bottleneck bound violated");
+            last = p.throughput;
+        }
+    }
+}
+
+/// Brute-force cross-check of the suspend-plan DP on small instances.
+#[test]
+fn suspend_plan_matches_brute_force_on_small_instances() {
+    use wlm::dbsim::suspend::SuspendStrategy::*;
+    let cases: Vec<Vec<SuspendCosts>> = vec![vec![
+        SuspendCosts {
+            dump_suspend_us: 500,
+            dump_resume_us: 500,
+            goback_suspend_us: 10,
+            goback_resume_us: 5_000,
+        },
+        SuspendCosts {
+            dump_suspend_us: 800,
+            dump_resume_us: 700,
+            goback_suspend_us: 10,
+            goback_resume_us: 400,
+        },
+        SuspendCosts {
+            dump_suspend_us: 300,
+            dump_resume_us: 300,
+            goback_suspend_us: 10,
+            goback_resume_us: 9_000,
+        },
+    ]];
+    for costs in cases {
+        for budget in [100u64, 600, 1_000, 2_000, 10_000] {
+            let plan = optimal_suspend_plan(&costs, budget);
+            let plan_total: u64 = costs.iter().zip(&plan).map(|(c, s)| c.total(*s)).sum();
+            // Enumerate all 2^n assignments.
+            let n = costs.len();
+            let mut best = u64::MAX;
+            for mask in 0..(1u32 << n) {
+                let spend: u64 = (0..n)
+                    .map(|i| {
+                        let s = if mask & (1 << i) != 0 {
+                            DumpState
+                        } else {
+                            GoBack
+                        };
+                        costs[i].suspend_cost(s)
+                    })
+                    .sum();
+                if spend > budget {
+                    continue;
+                }
+                let total: u64 = (0..n)
+                    .map(|i| {
+                        let s = if mask & (1 << i) != 0 {
+                            DumpState
+                        } else {
+                            GoBack
+                        };
+                        costs[i].total(s)
+                    })
+                    .sum();
+                best = best.min(total);
+            }
+            if best != u64::MAX {
+                // Grid rounding may cost a little; within one grid cell.
+                assert!(
+                    plan_total <= best + budget / 256 + 1,
+                    "budget {budget}: dp {plan_total} vs brute {best}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Policies and reports are data: they round-trip through serde unchanged,
+//! so configurations can be authored, stored and audited as JSON.
+
+use wlm::core::policy::{
+    AdmissionPolicy, AdmissionViolationAction, ExecutionPolicy, ExecutionViolationAction,
+    OperatingPeriod, WorkloadPolicy,
+};
+use wlm::dbsim::engine::EngineConfig;
+use wlm::dbsim::optimizer::CostModel;
+use wlm::dbsim::plan::PlanBuilder;
+use wlm::workload::request::Importance;
+use wlm::workload::sla::{PerformanceObjective, ServiceLevelAgreement};
+
+#[test]
+fn workload_policy_round_trips() {
+    let policy = WorkloadPolicy::new("bi", Importance::Medium)
+        .with_sla(ServiceLevelAgreement {
+            objectives: vec![
+                PerformanceObjective::Percentile {
+                    percent: 95.0,
+                    target_secs: 60.0,
+                },
+                PerformanceObjective::Throughput { min_per_sec: 0.5 },
+                PerformanceObjective::Velocity { min_velocity: 0.2 },
+            ],
+        })
+        .with_admission(AdmissionPolicy {
+            max_cost_timerons: Some(1e7),
+            max_estimated_secs: Some(300.0),
+            max_estimated_rows: Some(1_000_000),
+            max_workload_mpl: Some(8),
+            on_violation: AdmissionViolationAction::Reject,
+            periods: vec![OperatingPeriod {
+                start_hour: 22,
+                end_hour: 24,
+                threshold_scale: 10.0,
+            }],
+        })
+        .with_execution(ExecutionPolicy {
+            max_elapsed_secs: Some(600.0),
+            max_work_overrun_factor: Some(3.0),
+            on_violation: ExecutionViolationAction::KillAndResubmit,
+            max_restarts: 2,
+        });
+    let json = serde_json::to_string_pretty(&policy).expect("serialize");
+    let back: WorkloadPolicy = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(policy, back);
+    // Human-auditable content.
+    assert!(json.contains("max_cost_timerons"));
+    assert!(json.contains("KillAndResubmit"));
+}
+
+#[test]
+fn engine_config_and_cost_model_round_trip() {
+    let cfg = EngineConfig {
+        cores: 12,
+        disk_pages_per_sec: 55_000,
+        memory_mb: 3_072,
+        ..Default::default()
+    };
+    let back: EngineConfig = serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
+    assert_eq!(cfg, back);
+
+    let model = CostModel::with_error(0.7, 99);
+    let back: CostModel = serde_json::from_str(&serde_json::to_string(&model).unwrap()).unwrap();
+    assert_eq!(model, back);
+    // A deserialized model reproduces the same estimates.
+    let plan = PlanBuilder::table_scan(123_456).build();
+    assert_eq!(
+        model.estimate(&plan).timerons,
+        back.estimate(&plan).timerons
+    );
+}
+
+#[test]
+fn query_specs_round_trip() {
+    let spec = PlanBuilder::table_scan(1_000_000)
+        .filter(0.4)
+        .hash_join(10_000, 1.1)
+        .aggregate(50)
+        .build()
+        .into_spec()
+        .labeled("bi")
+        .with_weight(2.5)
+        .with_write_keys(vec![3, 9, 27]);
+    let back: wlm::dbsim::plan::QuerySpec =
+        serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+    assert_eq!(spec, back);
+    assert_eq!(spec.plan.total_work(), back.plan.total_work());
+}
+
+#[test]
+fn run_reports_serialize_for_dashboards() {
+    use wlm::core::manager::{ManagerConfig, WorkloadManager};
+    use wlm::dbsim::time::SimDuration;
+    use wlm::workload::generators::OltpSource;
+    let mut mgr = WorkloadManager::new(ManagerConfig::default());
+    let mut src = OltpSource::new(20.0, 1);
+    let report = mgr.run(&mut src, SimDuration::from_secs(5));
+    let json = serde_json::to_string(&report).expect("reports are JSON");
+    assert!(json.contains("\"workloads\""));
+    assert!(json.contains("oltp"));
+    let dash_json = serde_json::to_string(&mgr.dashboard()).expect("dashboard JSON");
+    assert!(dash_json.contains("\"running\""));
+}

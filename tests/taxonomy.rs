@@ -1,0 +1,135 @@
+//! Integration tests for the regenerated paper artifacts: Figure 1 and
+//! Tables 1–5 must contain everything the paper's versions contain.
+
+use wlm::core::registry::{builtin_registry, TABLE5_TECHNIQUES};
+use wlm::core::taxonomy::{render_table1, TechniqueClass};
+use wlm::systems::table4::{render_table4, Facility};
+use wlm::systems::{Db2WorkloadManager, ResourceGovernor, TeradataAsm};
+
+#[test]
+fn figure1_reproduces_the_papers_tree() {
+    let fig = builtin_registry().render_figure1();
+    // Every node of the paper's Figure 1.
+    for node in [
+        "Workload Characterization",
+        "Static Characterization",
+        "Dynamic Characterization",
+        "Admission Control",
+        "Threshold-based",
+        "Prediction-based",
+        "Scheduling",
+        "Queue Management",
+        "Query Restructuring",
+        "Execution Control",
+        "Query Reprioritization",
+        "Query Cancellation",
+        "Request Suspension",
+        "Request Throttling",
+        "Query Suspend-and-Resume",
+    ] {
+        assert!(fig.contains(node), "Figure 1 missing node: {node}");
+    }
+}
+
+#[test]
+fn table2_contains_the_papers_admission_rows() {
+    let t2 = builtin_registry().render_table2();
+    for row in [
+        "Query Cost",
+        "MPLs",
+        "Conflict Ratio",
+        "Transaction Throughput",
+        "Indicators",
+    ] {
+        assert!(t2.contains(row), "Table 2 missing row: {row}");
+    }
+    // The paper's type column values.
+    for ty in ["System Parameter", "Performance Metric", "Monitor Metrics"] {
+        assert!(t2.contains(ty), "Table 2 missing type: {ty}");
+    }
+}
+
+#[test]
+fn table3_contains_the_papers_execution_rows() {
+    let t3 = builtin_registry().render_table3();
+    for row in [
+        "Priority Aging",
+        "Policy-driven Resource Allocation",
+        "Query Kill",
+        "Query Suspend-and-Resume",
+        "Query Throttling",
+    ] {
+        assert!(t3.contains(row), "Table 3 missing row: {row}");
+    }
+}
+
+#[test]
+fn table1_lists_the_three_control_types() {
+    let t1 = render_table1();
+    for (control, point) in [
+        ("Admission Control", "Upon arrival"),
+        ("Scheduling", "Prior to sending requests"),
+        ("Execution Control", "During execution"),
+    ] {
+        assert!(t1.contains(control));
+        assert!(t1.contains(point));
+    }
+}
+
+#[test]
+fn table4_classifies_the_three_facilities_like_the_paper() {
+    let rows = [
+        Db2WorkloadManager::example().table4_row(),
+        ResourceGovernor::example().table4_row(),
+        TeradataAsm::example().table4_row(),
+    ];
+    let t4 = render_table4(&rows);
+    assert!(t4.contains("IBM DB2 Workload Manager"));
+    assert!(t4.contains("Microsoft SQL Server Resource/Query Governor"));
+    assert!(t4.contains("Teradata Active System Management"));
+    // §4.1.4: every facility employs characterization, admission and
+    // execution control — and none employs scheduling.
+    for row in &rows {
+        let classes: Vec<TechniqueClass> = row.techniques.iter().map(|(_, c)| *c).collect();
+        assert!(classes.contains(&TechniqueClass::WorkloadCharacterization));
+        assert!(classes.contains(&TechniqueClass::AdmissionControl));
+        assert!(classes.contains(&TechniqueClass::ExecutionControl));
+        assert!(
+            !classes.contains(&TechniqueClass::Scheduling),
+            "{}: the paper finds no scheduling in commercial systems",
+            row.system
+        );
+    }
+}
+
+#[test]
+fn table5_covers_the_papers_five_research_techniques() {
+    let t5 = builtin_registry().render_table5(&TABLE5_TECHNIQUES);
+    // The five rows of the paper's Table 5, by implementing technique.
+    for (name, objective_fragment) in [
+        ("Utility/Cost-Limit Scheduler", "service level objectives"),
+        ("Utility Throttling (PI)", "acceptable level"),
+        ("Query Throttling", "high-priority"),
+        ("Query Suspend-and-Resume", "high-priority"),
+        ("Fuzzy Execution Controller", "high-priority"),
+    ] {
+        assert!(t5.contains(name), "Table 5 missing {name}");
+        assert!(
+            t5.contains(objective_fragment),
+            "Table 5 missing objective fragment {objective_fragment}"
+        );
+    }
+}
+
+#[test]
+fn every_registered_technique_names_its_module() {
+    for t in builtin_registry().techniques() {
+        assert!(
+            t.module.starts_with("wlm-core::"),
+            "{} has no module mapping",
+            t.name
+        );
+        assert!(!t.description.is_empty());
+        assert!(!t.objectives.is_empty());
+    }
+}
