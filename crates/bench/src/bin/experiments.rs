@@ -2,81 +2,199 @@
 //! paper and runs the quantitative experiments E1–E14.
 //!
 //! Usage:
-//!   experiments            # everything
-//!   experiments figures    # only Figure 1 and Tables 1–5
-//!   experiments e1 e5 e9   # selected experiments
-//!   experiments --json e1  # machine-readable output
+//!   experiments                # everything
+//!   experiments figures        # only Figure 1 and Tables 1–5
+//!   experiments e1 e5 e9       # selected experiments
+//!   experiments --json e1      # machine-readable output (JSON lines only)
+//!   experiments --trace e1     # append the decision-event trace as JSON lines
+//!   experiments --jobs 4       # worker threads (default: available cores)
+//!
+//! Experiments are independent, so they run on a pool of worker threads;
+//! output is printed in submission order regardless of completion order, so
+//! runs are reproducible byte for byte. With `--json` the binary emits
+//! *only* JSON lines — one `{"experiment": ..., "result": ...}` envelope
+//! per experiment — so the stream can be piped straight into `jq`. With
+//! `--trace` each experiment installs a thread-local event recorder; every
+//! manager the experiment builds publishes its decision events
+//! ([`wlm_core::events::WlmEvent`]) there, and the buffer is dumped after
+//! the result as `{"experiment": ..., "event": ...}` lines.
 
+use std::fmt::Write as _;
 use wlm_bench::exp;
 use wlm_core::registry::{builtin_registry, TABLE5_TECHNIQUES};
 use wlm_core::taxonomy::render_table1;
 use wlm_systems::table4::{render_table4, Facility};
 use wlm_systems::{Db2WorkloadManager, ResourceGovernor, TeradataAsm};
 
-fn figures() {
+/// Figure 1 and Tables 1–5, rendered to a string (kept off stdout so
+/// `--json` stays machine-readable).
+fn figures_text() -> String {
     let registry = builtin_registry();
-    println!("FIGURE 1 — Taxonomy of Workload Management Techniques for DBMSs\n");
-    println!("{}", registry.render_figure1());
-    println!("{}", render_table1());
-    println!("{}", registry.render_table2());
-    println!("{}", registry.render_table3());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "FIGURE 1 — Taxonomy of Workload Management Techniques for DBMSs\n"
+    );
+    let _ = writeln!(out, "{}", registry.render_figure1());
+    let _ = writeln!(out, "{}", render_table1());
+    let _ = writeln!(out, "{}", registry.render_table2());
+    let _ = writeln!(out, "{}", registry.render_table3());
     let rows = [
         Db2WorkloadManager::example().table4_row(),
         ResourceGovernor::example().table4_row(),
         TeradataAsm::example().table4_row(),
     ];
-    println!("{}", render_table4(&rows));
-    println!("{}", registry.render_table5(&TABLE5_TECHNIQUES));
+    let _ = writeln!(out, "{}", render_table4(&rows));
+    let _ = writeln!(out, "{}", registry.render_table5(&TABLE5_TECHNIQUES));
+    out
+}
+
+/// A runnable unit: produces the JSON value and the rendered text of one
+/// experiment.
+type JobFn = Box<dyn Fn() -> (serde_json::Value, String) + Send + Sync>;
+
+struct Job {
+    id: &'static str,
+    run: JobFn,
+}
+
+/// What one worker hands back to the printer.
+struct JobOutput {
+    value: serde_json::Value,
+    rendered: String,
+    trace: Vec<serde_json::Value>,
+}
+
+/// Run one job, recording its decision events when `trace` is set. The
+/// recorder is installed thread-locally, so every [`wlm_core`] manager the
+/// job constructs on this thread subscribes to it automatically.
+fn run_job(job: &Job, trace: bool) -> JobOutput {
+    let recorder = trace.then(|| wlm_core::events::install_thread_trace(65_536));
+    let (value, rendered) = (job.run)();
+    let trace_events = recorder
+        .map(|r| r.take())
+        .unwrap_or_default()
+        .iter()
+        .map(|e| serde_json::to_value(e).expect("events serialize"))
+        .collect();
+    wlm_core::events::clear_thread_trace();
+    JobOutput {
+        value,
+        rendered,
+        trace: trace_events,
+    }
+}
+
+/// Run the jobs on up to `workers` scoped threads, returning outputs in
+/// submission order.
+fn run_parallel(jobs: &[Job], workers: usize, trace: bool) -> Vec<JobOutput> {
+    let mut outputs = Vec::with_capacity(jobs.len());
+    for wave in jobs.chunks(workers.max(1)) {
+        let wave_outputs = std::thread::scope(|s| {
+            let handles: Vec<_> = wave
+                .iter()
+                .map(|job| s.spawn(move || run_job(job, trace)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("experiment worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        outputs.extend(wave_outputs);
+    }
+    outputs
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| *a != "--json")
-        .map(String::as_str)
-        .collect();
-    let want =
-        |id: &str| selected.is_empty() || selected.contains(&id) || selected.contains(&"all");
+    let mut json = false;
+    let mut trace = false;
+    let mut workers: Option<usize> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--trace" => trace = true,
+            "--jobs" => workers = args.next().and_then(|v| v.parse().ok()),
+            other if other.starts_with("--jobs=") => {
+                workers = other["--jobs=".len()..].parse().ok();
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+    let want = |id: &str| {
+        selected.is_empty()
+            || selected.iter().any(|s| s == id)
+            || selected.iter().any(|s| s == "all")
+    };
 
+    let mut jobs: Vec<Job> = Vec::new();
     if want("figures") || want("fig1") {
-        figures();
+        jobs.push(Job {
+            id: "figures",
+            run: Box::new(|| {
+                let text = figures_text();
+                (serde_json::json!({ "text": text }), text)
+            }),
+        });
     }
 
-    macro_rules! run {
+    macro_rules! job {
         ($id:literal, $f:path) => {
             if want($id) {
-                let result = $f();
-                if json {
-                    println!(
-                        "{{\"experiment\":\"{}\",\"result\":{}}}",
-                        $id,
-                        serde_json::to_string(&result).expect("serializable")
-                    );
-                } else {
-                    println!("{}", result.render());
-                }
+                jobs.push(Job {
+                    id: $id,
+                    run: Box::new(|| {
+                        let result = $f();
+                        (
+                            serde_json::to_value(&result).expect("serializable"),
+                            result.render(),
+                        )
+                    }),
+                });
             }
         };
     }
 
-    run!("e1", exp::e1_mpl_curve);
-    run!("e2", exp::e2_thresholds);
-    run!("e3", exp::e3_dynamic_mpl);
-    run!("e4", exp::e4_throttling);
-    run!("e5", exp::e5_suspend);
-    run!("e6", exp::e6_schedulers);
-    run!("e7", exp::e7_economic);
-    run!("e8", exp::e8_prediction);
-    run!("e9", exp::e9_facilities);
-    run!("e10", exp::e10_mape);
-    run!("e11", exp::e11_restructuring);
-    run!("e12", exp::e12_kill_precision);
-    run!("e13", exp::e13_classifier);
-    run!("e14", exp::e14_metric_admission);
-    run!("e15", exp::e15_open_vs_closed);
-    run!("a1", exp::a1_restructure_pieces);
-    run!("a2", exp::a2_checkpoint_interval);
-    run!("a3", exp::a3_mape_period);
+    job!("e1", exp::e1_mpl_curve);
+    job!("e2", exp::e2_thresholds);
+    job!("e3", exp::e3_dynamic_mpl);
+    job!("e4", exp::e4_throttling);
+    job!("e5", exp::e5_suspend);
+    job!("e6", exp::e6_schedulers);
+    job!("e7", exp::e7_economic);
+    job!("e8", exp::e8_prediction);
+    job!("e9", exp::e9_facilities);
+    job!("e10", exp::e10_mape);
+    job!("e11", exp::e11_restructuring);
+    job!("e12", exp::e12_kill_precision);
+    job!("e13", exp::e13_classifier);
+    job!("e14", exp::e14_metric_admission);
+    job!("e15", exp::e15_open_vs_closed);
+    job!("a1", exp::a1_restructure_pieces);
+    job!("a2", exp::a2_checkpoint_interval);
+    job!("a3", exp::a3_mape_period);
+
+    let workers = workers
+        .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())
+        .unwrap_or(1)
+        .min(jobs.len().max(1));
+
+    let outputs = run_parallel(&jobs, workers, trace);
+    for (job, out) in jobs.iter().zip(outputs) {
+        if json {
+            println!(
+                "{}",
+                serde_json::json!({ "experiment": job.id, "result": out.value })
+            );
+        } else {
+            println!("{}", out.rendered);
+        }
+        for event in out.trace {
+            println!(
+                "{}",
+                serde_json::json!({ "experiment": job.id, "event": event })
+            );
+        }
+    }
 }

@@ -1,6 +1,8 @@
 //! The MAPE loop controller.
 
 use crate::api::{ControlAction, ExecutionController, RunningQuery, SystemSnapshot};
+use crate::events::{EventSink, ResponseWindowMonitor, WlmEvent};
+use crate::manager::WorkloadManager;
 use crate::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -38,6 +40,20 @@ pub enum LoopDecision {
     KillResubmit,
 }
 
+impl LoopDecision {
+    /// Short name of the decision (the form used in event payloads).
+    pub fn name(self) -> &'static str {
+        match self {
+            LoopDecision::Relax => "relax",
+            LoopDecision::Steady => "steady",
+            LoopDecision::Reprioritize => "reprioritize",
+            LoopDecision::Throttle => "throttle",
+            LoopDecision::Suspend => "suspend",
+            LoopDecision::KillResubmit => "kill_resubmit",
+        }
+    }
+}
+
 /// The autonomic controller: monitor → analyze → plan → execute.
 ///
 /// The planner is an escalation ladder over the taxonomy's execution
@@ -63,6 +79,8 @@ pub struct AutonomicController {
     healthy_streak: u8,
     last_plan: SimTime,
     decisions: Rc<RefCell<Vec<(SimTime, LoopDecision)>>>,
+    monitor: Option<ResponseWindowMonitor>,
+    sink: Option<EventSink>,
 }
 
 impl AutonomicController {
@@ -78,7 +96,22 @@ impl AutonomicController {
             healthy_streak: 0,
             last_plan: SimTime::ZERO,
             decisions: Rc::new(RefCell::new(Vec::new())),
+            monitor: None,
+            sink: None,
         }
+    }
+
+    /// Wire the MONITOR phase to `mgr`'s event bus: a response-window
+    /// monitor fed by [`WlmEvent::Completed`] replaces snapshot polling as
+    /// the loop's primary measurement source, and planning decisions are
+    /// published back as [`WlmEvent::MapePlan`]. Call before boxing the
+    /// controller into the manager; without it the loop falls back to the
+    /// polled snapshot, as before.
+    pub fn connect_bus(&mut self, mgr: &mut WorkloadManager) {
+        let monitor = ResponseWindowMonitor::new(mgr.response_window());
+        mgr.subscribe(Box::new(monitor.clone()));
+        self.monitor = Some(monitor);
+        self.sink = Some(mgr.event_sink());
     }
 
     /// The decision history (a shared handle: clone it before boxing the
@@ -92,6 +125,18 @@ impl AutonomicController {
         self.escalation
     }
 
+    /// The most recent mean response time for `workload`: the bus-fed
+    /// window when connected (see [`AutonomicController::connect_bus`]),
+    /// the polled snapshot otherwise.
+    fn recent_response(&self, workload: &str, snap: &SystemSnapshot) -> Option<f64> {
+        match &self.monitor {
+            Some(m) => m
+                .recent_mean(workload)
+                .or_else(|| snap.recent_response_of(workload)),
+            None => snap.recent_response_of(workload),
+        }
+    }
+
     /// MONITOR + ANALYZE: normalized utility of the current performance in
     /// `[0, 1]`.
     pub fn utility(&self, snap: &SystemSnapshot) -> f64 {
@@ -103,7 +148,7 @@ impl AutonomicController {
             .goals
             .iter()
             .map(|g| {
-                let resp = snap.recent_response_of(&g.workload).unwrap_or(0.0);
+                let resp = self.recent_response(&g.workload, snap).unwrap_or(0.0);
                 g.importance_weight * sigmoid_utility(resp, g.goal_secs, 6.0)
             })
             .sum();
@@ -194,6 +239,21 @@ impl AutonomicController {
             })
             .collect()
     }
+
+    /// Record a planning decision in the history and, when connected,
+    /// publish it on the bus.
+    fn record(&mut self, at: SimTime, decision: LoopDecision) {
+        self.decisions.borrow_mut().push((at, decision));
+        if let Some(sink) = &self.sink {
+            if sink.is_active() {
+                sink.emit(WlmEvent::MapePlan {
+                    at,
+                    decision: decision.name(),
+                    escalation: u32::from(self.escalation),
+                });
+            }
+        }
+    }
 }
 
 impl Classified for AutonomicController {
@@ -230,15 +290,13 @@ impl ExecutionController for AutonomicController {
                 self.escalation -= 1;
                 self.healthy_streak = 0;
                 let actions = self.relax_actions(running);
-                self.decisions
-                    .borrow_mut()
-                    .push((snap.now, LoopDecision::Relax));
+                self.record(snap.now, LoopDecision::Relax);
                 return actions;
             }
         }
         // EXECUTE the current rung.
         let (decision, actions) = self.act(running);
-        self.decisions.borrow_mut().push((snap.now, decision));
+        self.record(snap.now, decision);
         actions
     }
 }

@@ -1,0 +1,648 @@
+//! Typed decision telemetry for the control cycle.
+//!
+//! Every stage of the [`WorkloadManager`](crate::manager::WorkloadManager)
+//! pipeline emits a [`WlmEvent`] describing *what it decided and why* —
+//! the workload-management literature's event monitors (DB2 activity event
+//! monitors, SQL Server performance counters, Teradata's exception log)
+//! are all consumers of exactly this stream. Subscribers implement
+//! [`EventSubscriber`] and attach with
+//! [`WorkloadManager::subscribe`](crate::manager::WorkloadManager::subscribe);
+//! external emitters (facility emulations, the MAPE loop) publish through a
+//! clonable [`EventSink`].
+//!
+//! Two ready-made subscribers are provided: [`RingRecorder`], a bounded
+//! ring buffer keeping the most recent events (the `--trace` surface of
+//! the experiment harness), and [`WorkloadEventCounters`], per-workload
+//! decision counts.
+//!
+//! Emission is free when nobody listens: the manager checks
+//! [`EventBus::is_active`] once per cycle and skips event construction
+//! entirely on the hot path when the bus has no subscribers.
+
+use serde::Serialize;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+use wlm_dbsim::engine::{EngineEvent, QueryId};
+use wlm_dbsim::time::SimTime;
+use wlm_workload::request::RequestId;
+
+/// Why admission control let a request into the wait queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AdmitReason {
+    /// Admitted on first arrival.
+    Fresh,
+    /// Re-admitted after being held at the admission gate.
+    AfterDeferral,
+}
+
+/// A decision event from the control cycle. Every variant carries the
+/// simulated time `at` which it was emitted; within one run the stream is
+/// monotonically non-decreasing in `at`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+pub enum WlmEvent {
+    /// Identification mapped an arriving request to a workload.
+    Classified {
+        /// Emission time.
+        at: SimTime,
+        /// The classified request.
+        request: RequestId,
+        /// The workload it was assigned to.
+        workload: String,
+    },
+    /// Admission control let a request into the scheduler wait queue.
+    Admitted {
+        /// Emission time.
+        at: SimTime,
+        /// The admitted request.
+        request: RequestId,
+        /// The request's workload.
+        workload: String,
+        /// Why it was admitted now.
+        reason: AdmitReason,
+        /// Pieces the request was restructured into (1 = not restructured).
+        pieces: usize,
+    },
+    /// Admission control held the request at the gate for a later cycle.
+    Deferred {
+        /// Emission time.
+        at: SimTime,
+        /// The deferred request.
+        request: RequestId,
+        /// The request's workload.
+        workload: String,
+    },
+    /// Admission control turned the request away.
+    Rejected {
+        /// Emission time.
+        at: SimTime,
+        /// The rejected request.
+        request: RequestId,
+        /// The request's workload.
+        workload: String,
+        /// The controller's stated reason.
+        reason: String,
+    },
+    /// The scheduler released a request to the engine.
+    Scheduled {
+        /// Emission time.
+        at: SimTime,
+        /// The released request.
+        request: RequestId,
+        /// The request's workload.
+        workload: String,
+        /// The engine query id it now runs under.
+        query: QueryId,
+    },
+    /// Execution control changed a query's duty-cycle throttle
+    /// (`fraction` 1.0 = full pause, 0.0 = full speed).
+    Throttled {
+        /// Emission time.
+        at: SimTime,
+        /// The throttled query.
+        query: QueryId,
+        /// The query's workload.
+        workload: String,
+        /// Sleep fraction applied.
+        fraction: f64,
+        /// Technique that issued the action.
+        by: &'static str,
+    },
+    /// Execution control changed a query's fair-share weight.
+    Reprioritized {
+        /// Emission time.
+        at: SimTime,
+        /// The reprioritized query.
+        query: QueryId,
+        /// The query's workload.
+        workload: String,
+        /// New weight.
+        weight: f64,
+        /// Technique that issued the action.
+        by: &'static str,
+    },
+    /// Execution control suspended a query to disk.
+    Suspended {
+        /// Emission time.
+        at: SimTime,
+        /// The suspended query.
+        query: QueryId,
+        /// The query's workload.
+        workload: String,
+        /// Suspend + resume overhead charged, µs.
+        overhead_us: u64,
+        /// Technique that issued the action.
+        by: &'static str,
+    },
+    /// A suspended query re-entered the engine.
+    Resumed {
+        /// Emission time.
+        at: SimTime,
+        /// The new engine id of the resumed query.
+        query: QueryId,
+        /// The query's workload.
+        workload: String,
+    },
+    /// Execution control cancelled a query.
+    Killed {
+        /// Emission time.
+        at: SimTime,
+        /// The cancelled query.
+        query: QueryId,
+        /// The query's workload.
+        workload: String,
+        /// Technique that issued the kill.
+        by: &'static str,
+        /// Whether the request returns to the wait queue.
+        resubmit: bool,
+    },
+    /// A killed request was re-queued for another attempt.
+    Resubmitted {
+        /// Emission time.
+        at: SimTime,
+        /// The re-queued request.
+        request: RequestId,
+        /// The request's workload.
+        workload: String,
+    },
+    /// A request ran to completion.
+    Completed {
+        /// Emission time.
+        at: SimTime,
+        /// The completing engine query.
+        query: QueryId,
+        /// The completed request.
+        request: RequestId,
+        /// The request's workload.
+        workload: String,
+        /// Response time (arrival to completion), seconds.
+        response_secs: f64,
+    },
+    /// A workload policy was installed or replaced at run time.
+    PolicyChanged {
+        /// Emission time.
+        at: SimTime,
+        /// The workload whose policy changed.
+        workload: String,
+    },
+    /// The autonomic MAPE loop planned a control decision.
+    MapePlan {
+        /// Emission time.
+        at: SimTime,
+        /// The planned decision.
+        decision: &'static str,
+        /// The loop's escalation level after planning.
+        escalation: u32,
+    },
+}
+
+impl WlmEvent {
+    /// The event's emission time.
+    pub fn at(&self) -> SimTime {
+        match self {
+            WlmEvent::Classified { at, .. }
+            | WlmEvent::Admitted { at, .. }
+            | WlmEvent::Deferred { at, .. }
+            | WlmEvent::Rejected { at, .. }
+            | WlmEvent::Scheduled { at, .. }
+            | WlmEvent::Throttled { at, .. }
+            | WlmEvent::Reprioritized { at, .. }
+            | WlmEvent::Suspended { at, .. }
+            | WlmEvent::Resumed { at, .. }
+            | WlmEvent::Killed { at, .. }
+            | WlmEvent::Resubmitted { at, .. }
+            | WlmEvent::Completed { at, .. }
+            | WlmEvent::PolicyChanged { at, .. }
+            | WlmEvent::MapePlan { at, .. } => *at,
+        }
+    }
+
+    /// The workload the event concerns, if any ([`WlmEvent::MapePlan`] is
+    /// system-wide).
+    pub fn workload(&self) -> Option<&str> {
+        match self {
+            WlmEvent::Classified { workload, .. }
+            | WlmEvent::Admitted { workload, .. }
+            | WlmEvent::Deferred { workload, .. }
+            | WlmEvent::Rejected { workload, .. }
+            | WlmEvent::Scheduled { workload, .. }
+            | WlmEvent::Throttled { workload, .. }
+            | WlmEvent::Reprioritized { workload, .. }
+            | WlmEvent::Suspended { workload, .. }
+            | WlmEvent::Resumed { workload, .. }
+            | WlmEvent::Killed { workload, .. }
+            | WlmEvent::Resubmitted { workload, .. }
+            | WlmEvent::Completed { workload, .. }
+            | WlmEvent::PolicyChanged { workload, .. } => Some(workload),
+            WlmEvent::MapePlan { .. } => None,
+        }
+    }
+
+    /// Short name of the variant (the `event` tag of the JSON encoding).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WlmEvent::Classified { .. } => "classified",
+            WlmEvent::Admitted { .. } => "admitted",
+            WlmEvent::Deferred { .. } => "deferred",
+            WlmEvent::Rejected { .. } => "rejected",
+            WlmEvent::Scheduled { .. } => "scheduled",
+            WlmEvent::Throttled { .. } => "throttled",
+            WlmEvent::Reprioritized { .. } => "reprioritized",
+            WlmEvent::Suspended { .. } => "suspended",
+            WlmEvent::Resumed { .. } => "resumed",
+            WlmEvent::Killed { .. } => "killed",
+            WlmEvent::Resubmitted { .. } => "resubmitted",
+            WlmEvent::Completed { .. } => "completed",
+            WlmEvent::PolicyChanged { .. } => "policy_changed",
+            WlmEvent::MapePlan { .. } => "mape_plan",
+        }
+    }
+}
+
+/// A consumer of the event stream.
+///
+/// `on_event` must not emit back into the bus it is subscribed to (the bus
+/// is borrowed for the duration of the delivery).
+pub trait EventSubscriber {
+    /// A manager-level decision event.
+    fn on_event(&mut self, event: &WlmEvent);
+
+    /// A low-level engine lifecycle event (default: ignore).
+    fn on_engine_event(&mut self, _event: &EngineEvent) {}
+}
+
+/// The manager's event bus: a list of subscribers plus an emission count.
+#[derive(Default)]
+pub struct EventBus {
+    subscribers: Vec<Box<dyn EventSubscriber>>,
+    emitted: u64,
+}
+
+impl EventBus {
+    /// Attach a subscriber.
+    pub fn subscribe(&mut self, sub: Box<dyn EventSubscriber>) {
+        self.subscribers.push(sub);
+    }
+
+    /// Whether anyone is listening. The manager checks this once per cycle
+    /// and skips event construction when false.
+    pub fn is_active(&self) -> bool {
+        !self.subscribers.is_empty()
+    }
+
+    /// Total decision events emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Deliver a decision event to every subscriber.
+    pub fn emit(&mut self, event: WlmEvent) {
+        self.emitted += 1;
+        for sub in &mut self.subscribers {
+            sub.on_event(&event);
+        }
+    }
+
+    /// Deliver an engine event to every subscriber.
+    pub fn emit_engine(&mut self, event: &EngineEvent) {
+        for sub in &mut self.subscribers {
+            sub.on_engine_event(event);
+        }
+    }
+}
+
+/// A clonable handle for publishing events onto a manager's bus from
+/// outside the manager (facility emulations, the MAPE loop). Obtain one
+/// with [`WorkloadManager::event_sink`](crate::manager::WorkloadManager::event_sink).
+#[derive(Clone)]
+pub struct EventSink {
+    bus: Rc<RefCell<EventBus>>,
+}
+
+impl EventSink {
+    pub(crate) fn new(bus: Rc<RefCell<EventBus>>) -> Self {
+        EventSink { bus }
+    }
+
+    /// Whether the bus has subscribers (emission is pointless otherwise).
+    pub fn is_active(&self) -> bool {
+        self.bus.borrow().is_active()
+    }
+
+    /// Publish an event.
+    pub fn emit(&self, event: WlmEvent) {
+        self.bus.borrow_mut().emit(event);
+    }
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSink").finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug)]
+struct RingState {
+    buf: VecDeque<WlmEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A bounded ring-buffer recorder: keeps the most recent `capacity`
+/// decision events. Clones share the same buffer, so keep one clone as the
+/// reader and subscribe another:
+///
+/// ```
+/// use wlm_core::events::RingRecorder;
+/// use wlm_core::manager::{ManagerConfig, WorkloadManager};
+///
+/// let mut mgr = WorkloadManager::new(ManagerConfig::default());
+/// let trace = RingRecorder::new(1024);
+/// mgr.subscribe(Box::new(trace.clone()));
+/// // ... run ...
+/// assert!(trace.events().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingRecorder {
+    state: Rc<RefCell<RingState>>,
+}
+
+impl RingRecorder {
+    /// A recorder holding up to `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        RingRecorder {
+            state: Rc::new(RefCell::new(RingState {
+                buf: VecDeque::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// A copy of the recorded events, oldest first.
+    pub fn events(&self) -> Vec<WlmEvent> {
+        self.state.borrow().buf.iter().cloned().collect()
+    }
+
+    /// Drain the recorded events, oldest first, leaving the ring empty.
+    pub fn take(&self) -> Vec<WlmEvent> {
+        self.state.borrow_mut().buf.drain(..).collect()
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.state.borrow().buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.state.borrow().buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.state.borrow().dropped
+    }
+}
+
+impl EventSubscriber for RingRecorder {
+    fn on_event(&mut self, event: &WlmEvent) {
+        let mut state = self.state.borrow_mut();
+        if state.buf.len() == state.capacity {
+            state.buf.pop_front();
+            state.dropped += 1;
+        }
+        state.buf.push_back(event.clone());
+    }
+}
+
+/// Per-workload decision counts maintained from the event stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct EventCounts {
+    /// `Classified` events.
+    pub classified: u64,
+    /// `Admitted` events.
+    pub admitted: u64,
+    /// `Deferred` events.
+    pub deferred: u64,
+    /// `Rejected` events.
+    pub rejected: u64,
+    /// `Scheduled` events.
+    pub scheduled: u64,
+    /// `Throttled` events.
+    pub throttled: u64,
+    /// `Reprioritized` events.
+    pub reprioritized: u64,
+    /// `Suspended` events.
+    pub suspended: u64,
+    /// `Resumed` events.
+    pub resumed: u64,
+    /// `Killed` events.
+    pub killed: u64,
+    /// `Resubmitted` events.
+    pub resubmitted: u64,
+    /// `Completed` events.
+    pub completed: u64,
+}
+
+/// A subscriber maintaining [`EventCounts`] per workload. Clones share the
+/// same counters (subscribe one clone, read from another).
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadEventCounters {
+    counts: Rc<RefCell<BTreeMap<String, EventCounts>>>,
+}
+
+impl WorkloadEventCounters {
+    /// Fresh, empty counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts for one workload (zeros if never seen).
+    pub fn get(&self, workload: &str) -> EventCounts {
+        self.counts
+            .borrow()
+            .get(workload)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// All per-workload counts.
+    pub fn all(&self) -> BTreeMap<String, EventCounts> {
+        self.counts.borrow().clone()
+    }
+}
+
+impl EventSubscriber for WorkloadEventCounters {
+    fn on_event(&mut self, event: &WlmEvent) {
+        let Some(workload) = event.workload() else {
+            return;
+        };
+        let mut counts = self.counts.borrow_mut();
+        let c = counts.entry(workload.to_string()).or_default();
+        match event {
+            WlmEvent::Classified { .. } => c.classified += 1,
+            WlmEvent::Admitted { .. } => c.admitted += 1,
+            WlmEvent::Deferred { .. } => c.deferred += 1,
+            WlmEvent::Rejected { .. } => c.rejected += 1,
+            WlmEvent::Scheduled { .. } => c.scheduled += 1,
+            WlmEvent::Throttled { .. } => c.throttled += 1,
+            WlmEvent::Reprioritized { .. } => c.reprioritized += 1,
+            WlmEvent::Suspended { .. } => c.suspended += 1,
+            WlmEvent::Resumed { .. } => c.resumed += 1,
+            WlmEvent::Killed { .. } => c.killed += 1,
+            WlmEvent::Resubmitted { .. } => c.resubmitted += 1,
+            WlmEvent::Completed { .. } => c.completed += 1,
+            WlmEvent::PolicyChanged { .. } | WlmEvent::MapePlan { .. } => {}
+        }
+    }
+}
+
+/// A bus-fed monitor keeping a bounded window of recent response times per
+/// workload, built from `Completed` events — the MAPE monitor phase
+/// consuming the bus instead of polling manager internals. Clones share
+/// state.
+#[derive(Debug, Clone)]
+pub struct ResponseWindowMonitor {
+    state: Rc<RefCell<BTreeMap<String, VecDeque<f64>>>>,
+    window: usize,
+}
+
+impl ResponseWindowMonitor {
+    /// A monitor keeping up to `window` samples per workload (at least 1).
+    pub fn new(window: usize) -> Self {
+        ResponseWindowMonitor {
+            state: Rc::new(RefCell::new(BTreeMap::new())),
+            window: window.max(1),
+        }
+    }
+
+    /// Mean of the recent window for `workload`, if any samples exist.
+    pub fn recent_mean(&self, workload: &str) -> Option<f64> {
+        self.state
+            .borrow()
+            .get(workload)
+            .filter(|v| !v.is_empty())
+            .map(|v| v.iter().sum::<f64>() / v.len() as f64)
+    }
+}
+
+impl EventSubscriber for ResponseWindowMonitor {
+    fn on_event(&mut self, event: &WlmEvent) {
+        if let WlmEvent::Completed {
+            workload,
+            response_secs,
+            ..
+        } = event
+        {
+            let mut state = self.state.borrow_mut();
+            let window = state.entry(workload.clone()).or_default();
+            window.push_back(*response_secs);
+            while window.len() > self.window {
+                window.pop_front();
+            }
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_TRACE: RefCell<Option<RingRecorder>> = const { RefCell::new(None) };
+}
+
+/// Install a thread-local trace ring of the given capacity: every
+/// [`WorkloadManager`](crate::manager::WorkloadManager) constructed on this
+/// thread afterwards automatically subscribes a recorder feeding the
+/// returned ring. The parallel experiment runner uses this to collect
+/// traces from managers built deep inside experiment functions.
+pub fn install_thread_trace(capacity: usize) -> RingRecorder {
+    let recorder = RingRecorder::new(capacity);
+    THREAD_TRACE.with(|t| *t.borrow_mut() = Some(recorder.clone()));
+    recorder
+}
+
+/// Remove the thread-local trace ring, if one is installed.
+pub fn clear_thread_trace() {
+    THREAD_TRACE.with(|t| *t.borrow_mut() = None);
+}
+
+/// The recorder managers on this thread should auto-subscribe, if any.
+pub(crate) fn thread_trace_recorder() -> Option<RingRecorder> {
+    THREAD_TRACE.with(|t| t.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completed(at: u64, workload: &str, response_secs: f64) -> WlmEvent {
+        WlmEvent::Completed {
+            at: SimTime(at),
+            query: QueryId(1),
+            request: RequestId(1),
+            workload: workload.to_string(),
+            response_secs,
+        }
+    }
+
+    #[test]
+    fn bus_counts_and_delivers() {
+        let mut bus = EventBus::default();
+        assert!(!bus.is_active());
+        let ring = RingRecorder::new(8);
+        bus.subscribe(Box::new(ring.clone()));
+        assert!(bus.is_active());
+        bus.emit(completed(1, "oltp", 0.5));
+        assert_eq!(bus.emitted(), 1);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.events()[0].kind(), "completed");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_when_full() {
+        let mut ring = RingRecorder::new(2);
+        for i in 1..=3u64 {
+            ring.on_event(&completed(i, "oltp", 0.1));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 1);
+        let events = ring.take();
+        assert_eq!(events[0].at(), SimTime(2));
+        assert_eq!(events[1].at(), SimTime(3));
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn counters_track_per_workload() {
+        let mut counters = WorkloadEventCounters::new();
+        counters.on_event(&completed(1, "oltp", 0.1));
+        counters.on_event(&completed(2, "oltp", 0.2));
+        counters.on_event(&completed(3, "bi", 9.0));
+        counters.on_event(&WlmEvent::MapePlan {
+            at: SimTime(4),
+            decision: "steady",
+            escalation: 0,
+        });
+        assert_eq!(counters.get("oltp").completed, 2);
+        assert_eq!(counters.get("bi").completed, 1);
+        assert_eq!(counters.all().len(), 2);
+    }
+
+    #[test]
+    fn response_window_is_bounded() {
+        let mut monitor = ResponseWindowMonitor::new(2);
+        assert_eq!(monitor.recent_mean("oltp"), None);
+        monitor.on_event(&completed(1, "oltp", 1.0));
+        monitor.on_event(&completed(2, "oltp", 2.0));
+        monitor.on_event(&completed(3, "oltp", 4.0));
+        assert_eq!(monitor.recent_mean("oltp"), Some(3.0));
+    }
+
+    #[test]
+    fn events_serialize_with_tag() {
+        let json = serde_json::to_string(&completed(7, "oltp", 0.25)).unwrap();
+        assert!(json.contains("\"event\":\"completed\""), "{json}");
+        assert!(json.contains("\"workload\":\"oltp\""), "{json}");
+    }
+}

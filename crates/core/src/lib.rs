@@ -17,18 +17,22 @@
 //! Tables 1–5 are regenerated from that registry, so the printed taxonomy
 //! always reflects the living code.
 //!
-//! [`manager::WorkloadManager`] assembles the pipeline the paper describes:
-//! identify arriving requests (characterization), impose admission control,
-//! order the wait queue (scheduling), and manage running queries (execution
-//! control), all driven by [`policy`] objects derived from per-workload
-//! SLAs. [`autonomic`] closes the loop with a MAPE (monitor → analyze →
-//! plan → execute) controller, the paper's §5.3 vision.
+//! [`manager::WorkloadManager`] assembles the pipeline the paper describes
+//! as an explicit staged control cycle — identify arriving requests
+//! (characterization), impose admission control, order the wait queue
+//! (scheduling), and manage running queries (execution control), then
+//! monitor — with each stage a module under [`manager`]. Every stage emits
+//! typed [`events::WlmEvent`] decision telemetry onto the manager's event
+//! bus, which the facility emulations in `wlm-systems` consume. [`autonomic`]
+//! closes the loop with a MAPE (monitor → analyze → plan → execute)
+//! controller, the paper's §5.3 vision.
 
 pub mod admission;
 pub mod api;
 pub mod autonomic;
 pub mod characterize;
 pub mod dashboard;
+pub mod events;
 pub mod execution;
 pub mod manager;
 pub mod policy;

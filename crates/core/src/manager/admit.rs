@@ -1,0 +1,116 @@
+//! Stage 2 — admission control: decide admit / defer / reject for every
+//! request knocking at the gate, previously deferred requests first.
+//!
+//! The maintained snapshot is updated *only* when a request is admitted —
+//! the same cadence at which the old monolithic cycle rebuilt its snapshot
+//! — so intra-cycle decisions see the requests just admitted ahead of them
+//! (otherwise two simultaneous arrivals would both slip past a concurrency
+//! throttle of 1) while a deferral leaves the decision inputs untouched.
+//!
+//! Emits [`WlmEvent::Admitted`] (with an [`AdmitReason`]),
+//! [`WlmEvent::Deferred`] and [`WlmEvent::Rejected`].
+
+use super::context::CycleContext;
+use super::WorkloadManager;
+use crate::api::{AdmissionDecision, ManagedRequest, SystemSnapshot};
+use crate::events::{AdmitReason, WlmEvent};
+
+impl WorkloadManager {
+    /// Push an admitted request onto the wait queue, applying the queue
+    /// delta to the maintained snapshot exactly as a from-scratch rebuild
+    /// would see it.
+    fn note_admitted(&mut self, req: ManagedRequest, snap: &mut SystemSnapshot) {
+        *snap
+            .queued_by_workload
+            .entry(req.workload.clone())
+            .or_insert(0) += 1;
+        self.wait_queue.push(req);
+        snap.queued = self.wait_queue.len() + self.deferred.len();
+    }
+
+    /// Returns whether the request was admitted to the wait queue.
+    pub(super) fn admit(
+        &mut self,
+        req: ManagedRequest,
+        snap: &mut SystemSnapshot,
+        reason: AdmitReason,
+        trace: bool,
+    ) -> bool {
+        match self.admission.decide(&req, snap) {
+            AdmissionDecision::Admit => {
+                if let Some(r) = self.restructurer {
+                    let pieces = r.restructure(&req);
+                    if pieces.len() > 1 {
+                        let mut first = req.clone();
+                        first.request.spec = pieces[0].clone();
+                        first.estimate = self.cost_model.estimate_spec(&first.request.spec);
+                        // The first piece enters the queue; the rest are
+                        // chained onto it at dispatch, keyed by request id.
+                        self.pending_chains
+                            .insert(req.request.id, pieces[1..].to_vec());
+                        if trace {
+                            self.emit(WlmEvent::Admitted {
+                                at: snap.now,
+                                request: first.request.id,
+                                workload: first.workload.clone(),
+                                reason,
+                                pieces: pieces.len(),
+                            });
+                        }
+                        self.note_admitted(first, snap);
+                        return true;
+                    }
+                }
+                if trace {
+                    self.emit(WlmEvent::Admitted {
+                        at: snap.now,
+                        request: req.request.id,
+                        workload: req.workload.clone(),
+                        reason,
+                        pieces: 1,
+                    });
+                }
+                self.note_admitted(req, snap);
+                true
+            }
+            AdmissionDecision::Defer => {
+                if trace {
+                    self.emit(WlmEvent::Deferred {
+                        at: snap.now,
+                        request: req.request.id,
+                        workload: req.workload.clone(),
+                    });
+                }
+                self.deferred.push_back(req);
+                false
+            }
+            AdmissionDecision::Reject(reject_reason) => {
+                self.rejected += 1;
+                self.stats.entry(&req.workload).rejected += 1;
+                if trace {
+                    self.emit(WlmEvent::Rejected {
+                        at: snap.now,
+                        request: req.request.id,
+                        workload: req.workload.clone(),
+                        reason: reject_reason,
+                    });
+                }
+                false
+            }
+        }
+    }
+
+    /// Re-evaluate deferred requests first (FIFO), then the cycle's fresh
+    /// arrivals.
+    pub(super) fn stage_admit(&mut self, cx: &mut CycleContext) {
+        self.admission.observe(&cx.snap);
+        let deferred: Vec<ManagedRequest> = self.deferred.drain(..).collect();
+        for req in deferred {
+            self.admit(req, &mut cx.snap, AdmitReason::AfterDeferral, cx.trace);
+        }
+        let incoming = std::mem::take(&mut cx.incoming);
+        for req in incoming {
+            self.admit(req, &mut cx.snap, AdmitReason::Fresh, cx.trace);
+        }
+    }
+}

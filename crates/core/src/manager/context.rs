@@ -1,0 +1,127 @@
+//! The per-cycle shared context and the snapshot refresh helpers.
+//!
+//! [`CycleContext`] carries the cycle's arrival batch plus the manager's
+//! **incrementally maintained** [`SystemSnapshot`]. The snapshot moves out
+//! of the manager for the duration of the tick (so stages can mutate it
+//! while borrowing other manager fields) and moves back at the end.
+//!
+//! The refresh helpers each rebuild one field group of the snapshot from
+//! scratch, in exactly the iteration order [`WorkloadManager::snapshot`]
+//! uses — `snapshot()` is itself just the four helpers applied to a
+//! default snapshot. A stage refreshes only the groups it changed, which
+//! is what makes the maintained snapshot cheap *and* bitwise-identical to
+//! a full rebuild at every stage boundary.
+
+use super::WorkloadManager;
+use crate::api::{ManagedRequest, SystemSnapshot};
+use wlm_dbsim::time::SimTime;
+
+/// State shared by the five pipeline stages of one control cycle.
+pub(super) struct CycleContext {
+    /// The maintained monitor snapshot (moved out of the manager for the
+    /// duration of the tick, restored by [`CycleContext::finish`]).
+    pub(super) snap: SystemSnapshot,
+    /// Cycle window start (clock at the beginning of the tick).
+    pub(super) from: SimTime,
+    /// Cycle window end (start plus one engine quantum).
+    pub(super) to: SimTime,
+    /// Arrivals classified by the identify stage, in arrival order.
+    pub(super) incoming: Vec<ManagedRequest>,
+    /// Whether the event bus has subscribers (checked once per cycle so
+    /// the stages skip event construction entirely when nobody listens).
+    pub(super) trace: bool,
+}
+
+impl CycleContext {
+    /// Open the cycle: move the maintained snapshot out of the manager and
+    /// fix the cycle window.
+    pub(super) fn begin(mgr: &mut WorkloadManager) -> CycleContext {
+        let from = mgr.engine.now();
+        let to = from + mgr.engine.config().quantum;
+        CycleContext {
+            snap: std::mem::take(&mut mgr.live_snap),
+            from,
+            to,
+            incoming: Vec::new(),
+            trace: mgr.events.borrow().is_active(),
+        }
+    }
+
+    /// Close the cycle: hand the maintained snapshot back to the manager.
+    pub(super) fn finish(self, mgr: &mut WorkloadManager) {
+        mgr.live_snap = self.snap;
+    }
+}
+
+impl WorkloadManager {
+    /// Refresh the engine-derived fields: clock, MPL, blocked count,
+    /// conflict ratio, throughputs, utilizations and memory capacity.
+    pub(super) fn refresh_engine_view(&self, snap: &mut SystemSnapshot) {
+        let metrics = self.engine.metrics();
+        snap.now = self.engine.now();
+        snap.running = self.engine.mpl();
+        snap.blocked = self.engine.blocked_count();
+        snap.conflict_ratio = self.engine.conflict_ratio();
+        snap.last_throughput = metrics.last_throughput();
+        snap.prev_throughput = metrics.prev_throughput();
+        snap.cpu_utilization = metrics.recent_cpu_utilization(3);
+        snap.io_utilization = {
+            let tail = metrics.intervals();
+            let n = tail.len().min(3);
+            if n == 0 {
+                0.0
+            } else {
+                tail[tail.len() - n..]
+                    .iter()
+                    .map(|i| i.io_utilization())
+                    .sum::<f64>()
+                    / n as f64
+            }
+        };
+        snap.memory_capacity_mb = self.engine.config().memory_mb;
+    }
+
+    /// Refresh the running-set fields from the manager's running map.
+    pub(super) fn refresh_running_view(&self, snap: &mut SystemSnapshot) {
+        snap.running_by_workload.clear();
+        snap.running_cost_by_workload.clear();
+        let mut running_cost = 0.0;
+        let mut running_mem = 0u64;
+        for meta in self.running.values() {
+            *snap
+                .running_by_workload
+                .entry(meta.req.workload.clone())
+                .or_insert(0) += 1;
+            *snap
+                .running_cost_by_workload
+                .entry(meta.req.workload.clone())
+                .or_insert(0.0) += meta.req.estimate.timerons;
+            running_cost += meta.req.estimate.timerons;
+            running_mem += meta.req.estimate.mem_mb;
+        }
+        snap.running_cost = running_cost;
+        snap.running_mem_mb = running_mem;
+    }
+
+    /// Refresh the queue fields from the wait queue and admission gate.
+    pub(super) fn refresh_queue_view(&self, snap: &mut SystemSnapshot) {
+        snap.queued = self.wait_queue.len() + self.deferred.len();
+        snap.queued_by_workload.clear();
+        for req in &self.wait_queue {
+            *snap
+                .queued_by_workload
+                .entry(req.workload.clone())
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// Refresh the recent per-workload mean response times.
+    pub(super) fn refresh_recent_view(&self, snap: &mut SystemSnapshot) {
+        snap.recent_response_by_workload = self
+            .recent
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(k, v)| (k.clone(), v.iter().sum::<f64>() / v.len() as f64))
+            .collect();
+    }
+}

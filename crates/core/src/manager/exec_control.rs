@@ -1,0 +1,192 @@
+//! Stage 4 — execution control: give every controller a view of the
+//! running set and apply the actions it returns.
+//!
+//! Emits [`WlmEvent::Reprioritized`], [`WlmEvent::Throttled`] (a full
+//! pause is recorded as `fraction` 1.0 and a resume as 0.0),
+//! [`WlmEvent::Killed`], [`WlmEvent::Resubmitted`] and
+//! [`WlmEvent::Suspended`], each attributed to the issuing technique's
+//! name (`by`).
+
+use super::context::CycleContext;
+use super::WorkloadManager;
+use crate::api::{ControlAction, RunningQuery};
+use crate::events::WlmEvent;
+use wlm_dbsim::engine::QueryId;
+use wlm_dbsim::time::SimTime;
+
+impl WorkloadManager {
+    /// Progress-annotated views of the running set, for controllers.
+    pub(super) fn running_views(&self) -> Vec<RunningQuery> {
+        self.running
+            .iter()
+            .filter_map(|(id, meta)| {
+                let progress = self.engine.progress(*id).ok()?;
+                Some(RunningQuery {
+                    id: *id,
+                    request: meta.req.clone(),
+                    progress,
+                    weight: self.engine.weight(*id).unwrap_or(meta.req.weight),
+                    throttle: meta.throttle,
+                    restarts: meta.restarts,
+                })
+            })
+            .collect()
+    }
+
+    fn workload_of(&self, id: QueryId) -> String {
+        self.running
+            .get(&id)
+            .map(|m| m.req.workload.clone())
+            .unwrap_or_default()
+    }
+
+    /// Apply one control action, attributed to the technique `by`.
+    pub(super) fn apply_action(
+        &mut self,
+        action: ControlAction,
+        by: &'static str,
+        at: SimTime,
+        trace: bool,
+    ) {
+        match action {
+            ControlAction::SetWeight(id, w) => {
+                if self.engine.set_weight(id, w).is_ok() && trace {
+                    self.emit(WlmEvent::Reprioritized {
+                        at,
+                        query: id,
+                        workload: self.workload_of(id),
+                        weight: w,
+                        by,
+                    });
+                }
+            }
+            ControlAction::Throttle(id, f) => {
+                if self.engine.set_throttle(id, f).is_ok() {
+                    if let Some(meta) = self.running.get_mut(&id) {
+                        meta.throttle = f;
+                    }
+                    if trace {
+                        self.emit(WlmEvent::Throttled {
+                            at,
+                            query: id,
+                            workload: self.workload_of(id),
+                            fraction: f,
+                            by,
+                        });
+                    }
+                }
+            }
+            ControlAction::Pause(id) => {
+                if self.engine.pause(id).is_ok() && trace {
+                    self.emit(WlmEvent::Throttled {
+                        at,
+                        query: id,
+                        workload: self.workload_of(id),
+                        fraction: 1.0,
+                        by,
+                    });
+                }
+            }
+            ControlAction::Resume(id) => {
+                if self.engine.resume_paused(id).is_ok() && trace {
+                    self.emit(WlmEvent::Throttled {
+                        at,
+                        query: id,
+                        workload: self.workload_of(id),
+                        fraction: 0.0,
+                        by,
+                    });
+                }
+            }
+            ControlAction::Kill { id, resubmit } => {
+                if self.engine.kill(id).is_ok() {
+                    if let Some(mut meta) = self.running.remove(&id) {
+                        if trace {
+                            self.emit(WlmEvent::Killed {
+                                at,
+                                query: id,
+                                workload: meta.req.workload.clone(),
+                                by,
+                                resubmit,
+                            });
+                        }
+                        // The request leaves the engine either way: bank the
+                        // suspend/resume overhead it accumulated while
+                        // running so the books never lose it.
+                        self.stats.entry(&meta.req.workload).suspend_overhead_us +=
+                            meta.suspend_overhead_us;
+                        if resubmit {
+                            meta.restarts += 1;
+                            self.stats.entry(&meta.req.workload).resubmitted += 1;
+                            // Re-queue with its chain and restart count
+                            // intact so controllers can honour budgets.
+                            if !meta.chain.is_empty() {
+                                self.pending_chains
+                                    .insert(meta.req.request.id, meta.chain.drain(..).collect());
+                            }
+                            self.restart_counts
+                                .insert(meta.req.request.id, meta.restarts);
+                            if trace {
+                                self.emit(WlmEvent::Resubmitted {
+                                    at,
+                                    request: meta.req.request.id,
+                                    workload: meta.req.workload.clone(),
+                                });
+                            }
+                            self.wait_queue.push(meta.req);
+                        } else {
+                            self.killed += 1;
+                            self.stats.entry(&meta.req.workload).killed += 1;
+                        }
+                    }
+                }
+            }
+            ControlAction::Suspend(id, strategy) => {
+                if let Some(meta) = self.running.get(&id) {
+                    let restarts = meta.restarts;
+                    if let Ok(sq) = self.engine.suspend(id, strategy) {
+                        let meta = self.running.remove(&id).expect("meta");
+                        self.suspend_overhead_us += sq.total_overhead_us();
+                        self.stats.entry(&meta.req.workload).suspended += 1;
+                        if trace {
+                            self.emit(WlmEvent::Suspended {
+                                at,
+                                query: id,
+                                workload: meta.req.workload.clone(),
+                                overhead_us: sq.total_overhead_us(),
+                                by,
+                            });
+                        }
+                        if !meta.chain.is_empty() {
+                            self.pending_chains
+                                .insert(meta.req.request.id, meta.chain.into_iter().collect());
+                        }
+                        // Carry the request's accumulated overhead through
+                        // the suspension so it survives into the resumed
+                        // meta (and, eventually, the per-workload books).
+                        let carried = meta.suspend_overhead_us + sq.total_overhead_us();
+                        self.suspended.push((sq, meta.req, restarts, carried));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run every execution controller over the running set and apply their
+    /// actions.
+    pub(super) fn stage_exec_control(&mut self, cx: &mut CycleContext) {
+        if self.exec_controllers.is_empty() {
+            return;
+        }
+        let views = self.running_views();
+        let at = cx.snap.now;
+        let mut controllers = std::mem::take(&mut self.exec_controllers);
+        for c in &mut controllers {
+            let by = c.technique_name();
+            for action in c.control(&views, &cx.snap) {
+                self.apply_action(action, by, at, cx.trace);
+            }
+        }
+        self.exec_controllers = controllers;
+    }
+}

@@ -1,0 +1,59 @@
+//! Stage 1 — identification: poll the workload sources and classify every
+//! arrival into its workload (the taxonomy's characterization class).
+//!
+//! Emits [`WlmEvent::Classified`] per arrival.
+
+use super::context::CycleContext;
+use super::WorkloadManager;
+use crate::api::ManagedRequest;
+use crate::events::WlmEvent;
+use wlm_workload::generators::Source;
+use wlm_workload::request::Request;
+
+impl WorkloadManager {
+    /// Classify one raw request into a [`ManagedRequest`]: cost estimation,
+    /// workload assignment, then importance and weight resolution against
+    /// the workload's policy.
+    pub(super) fn classify(&mut self, request: Request) -> ManagedRequest {
+        let estimate = self.cost_model.estimate_spec(&request.spec);
+        let classification = self.characterizer.classify(&request, &estimate);
+        let policy = self.policies.get(&classification.workload);
+        let importance = policy
+            .map(|p| p.importance)
+            .unwrap_or(classification.importance);
+        let weight = if self.uniform_weights {
+            // Only explicit policy weights survive; importance is invisible
+            // to an unmanaged engine.
+            policy.and_then(|p| p.weight).unwrap_or(1.0)
+        } else {
+            policy
+                .map(|p| p.effective_weight())
+                .unwrap_or_else(|| importance.default_weight())
+        };
+        ManagedRequest {
+            request,
+            estimate,
+            workload: classification.workload,
+            importance,
+            weight,
+        }
+    }
+
+    /// Poll `source` over the cycle window and classify every arrival into
+    /// the cycle's incoming batch.
+    pub(super) fn stage_identify(&mut self, cx: &mut CycleContext, source: &mut dyn Source) {
+        let arrivals = source.poll(cx.from, cx.to);
+        cx.incoming.reserve(arrivals.len());
+        for request in arrivals {
+            let req = self.classify(request);
+            if cx.trace {
+                self.emit(WlmEvent::Classified {
+                    at: cx.from,
+                    request: req.request.id,
+                    workload: req.workload.clone(),
+                });
+            }
+            cx.incoming.push(req);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Stage 3 — scheduling: let the scheduler release requests from the wait
+//! queue to the engine.
+//!
+//! Before the scheduler runs, the queue view is refreshed (deferrals in
+//! the admission stage left it stale by design); after the dispatches, the
+//! queue and running views are brought up to date for the execution
+//! controllers. The engine-derived fields other than the MPL and blocked
+//! count cannot change here — submission acquires no locks and consumes no
+//! resources until the next quantum — so they are not recomputed.
+//!
+//! Emits [`WlmEvent::Scheduled`] per dispatch.
+
+use super::context::CycleContext;
+use super::{RunningMeta, WorkloadManager};
+use crate::api::ManagedRequest;
+use crate::events::WlmEvent;
+use std::collections::VecDeque;
+use wlm_dbsim::time::SimTime;
+
+impl WorkloadManager {
+    /// Submit a released request to the engine, attaching any pending
+    /// restructured chain and restart count.
+    pub(super) fn dispatch(&mut self, req: ManagedRequest, at: SimTime, trace: bool) {
+        let restarts = self.restart_counts.remove(&req.request.id).unwrap_or(0);
+        let mut spec = req.request.spec.clone();
+        spec.weight = req.weight;
+        let id = self.engine.submit_at(spec, req.request.arrival);
+        if trace {
+            self.emit(WlmEvent::Scheduled {
+                at,
+                request: req.request.id,
+                workload: req.workload.clone(),
+                query: id,
+            });
+        }
+        let chain = self
+            .pending_chains
+            .remove(&req.request.id)
+            .map(VecDeque::from)
+            .unwrap_or_default();
+        self.running.insert(
+            id,
+            RunningMeta {
+                req,
+                throttle: 0.0,
+                restarts,
+                chain,
+                suspend_overhead_us: 0,
+            },
+        );
+    }
+
+    /// Run the scheduler over the wait queue and dispatch what it releases.
+    pub(super) fn stage_schedule(&mut self, cx: &mut CycleContext) {
+        self.refresh_queue_view(&mut cx.snap);
+        let released = self.scheduler.select(&mut self.wait_queue, &cx.snap);
+        let at = cx.snap.now;
+        for req in released {
+            self.dispatch(req, at, cx.trace);
+        }
+        // Dispatches moved requests from the queue into the engine.
+        self.refresh_queue_view(&mut cx.snap);
+        self.refresh_running_view(&mut cx.snap);
+        cx.snap.running = self.engine.mpl();
+        cx.snap.blocked = self.engine.blocked_count();
+    }
+}

@@ -23,6 +23,11 @@ pub struct WorkloadStats {
     pub resubmitted: u64,
     /// Suspension events.
     pub suspended: u64,
+    /// Suspend/resume overhead paid by this workload's requests that have
+    /// left the system (completed, been killed, or moved to their next
+    /// chained piece), µs.
+    #[serde(default)]
+    pub suspend_overhead_us: u64,
 }
 
 impl WorkloadStats {

@@ -209,6 +209,60 @@ impl QueryRuntime {
     }
 }
 
+/// Low-level engine lifecycle events. Disabled by default; a workload
+/// manager (or any observer) turns them on with
+/// [`DbEngine::enable_events`] and collects them with
+/// [`DbEngine::drain_events`] after each quantum.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum EngineEvent {
+    /// One quantum elapsed.
+    Stepped {
+        /// Clock after the quantum.
+        at: SimTime,
+        /// Live queries after the quantum.
+        live: usize,
+        /// Completions produced by the quantum.
+        completed: usize,
+    },
+    /// A query was cancelled.
+    Killed {
+        /// Time of the kill.
+        at: SimTime,
+        /// The cancelled query.
+        id: QueryId,
+    },
+    /// A query was fully paused (interrupt throttling).
+    Paused {
+        /// Time of the pause.
+        at: SimTime,
+        /// The paused query.
+        id: QueryId,
+    },
+    /// A paused query resumed running.
+    Resumed {
+        /// Time of the resume.
+        at: SimTime,
+        /// The resumed query.
+        id: QueryId,
+    },
+    /// A query was suspended to disk, releasing all resources.
+    Suspended {
+        /// Time of the suspension.
+        at: SimTime,
+        /// The suspended query.
+        id: QueryId,
+        /// Total suspend + resume overhead charged, µs.
+        overhead_us: u64,
+    },
+    /// A suspended query was reinstated under a fresh id.
+    Reinstated {
+        /// Time of the reinstatement.
+        at: SimTime,
+        /// The new id of the reinstated query.
+        id: QueryId,
+    },
+}
+
 /// The simulated DBMS engine. See the module docs for the model.
 #[derive(Debug)]
 pub struct DbEngine {
@@ -219,6 +273,8 @@ pub struct DbEngine {
     locks: LockTable,
     metrics: EngineMetrics,
     completions: Vec<Completion>,
+    events_enabled: bool,
+    events: Vec<EngineEvent>,
 }
 
 impl DbEngine {
@@ -233,6 +289,31 @@ impl DbEngine {
             locks: LockTable::new(),
             metrics,
             completions: Vec::new(),
+            events_enabled: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Start buffering [`EngineEvent`]s. Once enabled, the buffer must be
+    /// emptied regularly with [`Self::drain_events`] or it grows without
+    /// bound.
+    pub fn enable_events(&mut self) {
+        self.events_enabled = true;
+    }
+
+    /// Whether engine-event buffering is on.
+    pub fn events_enabled(&self) -> bool {
+        self.events_enabled
+    }
+
+    /// Take all buffered events, oldest first.
+    pub fn drain_events(&mut self) -> Vec<EngineEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn push_event(&mut self, event: EngineEvent) {
+        if self.events_enabled {
+            self.events.push(event);
         }
     }
 
@@ -353,6 +434,7 @@ impl DbEngine {
         };
         self.metrics.record_kill();
         self.completions.push(completion.clone());
+        self.push_event(EngineEvent::Killed { at: self.now, id });
         Ok(completion)
     }
 
@@ -379,6 +461,7 @@ impl DbEngine {
             return Err(EngineError::InvalidState { id, op: "pause" });
         }
         rt.state = RunState::Paused;
+        self.push_event(EngineEvent::Paused { at: self.now, id });
         Ok(())
     }
 
@@ -395,6 +478,7 @@ impl DbEngine {
             });
         }
         rt.state = RunState::Running;
+        self.push_event(EngineEvent::Resumed { at: self.now, id });
         Ok(())
     }
 
@@ -443,6 +527,11 @@ impl DbEngine {
                 (STATE_PAGE_US, redo, rt.ckpt_cpu_done, rt.ckpt_io_done)
             }
         };
+        self.push_event(EngineEvent::Suspended {
+            at: self.now,
+            id,
+            overhead_us: suspend_cost + resume_cost,
+        });
         Ok(SuspendedQuery {
             spec: rt.spec,
             submitted: rt.submitted,
@@ -492,6 +581,7 @@ impl DbEngine {
                 lock_keys,
             },
         );
+        self.push_event(EngineEvent::Reinstated { at: self.now, id });
         id
     }
 
@@ -705,6 +795,11 @@ impl DbEngine {
         );
         self.metrics.maybe_roll(self.now);
 
+        self.push_event(EngineEvent::Stepped {
+            at: self.now,
+            live: self.live.len(),
+            completed: completed.len(),
+        });
         completed
     }
 

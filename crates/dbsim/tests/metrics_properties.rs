@@ -1,0 +1,67 @@
+//! Property tests for the metrics summaries: `percentile` and `summarize`
+//! must behave like order statistics regardless of input.
+
+use proptest::prelude::*;
+use wlm_dbsim::metrics::{percentile, summarize};
+
+fn sorted_samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1e6, 1..200).prop_map(|mut v| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn percentile_returns_a_sample_member(sorted in sorted_samples(), p in 0.0f64..=100.0) {
+        let v = percentile(&sorted, p);
+        prop_assert!(
+            sorted.iter().any(|s| *s == v),
+            "percentile {p} produced {v}, not a member of the sample"
+        );
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p(sorted in sorted_samples(), a in 0.0f64..=100.0, b in 0.0f64..=100.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(percentile(&sorted, lo) <= percentile(&sorted, hi));
+    }
+
+    #[test]
+    fn percentile_edges_hit_min_and_max(sorted in sorted_samples()) {
+        // p=0 clamps to the first order statistic, p=100 to the last.
+        prop_assert_eq!(percentile(&sorted, 0.0), sorted[0]);
+        prop_assert_eq!(percentile(&sorted, 100.0), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn summarize_invariants(samples in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let stats = summarize(&samples);
+        prop_assert_eq!(stats.count, samples.len() as u64);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(stats.max, max);
+        // The quantiles are order statistics: ordered, within range.
+        prop_assert!(min <= stats.p50 && stats.p50 <= stats.p90);
+        prop_assert!(stats.p90 <= stats.p95 && stats.p95 <= stats.p99);
+        prop_assert!(stats.p99 <= stats.max);
+        // The mean lies within the sample range (allowing for summation
+        // rounding at the 1e6 scale).
+        prop_assert!(stats.mean >= min - 1e-6 && stats.mean <= max + 1e-6);
+    }
+}
+
+#[test]
+fn percentile_of_empty_is_zero() {
+    assert_eq!(percentile(&[], 50.0), 0.0);
+    assert_eq!(summarize(&[]).count, 0);
+}
+
+#[test]
+fn percentile_of_singleton_is_that_sample() {
+    for p in [0.0, 37.0, 50.0, 99.9, 100.0] {
+        assert_eq!(percentile(&[7.25], p), 7.25);
+    }
+}

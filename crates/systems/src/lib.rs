@@ -18,14 +18,18 @@
 //!   analyzer's DBQL clustering, and the regulator.
 //!
 //! Each facility configures a [`wlm_core::manager::WorkloadManager`] and
-//! reports which taxonomy techniques it employs via [`table4`].
+//! reports which taxonomy techniques it employs via [`table4`]. Each also
+//! carries a bus-fed monitoring component subscribed to the manager's
+//! typed event stream (see [`wlm_core::events`]): DB2's activities event
+//! monitor, SQL Server's per-group performance counters and Teradata's
+//! regulator log.
 
 pub mod db2;
 pub mod sqlserver;
 pub mod table4;
 pub mod teradata;
 
-pub use db2::Db2WorkloadManager;
-pub use sqlserver::{ResourceGovernor, ResourcePool, WorkloadGroup};
+pub use db2::{ActivityCounts, Db2ActivityMonitor, Db2WorkloadManager};
+pub use sqlserver::{GroupCounters, PerfCounters, ResourceGovernor, ResourcePool, WorkloadGroup};
 pub use table4::{render_table4, Facility, Table4Row};
-pub use teradata::{TeradataAsm, WorkloadAnalyzer};
+pub use teradata::{RegulatorLog, RegulatorMonitor, TeradataAsm, WorkloadAnalyzer};

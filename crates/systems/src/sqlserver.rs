@@ -11,12 +11,15 @@
 //! the configured limit (0 = unlimited).
 
 use crate::table4::{Facility, Table4Row};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 use wlm_core::api::{
     AdmissionController, AdmissionDecision, ControlAction, ExecutionController, ManagedRequest,
     RunningQuery, SystemSnapshot,
 };
 use wlm_core::characterize::StaticCharacterizer;
+use wlm_core::events::{EventSubscriber, WlmEvent};
 use wlm_core::manager::{ManagerConfig, WorkloadManager};
 use wlm_core::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
 use wlm_dbsim::optimizer::CostEstimate;
@@ -189,6 +192,79 @@ impl ExecutionController for PoolEnforcer {
     }
 }
 
+/// Per-workload-group performance counters, in the style of the
+/// `SQLServer:Workload Group Stats` performance object.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCounters {
+    /// Requests handed to the engine (dispatches).
+    pub requests_started: u64,
+    /// Requests that ran to completion.
+    pub requests_completed: u64,
+    /// Requests parked in the wait queue by admission (deferrals).
+    pub requests_queued: u64,
+    /// Requests disallowed by the Query Governor (rejections).
+    pub requests_rejected: u64,
+    /// Requests suspended to disk by an execution control.
+    pub suspended: u64,
+    /// Currently active requests in the group (started − left).
+    pub active: i64,
+}
+
+/// Bus-fed performance counters per workload group: a subscriber on the
+/// manager's event bus, replacing ad-hoc polling of the manager. Clone the
+/// handle before calling [`ResourceGovernor::build`] (which consumes the
+/// governor); all clones share one set of counters.
+#[derive(Debug, Clone, Default)]
+pub struct PerfCounters {
+    state: Rc<RefCell<BTreeMap<String, GroupCounters>>>,
+}
+
+impl PerfCounters {
+    /// New counters, all zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters for one workload group (zeros if never seen).
+    pub fn group(&self, name: &str) -> GroupCounters {
+        self.state.borrow().get(name).copied().unwrap_or_default()
+    }
+
+    /// A copy of every group's counters.
+    pub fn all(&self) -> BTreeMap<String, GroupCounters> {
+        self.state.borrow().clone()
+    }
+}
+
+impl EventSubscriber for PerfCounters {
+    fn on_event(&mut self, event: &WlmEvent) {
+        let Some(workload) = event.workload() else {
+            return;
+        };
+        let mut state = self.state.borrow_mut();
+        let c = state.entry(workload.to_string()).or_default();
+        match event {
+            WlmEvent::Scheduled { .. } => {
+                c.requests_started += 1;
+                c.active += 1;
+            }
+            WlmEvent::Completed { .. } => {
+                c.requests_completed += 1;
+                c.active -= 1;
+            }
+            WlmEvent::Killed { .. } => c.active -= 1,
+            WlmEvent::Suspended { .. } => {
+                c.suspended += 1;
+                c.active -= 1;
+            }
+            WlmEvent::Resumed { .. } => c.active += 1,
+            WlmEvent::Deferred { .. } => c.requests_queued += 1,
+            WlmEvent::Rejected { .. } => c.requests_rejected += 1,
+            _ => {}
+        }
+    }
+}
+
 /// The Resource Governor facility.
 pub struct ResourceGovernor {
     /// User pools plus the predefined `internal` and `default`.
@@ -199,6 +275,7 @@ pub struct ResourceGovernor {
     classifier: Option<ClassifierFn>,
     /// Query Governor Cost Limit, seconds (0 = off).
     pub query_governor_cost_limit_secs: f64,
+    counters: PerfCounters,
 }
 
 impl ResourceGovernor {
@@ -216,7 +293,15 @@ impl ResourceGovernor {
             }],
             classifier: None,
             query_governor_cost_limit_secs: 0.0,
+            counters: PerfCounters::new(),
         }
+    }
+
+    /// The performance counters (shared handle; clone it before
+    /// [`ResourceGovernor::build`] consumes the governor, read it during
+    /// and after the run).
+    pub fn perf_counters(&self) -> PerfCounters {
+        self.counters.clone()
     }
 
     /// Create a user pool; enforces the "sum of MIN ≤ 100" rule.
@@ -274,6 +359,10 @@ impl ResourceGovernor {
             groups: self.groups.clone(),
             weight_budget: 100.0,
         }));
+
+        // Monitoring: the per-group performance counters subscribe to the
+        // manager's event bus.
+        mgr.subscribe(Box::new(self.counters.clone()));
         mgr
     }
 
@@ -419,6 +508,29 @@ mod tests {
             gov.decide(&req, &SystemSnapshot::default()),
             AdmissionDecision::Admit
         );
+    }
+
+    #[test]
+    fn perf_counters_track_group_lifecycle() {
+        let rg = ResourceGovernor::example();
+        let counters = rg.perf_counters();
+        let mut mgr = rg.build(config());
+        let mut mix = MixedSource::new()
+            .with(Box::new(OltpSource::new(10.0, 1)))
+            .with(Box::new(AdHocSource::new(0.5, 2)));
+        let report = mgr.run(&mut mix, SimDuration::from_secs(20));
+        let oltp = counters.group("oltp_group");
+        assert!(oltp.requests_started > 0, "oltp requests were dispatched");
+        assert!(oltp.requests_started >= oltp.requests_completed);
+        let reported = report
+            .workload("oltp_group")
+            .map(|w| w.stats.completed)
+            .unwrap_or(0);
+        assert_eq!(
+            oltp.requests_completed, reported,
+            "the counters and the report agree on completions"
+        );
+        assert!(oltp.active >= 0, "active count never goes negative");
     }
 
     #[test]

@@ -11,14 +11,18 @@
 //! exception conditions.
 
 use crate::table4::{Facility, Table4Row};
+use std::cell::RefCell;
+use std::rc::Rc;
 use wlm_core::api::{
     AdmissionController, AdmissionDecision, ControlAction, ExecutionController, ManagedRequest,
     RunningQuery, SystemSnapshot,
 };
 use wlm_core::characterize::StaticCharacterizer;
+use wlm_core::events::{EventSubscriber, WlmEvent};
 use wlm_core::manager::{ManagerConfig, WorkloadManager};
 use wlm_core::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
 use wlm_dbsim::plan::StatementType;
+use wlm_dbsim::time::SimTime;
 use wlm_workload::request::Importance;
 use wlm_workload::sla::ServiceLevelAgreement;
 use wlm_workload::trace::QueryLog;
@@ -221,6 +225,68 @@ impl ExecutionController for TeradataRegulator {
     }
 }
 
+/// What the regulator did, reconstructed from the event bus.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegulatorLog {
+    /// `(time, workload)` of exception aborts.
+    pub aborts: Vec<(SimTime, String)>,
+    /// `(time, workload, new_weight)` of exception demotions.
+    pub demotes: Vec<(SimTime, String, f64)>,
+    /// `(time, workload)` of requests sent to the delay queue.
+    pub delayed: Vec<(SimTime, String)>,
+}
+
+/// Bus-fed monitor of regulator activity: records exception aborts and
+/// demotions attributed to the regulator, plus delay-queue entries.
+/// Clone the handle freely — all clones share one log.
+#[derive(Debug, Clone, Default)]
+pub struct RegulatorMonitor {
+    state: Rc<RefCell<RegulatorLog>>,
+}
+
+impl RegulatorMonitor {
+    /// New monitor with an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of the log so far.
+    pub fn log(&self) -> RegulatorLog {
+        self.state.borrow().clone()
+    }
+}
+
+impl EventSubscriber for RegulatorMonitor {
+    fn on_event(&mut self, event: &WlmEvent) {
+        match event {
+            WlmEvent::Killed {
+                at, workload, by, ..
+            } if *by == "Teradata Regulator" => {
+                self.state.borrow_mut().aborts.push((*at, workload.clone()));
+            }
+            WlmEvent::Reprioritized {
+                at,
+                workload,
+                weight,
+                by,
+                ..
+            } if *by == "Teradata Regulator" => {
+                self.state
+                    .borrow_mut()
+                    .demotes
+                    .push((*at, workload.clone(), *weight));
+            }
+            WlmEvent::Deferred { at, workload, .. } => {
+                self.state
+                    .borrow_mut()
+                    .delayed
+                    .push((*at, workload.clone()));
+            }
+            _ => {}
+        }
+    }
+}
+
 /// The Teradata ASM facility.
 pub struct TeradataAsm {
     /// Filter rules.
@@ -229,6 +295,7 @@ pub struct TeradataAsm {
     pub throttles: Vec<Throttle>,
     /// Workload definitions.
     pub definitions: Vec<WorkloadDefinition>,
+    monitor: RegulatorMonitor,
 }
 
 impl TeradataAsm {
@@ -238,7 +305,14 @@ impl TeradataAsm {
             filters: Vec::new(),
             throttles: Vec::new(),
             definitions: Vec::new(),
+            monitor: RegulatorMonitor::new(),
         }
+    }
+
+    /// The regulator's activity monitor (shared handle; live during and
+    /// after a run of any manager produced by [`TeradataAsm::build`]).
+    pub fn regulator_monitor(&self) -> RegulatorMonitor {
+        self.monitor.clone()
     }
 
     /// Wire the rules into a manager (the regulator).
@@ -282,6 +356,10 @@ impl TeradataAsm {
             definitions: self.definitions.clone(),
             penalty_weight: 0.1,
         }));
+
+        // Monitoring: the regulator monitor subscribes to the manager's
+        // event bus and reconstructs the regulator's activity from it.
+        mgr.subscribe(Box::new(self.monitor.clone()));
         mgr
     }
 
@@ -522,6 +600,12 @@ mod tests {
             peak = peak.max(mgr.engine().mpl());
         }
         assert!(peak <= 1, "utilities must be serialized, peak {peak}");
+        // The second utility went through the delay queue, and the monitor
+        // saw it.
+        assert!(
+            !asm.regulator_monitor().log().delayed.is_empty(),
+            "the throttle's delay queue shows up in the regulator log"
+        );
     }
 
     #[test]
@@ -542,6 +626,17 @@ mod tests {
         let mut src = BiSource::new(1.0, 4).with_size(50_000_000.0, 0.3);
         let report = mgr.run(&mut src, SimDuration::from_secs(40));
         assert!(report.killed > 0, "background monsters must be aborted");
+        // The bus-fed monitor reconstructs the same aborts.
+        let log = asm.regulator_monitor().log();
+        assert_eq!(
+            log.aborts.len() as u64,
+            report.killed,
+            "the regulator log records every abort"
+        );
+        assert!(log
+            .aborts
+            .iter()
+            .all(|(_, w)| w == "WD-Background" || w == "WD-Strategic"));
     }
 
     #[test]

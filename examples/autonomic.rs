@@ -61,11 +61,17 @@ fn main() {
         ..Default::default()
     });
 
-    let controller = AutonomicController::new(vec![GoalSpec {
+    let mut controller = AutonomicController::new(vec![GoalSpec {
         workload: "oltp".into(),
         goal_secs: 0.3,
         importance_weight: 10.0,
     }]);
+    // MONITOR through the event bus: completions feed the loop's response
+    // window directly, and every planning decision is published back as a
+    // `MapePlan` event.
+    controller.connect_bus(&mut mgr);
+    let plans = wlm::core::events::RingRecorder::new(4_096);
+    mgr.subscribe(Box::new(plans.clone()));
     let decisions = controller.decisions();
     mgr.add_exec_controller(Box::new(controller));
 
@@ -134,4 +140,14 @@ fn main() {
             println!("  t={:>7}  {decision:?}", at.to_string());
         }
     }
+
+    let plan_events = plans
+        .events()
+        .iter()
+        .filter(|e| e.kind() == "mape_plan")
+        .count();
+    println!(
+        "({plan_events} MapePlan events published on the bus; the same timeline,\n\
+         available to any subscriber without polling the controller)"
+    );
 }

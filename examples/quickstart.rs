@@ -8,6 +8,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use wlm::core::admission::ThresholdAdmission;
+use wlm::core::events::{RingRecorder, WorkloadEventCounters};
 use wlm::core::manager::{ManagerConfig, RunReport, WorkloadManager};
 use wlm::core::policy::{AdmissionPolicy, AdmissionViolationAction, WorkloadPolicy};
 use wlm::core::scheduling::PriorityScheduler;
@@ -94,6 +95,12 @@ fn main() {
     // priority scheduler dispatches it first, and a BI admission MPL keeps
     // the scan herd in check.
     let mut managed = WorkloadManager::new(config());
+    // Observe the managed run through the typed event bus: a ring buffer
+    // keeps the raw decision trace, the counters aggregate per workload.
+    let trace = RingRecorder::new(65_536);
+    managed.subscribe(Box::new(trace.clone()));
+    let counters = WorkloadEventCounters::new();
+    managed.subscribe(Box::new(counters.clone()));
     managed.set_scheduler(Box::new(PriorityScheduler::new(64)));
     managed.set_admission(Box::new(ThresholdAdmission::default().with_policy(
         "bi",
@@ -119,4 +126,28 @@ fn main() {
          admission control caps the herd.",
         u / m.max(1e-9)
     );
+
+    println!(
+        "\ndecision-event trace (managed run): {} events recorded, {} evicted",
+        trace.len(),
+        trace.dropped()
+    );
+    for (workload, c) in counters.all() {
+        println!(
+            "  {:<10} classified {:>5}  admitted {:>5}  deferred {:>5}  scheduled {:>5}  completed {:>5}",
+            workload, c.classified, c.admitted, c.deferred, c.scheduled, c.completed
+        );
+    }
+    if let (Some(first), Some(last)) = (
+        trace.events().first().cloned(),
+        trace.events().last().cloned(),
+    ) {
+        println!(
+            "  first: {} at t={}s; last: {} at t={}s",
+            first.kind(),
+            first.at().as_secs_f64(),
+            last.kind(),
+            last.at().as_secs_f64()
+        );
+    }
 }

@@ -47,6 +47,49 @@ fn different_seed_different_history() {
     assert_ne!(a.2, b.2, "different arrivals must differ");
 }
 
+fn full_report(seed: u64, with_recorder: bool) -> (String, usize) {
+    let mut mgr = WorkloadManager::new(ManagerConfig {
+        engine: EngineConfig {
+            cores: 4,
+            memory_mb: 1_024,
+            ..Default::default()
+        },
+        cost_model: CostModel::with_error(0.5, 77),
+        ..Default::default()
+    });
+    let recorder = wlm::core::events::RingRecorder::new(1 << 20);
+    if with_recorder {
+        mgr.subscribe(Box::new(recorder.clone()));
+    }
+    mgr.set_scheduler(Box::new(RankScheduler::new(16)));
+    let mut mix = MixedSource::new()
+        .with(Box::new(OltpSource::new(30.0, seed)))
+        .with(Box::new(BiSource::new(1.5, seed + 1)));
+    let report = mgr.run(&mut mix, SimDuration::from_secs(45));
+    (
+        serde_json::to_string(&report).expect("report serializes"),
+        recorder.len(),
+    )
+}
+
+#[test]
+fn reports_serialize_byte_identically() {
+    let (a, _) = full_report(42, false);
+    let (b, _) = full_report(42, false);
+    assert_eq!(a, b, "same seed must give a byte-identical RunReport");
+}
+
+#[test]
+fn event_recording_does_not_perturb_the_run() {
+    // Observability must be free: subscribing a recorder turns on event
+    // emission throughout the stack, and the report must not change by a
+    // single byte.
+    let (plain, _) = full_report(42, false);
+    let (traced, events) = full_report(42, true);
+    assert!(events > 0, "the recorder saw the run");
+    assert_eq!(plain, traced, "event emission must not change the outcome");
+}
+
 #[test]
 fn experiments_are_reproducible() {
     // Spot-check a full experiment: two runs of E5 agree exactly.

@@ -1,0 +1,136 @@
+//! Acceptance tests for the typed event bus: the quickstart scenario must
+//! produce a non-empty, monotonically time-stamped decision trace whose
+//! counts agree with the run report.
+
+use wlm::core::admission::ThresholdAdmission;
+use wlm::core::events::{RingRecorder, WorkloadEventCounters};
+use wlm::core::manager::{ManagerConfig, WorkloadManager};
+use wlm::core::policy::{AdmissionPolicy, AdmissionViolationAction, WorkloadPolicy};
+use wlm::core::scheduling::PriorityScheduler;
+use wlm::dbsim::engine::EngineConfig;
+use wlm::dbsim::time::SimDuration;
+use wlm::workload::generators::{BiSource, OltpSource};
+use wlm::workload::mix::MixedSource;
+use wlm::workload::request::Importance;
+
+/// The quickstart example's managed configuration.
+fn quickstart_manager() -> WorkloadManager {
+    let mut mgr = WorkloadManager::new(ManagerConfig {
+        engine: EngineConfig {
+            cores: 8,
+            memory_mb: 256,
+            ..Default::default()
+        },
+        policies: vec![
+            WorkloadPolicy::new("oltp", Importance::High),
+            WorkloadPolicy::new("bi", Importance::Medium),
+        ],
+        ..Default::default()
+    });
+    mgr.set_scheduler(Box::new(PriorityScheduler::new(64)));
+    mgr.set_admission(Box::new(ThresholdAdmission::default().with_policy(
+        "bi",
+        AdmissionPolicy {
+            max_workload_mpl: Some(4),
+            on_violation: AdmissionViolationAction::Defer,
+            ..Default::default()
+        },
+    )));
+    mgr
+}
+
+fn quickstart_mix() -> MixedSource {
+    MixedSource::new()
+        .with(Box::new(OltpSource::new(60.0, 1)))
+        .with(Box::new(BiSource::new(3.0, 2).with_size(15_000_000.0, 0.8)))
+}
+
+#[test]
+fn quickstart_trace_is_nonempty_monotone_and_covers_the_lifecycle() {
+    let mut mgr = quickstart_manager();
+    let trace = RingRecorder::new(1 << 20);
+    mgr.subscribe(Box::new(trace.clone()));
+    let report = mgr.run(&mut quickstart_mix(), SimDuration::from_secs(30));
+    assert!(report.completed > 0, "the scenario must make progress");
+
+    let events = trace.events();
+    assert!(!events.is_empty(), "the trace must be non-empty");
+    assert_eq!(trace.dropped(), 0, "capacity was sized to keep everything");
+
+    // Timestamps never go backwards.
+    for pair in events.windows(2) {
+        assert!(
+            pair[0].at() <= pair[1].at(),
+            "events out of order: {:?} then {:?}",
+            pair[0],
+            pair[1]
+        );
+    }
+
+    // The trace covers the request lifecycle.
+    let kinds: std::collections::BTreeSet<&'static str> = events.iter().map(|e| e.kind()).collect();
+    for expected in ["classified", "admitted", "scheduled", "completed"] {
+        assert!(
+            kinds.contains(expected),
+            "missing {expected:?} in {kinds:?}"
+        );
+    }
+    // The BI admission MPL defers under this load.
+    assert!(kinds.contains("deferred"), "the BI MPL must defer work");
+
+    // One Completed event per completed request.
+    let completed_events = events.iter().filter(|e| e.kind() == "completed").count();
+    assert_eq!(completed_events as u64, report.completed);
+}
+
+#[test]
+fn counters_agree_with_the_report() {
+    let mut mgr = quickstart_manager();
+    let counters = WorkloadEventCounters::new();
+    mgr.subscribe(Box::new(counters.clone()));
+    let report = mgr.run(&mut quickstart_mix(), SimDuration::from_secs(30));
+    for w in &report.workloads {
+        let c = counters.get(&w.workload);
+        assert_eq!(
+            c.completed, w.stats.completed,
+            "completions for {}",
+            w.workload
+        );
+        assert_eq!(
+            c.rejected, w.stats.rejected,
+            "rejections for {}",
+            w.workload
+        );
+        assert!(
+            c.admitted >= c.completed,
+            "{}: admissions bound completions",
+            w.workload
+        );
+    }
+}
+
+#[test]
+fn policy_changes_are_published() {
+    let mut mgr = quickstart_manager();
+    let trace = RingRecorder::new(1024);
+    mgr.subscribe(Box::new(trace.clone()));
+    let mut policy = WorkloadPolicy::new("bi", Importance::Critical);
+    policy.weight = Some(42.0);
+    mgr.set_policy(policy);
+    assert!(
+        trace
+            .events()
+            .iter()
+            .any(|e| e.kind() == "policy_changed" && e.workload() == Some("bi")),
+        "set_policy must emit PolicyChanged"
+    );
+}
+
+#[test]
+fn idle_bus_emits_nothing() {
+    // Without subscribers the bus stays inactive and no events accrue.
+    let mut mgr = quickstart_manager();
+    mgr.run(&mut quickstart_mix(), SimDuration::from_secs(5));
+    assert!(!mgr.events_active());
+    assert_eq!(mgr.events_emitted(), 0);
+}

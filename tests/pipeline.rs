@@ -131,6 +131,23 @@ fn suspension_pipeline_round_trips_queries() {
     assert!(report.suspend_overhead_us > 0);
     // Suspended queries come back: the system is not leaking work.
     assert!(bi.stats.completed > 0);
+    // The overhead each suspended request paid lands in its workload's
+    // book once the request leaves the system (this was once dropped on
+    // the floor by a dead store at resume).
+    assert!(
+        bi.stats.suspend_overhead_us > 0,
+        "per-workload suspend overhead must be banked"
+    );
+    let banked: u64 = report
+        .workloads
+        .iter()
+        .map(|w| w.stats.suspend_overhead_us)
+        .sum();
+    assert!(
+        banked <= report.suspend_overhead_us,
+        "workload books ({banked}) only hold overhead already paid globally ({})",
+        report.suspend_overhead_us
+    );
 }
 
 #[test]
