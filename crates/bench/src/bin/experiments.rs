@@ -1,5 +1,5 @@
 //! The experiment harness binary: regenerates every table and figure of the
-//! paper and runs the quantitative experiments E1–E14.
+//! paper and runs the quantitative experiments E1–E17.
 //!
 //! Usage:
 //!   experiments                # everything
@@ -8,12 +8,15 @@
 //!   experiments --json e1      # machine-readable output (JSON lines only)
 //!   experiments --trace e1     # append the decision-event trace as JSON lines
 //!   experiments --jobs 4       # worker threads (default: available cores)
+//!   experiments --seed 7 e16   # seed for the seeded experiments (E16/E17)
 //!
 //! Experiments are independent, so they run on a pool of worker threads;
 //! output is printed in submission order regardless of completion order, so
 //! runs are reproducible byte for byte. With `--json` the binary emits
-//! *only* JSON lines — one `{"experiment": ..., "result": ...}` envelope
-//! per experiment — so the stream can be piped straight into `jq`. With
+//! *only* JSON lines — one `{"experiment": ..., "seed": ..., "result": ...}`
+//! envelope per experiment — so the stream can be piped straight into `jq`.
+//! The seed (default `0x5eed`) feeds the experiments that take one; it is
+//! echoed in every envelope so same-seed runs can be diffed byte for byte. With
 //! `--trace` each experiment installs a thread-local event recorder; every
 //! manager the experiment builds publishes its decision events
 //! ([`wlm_core::events::WlmEvent`]) there, and the buffer is dumped after
@@ -106,9 +109,13 @@ fn run_parallel(jobs: &[Job], workers: usize, trace: bool) -> Vec<JobOutput> {
 }
 
 fn main() {
+    // Default seed for the seeded experiments when `--seed` is absent.
+    const DEFAULT_SEED: u64 = 0x5eed;
+
     let mut json = false;
     let mut trace = false;
     let mut workers: Option<usize> = None;
+    let mut seed: u64 = DEFAULT_SEED;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -118,6 +125,16 @@ fn main() {
             "--jobs" => workers = args.next().and_then(|v| v.parse().ok()),
             other if other.starts_with("--jobs=") => {
                 workers = other["--jobs=".len()..].parse().ok();
+            }
+            "--seed" => {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    seed = v;
+                }
+            }
+            other if other.starts_with("--seed=") => {
+                if let Ok(v) = other["--seed=".len()..].parse() {
+                    seed = v;
+                }
             }
             other => selected.push(other.to_string()),
         }
@@ -171,6 +188,28 @@ fn main() {
     job!("e13", exp::e13_classifier);
     job!("e14", exp::e14_metric_admission);
     job!("e15", exp::e15_open_vs_closed);
+
+    // Like `job!`, for experiments parameterized by the run seed.
+    macro_rules! seeded_job {
+        ($id:literal, $f:path) => {
+            if want($id) {
+                jobs.push(Job {
+                    id: $id,
+                    run: Box::new(move || {
+                        let result = $f(seed);
+                        (
+                            serde_json::to_value(&result).expect("serializable"),
+                            result.render(),
+                        )
+                    }),
+                });
+            }
+        };
+    }
+
+    seeded_job!("e16", exp::e16_resilience_ablation);
+    seeded_job!("e17", exp::e17_fault_recovery);
+
     job!("a1", exp::a1_restructure_pieces);
     job!("a2", exp::a2_checkpoint_interval);
     job!("a3", exp::a3_mape_period);
@@ -185,7 +224,7 @@ fn main() {
         if json {
             println!(
                 "{}",
-                serde_json::json!({ "experiment": job.id, "result": out.value })
+                serde_json::json!({ "experiment": job.id, "seed": seed, "result": out.value })
             );
         } else {
             println!("{}", out.rendered);

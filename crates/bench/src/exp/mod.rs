@@ -1,4 +1,4 @@
-//! The quantitative experiments (E1–E14 of DESIGN.md).
+//! The quantitative experiments (E1–E17 of DESIGN.md).
 
 pub mod ablations;
 pub mod admission;
@@ -7,6 +7,7 @@ pub mod autonomic;
 pub mod engine;
 pub mod execution;
 pub mod facilities;
+pub mod resilience;
 pub mod scheduling;
 
 pub use ablations::{a1_restructure_pieces, a2_checkpoint_interval, a3_mape_period};
@@ -16,4 +17,5 @@ pub use autonomic::{e10_mape, e13_classifier};
 pub use engine::e1_mpl_curve;
 pub use execution::{e12_kill_precision, e4_throttling, e5_suspend, e7_economic};
 pub use facilities::e9_facilities;
+pub use resilience::{e16_resilience_ablation, e17_fault_recovery};
 pub use scheduling::{e11_restructuring, e3_dynamic_mpl, e6_schedulers};

@@ -1,0 +1,205 @@
+//! The chaos driver: replays a [`FaultPlan`] against a live
+//! [`WorkloadManager`] run.
+//!
+//! The driver sits *outside* the control cycle: before each manager tick
+//! it applies every plan event whose time has come — engine faults through
+//! [`WorkloadManager::apply_engine_fault`], flash crowds through a
+//! [`SurgeHandle`], optimizer skew through the manager's cost-model knob.
+//! All of it is deterministic: the same plan against the same manager and
+//! sources replays byte-identically.
+
+use crate::plan::{FaultEvent, FaultKind, FaultPlan};
+use wlm_core::manager::{RunReport, WorkloadManager};
+use wlm_dbsim::time::SimDuration;
+use wlm_workload::generators::{Source, SurgeHandle};
+
+/// Replays a [`FaultPlan`] event by event as simulated time passes.
+#[derive(Debug)]
+pub struct ChaosDriver {
+    events: Vec<FaultEvent>,
+    next: usize,
+    surge: Option<SurgeHandle>,
+    /// The optimizer error level before the active skew, restored by
+    /// `OptimizerRestore`.
+    baseline_sigma: Option<f64>,
+    applied: u64,
+    skipped: u64,
+}
+
+impl ChaosDriver {
+    /// A driver over `plan` (already time-sorted by its builder).
+    pub fn new(plan: FaultPlan) -> Self {
+        ChaosDriver {
+            events: plan.into_events(),
+            next: 0,
+            surge: None,
+            baseline_sigma: None,
+            applied: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Attach the surge handle that `FlashCrowd` events control. Without
+    /// one, flash-crowd events are counted as skipped.
+    pub fn with_surge(mut self, handle: SurgeHandle) -> Self {
+        self.surge = Some(handle);
+        self
+    }
+
+    /// Apply every event due at or before the manager's current time.
+    /// Returns how many events fired this call (applied or skipped).
+    pub fn apply_due(&mut self, mgr: &mut WorkloadManager) -> usize {
+        let now = mgr.now();
+        let mut fired = 0;
+        while self.next < self.events.len() && self.events[self.next].at <= now {
+            let event = self.events[self.next].clone();
+            self.next += 1;
+            fired += 1;
+            match event.fault {
+                FaultKind::Engine(fault) => {
+                    // A rejected fault (invalid parameters for this
+                    // engine) is recorded, not fatal: the plan may be
+                    // reused across engine sizes.
+                    if mgr.apply_engine_fault(fault).is_ok() {
+                        self.applied += 1;
+                    } else {
+                        self.skipped += 1;
+                    }
+                }
+                FaultKind::FlashCrowd { factor } => match &self.surge {
+                    Some(handle) => {
+                        handle.set_factor(factor);
+                        self.applied += 1;
+                    }
+                    None => self.skipped += 1,
+                },
+                FaultKind::OptimizerSkew { sigma } => {
+                    if self.baseline_sigma.is_none() {
+                        self.baseline_sigma = Some(mgr.cost_model_error());
+                    }
+                    mgr.set_cost_model_error(sigma);
+                    self.applied += 1;
+                }
+                FaultKind::OptimizerRestore => {
+                    let sigma = self.baseline_sigma.take().unwrap_or(0.0);
+                    mgr.set_cost_model_error(sigma);
+                    self.applied += 1;
+                }
+            }
+        }
+        fired
+    }
+
+    /// Whether every plan event has fired.
+    pub fn done(&self) -> bool {
+        self.next >= self.events.len()
+    }
+
+    /// Events applied successfully so far.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Events that could not be applied (rejected by the engine, or a
+    /// flash crowd with no surge handle attached).
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+}
+
+/// Run the manager for `duration` with the driver injecting faults
+/// between control cycles — the chaos-mode counterpart of
+/// [`WorkloadManager::run`].
+pub fn run_with_chaos(
+    mgr: &mut WorkloadManager,
+    source: &mut dyn Source,
+    duration: SimDuration,
+    driver: &mut ChaosDriver,
+) -> RunReport {
+    let deadline = mgr.now() + duration;
+    while mgr.now() < deadline {
+        driver.apply_due(mgr);
+        mgr.tick(source);
+    }
+    mgr.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlanBuilder;
+    use wlm_core::manager::ManagerConfig;
+    use wlm_dbsim::engine::EngineConfig;
+    use wlm_workload::generators::{OltpSource, SurgeSource};
+
+    fn manager() -> WorkloadManager {
+        WorkloadManager::new(ManagerConfig {
+            engine: EngineConfig {
+                cores: 4,
+                disk_pages_per_sec: 20_000,
+                memory_mb: 2_048,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn driver_applies_engine_faults_and_recovers() {
+        let plan = FaultPlanBuilder::new(1)
+            .io_spike(1.0, 2.0, 0.25)
+            .core_loss(1.0, 2.0, 3)
+            .build();
+        let mut driver = ChaosDriver::new(plan);
+        let mut mgr = manager();
+        let mut src = OltpSource::new(10.0, 7);
+        run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(2), &mut driver);
+        let mid = mgr.engine().fault_state().clone();
+        assert!((mid.disk_factor - 0.25).abs() < 1e-12, "{mid:?}");
+        assert_eq!(mid.cores_offline, 3);
+        run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(3), &mut driver);
+        assert!(mgr.engine().fault_state().is_healthy(), "plan self-heals");
+        assert!(driver.done());
+        assert_eq!(driver.applied(), 4);
+        assert_eq!(driver.skipped(), 0);
+    }
+
+    #[test]
+    fn flash_crowd_without_surge_handle_is_skipped() {
+        let plan = FaultPlanBuilder::new(2).flash_crowd(0.5, 1.0, 3.0).build();
+        let mut driver = ChaosDriver::new(plan);
+        let mut mgr = manager();
+        let mut src = OltpSource::new(5.0, 3);
+        run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(3), &mut driver);
+        assert_eq!(driver.skipped(), 2);
+        assert_eq!(driver.applied(), 0);
+    }
+
+    #[test]
+    fn flash_crowd_raises_and_lowers_the_surge_factor() {
+        let plan = FaultPlanBuilder::new(3).flash_crowd(1.0, 2.0, 4.0).build();
+        let (surge, handle) = SurgeSource::new(Box::new(OltpSource::new(10.0, 9)), 11);
+        let mut src = surge;
+        let mut driver = ChaosDriver::new(plan).with_surge(handle.clone());
+        let mut mgr = manager();
+        run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(2), &mut driver);
+        assert!((handle.factor() - 4.0).abs() < 1e-12);
+        run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(2), &mut driver);
+        assert!((handle.factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimizer_skew_restores_the_baseline() {
+        let plan = FaultPlanBuilder::new(4)
+            .optimizer_skew(0.5, 1.0, 1.5)
+            .build();
+        let mut driver = ChaosDriver::new(plan);
+        let mut mgr = manager();
+        let baseline = mgr.cost_model_error();
+        let mut src = OltpSource::new(5.0, 5);
+        run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(1), &mut driver);
+        assert!((mgr.cost_model_error() - 1.5).abs() < 1e-12);
+        run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(1), &mut driver);
+        assert!((mgr.cost_model_error() - baseline).abs() < 1e-12);
+    }
+}

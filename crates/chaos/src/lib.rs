@@ -1,0 +1,48 @@
+//! # wlm-chaos — deterministic fault injection for workload-management runs
+//!
+//! Workload management earns its keep when the system is degraded: a disk
+//! losing bandwidth, cores going offline, a flash crowd tripling arrivals,
+//! a lock storm freezing the hot keys. This crate turns those conditions
+//! into *scheduled, seeded, replayable* experiments:
+//!
+//! * [`plan::FaultPlanBuilder`] builds a [`plan::FaultPlan`] — a
+//!   time-sorted schedule of fault windows (IO collapse, core loss,
+//!   buffer-pool shrink, memory pressure, lock storms, flash crowds,
+//!   optimizer misestimation), each paired with its recovery event;
+//! * [`driver::ChaosDriver`] replays the plan against a live
+//!   [`WorkloadManager`](wlm_core::manager::WorkloadManager) run, applying
+//!   engine faults between control cycles and steering a
+//!   [`SurgeSource`](wlm_workload::generators::SurgeSource) for arrival
+//!   surges;
+//! * [`driver::run_with_chaos`] is the drop-in faulted counterpart of
+//!   `WorkloadManager::run`.
+//!
+//! Everything is deterministic per seed: the same plan against the same
+//! manager and sources produces byte-identical reports, which is what
+//! makes resilience ablations (`wlm-bench` experiments E16/E17) and the
+//! repo's determinism tests possible.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use wlm_chaos::{ChaosDriver, FaultPlanBuilder, run_with_chaos};
+//! use wlm_core::manager::{ManagerConfig, WorkloadManager};
+//! use wlm_dbsim::time::SimDuration;
+//! use wlm_workload::generators::OltpSource;
+//!
+//! let plan = FaultPlanBuilder::new(42)
+//!     .io_spike(5.0, 3.0, 0.25)    // quarter disk bandwidth for 3 s
+//!     .core_loss(6.0, 2.0, 2)      // two cores offline for 2 s
+//!     .build();
+//! let mut driver = ChaosDriver::new(plan);
+//! let mut mgr = WorkloadManager::new(ManagerConfig::default());
+//! let mut src = OltpSource::new(20.0, 1);
+//! let report = run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(10), &mut driver);
+//! assert!(driver.done() && report.completed > 0);
+//! ```
+
+pub mod driver;
+pub mod plan;
+
+pub use driver::{run_with_chaos, ChaosDriver};
+pub use plan::{FaultEvent, FaultKind, FaultPlan, FaultPlanBuilder};

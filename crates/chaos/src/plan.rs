@@ -1,0 +1,317 @@
+//! Fault plans: seeded, deterministic schedules of fault and recovery
+//! events.
+//!
+//! A [`FaultPlan`] is built once from a seed and then replayed against a
+//! run by a [`ChaosDriver`](crate::driver::ChaosDriver). Every helper on
+//! [`FaultPlanBuilder`] schedules a *window*: the fault at its start and
+//! the matching recovery at its end, so a plan is self-healing by
+//! construction. Optional timing jitter shifts whole windows (never a
+//! fault apart from its recovery) by a seeded offset, keeping runs
+//! byte-identical per seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use wlm_dbsim::engine::EngineFault;
+use wlm_dbsim::time::SimTime;
+
+/// One schedulable fault (or recovery) action.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FaultKind {
+    /// An engine-level fault applied through
+    /// [`DbEngine::apply_fault`](wlm_dbsim::engine::DbEngine::apply_fault)
+    /// (disk degradation, core loss, buffer-pool shrink, memory
+    /// reservation, lock storm). Recovery is the same variant with its
+    /// neutral parameter.
+    Engine(EngineFault),
+    /// Multiply the arrival stream by `factor` via a
+    /// [`SurgeHandle`](wlm_workload::generators::SurgeHandle);
+    /// `factor: 1.0` ends the crowd.
+    FlashCrowd {
+        /// Arrival amplification factor.
+        factor: f64,
+    },
+    /// Degrade the optimizer's estimates to log-normal error `sigma`.
+    OptimizerSkew {
+        /// New estimation-error sigma.
+        sigma: f64,
+    },
+    /// Restore the optimizer's estimation error to its pre-skew level.
+    OptimizerRestore,
+}
+
+/// A fault scheduled at an instant of simulated time.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub fault: FaultKind,
+}
+
+/// An immutable, time-sorted schedule of fault events.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The events in firing order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub(crate) fn into_events(self) -> Vec<FaultEvent> {
+        self.events
+    }
+}
+
+/// Builder for [`FaultPlan`]s. Each helper schedules one fault window
+/// (fault + recovery); [`FaultPlanBuilder::build`] sorts the result by
+/// firing time.
+#[derive(Debug)]
+pub struct FaultPlanBuilder {
+    seed: u64,
+    rng: SmallRng,
+    jitter_secs: f64,
+    windows: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlanBuilder {
+    /// A builder whose derived randomness (lock-storm seeds, timing
+    /// jitter) is fully determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlanBuilder {
+            seed,
+            rng: SmallRng::seed_from_u64(seed),
+            jitter_secs: 0.0,
+            windows: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Shift every *subsequently* scheduled window by a seeded uniform
+    /// offset in `[-secs, +secs]` (fault and recovery move together, so
+    /// window durations are preserved).
+    pub fn with_jitter(mut self, secs: f64) -> Self {
+        self.jitter_secs = secs.max(0.0);
+        self
+    }
+
+    fn window_offset(&mut self) -> f64 {
+        self.windows += 1;
+        if self.jitter_secs > 0.0 {
+            self.rng.gen_range(-self.jitter_secs..=self.jitter_secs)
+        } else {
+            0.0
+        }
+    }
+
+    fn push_at(&mut self, at_secs: f64, fault: FaultKind) {
+        self.events.push(FaultEvent {
+            at: SimTime((at_secs.max(0.0) * 1e6).round() as u64),
+            fault,
+        });
+    }
+
+    /// Collapse disk bandwidth to `factor` of nominal over the window.
+    pub fn io_spike(mut self, at_secs: f64, dur_secs: f64, factor: f64) -> Self {
+        let off = self.window_offset();
+        self.push_at(
+            at_secs + off,
+            FaultKind::Engine(EngineFault::DiskDegrade { factor }),
+        );
+        self.push_at(
+            at_secs + dur_secs + off,
+            FaultKind::Engine(EngineFault::DiskDegrade { factor: 1.0 }),
+        );
+        self
+    }
+
+    /// Take `cores` CPU cores offline over the window.
+    pub fn core_loss(mut self, at_secs: f64, dur_secs: f64, cores: u32) -> Self {
+        let off = self.window_offset();
+        self.push_at(
+            at_secs + off,
+            FaultKind::Engine(EngineFault::CoresOffline { cores }),
+        );
+        self.push_at(
+            at_secs + dur_secs + off,
+            FaultKind::Engine(EngineFault::CoresOffline { cores: 0 }),
+        );
+        self
+    }
+
+    /// Shrink the buffer pool to `factor` of its configured pages.
+    pub fn buffer_pool_shrink(mut self, at_secs: f64, dur_secs: f64, factor: f64) -> Self {
+        let off = self.window_offset();
+        self.push_at(
+            at_secs + off,
+            FaultKind::Engine(EngineFault::BufferPoolDegrade { factor }),
+        );
+        self.push_at(
+            at_secs + dur_secs + off,
+            FaultKind::Engine(EngineFault::BufferPoolDegrade { factor: 1.0 }),
+        );
+        self
+    }
+
+    /// Reserve `mb` of engine memory (an external hog) over the window.
+    pub fn memory_pressure(mut self, at_secs: f64, dur_secs: f64, mb: u64) -> Self {
+        let off = self.window_offset();
+        self.push_at(
+            at_secs + off,
+            FaultKind::Engine(EngineFault::MemoryReserve { mb }),
+        );
+        self.push_at(
+            at_secs + dur_secs + off,
+            FaultKind::Engine(EngineFault::MemoryReserve { mb: 0 }),
+        );
+        self
+    }
+
+    /// Inject `txns` contending update transactions over `key_space` hot
+    /// keys, each holding its locks for about `hold_secs`. Self-clearing
+    /// (the storm transactions drain on their own), so no recovery event.
+    pub fn lock_storm(
+        mut self,
+        at_secs: f64,
+        txns: u32,
+        keys_per_txn: u32,
+        key_space: u64,
+        hold_secs: f64,
+    ) -> Self {
+        let off = self.window_offset();
+        let storm_seed = derive_seed(self.seed, self.windows);
+        self.push_at(
+            at_secs + off,
+            FaultKind::Engine(EngineFault::LockStorm {
+                txns,
+                keys_per_txn,
+                key_space,
+                hold_secs,
+                seed: storm_seed,
+            }),
+        );
+        self
+    }
+
+    /// Amplify arrivals by `factor` over the window (a flash crowd).
+    pub fn flash_crowd(mut self, at_secs: f64, dur_secs: f64, factor: f64) -> Self {
+        let off = self.window_offset();
+        self.push_at(at_secs + off, FaultKind::FlashCrowd { factor });
+        self.push_at(
+            at_secs + dur_secs + off,
+            FaultKind::FlashCrowd { factor: 1.0 },
+        );
+        self
+    }
+
+    /// Degrade optimizer estimates to error level `sigma` over the window.
+    pub fn optimizer_skew(mut self, at_secs: f64, dur_secs: f64, sigma: f64) -> Self {
+        let off = self.window_offset();
+        self.push_at(at_secs + off, FaultKind::OptimizerSkew { sigma });
+        self.push_at(at_secs + dur_secs + off, FaultKind::OptimizerRestore);
+        self
+    }
+
+    /// Finish the plan: events sorted by firing time (stable, so two
+    /// events at the same instant keep their scheduling order).
+    pub fn build(mut self) -> FaultPlan {
+        self.events.sort_by_key(|e| e.at);
+        FaultPlan {
+            events: self.events,
+        }
+    }
+}
+
+/// SplitMix64 step: derive a storm seed from the plan seed and window
+/// index so distinct storms in one plan decorrelate.
+fn derive_seed(seed: u64, window: u64) -> u64 {
+    let mut x = seed ^ window.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(seed: u64) -> FaultPlan {
+        FaultPlanBuilder::new(seed)
+            .with_jitter(0.5)
+            .io_spike(10.0, 5.0, 0.1)
+            .core_loss(12.0, 6.0, 2)
+            .flash_crowd(20.0, 4.0, 3.0)
+            .lock_storm(15.0, 8, 4, 32, 2.0)
+            .optimizer_skew(5.0, 10.0, 1.5)
+            .build()
+    }
+
+    #[test]
+    fn plans_are_sorted_and_deterministic_per_seed() {
+        let a = demo(42);
+        let b = demo(42);
+        assert_eq!(a, b, "same seed, same plan");
+        assert!(
+            a.events().windows(2).all(|w| w[0].at <= w[1].at),
+            "sorted by firing time"
+        );
+        assert_eq!(a.len(), 9, "four windows of two plus one storm");
+        let c = demo(43);
+        assert_ne!(a, c, "different seed perturbs the jittered timings");
+    }
+
+    #[test]
+    fn jitter_moves_fault_and_recovery_together() {
+        let plan = FaultPlanBuilder::new(7)
+            .with_jitter(2.0)
+            .io_spike(10.0, 5.0, 0.25)
+            .build();
+        let [start, end] = plan.events() else {
+            panic!("two events expected");
+        };
+        let dur = end.at.since(start.at).as_secs_f64();
+        assert!((dur - 5.0).abs() < 1e-6, "window duration preserved: {dur}");
+        let shift = start.at.as_secs_f64() - 10.0;
+        assert!(shift.abs() <= 2.0 + 1e-9, "offset bounded: {shift}");
+    }
+
+    #[test]
+    fn storm_seeds_decorrelate_within_a_plan() {
+        let plan = FaultPlanBuilder::new(1)
+            .lock_storm(1.0, 4, 2, 16, 1.0)
+            .lock_storm(2.0, 4, 2, 16, 1.0)
+            .build();
+        let seeds: Vec<u64> = plan
+            .events()
+            .iter()
+            .filter_map(|e| match &e.fault {
+                FaultKind::Engine(EngineFault::LockStorm { seed, .. }) => Some(*seed),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seeds.len(), 2);
+        assert_ne!(seeds[0], seeds[1]);
+    }
+
+    #[test]
+    fn plans_serialize_to_json() {
+        let json = serde_json::to_string(&demo(3)).expect("serializes");
+        assert!(json.contains("disk_degrade"));
+        assert!(json.contains("flash_crowd"));
+    }
+}

@@ -18,6 +18,30 @@
 //! Emission is free when nobody listens: the manager checks
 //! [`EventBus::is_active`] once per cycle and skips event construction
 //! entirely on the hot path when the bus has no subscribers.
+//!
+//! # Variants and their emitting stages
+//!
+//! | variant | emitting stage |
+//! |---------|----------------|
+//! | [`WlmEvent::Classified`] | identify |
+//! | [`WlmEvent::Admitted`] | admit |
+//! | [`WlmEvent::Deferred`] | admit |
+//! | [`WlmEvent::Rejected`] | admit (admission controllers; degradation-ladder shedding) |
+//! | [`WlmEvent::Scheduled`] | schedule |
+//! | [`WlmEvent::Throttled`] | exec-control |
+//! | [`WlmEvent::Reprioritized`] | exec-control |
+//! | [`WlmEvent::Suspended`] | exec-control |
+//! | [`WlmEvent::Resumed`] | monitor (suspended-query reinstatement) |
+//! | [`WlmEvent::Killed`] | exec-control |
+//! | [`WlmEvent::Resubmitted`] | exec-control (kill-with-resubmit); admit (retry release) |
+//! | [`WlmEvent::Completed`] | monitor |
+//! | [`WlmEvent::PolicyChanged`] | external (`set_policy` at run time) |
+//! | [`WlmEvent::MapePlan`] | external (MAPE loop, via [`EventSink`]) |
+//! | [`WlmEvent::FaultInjected`] | external (fault driver, via `apply_engine_fault`) |
+//! | [`WlmEvent::RetryScheduled`] | exec-control (resilience layer) |
+//! | [`WlmEvent::RetryExhausted`] | exec-control (resilience layer) |
+//! | [`WlmEvent::BreakerTransition`] | exec-control (resilience layer) |
+//! | [`WlmEvent::LadderStep`] | exec-control (resilience layer) |
 
 use serde::Serialize;
 use std::cell::RefCell;
@@ -196,6 +220,63 @@ pub enum WlmEvent {
         /// The loop's escalation level after planning.
         escalation: u32,
     },
+    /// An infrastructure fault (or its recovery) was injected into the
+    /// engine through the manager.
+    FaultInjected {
+        /// Emission time.
+        at: SimTime,
+        /// Fault family tag (e.g. `"disk_degrade"`, `"lock_storm"`).
+        kind: &'static str,
+        /// Human-readable fault parameters.
+        detail: String,
+    },
+    /// The resilience layer scheduled a failed query for another attempt
+    /// after a backoff delay.
+    RetryScheduled {
+        /// Emission time.
+        at: SimTime,
+        /// The request being retried.
+        request: RequestId,
+        /// The request's workload.
+        workload: String,
+        /// Attempt number this retry will be (first run = attempt 0).
+        attempt: u32,
+        /// Backoff delay before the request re-enters the wait queue, µs.
+        delay_us: u64,
+    },
+    /// A failed query had no retry budget left and was dropped for good.
+    RetryExhausted {
+        /// Emission time.
+        at: SimTime,
+        /// The dropped request.
+        request: RequestId,
+        /// The request's workload.
+        workload: String,
+        /// Retry attempts consumed before giving up.
+        attempts: u32,
+    },
+    /// A per-workload circuit breaker changed state.
+    BreakerTransition {
+        /// Emission time.
+        at: SimTime,
+        /// The workload whose breaker moved.
+        workload: String,
+        /// State before (`"closed"`, `"open"` or `"half_open"`).
+        from: &'static str,
+        /// State after.
+        to: &'static str,
+    },
+    /// The degradation ladder stepped up (shedding more) or down
+    /// (restoring service).
+    LadderStep {
+        /// Emission time.
+        at: SimTime,
+        /// Ladder level before the step.
+        from_level: u8,
+        /// Ladder level after the step (0 = normal service, 3 = maximum
+        /// degradation).
+        to_level: u8,
+    },
 }
 
 impl WlmEvent {
@@ -215,11 +296,17 @@ impl WlmEvent {
             | WlmEvent::Resubmitted { at, .. }
             | WlmEvent::Completed { at, .. }
             | WlmEvent::PolicyChanged { at, .. }
-            | WlmEvent::MapePlan { at, .. } => *at,
+            | WlmEvent::MapePlan { at, .. }
+            | WlmEvent::FaultInjected { at, .. }
+            | WlmEvent::RetryScheduled { at, .. }
+            | WlmEvent::RetryExhausted { at, .. }
+            | WlmEvent::BreakerTransition { at, .. }
+            | WlmEvent::LadderStep { at, .. } => *at,
         }
     }
 
-    /// The workload the event concerns, if any ([`WlmEvent::MapePlan`] is
+    /// The workload the event concerns, if any ([`WlmEvent::MapePlan`],
+    /// [`WlmEvent::FaultInjected`] and [`WlmEvent::LadderStep`] are
     /// system-wide).
     pub fn workload(&self) -> Option<&str> {
         match self {
@@ -235,8 +322,13 @@ impl WlmEvent {
             | WlmEvent::Killed { workload, .. }
             | WlmEvent::Resubmitted { workload, .. }
             | WlmEvent::Completed { workload, .. }
-            | WlmEvent::PolicyChanged { workload, .. } => Some(workload),
-            WlmEvent::MapePlan { .. } => None,
+            | WlmEvent::PolicyChanged { workload, .. }
+            | WlmEvent::RetryScheduled { workload, .. }
+            | WlmEvent::RetryExhausted { workload, .. }
+            | WlmEvent::BreakerTransition { workload, .. } => Some(workload),
+            WlmEvent::MapePlan { .. }
+            | WlmEvent::FaultInjected { .. }
+            | WlmEvent::LadderStep { .. } => None,
         }
     }
 
@@ -257,6 +349,11 @@ impl WlmEvent {
             WlmEvent::Completed { .. } => "completed",
             WlmEvent::PolicyChanged { .. } => "policy_changed",
             WlmEvent::MapePlan { .. } => "mape_plan",
+            WlmEvent::FaultInjected { .. } => "fault_injected",
+            WlmEvent::RetryScheduled { .. } => "retry_scheduled",
+            WlmEvent::RetryExhausted { .. } => "retry_exhausted",
+            WlmEvent::BreakerTransition { .. } => "breaker_transition",
+            WlmEvent::LadderStep { .. } => "ladder_step",
         }
     }
 }
@@ -445,6 +542,12 @@ pub struct EventCounts {
     pub resubmitted: u64,
     /// `Completed` events.
     pub completed: u64,
+    /// `RetryScheduled` events.
+    pub retries_scheduled: u64,
+    /// `RetryExhausted` events.
+    pub retries_exhausted: u64,
+    /// `BreakerTransition` events.
+    pub breaker_transitions: u64,
 }
 
 /// A subscriber maintaining [`EventCounts`] per workload. Clones share the
@@ -495,7 +598,13 @@ impl EventSubscriber for WorkloadEventCounters {
             WlmEvent::Killed { .. } => c.killed += 1,
             WlmEvent::Resubmitted { .. } => c.resubmitted += 1,
             WlmEvent::Completed { .. } => c.completed += 1,
-            WlmEvent::PolicyChanged { .. } | WlmEvent::MapePlan { .. } => {}
+            WlmEvent::RetryScheduled { .. } => c.retries_scheduled += 1,
+            WlmEvent::RetryExhausted { .. } => c.retries_exhausted += 1,
+            WlmEvent::BreakerTransition { .. } => c.breaker_transitions += 1,
+            WlmEvent::PolicyChanged { .. }
+            | WlmEvent::MapePlan { .. }
+            | WlmEvent::FaultInjected { .. }
+            | WlmEvent::LadderStep { .. } => {}
         }
     }
 }

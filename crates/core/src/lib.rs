@@ -25,7 +25,9 @@
 //! typed [`events::WlmEvent`] decision telemetry onto the manager's event
 //! bus, which the facility emulations in `wlm-systems` consume. [`autonomic`]
 //! closes the loop with a MAPE (monitor → analyze → plan → execute)
-//! controller, the paper's §5.3 vision.
+//! controller, the paper's §5.3 vision. [`resilience`] hardens the pipeline
+//! against injected faults with retry budgets, per-workload circuit
+//! breakers, and a staged degradation ladder.
 
 pub mod admission;
 pub mod api;
@@ -37,6 +39,7 @@ pub mod execution;
 pub mod manager;
 pub mod policy;
 pub mod registry;
+pub mod resilience;
 pub mod scheduling;
 pub mod stats;
 pub mod taxonomy;

@@ -36,6 +36,21 @@ impl WorkloadManager {
         reason: AdmitReason,
         trace: bool,
     ) -> bool {
+        // A raised degradation ladder sheds best-effort arrivals before
+        // the admission controller even sees them.
+        if self.ladder_sheds(req.importance) {
+            self.rejected += 1;
+            self.stats.entry(&req.workload).rejected += 1;
+            if trace {
+                self.emit(WlmEvent::Rejected {
+                    at: snap.now,
+                    request: req.request.id,
+                    workload: req.workload.clone(),
+                    reason: "degradation-ladder shed".to_string(),
+                });
+            }
+            return false;
+        }
         match self.admission.decide(&req, snap) {
             AdmissionDecision::Admit => {
                 if let Some(r) = self.restructurer {
@@ -103,6 +118,9 @@ impl WorkloadManager {
     /// Re-evaluate deferred requests first (FIFO), then the cycle's fresh
     /// arrivals.
     pub(super) fn stage_admit(&mut self, cx: &mut CycleContext) {
+        // Matured retries re-enter the wait queue ahead of this cycle's
+        // admissions (they already passed the gate once).
+        self.release_due_retries(cx);
         self.admission.observe(&cx.snap);
         let deferred: Vec<ManagedRequest> = self.deferred.drain(..).collect();
         for req in deferred {

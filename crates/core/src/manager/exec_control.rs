@@ -115,7 +115,15 @@ impl WorkloadManager {
                         // running so the books never lose it.
                         self.stats.entry(&meta.req.workload).suspend_overhead_us +=
                             meta.suspend_overhead_us;
-                        if resubmit {
+                        if !resubmit {
+                            // The resilience layer may convert the kill
+                            // into a delayed retry within the request's
+                            // attempt budget.
+                            if let Some(meta) = self.try_retry(meta, at, trace) {
+                                self.killed += 1;
+                                self.stats.entry(&meta.req.workload).killed += 1;
+                            }
+                        } else {
                             meta.restarts += 1;
                             self.stats.entry(&meta.req.workload).resubmitted += 1;
                             // Re-queue with its chain and restart count
@@ -134,9 +142,6 @@ impl WorkloadManager {
                                 });
                             }
                             self.wait_queue.push(meta.req);
-                        } else {
-                            self.killed += 1;
-                            self.stats.entry(&meta.req.workload).killed += 1;
                         }
                     }
                 }
@@ -175,6 +180,9 @@ impl WorkloadManager {
     /// Run every execution controller over the running set and apply their
     /// actions.
     pub(super) fn stage_exec_control(&mut self, cx: &mut CycleContext) {
+        // The resilience layer acts first (timeouts, breaker cooldowns,
+        // the degradation ladder), with or without installed controllers.
+        self.resilience_control(cx);
         if self.exec_controllers.is_empty() {
             return;
         }

@@ -46,6 +46,7 @@ mod context;
 mod exec_control;
 mod identify;
 mod monitor;
+mod resilience_stage;
 mod schedule;
 
 use crate::admission::AdmitAll;
@@ -56,6 +57,7 @@ use crate::characterize::{Characterizer, StaticCharacterizer};
 use crate::dashboard::{Dashboard, WorkloadRow};
 use crate::events::{EventBus, EventSink, EventSubscriber, WlmEvent};
 use crate::policy::WorkloadPolicy;
+use crate::resilience::{ResilienceConfig, ResilienceLayer, ResilienceReport};
 use crate::scheduling::{FcfsScheduler, Restructurer};
 use crate::stats::{StatsBook, WorkloadReport};
 use context::CycleContext;
@@ -63,7 +65,8 @@ use serde::Serialize;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
-use wlm_dbsim::engine::{DbEngine, EngineConfig, QueryId};
+use wlm_dbsim::engine::{DbEngine, EngineConfig, EngineFault, QueryId};
+use wlm_dbsim::error::EngineError;
 use wlm_dbsim::optimizer::CostModel;
 use wlm_dbsim::plan::QuerySpec;
 use wlm_dbsim::suspend::SuspendedQuery;
@@ -192,6 +195,9 @@ pub struct WorkloadManager {
     pending_chains: BTreeMap<wlm_workload::request::RequestId, Vec<QuerySpec>>,
     /// Restart counts of re-queued (killed-and-resubmitted) requests.
     restart_counts: BTreeMap<wlm_workload::request::RequestId, u32>,
+    /// Retry budgets, circuit breakers and the degradation ladder
+    /// (`None` = resilience off, the default).
+    resilience: Option<ResilienceLayer>,
     /// The decision-event bus (shared with [`EventSink`] handles).
     events: Rc<RefCell<EventBus>>,
     /// The incrementally maintained monitor snapshot.
@@ -251,6 +257,7 @@ impl WorkloadManager {
             goal_violations: BTreeMap::new(),
             pending_chains: BTreeMap::new(),
             restart_counts: BTreeMap::new(),
+            resilience: None,
             events: Rc::new(RefCell::new(EventBus::default())),
             live_snap: SystemSnapshot::default(),
         };
@@ -289,6 +296,58 @@ impl WorkloadManager {
     /// Enable query restructuring with the given policy.
     pub fn set_restructurer(&mut self, r: Restructurer) {
         self.restructurer = Some(r);
+    }
+
+    /// Enable the resilience layer (retry budgets, per-workload circuit
+    /// breakers, the degradation ladder — each only if configured). When
+    /// breakers are enabled this subscribes a feed on the event bus so
+    /// breaker state tracks observed failure and timeout rates.
+    pub fn set_resilience(&mut self, cfg: ResilienceConfig) {
+        let layer = ResilienceLayer::new(cfg);
+        if layer.breaker_enabled() {
+            self.subscribe(Box::new(layer.breaker_feed()));
+        }
+        self.resilience = Some(layer);
+    }
+
+    /// Snapshot of the resilience layer's state, if the layer is enabled.
+    pub fn resilience_report(&self) -> Option<ResilienceReport> {
+        self.resilience.as_ref().map(ResilienceLayer::report)
+    }
+
+    /// Inject an engine-level fault (or recovery) into the underlying
+    /// engine, publishing a [`WlmEvent::FaultInjected`] record. The fault
+    /// drivers in `wlm-chaos` call this between control cycles.
+    pub fn apply_engine_fault(&mut self, fault: EngineFault) -> Result<(), EngineError> {
+        let kind = fault.kind();
+        let detail = format!("{fault:?}");
+        self.engine.apply_fault(fault)?;
+        if self.events.borrow().is_active() {
+            self.emit(WlmEvent::FaultInjected {
+                at: self.engine.now(),
+                kind,
+                detail,
+            });
+        }
+        Ok(())
+    }
+
+    /// The optimizer's current estimation-error level (sigma of its
+    /// log-normal multiplicative error).
+    pub fn cost_model_error(&self) -> f64 {
+        self.cost_model.error_sigma
+    }
+
+    /// Set the optimizer's estimation-error level — the chaos driver's
+    /// optimizer-misestimation fault.
+    pub fn set_cost_model_error(&mut self, sigma: f64) {
+        self.cost_model.error_sigma = sigma.max(0.0);
+    }
+
+    /// Completions of `workload` that violated its tightest response-time
+    /// objective so far.
+    pub fn goal_violations_in(&self, workload: &str) -> u64 {
+        self.goal_violations.get(workload).copied().unwrap_or(0)
     }
 
     /// Add or replace a workload policy at run time.

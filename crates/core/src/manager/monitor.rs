@@ -136,6 +136,15 @@ impl WorkloadManager {
         if self.suspended.is_empty() || self.engine.mpl() >= self.resume_when_running_below {
             return;
         }
+        // While the degradation ladder is at its top rung the system is
+        // actively suspending work; resuming would fight it.
+        if self
+            .resilience
+            .as_ref()
+            .is_some_and(|layer| layer.ladder_level() >= 3)
+        {
+            return;
+        }
         let (sq, req, restarts, carried_overhead_us) = self.suspended.remove(0);
         let id = self.engine.resume_suspended(sq);
         if trace {

@@ -1,0 +1,316 @@
+//! Resilience hooks woven through the pipeline stages.
+//!
+//! The resilience layer is not a sixth stage: it acts *inside* the
+//! existing ones, so its decisions ride the same snapshot discipline —
+//!
+//! * **admit** — [`WorkloadManager::release_due_retries`] re-queues
+//!   matured retries (mirroring the admitted-queue snapshot delta), and
+//!   the admission gate sheds best-effort arrivals while the degradation
+//!   ladder is raised;
+//! * **schedule** — [`WorkloadManager::gate_dispatches`] holds releases
+//!   whose workload breaker is open;
+//! * **exec-control** — [`WorkloadManager::resilience_control`] enforces
+//!   per-workload timeouts, publishes breaker transitions, and walks the
+//!   degradation ladder (throttling and suspending medium-and-below work
+//!   under sustained pressure, restoring it in reverse as calm returns);
+//! * **kill sites** — [`WorkloadManager::try_retry`] intercepts
+//!   non-resubmitted kills and converts them into backoff-delayed retries
+//!   while the request's attempt budget lasts.
+
+use super::context::CycleContext;
+use super::{RunningMeta, WorkloadManager};
+use crate::api::{ControlAction, ManagedRequest};
+use crate::events::WlmEvent;
+use std::rc::Rc;
+use wlm_dbsim::engine::QueryId;
+use wlm_dbsim::suspend::SuspendStrategy;
+use wlm_dbsim::time::SimTime;
+use wlm_workload::request::Importance;
+
+/// Queries the ladder may suspend in a single control cycle (paced so one
+/// pressured cycle does not dump the whole running set to disk at once).
+const LADDER_SUSPENDS_PER_CYCLE: usize = 2;
+
+impl WorkloadManager {
+    /// Intercept a kill: if the request's workload has retry budget left,
+    /// park it for a jittered exponential backoff and return `None`;
+    /// otherwise give the meta back (`Some`) for normal kill accounting.
+    pub(super) fn try_retry(
+        &mut self,
+        mut meta: RunningMeta,
+        at: SimTime,
+        trace: bool,
+    ) -> Option<RunningMeta> {
+        let (policy, seed) = {
+            let Some(layer) = self.resilience.as_ref() else {
+                return Some(meta);
+            };
+            let Some(policy) = layer.retry_policy(&meta.req.workload) else {
+                return Some(meta);
+            };
+            (*policy, layer.seed())
+        };
+        let attempt = meta.restarts + 1;
+        if attempt > policy.max_attempts {
+            if let Some(layer) = self.resilience.as_mut() {
+                layer.note_exhausted();
+            }
+            if trace {
+                self.emit(WlmEvent::RetryExhausted {
+                    at,
+                    request: meta.req.request.id,
+                    workload: meta.req.workload.clone(),
+                    attempts: meta.restarts,
+                });
+            }
+            return Some(meta);
+        }
+        let delay = policy.backoff(attempt, seed, meta.req.request.id);
+        meta.restarts = attempt;
+        if !meta.chain.is_empty() {
+            self.pending_chains
+                .insert(meta.req.request.id, meta.chain.drain(..).collect());
+        }
+        self.stats.entry(&meta.req.workload).resubmitted += 1;
+        if trace {
+            self.emit(WlmEvent::RetryScheduled {
+                at,
+                request: meta.req.request.id,
+                workload: meta.req.workload.clone(),
+                attempt,
+                delay_us: delay.as_micros(),
+            });
+        }
+        self.resilience
+            .as_mut()
+            .expect("checked above")
+            .push_retry(at + delay, meta.req, attempt);
+        None
+    }
+
+    /// Move matured retries back into the wait queue, applying the same
+    /// snapshot delta an admission would.
+    pub(super) fn release_due_retries(&mut self, cx: &mut CycleContext) {
+        let due = match self.resilience.as_mut() {
+            Some(layer) => layer.take_due(cx.snap.now),
+            None => return,
+        };
+        for (req, attempt) in due {
+            self.restart_counts.insert(req.request.id, attempt);
+            if cx.trace {
+                self.emit(WlmEvent::Resubmitted {
+                    at: cx.snap.now,
+                    request: req.request.id,
+                    workload: req.workload.clone(),
+                });
+            }
+            *cx.snap
+                .queued_by_workload
+                .entry(req.workload.clone())
+                .or_insert(0) += 1;
+            self.wait_queue.push(req);
+            cx.snap.queued = self.wait_queue.len() + self.deferred.len();
+        }
+    }
+
+    /// Whether the ladder currently sheds an arrival of this importance.
+    pub(super) fn ladder_sheds(&self, importance: Importance) -> bool {
+        importance == Importance::Low
+            && self
+                .resilience
+                .as_ref()
+                .is_some_and(|layer| layer.ladder_level() >= 1)
+    }
+
+    /// Hold scheduler releases whose workload breaker is open; held
+    /// requests return to the front of the wait queue in release order.
+    pub(super) fn gate_dispatches(&mut self, released: Vec<ManagedRequest>) -> Vec<ManagedRequest> {
+        let bank = match self.resilience.as_ref() {
+            Some(layer) if layer.breaker_enabled() => Rc::clone(&layer.breakers),
+            _ => return released,
+        };
+        let mut pass = Vec::with_capacity(released.len());
+        let mut held = Vec::new();
+        {
+            let mut bank = bank.borrow_mut();
+            for req in released {
+                if bank.allow(&req.workload) {
+                    pass.push(req);
+                } else {
+                    held.push(req);
+                }
+            }
+        }
+        if !held.is_empty() {
+            held.extend(self.wait_queue.drain(..));
+            self.wait_queue = held;
+        }
+        pass
+    }
+
+    /// The resilience layer's own execution control: timeout kills,
+    /// breaker cooldowns and transition publication, and the degradation
+    /// ladder. Runs at the top of the exec-control stage whether or not
+    /// any controllers are installed.
+    pub(super) fn resilience_control(&mut self, cx: &mut CycleContext) {
+        if self.resilience.is_none() {
+            return;
+        }
+        let at = cx.snap.now;
+        self.enforce_timeouts(at, cx.trace);
+        self.publish_breaker_transitions(at, cx.trace);
+        self.walk_ladder(cx);
+    }
+
+    /// Kill (and, budget permitting, retry) queries over their workload's
+    /// residence timeout.
+    fn enforce_timeouts(&mut self, at: SimTime, trace: bool) {
+        let victims: Vec<QueryId> = {
+            let layer = self.resilience.as_ref().expect("resilience enabled");
+            self.running
+                .iter()
+                .filter_map(|(id, meta)| {
+                    let timeout = layer.timeout_for(&meta.req.workload)?;
+                    let progress = self.engine.progress(*id).ok()?;
+                    (progress.elapsed.as_secs_f64() > timeout).then_some(*id)
+                })
+                .collect()
+        };
+        for id in victims {
+            self.apply_action(
+                ControlAction::Kill {
+                    id,
+                    resubmit: false,
+                },
+                "resilience-timeout",
+                at,
+                trace,
+            );
+        }
+    }
+
+    /// Advance breaker cooldowns and publish the transitions the bank
+    /// queued (including those recorded during event delivery — a
+    /// subscriber cannot emit back into the bus, so the feed queues them
+    /// and this drains them).
+    fn publish_breaker_transitions(&mut self, at: SimTime, trace: bool) {
+        let transitions = {
+            let layer = self.resilience.as_ref().expect("resilience enabled");
+            let mut bank = layer.breakers.borrow_mut();
+            bank.poll(at);
+            bank.take_transitions()
+        };
+        if trace {
+            for (workload, from, to) in transitions {
+                self.emit(WlmEvent::BreakerTransition {
+                    at,
+                    workload,
+                    from,
+                    to,
+                });
+            }
+        }
+    }
+
+    /// Feed the ladder one cycle of pressure and apply its current rung to
+    /// the running set.
+    fn walk_ladder(&mut self, cx: &mut CycleContext) {
+        let at = cx.snap.now;
+        let Some(lcfg) = self
+            .resilience
+            .as_ref()
+            .expect("resilience enabled")
+            .ladder_config()
+        else {
+            return;
+        };
+        let pressured = {
+            let layer = self.resilience.as_ref().expect("resilience enabled");
+            let bank = layer.breakers.borrow();
+            bank.any_open()
+                || bank.recent_failure_rate() >= lcfg.failure_rate_trigger
+                || cx.snap.queued >= lcfg.queue_depth_trigger
+        };
+        let step = self
+            .resilience
+            .as_mut()
+            .expect("resilience enabled")
+            .ladder_observe(pressured);
+        if let Some((from_level, to_level)) = step {
+            if cx.trace {
+                self.emit(WlmEvent::LadderStep {
+                    at,
+                    from_level,
+                    to_level,
+                });
+            }
+        }
+        let level = self
+            .resilience
+            .as_ref()
+            .expect("resilience enabled")
+            .ladder_level();
+        if level >= 2 {
+            let fraction = lcfg.throttle_fraction.clamp(0.0, 1.0);
+            let targets: Vec<QueryId> = self
+                .running
+                .iter()
+                .filter(|(_, meta)| {
+                    meta.req.importance <= Importance::Medium
+                        && (meta.throttle - fraction).abs() > 1e-12
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            for id in targets {
+                self.apply_action(
+                    ControlAction::Throttle(id, fraction),
+                    "degradation-ladder",
+                    at,
+                    cx.trace,
+                );
+                self.resilience
+                    .as_mut()
+                    .expect("resilience enabled")
+                    .throttled
+                    .insert(id);
+            }
+        } else {
+            let throttled: Vec<QueryId> = {
+                let layer = self.resilience.as_mut().expect("resilience enabled");
+                std::mem::take(&mut layer.throttled).into_iter().collect()
+            };
+            for id in throttled {
+                if self.running.contains_key(&id) {
+                    self.apply_action(
+                        ControlAction::Throttle(id, 0.0),
+                        "degradation-ladder",
+                        at,
+                        cx.trace,
+                    );
+                }
+            }
+        }
+        if level >= 3 {
+            let targets: Vec<QueryId> = self
+                .running
+                .iter()
+                .filter(|(_, meta)| meta.req.importance <= Importance::Medium)
+                .map(|(id, _)| *id)
+                .take(LADDER_SUSPENDS_PER_CYCLE)
+                .collect();
+            for id in targets {
+                self.apply_action(
+                    ControlAction::Suspend(id, SuspendStrategy::GoBack),
+                    "degradation-ladder",
+                    at,
+                    cx.trace,
+                );
+                self.resilience
+                    .as_mut()
+                    .expect("resilience enabled")
+                    .throttled
+                    .remove(&id);
+            }
+        }
+    }
+}

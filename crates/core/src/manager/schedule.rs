@@ -54,6 +54,8 @@ impl WorkloadManager {
     pub(super) fn stage_schedule(&mut self, cx: &mut CycleContext) {
         self.refresh_queue_view(&mut cx.snap);
         let released = self.scheduler.select(&mut self.wait_queue, &cx.snap);
+        // Open circuit breakers hold their workload's releases.
+        let released = self.gate_dispatches(released);
         let at = cx.snap.now;
         for req in released {
             self.dispatch(req, at, cx.trace);

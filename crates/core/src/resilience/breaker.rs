@@ -1,0 +1,375 @@
+//! Per-workload circuit breakers: closed → open → half-open.
+//!
+//! The breaker watches a sliding window of query outcomes (fed from the
+//! event bus by the resilience layer). When the failure fraction crosses a
+//! threshold the breaker *opens* and the schedule stage stops dispatching
+//! that workload — queued requests wait rather than hammer a failing
+//! backend. After a cooldown the breaker goes *half-open* and lets a small
+//! probe quota through; probe successes close it, a probe failure re-opens
+//! it.
+
+use std::collections::{BTreeMap, VecDeque};
+use wlm_dbsim::time::SimTime;
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal service: all dispatches pass.
+    Closed,
+    /// Tripped: dispatches are held until the cooldown elapses.
+    Open,
+    /// Probing: a bounded number of dispatches pass to test recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The state's name, as used in `BreakerTransition` events.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Outcomes kept in the sliding window.
+    pub window: usize,
+    /// Open when the window's failure fraction reaches this.
+    pub failure_threshold: f64,
+    /// Don't trip before this many outcomes are in the window.
+    pub min_outcomes: usize,
+    /// Seconds the breaker stays open before probing.
+    pub cooldown_secs: f64,
+    /// Dispatches allowed through while half-open.
+    pub probe_quota: u32,
+    /// Probe successes needed to close.
+    pub probe_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 16,
+            failure_threshold: 0.6,
+            min_outcomes: 6,
+            cooldown_secs: 3.0,
+            probe_quota: 2,
+            probe_successes: 2,
+        }
+    }
+}
+
+/// One workload's breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    window: VecDeque<bool>,
+    opened_at: SimTime,
+    probes_in_flight: u32,
+    probe_successes: u32,
+}
+
+impl CircuitBreaker {
+    fn new() -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            window: VecDeque::new(),
+            opened_at: SimTime::ZERO,
+            probes_in_flight: 0,
+            probe_successes: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    fn failure_fraction(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        let failures = self.window.iter().filter(|ok| !**ok).count();
+        failures as f64 / self.window.len() as f64
+    }
+
+    /// Record one outcome; returns the transition if the state changed.
+    fn record(
+        &mut self,
+        success: bool,
+        at: SimTime,
+        cfg: &BreakerConfig,
+    ) -> Option<(BreakerState, BreakerState)> {
+        match self.state {
+            BreakerState::Closed => {
+                self.window.push_back(success);
+                while self.window.len() > cfg.window.max(1) {
+                    self.window.pop_front();
+                }
+                if self.window.len() >= cfg.min_outcomes.max(1)
+                    && self.failure_fraction() >= cfg.failure_threshold
+                {
+                    self.trip(at);
+                    return Some((BreakerState::Closed, BreakerState::Open));
+                }
+                None
+            }
+            BreakerState::Open => None, // stragglers finishing; ignore
+            BreakerState::HalfOpen => {
+                self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+                if success {
+                    self.probe_successes += 1;
+                    if self.probe_successes >= cfg.probe_successes.max(1) {
+                        self.state = BreakerState::Closed;
+                        self.window.clear();
+                        return Some((BreakerState::HalfOpen, BreakerState::Closed));
+                    }
+                    None
+                } else {
+                    self.trip(at);
+                    Some((BreakerState::HalfOpen, BreakerState::Open))
+                }
+            }
+        }
+    }
+
+    fn trip(&mut self, at: SimTime) {
+        self.state = BreakerState::Open;
+        self.opened_at = at;
+        self.window.clear();
+        self.probes_in_flight = 0;
+        self.probe_successes = 0;
+    }
+
+    /// Cooldown check; returns the transition if the breaker went
+    /// half-open.
+    fn poll(&mut self, now: SimTime, cfg: &BreakerConfig) -> Option<(BreakerState, BreakerState)> {
+        if self.state == BreakerState::Open
+            && now.since(self.opened_at).as_secs_f64() >= cfg.cooldown_secs
+        {
+            self.state = BreakerState::HalfOpen;
+            self.probes_in_flight = 0;
+            self.probe_successes = 0;
+            return Some((BreakerState::Open, BreakerState::HalfOpen));
+        }
+        None
+    }
+
+    /// Whether a dispatch may pass right now (half-open consumes probes).
+    fn allow(&mut self, cfg: &BreakerConfig) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if self.probes_in_flight < cfg.probe_quota.max(1) {
+                    self.probes_in_flight += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// All workloads' breakers plus the transition queue the exec-control
+/// stage drains for event publication. With no configuration (`None`) the
+/// bank is inert: everything passes, nothing is recorded.
+pub struct BreakerBank {
+    cfg: Option<BreakerConfig>,
+    map: BTreeMap<String, CircuitBreaker>,
+    pending_transitions: Vec<(String, &'static str, &'static str)>,
+    transitions: u64,
+}
+
+impl BreakerBank {
+    /// A bank; `None` disables breaking entirely.
+    pub fn new(cfg: Option<BreakerConfig>) -> Self {
+        BreakerBank {
+            cfg,
+            map: BTreeMap::new(),
+            pending_transitions: Vec::new(),
+            transitions: 0,
+        }
+    }
+
+    /// Whether breaking is enabled.
+    pub fn enabled(&self) -> bool {
+        self.cfg.is_some()
+    }
+
+    /// Record one query outcome for `workload`.
+    pub fn record(&mut self, workload: &str, success: bool, at: SimTime) {
+        let Some(cfg) = self.cfg else { return };
+        let breaker = self
+            .map
+            .entry(workload.to_string())
+            .or_insert_with(CircuitBreaker::new);
+        if let Some((from, to)) = breaker.record(success, at, &cfg) {
+            self.transitions += 1;
+            self.pending_transitions
+                .push((workload.to_string(), from.name(), to.name()));
+        }
+    }
+
+    /// Advance cooldowns (open → half-open where due).
+    pub fn poll(&mut self, now: SimTime) {
+        let Some(cfg) = self.cfg else { return };
+        for (workload, breaker) in &mut self.map {
+            if let Some((from, to)) = breaker.poll(now, &cfg) {
+                self.transitions += 1;
+                self.pending_transitions
+                    .push((workload.clone(), from.name(), to.name()));
+            }
+        }
+    }
+
+    /// Whether a dispatch of `workload` may pass (consumes a probe when
+    /// half-open).
+    pub fn allow(&mut self, workload: &str) -> bool {
+        let Some(cfg) = self.cfg else { return true };
+        match self.map.get_mut(workload) {
+            Some(breaker) => breaker.allow(&cfg),
+            None => true,
+        }
+    }
+
+    /// Current state of `workload`'s breaker (closed if never tripped).
+    pub fn state(&self, workload: &str) -> BreakerState {
+        self.map
+            .get(workload)
+            .map_or(BreakerState::Closed, |b| b.state())
+    }
+
+    /// Whether any breaker is currently open or half-open (pressure signal
+    /// for the degradation ladder).
+    pub fn any_open(&self) -> bool {
+        self.map.values().any(|b| b.state() != BreakerState::Closed)
+    }
+
+    /// Aggregate failure fraction over every closed breaker's window.
+    pub fn recent_failure_rate(&self) -> f64 {
+        let mut failures = 0usize;
+        let mut total = 0usize;
+        for b in self.map.values() {
+            total += b.window.len();
+            failures += b.window.iter().filter(|ok| !**ok).count();
+        }
+        if total == 0 {
+            0.0
+        } else {
+            failures as f64 / total as f64
+        }
+    }
+
+    /// Drain the transitions recorded since the last drain.
+    pub fn take_transitions(&mut self) -> Vec<(String, &'static str, &'static str)> {
+        std::mem::take(&mut self.pending_transitions)
+    }
+
+    /// Total transitions over the run.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Each tracked workload's current state name.
+    pub fn states(&self) -> BTreeMap<String, &'static str> {
+        self.map
+            .iter()
+            .map(|(w, b)| (w.clone(), b.state().name()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlm_dbsim::time::SimDuration;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            failure_threshold: 0.5,
+            min_outcomes: 4,
+            cooldown_secs: 2.0,
+            probe_quota: 2,
+            probe_successes: 2,
+        }
+    }
+
+    #[test]
+    fn opens_on_failure_rate_and_recovers_via_probes() {
+        let mut bank = BreakerBank::new(Some(cfg()));
+        let t0 = SimTime::ZERO;
+        // Not enough samples yet.
+        bank.record("oltp", false, t0);
+        bank.record("oltp", false, t0);
+        assert_eq!(bank.state("oltp"), BreakerState::Closed);
+        assert!(bank.allow("oltp"));
+        // Cross min_outcomes with >= 50% failures -> open.
+        bank.record("oltp", true, t0);
+        bank.record("oltp", false, t0);
+        assert_eq!(bank.state("oltp"), BreakerState::Open);
+        assert!(!bank.allow("oltp"), "open breaker holds dispatches");
+        assert!(bank.any_open());
+        // Cooldown elapses -> half-open with a probe quota.
+        let later = t0 + SimDuration::from_secs_f64(2.5);
+        bank.poll(later);
+        assert_eq!(bank.state("oltp"), BreakerState::HalfOpen);
+        assert!(bank.allow("oltp"));
+        assert!(bank.allow("oltp"));
+        assert!(!bank.allow("oltp"), "probe quota exhausted");
+        // Two probe successes close it.
+        bank.record("oltp", true, later);
+        bank.record("oltp", true, later);
+        assert_eq!(bank.state("oltp"), BreakerState::Closed);
+        let transitions = bank.take_transitions();
+        assert_eq!(
+            transitions
+                .iter()
+                .map(|(_, from, to)| (*from, *to))
+                .collect::<Vec<_>>(),
+            vec![
+                ("closed", "open"),
+                ("open", "half_open"),
+                ("half_open", "closed"),
+            ]
+        );
+        assert_eq!(bank.transitions(), 3);
+    }
+
+    #[test]
+    fn probe_failure_reopens() {
+        let mut bank = BreakerBank::new(Some(cfg()));
+        let t0 = SimTime::ZERO;
+        for _ in 0..4 {
+            bank.record("bi", false, t0);
+        }
+        assert_eq!(bank.state("bi"), BreakerState::Open);
+        bank.poll(t0 + SimDuration::from_secs_f64(3.0));
+        assert_eq!(bank.state("bi"), BreakerState::HalfOpen);
+        assert!(bank.allow("bi"));
+        bank.record("bi", false, t0 + SimDuration::from_secs_f64(3.0));
+        assert_eq!(
+            bank.state("bi"),
+            BreakerState::Open,
+            "probe failure re-trips"
+        );
+    }
+
+    #[test]
+    fn disabled_bank_is_inert() {
+        let mut bank = BreakerBank::new(None);
+        for _ in 0..100 {
+            bank.record("oltp", false, SimTime::ZERO);
+        }
+        assert!(bank.allow("oltp"));
+        assert_eq!(bank.state("oltp"), BreakerState::Closed);
+        assert!(!bank.enabled());
+        assert_eq!(bank.transitions(), 0);
+    }
+}

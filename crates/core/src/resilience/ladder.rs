@@ -1,0 +1,156 @@
+//! The degradation ladder: staged load shedding under sustained pressure.
+//!
+//! Rather than a binary "overloaded" flag, the manager walks a ladder of
+//! increasingly aggressive mitigations, one rung per sustained-pressure
+//! window, and walks back down (in reverse order) once the system has been
+//! calm long enough:
+//!
+//! | level | added mitigation |
+//! |-------|------------------|
+//! | 0     | none — normal service |
+//! | 1     | shed incoming best-effort (`Low` importance) arrivals |
+//! | 2     | also throttle running `Medium`-and-below queries |
+//! | 3     | also suspend `Medium`-and-below queries to disk |
+//!
+//! "Pressure" is judged by the exec-control stage from breaker state,
+//! recent failure rate, and queue depth; the ladder itself only debounces
+//! that boolean so a single bad cycle never sheds work.
+
+/// Degradation-ladder tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderConfig {
+    /// Recent failure fraction at which a cycle counts as pressured.
+    pub failure_rate_trigger: f64,
+    /// Queue depth at which a cycle counts as pressured.
+    pub queue_depth_trigger: usize,
+    /// Consecutive pressured cycles before stepping up one rung.
+    pub sustain_cycles: u32,
+    /// Consecutive calm cycles before stepping down one rung.
+    pub calm_cycles: u32,
+    /// Throttle applied to `Medium`-and-below queries at level >= 2.
+    pub throttle_fraction: f64,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            failure_rate_trigger: 0.5,
+            queue_depth_trigger: 64,
+            sustain_cycles: 25,
+            calm_cycles: 150,
+            throttle_fraction: 0.5,
+        }
+    }
+}
+
+/// The ladder's debounced position, stepped once per control cycle.
+#[derive(Debug, Clone)]
+pub struct DegradationLadder {
+    cfg: LadderConfig,
+    level: u8,
+    pressured_for: u32,
+    calm_for: u32,
+    steps: u64,
+}
+
+/// The highest rung (shed + throttle + suspend).
+pub const MAX_LEVEL: u8 = 3;
+
+impl DegradationLadder {
+    /// A ladder at level 0.
+    pub fn new(cfg: LadderConfig) -> Self {
+        DegradationLadder {
+            cfg,
+            level: 0,
+            pressured_for: 0,
+            calm_for: 0,
+            steps: 0,
+        }
+    }
+
+    /// The configuration this ladder was built with.
+    pub fn config(&self) -> &LadderConfig {
+        &self.cfg
+    }
+
+    /// Feed one control cycle's pressure verdict; returns `(from, to)`
+    /// when the ladder moves a rung.
+    pub fn observe(&mut self, pressured: bool) -> Option<(u8, u8)> {
+        if pressured {
+            self.calm_for = 0;
+            self.pressured_for += 1;
+            if self.pressured_for >= self.cfg.sustain_cycles.max(1) && self.level < MAX_LEVEL {
+                self.pressured_for = 0;
+                self.level += 1;
+                self.steps += 1;
+                return Some((self.level - 1, self.level));
+            }
+        } else {
+            self.pressured_for = 0;
+            self.calm_for += 1;
+            if self.calm_for >= self.cfg.calm_cycles.max(1) && self.level > 0 {
+                self.calm_for = 0;
+                self.level -= 1;
+                self.steps += 1;
+                return Some((self.level + 1, self.level));
+            }
+        }
+        None
+    }
+
+    /// Current rung, 0 (normal) through [`MAX_LEVEL`].
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Total rung moves (up or down) over the run.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> LadderConfig {
+        LadderConfig {
+            sustain_cycles: 3,
+            calm_cycles: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn steps_up_after_sustained_pressure_only() {
+        let mut ladder = DegradationLadder::new(quick());
+        // Blips shorter than sustain_cycles never move the ladder.
+        assert_eq!(ladder.observe(true), None);
+        assert_eq!(ladder.observe(true), None);
+        assert_eq!(ladder.observe(false), None);
+        assert_eq!(ladder.level(), 0);
+        // Three consecutive pressured cycles step up one rung.
+        assert_eq!(ladder.observe(true), None);
+        assert_eq!(ladder.observe(true), None);
+        assert_eq!(ladder.observe(true), Some((0, 1)));
+        assert_eq!(ladder.level(), 1);
+    }
+
+    #[test]
+    fn climbs_to_max_and_descends_in_reverse() {
+        let mut ladder = DegradationLadder::new(quick());
+        for _ in 0..40 {
+            ladder.observe(true);
+        }
+        assert_eq!(ladder.level(), MAX_LEVEL, "ladder saturates at the top");
+        let mut downs = Vec::new();
+        for _ in 0..40 {
+            if let Some(step) = ladder.observe(false) {
+                downs.push(step);
+            }
+        }
+        assert_eq!(downs, vec![(3, 2), (2, 1), (1, 0)]);
+        assert_eq!(ladder.level(), 0);
+        assert_eq!(ladder.steps(), 6, "three up plus three down");
+    }
+}

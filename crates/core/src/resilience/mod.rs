@@ -1,0 +1,401 @@
+//! The manager's resilience layer: what keeps SLOs alive while the
+//! infrastructure underneath is failing.
+//!
+//! Three cooperating mechanisms, each independently switchable (so the
+//! ablation experiment can compare stacks):
+//!
+//! * **Retry budgets** ([`retry::RetryPolicy`]) — killed or timed-out
+//!   queries are re-queued after an exponential backoff with deterministic
+//!   jitter, up to a per-workload attempt budget.
+//! * **Circuit breakers** ([`breaker::CircuitBreaker`]) — a per-workload
+//!   closed → open → half-open state machine driven by the failure and
+//!   timeout rates observed on the event bus; an open breaker holds the
+//!   workload's dispatches so a struggling backend is not hammered.
+//! * **Degradation ladder** ([`ladder::DegradationLadder`]) — under
+//!   sustained pressure the exec-control stage walks a ladder of
+//!   increasingly drastic measures: shed best-effort arrivals, throttle
+//!   medium-importance queries, suspend them outright — and walks back
+//!   down in reverse as calm returns.
+//!
+//! The layer lives inside the
+//! [`WorkloadManager`](crate::manager::WorkloadManager) (enable with
+//! [`WorkloadManager::set_resilience`](crate::manager::WorkloadManager::set_resilience))
+//! and publishes every decision as [`WlmEvent`](crate::events::WlmEvent)
+//! variants: `RetryScheduled`, `RetryExhausted`, `BreakerTransition`,
+//! `LadderStep`.
+
+pub mod breaker;
+pub mod ladder;
+pub mod retry;
+
+pub use breaker::{BreakerBank, BreakerConfig, BreakerState, CircuitBreaker};
+pub use ladder::{DegradationLadder, LadderConfig};
+pub use retry::RetryPolicy;
+
+use crate::api::ManagedRequest;
+use crate::events::{EventSubscriber, WlmEvent};
+use serde::Serialize;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+use wlm_dbsim::engine::QueryId;
+use wlm_dbsim::time::SimTime;
+
+/// Configuration for the resilience layer. Each mechanism is `Option`al;
+/// `None` disables it, so the same scenario can run with any subset of the
+/// stack (the E16 ablation).
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceConfig {
+    /// Seed for deterministic backoff jitter.
+    pub seed: u64,
+    /// Default retry policy for every workload (`None` = retries off).
+    pub retry: Option<RetryPolicy>,
+    /// Per-workload retry policies overriding the default.
+    pub retry_overrides: BTreeMap<String, RetryPolicy>,
+    /// Per-workload query timeout, seconds of engine residence. Queries
+    /// over their timeout are killed by the resilience layer (and then
+    /// retried, if a budget allows).
+    pub timeouts: BTreeMap<String, f64>,
+    /// Timeout for workloads absent from `timeouts` (`None` = no timeout).
+    pub default_timeout_secs: Option<f64>,
+    /// Circuit-breaker configuration (`None` = breakers off).
+    pub breaker: Option<BreakerConfig>,
+    /// Degradation-ladder configuration (`None` = ladder off).
+    pub ladder: Option<LadderConfig>,
+}
+
+impl ResilienceConfig {
+    /// An empty configuration (everything off) with the given jitter seed.
+    pub fn new(seed: u64) -> Self {
+        ResilienceConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Enable retries with the given default policy.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Override the retry policy for one workload.
+    pub fn with_retry_override(mut self, workload: impl Into<String>, policy: RetryPolicy) -> Self {
+        self.retry_overrides.insert(workload.into(), policy);
+        self
+    }
+
+    /// Set a query timeout for one workload.
+    pub fn with_timeout(mut self, workload: impl Into<String>, secs: f64) -> Self {
+        self.timeouts.insert(workload.into(), secs);
+        self
+    }
+
+    /// Enable per-workload circuit breakers.
+    pub fn with_breaker(mut self, cfg: BreakerConfig) -> Self {
+        self.breaker = Some(cfg);
+        self
+    }
+
+    /// Enable the degradation ladder.
+    pub fn with_ladder(mut self, cfg: LadderConfig) -> Self {
+        self.ladder = Some(cfg);
+        self
+    }
+}
+
+/// A retry waiting out its backoff before re-entering the wait queue.
+#[derive(Debug, Clone)]
+struct PendingRetry {
+    due: SimTime,
+    req: ManagedRequest,
+    attempt: u32,
+}
+
+/// Snapshot of the resilience layer's state for reports and experiments.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResilienceReport {
+    /// Retries scheduled over the run.
+    pub retries_scheduled: u64,
+    /// Requests dropped after exhausting their budget.
+    pub retries_exhausted: u64,
+    /// Retries still waiting out their backoff.
+    pub pending_retries: usize,
+    /// Current degradation-ladder level (0 = normal service).
+    pub ladder_level: u8,
+    /// Total ladder transitions (up and down).
+    pub ladder_steps: u64,
+    /// Current breaker state per workload that has seen traffic.
+    pub breaker_states: BTreeMap<String, &'static str>,
+    /// Total breaker state transitions.
+    pub breaker_transitions: u64,
+}
+
+/// The live resilience state owned by the manager. Constructed from a
+/// [`ResilienceConfig`]; driven by the manager's pipeline stages.
+pub struct ResilienceLayer {
+    seed: u64,
+    retry: Option<RetryPolicy>,
+    retry_overrides: BTreeMap<String, RetryPolicy>,
+    timeouts: BTreeMap<String, f64>,
+    default_timeout_secs: Option<f64>,
+    /// Shared with the bus-subscribed [`BreakerFeed`].
+    pub(crate) breakers: Rc<RefCell<BreakerBank>>,
+    ladder: Option<DegradationLadder>,
+    retry_queue: Vec<PendingRetry>,
+    /// Queries the ladder throttled (to restore on step-down).
+    pub(crate) throttled: BTreeSet<QueryId>,
+    retries_scheduled: u64,
+    retries_exhausted: u64,
+}
+
+impl ResilienceLayer {
+    /// Build the layer from a configuration.
+    pub fn new(cfg: ResilienceConfig) -> Self {
+        ResilienceLayer {
+            seed: cfg.seed,
+            retry: cfg.retry,
+            retry_overrides: cfg.retry_overrides,
+            timeouts: cfg.timeouts.clone(),
+            default_timeout_secs: cfg.default_timeout_secs,
+            breakers: Rc::new(RefCell::new(BreakerBank::new(cfg.breaker))),
+            ladder: cfg.ladder.map(DegradationLadder::new),
+            retry_queue: Vec::new(),
+            throttled: BTreeSet::new(),
+            retries_scheduled: 0,
+            retries_exhausted: 0,
+        }
+    }
+
+    /// The jitter seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The retry policy applying to `workload`, if retries are enabled.
+    pub fn retry_policy(&self, workload: &str) -> Option<&RetryPolicy> {
+        self.retry_overrides
+            .get(workload)
+            .or_else(|| self.retry.as_ref())
+    }
+
+    /// The query timeout for `workload`, if any.
+    pub fn timeout_for(&self, workload: &str) -> Option<f64> {
+        self.timeouts
+            .get(workload)
+            .copied()
+            .or(self.default_timeout_secs)
+    }
+
+    /// Whether circuit breakers are enabled.
+    pub fn breaker_enabled(&self) -> bool {
+        self.breakers.borrow().enabled()
+    }
+
+    /// The bus subscriber that feeds query outcomes into this layer's
+    /// breaker bank (subscribed by the manager when breakers are enabled).
+    pub(crate) fn breaker_feed(&self) -> BreakerFeed {
+        BreakerFeed::new(
+            Rc::clone(&self.breakers),
+            self.timeouts.clone(),
+            self.default_timeout_secs,
+        )
+    }
+
+    /// The ladder configuration, if the ladder is enabled.
+    pub(crate) fn ladder_config(&self) -> Option<LadderConfig> {
+        self.ladder.as_ref().map(|l| *l.config())
+    }
+
+    /// Observe one cycle of pressure for the ladder, returning the
+    /// transition `(from, to)` if the level changed.
+    pub(crate) fn ladder_observe(&mut self, pressured: bool) -> Option<(u8, u8)> {
+        self.ladder.as_mut().and_then(|l| l.observe(pressured))
+    }
+
+    /// Current ladder level (0 when the ladder is disabled).
+    pub fn ladder_level(&self) -> u8 {
+        self.ladder.as_ref().map_or(0, |l| l.level())
+    }
+
+    /// Park a request until `due`, when it re-enters the wait queue as
+    /// attempt number `attempt`.
+    pub(crate) fn push_retry(&mut self, due: SimTime, req: ManagedRequest, attempt: u32) {
+        self.retries_scheduled += 1;
+        self.retry_queue.push(PendingRetry { due, req, attempt });
+    }
+
+    /// Count one budget exhaustion.
+    pub(crate) fn note_exhausted(&mut self) {
+        self.retries_exhausted += 1;
+    }
+
+    /// Remove and return the retries due at or before `now`, in the order
+    /// they were scheduled.
+    pub(crate) fn take_due(&mut self, now: SimTime) -> Vec<(ManagedRequest, u32)> {
+        let mut due = Vec::new();
+        let mut rest = Vec::with_capacity(self.retry_queue.len());
+        for pr in self.retry_queue.drain(..) {
+            if pr.due <= now {
+                due.push((pr.req, pr.attempt));
+            } else {
+                rest.push(pr);
+            }
+        }
+        self.retry_queue = rest;
+        due
+    }
+
+    /// Snapshot for reports.
+    pub fn report(&self) -> ResilienceReport {
+        let bank = self.breakers.borrow();
+        ResilienceReport {
+            retries_scheduled: self.retries_scheduled,
+            retries_exhausted: self.retries_exhausted,
+            pending_retries: self.retry_queue.len(),
+            ladder_level: self.ladder_level(),
+            ladder_steps: self.ladder.as_ref().map_or(0, |l| l.steps()),
+            breaker_states: bank.states(),
+            breaker_transitions: bank.transitions(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ResilienceLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilienceLayer")
+            .field("retries_scheduled", &self.retries_scheduled)
+            .field("retries_exhausted", &self.retries_exhausted)
+            .field("pending_retries", &self.retry_queue.len())
+            .field("ladder_level", &self.ladder_level())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The bus subscriber feeding query outcomes into the breaker bank: every
+/// `Killed` counts as a failure; a `Completed` counts as a failure when the
+/// response exceeded the workload's timeout (a timeout the layer did not
+/// get to enforce) and as a success otherwise.
+///
+/// Transitions triggered inside the bank during delivery are queued there
+/// and drained (and published) by the exec-control stage — a subscriber
+/// must not emit back into the bus it is subscribed to.
+pub(crate) struct BreakerFeed {
+    bank: Rc<RefCell<BreakerBank>>,
+    timeouts: BTreeMap<String, f64>,
+    default_timeout_secs: Option<f64>,
+}
+
+impl BreakerFeed {
+    pub(crate) fn new(
+        bank: Rc<RefCell<BreakerBank>>,
+        timeouts: BTreeMap<String, f64>,
+        default_timeout_secs: Option<f64>,
+    ) -> Self {
+        BreakerFeed {
+            bank,
+            timeouts,
+            default_timeout_secs,
+        }
+    }
+
+    fn timeout_for(&self, workload: &str) -> Option<f64> {
+        self.timeouts
+            .get(workload)
+            .copied()
+            .or(self.default_timeout_secs)
+    }
+}
+
+impl EventSubscriber for BreakerFeed {
+    fn on_event(&mut self, event: &WlmEvent) {
+        match event {
+            WlmEvent::Killed { at, workload, .. } => {
+                self.bank.borrow_mut().record(workload, false, *at);
+            }
+            WlmEvent::Completed {
+                at,
+                workload,
+                response_secs,
+                ..
+            } => {
+                let success = self
+                    .timeout_for(workload)
+                    .is_none_or(|t| *response_secs <= t);
+                self.bank.borrow_mut().record(workload, success, *at);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlm_workload::request::Importance;
+
+    #[test]
+    fn config_builder_composes() {
+        let cfg = ResilienceConfig::new(7)
+            .with_retry(RetryPolicy::default())
+            .with_retry_override("oltp", RetryPolicy::aggressive())
+            .with_timeout("oltp", 3.0)
+            .with_breaker(BreakerConfig::default())
+            .with_ladder(LadderConfig::default());
+        let layer = ResilienceLayer::new(cfg);
+        assert_eq!(layer.seed(), 7);
+        assert!(layer.breaker_enabled());
+        assert_eq!(layer.timeout_for("oltp"), Some(3.0));
+        assert_eq!(layer.timeout_for("bi"), None);
+        assert!(
+            layer.retry_policy("oltp").unwrap().max_attempts >= RetryPolicy::default().max_attempts,
+            "override applies"
+        );
+        assert_eq!(layer.ladder_level(), 0);
+    }
+
+    #[test]
+    fn retry_queue_releases_in_schedule_order() {
+        let mut layer = ResilienceLayer::new(ResilienceConfig::new(1));
+        let req = crate::testutil::managed("w", 1, Importance::Medium);
+        layer.push_retry(SimTime(100), req.clone(), 1);
+        layer.push_retry(SimTime(50), req.clone(), 1);
+        layer.push_retry(SimTime(500), req, 2);
+        assert_eq!(layer.take_due(SimTime(0)).len(), 0);
+        let due = layer.take_due(SimTime(100));
+        assert_eq!(due.len(), 2, "both matured retries release");
+        assert_eq!(layer.report().pending_retries, 1);
+        assert_eq!(layer.report().retries_scheduled, 3);
+    }
+
+    #[test]
+    fn feed_classifies_timeouts_as_failures() {
+        let bank = Rc::new(RefCell::new(BreakerBank::new(Some(BreakerConfig {
+            min_outcomes: 1,
+            window: 4,
+            failure_threshold: 0.9,
+            ..Default::default()
+        }))));
+        let mut timeouts = BTreeMap::new();
+        timeouts.insert("oltp".to_string(), 1.0);
+        let mut feed = BreakerFeed::new(Rc::clone(&bank), timeouts, None);
+        // A completion over the timeout is a failure -> breaker opens.
+        feed.on_event(&WlmEvent::Completed {
+            at: SimTime(1),
+            query: QueryId(1),
+            request: wlm_workload::request::RequestId(1),
+            workload: "oltp".to_string(),
+            response_secs: 5.0,
+        });
+        assert_eq!(bank.borrow().state("oltp"), BreakerState::Open);
+        // Without a timeout configured, any completion is a success.
+        feed.on_event(&WlmEvent::Completed {
+            at: SimTime(2),
+            query: QueryId(2),
+            request: wlm_workload::request::RequestId(2),
+            workload: "bi".to_string(),
+            response_secs: 500.0,
+        });
+        assert_eq!(bank.borrow().state("bi"), BreakerState::Closed);
+    }
+}

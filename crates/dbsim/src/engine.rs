@@ -23,10 +23,12 @@ use crate::bufferpool::BufferPool;
 use crate::error::EngineError;
 use crate::locks::{LockOutcome, LockTable};
 use crate::metrics::EngineMetrics;
-use crate::plan::{OperatorKind, QuerySpec};
+use crate::plan::{OperatorKind, PlanBuilder, QuerySpec};
 use crate::resources::{fair_share, Claim};
 use crate::suspend::{dump_cost_us, SuspendStrategy, SuspendedQuery, STATE_PAGE_US};
 use crate::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -261,6 +263,116 @@ pub enum EngineEvent {
         /// The new id of the reinstated query.
         id: QueryId,
     },
+    /// A fault (or its recovery) was applied via [`DbEngine::apply_fault`].
+    FaultApplied {
+        /// Time of the injection.
+        at: SimTime,
+        /// The fault as applied.
+        fault: EngineFault,
+    },
+}
+
+/// An injectable infrastructure fault. Each variant both degrades and
+/// recovers: re-applying with the neutral value (`factor: 1.0`, `cores: 0`,
+/// `mb: 0`) restores the healthy configuration, so a fault plan is a series
+/// of paired apply/recover events.
+///
+/// Applied through [`DbEngine::apply_fault`]; the current degradation is
+/// readable via [`DbEngine::fault_state`]. The configured capacities in
+/// [`EngineConfig`] are never mutated — faults scale the *effective*
+/// capacities each quantum.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[serde(tag = "fault", rename_all = "snake_case")]
+pub enum EngineFault {
+    /// Scale disk throughput by `factor` (`0.1` = collapse to 10%;
+    /// `1.0` = recover). Models an IO-latency spike / failing disk.
+    DiskDegrade {
+        /// Multiplier on `disk_pages_per_sec`, in `(0, 1]`.
+        factor: f64,
+    },
+    /// Take `cores` CPU cores offline (`0` = restore all). At least one
+    /// core always remains; taking every core offline is rejected.
+    CoresOffline {
+        /// Number of cores removed from service.
+        cores: u32,
+    },
+    /// Scale the effective buffer-pool page count by `factor`
+    /// (`1.0` = recover). Models a pool shrink / cache poisoning.
+    BufferPoolDegrade {
+        /// Multiplier on `buffer_pool.pages`, in `(0, 1]`.
+        factor: f64,
+    },
+    /// Reserve `mb` MiB of working memory away from queries (`0` =
+    /// release). Models an external memory hog; overcommit and paging are
+    /// computed against the remaining memory.
+    MemoryReserve {
+        /// MiB withheld from the query memory budget.
+        mb: u64,
+    },
+    /// Submit a burst of lock-hungry internal transactions (label
+    /// `"chaos_storm"`) that write random keys in `0..key_space` and hold
+    /// them for `hold_secs` of CPU work. Recovery is implicit: the storm
+    /// drains as the transactions commit.
+    LockStorm {
+        /// Number of storm transactions submitted.
+        txns: u32,
+        /// Write keys per transaction (sampled, then deduplicated).
+        keys_per_txn: u32,
+        /// Keys are drawn uniformly from `0..key_space`.
+        key_space: u64,
+        /// CPU seconds each transaction works (and thus holds its locks).
+        hold_secs: f64,
+        /// Seed for the key sampling, so storms are reproducible.
+        seed: u64,
+    },
+}
+
+impl EngineFault {
+    /// Short machine-readable tag for the fault family.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineFault::DiskDegrade { .. } => "disk_degrade",
+            EngineFault::CoresOffline { .. } => "cores_offline",
+            EngineFault::BufferPoolDegrade { .. } => "buffer_pool_degrade",
+            EngineFault::MemoryReserve { .. } => "memory_reserve",
+            EngineFault::LockStorm { .. } => "lock_storm",
+        }
+    }
+}
+
+/// The engine's current degradation, as left by [`DbEngine::apply_fault`].
+/// [`FaultState::default`] is the healthy state.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultState {
+    /// Multiplier on disk throughput (1.0 = healthy).
+    pub disk_factor: f64,
+    /// Cores currently offline (0 = healthy).
+    pub cores_offline: u32,
+    /// Multiplier on buffer-pool pages (1.0 = healthy).
+    pub buffer_pool_factor: f64,
+    /// Working memory reserved away from queries, MiB (0 = healthy).
+    pub reserved_memory_mb: u64,
+}
+
+impl Default for FaultState {
+    fn default() -> Self {
+        FaultState {
+            disk_factor: 1.0,
+            cores_offline: 0,
+            buffer_pool_factor: 1.0,
+            reserved_memory_mb: 0,
+        }
+    }
+}
+
+impl FaultState {
+    /// Whether every injected degradation has been recovered.
+    pub fn is_healthy(&self) -> bool {
+        self.disk_factor == 1.0
+            && self.cores_offline == 0
+            && self.buffer_pool_factor == 1.0
+            && self.reserved_memory_mb == 0
+    }
 }
 
 /// The simulated DBMS engine. See the module docs for the model.
@@ -275,6 +387,7 @@ pub struct DbEngine {
     completions: Vec<Completion>,
     events_enabled: bool,
     events: Vec<EngineEvent>,
+    faults: FaultState,
 }
 
 impl DbEngine {
@@ -291,6 +404,7 @@ impl DbEngine {
             completions: Vec::new(),
             events_enabled: false,
             events: Vec::new(),
+            faults: FaultState::default(),
         }
     }
 
@@ -325,6 +439,84 @@ impl DbEngine {
     /// Engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
+    }
+
+    /// The engine's current fault-induced degradation.
+    pub fn fault_state(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// Inject a fault (or its recovery). Parameters are validated — a
+    /// rejected fault leaves the engine untouched. See [`EngineFault`] for
+    /// the recovery convention of each variant.
+    pub fn apply_fault(&mut self, fault: EngineFault) -> Result<(), EngineError> {
+        match fault {
+            EngineFault::DiskDegrade { factor } => {
+                if !factor.is_finite() || factor <= 0.0 || factor > 1.0 {
+                    return Err(EngineError::InvalidFault("disk factor must be in (0, 1]"));
+                }
+                self.faults.disk_factor = factor;
+            }
+            EngineFault::CoresOffline { cores } => {
+                if cores >= self.cfg.cores {
+                    return Err(EngineError::InvalidFault(
+                        "at least one core must stay online",
+                    ));
+                }
+                self.faults.cores_offline = cores;
+            }
+            EngineFault::BufferPoolDegrade { factor } => {
+                if !factor.is_finite() || factor <= 0.0 || factor > 1.0 {
+                    return Err(EngineError::InvalidFault(
+                        "buffer-pool factor must be in (0, 1]",
+                    ));
+                }
+                self.faults.buffer_pool_factor = factor;
+            }
+            EngineFault::MemoryReserve { mb } => {
+                if mb >= self.cfg.memory_mb {
+                    return Err(EngineError::InvalidFault(
+                        "cannot reserve the entire memory budget",
+                    ));
+                }
+                self.faults.reserved_memory_mb = mb;
+            }
+            EngineFault::LockStorm {
+                txns,
+                keys_per_txn,
+                key_space,
+                hold_secs,
+                seed,
+            } => {
+                if txns == 0 || keys_per_txn == 0 || key_space == 0 {
+                    return Err(EngineError::InvalidFault(
+                        "lock storm needs txns, keys and a key space",
+                    ));
+                }
+                if !hold_secs.is_finite() || hold_secs <= 0.0 {
+                    return Err(EngineError::InvalidFault("hold_secs must be positive"));
+                }
+                let mut rng = SmallRng::seed_from_u64(seed);
+                for _ in 0..txns {
+                    let mut keys: Vec<u64> = (0..keys_per_txn)
+                        .map(|_| rng.gen_range(0..key_space))
+                        .collect();
+                    keys.sort_unstable();
+                    keys.dedup();
+                    let spec = PlanBuilder::utility(hold_secs, 0)
+                        .build()
+                        .into_spec()
+                        .labeled("chaos_storm")
+                        .with_write_keys(keys);
+                    self.submit(spec);
+                }
+            }
+        }
+        self.push_event(EngineEvent::FaultApplied {
+            at: self.now,
+            fault,
+        });
+        Ok(())
     }
 
     /// Submit a query for immediate execution; it first receives resources
@@ -667,8 +859,21 @@ impl DbEngine {
 
         // Phase 2: memory pressure over all memory holders (everything live
         // except nothing — paused and blocked queries hold their memory).
+        // Faults scale the effective capacities: reserved memory tightens
+        // overcommit, offline cores and disk degradation shrink the shared
+        // pools, and a degraded buffer pool lowers hit ratios.
+        let effective_memory_mb = self
+            .cfg
+            .memory_mb
+            .saturating_sub(self.faults.reserved_memory_mb)
+            .max(1);
+        let effective_cores = self
+            .cfg
+            .cores
+            .saturating_sub(self.faults.cores_offline)
+            .max(1);
         let mem_demand: u64 = self.live.values().map(|r| r.current_mem_mb()).sum();
-        let overcommit = mem_demand as f64 / self.cfg.memory_mb.max(1) as f64;
+        let overcommit = mem_demand as f64 / effective_memory_mb as f64;
         let paging_penalty = if overcommit > 1.0 {
             1.0 + self.cfg.paging_factor * (overcommit - 1.0).powf(1.5)
         } else {
@@ -676,23 +881,28 @@ impl DbEngine {
         };
 
         // Phase 3: buffer-pool shares and hit ratios for the active set.
+        let effective_pool = BufferPool {
+            pages: ((self.cfg.buffer_pool.pages as f64 * self.faults.buffer_pool_factor).round()
+                as u64)
+                .max(1),
+            ..self.cfg.buffer_pool
+        };
         let bp_weights: Vec<f64> = active.iter().map(|id| self.live[id].weight).collect();
-        let bp_shares = self.cfg.buffer_pool.shares(&bp_weights);
+        let bp_shares = effective_pool.shares(&bp_weights);
         let hit_ratios: Vec<f64> = active
             .iter()
             .zip(&bp_shares)
             .map(|(id, share)| {
-                self.cfg
-                    .buffer_pool
-                    .hit_ratio(*share, self.live[id].spec.working_set_pages)
+                effective_pool.hit_ratio(*share, self.live[id].spec.working_set_pages)
             })
             .collect();
 
         // Phase 4: fair-share CPU and disk.
         let quantum_us = quantum.as_micros() as f64;
-        let cpu_capacity = (self.cfg.cores as f64 * quantum_us) / paging_penalty;
+        let cpu_capacity = (effective_cores as f64 * quantum_us) / paging_penalty;
         let io_capacity =
-            (self.cfg.disk_pages_per_sec as f64 * quantum.as_secs_f64()) / paging_penalty;
+            (self.cfg.disk_pages_per_sec as f64 * self.faults.disk_factor * quantum.as_secs_f64())
+                / paging_penalty;
 
         let cpu_claims: Vec<Claim> = active
             .iter()
@@ -783,15 +993,19 @@ impl DbEngine {
 
         // Phase 6: metrics. Report *busy* time including paging overhead so
         // a thrashing system shows saturated resources with falling
-        // throughput, as in the literature.
-        let cpu_busy = (cpu_used * paging_penalty).min(self.cfg.cores as f64 * quantum_us);
-        let io_busy = (io_used * paging_penalty)
-            .min(self.cfg.disk_pages_per_sec as f64 * quantum.as_secs_f64());
+        // throughput, as in the literature. Utilization is measured against
+        // the fault-degraded capacity: a half-speed disk at full tilt reads
+        // as 100% busy, which is what a monitor would observe.
+        let cpu_capacity_total = effective_cores as f64 * quantum_us;
+        let io_capacity_total =
+            self.cfg.disk_pages_per_sec as f64 * self.faults.disk_factor * quantum.as_secs_f64();
+        let cpu_busy = (cpu_used * paging_penalty).min(cpu_capacity_total);
+        let io_busy = (io_used * paging_penalty).min(io_capacity_total);
         self.metrics.record_usage(
             cpu_busy as u64,
-            (self.cfg.cores as f64 * quantum_us) as u64,
+            cpu_capacity_total as u64,
             io_busy as u64,
-            (self.cfg.disk_pages_per_sec as f64 * quantum.as_secs_f64()) as u64,
+            io_capacity_total as u64,
         );
         self.metrics.maybe_roll(self.now);
 

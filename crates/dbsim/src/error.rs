@@ -19,6 +19,10 @@ pub enum EngineError {
     /// A suspended query token was already consumed or does not belong to
     /// this engine.
     BadSuspendToken,
+    /// A fault injection request was rejected (non-finite factor, taking
+    /// every core offline, reserving all memory, ...). The message names
+    /// the offending parameter.
+    InvalidFault(&'static str),
 }
 
 impl fmt::Display for EngineError {
@@ -29,6 +33,7 @@ impl fmt::Display for EngineError {
                 write!(f, "operation `{op}` invalid for current state of {id:?}")
             }
             EngineError::BadSuspendToken => write!(f, "invalid suspended-query token"),
+            EngineError::InvalidFault(why) => write!(f, "invalid fault: {why}"),
         }
     }
 }

@@ -50,7 +50,10 @@ pub mod resources;
 pub mod suspend;
 pub mod time;
 
-pub use engine::{Completion, CompletionKind, DbEngine, EngineConfig, QueryId, QueryProgress};
+pub use engine::{
+    Completion, CompletionKind, DbEngine, EngineConfig, EngineFault, FaultState, QueryId,
+    QueryProgress,
+};
 pub use error::EngineError;
 pub use optimizer::{CostEstimate, CostModel};
 pub use plan::{Operator, OperatorKind, Plan, PlanBuilder, QuerySpec, StatementType};

@@ -1,0 +1,221 @@
+//! Table-driven hardening tests for the engine control surface: every
+//! control method must return an [`EngineError`] — never panic — when
+//! pointed at an unknown or already-completed [`QueryId`], and
+//! [`DbEngine::apply_fault`] must reject out-of-range fault parameters
+//! without touching the engine.
+
+use wlm_dbsim::engine::{DbEngine, EngineConfig, EngineFault, QueryId};
+use wlm_dbsim::error::EngineError;
+use wlm_dbsim::plan::PlanBuilder;
+use wlm_dbsim::suspend::SuspendStrategy;
+
+fn engine() -> DbEngine {
+    DbEngine::new(EngineConfig {
+        cores: 2,
+        disk_pages_per_sec: 10_000,
+        memory_mb: 1_024,
+        ..Default::default()
+    })
+}
+
+/// Run one small query to completion and return its (now dead) id.
+fn completed_id(e: &mut DbEngine) -> QueryId {
+    let id = e.submit(PlanBuilder::utility(0.01, 0).build().into_spec());
+    let done = e.drain(1_000);
+    assert!(done.iter().any(|c| c.id == id), "setup query must finish");
+    id
+}
+
+#[test]
+fn every_control_method_errors_on_dead_ids() {
+    type ControlOp = (&'static str, fn(&mut DbEngine, QueryId) -> bool);
+    // Each entry applies one control method and reports whether it
+    // returned an error (as opposed to panicking or succeeding).
+    let table: Vec<ControlOp> = vec![
+        ("kill", |e, id| e.kill(id).is_err()),
+        ("pause", |e, id| e.pause(id).is_err()),
+        ("resume_paused", |e, id| e.resume_paused(id).is_err()),
+        ("set_throttle", |e, id| e.set_throttle(id, 0.5).is_err()),
+        ("set_weight", |e, id| e.set_weight(id, 2.0).is_err()),
+        ("suspend (dump-state)", |e, id| {
+            e.suspend(id, SuspendStrategy::DumpState).is_err()
+        }),
+        ("suspend (go-back)", |e, id| {
+            e.suspend(id, SuspendStrategy::GoBack).is_err()
+        }),
+        ("progress", |e, id| e.progress(id).is_err()),
+    ];
+    for (name, op) in table {
+        // Case 1: an id that was never issued.
+        let mut e = engine();
+        assert!(
+            op(&mut e, QueryId(999_999)),
+            "{name} must error on an unknown id"
+        );
+        // Case 2: an id that completed and left the engine.
+        let mut e = engine();
+        let dead = completed_id(&mut e);
+        assert!(op(&mut e, dead), "{name} must error on a completed id");
+    }
+}
+
+#[test]
+fn dead_id_errors_identify_the_query() {
+    let mut e = engine();
+    let dead = completed_id(&mut e);
+    assert_eq!(e.kill(dead), Err(EngineError::UnknownQuery(dead)));
+    assert_eq!(e.pause(dead), Err(EngineError::UnknownQuery(dead)));
+}
+
+#[test]
+fn wrong_state_transitions_error() {
+    let mut e = engine();
+    let id = e.submit(PlanBuilder::utility(1.0, 0).build().into_spec());
+    // Resuming a query that is not paused is an InvalidState error.
+    assert_eq!(
+        e.resume_paused(id),
+        Err(EngineError::InvalidState {
+            id,
+            op: "resume_paused",
+        })
+    );
+    e.pause(id).unwrap();
+    // Pausing twice is likewise invalid.
+    assert_eq!(
+        e.pause(id),
+        Err(EngineError::InvalidState { id, op: "pause" })
+    );
+}
+
+#[test]
+fn apply_fault_rejects_bad_parameters() {
+    let cases: Vec<(&'static str, EngineFault)> = vec![
+        ("zero disk factor", EngineFault::DiskDegrade { factor: 0.0 }),
+        (
+            "disk factor above one",
+            EngineFault::DiskDegrade { factor: 1.5 },
+        ),
+        (
+            "non-finite disk factor",
+            EngineFault::DiskDegrade {
+                factor: f64::INFINITY,
+            },
+        ),
+        (
+            "NaN disk factor",
+            EngineFault::DiskDegrade { factor: f64::NAN },
+        ),
+        ("all cores offline", EngineFault::CoresOffline { cores: 2 }),
+        (
+            "more cores than exist",
+            EngineFault::CoresOffline { cores: 100 },
+        ),
+        (
+            "zero buffer-pool factor",
+            EngineFault::BufferPoolDegrade { factor: 0.0 },
+        ),
+        (
+            "entire memory reserved",
+            EngineFault::MemoryReserve { mb: 1_024 },
+        ),
+        (
+            "empty lock storm",
+            EngineFault::LockStorm {
+                txns: 0,
+                keys_per_txn: 4,
+                key_space: 100,
+                hold_secs: 1.0,
+                seed: 1,
+            },
+        ),
+        (
+            "zero-duration lock storm",
+            EngineFault::LockStorm {
+                txns: 2,
+                keys_per_txn: 4,
+                key_space: 100,
+                hold_secs: 0.0,
+                seed: 1,
+            },
+        ),
+    ];
+    for (name, fault) in cases {
+        let mut e = engine();
+        let healthy = e.fault_state().clone();
+        assert!(
+            matches!(e.apply_fault(fault), Err(EngineError::InvalidFault(_))),
+            "{name} must be rejected"
+        );
+        assert_eq!(
+            *e.fault_state(),
+            healthy,
+            "{name}: a rejected fault must leave the engine untouched"
+        );
+        assert_eq!(e.mpl(), 0, "{name}: no storm queries on rejection");
+    }
+}
+
+#[test]
+fn faults_degrade_and_recover() {
+    // A degraded disk slows an IO-bound query; recovery restores speed.
+    let run_secs = |fault: Option<EngineFault>| {
+        let mut e = engine();
+        if let Some(f) = fault {
+            e.apply_fault(f).unwrap();
+        }
+        e.submit(PlanBuilder::table_scan(200_000).build().into_spec());
+        let done = e.drain(1_000_000);
+        done[0].response.as_secs_f64()
+    };
+    let healthy = run_secs(None);
+    let degraded = run_secs(Some(EngineFault::DiskDegrade { factor: 0.25 }));
+    assert!(
+        degraded > healthy * 2.0,
+        "quarter-speed disk must slow an IO-bound scan: {healthy} vs {degraded}"
+    );
+
+    // Recovery mid-run: apply and then lift the fault; the final state is
+    // healthy and the query still completes.
+    let mut e = engine();
+    e.apply_fault(EngineFault::DiskDegrade { factor: 0.25 })
+        .unwrap();
+    e.apply_fault(EngineFault::CoresOffline { cores: 1 })
+        .unwrap();
+    e.apply_fault(EngineFault::BufferPoolDegrade { factor: 0.5 })
+        .unwrap();
+    e.apply_fault(EngineFault::MemoryReserve { mb: 512 })
+        .unwrap();
+    assert!(!e.fault_state().is_healthy());
+    e.apply_fault(EngineFault::DiskDegrade { factor: 1.0 })
+        .unwrap();
+    e.apply_fault(EngineFault::CoresOffline { cores: 0 })
+        .unwrap();
+    e.apply_fault(EngineFault::BufferPoolDegrade { factor: 1.0 })
+        .unwrap();
+    e.apply_fault(EngineFault::MemoryReserve { mb: 0 }).unwrap();
+    assert!(e.fault_state().is_healthy());
+}
+
+#[test]
+fn lock_storm_submits_contending_transactions() {
+    let mut e = engine();
+    e.apply_fault(EngineFault::LockStorm {
+        txns: 4,
+        keys_per_txn: 8,
+        key_space: 16,
+        hold_secs: 0.2,
+        seed: 42,
+    })
+    .unwrap();
+    assert_eq!(e.mpl(), 4, "storm transactions are live queries");
+    for _ in 0..5 {
+        e.step();
+    }
+    assert!(
+        e.blocked_count() > 0,
+        "a storm over 16 keys must produce lock conflicts"
+    );
+    let done = e.drain(100_000);
+    assert_eq!(done.len(), 4, "the storm drains as transactions commit");
+    assert!(done.iter().all(|c| c.label == "chaos_storm"));
+}

@@ -661,6 +661,91 @@ impl Source for ClosedLoopOltpSource {
     }
 }
 
+/// Remote control for a [`SurgeSource`]: the chaos driver flips the surge
+/// factor mid-run through this handle while the manager owns the source.
+#[derive(Debug, Clone)]
+pub struct SurgeHandle(std::rc::Rc<std::cell::RefCell<f64>>);
+
+impl SurgeHandle {
+    /// Set the arrival amplification factor (`1.0` = no surge; `3.0` =
+    /// three times the base arrival stream).
+    pub fn set_factor(&self, factor: f64) {
+        *self.0.borrow_mut() = factor.max(0.0);
+    }
+
+    /// The current amplification factor.
+    pub fn factor(&self) -> f64 {
+        *self.0.borrow()
+    }
+}
+
+/// A flash-crowd wrapper: replays its inner source and, while the surge
+/// factor is above `1.0`, clones each arrival `factor − 1` times (the
+/// fractional part as a seeded Bernoulli draw) with fresh request ids and
+/// a `flash_crowd` origin — the sudden same-shape load spike of a viral
+/// event hitting an application tier.
+pub struct SurgeSource {
+    inner: Box<dyn Source>,
+    rng: SmallRng,
+    factor: std::rc::Rc<std::cell::RefCell<f64>>,
+    counter: u64,
+}
+
+impl SurgeSource {
+    /// Wrap `inner`; the returned [`SurgeHandle`] controls the factor.
+    pub fn new(inner: Box<dyn Source>, seed: u64) -> (Self, SurgeHandle) {
+        let factor = std::rc::Rc::new(std::cell::RefCell::new(1.0));
+        let handle = SurgeHandle(std::rc::Rc::clone(&factor));
+        (
+            SurgeSource {
+                inner,
+                rng: SmallRng::seed_from_u64(seed),
+                factor,
+                counter: 0,
+            },
+            handle,
+        )
+    }
+}
+
+impl Source for SurgeSource {
+    fn poll(&mut self, from: SimTime, to: SimTime) -> Vec<Request> {
+        let base = self.inner.poll(from, to);
+        let factor = *self.factor.borrow();
+        if factor <= 1.0 || base.is_empty() {
+            return base;
+        }
+        let extra_whole = (factor - 1.0).floor() as usize;
+        let extra_frac = (factor - 1.0) - extra_whole as f64;
+        let mut out = Vec::with_capacity(base.len() * (2 + extra_whole));
+        for req in base {
+            let mut clones = extra_whole;
+            if self.rng.gen::<f64>() < extra_frac {
+                clones += 1;
+            }
+            for _ in 0..clones {
+                self.counter += 1;
+                let mut dup = req.clone();
+                dup.id = request_id(8, self.counter);
+                dup.origin = Origin::new("flash_crowd", "surge", self.counter % 64);
+                out.push(dup);
+            }
+            out.push(req);
+        }
+        // Stable by arrival: clones stay adjacent to their originals.
+        out.sort_by_key(|r| r.arrival);
+        out
+    }
+
+    fn on_completion(&mut self, label: &str, at: SimTime) {
+        self.inner.on_completion(label, at);
+    }
+
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -682,6 +767,37 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), reqs.len());
+    }
+
+    #[test]
+    fn surge_amplifies_only_while_raised() {
+        let (mut surged, handle) = SurgeSource::new(Box::new(OltpSource::new(30.0, 5)), 9);
+        let mut plain = OltpSource::new(30.0, 5);
+        let (f, t) = window(5);
+        // Factor 1.0: byte-for-byte passthrough.
+        assert_eq!(surged.poll(f, t), plain.poll(f, t));
+        // Factor 3.0: roughly triple the arrivals, clones in namespace 8
+        // with a flash_crowd origin, arrival order preserved.
+        handle.set_factor(3.0);
+        let from = t;
+        let to = t + SimDuration::from_secs(5);
+        let base = plain.poll(from, to);
+        let surged_reqs = surged.poll(from, to);
+        let ratio = surged_reqs.len() as f64 / base.len().max(1) as f64;
+        assert!((2.5..3.5).contains(&ratio), "surge ratio {ratio}");
+        assert!(surged_reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        let clones: Vec<_> = surged_reqs.iter().filter(|r| r.id.0 >> 48 == 8).collect();
+        assert_eq!(clones.len(), surged_reqs.len() - base.len());
+        assert!(clones.iter().all(|r| r.origin.application == "flash_crowd"));
+        let mut ids: Vec<_> = surged_reqs.iter().map(|r| r.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), surged_reqs.len(), "fresh unique ids");
+        // Back to 1.0: passthrough again.
+        handle.set_factor(1.0);
+        let from2 = to;
+        let to2 = to + SimDuration::from_secs(2);
+        assert_eq!(surged.poll(from2, to2), plain.poll(from2, to2));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`control`] | `wlm-control` | PI / step / black-box / fuzzy controllers, utility, economic and queueing models |
 //! | [`core`] | `wlm-core` | the taxonomy, policies and all technique implementations plus the `WorkloadManager` pipeline |
 //! | [`systems`] | `wlm-systems` | IBM DB2 WLM, SQL Server Resource Governor and Teradata ASM emulations |
+//! | [`chaos`] | `wlm-chaos` | deterministic fault plans and the chaos driver for resilience experiments |
 //!
 //! ## Quickstart
 //!
@@ -36,6 +37,7 @@
 //! assert!(report.completed > 0);
 //! ```
 
+pub use wlm_chaos as chaos;
 pub use wlm_control as control;
 pub use wlm_core as core;
 pub use wlm_dbsim as dbsim;

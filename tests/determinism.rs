@@ -90,6 +90,66 @@ fn event_recording_does_not_perturb_the_run() {
     assert_eq!(plain, traced, "event emission must not change the outcome");
 }
 
+/// A full-stack faulted run: resilience layer on, fault plan covering an
+/// IO spike, core loss, a flash crowd and a lock storm.
+fn faulted_report(seed: u64) -> String {
+    use wlm::chaos::{run_with_chaos, ChaosDriver, FaultPlanBuilder};
+    use wlm::core::resilience::{BreakerConfig, LadderConfig, ResilienceConfig, RetryPolicy};
+    use wlm::workload::generators::SurgeSource;
+
+    let mut mgr = WorkloadManager::new(ManagerConfig {
+        engine: EngineConfig {
+            cores: 4,
+            memory_mb: 1_024,
+            ..Default::default()
+        },
+        cost_model: CostModel::with_error(0.5, 77),
+        ..Default::default()
+    });
+    mgr.set_scheduler(Box::new(RankScheduler::new(16)));
+    mgr.set_resilience(
+        ResilienceConfig::new(seed)
+            .with_timeout("oltp", 3.0)
+            .with_retry(RetryPolicy::aggressive())
+            .with_breaker(BreakerConfig::default())
+            .with_ladder(LadderConfig::default()),
+    );
+    let mix = MixedSource::new()
+        .with(Box::new(OltpSource::new(30.0, seed)))
+        .with(Box::new(BiSource::new(1.5, seed + 1)));
+    let (mut src, handle) = SurgeSource::new(Box::new(mix), seed + 2);
+    let plan = FaultPlanBuilder::new(seed)
+        .io_spike(10.0, 8.0, 0.1)
+        .core_loss(12.0, 6.0, 3)
+        .flash_crowd(10.0, 8.0, 3.0)
+        .lock_storm(14.0, 10, 4, 24, 1.5)
+        .build();
+    let mut driver = ChaosDriver::new(plan).with_surge(handle);
+    let report = run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(40), &mut driver);
+    assert!(driver.done(), "every fault fired inside the run");
+    assert_eq!(driver.skipped(), 0, "every fault applied cleanly");
+    let resilience = mgr
+        .resilience_report()
+        .expect("resilience layer was configured");
+    format!(
+        "{}\n{}",
+        serde_json::to_string(&report).expect("report serializes"),
+        serde_json::to_string(&resilience).expect("resilience report serializes"),
+    )
+}
+
+#[test]
+fn faulted_runs_serialize_byte_identically() {
+    // The tentpole guarantee of wlm-chaos: a faulted run — engine faults,
+    // arrival surge, lock storm, retries, breakers, the ladder — replays
+    // byte for byte under the same seed.
+    let a = faulted_report(42);
+    let b = faulted_report(42);
+    assert_eq!(a, b, "same seed + same fault plan must replay identically");
+    let c = faulted_report(43);
+    assert_ne!(a, c, "a different seed must actually change the run");
+}
+
 #[test]
 fn experiments_are_reproducible() {
     // Spot-check a full experiment: two runs of E5 agree exactly.

@@ -1,0 +1,149 @@
+//! Resilience invariants: work accounting survives injected IO stalls and
+//! suspend/resume, and the resilience layer actually engages end to end.
+
+use proptest::prelude::*;
+use wlm::chaos::{run_with_chaos, ChaosDriver, FaultPlanBuilder};
+use wlm::core::manager::{ManagerConfig, WorkloadManager};
+use wlm::core::policy::WorkloadPolicy;
+use wlm::core::resilience::{BreakerConfig, LadderConfig, ResilienceConfig, RetryPolicy};
+use wlm::core::scheduling::PriorityScheduler;
+use wlm::dbsim::engine::{CompletionKind, DbEngine, EngineConfig, EngineFault};
+use wlm::dbsim::plan::PlanBuilder;
+use wlm::dbsim::suspend::SuspendStrategy;
+use wlm::dbsim::time::SimDuration;
+use wlm::workload::generators::OltpSource;
+use wlm::workload::request::Importance;
+use wlm::workload::sla::ServiceLevelAgreement;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Work accounting is conserved under injected IO stalls: however the
+    /// disk degrades mid-flight and however often the query is suspended
+    /// (DumpState) and resumed across those stalls, its progress counter
+    /// never moves backwards, suspend/resume preserves it exactly, and the
+    /// query finishes having performed exactly its plan's work.
+    #[test]
+    fn work_is_conserved_under_io_stalls_and_suspend(
+        rows in 20_000u64..300_000,
+        stall_factor in 0.05f64..0.9,
+        stall_at in 2u64..40,
+        stall_len in 1u64..60,
+        suspends in prop::collection::vec(3u64..80, 0..3),
+    ) {
+        let mut engine = DbEngine::new(EngineConfig {
+            cores: 2,
+            disk_pages_per_sec: 10_000,
+            memory_mb: 1_024,
+            ..Default::default()
+        });
+        let spec = PlanBuilder::table_scan(rows)
+            .filter(0.4)
+            .aggregate(64)
+            .build()
+            .into_spec()
+            .labeled("conservation");
+        let plan_total = spec.plan.total_work();
+        let mut id = engine.submit(spec);
+
+        let mut step: u64 = 0;
+        let mut last_done: u64 = 0;
+        let mut suspend_at = suspends.clone();
+        suspend_at.sort_unstable();
+        let mut finished = None;
+        'run: for _ in 0..30_000u64 {
+            step += 1;
+            if step == stall_at {
+                engine
+                    .apply_fault(EngineFault::DiskDegrade { factor: stall_factor })
+                    .expect("valid stall");
+            }
+            if step == stall_at + stall_len {
+                engine
+                    .apply_fault(EngineFault::DiskDegrade { factor: 1.0 })
+                    .expect("valid recovery");
+            }
+            if suspend_at.first() == Some(&step) && engine.progress(id).is_ok() {
+                suspend_at.remove(0);
+                let before = engine.progress(id).expect("live").work_done_us;
+                let token = engine.suspend(id, SuspendStrategy::DumpState).expect("suspend");
+                prop_assert_eq!(
+                    token.work_done_at_suspend_us, before,
+                    "suspend token must carry the live progress"
+                );
+                // Let the engine idle a few quanta while the query is out.
+                engine.step();
+                engine.step();
+                id = engine.resume_suspended(token);
+                let after = engine.progress(id).expect("live again").work_done_us;
+                prop_assert_eq!(after, before, "DumpState resume must preserve work done");
+                last_done = after;
+            }
+            for done in engine.step() {
+                if done.id == id {
+                    finished = Some(done);
+                    break 'run;
+                }
+            }
+            if let Ok(p) = engine.progress(id) {
+                prop_assert!(
+                    p.work_done_us >= last_done,
+                    "progress moved backwards: {} -> {}",
+                    last_done,
+                    p.work_done_us
+                );
+                prop_assert!(p.work_done_us <= p.work_total_us);
+                last_done = p.work_done_us;
+            }
+        }
+        let done = finished.expect("query must finish within the step budget");
+        prop_assert_eq!(done.kind, CompletionKind::Completed);
+        prop_assert_eq!(
+            done.work_done_us, plan_total,
+            "completed work must equal the plan's total work, stalls and suspends included"
+        );
+    }
+}
+
+/// End-to-end: under a heavy IO + CPU fault with tight timeouts, the full
+/// resilience stack visibly engages — retries are scheduled, the breaker
+/// trips and recovers, and the run still completes work.
+#[test]
+fn resilience_stack_engages_under_faults() {
+    let mut mgr = WorkloadManager::new(ManagerConfig {
+        engine: EngineConfig {
+            cores: 4,
+            disk_pages_per_sec: 20_000,
+            memory_mb: 2_048,
+            ..Default::default()
+        },
+        policies: vec![WorkloadPolicy::new("oltp", Importance::High)
+            .with_sla(ServiceLevelAgreement::percentile(95.0, 12.0))],
+        ..Default::default()
+    });
+    mgr.set_scheduler(Box::new(PriorityScheduler::new(8)));
+    mgr.set_resilience(
+        ResilienceConfig::new(9)
+            .with_timeout("oltp", 2.0)
+            .with_retry(RetryPolicy::aggressive())
+            .with_breaker(BreakerConfig::default())
+            .with_ladder(LadderConfig::default()),
+    );
+    let plan = FaultPlanBuilder::new(9)
+        .io_spike(8.0, 8.0, 0.05)
+        .core_loss(8.0, 8.0, 3)
+        .build();
+    let mut driver = ChaosDriver::new(plan);
+    let mut src = OltpSource::new(25.0, 9);
+    let report = run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(30), &mut driver);
+    assert!(driver.done());
+    assert_eq!(driver.skipped(), 0);
+    assert!(report.completed > 0, "the run still makes progress");
+    let res = mgr.resilience_report().expect("layer configured");
+    assert!(res.retries_scheduled > 0, "timeout kills must be retried");
+    assert!(
+        res.breaker_transitions > 0,
+        "the oltp breaker must trip under the fault"
+    );
+    assert_eq!(res.pending_retries, 0, "no retries stranded after recovery");
+}
