@@ -1,5 +1,5 @@
 //! The experiment harness binary: regenerates every table and figure of the
-//! paper and runs the quantitative experiments E1–E17.
+//! paper and runs the quantitative experiments E1–E19.
 //!
 //! Usage:
 //!   experiments                # everything
@@ -8,7 +8,9 @@
 //!   experiments --json e1      # machine-readable output (JSON lines only)
 //!   experiments --trace e1     # append the decision-event trace as JSON lines
 //!   experiments --jobs 4       # worker threads (default: available cores)
-//!   experiments --seed 7 e16   # seed for the seeded experiments (E16/E17)
+//!   experiments --seed 7 e16   # seed for the seeded experiments (E16–E19)
+//!   experiments --crash-at 150 --checkpoint-every 25 e18
+//!                              # E18 crash cycle and checkpoint cadence
 //!
 //! Experiments are independent, so they run on a pool of worker threads;
 //! output is printed in submission order regardless of completion order, so
@@ -16,7 +18,8 @@
 //! *only* JSON lines — one `{"experiment": ..., "seed": ..., "result": ...}`
 //! envelope per experiment — so the stream can be piped straight into `jq`.
 //! The seed (default `0x5eed`) feeds the experiments that take one; it is
-//! echoed in every envelope so same-seed runs can be diffed byte for byte. With
+//! echoed in every envelope — alongside `crash_at` and `checkpoint_every`
+//! (`null` when unset) — so same-flag runs can be diffed byte for byte. With
 //! `--trace` each experiment installs a thread-local event recorder; every
 //! manager the experiment builds publishes its decision events
 //! ([`wlm_core::events::WlmEvent`]) there, and the buffer is dumped after
@@ -116,6 +119,8 @@ fn main() {
     let mut trace = false;
     let mut workers: Option<usize> = None;
     let mut seed: u64 = DEFAULT_SEED;
+    let mut crash_at: Option<u64> = None;
+    let mut checkpoint_every: Option<u64> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -135,6 +140,16 @@ fn main() {
                 if let Ok(v) = other["--seed=".len()..].parse() {
                     seed = v;
                 }
+            }
+            "--crash-at" => crash_at = args.next().and_then(|v| v.parse().ok()),
+            other if other.starts_with("--crash-at=") => {
+                crash_at = other["--crash-at=".len()..].parse().ok();
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = args.next().and_then(|v| v.parse().ok());
+            }
+            other if other.starts_with("--checkpoint-every=") => {
+                checkpoint_every = other["--checkpoint-every=".len()..].parse().ok();
             }
             other => selected.push(other.to_string()),
         }
@@ -210,6 +225,21 @@ fn main() {
     seeded_job!("e16", exp::e16_resilience_ablation);
     seeded_job!("e17", exp::e17_fault_recovery);
 
+    // E18 also takes the crash cycle and checkpoint cadence flags.
+    if want("e18") {
+        jobs.push(Job {
+            id: "e18",
+            run: Box::new(move || {
+                let result = exp::e18_crash_recovery(seed, crash_at, checkpoint_every);
+                (
+                    serde_json::to_value(&result).expect("serializable"),
+                    result.render(),
+                )
+            }),
+        });
+    }
+    seeded_job!("e19", exp::e19_poison_quarantine);
+
     job!("a1", exp::a1_restructure_pieces);
     job!("a2", exp::a2_checkpoint_interval);
     job!("a3", exp::a3_mape_period);
@@ -224,7 +254,13 @@ fn main() {
         if json {
             println!(
                 "{}",
-                serde_json::json!({ "experiment": job.id, "seed": seed, "result": out.value })
+                serde_json::json!({
+                    "experiment": job.id,
+                    "seed": seed,
+                    "crash_at": crash_at,
+                    "checkpoint_every": checkpoint_every,
+                    "result": out.value
+                })
             );
         } else {
             println!("{}", out.rendered);

@@ -7,9 +7,19 @@
 //! [`SurgeHandle`], optimizer skew through the manager's cost-model knob.
 //! All of it is deterministic: the same plan against the same manager and
 //! sources replays byte-identically.
+//!
+//! The driver also plays the *harness* for the crash-tolerant control
+//! plane: with [`ChaosDriver::with_checkpoint_every`] it takes a
+//! [`ControllerState`] checkpoint on a fixed cycle cadence, and when a
+//! [`ControlFault::ControllerCrash`] fires it wipes the controller by
+//! restoring that latest checkpoint ([`WorkloadManager::restore`]) — or
+//! falls back to [`WorkloadManager::cold_restart`] when none exists.
+//! [`ControlFault::SkippedCycles`] stalls the control loop instead: the
+//! engine advances via [`WorkloadManager::tick_uncontrolled`] while the
+//! missed cycles elapse.
 
-use crate::plan::{FaultEvent, FaultKind, FaultPlan};
-use wlm_core::manager::{RunReport, WorkloadManager};
+use crate::plan::{ControlFault, FaultEvent, FaultKind, FaultPlan};
+use wlm_core::manager::{ControllerState, RecoveryReport, RunReport, WorkloadManager};
 use wlm_dbsim::time::SimDuration;
 use wlm_workload::generators::{Source, SurgeHandle};
 
@@ -18,24 +28,40 @@ use wlm_workload::generators::{Source, SurgeHandle};
 pub struct ChaosDriver {
     events: Vec<FaultEvent>,
     next: usize,
+    control: Vec<ControlFault>,
+    next_control: usize,
     surge: Option<SurgeHandle>,
     /// The optimizer error level before the active skew, restored by
     /// `OptimizerRestore`.
     baseline_sigma: Option<f64>,
     applied: u64,
     skipped: u64,
+    /// Checkpoint cadence in control cycles (`None` = no checkpointing).
+    checkpoint_every: Option<u64>,
+    last_checkpoint: Option<ControllerState>,
+    last_recovery: Option<RecoveryReport>,
+    checkpoints_taken: u64,
+    crashes: u64,
 }
 
 impl ChaosDriver {
     /// A driver over `plan` (already time-sorted by its builder).
     pub fn new(plan: FaultPlan) -> Self {
+        let (events, control) = plan.into_parts();
         ChaosDriver {
-            events: plan.into_events(),
+            events,
             next: 0,
+            control,
+            next_control: 0,
             surge: None,
             baseline_sigma: None,
             applied: 0,
             skipped: 0,
+            checkpoint_every: None,
+            last_checkpoint: None,
+            last_recovery: None,
+            checkpoints_taken: 0,
+            crashes: 0,
         }
     }
 
@@ -43,6 +69,14 @@ impl ChaosDriver {
     /// one, flash-crowd events are counted as skipped.
     pub fn with_surge(mut self, handle: SurgeHandle) -> Self {
         self.surge = Some(handle);
+        self
+    }
+
+    /// Checkpoint the controller every `cycles` control cycles (cycle 0
+    /// included, so a crash before the first cadence point still has a
+    /// checkpoint to restore). Crash recovery restores the latest one.
+    pub fn with_checkpoint_every(mut self, cycles: u64) -> Self {
+        self.checkpoint_every = Some(cycles.max(1));
         self
     }
 
@@ -90,9 +124,43 @@ impl ChaosDriver {
         fired
     }
 
+    /// Control-plane bookkeeping due before the manager's next control
+    /// cycle: first the cadence checkpoint (so a crash landing on the same
+    /// cycle restores the state *as of* that cycle), then every control
+    /// fault scheduled at or before the current cycle index. Returns how
+    /// many control cycles the caller must skip (0 = tick normally).
+    pub fn before_cycle(&mut self, mgr: &mut WorkloadManager) -> u64 {
+        let cycle = mgr.cycle();
+        if let Some(every) = self.checkpoint_every {
+            if cycle % every == 0 {
+                self.last_checkpoint = Some(mgr.checkpoint());
+                self.checkpoints_taken += 1;
+            }
+        }
+        let mut skip = 0;
+        while self.next_control < self.control.len()
+            && self.control[self.next_control].at_cycle() <= cycle
+        {
+            let fault = self.control[self.next_control];
+            self.next_control += 1;
+            match fault {
+                ControlFault::ControllerCrash { .. } => {
+                    self.crashes += 1;
+                    let report = match self.last_checkpoint.as_ref() {
+                        Some(ckpt) => mgr.restore(ckpt),
+                        None => mgr.cold_restart(),
+                    };
+                    self.last_recovery = Some(report);
+                }
+                ControlFault::SkippedCycles { cycles, .. } => skip += cycles,
+            }
+        }
+        skip
+    }
+
     /// Whether every plan event has fired.
     pub fn done(&self) -> bool {
-        self.next >= self.events.len()
+        self.next >= self.events.len() && self.next_control >= self.control.len()
     }
 
     /// Events applied successfully so far.
@@ -105,11 +173,33 @@ impl ChaosDriver {
     pub fn skipped(&self) -> u64 {
         self.skipped
     }
+
+    /// The latest checkpoint taken on the cadence, if any.
+    pub fn last_checkpoint(&self) -> Option<&ControllerState> {
+        self.last_checkpoint.as_ref()
+    }
+
+    /// What the most recent crash recovery did, if one has happened.
+    pub fn last_recovery(&self) -> Option<RecoveryReport> {
+        self.last_recovery
+    }
+
+    /// Cadence checkpoints taken so far.
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken
+    }
+
+    /// Controller crashes injected so far.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
 }
 
 /// Run the manager for `duration` with the driver injecting faults
 /// between control cycles — the chaos-mode counterpart of
-/// [`WorkloadManager::run`].
+/// [`WorkloadManager::run`]. Controller crashes restore from the driver's
+/// cadence checkpoint; skipped-cycle faults advance the engine with the
+/// control loop stalled.
 pub fn run_with_chaos(
     mgr: &mut WorkloadManager,
     source: &mut dyn Source,
@@ -119,7 +209,17 @@ pub fn run_with_chaos(
     let deadline = mgr.now() + duration;
     while mgr.now() < deadline {
         driver.apply_due(mgr);
-        mgr.tick(source);
+        let skip = driver.before_cycle(mgr);
+        if skip > 0 {
+            for _ in 0..skip {
+                if mgr.now() >= deadline {
+                    break;
+                }
+                mgr.tick_uncontrolled();
+            }
+        } else {
+            mgr.tick(source);
+        }
     }
     mgr.report()
 }
@@ -186,6 +286,46 @@ mod tests {
         assert!((handle.factor() - 4.0).abs() < 1e-12);
         run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(2), &mut driver);
         assert!((handle.factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controller_crash_restores_from_the_cadence_checkpoint() {
+        // Default quantum 10 ms: a 1 s run is 100 control cycles.
+        let plan = FaultPlanBuilder::new(6).controller_crash(50).build();
+        let mut driver = ChaosDriver::new(plan).with_checkpoint_every(20);
+        let mut mgr = manager();
+        let mut src = OltpSource::new(30.0, 13);
+        run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(1), &mut driver);
+        assert_eq!(driver.crashes(), 1);
+        assert_eq!(driver.checkpoints_taken(), 5, "cycles 0,20,40,60,80");
+        let recovery = driver.last_recovery().expect("crash recovered");
+        assert_eq!(recovery.from_cycle, 40, "latest checkpoint before 50");
+        assert!(driver.last_checkpoint().is_some());
+        assert!(driver.done());
+    }
+
+    #[test]
+    fn crash_without_checkpoints_falls_back_to_cold_restart() {
+        let plan = FaultPlanBuilder::new(7).controller_crash(50).build();
+        let mut driver = ChaosDriver::new(plan);
+        let mut mgr = manager();
+        let mut src = OltpSource::new(30.0, 13);
+        run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(1), &mut driver);
+        let recovery = driver.last_recovery().expect("crash recovered");
+        assert_eq!(recovery.from_cycle, 50, "cold restart at the crash cycle");
+        assert_eq!(recovery.readopted, 0, "nothing survives a cold restart");
+        assert!(driver.last_checkpoint().is_none());
+    }
+
+    #[test]
+    fn skipped_cycles_stall_the_controller_but_not_the_engine() {
+        let plan = FaultPlanBuilder::new(8).skip_cycles(10, 5).build();
+        let mut driver = ChaosDriver::new(plan);
+        let mut mgr = manager();
+        let mut src = OltpSource::new(30.0, 13);
+        run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(1), &mut driver);
+        assert_eq!(mgr.cycle(), 100, "uncontrolled quanta still count");
+        assert!(driver.done());
     }
 
     #[test]

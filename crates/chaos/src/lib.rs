@@ -15,7 +15,11 @@
 //!   [`SurgeSource`](wlm_workload::generators::SurgeSource) for arrival
 //!   surges;
 //! * [`driver::run_with_chaos`] is the drop-in faulted counterpart of
-//!   `WorkloadManager::run`.
+//!   `WorkloadManager::run`;
+//! * control-plane faults ([`plan::ControlFault`]) crash the controller
+//!   (restored from the driver's cadence checkpoint, see
+//!   [`driver::ChaosDriver::with_checkpoint_every`]) or stall it for a
+//!   window of skipped cycles while the engine keeps executing.
 //!
 //! Everything is deterministic per seed: the same plan against the same
 //! manager and sources produces byte-identical reports, which is what
@@ -45,4 +49,4 @@ pub mod driver;
 pub mod plan;
 
 pub use driver::{run_with_chaos, ChaosDriver};
-pub use plan::{FaultEvent, FaultKind, FaultPlan, FaultPlanBuilder};
+pub use plan::{ControlFault, FaultEvent, FaultKind, FaultPlan, FaultPlanBuilder};

@@ -41,6 +41,41 @@ pub enum FaultKind {
     OptimizerRestore,
 }
 
+/// A control-plane fault, scheduled by control-cycle index rather than by
+/// simulated time (the control plane is what crashes, so its own cycle
+/// counter is the natural clock). Timing jitter never applies to these:
+/// crash-restart determinism is pinned per seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ControlFault {
+    /// Crash the controller just before cycle `at_cycle`: all in-memory
+    /// controller state is lost and the driver restarts it from its most
+    /// recent checkpoint (or a cold restart when none has been taken).
+    ControllerCrash {
+        /// Control cycle the crash lands on.
+        at_cycle: u64,
+    },
+    /// The controller misses `cycles` consecutive control cycles starting
+    /// at `at_cycle` — delayed or skipped cycles. The engine (the data
+    /// plane) keeps executing, uncontrolled and unobserved.
+    SkippedCycles {
+        /// First control cycle missed.
+        at_cycle: u64,
+        /// How many consecutive cycles are missed.
+        cycles: u64,
+    },
+}
+
+impl ControlFault {
+    /// The control cycle this fault fires at.
+    pub fn at_cycle(&self) -> u64 {
+        match self {
+            ControlFault::ControllerCrash { at_cycle }
+            | ControlFault::SkippedCycles { at_cycle, .. } => *at_cycle,
+        }
+    }
+}
+
 /// A fault scheduled at an instant of simulated time.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FaultEvent {
@@ -50,10 +85,12 @@ pub struct FaultEvent {
     pub fault: FaultKind,
 }
 
-/// An immutable, time-sorted schedule of fault events.
+/// An immutable, time-sorted schedule of fault events, plus a
+/// cycle-sorted schedule of control-plane faults.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
+    control_events: Vec<ControlFault>,
 }
 
 impl FaultPlan {
@@ -62,18 +99,23 @@ impl FaultPlan {
         &self.events
     }
 
-    /// Number of scheduled events.
+    /// Control-plane faults in firing order (by control cycle).
+    pub fn control_events(&self) -> &[ControlFault] {
+        &self.control_events
+    }
+
+    /// Number of scheduled events (engine/workload plus control-plane).
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.events.len() + self.control_events.len()
     }
 
     /// Whether the plan schedules nothing.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.is_empty() && self.control_events.is_empty()
     }
 
-    pub(crate) fn into_events(self) -> Vec<FaultEvent> {
-        self.events
+    pub(crate) fn into_parts(self) -> (Vec<FaultEvent>, Vec<ControlFault>) {
+        (self.events, self.control_events)
     }
 }
 
@@ -87,6 +129,7 @@ pub struct FaultPlanBuilder {
     jitter_secs: f64,
     windows: u64,
     events: Vec<FaultEvent>,
+    control_events: Vec<ControlFault>,
 }
 
 impl FaultPlanBuilder {
@@ -99,6 +142,7 @@ impl FaultPlanBuilder {
             jitter_secs: 0.0,
             windows: 0,
             events: Vec::new(),
+            control_events: Vec::new(),
         }
     }
 
@@ -227,12 +271,31 @@ impl FaultPlanBuilder {
         self
     }
 
+    /// Crash the controller just before control cycle `at_cycle`. Cycle
+    /// indexed, so jitter does not apply: crashes land deterministically.
+    pub fn controller_crash(mut self, at_cycle: u64) -> Self {
+        self.control_events
+            .push(ControlFault::ControllerCrash { at_cycle });
+        self
+    }
+
+    /// Make the controller miss `cycles` consecutive control cycles
+    /// starting at `at_cycle` (a stalled or delayed control loop).
+    pub fn skip_cycles(mut self, at_cycle: u64, cycles: u64) -> Self {
+        self.control_events
+            .push(ControlFault::SkippedCycles { at_cycle, cycles });
+        self
+    }
+
     /// Finish the plan: events sorted by firing time (stable, so two
-    /// events at the same instant keep their scheduling order).
+    /// events at the same instant keep their scheduling order), control
+    /// faults by cycle.
     pub fn build(mut self) -> FaultPlan {
         self.events.sort_by_key(|e| e.at);
+        self.control_events.sort_by_key(|e| e.at_cycle());
         FaultPlan {
             events: self.events,
+            control_events: self.control_events,
         }
     }
 }
@@ -313,5 +376,30 @@ mod tests {
         let json = serde_json::to_string(&demo(3)).expect("serializes");
         assert!(json.contains("disk_degrade"));
         assert!(json.contains("flash_crowd"));
+    }
+
+    #[test]
+    fn control_faults_sort_by_cycle_and_ignore_jitter() {
+        let plan = FaultPlanBuilder::new(5)
+            .with_jitter(2.0)
+            .skip_cycles(900, 10)
+            .controller_crash(300)
+            .build();
+        assert_eq!(
+            plan.control_events(),
+            &[
+                ControlFault::ControllerCrash { at_cycle: 300 },
+                ControlFault::SkippedCycles {
+                    at_cycle: 900,
+                    cycles: 10
+                },
+            ],
+            "cycle-sorted and jitter-free regardless of seed"
+        );
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        let json = serde_json::to_string(&plan).expect("serializes");
+        assert!(json.contains("controller_crash"));
+        assert!(json.contains("skipped_cycles"));
     }
 }

@@ -42,6 +42,10 @@
 //! | [`WlmEvent::RetryExhausted`] | exec-control (resilience layer) |
 //! | [`WlmEvent::BreakerTransition`] | exec-control (resilience layer) |
 //! | [`WlmEvent::LadderStep`] | exec-control (resilience layer) |
+//! | [`WlmEvent::CheckpointTaken`] | external (chaos driver / harness, via `checkpoint`) |
+//! | [`WlmEvent::ControllerRestored`] | external (crash recovery, via `restore` / `cold_restart`) |
+//! | [`WlmEvent::Quarantined`] | exec-control (runaway watchdog, at the kill site) |
+//! | [`WlmEvent::QuarantineRejected`] | admit (quarantine gate; retry-release drop) |
 
 use serde::Serialize;
 use std::cell::RefCell;
@@ -277,6 +281,51 @@ pub enum WlmEvent {
         /// degradation).
         to_level: u8,
     },
+    /// A controller checkpoint was written.
+    CheckpointTaken {
+        /// Emission time.
+        at: SimTime,
+        /// Control cycle the checkpoint captures.
+        cycle: u64,
+        /// Size of the serialized checkpoint, bytes.
+        bytes: usize,
+    },
+    /// A restarted controller finished reconciling a checkpoint (or an
+    /// empty cold-restart state) against the live engine.
+    ControllerRestored {
+        /// Emission time.
+        at: SimTime,
+        /// Control cycle the restored checkpoint was taken at.
+        from_cycle: u64,
+        /// Running queries re-adopted from the checkpoint.
+        readopted: usize,
+        /// Checkpointed requests re-queued because their engine query
+        /// vanished in the crash.
+        requeued: usize,
+        /// Live engine queries killed because no checkpoint entry owned
+        /// them.
+        orphans_killed: usize,
+    },
+    /// The runaway watchdog moved a request into the poison quarantine.
+    Quarantined {
+        /// Emission time.
+        at: SimTime,
+        /// The quarantined request.
+        request: RequestId,
+        /// The request's workload.
+        workload: String,
+        /// Kill strikes accumulated when the threshold tripped.
+        kills: u32,
+    },
+    /// A quarantined request tried to re-enter and was turned away.
+    QuarantineRejected {
+        /// Emission time.
+        at: SimTime,
+        /// The rejected request.
+        request: RequestId,
+        /// The request's workload.
+        workload: String,
+    },
 }
 
 impl WlmEvent {
@@ -301,7 +350,11 @@ impl WlmEvent {
             | WlmEvent::RetryScheduled { at, .. }
             | WlmEvent::RetryExhausted { at, .. }
             | WlmEvent::BreakerTransition { at, .. }
-            | WlmEvent::LadderStep { at, .. } => *at,
+            | WlmEvent::LadderStep { at, .. }
+            | WlmEvent::CheckpointTaken { at, .. }
+            | WlmEvent::ControllerRestored { at, .. }
+            | WlmEvent::Quarantined { at, .. }
+            | WlmEvent::QuarantineRejected { at, .. } => *at,
         }
     }
 
@@ -325,10 +378,14 @@ impl WlmEvent {
             | WlmEvent::PolicyChanged { workload, .. }
             | WlmEvent::RetryScheduled { workload, .. }
             | WlmEvent::RetryExhausted { workload, .. }
-            | WlmEvent::BreakerTransition { workload, .. } => Some(workload),
+            | WlmEvent::BreakerTransition { workload, .. }
+            | WlmEvent::Quarantined { workload, .. }
+            | WlmEvent::QuarantineRejected { workload, .. } => Some(workload),
             WlmEvent::MapePlan { .. }
             | WlmEvent::FaultInjected { .. }
-            | WlmEvent::LadderStep { .. } => None,
+            | WlmEvent::LadderStep { .. }
+            | WlmEvent::CheckpointTaken { .. }
+            | WlmEvent::ControllerRestored { .. } => None,
         }
     }
 
@@ -354,6 +411,10 @@ impl WlmEvent {
             WlmEvent::RetryExhausted { .. } => "retry_exhausted",
             WlmEvent::BreakerTransition { .. } => "breaker_transition",
             WlmEvent::LadderStep { .. } => "ladder_step",
+            WlmEvent::CheckpointTaken { .. } => "checkpoint_taken",
+            WlmEvent::ControllerRestored { .. } => "controller_restored",
+            WlmEvent::Quarantined { .. } => "quarantined",
+            WlmEvent::QuarantineRejected { .. } => "quarantine_rejected",
         }
     }
 }
@@ -548,6 +609,10 @@ pub struct EventCounts {
     pub retries_exhausted: u64,
     /// `BreakerTransition` events.
     pub breaker_transitions: u64,
+    /// `Quarantined` events.
+    pub quarantined: u64,
+    /// `QuarantineRejected` events.
+    pub quarantine_rejections: u64,
 }
 
 /// A subscriber maintaining [`EventCounts`] per workload. Clones share the
@@ -601,10 +666,14 @@ impl EventSubscriber for WorkloadEventCounters {
             WlmEvent::RetryScheduled { .. } => c.retries_scheduled += 1,
             WlmEvent::RetryExhausted { .. } => c.retries_exhausted += 1,
             WlmEvent::BreakerTransition { .. } => c.breaker_transitions += 1,
+            WlmEvent::Quarantined { .. } => c.quarantined += 1,
+            WlmEvent::QuarantineRejected { .. } => c.quarantine_rejections += 1,
             WlmEvent::PolicyChanged { .. }
             | WlmEvent::MapePlan { .. }
             | WlmEvent::FaultInjected { .. }
-            | WlmEvent::LadderStep { .. } => {}
+            | WlmEvent::LadderStep { .. }
+            | WlmEvent::CheckpointTaken { .. }
+            | WlmEvent::ControllerRestored { .. } => {}
         }
     }
 }

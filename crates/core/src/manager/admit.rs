@@ -36,6 +36,27 @@ impl WorkloadManager {
         reason: AdmitReason,
         trace: bool,
     ) -> bool {
+        // A quarantined (poison) request is turned away before any other
+        // gate sees it — its kill history already proved it runaway.
+        if self
+            .resilience
+            .as_ref()
+            .is_some_and(|l| l.is_quarantined(req.request.id))
+        {
+            self.rejected += 1;
+            self.stats.entry(&req.workload).rejected += 1;
+            if let Some(layer) = self.resilience.as_mut() {
+                layer.note_quarantine_rejection();
+            }
+            if trace {
+                self.emit(WlmEvent::QuarantineRejected {
+                    at: snap.now,
+                    request: req.request.id,
+                    workload: req.workload.clone(),
+                });
+            }
+            return false;
+        }
         // A raised degradation ladder sheds best-effort arrivals before
         // the admission controller even sees them.
         if self.ladder_sheds(req.importance) {

@@ -1,0 +1,415 @@
+//! Controller checkpoint/restore: the crash-tolerant control plane.
+//!
+//! The [`WorkloadManager`] is the single point of failure the rest of the
+//! stack cannot tolerate losing: its queues, budgets, breaker episodes and
+//! suspend tokens exist nowhere else. [`ControllerState`] is a complete,
+//! versioned, serializable image of that state — everything a restarted
+//! controller needs, and nothing the engine already knows.
+//!
+//! # Checkpoint format
+//!
+//! A checkpoint is the JSON encoding of [`ControllerState`] (see
+//! [`ControllerState::to_bytes`]). All collections are ordered
+//! (`BTreeMap`/`Vec` in insertion or key order), so the encoding is
+//! **deterministic**: the same seed reaching the same cycle produces
+//! byte-identical checkpoints. The leading `version` field gates
+//! compatibility — [`ControllerState::from_bytes`] rejects any other
+//! version rather than misinterpreting the bytes.
+//!
+//! "Aging clocks" survive because every queued [`ManagedRequest`] carries
+//! its absolute arrival time and every parked retry its absolute due time;
+//! after a restore, queueing delay and backoff age keep accruing from the
+//! original instants rather than restarting from zero.
+//!
+//! # Recovery protocol
+//!
+//! [`WorkloadManager::restore`] reconciles a checkpoint against the live
+//! engine (the data plane survives a controller crash):
+//!
+//! 1. every checkpointed running query whose engine query is still live is
+//!    **re-adopted** (meta, throttle, restart count and chain reattached);
+//! 2. every checkpointed running query the engine no longer knows is
+//!    **re-queued** for another attempt — at-least-once semantics: work
+//!    that completed between checkpoint and crash runs again rather than
+//!    being silently lost (quarantined requests are dropped instead);
+//! 3. every live engine query no checkpoint entry owns is an **orphan**
+//!    (admitted after the checkpoint, its request state died with the
+//!    controller) and is killed;
+//! 4. queues, books, windows, counters and the resilience layer's runtime
+//!    state are re-filled from the checkpoint; configuration (policies,
+//!    schedulers, resilience tuning) is *not* checkpointed — the restarted
+//!    controller is constructed with the same configuration and the
+//!    checkpoint only re-fills runtime state.
+//!
+//! [`WorkloadManager::cold_restart`] is the ablation baseline: restoring
+//! from an *empty* checkpoint, which kills every live query as an orphan
+//! and forgets every queue — what a controller without checkpoints must do.
+
+use super::{RunningMeta, WorkloadManager};
+use crate::api::ManagedRequest;
+use crate::events::WlmEvent;
+use crate::resilience::ResilienceCheckpoint;
+use crate::stats::StatsBook;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use wlm_dbsim::engine::QueryId;
+use wlm_dbsim::plan::QuerySpec;
+use wlm_dbsim::suspend::SuspendedQuery;
+use wlm_dbsim::time::SimTime;
+use wlm_workload::request::RequestId;
+use wlm_workload::trace::QueryLog;
+
+/// Checkpoint format version accepted by [`ControllerState::from_bytes`].
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// One running query as captured in a checkpoint: the engine id it runs
+/// under plus the controller-side meta the engine does not hold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunningCheckpoint {
+    /// Engine query id.
+    pub query: QueryId,
+    /// The managed request.
+    pub req: ManagedRequest,
+    /// Duty-cycle throttle last applied.
+    pub throttle: f64,
+    /// Restart count so far.
+    pub restarts: u32,
+    /// Remaining pieces of a restructured query.
+    pub chain: Vec<QuerySpec>,
+    /// Suspend/resume overhead accumulated so far, µs.
+    pub suspend_overhead_us: u64,
+}
+
+/// One suspended query as captured in a checkpoint (suspend/resume
+/// banking: the resume token plus the overhead already paid).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuspendedCheckpoint {
+    /// The engine resume token (checkpointed operator state).
+    pub token: SuspendedQuery,
+    /// The managed request.
+    pub req: ManagedRequest,
+    /// Restart count so far.
+    pub restarts: u32,
+    /// Suspend/resume overhead accumulated so far, µs.
+    pub overhead_us: u64,
+}
+
+/// A complete, versioned image of the controller's runtime state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ControllerState {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Simulated time the checkpoint was taken.
+    pub at: SimTime,
+    /// Control cycle the checkpoint was taken at (provenance; the
+    /// restored controller's own cycle counter is *not* rewound).
+    pub cycle: u64,
+    /// The scheduler wait queue, in queue order.
+    pub wait_queue: Vec<ManagedRequest>,
+    /// Requests held at the admission gate, in gate order.
+    pub deferred: Vec<ManagedRequest>,
+    /// The running set with its controller-side meta.
+    pub running: Vec<RunningCheckpoint>,
+    /// Suspended queries awaiting resumption, oldest first.
+    pub suspended: Vec<SuspendedCheckpoint>,
+    /// Per-workload books (MPL/budget counters live here).
+    pub stats: StatsBook,
+    /// Recent response windows per workload.
+    pub recent: BTreeMap<String, VecDeque<f64>>,
+    /// The DBQL-style query log.
+    pub query_log: QueryLog,
+    /// Total completions so far.
+    pub completed: u64,
+    /// Total kills (not resubmitted) so far.
+    pub killed: u64,
+    /// Total rejections so far.
+    pub rejected: u64,
+    /// Total suspend+resume overhead paid, µs.
+    pub suspend_overhead_us: u64,
+    /// Goal violations per workload.
+    pub goal_violations: BTreeMap<String, u64>,
+    /// Remaining pieces of restructured queries, keyed by request id.
+    pub pending_chains: Vec<(RequestId, Vec<QuerySpec>)>,
+    /// Restart counts of re-queued requests.
+    pub restart_counts: Vec<(RequestId, u32)>,
+    /// The resilience layer's runtime state, when the layer is enabled.
+    pub resilience: Option<ResilienceCheckpoint>,
+}
+
+impl ControllerState {
+    /// Serialize to the canonical deterministic byte encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self)
+            .expect("ControllerState contains no non-serializable values by construction")
+    }
+
+    /// Parse and version-check a checkpoint produced by
+    /// [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<ControllerState, String> {
+        let state: ControllerState =
+            serde_json::from_slice(bytes).map_err(|e| format!("malformed checkpoint: {e}"))?;
+        if state.version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {} (this controller reads version {})",
+                state.version, CHECKPOINT_VERSION
+            ));
+        }
+        Ok(state)
+    }
+}
+
+/// What [`WorkloadManager::restore`] did to reconcile checkpoint and
+/// engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RecoveryReport {
+    /// Cycle the restored checkpoint was taken at.
+    pub from_cycle: u64,
+    /// Running queries re-adopted (checkpointed and still live).
+    pub readopted: usize,
+    /// Checkpointed running queries re-queued (engine no longer ran them).
+    pub requeued: usize,
+    /// Live engine queries killed as orphans (no checkpoint entry).
+    pub orphans_killed: usize,
+    /// Suspended queries restored with their resume tokens.
+    pub suspended_restored: usize,
+    /// Would-be re-queues dropped because the request was quarantined.
+    pub quarantine_dropped: usize,
+}
+
+impl WorkloadManager {
+    /// Control cycles executed so far (monotonic; a [`Self::restore`] does
+    /// not rewind it — it tracks the engine's quantum count, which
+    /// survives controller crashes).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Engine completions that finished while no controller was listening
+    /// (during [`Self::tick_uncontrolled`] windows) and were therefore
+    /// never accounted.
+    pub fn completions_unobserved(&self) -> u64 {
+        self.completions_unobserved
+    }
+
+    /// Capture the controller's complete runtime state. Emits
+    /// [`WlmEvent::CheckpointTaken`] when the bus has subscribers.
+    pub fn checkpoint(&self) -> ControllerState {
+        let state = ControllerState {
+            version: CHECKPOINT_VERSION,
+            at: self.engine.now(),
+            cycle: self.cycle,
+            wait_queue: self.wait_queue.clone(),
+            deferred: self.deferred.iter().cloned().collect(),
+            running: self
+                .running
+                .iter()
+                .map(|(id, meta)| RunningCheckpoint {
+                    query: *id,
+                    req: meta.req.clone(),
+                    throttle: meta.throttle,
+                    restarts: meta.restarts,
+                    chain: meta.chain.iter().cloned().collect(),
+                    suspend_overhead_us: meta.suspend_overhead_us,
+                })
+                .collect(),
+            suspended: self
+                .suspended
+                .iter()
+                .map(|(sq, req, restarts, overhead_us)| SuspendedCheckpoint {
+                    token: sq.clone(),
+                    req: req.clone(),
+                    restarts: *restarts,
+                    overhead_us: *overhead_us,
+                })
+                .collect(),
+            stats: self.stats.clone(),
+            recent: self.recent.clone(),
+            query_log: self.query_log.clone(),
+            completed: self.completed,
+            killed: self.killed,
+            rejected: self.rejected,
+            suspend_overhead_us: self.suspend_overhead_us,
+            goal_violations: self.goal_violations.clone(),
+            pending_chains: self
+                .pending_chains
+                .iter()
+                .map(|(id, chain)| (*id, chain.clone()))
+                .collect(),
+            restart_counts: self
+                .restart_counts
+                .iter()
+                .map(|(id, n)| (*id, *n))
+                .collect(),
+            resilience: self.resilience.as_ref().map(|l| l.checkpoint()),
+        };
+        if self.events.borrow().is_active() {
+            self.emit(WlmEvent::CheckpointTaken {
+                at: state.at,
+                cycle: state.cycle,
+                bytes: state.to_bytes().len(),
+            });
+        }
+        state
+    }
+
+    /// Restart the control plane from a checkpoint, reconciling it against
+    /// the live engine (see the module docs for the protocol). The
+    /// engine, configuration and event bus are untouched; only controller
+    /// runtime state is replaced. Emits [`WlmEvent::ControllerRestored`].
+    pub fn restore(&mut self, ckpt: &ControllerState) -> RecoveryReport {
+        let trace = self.events.borrow().is_active();
+        // Load the checkpointed control plane wholesale...
+        self.wait_queue = ckpt.wait_queue.clone();
+        self.deferred = ckpt.deferred.iter().cloned().collect();
+        self.suspended = ckpt
+            .suspended
+            .iter()
+            .map(|s| (s.token.clone(), s.req.clone(), s.restarts, s.overhead_us))
+            .collect();
+        self.stats = ckpt.stats.clone();
+        self.recent = ckpt.recent.clone();
+        self.query_log = ckpt.query_log.clone();
+        self.completed = ckpt.completed;
+        self.killed = ckpt.killed;
+        self.rejected = ckpt.rejected;
+        self.suspend_overhead_us = ckpt.suspend_overhead_us;
+        self.goal_violations = ckpt.goal_violations.clone();
+        self.pending_chains = ckpt.pending_chains.iter().cloned().collect();
+        self.restart_counts = ckpt.restart_counts.iter().cloned().collect();
+        match (self.resilience.as_mut(), ckpt.resilience.as_ref()) {
+            (Some(layer), Some(rc)) => layer.restore(rc),
+            // A checkpoint without resilience state (cold restart) resets
+            // the layer to its just-constructed state.
+            (Some(layer), None) => layer.restore(&ResilienceCheckpoint::default()),
+            (None, _) => {}
+        }
+
+        // ...then reconcile the running set against the live engine.
+        let overview = self.engine.live_overview();
+        let live: BTreeSet<QueryId> = overview.iter().map(|info| info.id).collect();
+        let mut report = RecoveryReport {
+            from_cycle: ckpt.cycle,
+            suspended_restored: ckpt.suspended.len(),
+            ..RecoveryReport::default()
+        };
+        self.running = BTreeMap::new();
+        for rc in &ckpt.running {
+            if live.contains(&rc.query) {
+                // Still running: re-adopt with its meta intact.
+                self.running.insert(
+                    rc.query,
+                    RunningMeta {
+                        req: rc.req.clone(),
+                        throttle: rc.throttle,
+                        restarts: rc.restarts,
+                        chain: rc.chain.iter().cloned().collect(),
+                        suspend_overhead_us: rc.suspend_overhead_us,
+                    },
+                );
+                report.readopted += 1;
+            } else if self
+                .resilience
+                .as_ref()
+                .is_some_and(|l| l.is_quarantined(rc.req.request.id))
+            {
+                // Poison: its outcome was lost with the crash, but its
+                // history was not — do not give it another lap.
+                report.quarantine_dropped += 1;
+            } else {
+                // The engine finished or lost it between checkpoint and
+                // crash; the controller cannot tell which. Re-queue for
+                // another attempt (at-least-once work conservation).
+                self.restart_counts.insert(rc.req.request.id, rc.restarts);
+                if !rc.chain.is_empty() {
+                    self.pending_chains
+                        .insert(rc.req.request.id, rc.chain.clone());
+                }
+                self.wait_queue.push(rc.req.clone());
+                report.requeued += 1;
+            }
+        }
+        for info in &overview {
+            if self.running.contains_key(&info.id) {
+                continue;
+            }
+            // Orphan: live in the engine but owned by no checkpoint entry.
+            // Its request state died with the controller, so nobody could
+            // ever account its completion — reclaim the resources.
+            if self.engine.kill(info.id).is_ok() {
+                self.killed += 1;
+                self.stats.entry(&info.label).killed += 1;
+                if trace {
+                    self.emit(WlmEvent::Killed {
+                        at: self.engine.now(),
+                        query: info.id,
+                        workload: info.label.clone(),
+                        by: "crash-recovery",
+                        resubmit: false,
+                    });
+                }
+                report.orphans_killed += 1;
+            }
+        }
+
+        self.live_snap = self.snapshot();
+        if trace {
+            self.emit(WlmEvent::ControllerRestored {
+                at: self.engine.now(),
+                from_cycle: report.from_cycle,
+                readopted: report.readopted,
+                requeued: report.requeued,
+                orphans_killed: report.orphans_killed,
+            });
+        }
+        report
+    }
+
+    /// Restart the control plane with *no* checkpoint: every live engine
+    /// query is an unowned orphan and is killed, and every queue, window
+    /// and budget starts empty. The run epoch (`stats.started`) is kept so
+    /// elapsed-time reporting stays comparable. This is the ablation
+    /// baseline [`Self::restore`] is measured against.
+    pub fn cold_restart(&mut self) -> RecoveryReport {
+        let empty = ControllerState {
+            version: CHECKPOINT_VERSION,
+            at: self.engine.now(),
+            cycle: self.cycle,
+            wait_queue: Vec::new(),
+            deferred: Vec::new(),
+            running: Vec::new(),
+            suspended: Vec::new(),
+            stats: StatsBook::new(self.stats.started),
+            recent: BTreeMap::new(),
+            query_log: QueryLog::new(),
+            completed: 0,
+            killed: 0,
+            rejected: 0,
+            suspend_overhead_us: 0,
+            goal_violations: BTreeMap::new(),
+            pending_chains: Vec::new(),
+            restart_counts: Vec::new(),
+            resilience: None,
+        };
+        self.restore(&empty)
+    }
+
+    /// Advance one engine quantum with the controller absent (crashed or
+    /// stalled): no arrivals are polled, no stages run, and completions
+    /// land unobserved. The engine — the data plane — keeps working; only
+    /// management stops.
+    pub fn tick_uncontrolled(&mut self) {
+        let completions = self.engine.step();
+        if self.engine.events_enabled() {
+            // Nobody is listening in a dead controller; drop the buffer so
+            // it cannot grow without bound across a long outage.
+            let _ = self.engine.drain_events();
+        }
+        for c in completions {
+            if self.running.remove(&c.id).is_some() {
+                self.completions_unobserved += 1;
+            }
+        }
+        self.cycle += 1;
+        self.live_snap = self.snapshot();
+    }
+}

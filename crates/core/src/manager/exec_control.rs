@@ -115,7 +115,32 @@ impl WorkloadManager {
                         // running so the books never lose it.
                         self.stats.entry(&meta.req.workload).suspend_overhead_us +=
                             meta.suspend_overhead_us;
-                        if !resubmit {
+                        // Runaway watchdog: every kill is a strike; at the
+                        // threshold the request lands in the quarantine
+                        // and is dropped for good — no retry, no resubmit.
+                        if let Some(kills) = match self.resilience.as_mut() {
+                            Some(layer) => {
+                                layer.note_kill_strike(meta.req.request.id, &meta.req.workload)
+                            }
+                            None => None,
+                        } {
+                            if trace {
+                                self.emit(WlmEvent::Quarantined {
+                                    at,
+                                    request: meta.req.request.id,
+                                    workload: meta.req.workload.clone(),
+                                    kills,
+                                });
+                            }
+                        }
+                        if self
+                            .resilience
+                            .as_ref()
+                            .is_some_and(|l| l.is_quarantined(meta.req.request.id))
+                        {
+                            self.killed += 1;
+                            self.stats.entry(&meta.req.workload).killed += 1;
+                        } else if !resubmit {
                             // The resilience layer may convert the kill
                             // into a delayed retry within the request's
                             // attempt budget.
@@ -147,30 +172,39 @@ impl WorkloadManager {
                 }
             }
             ControlAction::Suspend(id, strategy) => {
-                if let Some(meta) = self.running.get(&id) {
-                    let restarts = meta.restarts;
-                    if let Ok(sq) = self.engine.suspend(id, strategy) {
-                        let meta = self.running.remove(&id).expect("meta");
-                        self.suspend_overhead_us += sq.total_overhead_us();
-                        self.stats.entry(&meta.req.workload).suspended += 1;
-                        if trace {
-                            self.emit(WlmEvent::Suspended {
-                                at,
-                                query: id,
-                                workload: meta.req.workload.clone(),
-                                overhead_us: sq.total_overhead_us(),
-                                by,
-                            });
+                // Take the meta first so there is no window in which the
+                // engine succeeded but the meta vanished; on engine
+                // refusal the meta goes straight back (BTreeMap reinsert
+                // is deterministic).
+                if let Some(meta) = self.running.remove(&id) {
+                    match self.engine.suspend(id, strategy) {
+                        Ok(sq) => {
+                            let restarts = meta.restarts;
+                            self.suspend_overhead_us += sq.total_overhead_us();
+                            self.stats.entry(&meta.req.workload).suspended += 1;
+                            if trace {
+                                self.emit(WlmEvent::Suspended {
+                                    at,
+                                    query: id,
+                                    workload: meta.req.workload.clone(),
+                                    overhead_us: sq.total_overhead_us(),
+                                    by,
+                                });
+                            }
+                            if !meta.chain.is_empty() {
+                                self.pending_chains
+                                    .insert(meta.req.request.id, meta.chain.into_iter().collect());
+                            }
+                            // Carry the request's accumulated overhead
+                            // through the suspension so it survives into
+                            // the resumed meta (and, eventually, the
+                            // per-workload books).
+                            let carried = meta.suspend_overhead_us + sq.total_overhead_us();
+                            self.suspended.push((sq, meta.req, restarts, carried));
                         }
-                        if !meta.chain.is_empty() {
-                            self.pending_chains
-                                .insert(meta.req.request.id, meta.chain.into_iter().collect());
+                        Err(_) => {
+                            self.running.insert(id, meta);
                         }
-                        // Carry the request's accumulated overhead through
-                        // the suspension so it survives into the resumed
-                        // meta (and, eventually, the per-workload books).
-                        let carried = meta.suspend_overhead_us + sq.total_overhead_us();
-                        self.suspended.push((sq, meta.req, restarts, carried));
                     }
                 }
             }

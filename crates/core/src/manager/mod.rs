@@ -42,12 +42,17 @@
 //! the refresh helpers and `snapshot()` are the same code.
 
 mod admit;
+pub mod checkpoint;
 mod context;
 mod exec_control;
 mod identify;
 mod monitor;
 mod resilience_stage;
 mod schedule;
+
+pub use checkpoint::{
+    ControllerState, RecoveryReport, RunningCheckpoint, SuspendedCheckpoint, CHECKPOINT_VERSION,
+};
 
 use crate::admission::AdmitAll;
 use crate::api::{
@@ -202,6 +207,12 @@ pub struct WorkloadManager {
     events: Rc<RefCell<EventBus>>,
     /// The incrementally maintained monitor snapshot.
     live_snap: SystemSnapshot,
+    /// Control cycles executed (one per engine quantum, including
+    /// controller-absent [`Self::tick_uncontrolled`] quanta). Monotonic —
+    /// [`Self::restore`] does not rewind it.
+    cycle: u64,
+    /// Completions that finished while the controller was absent.
+    completions_unobserved: u64,
 }
 
 impl WorkloadManager {
@@ -260,6 +271,8 @@ impl WorkloadManager {
             resilience: None,
             events: Rc::new(RefCell::new(EventBus::default())),
             live_snap: SystemSnapshot::default(),
+            cycle: 0,
+            completions_unobserved: 0,
         };
         if let Some(trace) = crate::events::thread_trace_recorder() {
             mgr.subscribe(Box::new(trace));
@@ -493,6 +506,7 @@ impl WorkloadManager {
         self.stage_exec_control(&mut cx);
         self.stage_monitor(&mut cx, source);
         cx.finish(self);
+        self.cycle += 1;
     }
 
     /// Run for `duration` of simulated time and report.
@@ -558,7 +572,7 @@ mod tests {
         let report = mgr.run(&mut src, SimDuration::from_secs(20));
         assert!(report.completed > 200, "completed {}", report.completed);
         assert!(report.rejected == 0);
-        let oltp = report.workload("oltp").unwrap();
+        let oltp = report.workload("oltp").expect("oltp workload reported");
         assert!(oltp.summary.mean < 1.0, "oltp mean {}", oltp.summary.mean);
     }
 
@@ -596,7 +610,7 @@ mod tests {
             .with(Box::new(OltpSource::new(20.0, 1)))
             .with(Box::new(BiSource::new(2.0, 2)));
         let report = mgr.run(&mut mix, SimDuration::from_secs(30));
-        let oltp = report.workload("oltp").unwrap();
+        let oltp = report.workload("oltp").expect("oltp workload reported");
         assert!(oltp.stats.completed > 0);
         // OLTP stays fast because it skips the queue.
         assert!(oltp.summary.p90 < 2.0, "p90 {}", oltp.summary.p90);
@@ -611,7 +625,7 @@ mod tests {
         });
         let mut src = OltpSource::new(10.0, 4);
         let report = mgr.run(&mut src, SimDuration::from_secs(10));
-        let oltp = report.workload("oltp").unwrap();
+        let oltp = report.workload("oltp").expect("oltp workload reported");
         assert!(!oltp.sla.results.is_empty());
         assert!(oltp.sla.met(), "idle system must meet the OLTP SLA");
     }

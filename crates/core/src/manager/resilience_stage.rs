@@ -81,11 +81,16 @@ impl WorkloadManager {
                 delay_us: delay.as_micros(),
             });
         }
-        self.resilience
-            .as_mut()
-            .expect("checked above")
-            .push_retry(at + delay, meta.req, attempt);
-        None
+        match self.resilience.as_mut() {
+            Some(layer) => {
+                layer.push_retry(at + delay, meta.req, attempt);
+                None
+            }
+            // Unreachable (a policy was read from the layer above), but a
+            // poisoned layer must not panic the control loop: hand the
+            // meta back for normal kill accounting instead.
+            None => Some(meta),
+        }
     }
 
     /// Move matured retries back into the wait queue, applying the same
@@ -96,6 +101,25 @@ impl WorkloadManager {
             None => return,
         };
         for (req, attempt) in due {
+            // A request quarantined while its retry was parked (e.g. via a
+            // restored checkpoint) does not get back in.
+            if self
+                .resilience
+                .as_ref()
+                .is_some_and(|l| l.is_quarantined(req.request.id))
+            {
+                if let Some(layer) = self.resilience.as_mut() {
+                    layer.note_quarantine_rejection();
+                }
+                if cx.trace {
+                    self.emit(WlmEvent::QuarantineRejected {
+                        at: cx.snap.now,
+                        request: req.request.id,
+                        workload: req.workload.clone(),
+                    });
+                }
+                continue;
+            }
             self.restart_counts.insert(req.request.id, attempt);
             if cx.trace {
                 self.emit(WlmEvent::Resubmitted {
@@ -166,7 +190,11 @@ impl WorkloadManager {
     /// residence timeout.
     fn enforce_timeouts(&mut self, at: SimTime, trace: bool) {
         let victims: Vec<QueryId> = {
-            let layer = self.resilience.as_ref().expect("resilience enabled");
+            // Only called with the layer present; degrade to a no-op (no
+            // timeouts enforced this cycle) rather than panic if not.
+            let Some(layer) = self.resilience.as_ref() else {
+                return;
+            };
             self.running
                 .iter()
                 .filter_map(|(id, meta)| {
@@ -195,7 +223,9 @@ impl WorkloadManager {
     /// and this drains them).
     fn publish_breaker_transitions(&mut self, at: SimTime, trace: bool) {
         let transitions = {
-            let layer = self.resilience.as_ref().expect("resilience enabled");
+            let Some(layer) = self.resilience.as_ref() else {
+                return;
+            };
             let mut bank = layer.breakers.borrow_mut();
             bank.poll(at);
             bank.take_transitions()
@@ -216,16 +246,16 @@ impl WorkloadManager {
     /// the running set.
     fn walk_ladder(&mut self, cx: &mut CycleContext) {
         let at = cx.snap.now;
-        let Some(lcfg) = self
-            .resilience
-            .as_ref()
-            .expect("resilience enabled")
-            .ladder_config()
-        else {
+        // Every access degrades to "ladder off" if the layer is absent —
+        // only ever reached with it present, but a missing layer must
+        // never panic the control loop.
+        let Some(lcfg) = self.resilience.as_ref().and_then(|l| l.ladder_config()) else {
             return;
         };
         let pressured = {
-            let layer = self.resilience.as_ref().expect("resilience enabled");
+            let Some(layer) = self.resilience.as_ref() else {
+                return;
+            };
             let bank = layer.breakers.borrow();
             bank.any_open()
                 || bank.recent_failure_rate() >= lcfg.failure_rate_trigger
@@ -234,8 +264,7 @@ impl WorkloadManager {
         let step = self
             .resilience
             .as_mut()
-            .expect("resilience enabled")
-            .ladder_observe(pressured);
+            .and_then(|l| l.ladder_observe(pressured));
         if let Some((from_level, to_level)) = step {
             if cx.trace {
                 self.emit(WlmEvent::LadderStep {
@@ -245,11 +274,7 @@ impl WorkloadManager {
                 });
             }
         }
-        let level = self
-            .resilience
-            .as_ref()
-            .expect("resilience enabled")
-            .ladder_level();
+        let level = self.resilience.as_ref().map_or(0, |l| l.ladder_level());
         if level >= 2 {
             let fraction = lcfg.throttle_fraction.clamp(0.0, 1.0);
             let targets: Vec<QueryId> = self
@@ -268,16 +293,14 @@ impl WorkloadManager {
                     at,
                     cx.trace,
                 );
-                self.resilience
-                    .as_mut()
-                    .expect("resilience enabled")
-                    .throttled
-                    .insert(id);
+                if let Some(layer) = self.resilience.as_mut() {
+                    layer.throttled.insert(id);
+                }
             }
         } else {
-            let throttled: Vec<QueryId> = {
-                let layer = self.resilience.as_mut().expect("resilience enabled");
-                std::mem::take(&mut layer.throttled).into_iter().collect()
+            let throttled: Vec<QueryId> = match self.resilience.as_mut() {
+                Some(layer) => std::mem::take(&mut layer.throttled).into_iter().collect(),
+                None => Vec::new(),
             };
             for id in throttled {
                 if self.running.contains_key(&id) {
@@ -305,11 +328,9 @@ impl WorkloadManager {
                     at,
                     cx.trace,
                 );
-                self.resilience
-                    .as_mut()
-                    .expect("resilience enabled")
-                    .throttled
-                    .remove(&id);
+                if let Some(layer) = self.resilience.as_mut() {
+                    layer.throttled.remove(&id);
+                }
             }
         }
     }

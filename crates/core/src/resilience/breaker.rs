@@ -8,6 +8,7 @@
 //! probe quota through; probe successes close it, a probe failure re-opens
 //! it.
 
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use wlm_dbsim::time::SimTime;
 
@@ -29,6 +30,18 @@ impl BreakerState {
             BreakerState::Closed => "closed",
             BreakerState::Open => "open",
             BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Inverse of [`BreakerState::name`], used when restoring a
+    /// checkpointed bank. Unknown names map to `Closed` (fail safe: a
+    /// wrongly-closed breaker re-trips from live traffic within one
+    /// window, a wrongly-open one would hold a healthy workload).
+    pub fn from_name(name: &str) -> BreakerState {
+        match name {
+            "open" => BreakerState::Open,
+            "half_open" => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
         }
     }
 }
@@ -283,6 +296,97 @@ impl BreakerBank {
             .map(|(w, b)| (w.clone(), b.state().name()))
             .collect()
     }
+
+    /// Serializable snapshot of the bank's runtime state (the
+    /// configuration is not included: the restarted controller re-installs
+    /// it). Deterministic: breakers iterate in workload order.
+    pub fn checkpoint(&self) -> BreakerBankCheckpoint {
+        BreakerBankCheckpoint {
+            breakers: self
+                .map
+                .iter()
+                .map(|(w, b)| {
+                    (
+                        w.clone(),
+                        BreakerCheckpoint {
+                            state: b.state.name().to_string(),
+                            window: b.window.iter().copied().collect(),
+                            opened_at: b.opened_at,
+                            probes_in_flight: b.probes_in_flight,
+                            probe_successes: b.probe_successes,
+                        },
+                    )
+                })
+                .collect(),
+            pending_transitions: self
+                .pending_transitions
+                .iter()
+                .map(|(w, from, to)| (w.clone(), from.to_string(), to.to_string()))
+                .collect(),
+            transitions: self.transitions,
+        }
+    }
+
+    /// Replace the bank's runtime state with a checkpointed one, keeping
+    /// the current configuration.
+    pub fn restore(&mut self, ckpt: &BreakerBankCheckpoint) {
+        self.map = ckpt
+            .breakers
+            .iter()
+            .map(|(w, c)| {
+                (
+                    w.clone(),
+                    CircuitBreaker {
+                        state: BreakerState::from_name(&c.state),
+                        window: c.window.iter().copied().collect(),
+                        opened_at: c.opened_at,
+                        probes_in_flight: c.probes_in_flight,
+                        probe_successes: c.probe_successes,
+                    },
+                )
+            })
+            .collect();
+        self.pending_transitions = ckpt
+            .pending_transitions
+            .iter()
+            .map(|(w, from, to)| {
+                (
+                    w.clone(),
+                    BreakerState::from_name(from).name(),
+                    BreakerState::from_name(to).name(),
+                )
+            })
+            .collect();
+        self.transitions = ckpt.transitions;
+    }
+}
+
+/// Serializable runtime state of one [`CircuitBreaker`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakerCheckpoint {
+    /// State name (`"closed"`, `"open"`, `"half_open"`).
+    pub state: String,
+    /// The outcome window, oldest first.
+    pub window: Vec<bool>,
+    /// When the breaker last tripped.
+    pub opened_at: SimTime,
+    /// Probes currently consuming half-open quota.
+    pub probes_in_flight: u32,
+    /// Probe successes since going half-open.
+    pub probe_successes: u32,
+}
+
+/// Serializable runtime state of a [`BreakerBank`], including transitions
+/// observed but not yet published (the feed records during event delivery
+/// and the exec-control stage drains later — a crash can land in between).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BreakerBankCheckpoint {
+    /// Per-workload breaker state.
+    pub breakers: BTreeMap<String, BreakerCheckpoint>,
+    /// Transitions recorded but not yet drained for publication.
+    pub pending_transitions: Vec<(String, String, String)>,
+    /// Total transitions so far.
+    pub transitions: u64,
 }
 
 #[cfg(test)]
@@ -359,6 +463,33 @@ mod tests {
             BreakerState::Open,
             "probe failure re-trips"
         );
+    }
+
+    #[test]
+    fn checkpoint_round_trips_mid_episode() {
+        let mut bank = BreakerBank::new(Some(cfg()));
+        for _ in 0..4 {
+            bank.record("bi", false, SimTime(5));
+        }
+        bank.poll(SimTime(2_500_000)); // cooldown elapsed -> half-open
+        assert!(bank.allow("bi"), "one probe in flight");
+        let ckpt = bank.checkpoint();
+        assert_eq!(
+            ckpt.pending_transitions.len(),
+            2,
+            "undrained transitions survive the checkpoint"
+        );
+        let mut restored = BreakerBank::new(Some(cfg()));
+        restored.restore(&ckpt);
+        assert_eq!(restored.state("bi"), BreakerState::HalfOpen);
+        assert_eq!(restored.checkpoint(), ckpt, "round trip is lossless");
+        // The restored bank continues the probe episode identically.
+        bank.record("bi", true, SimTime(2_600_000));
+        restored.record("bi", true, SimTime(2_600_000));
+        bank.record("bi", true, SimTime(2_700_000));
+        restored.record("bi", true, SimTime(2_700_000));
+        assert_eq!(bank.state("bi"), BreakerState::Closed);
+        assert_eq!(bank.checkpoint(), restored.checkpoint());
     }
 
     #[test]

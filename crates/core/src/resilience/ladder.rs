@@ -16,6 +16,8 @@
 //! recent failure rate, and queue depth; the ladder itself only debounces
 //! that boolean so a single bad cycle never sheds work.
 
+use serde::{Deserialize, Serialize};
+
 /// Degradation-ladder tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LadderConfig {
@@ -107,6 +109,40 @@ impl DegradationLadder {
     pub fn steps(&self) -> u64 {
         self.steps
     }
+
+    /// Serializable snapshot of the ladder's position and debounce clocks
+    /// (the configuration is not included: the restarted controller
+    /// re-installs it).
+    pub fn checkpoint(&self) -> LadderCheckpoint {
+        LadderCheckpoint {
+            level: self.level,
+            pressured_for: self.pressured_for,
+            calm_for: self.calm_for,
+            steps: self.steps,
+        }
+    }
+
+    /// Replace the ladder's position and debounce clocks with a
+    /// checkpointed one, keeping the current configuration.
+    pub fn restore(&mut self, ckpt: &LadderCheckpoint) {
+        self.level = ckpt.level.min(MAX_LEVEL);
+        self.pressured_for = ckpt.pressured_for;
+        self.calm_for = ckpt.calm_for;
+        self.steps = ckpt.steps;
+    }
+}
+
+/// Serializable runtime state of a [`DegradationLadder`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LadderCheckpoint {
+    /// Current rung.
+    pub level: u8,
+    /// Consecutive pressured cycles so far.
+    pub pressured_for: u32,
+    /// Consecutive calm cycles so far.
+    pub calm_for: u32,
+    /// Total rung moves so far.
+    pub steps: u64,
 }
 
 #[cfg(test)]
@@ -152,5 +188,79 @@ mod tests {
         assert_eq!(downs, vec![(3, 2), (2, 1), (1, 0)]);
         assert_eq!(ladder.level(), 0);
         assert_eq!(ladder.steps(), 6, "three up plus three down");
+    }
+
+    /// Regression: rungs restore strictly in reverse order after the calm
+    /// debounce — one rung per calm window, never skipping levels — and an
+    /// in-progress restore interrupted by a new fault window resumes the
+    /// climb from the rung it had reached, not from where it started.
+    #[test]
+    fn restores_rungs_in_reverse_even_when_interrupted() {
+        let mut ladder = DegradationLadder::new(quick());
+        let mut moves = Vec::new();
+        let mut feed = |ladder: &mut DegradationLadder, pressured: bool, cycles: u32| {
+            for _ in 0..cycles {
+                if let Some(step) = ladder.observe(pressured) {
+                    moves.push(step);
+                }
+            }
+        };
+        // Climb to the top...
+        feed(&mut ladder, true, 9);
+        assert_eq!(ladder.level(), MAX_LEVEL);
+        // ...restore two rungs (each only after a full calm window)...
+        feed(&mut ladder, false, 10);
+        assert_eq!(ladder.level(), 1, "two calm windows, two rungs back");
+        // ...a partial calm window, then a new fault window interrupts.
+        feed(&mut ladder, false, 3);
+        feed(&mut ladder, true, 6);
+        assert_eq!(
+            ladder.level(),
+            3,
+            "the interrupted restore resumes climbing from rung 1"
+        );
+        // Calm returns for good: the walk down revisits every rung.
+        feed(&mut ladder, false, 15);
+        assert_eq!(ladder.level(), 0);
+        assert_eq!(
+            moves,
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 2),
+                (2, 1),
+                (1, 2),
+                (2, 3),
+                (3, 2),
+                (2, 1),
+                (1, 0),
+            ],
+            "descents are strictly reverse-ordered and never skip a rung"
+        );
+        assert!(
+            moves.iter().all(|(from, to)| from.abs_diff(*to) == 1),
+            "every move is exactly one rung"
+        );
+    }
+
+    #[test]
+    fn checkpoint_round_trips_debounce_clocks() {
+        let mut ladder = DegradationLadder::new(quick());
+        for _ in 0..4 {
+            ladder.observe(true);
+        }
+        assert_eq!(ladder.level(), 1);
+        assert_eq!(ladder.checkpoint().pressured_for, 1, "partial window");
+        let ckpt = ladder.checkpoint();
+        let mut restored = DegradationLadder::new(quick());
+        restored.restore(&ckpt);
+        assert_eq!(restored.checkpoint(), ckpt, "round trip is lossless");
+        // Both ladders step up on the same future cycle.
+        for _ in 0..2 {
+            assert_eq!(ladder.observe(true), restored.observe(true));
+        }
+        assert_eq!(ladder.level(), restored.level());
+        assert_eq!(ladder.level(), 2);
     }
 }

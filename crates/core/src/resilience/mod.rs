@@ -26,20 +26,25 @@
 
 pub mod breaker;
 pub mod ladder;
+pub mod quarantine;
 pub mod retry;
 
-pub use breaker::{BreakerBank, BreakerConfig, BreakerState, CircuitBreaker};
-pub use ladder::{DegradationLadder, LadderConfig};
+pub use breaker::{
+    BreakerBank, BreakerBankCheckpoint, BreakerConfig, BreakerState, CircuitBreaker,
+};
+pub use ladder::{DegradationLadder, LadderCheckpoint, LadderConfig};
+pub use quarantine::{QuarantineConfig, QuarantineList};
 pub use retry::RetryPolicy;
 
 use crate::api::ManagedRequest;
 use crate::events::{EventSubscriber, WlmEvent};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 use wlm_dbsim::engine::QueryId;
 use wlm_dbsim::time::SimTime;
+use wlm_workload::request::RequestId;
 
 /// Configuration for the resilience layer. Each mechanism is `Option`al;
 /// `None` disables it, so the same scenario can run with any subset of the
@@ -62,6 +67,8 @@ pub struct ResilienceConfig {
     pub breaker: Option<BreakerConfig>,
     /// Degradation-ladder configuration (`None` = ladder off).
     pub ladder: Option<LadderConfig>,
+    /// Runaway-query quarantine configuration (`None` = watchdog off).
+    pub quarantine: Option<QuarantineConfig>,
 }
 
 impl ResilienceConfig {
@@ -102,6 +109,12 @@ impl ResilienceConfig {
         self.ladder = Some(cfg);
         self
     }
+
+    /// Enable the runaway-query watchdog and poison quarantine.
+    pub fn with_quarantine(mut self, cfg: QuarantineConfig) -> Self {
+        self.quarantine = Some(cfg);
+        self
+    }
 }
 
 /// A retry waiting out its backoff before re-entering the wait queue.
@@ -129,6 +142,10 @@ pub struct ResilienceReport {
     pub breaker_states: BTreeMap<String, &'static str>,
     /// Total breaker state transitions.
     pub breaker_transitions: u64,
+    /// Requests currently in the poison quarantine.
+    pub quarantined: usize,
+    /// Admissions rejected because the request was quarantined.
+    pub quarantine_rejections: u64,
 }
 
 /// The live resilience state owned by the manager. Constructed from a
@@ -147,6 +164,8 @@ pub struct ResilienceLayer {
     pub(crate) throttled: BTreeSet<QueryId>,
     retries_scheduled: u64,
     retries_exhausted: u64,
+    quarantine_cfg: Option<QuarantineConfig>,
+    quarantine: QuarantineList,
 }
 
 impl ResilienceLayer {
@@ -164,6 +183,8 @@ impl ResilienceLayer {
             throttled: BTreeSet::new(),
             retries_scheduled: 0,
             retries_exhausted: 0,
+            quarantine_cfg: cfg.quarantine,
+            quarantine: QuarantineList::default(),
         }
     }
 
@@ -246,6 +267,86 @@ impl ResilienceLayer {
         due
     }
 
+    /// Whether the runaway-query watchdog is enabled, and if so its kill
+    /// threshold.
+    pub(crate) fn quarantine_threshold(&self) -> Option<u32> {
+        self.quarantine_cfg.map(|c| c.kill_threshold)
+    }
+
+    /// Record one kill strike. Returns the strike count if this kill
+    /// newly quarantined the request; `None` when the watchdog is off or
+    /// the request stays below the threshold.
+    pub(crate) fn note_kill_strike(&mut self, id: RequestId, workload: &str) -> Option<u32> {
+        let threshold = self.quarantine_threshold()?;
+        self.quarantine.note_kill(id, workload, threshold)
+    }
+
+    /// Whether `id` is in the poison quarantine.
+    pub fn is_quarantined(&self, id: RequestId) -> bool {
+        self.quarantine.is_quarantined(id)
+    }
+
+    /// Count one admission turned away because the request was
+    /// quarantined.
+    pub(crate) fn note_quarantine_rejection(&mut self) {
+        self.quarantine.note_rejection();
+    }
+
+    /// Serializable snapshot of every piece of layer state that must
+    /// survive a controller crash. Configuration (policies, timeouts,
+    /// breaker/ladder tuning) is *not* captured: the restarted controller
+    /// is constructed with the same [`ResilienceConfig`] and the
+    /// checkpoint only re-fills its runtime state.
+    pub fn checkpoint(&self) -> ResilienceCheckpoint {
+        ResilienceCheckpoint {
+            retry_queue: self
+                .retry_queue
+                .iter()
+                .map(|pr| RetryCheckpoint {
+                    due: pr.due,
+                    req: pr.req.clone(),
+                    attempt: pr.attempt,
+                })
+                .collect(),
+            throttled: self.throttled.iter().copied().collect(),
+            retries_scheduled: self.retries_scheduled,
+            retries_exhausted: self.retries_exhausted,
+            breakers: self.breakers.borrow().checkpoint(),
+            ladder: self.ladder.as_ref().map(|l| l.checkpoint()),
+            quarantine: self.quarantine.clone(),
+        }
+    }
+
+    /// Re-fill the layer's runtime state from a checkpoint, keeping the
+    /// configuration it was constructed with. The breaker bank is
+    /// restored in place so the bus-subscribed [`BreakerFeed`] keeps
+    /// feeding the same bank.
+    pub fn restore(&mut self, ckpt: &ResilienceCheckpoint) {
+        self.retry_queue = ckpt
+            .retry_queue
+            .iter()
+            .map(|rc| PendingRetry {
+                due: rc.due,
+                req: rc.req.clone(),
+                attempt: rc.attempt,
+            })
+            .collect();
+        self.throttled = ckpt.throttled.iter().copied().collect();
+        self.retries_scheduled = ckpt.retries_scheduled;
+        self.retries_exhausted = ckpt.retries_exhausted;
+        self.breakers.borrow_mut().restore(&ckpt.breakers);
+        if let Some(ladder) = self.ladder.as_mut() {
+            match ckpt.ladder.as_ref() {
+                Some(l_ckpt) => ladder.restore(l_ckpt),
+                // A checkpoint with no ladder state (a cold restart from
+                // the empty ControllerState) resets the ladder to level 0
+                // with fresh debounce clocks.
+                None => *ladder = DegradationLadder::new(*ladder.config()),
+            }
+        }
+        self.quarantine = ckpt.quarantine.clone();
+    }
+
     /// Snapshot for reports.
     pub fn report(&self) -> ResilienceReport {
         let bank = self.breakers.borrow();
@@ -257,8 +358,44 @@ impl ResilienceLayer {
             ladder_steps: self.ladder.as_ref().map_or(0, |l| l.steps()),
             breaker_states: bank.states(),
             breaker_transitions: bank.transitions(),
+            quarantined: self.quarantine.len(),
+            quarantine_rejections: self.quarantine.rejections(),
         }
     }
+}
+
+/// One parked retry as captured in a checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryCheckpoint {
+    /// When the retry re-enters the wait queue.
+    pub due: SimTime,
+    /// The request being retried.
+    pub req: ManagedRequest,
+    /// Attempt number it will re-enter as.
+    pub attempt: u32,
+}
+
+/// Serializable runtime state of a [`ResilienceLayer`] — the part of the
+/// [`ControllerState`](crate::manager::ControllerState) checkpoint that
+/// belongs to the resilience stack.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceCheckpoint {
+    /// Retries waiting out their backoff ("aging clocks": each carries its
+    /// absolute due time, so backoff age survives the crash).
+    pub retry_queue: Vec<RetryCheckpoint>,
+    /// Queries throttled by the ladder (restored so a later step-down can
+    /// un-throttle them).
+    pub throttled: Vec<QueryId>,
+    /// Retries scheduled over the run so far.
+    pub retries_scheduled: u64,
+    /// Requests dropped after exhausting their budget so far.
+    pub retries_exhausted: u64,
+    /// Per-workload breaker state machines, mid-episode.
+    pub breakers: BreakerBankCheckpoint,
+    /// Ladder rung and debounce clocks, when the ladder is enabled.
+    pub ladder: Option<LadderCheckpoint>,
+    /// The poison quarantine — deliberately durable across crashes.
+    pub quarantine: QuarantineList,
 }
 
 impl std::fmt::Debug for ResilienceLayer {
@@ -366,6 +503,40 @@ mod tests {
         assert_eq!(due.len(), 2, "both matured retries release");
         assert_eq!(layer.report().pending_retries, 1);
         assert_eq!(layer.report().retries_scheduled, 3);
+    }
+
+    #[test]
+    fn layer_checkpoint_round_trips_runtime_state() {
+        let cfg = ResilienceConfig::new(11)
+            .with_retry(RetryPolicy::default())
+            .with_breaker(BreakerConfig::default())
+            .with_ladder(LadderConfig::default())
+            .with_quarantine(QuarantineConfig { kill_threshold: 2 });
+        let mut layer = ResilienceLayer::new(cfg.clone());
+        let req = crate::testutil::managed("w", 1, Importance::Medium);
+        layer.push_retry(SimTime(400), req.clone(), 2);
+        layer.note_exhausted();
+        layer.throttled.insert(QueryId(9));
+        layer
+            .breakers
+            .borrow_mut()
+            .record("w", false, SimTime(1_000));
+        layer.ladder_observe(true);
+        assert_eq!(layer.note_kill_strike(RequestId(5), "w"), None);
+        assert_eq!(layer.note_kill_strike(RequestId(5), "w"), Some(2));
+        layer.note_quarantine_rejection();
+
+        let ckpt = layer.checkpoint();
+        let mut restored = ResilienceLayer::new(cfg);
+        restored.restore(&ckpt);
+        assert_eq!(restored.checkpoint(), ckpt, "round trip is lossless");
+        assert!(restored.is_quarantined(RequestId(5)));
+        assert_eq!(restored.report().quarantine_rejections, 1);
+        assert_eq!(restored.take_due(SimTime(400)).len(), 1, "retry survived");
+        // And the checkpoint itself survives serde.
+        let bytes = serde_json::to_vec(&ckpt).expect("serializes");
+        let back: ResilienceCheckpoint = serde_json::from_slice(&bytes).expect("deserializes");
+        assert_eq!(back, ckpt);
     }
 
     #[test]

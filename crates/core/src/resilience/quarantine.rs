@@ -1,0 +1,131 @@
+//! The runaway-query watchdog: poison quarantine.
+//!
+//! A *poison* request is one that repeatedly trips the kill path — a
+//! timeout kill, a controller kill, a kill-and-resubmit — burning engine
+//! work and retry budget on every lap. The paper's progress-guided
+//! cancellation decides *when* to kill a long-runner but leaves open what
+//! to do when the same request keeps coming back; retry budgets alone
+//! don't close the loop because a controller crash resets them.
+//!
+//! The watchdog counts kill *strikes* per request id. At the configured
+//! threshold the request is quarantined: its pending retries are dropped,
+//! re-arrivals are admission-rejected (a distinct
+//! [`WlmEvent::QuarantineRejected`](crate::events::WlmEvent) so dashboards
+//! can tell a quarantine rejection from an ordinary shed), and — unlike
+//! retry budgets — the list rides the controller checkpoint, so a poison
+//! query cannot launder its history through a crash-restart.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wlm_workload::request::RequestId;
+
+/// Watchdog tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuarantineConfig {
+    /// Kill strikes a request may accumulate before it is quarantined.
+    pub kill_threshold: u32,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        QuarantineConfig { kill_threshold: 3 }
+    }
+}
+
+/// The quarantine list: per-request kill strikes plus the requests that
+/// crossed the threshold. Serializable so it survives controller restarts
+/// inside the [`ControllerState`](crate::manager::ControllerState)
+/// checkpoint.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineList {
+    /// Kill strikes per request id (pruned when a request is quarantined:
+    /// the verdict is final, the count no longer matters).
+    strikes: BTreeMap<RequestId, u32>,
+    /// Quarantined requests and the workload they belonged to.
+    quarantined: BTreeMap<RequestId, String>,
+    /// Requests turned away because they were quarantined.
+    rejections: u64,
+}
+
+impl QuarantineList {
+    /// Record one kill strike against `id`. Returns the strike count if
+    /// this strike crossed the threshold (i.e. the request was *newly*
+    /// quarantined), `None` otherwise.
+    pub fn note_kill(&mut self, id: RequestId, workload: &str, threshold: u32) -> Option<u32> {
+        if self.quarantined.contains_key(&id) {
+            return None;
+        }
+        let strikes = self.strikes.entry(id).or_insert(0);
+        *strikes += 1;
+        if *strikes >= threshold.max(1) {
+            let strikes = *strikes;
+            self.strikes.remove(&id);
+            self.quarantined.insert(id, workload.to_string());
+            Some(strikes)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `id` is quarantined.
+    pub fn is_quarantined(&self, id: RequestId) -> bool {
+        self.quarantined.contains_key(&id)
+    }
+
+    /// Count one rejected re-entry attempt of a quarantined request.
+    pub fn note_rejection(&mut self) {
+        self.rejections += 1;
+    }
+
+    /// Re-entry attempts turned away so far.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Requests currently quarantined.
+    pub fn len(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarantines_at_the_threshold_and_holds() {
+        let mut q = QuarantineList::default();
+        let id = RequestId(7);
+        assert_eq!(q.note_kill(id, "adhoc", 3), None);
+        assert_eq!(q.note_kill(id, "adhoc", 3), None);
+        assert!(!q.is_quarantined(id));
+        assert_eq!(q.note_kill(id, "adhoc", 3), Some(3), "third strike");
+        assert!(q.is_quarantined(id));
+        assert_eq!(q.len(), 1);
+        // Further strikes don't re-announce.
+        assert_eq!(q.note_kill(id, "adhoc", 3), None);
+        q.note_rejection();
+        assert_eq!(q.rejections(), 1);
+    }
+
+    #[test]
+    fn survives_a_serde_round_trip() {
+        let mut q = QuarantineList::default();
+        q.note_kill(RequestId(1), "poison", 1);
+        q.note_kill(RequestId(2), "poison", 3);
+        q.note_rejection();
+        let bytes = serde_json::to_vec(&q).expect("serializes");
+        let back: QuarantineList = serde_json::from_slice(&bytes).expect("deserializes");
+        assert_eq!(back, q);
+        assert!(back.is_quarantined(RequestId(1)));
+        assert!(
+            !back.is_quarantined(RequestId(2)),
+            "strikes alone don't quarantine"
+        );
+    }
+}

@@ -375,6 +375,22 @@ impl FaultState {
     }
 }
 
+/// One live query as seen by an external reconciler: identity, provenance
+/// and progress, without exposing the engine's internal runtime record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveQueryInfo {
+    /// Engine-assigned query id.
+    pub id: QueryId,
+    /// The query's workload label.
+    pub label: String,
+    /// Original submission time (the request's arrival).
+    pub submitted: SimTime,
+    /// Combined work finished so far, µs-equivalent.
+    pub work_done_us: u64,
+    /// Total combined work demanded, µs-equivalent.
+    pub work_total_us: u64,
+}
+
 /// The simulated DBMS engine. See the module docs for the model.
 #[derive(Debug)]
 pub struct DbEngine {
@@ -580,6 +596,22 @@ impl DbEngine {
     /// Label of a live query.
     pub fn label(&self, id: QueryId) -> Option<&str> {
         self.live.get(&id).map(|r| r.spec.label.as_str())
+    }
+
+    /// Enumerate the live queries, ascending by id — the reconciliation
+    /// surface a restarted controller walks to decide which engine work to
+    /// re-adopt and which to kill as orphaned.
+    pub fn live_overview(&self) -> Vec<LiveQueryInfo> {
+        self.live
+            .iter()
+            .map(|(id, rt)| LiveQueryInfo {
+                id: *id,
+                label: rt.spec.label.clone(),
+                submitted: rt.submitted,
+                work_done_us: rt.work_done(),
+                work_total_us: rt.total_work(),
+            })
+            .collect()
     }
 
     /// Number of live queries currently blocked on locks.

@@ -661,6 +661,77 @@ impl Source for ClosedLoopOltpSource {
     }
 }
 
+/// A trickle of runaway ("poison") queries: each is so large that under a
+/// tight per-workload timeout it can never finish — it gets killed, retried
+/// by the resilience layer, killed again, forever. The workload the
+/// runaway-query watchdog and poison quarantine (experiment E19) exist
+/// for: without quarantine every poison request burns kill/retry cycles
+/// for the rest of the run.
+#[derive(Debug)]
+pub struct PoisonSource {
+    label: String,
+    namespace: u16,
+    rng: SmallRng,
+    rate_per_sec: f64,
+    /// Rows scanned per poison query (sized to dwarf any timeout).
+    pub rows: u64,
+    next_arrival: SimTime,
+    counter: u64,
+}
+
+impl PoisonSource {
+    /// New poison source with the given (low) arrival rate.
+    pub fn new(rate_per_sec: f64, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let first = exp_gap(&mut rng, rate_per_sec);
+        PoisonSource {
+            label: "poison".into(),
+            namespace: 9,
+            rng,
+            rate_per_sec,
+            rows: 50_000_000,
+            next_arrival: SimTime::ZERO + first,
+            counter: 0,
+        }
+    }
+
+    /// Override the poison query size.
+    pub fn with_rows(mut self, rows: u64) -> Self {
+        self.rows = rows.max(1);
+        self
+    }
+}
+
+impl Source for PoisonSource {
+    fn poll(&mut self, _from: SimTime, to: SimTime) -> Vec<Request> {
+        let mut out = Vec::new();
+        while self.next_arrival <= to {
+            let arrival = self.next_arrival;
+            self.counter += 1;
+            let spec = PlanBuilder::table_scan(self.rows)
+                .filter(0.9)
+                .sort()
+                .build()
+                .into_spec()
+                .labeled(self.label.clone());
+            out.push(Request {
+                id: request_id(self.namespace, self.counter),
+                arrival,
+                origin: Origin::new("rogue_notebook", "intern", self.counter),
+                spec,
+                importance: Importance::Medium,
+            });
+            let gap = exp_gap(&mut self.rng, self.rate_per_sec);
+            self.next_arrival = arrival + gap;
+        }
+        out
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
 /// Remote control for a [`SurgeSource`]: the chaos driver flips the surge
 /// factor mid-run through this handle while the manager owns the source.
 #[derive(Debug, Clone)]
@@ -890,6 +961,26 @@ mod tests {
         assert_eq!(src.outstanding(), 0);
         let more = src.poll(t, t + SimDuration::from_secs(60));
         assert!(!more.is_empty());
+    }
+
+    #[test]
+    fn poison_queries_are_runaway_sized_and_deterministic() {
+        let collect = |seed| {
+            let mut src = PoisonSource::new(0.5, seed);
+            let (f, t) = window(30);
+            src.poll(f, t)
+        };
+        let reqs = collect(9);
+        assert!(!reqs.is_empty());
+        for r in &reqs {
+            assert_eq!(r.label(), "poison");
+            assert_eq!(r.id.0 >> 48, 9, "poison namespace");
+            assert!(
+                r.spec.plan.total_work() > 10_000_000,
+                "poison must dwarf any timeout"
+            );
+        }
+        assert_eq!(reqs, collect(9));
     }
 
     #[test]
