@@ -138,6 +138,7 @@ fn decisions(c: &mut Criterion) {
                 origin: wlm_workload::request::Origin::new("a", "u", 1),
                 spec,
                 importance: wlm_workload::request::Importance::Medium,
+                shard_key: None,
             },
             estimate: est,
             workload: "bi".into(),

@@ -6,9 +6,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wlm_core::admission::ThresholdAdmission;
+use wlm_core::api::WlmBuilder;
 use wlm_core::autonomic::{AutonomicController, GoalSpec};
 use wlm_core::execution::{PriorityAging, UtilityThrottler};
-use wlm_core::manager::{ManagerConfig, WorkloadManager};
+use wlm_core::manager::WorkloadManager;
 use wlm_core::policy::{AdmissionPolicy, AdmissionViolationAction};
 use wlm_core::scheduling::ServiceClassConfig;
 use wlm_core::scheduling::{PriorityScheduler, UtilityScheduler};
@@ -17,16 +18,14 @@ use wlm_dbsim::optimizer::CostModel;
 use wlm_workload::generators::{BiSource, OltpSource};
 use wlm_workload::mix::MixedSource;
 
-fn config() -> ManagerConfig {
-    ManagerConfig {
-        engine: EngineConfig {
+fn builder() -> WlmBuilder {
+    WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 8,
             memory_mb: 2_048,
             ..Default::default()
-        },
-        cost_model: CostModel::oracle(),
-        ..Default::default()
-    }
+        })
+        .cost_model(CostModel::oracle())
 }
 
 fn mix(seed: u64) -> MixedSource {
@@ -36,7 +35,7 @@ fn mix(seed: u64) -> MixedSource {
 }
 
 fn build_manager(stack: &str) -> WorkloadManager {
-    let mut mgr = WorkloadManager::new(config());
+    let mut mgr = builder().build().expect("valid configuration");
     match stack {
         "unmanaged" => {}
         "admission+priority" => {

@@ -1,5 +1,5 @@
 //! The experiment harness binary: regenerates every table and figure of the
-//! paper and runs the quantitative experiments E1–E19.
+//! paper and runs the quantitative experiments E1–E21.
 //!
 //! Usage:
 //!   experiments                # everything
@@ -8,18 +8,20 @@
 //!   experiments --json e1      # machine-readable output (JSON lines only)
 //!   experiments --trace e1     # append the decision-event trace as JSON lines
 //!   experiments --jobs 4       # worker threads (default: available cores)
-//!   experiments --seed 7 e16   # seed for the seeded experiments (E16–E19)
+//!   experiments --seed 7 e16   # seed for the seeded experiments (E16–E21)
 //!   experiments --crash-at 150 --checkpoint-every 25 e18
 //!                              # E18 crash cycle and checkpoint cadence
 //!
 //! Experiments are independent, so they run on a pool of worker threads;
 //! output is printed in submission order regardless of completion order, so
 //! runs are reproducible byte for byte. With `--json` the binary emits
-//! *only* JSON lines — one `{"experiment": ..., "seed": ..., "result": ...}`
-//! envelope per experiment — so the stream can be piped straight into `jq`.
+//! *only* JSON lines — one typed [`wlm_bench::Envelope`]
+//! (`{"experiment": ..., "seed": ..., "flags": ..., "results": ...}`) per
+//! experiment — so the stream can be piped straight into `jq`, and one
+//! schema covers E1–E21 (`wlm_bench::envelope` pins it with a test).
 //! The seed (default `0x5eed`) feeds the experiments that take one; it is
-//! echoed in every envelope — alongside `crash_at` and `checkpoint_every`
-//! (`null` when unset) — so same-flag runs can be diffed byte for byte. With
+//! echoed in every envelope — alongside the full flag set, unset flags as
+//! `null` — so same-flag runs can be diffed byte for byte. With
 //! `--trace` each experiment installs a thread-local event recorder; every
 //! manager the experiment builds publishes its decision events
 //! ([`wlm_core::events::WlmEvent`]) there, and the buffer is dumped after
@@ -239,11 +241,19 @@ fn main() {
         });
     }
     seeded_job!("e19", exp::e19_poison_quarantine);
+    seeded_job!("e20", exp::e20_shard_scaling);
+    seeded_job!("e21", exp::e21_routing_ablation);
 
     job!("a1", exp::a1_restructure_pieces);
     job!("a2", exp::a2_checkpoint_interval);
     job!("a3", exp::a3_mape_period);
 
+    let flags = wlm_bench::Flags {
+        trace,
+        jobs: workers,
+        crash_at,
+        checkpoint_every,
+    };
     let workers = workers
         .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())
         .unwrap_or(1)
@@ -252,16 +262,13 @@ fn main() {
     let outputs = run_parallel(&jobs, workers, trace);
     for (job, out) in jobs.iter().zip(outputs) {
         if json {
-            println!(
-                "{}",
-                serde_json::json!({
-                    "experiment": job.id,
-                    "seed": seed,
-                    "crash_at": crash_at,
-                    "checkpoint_every": checkpoint_every,
-                    "result": out.value
-                })
-            );
+            let envelope = wlm_bench::Envelope {
+                experiment: job.id,
+                seed,
+                flags: flags.clone(),
+                results: out.value,
+            };
+            println!("{}", envelope.to_json_line());
         } else {
             println!("{}", out.rendered);
         }

@@ -1,0 +1,103 @@
+//! The typed JSON envelope every experiment's `--json` output is wrapped
+//! in.
+//!
+//! One schema covers E1–E21, the ablations and the figures job: an
+//! [`Envelope`] carries the experiment id, the seed, the full harness
+//! [`Flags`], and the experiment's own serialized result. Every field is
+//! always present (unset flags serialize as `null`), so two runs with the
+//! same seed and flags are byte-comparable line by line and downstream
+//! `jq` filters never branch on field existence. The schema-stability test
+//! at the bottom pins the exact field set; extending it is a deliberate,
+//! reviewed act.
+
+use serde::Serialize;
+
+/// Harness flags echoed into every envelope, unset ones as `null`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct Flags {
+    /// `--trace`: decision-event trace lines follow each envelope.
+    pub trace: bool,
+    /// `--jobs N`: worker-thread override (`null` = available cores).
+    pub jobs: Option<usize>,
+    /// `--crash-at N`: E18's crash cycle (`null` = experiment default).
+    pub crash_at: Option<u64>,
+    /// `--checkpoint-every N`: E18's checkpoint cadence (`null` =
+    /// experiment default).
+    pub checkpoint_every: Option<u64>,
+}
+
+/// One experiment's machine-readable output: exactly one JSON line under
+/// `--json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Envelope {
+    /// Experiment id (`e1` … `e21`, `a1` … `a3`, `figures`).
+    pub experiment: &'static str,
+    /// The seed the seeded experiments ran under (echoed for all, so the
+    /// stream is diffable without knowing which experiments consume it).
+    pub seed: u64,
+    /// The harness flags the run was invoked with.
+    pub flags: Flags,
+    /// The experiment's own result, serialized by its result type.
+    pub results: serde_json::Value,
+}
+
+impl Envelope {
+    /// The envelope as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("envelopes always serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The schema every consumer scripts against: field names, order and
+    /// null-ness of unset flags. If this test moved, a downstream `jq`
+    /// pipeline somewhere broke.
+    #[test]
+    fn envelope_schema_is_stable() {
+        let env = Envelope {
+            experiment: "e20",
+            seed: 0x5eed,
+            flags: Flags::default(),
+            results: serde_json::json!({"rows": []}),
+        };
+        assert_eq!(
+            env.to_json_line(),
+            r#"{"experiment":"e20","seed":24301,"flags":{"trace":false,"jobs":null,"crash_at":null,"checkpoint_every":null},"results":{"rows":[]}}"#
+        );
+
+        let env = Envelope {
+            experiment: "e18",
+            seed: 7,
+            flags: Flags {
+                trace: true,
+                jobs: Some(4),
+                crash_at: Some(1_600),
+                checkpoint_every: Some(250),
+            },
+            results: serde_json::Value::Null,
+        };
+        assert_eq!(
+            env.to_json_line(),
+            r#"{"experiment":"e18","seed":7,"flags":{"trace":true,"jobs":4,"crash_at":1600,"checkpoint_every":250},"results":null}"#
+        );
+    }
+
+    /// Same envelope, same bytes — the property the CI byte-compare of two
+    /// same-seed runs rests on.
+    #[test]
+    fn serialization_is_deterministic() {
+        let make = || Envelope {
+            experiment: "e21",
+            seed: 42,
+            flags: Flags {
+                jobs: Some(2),
+                ..Flags::default()
+            },
+            results: serde_json::json!({"b": 1, "a": [1.5, 2.25]}),
+        };
+        assert_eq!(make().to_json_line(), make().to_json_line());
+    }
+}

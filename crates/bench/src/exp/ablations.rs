@@ -12,8 +12,8 @@
 //!   oscillates more (measured as control actions issued).
 
 use serde::Serialize;
+use wlm_core::api::WlmBuilder;
 use wlm_core::autonomic::{AutonomicController, GoalSpec};
-use wlm_core::manager::{ManagerConfig, WorkloadManager};
 use wlm_core::policy::WorkloadPolicy;
 use wlm_core::scheduling::{FcfsScheduler, Restructurer};
 use wlm_dbsim::engine::{DbEngine, EngineConfig};
@@ -47,14 +47,14 @@ pub struct A1Result {
 /// A1 — piece-count sweep for query restructuring.
 pub fn a1_restructure_pieces() -> A1Result {
     let run = |max_pieces: usize| -> (f64, f64) {
-        let mut mgr = WorkloadManager::new(ManagerConfig {
-            engine: EngineConfig {
+        let mut mgr = WlmBuilder::new()
+            .engine(EngineConfig {
                 cores: 8,
                 ..Default::default()
-            },
-            cost_model: CostModel::oracle(),
-            ..Default::default()
-        });
+            })
+            .cost_model(CostModel::oracle())
+            .build()
+            .expect("valid configuration");
         mgr.set_scheduler(Box::new(FcfsScheduler::new(2)));
         if max_pieces > 1 {
             mgr.set_restructurer(Restructurer {
@@ -204,18 +204,18 @@ pub fn a3_mape_period() -> A3Result {
     let rows = [1.0, 2.0, 5.0, 10.0, 20.0]
         .into_iter()
         .map(|plan_every_secs| {
-            let mut mgr = WorkloadManager::new(ManagerConfig {
-                engine: EngineConfig {
+            let mut mgr = WlmBuilder::new()
+                .engine(EngineConfig {
                     cores: 8,
                     memory_mb: 256,
                     ..Default::default()
-                },
-                cost_model: CostModel::oracle(),
-                policies: vec![WorkloadPolicy::new("oltp", Importance::Critical)
-                    .with_sla(ServiceLevelAgreement::percentile(95.0, 0.3))],
-                uniform_weights: true,
-                ..Default::default()
-            });
+                })
+                .cost_model(CostModel::oracle())
+                .policies(vec![WorkloadPolicy::new("oltp", Importance::Critical)
+                    .with_sla(ServiceLevelAgreement::percentile(95.0, 0.3))])
+                .uniform_weights(true)
+                .build()
+                .expect("valid configuration");
             let mut controller = AutonomicController::new(vec![GoalSpec {
                 workload: "oltp".into(),
                 goal_secs: 0.3,

@@ -5,8 +5,8 @@ use wlm_core::admission::{
     ConflictRatioAdmission, IndicatorAdmission, PredictionAdmission, PredictorKind,
     ThresholdAdmission, ThroughputFeedbackAdmission,
 };
+use wlm_core::api::WlmBuilder;
 use wlm_core::api::{AdmissionController, AdmissionDecision, ManagedRequest, SystemSnapshot};
-use wlm_core::manager::{ManagerConfig, WorkloadManager};
 use wlm_core::policy::{AdmissionPolicy, AdmissionViolationAction, WorkloadPolicy};
 use wlm_dbsim::engine::EngineConfig;
 use wlm_dbsim::optimizer::CostModel;
@@ -24,24 +24,22 @@ fn overload_mix(seed: u64) -> MixedSource {
         ))
 }
 
-fn overload_config() -> ManagerConfig {
-    ManagerConfig {
-        engine: EngineConfig {
+fn overload_builder() -> WlmBuilder {
+    WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 8,
             memory_mb: 512,
             ..Default::default()
-        },
-        cost_model: CostModel::oracle(),
-        policies: vec![
+        })
+        .cost_model(CostModel::oracle())
+        .policies([
             WorkloadPolicy::new("oltp", Importance::High)
                 .with_sla(ServiceLevelAgreement::percentile(95.0, 0.5)),
             WorkloadPolicy::new("bi", Importance::Medium),
-        ],
+        ])
         // The engine itself is priority-blind; admission control is the
         // only defence under test.
-        uniform_weights: true,
-        ..Default::default()
-    }
+        .uniform_weights(true)
 }
 
 /// One variant's outcome in E2.
@@ -69,7 +67,7 @@ pub struct E2Result {
 }
 
 fn run_e2_variant(name: &str, admission: Option<Box<dyn AdmissionController>>) -> E2Row {
-    let mut mgr = WorkloadManager::new(overload_config());
+    let mut mgr = overload_builder().build().expect("valid configuration");
     if let Some(a) = admission {
         mgr.set_admission(a);
     }
@@ -290,16 +288,16 @@ pub fn e14_metric_admission() -> E14Result {
     use wlm_dbsim::plan::{OperatorKind, PlanBuilder};
     use wlm_workload::generators::UniformSource;
     let run = |name: &str, admission: Option<Box<dyn AdmissionController>>| -> E14Row {
-        let mut mgr = WorkloadManager::new(ManagerConfig {
-            engine: EngineConfig {
+        let mut mgr = WlmBuilder::new()
+            .engine(EngineConfig {
                 cores: 4,
                 disk_pages_per_sec: 4_000,
                 memory_mb: 512,
                 ..Default::default()
-            },
-            cost_model: CostModel::oracle(),
-            ..Default::default()
-        });
+            })
+            .cost_model(CostModel::oracle())
+            .build()
+            .expect("valid configuration");
         if let Some(a) = admission {
             mgr.set_admission(a);
         }

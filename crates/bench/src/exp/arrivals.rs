@@ -12,7 +12,7 @@
 //! mistake this experiment makes measurable.
 
 use serde::Serialize;
-use wlm_core::manager::{ManagerConfig, WorkloadManager};
+use wlm_core::api::WlmBuilder;
 use wlm_dbsim::engine::EngineConfig;
 use wlm_dbsim::optimizer::CostModel;
 use wlm_dbsim::plan::{OperatorKind, PlanBuilder};
@@ -83,11 +83,11 @@ fn engine() -> EngineConfig {
 }
 
 fn run(source: &mut dyn Source, secs: u64) -> (f64, usize) {
-    let mut mgr = WorkloadManager::new(ManagerConfig {
-        engine: engine(),
-        cost_model: CostModel::oracle(),
-        ..Default::default()
-    });
+    let mut mgr = WlmBuilder::new()
+        .engine(engine())
+        .cost_model(CostModel::oracle())
+        .build()
+        .expect("valid configuration");
     let report = mgr.run(source, SimDuration::from_secs(secs));
     let mean = report
         .workloads

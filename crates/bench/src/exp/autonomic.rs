@@ -1,9 +1,9 @@
 //! E10, E13 — the autonomic-loop and dynamic-characterization experiments.
 
 use serde::Serialize;
+use wlm_core::api::WlmBuilder;
 use wlm_core::autonomic::{AutonomicController, GoalSpec};
 use wlm_core::characterize::{SnapshotFeatures, WorkloadTypeClassifier};
-use wlm_core::manager::{ManagerConfig, WorkloadManager};
 use wlm_core::policy::WorkloadPolicy;
 use wlm_dbsim::engine::EngineConfig;
 use wlm_dbsim::optimizer::CostModel;
@@ -62,24 +62,26 @@ pub struct E10Result {
 /// overcommits memory; the loop escalates through the execution-control
 /// ladder and keeps OLTP completing.
 pub fn e10_mape() -> E10Result {
-    let config = || ManagerConfig {
-        engine: EngineConfig {
-            cores: 8,
-            memory_mb: 256,
-            ..Default::default()
-        },
-        cost_model: CostModel::oracle(),
-        policies: vec![WorkloadPolicy::new("oltp", Importance::Critical)
-            .with_sla(ServiceLevelAgreement::percentile(95.0, 0.3))],
-        uniform_weights: true,
-        ..Default::default()
+    let builder = || {
+        WlmBuilder::new()
+            .engine(EngineConfig {
+                cores: 8,
+                memory_mb: 256,
+                ..Default::default()
+            })
+            .cost_model(CostModel::oracle())
+            .policy(
+                WorkloadPolicy::new("oltp", Importance::Critical)
+                    .with_sla(ServiceLevelAgreement::percentile(95.0, 0.3)),
+            )
+            .uniform_weights(true)
     };
     let horizon = SimDuration::from_secs(180);
 
-    let mut fixed = WorkloadManager::new(config());
+    let mut fixed = builder().build().expect("valid configuration");
     let fixed_report = fixed.run(&mut shift_mix(900), horizon);
 
-    let mut managed = WorkloadManager::new(config());
+    let mut managed = builder().build().expect("valid configuration");
     let controller = AutonomicController::new(vec![GoalSpec {
         workload: "oltp".into(),
         goal_secs: 0.3,

@@ -1,0 +1,413 @@
+//! E20/E21 — the sharded cluster under hierarchical workload management.
+//!
+//! E20 is the scale-out claim: a partitionable OLTP mix offered at a fixed
+//! per-shard rate (weak scaling) should complete near-linearly more work
+//! as shards are added, with SLA violation rates flat — the global
+//! front-end adds routing, not a bottleneck. The pinned shape: ≥3×
+//! aggregate throughput at 4 shards versus 1.
+//!
+//! E21 is the routing/failover ablation, in two halves. The cache half
+//! runs a cache-sensitive partitioned mix (small per-shard buffer pools,
+//! partition hot sets that only fit warm on a bounded number of shards)
+//! under each routing policy: affinity keeps every partition warm on its
+//! home shard, while round-robin drags each shard's pool through all
+//! sixteen partitions and pays physical reads for the churn. The failover
+//! half strands a deterministic batch-report burst on its affinity home
+//! shard and kills that shard's controller: with [`FailoverPolicy::Reroute`]
+//! the batch moves to the survivors and completes inside its response
+//! goal; with [`FailoverPolicy::WaitForRestart`] it waits out the outage
+//! and blows the goal on every completion.
+
+use serde::Serialize;
+use wlm_cluster::{ClusterBuilder, FailoverPolicy, RoutingPolicy};
+use wlm_core::api::WlmBuilder;
+use wlm_core::policy::WorkloadPolicy;
+use wlm_core::scheduling::FcfsScheduler;
+use wlm_dbsim::bufferpool::BufferPool;
+use wlm_dbsim::engine::EngineConfig;
+use wlm_dbsim::optimizer::CostModel;
+use wlm_dbsim::time::{SimDuration, SimTime};
+use wlm_workload::generators::{BatchReportSource, OltpSource};
+use wlm_workload::mix::MixedSource;
+use wlm_workload::request::Importance;
+use wlm_workload::sla::ServiceLevelAgreement;
+
+/// Simulated run length of each E20/E21 configuration, seconds.
+const RUN_SECS: u64 = 30;
+/// OLTP arrivals offered per shard in E20 (weak scaling), per second.
+const E20_RATE_PER_SHARD: f64 = 20.0;
+/// Partitions the E20 key space is split into.
+const E20_PARTITIONS: u64 = 64;
+/// Partitions in the E21 cache-sensitivity mix.
+const E21_PARTITIONS: u64 = 16;
+/// The shard `batch_report` affinity-hashes to in a 4-shard cluster
+/// (splitmix64 of the label's FNV-1a key, modulo 4) — the shard the E21
+/// failover half kills so the batch is deterministically stranded.
+const E21_BATCH_HOME_SHARD: usize = 0;
+
+/// One shard count's outcome in E20.
+#[derive(Debug, Clone, Serialize)]
+pub struct E20Row {
+    /// Shards in the cluster.
+    pub shards: usize,
+    /// Offered OLTP arrivals per second (weak scaling: 20/s per shard).
+    pub offered_per_sec: f64,
+    /// Completions over the run.
+    pub completed: u64,
+    /// Aggregate throughput, completions/second.
+    pub throughput: f64,
+    /// Aggregate throughput relative to the 1-shard row.
+    pub speedup: f64,
+    /// OLTP response-goal violations.
+    pub goal_violations: u64,
+    /// Violations per completion — the flat line the claim needs.
+    pub violation_rate: f64,
+}
+
+/// Result of E20.
+#[derive(Debug, Clone, Serialize)]
+pub struct E20Result {
+    /// The seed behind the arrival streams.
+    pub seed: u64,
+    /// Rows across shard counts, 1-shard first.
+    pub rows: Vec<E20Row>,
+}
+
+/// One routing policy's outcome on the E21 cache-sensitive mix.
+#[derive(Debug, Clone, Serialize)]
+pub struct E21RoutingRow {
+    /// Routing policy name.
+    pub policy: &'static str,
+    /// Completions over the run.
+    pub completed: u64,
+    /// Aggregate throughput, completions/second.
+    pub throughput: f64,
+    /// OLTP response-goal violations.
+    pub goal_violations: u64,
+}
+
+/// One failover policy's outcome under the E21 shard kill.
+#[derive(Debug, Clone, Serialize)]
+pub struct E21FailoverRow {
+    /// Failover policy name.
+    pub failover: &'static str,
+    /// Completions over the run.
+    pub completed: u64,
+    /// Requests moved off the killed shard.
+    pub rerouted: u64,
+    /// Batch-report response-goal violations (the stranded cohort).
+    pub batch_violations: u64,
+    /// OLTP response-goal violations.
+    pub oltp_violations: u64,
+}
+
+/// Result of E21.
+#[derive(Debug, Clone, Serialize)]
+pub struct E21Result {
+    /// The seed behind the arrival streams.
+    pub seed: u64,
+    /// Cache-sensitivity ablation, one row per routing policy.
+    pub routing: Vec<E21RoutingRow>,
+    /// Shard-kill ablation, one row per failover policy.
+    pub failover: Vec<E21FailoverRow>,
+}
+
+/// An E20 shard: comfortably provisioned, so added shards translate
+/// straight into added completions.
+fn e20_shard(_shard: usize) -> WlmBuilder {
+    WlmBuilder::new()
+        .engine(EngineConfig {
+            cores: 2,
+            disk_pages_per_sec: 10_000,
+            memory_mb: 2_048,
+            ..Default::default()
+        })
+        .cost_model(CostModel::oracle())
+        .policy(
+            WorkloadPolicy::new("oltp", Importance::High)
+                .with_sla(ServiceLevelAgreement::percentile(95.0, 2.0)),
+        )
+}
+
+/// Run E20: the same per-shard load against 1, 2 and 4 shards.
+pub fn e20_shard_scaling(seed: u64) -> E20Result {
+    let mut rows: Vec<E20Row> = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let mut cluster = ClusterBuilder::new()
+            .shards(shards)
+            .routing(RoutingPolicy::Affinity)
+            .shard_builder(Box::new(e20_shard))
+            .build()
+            .expect("valid configuration");
+        let offered = E20_RATE_PER_SHARD * shards as f64;
+        let mut src = OltpSource::new(offered, seed).with_partitions(E20_PARTITIONS);
+        let report = cluster.run(&mut src, SimDuration::from_secs(RUN_SECS));
+        let goal_violations = cluster.goal_violations_in("oltp");
+        let base = rows.first().map_or(report.throughput, |r| r.throughput);
+        rows.push(E20Row {
+            shards,
+            offered_per_sec: offered,
+            completed: report.completed,
+            throughput: report.throughput,
+            speedup: if base > 0.0 {
+                report.throughput / base
+            } else {
+                0.0
+            },
+            goal_violations,
+            violation_rate: if report.completed > 0 {
+                goal_violations as f64 / report.completed as f64
+            } else {
+                0.0
+            },
+        });
+    }
+    E20Result { seed, rows }
+}
+
+/// An E21 cache-half shard: a buffer pool two orders of magnitude smaller
+/// than a partition-churning working set, and a disk slow enough that the
+/// resulting physical reads are the bottleneck.
+fn e21_cache_shard(_shard: usize) -> WlmBuilder {
+    WlmBuilder::new()
+        .engine(EngineConfig {
+            cores: 2,
+            disk_pages_per_sec: 25,
+            memory_mb: 4_096,
+            buffer_pool: BufferPool {
+                pages: 2_048,
+                max_hit: 0.95,
+            },
+            ..Default::default()
+        })
+        .cost_model(CostModel::oracle())
+        .scheduler(Box::new(FcfsScheduler::new(16)))
+        .policy(
+            WorkloadPolicy::new("oltp", Importance::High)
+                .with_sla(ServiceLevelAgreement::percentile(95.0, 3.0)),
+        )
+}
+
+/// An E21 failover-half shard: healthy pool, moderate disk, a tight MPL so
+/// the stranded batch is mostly still queued when the controller dies.
+fn e21_failover_shard(_shard: usize) -> WlmBuilder {
+    WlmBuilder::new()
+        .engine(EngineConfig {
+            cores: 2,
+            disk_pages_per_sec: 2_000,
+            memory_mb: 4_096,
+            ..Default::default()
+        })
+        .cost_model(CostModel::oracle())
+        .scheduler(Box::new(FcfsScheduler::new(4)))
+        .policies([
+            WorkloadPolicy::new("oltp", Importance::High)
+                .with_sla(ServiceLevelAgreement::percentile(95.0, 5.0)),
+            WorkloadPolicy::new("batch_report", Importance::Low)
+                .with_sla(ServiceLevelAgreement::avg_response(20.0)),
+        ])
+}
+
+fn e21_cache_run(seed: u64, policy: RoutingPolicy) -> E21RoutingRow {
+    let mut cluster = ClusterBuilder::new()
+        .shards(4)
+        .routing(policy)
+        .shard_builder(Box::new(e21_cache_shard))
+        // Each shard can hold 6 of the 16 partition hot sets warm — enough
+        // for any shard's affinity-assigned partitions, far too few for
+        // round-robin's all-partitions churn.
+        .warm_cache(6, 8_192)
+        .build()
+        .expect("valid configuration");
+    let mut src = OltpSource::new(100.0, seed).with_partitions(E21_PARTITIONS);
+    let report = cluster.run(&mut src, SimDuration::from_secs(RUN_SECS));
+    E21RoutingRow {
+        policy: policy.name(),
+        completed: report.completed,
+        throughput: report.throughput,
+        goal_violations: cluster.goal_violations_in("oltp"),
+    }
+}
+
+fn e21_failover_run(seed: u64, failover: FailoverPolicy) -> E21FailoverRow {
+    let mut cluster = ClusterBuilder::new()
+        .shards(4)
+        .routing(RoutingPolicy::Affinity)
+        .failover(failover)
+        .shard_builder(Box::new(e21_failover_shard))
+        .build()
+        .expect("valid configuration");
+    // The 40-query report burst lands on its affinity home shard at t=6 s;
+    // that shard's controller dies at t=8 s with the burst barely started
+    // and stays down until t=32 s.
+    cluster
+        .schedule_outage(E21_BATCH_HOME_SHARD, 8.0, 24.0)
+        .expect("shard exists");
+    let release = SimTime::ZERO + SimDuration::from_secs(6);
+    let mut src = MixedSource::new()
+        .with(Box::new(
+            OltpSource::new(40.0, seed).with_partitions(E21_PARTITIONS),
+        ))
+        .with(Box::new(BatchReportSource::new(release, 40, seed + 1)));
+    let report = cluster.run(&mut src, SimDuration::from_secs(40));
+    E21FailoverRow {
+        failover: failover.name(),
+        completed: report.completed,
+        rerouted: report.rerouted,
+        batch_violations: cluster.goal_violations_in("batch_report"),
+        oltp_violations: cluster.goal_violations_in("oltp"),
+    }
+}
+
+/// Run E21: the routing ablation on the cache-sensitive mix, then the
+/// failover ablation under the shard kill.
+pub fn e21_routing_ablation(seed: u64) -> E21Result {
+    let routing = [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::LeastOutstandingCost,
+        RoutingPolicy::Affinity,
+    ]
+    .into_iter()
+    .map(|p| e21_cache_run(seed, p))
+    .collect();
+    let failover = [FailoverPolicy::Reroute, FailoverPolicy::WaitForRestart]
+        .into_iter()
+        .map(|f| e21_failover_run(seed, f))
+        .collect();
+    E21Result {
+        seed,
+        routing,
+        failover,
+    }
+}
+
+impl E20Result {
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "E20 — shard scaling on a partitionable OLTP mix (seed {:#x})\n  shards   offered/s   completed   throughput   speedup   SLA viol. rate\n",
+            self.seed
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "  {:>6}   {:>9.0}   {:>9}   {:>8.1}/s   {:>6.2}x   {:>13.4}\n",
+                r.shards, r.offered_per_sec, r.completed, r.throughput, r.speedup, r.violation_rate
+            ));
+        }
+        out.push_str(
+            "  weak scaling: per-shard load is constant, so aggregate throughput\n  grows with the shard count while violation rates stay flat\n",
+        );
+        out
+    }
+}
+
+impl E21Result {
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "E21 — routing and failover ablation (seed {:#x})\n  cache-sensitive mix, 4 shards, small pools:\n  policy                   completed   throughput   goal violations\n",
+            self.seed
+        );
+        for r in &self.routing {
+            out.push_str(&format!(
+                "  {:<22}   {:>9}   {:>8.1}/s   {:>15}\n",
+                r.policy, r.completed, r.throughput, r.goal_violations
+            ));
+        }
+        out.push_str(
+            "  shard kill with a stranded report burst:\n  failover               completed   rerouted   batch viol.   oltp viol.\n",
+        );
+        for r in &self.failover {
+            out.push_str(&format!(
+                "  {:<20}   {:>9}   {:>8}   {:>11}   {:>10}\n",
+                r.failover, r.completed, r.rerouted, r.batch_violations, r.oltp_violations
+            ));
+        }
+        out.push_str(
+            "  affinity keeps partition hot sets warm; re-route keeps a dead\n  shard's work inside its response goals\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEED: u64 = 0x5eed;
+
+    /// The E20 acceptance shape: ≥3× aggregate throughput at 4 shards
+    /// versus 1, with SLA violation rates flat across shard counts.
+    #[test]
+    fn e20_scales_near_linearly_with_flat_violations() {
+        let r = e20_shard_scaling(SEED);
+        assert_eq!(r.rows.len(), 3);
+        let one = &r.rows[0];
+        let four = r.rows.last().unwrap();
+        assert_eq!(four.shards, 4);
+        assert!(
+            four.speedup >= 3.0,
+            "4-shard speedup {:.2} < 3.0 ({} vs {} completed)",
+            four.speedup,
+            four.completed,
+            one.completed
+        );
+        for row in &r.rows {
+            assert!(
+                row.violation_rate <= 0.02,
+                "{} shards: violation rate {:.4} not flat-at-zero",
+                row.shards,
+                row.violation_rate
+            );
+        }
+    }
+
+    /// The E21 cache claim: affinity routing beats round-robin on the
+    /// cache-sensitive mix, in both throughput and goal violations.
+    #[test]
+    fn e21_affinity_beats_round_robin_on_cache_sensitive_mix() {
+        let r = e21_routing_ablation(SEED);
+        let rr = r
+            .routing
+            .iter()
+            .find(|row| row.policy == "round_robin")
+            .unwrap();
+        let aff = r
+            .routing
+            .iter()
+            .find(|row| row.policy == "affinity")
+            .unwrap();
+        assert!(
+            aff.completed > rr.completed,
+            "affinity {} ≤ round-robin {}",
+            aff.completed,
+            rr.completed
+        );
+        assert!(
+            aff.goal_violations < rr.goal_violations,
+            "affinity {} viol. ≥ round-robin {} viol.",
+            aff.goal_violations,
+            rr.goal_violations
+        );
+        assert!(
+            rr.goal_violations > 0,
+            "round-robin must actually churn pools cold"
+        );
+
+        // The failover claim: re-route moves the stranded burst and bounds
+        // its violations; wait-for-restart blows the batch response goal.
+        let re = r.failover.iter().find(|f| f.failover == "reroute").unwrap();
+        let wait = r
+            .failover
+            .iter()
+            .find(|f| f.failover == "wait_for_restart")
+            .unwrap();
+        assert!(re.rerouted > 0, "the kill must actually move work");
+        assert!(
+            re.batch_violations < wait.batch_violations,
+            "reroute {} batch viol. ≥ wait {} batch viol.",
+            re.batch_violations,
+            wait.batch_violations
+        );
+    }
+}

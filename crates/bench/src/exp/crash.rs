@@ -19,7 +19,8 @@
 
 use serde::Serialize;
 use wlm_chaos::{run_with_chaos, ChaosDriver, FaultPlanBuilder};
-use wlm_core::manager::{ControllerState, ManagerConfig, RecoveryReport, WorkloadManager};
+use wlm_core::api::WlmBuilder;
+use wlm_core::manager::{ControllerState, RecoveryReport, WorkloadManager};
 use wlm_core::policy::WorkloadPolicy;
 use wlm_core::resilience::{
     BreakerConfig, LadderConfig, QuarantineConfig, ResilienceConfig, RetryPolicy,
@@ -95,24 +96,24 @@ pub struct E18Result {
 }
 
 fn manager() -> WorkloadManager {
-    let mut mgr = WorkloadManager::new(ManagerConfig {
-        engine: EngineConfig {
+    let mut mgr = WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 4,
             disk_pages_per_sec: 20_000,
             memory_mb: 4_096,
             ..Default::default()
-        },
-        cost_model: CostModel::oracle(),
-        policies: vec![
+        })
+        .cost_model(CostModel::oracle())
+        .policies(vec![
             WorkloadPolicy::new("oltp", Importance::High)
                 .with_sla(ServiceLevelAgreement::percentile(95.0, 12.0)),
             WorkloadPolicy::new("bi", Importance::Medium)
                 .with_sla(ServiceLevelAgreement::avg_response(60.0)),
             WorkloadPolicy::new("poison", Importance::Medium)
                 .with_sla(ServiceLevelAgreement::best_effort()),
-        ],
-        ..Default::default()
-    });
+        ])
+        .build()
+        .expect("valid configuration");
     mgr.set_scheduler(Box::new(PriorityScheduler::new(12)));
     mgr
 }

@@ -11,7 +11,7 @@
 //! and lean CPU/IO queries (late knee — pure saturation).
 
 use serde::Serialize;
-use wlm_core::manager::{ManagerConfig, WorkloadManager};
+use wlm_core::api::WlmBuilder;
 use wlm_core::scheduling::FcfsScheduler;
 use wlm_dbsim::engine::EngineConfig;
 use wlm_dbsim::optimizer::CostModel;
@@ -39,6 +39,7 @@ impl Backlog {
                     origin: Origin::new("backlog", "bench", i as u64),
                     spec: plan.into_spec().labeled("backlog"),
                     importance: Importance::Medium,
+                    shard_key: None,
                 }
             })
             .collect();
@@ -87,16 +88,16 @@ pub struct E1Result {
 }
 
 fn run_backlog(mpl: usize, cpu_secs: f64, io_pages: u64, mem_mb: u64) -> f64 {
-    let mut mgr = WorkloadManager::new(ManagerConfig {
-        engine: EngineConfig {
+    let mut mgr = WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 8,
             disk_pages_per_sec: 40_000,
             memory_mb: 2_048,
             ..Default::default()
-        },
-        cost_model: CostModel::oracle(),
-        ..Default::default()
-    });
+        })
+        .cost_model(CostModel::oracle())
+        .build()
+        .expect("valid configuration");
     mgr.set_scheduler(Box::new(FcfsScheduler::new(mpl)));
     let mut backlog = Backlog::uniform(400, cpu_secs, io_pages, mem_mb);
     let horizon = SimDuration::from_secs(60);

@@ -1,11 +1,11 @@
 //! E4, E5, E7, E12 — the execution-control experiments.
 
 use serde::Serialize;
+use wlm_core::api::WlmBuilder;
 use wlm_core::execution::{
     optimal_suspend_plan, EconomicReallocator, ProgressGuidedKiller, SuspendCosts, ThresholdKiller,
     UtilityThrottler,
 };
-use wlm_core::manager::{ManagerConfig, WorkloadManager};
 use wlm_core::policy::WorkloadPolicy;
 use wlm_dbsim::engine::{DbEngine, EngineConfig};
 use wlm_dbsim::optimizer::CostModel;
@@ -56,12 +56,12 @@ pub fn e4_throttling() -> E4Result {
         UniformSource::new(template, 5.0, "production", 500).with_importance(Importance::High)
     };
     let run = |with_utility: bool, throttle_baseline: Option<f64>| -> (f64, f64) {
-        let mut mgr = WorkloadManager::new(ManagerConfig {
-            engine: engine(),
-            cost_model: CostModel::oracle(),
-            uniform_weights: true,
-            ..Default::default()
-        });
+        let mut mgr = WlmBuilder::new()
+            .engine(engine())
+            .cost_model(CostModel::oracle())
+            .uniform_weights(true)
+            .build()
+            .expect("valid configuration");
         if let Some(baseline_secs) = throttle_baseline {
             mgr.add_exec_controller(Box::new(UtilityThrottler::new(
                 "production",
@@ -287,20 +287,20 @@ pub struct E7Result {
 /// importance flip (Boughton \[4], Zhang \[78]): two identical query streams;
 /// "gold" starts 4x as important; at half time the policy flips.
 pub fn e7_economic() -> E7Result {
-    let mut mgr = WorkloadManager::new(ManagerConfig {
-        engine: EngineConfig {
+    let mut mgr = WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 4,
             disk_pages_per_sec: 10_000,
             memory_mb: 2_048,
             ..Default::default()
-        },
-        cost_model: CostModel::oracle(),
-        policies: vec![
+        })
+        .cost_model(CostModel::oracle())
+        .policies(vec![
             WorkloadPolicy::new("gold", Importance::High),
             WorkloadPolicy::new("silver", Importance::High),
-        ],
-        ..Default::default()
-    });
+        ])
+        .build()
+        .expect("valid configuration");
     // A fixed MPL keeps the saturation healthy; the market decides how
     // fast each admitted query progresses.
     mgr.set_scheduler(Box::new(wlm_core::scheduling::FcfsScheduler::new(12)));
@@ -379,16 +379,16 @@ pub struct E12Result {
 /// small queries spend a long time queued inside the engine behind hogs.
 pub fn e12_kill_precision() -> E12Result {
     let run = |progress_guided: bool| -> (u64, u64) {
-        let mut mgr = WorkloadManager::new(ManagerConfig {
-            engine: EngineConfig {
+        let mut mgr = WlmBuilder::new()
+            .engine(EngineConfig {
                 cores: 2,
                 disk_pages_per_sec: 5_000,
                 memory_mb: 256,
                 ..Default::default()
-            },
-            cost_model: CostModel::oracle(),
-            ..Default::default()
-        });
+            })
+            .cost_model(CostModel::oracle())
+            .build()
+            .expect("valid configuration");
         if progress_guided {
             // The progress indicator only kills queries with a lot of work
             // left — the hogs, never the cheap crawlers.

@@ -4,7 +4,8 @@
 //! classification.
 
 use serde::Serialize;
-use wlm_core::manager::{ManagerConfig, WorkloadManager};
+use wlm_core::api::WlmBuilder;
+use wlm_core::manager::WorkloadManager;
 use wlm_dbsim::engine::EngineConfig;
 use wlm_dbsim::optimizer::CostModel;
 use wlm_dbsim::time::SimDuration;
@@ -44,17 +45,15 @@ fn mix(seed: u64) -> MixedSource {
         ))
 }
 
-fn config() -> ManagerConfig {
-    ManagerConfig {
-        engine: EngineConfig {
+fn builder() -> WlmBuilder {
+    WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 8,
             memory_mb: 256,
             ..Default::default()
-        },
-        cost_model: CostModel::with_error(0.3, 99),
-        uniform_weights: true,
-        ..Default::default()
-    }
+        })
+        .cost_model(CostModel::with_error(0.3, 99))
+        .uniform_weights(true)
 }
 
 fn summarize(facility: &str, oltp_class: &str, mgr: &mut WorkloadManager) -> E9Row {
@@ -74,11 +73,11 @@ fn summarize(facility: &str, oltp_class: &str, mgr: &mut WorkloadManager) -> E9R
 pub fn e9_facilities() -> E9Result {
     let mut rows = Vec::new();
 
-    let mut baseline = WorkloadManager::new(config());
+    let mut baseline = builder().build().expect("valid configuration");
     rows.push(summarize("unmanaged baseline", "oltp", &mut baseline));
 
     let db2 = Db2WorkloadManager::example();
-    let mut mgr = db2.build(config());
+    let mut mgr = db2.build(builder()).expect("valid configuration");
     rows.push(summarize(
         "IBM DB2 Workload Manager",
         "INTERACTIVE",
@@ -86,7 +85,7 @@ pub fn e9_facilities() -> E9Result {
     ));
 
     let rg = ResourceGovernor::example();
-    let mut mgr = rg.build(config());
+    let mut mgr = rg.build(builder()).expect("valid configuration");
     rows.push(summarize(
         "SQL Server Resource/Query Governor",
         "oltp_group",
@@ -94,7 +93,7 @@ pub fn e9_facilities() -> E9Result {
     ));
 
     let asm = TeradataAsm::example();
-    let mut mgr = asm.build(config());
+    let mut mgr = asm.build(builder()).expect("valid configuration");
     rows.push(summarize(
         "Teradata Active System Management",
         "WD-Tactical",

@@ -1,9 +1,10 @@
-//! The quantitative experiments (E1–E19 of DESIGN.md).
+//! The quantitative experiments (E1–E21 of DESIGN.md).
 
 pub mod ablations;
 pub mod admission;
 pub mod arrivals;
 pub mod autonomic;
+pub mod cluster;
 pub mod crash;
 pub mod engine;
 pub mod execution;
@@ -15,6 +16,7 @@ pub use ablations::{a1_restructure_pieces, a2_checkpoint_interval, a3_mape_perio
 pub use admission::{e14_metric_admission, e2_thresholds, e8_prediction};
 pub use arrivals::e15_open_vs_closed;
 pub use autonomic::{e10_mape, e13_classifier};
+pub use cluster::{e20_shard_scaling, e21_routing_ablation};
 pub use crash::{e18_crash_recovery, e19_poison_quarantine};
 pub use engine::e1_mpl_curve;
 pub use execution::{e12_kill_precision, e4_throttling, e5_suspend, e7_economic};

@@ -15,7 +15,8 @@
 
 use serde::Serialize;
 use wlm_chaos::{run_with_chaos, ChaosDriver, FaultPlan, FaultPlanBuilder};
-use wlm_core::manager::{ManagerConfig, RunReport, WorkloadManager};
+use wlm_core::api::WlmBuilder;
+use wlm_core::manager::{RunReport, WorkloadManager};
 use wlm_core::policy::WorkloadPolicy;
 use wlm_core::resilience::{BreakerConfig, LadderConfig, ResilienceConfig, RetryPolicy};
 use wlm_core::scheduling::PriorityScheduler;
@@ -100,24 +101,24 @@ pub struct E17Result {
 }
 
 fn manager() -> WorkloadManager {
-    let mut mgr = WorkloadManager::new(ManagerConfig {
-        engine: EngineConfig {
+    let mut mgr = WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 4,
             disk_pages_per_sec: 20_000,
             memory_mb: 4_096,
             ..Default::default()
-        },
-        cost_model: CostModel::oracle(),
-        policies: vec![
+        })
+        .cost_model(CostModel::oracle())
+        .policies(vec![
             WorkloadPolicy::new("oltp", Importance::High)
                 .with_sla(ServiceLevelAgreement::percentile(95.0, 12.0)),
             WorkloadPolicy::new("bi", Importance::Medium)
                 .with_sla(ServiceLevelAgreement::avg_response(60.0)),
             WorkloadPolicy::new("adhoc", Importance::Low)
                 .with_sla(ServiceLevelAgreement::best_effort()),
-        ],
-        ..Default::default()
-    });
+        ])
+        .build()
+        .expect("valid configuration");
     mgr.set_scheduler(Box::new(PriorityScheduler::new(12)));
     mgr
 }
@@ -248,7 +249,8 @@ pub fn e17_fault_recovery(seed: u64) -> E17Result {
     let mut seen_goals = 0u64;
     for (phase, until_secs) in [("pre-fault", 15u64), ("fault", 30), ("recovery", 60)] {
         let target = SimTime(until_secs * 1_000_000);
-        run_with_chaos(&mut mgr, &mut src, target.since(mgr.now()), &mut driver);
+        let remaining = target.since(mgr.now());
+        run_with_chaos(&mut mgr, &mut src, remaining, &mut driver);
         let report = mgr.report();
         let responses = report
             .workload("oltp")

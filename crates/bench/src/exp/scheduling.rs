@@ -2,7 +2,7 @@
 
 use serde::Serialize;
 use wlm_core::api::Scheduler;
-use wlm_core::manager::{ManagerConfig, WorkloadManager};
+use wlm_core::api::WlmBuilder;
 use wlm_core::policy::WorkloadPolicy;
 use wlm_core::scheduling::{
     FcfsScheduler, MplFeedbackScheduler, PriorityScheduler, RankScheduler, Restructurer,
@@ -78,19 +78,21 @@ pub struct E3Result {
 /// E3 — static MPLs under/over-load a dynamic environment; feedback MPL
 /// adapts (§3.3). The mix flips from OLTP-heavy to BI-heavy at t=60s.
 pub fn e3_dynamic_mpl() -> E3Result {
-    let config = || ManagerConfig {
-        engine: EngineConfig {
-            cores: 8,
-            memory_mb: 1_024,
-            ..Default::default()
-        },
-        cost_model: CostModel::oracle(),
-        policies: vec![WorkloadPolicy::new("oltp", Importance::High)
-            .with_sla(ServiceLevelAgreement::percentile(95.0, 0.5))],
-        ..Default::default()
+    let builder = || {
+        WlmBuilder::new()
+            .engine(EngineConfig {
+                cores: 8,
+                memory_mb: 1_024,
+                ..Default::default()
+            })
+            .cost_model(CostModel::oracle())
+            .policy(
+                WorkloadPolicy::new("oltp", Importance::High)
+                    .with_sla(ServiceLevelAgreement::percentile(95.0, 0.5)),
+            )
     };
     let run = |name: &str, scheduler: Box<dyn Scheduler>| -> E3Row {
-        let mut mgr = WorkloadManager::new(config());
+        let mut mgr = builder().build().expect("valid configuration");
         mgr.set_scheduler(scheduler);
         let report = mgr.run(&mut PhasedMix::new(200, 60), SimDuration::from_secs(150));
         E3Row {
@@ -159,19 +161,19 @@ pub struct E6Result {
 /// E6 — queue-management schedulers on a mixed load under one MPL budget
 /// (§4.2.1): FCFS vs priority vs rank function vs Niu's utility scheduler.
 pub fn e6_schedulers() -> E6Result {
-    let config = || ManagerConfig {
-        engine: EngineConfig {
-            cores: 8,
-            memory_mb: 1_024,
-            ..Default::default()
-        },
-        cost_model: CostModel::oracle(),
-        policies: vec![
-            WorkloadPolicy::new("oltp", Importance::High)
-                .with_sla(ServiceLevelAgreement::percentile(95.0, 0.5)),
-            WorkloadPolicy::new("bi", Importance::Medium),
-        ],
-        ..Default::default()
+    let builder = || {
+        WlmBuilder::new()
+            .engine(EngineConfig {
+                cores: 8,
+                memory_mb: 1_024,
+                ..Default::default()
+            })
+            .cost_model(CostModel::oracle())
+            .policies([
+                WorkloadPolicy::new("oltp", Importance::High)
+                    .with_sla(ServiceLevelAgreement::percentile(95.0, 0.5)),
+                WorkloadPolicy::new("bi", Importance::Medium),
+            ])
     };
     let mix = || {
         MixedSource::new()
@@ -181,7 +183,7 @@ pub fn e6_schedulers() -> E6Result {
             ))
     };
     let run = |name: &str, scheduler: Box<dyn Scheduler>| -> E6Row {
-        let mut mgr = WorkloadManager::new(config());
+        let mut mgr = builder().build().expect("valid configuration");
         mgr.set_scheduler(scheduler);
         let report = mgr.run(&mut mix(), SimDuration::from_secs(120));
         E6Row {
@@ -257,14 +259,14 @@ pub struct E11Result {
 /// queries and a stream of small BI queries.
 pub fn e11_restructuring() -> E11Result {
     let run = |restructure: bool| -> (f64, u64) {
-        let mut mgr = WorkloadManager::new(ManagerConfig {
-            engine: EngineConfig {
+        let mut mgr = WlmBuilder::new()
+            .engine(EngineConfig {
                 cores: 8,
                 ..Default::default()
-            },
-            cost_model: CostModel::oracle(),
-            ..Default::default()
-        });
+            })
+            .cost_model(CostModel::oracle())
+            .build()
+            .expect("valid configuration");
         mgr.set_scheduler(Box::new(FcfsScheduler::new(2)));
         if restructure {
             mgr.set_restructurer(Restructurer {

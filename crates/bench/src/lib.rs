@@ -2,14 +2,18 @@
 //!
 //! Regenerates every table and figure of the taxonomy paper (Figure 1,
 //! Tables 1–5 — printed directly from the technique registry and facility
-//! emulations) and runs the quantitative experiments E1–E19 of DESIGN.md
+//! emulations) and runs the quantitative experiments E1–E21 of DESIGN.md
 //! that validate each behavioural claim the paper makes about the surveyed
 //! techniques. EXPERIMENTS.md records the paper-claim ↔ measured-shape
 //! correspondence.
 //!
 //! Everything here is deterministic given the seeds baked into each
-//! experiment, so reruns reproduce the recorded numbers exactly.
+//! experiment, so reruns reproduce the recorded numbers exactly. With
+//! `--json`, every experiment's output is wrapped in the one stable
+//! [`envelope::Envelope`] schema.
 
+pub mod envelope;
 pub mod exp;
 
+pub use envelope::{Envelope, Flags};
 pub use exp::*;

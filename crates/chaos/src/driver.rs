@@ -228,20 +228,20 @@ pub fn run_with_chaos(
 mod tests {
     use super::*;
     use crate::plan::FaultPlanBuilder;
-    use wlm_core::manager::ManagerConfig;
+    use wlm_core::api::WlmBuilder;
     use wlm_dbsim::engine::EngineConfig;
     use wlm_workload::generators::{OltpSource, SurgeSource};
 
     fn manager() -> WorkloadManager {
-        WorkloadManager::new(ManagerConfig {
-            engine: EngineConfig {
+        WlmBuilder::new()
+            .engine(EngineConfig {
                 cores: 4,
                 disk_pages_per_sec: 20_000,
                 memory_mb: 2_048,
                 ..Default::default()
-            },
-            ..Default::default()
-        })
+            })
+            .build()
+            .expect("valid configuration")
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //!
 //! ```
 //! use wlm_chaos::{ChaosDriver, FaultPlanBuilder, run_with_chaos};
-//! use wlm_core::manager::{ManagerConfig, WorkloadManager};
+//! use wlm_core::api::WlmBuilder;
 //! use wlm_dbsim::time::SimDuration;
 //! use wlm_workload::generators::OltpSource;
 //!
@@ -39,7 +39,7 @@
 //!     .core_loss(6.0, 2.0, 2)      // two cores offline for 2 s
 //!     .build();
 //! let mut driver = ChaosDriver::new(plan);
-//! let mut mgr = WorkloadManager::new(ManagerConfig::default());
+//! let mut mgr = WlmBuilder::new().build().expect("valid configuration");
 //! let mut src = OltpSource::new(20.0, 1);
 //! let report = run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(10), &mut driver);
 //! assert!(driver.done() && report.completed > 0);

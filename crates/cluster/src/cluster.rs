@@ -1,0 +1,836 @@
+//! The cluster: N engine shards under one global front-end controller.
+//!
+//! [`Cluster::tick`] is the hierarchical control cycle. On the shared
+//! engine quantum it (1) processes due shard outages and rejoins,
+//! (2) polls the cluster-level source for the window's arrivals,
+//! (3) passes each arrival through the cluster admission gate (shedding
+//! when every live shard is saturated) and routes the survivors to shard
+//! inboxes, (4) steps every shard's [`WorkloadManager`] exactly one
+//! control cycle (down shards advance via
+//! [`WorkloadManager::tick_uncontrolled`] — the data plane outlives its
+//! controller), and (5) forwards completion feedback to the source. Every
+//! step is deterministic, so an N-shard run is reproducible per seed down
+//! to byte-identical shard checkpoints.
+//!
+//! Shard failure reuses the crash-tolerant control plane:
+//! [`FailoverPolicy::Reroute`] checkpoints the dying controller, moves its
+//! queued work (wait queue, admission gate, inbox, and the in-flight
+//! running/suspended sets) onto the survivors, and restores a stripped
+//! checkpoint so the restore reconciliation orphan-kills what the dead
+//! shard's engine was running — each moved request runs again elsewhere,
+//! none is lost, none completes twice. [`FailoverPolicy::WaitForRestart`]
+//! is the ablation baseline: the work stays put and the shard restores its
+//! full checkpoint when it rejoins.
+
+use crate::inbox::{FeedbackBuffer, InboxSource};
+use crate::routing::{affinity_key, splitmix64, RoutingPolicy};
+use crate::snapshot::{ClusterSnapshot, ShardView};
+use crate::warm::WarmCache;
+use serde::Serialize;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use wlm_core::api::WlmBuilder;
+use wlm_core::events::{EventBus, EventSubscriber, WlmEvent};
+use wlm_core::manager::{ControllerState, RunReport, WorkloadManager};
+use wlm_core::Error;
+use wlm_dbsim::engine::EngineFault;
+use wlm_dbsim::optimizer::CostModel;
+use wlm_dbsim::time::{SimDuration, SimTime};
+use wlm_workload::generators::Source;
+use wlm_workload::request::Request;
+
+/// What the front-end does with a failed shard's queued work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FailoverPolicy {
+    /// Move the dead shard's queued and in-flight work onto the surviving
+    /// shards at crash time (bounded SLA damage, survivors absorb load).
+    Reroute,
+    /// Leave the work where it is; the shard restores its checkpoint when
+    /// it rejoins (the work waits out the outage).
+    WaitForRestart,
+}
+
+impl FailoverPolicy {
+    /// Short policy name (stable; used in experiment output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailoverPolicy::Reroute => "reroute",
+            FailoverPolicy::WaitForRestart => "wait_for_restart",
+        }
+    }
+}
+
+/// One shard: a per-shard workload manager plus its arrival inbox.
+struct Shard {
+    mgr: WorkloadManager,
+    inbox: InboxSource,
+    /// `Some(t)` while the shard's controller is down; it rejoins at `t`.
+    down_until: Option<SimTime>,
+    /// Estimated cost routed to this shard in the current tick, not yet
+    /// visible in the manager's snapshot (least-outstanding-cost routing).
+    routed_cost: f64,
+}
+
+impl Shard {
+    fn alive(&self) -> bool {
+        self.down_until.is_none()
+    }
+}
+
+/// A scheduled shard-controller outage.
+struct Outage {
+    shard: usize,
+    at: SimTime,
+    duration: SimDuration,
+    triggered: bool,
+    /// The full crash-time checkpoint, held for the shard's rejoin under
+    /// [`FailoverPolicy::WaitForRestart`].
+    saved: Option<ControllerState>,
+}
+
+/// End-of-run summary aggregated over every shard.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterReport {
+    /// Simulated run length, seconds.
+    pub elapsed_secs: f64,
+    /// Total completions across shards.
+    pub completed: u64,
+    /// Total kills across shards, *excluding* crash-recovery reclaims of
+    /// queries whose rerouted twins ran elsewhere (those are resource
+    /// housekeeping, not workload-management outcomes — each such request
+    /// still surfaces exactly once in the cluster's books). The per-shard
+    /// rows in [`Self::shards`] keep the raw counts.
+    pub killed: u64,
+    /// Total shard-level rejections.
+    pub rejected: u64,
+    /// Requests routed by the front-end.
+    pub routed: u64,
+    /// Requests moved off failed shards.
+    pub rerouted: u64,
+    /// Requests shed at the cluster door.
+    pub shed: u64,
+    /// Aggregate throughput, completions/second.
+    pub throughput: f64,
+    /// Per-shard run reports, in shard order.
+    pub shards: Vec<RunReport>,
+}
+
+/// Typed facade for assembling a [`Cluster`] — the cluster-level
+/// counterpart of [`WlmBuilder`].
+pub struct ClusterBuilder {
+    shards: usize,
+    routing: RoutingPolicy,
+    failover: FailoverPolicy,
+    shed_threshold: Option<usize>,
+    warm_cache: Option<(usize, u64)>,
+    routing_cost_model: CostModel,
+    factory: Option<Box<dyn Fn(usize) -> WlmBuilder>>,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ClusterBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterBuilder")
+            .field("shards", &self.shards)
+            .field("routing", &self.routing)
+            .field("failover", &self.failover)
+            .field("shed_threshold", &self.shed_threshold)
+            .field("warm_cache", &self.warm_cache)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterBuilder {
+    /// A single-shard cluster with round-robin routing, re-route failover,
+    /// no shed gate and no warm-partition model.
+    pub fn new() -> Self {
+        ClusterBuilder {
+            shards: 1,
+            routing: RoutingPolicy::RoundRobin,
+            failover: FailoverPolicy::Reroute,
+            shed_threshold: None,
+            warm_cache: None,
+            routing_cost_model: CostModel::oracle(),
+            factory: None,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Routing policy for arriving requests.
+    pub fn routing(mut self, policy: RoutingPolicy) -> Self {
+        self.routing = policy;
+        self
+    }
+
+    /// What happens to a failed shard's queued work.
+    pub fn failover(mut self, policy: FailoverPolicy) -> Self {
+        self.failover = policy;
+        self
+    }
+
+    /// Open the cluster shed gate when every live shard's queue pressure
+    /// (controller queue plus inbox) reaches `threshold`.
+    pub fn shed_when_all_queued_at_least(mut self, threshold: usize) -> Self {
+        self.shed_threshold = Some(threshold.max(1));
+        self
+    }
+
+    /// Enable the warm-partition model: each shard keeps up to `capacity`
+    /// partitions warm; a cold-routed partition charges its request a
+    /// `cold_working_set_pages` working set (see [`WarmCache`]).
+    pub fn warm_cache(mut self, capacity: usize, cold_working_set_pages: u64) -> Self {
+        self.warm_cache = Some((capacity, cold_working_set_pages));
+        self
+    }
+
+    /// Cost model the least-outstanding-cost router estimates arrivals
+    /// with (default: a perfect oracle).
+    pub fn routing_cost_model(mut self, model: CostModel) -> Self {
+        self.routing_cost_model = model;
+        self
+    }
+
+    /// Per-shard manager configuration: `f(shard)` returns the
+    /// [`WlmBuilder`] the shard's manager is built from. Without a
+    /// factory, every shard gets `WlmBuilder::new()` defaults.
+    pub fn shard_builder(mut self, f: Box<dyn Fn(usize) -> WlmBuilder>) -> Self {
+        self.factory = Some(f);
+        self
+    }
+
+    /// Validate and assemble the cluster.
+    ///
+    /// Fails with [`Error::Config`] when the shard count is zero, a
+    /// shard's own builder fails validation, or the shards disagree on the
+    /// engine quantum (the two-level controller steps one shared clock).
+    pub fn build(self) -> Result<Cluster, Error> {
+        if self.shards == 0 {
+            return Err(Error::Config("cluster needs at least one shard".into()));
+        }
+        let feedback: FeedbackBuffer = Rc::new(RefCell::new(Vec::new()));
+        let mut shards = Vec::with_capacity(self.shards);
+        let mut quantum = None;
+        for i in 0..self.shards {
+            let builder = match &self.factory {
+                Some(f) => f(i),
+                None => WlmBuilder::new(),
+            };
+            let mgr = builder.build()?;
+            let q = mgr.engine().config().quantum;
+            match quantum {
+                None => quantum = Some(q),
+                Some(q0) if q0 != q => {
+                    return Err(Error::Config(format!(
+                        "shard {i} quantum {}us disagrees with shard 0 quantum {}us",
+                        q.as_micros(),
+                        q0.as_micros()
+                    )));
+                }
+                Some(_) => {}
+            }
+            shards.push(Shard {
+                mgr,
+                inbox: InboxSource::new(i, Rc::clone(&feedback)),
+                down_until: None,
+                routed_cost: 0.0,
+            });
+        }
+        let warm = self
+            .warm_cache
+            .map(|(capacity, cold)| WarmCache::new(self.shards, capacity, cold));
+        Ok(Cluster {
+            shards,
+            routing: self.routing,
+            failover: self.failover,
+            shed_threshold: self.shed_threshold,
+            warm,
+            routing_cost_model: self.routing_cost_model,
+            rr_next: 0,
+            quantum: quantum.expect("at least one shard"),
+            events: Rc::new(RefCell::new(EventBus::with_thread_trace())),
+            feedback,
+            parked: VecDeque::new(),
+            outages: Vec::new(),
+            routed: 0,
+            rerouted: 0,
+            shed: 0,
+            reclaimed: 0,
+        })
+    }
+}
+
+/// The sharded cluster under hierarchical workload management.
+pub struct Cluster {
+    shards: Vec<Shard>,
+    routing: RoutingPolicy,
+    failover: FailoverPolicy,
+    shed_threshold: Option<usize>,
+    warm: Option<WarmCache>,
+    routing_cost_model: CostModel,
+    /// Round-robin cursor.
+    rr_next: usize,
+    /// The shared engine quantum every shard steps per cluster tick.
+    quantum: SimDuration,
+    /// The front-end's own decision-event bus.
+    events: Rc<RefCell<EventBus>>,
+    feedback: FeedbackBuffer,
+    /// Arrivals held while no shard is live (flushed on rejoin).
+    parked: VecDeque<Request>,
+    outages: Vec<Outage>,
+    routed: u64,
+    rerouted: u64,
+    shed: u64,
+    /// Orphan kills performed while stripping a crashed shard under
+    /// [`FailoverPolicy::Reroute`]. Their moved twins run to completion on
+    /// the survivors, so these are subtracted from the aggregate `killed`
+    /// to keep cluster accounting exactly-once.
+    reclaimed: u64,
+}
+
+impl Cluster {
+    /// Cluster simulated time (every shard agrees — they step together).
+    pub fn now(&self) -> SimTime {
+        self.shards[0].mgr.now()
+    }
+
+    /// Number of shards, live or not.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to one shard's manager.
+    pub fn shard(&self, shard: usize) -> Result<&WorkloadManager, Error> {
+        self.shards
+            .get(shard)
+            .map(|s| &s.mgr)
+            .ok_or(Error::UnknownShard(shard))
+    }
+
+    /// Whether a shard's controller is currently up.
+    pub fn shard_alive(&self, shard: usize) -> Result<bool, Error> {
+        self.shards
+            .get(shard)
+            .map(Shard::alive)
+            .ok_or(Error::UnknownShard(shard))
+    }
+
+    /// Requests routed by the front-end so far.
+    pub fn routed(&self) -> u64 {
+        self.routed
+    }
+
+    /// Requests moved off failed shards so far.
+    pub fn rerouted(&self) -> u64 {
+        self.rerouted
+    }
+
+    /// Requests shed at the cluster door so far.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Attach a subscriber to the front-end's decision-event bus
+    /// ([`WlmEvent::Routed`] / [`WlmEvent::Rerouted`] /
+    /// [`WlmEvent::ClusterShed`]). Per-shard pipeline events stay on each
+    /// shard's own bus.
+    pub fn subscribe(&mut self, sub: Box<dyn EventSubscriber>) {
+        self.events.borrow_mut().subscribe(sub);
+    }
+
+    /// The aggregate monitor view the global controller decides against.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            at: self.now(),
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ShardView {
+                    shard: i,
+                    alive: s.alive(),
+                    snapshot: s.mgr.live_snapshot().clone(),
+                    inbox_depth: s.inbox.len(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Deterministic per-shard checkpoints (shard order) — the cluster's
+    /// reproducibility fingerprint: same seed, same bytes.
+    pub fn checkpoints(&self) -> Vec<ControllerState> {
+        self.shards.iter().map(|s| s.mgr.checkpoint()).collect()
+    }
+
+    /// Sum of `workload`'s goal violations across shards.
+    pub fn goal_violations_in(&self, workload: &str) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.mgr.goal_violations_in(workload))
+            .sum()
+    }
+
+    /// Schedule a shard-controller crash at `at_secs`, lasting
+    /// `dur_secs`. What happens to the shard's queued work is governed by
+    /// the cluster's [`FailoverPolicy`].
+    pub fn schedule_outage(
+        &mut self,
+        shard: usize,
+        at_secs: f64,
+        dur_secs: f64,
+    ) -> Result<(), Error> {
+        if shard >= self.shards.len() {
+            return Err(Error::UnknownShard(shard));
+        }
+        self.outages.push(Outage {
+            shard,
+            at: SimTime::ZERO + SimDuration::from_secs_f64(at_secs.max(0.0)),
+            duration: SimDuration::from_secs_f64(dur_secs.max(0.0)),
+            triggered: false,
+            saved: None,
+        });
+        self.outages.sort_by_key(|o| (o.at, o.shard));
+        Ok(())
+    }
+
+    /// Inject an engine-level fault into one shard (the chaos drivers'
+    /// fault vocabulary applied shard-locally).
+    pub fn apply_engine_fault(&mut self, shard: usize, fault: EngineFault) -> Result<(), Error> {
+        self.shards
+            .get_mut(shard)
+            .ok_or(Error::UnknownShard(shard))?
+            .mgr
+            .apply_engine_fault(fault)
+    }
+
+    /// Advance the whole cluster one engine quantum: route the window's
+    /// arrivals through the cluster admission gate, then step every shard
+    /// one control cycle.
+    pub fn tick(&mut self, source: &mut dyn Source) {
+        let from = self.now();
+        let to = from + self.quantum;
+        self.process_outages(from);
+        for shard in &mut self.shards {
+            shard.routed_cost = 0.0;
+        }
+
+        // Arrivals parked during a full outage get first claim on a
+        // rejoined shard, ahead of this window's arrivals.
+        if self.shards.iter().any(Shard::alive) {
+            while let Some(req) = self.parked.pop_front() {
+                self.admit_or_route(req);
+            }
+        }
+        for req in source.poll(from, to) {
+            self.admit_or_route(req);
+        }
+
+        for shard in &mut self.shards {
+            if shard.alive() {
+                // Split borrow: the manager ticks against its own inbox.
+                let Shard { mgr, inbox, .. } = shard;
+                mgr.tick(inbox);
+            } else {
+                shard.mgr.tick_uncontrolled();
+            }
+        }
+
+        let fed: Vec<(String, SimTime)> = self.feedback.borrow_mut().drain(..).collect();
+        for (label, at) in fed {
+            source.on_completion(&label, at);
+        }
+    }
+
+    /// Run for `duration` of simulated time and report.
+    pub fn run(&mut self, source: &mut dyn Source, duration: SimDuration) -> ClusterReport {
+        let deadline = self.now() + duration;
+        while self.now() < deadline {
+            self.tick(source);
+        }
+        self.report()
+    }
+
+    /// Build the aggregate end-of-run report at the current time.
+    pub fn report(&self) -> ClusterReport {
+        let shards: Vec<RunReport> = self.shards.iter().map(|s| s.mgr.report()).collect();
+        let completed: u64 = shards.iter().map(|r| r.completed).sum();
+        let elapsed = shards.first().map(|r| r.elapsed_secs).unwrap_or(0.0);
+        ClusterReport {
+            elapsed_secs: elapsed,
+            completed,
+            killed: shards.iter().map(|r| r.killed).sum::<u64>() - self.reclaimed,
+            rejected: shards.iter().map(|r| r.rejected).sum(),
+            routed: self.routed,
+            rerouted: self.rerouted,
+            shed: self.shed,
+            throughput: if elapsed > 0.0 {
+                completed as f64 / elapsed
+            } else {
+                0.0
+            },
+            shards,
+        }
+    }
+
+    /// Whether every live shard's queue pressure is at or above the shed
+    /// threshold (no gate configured = never saturated).
+    fn saturated(&self) -> bool {
+        let Some(threshold) = self.shed_threshold else {
+            return false;
+        };
+        let mut any_live = false;
+        for shard in self.shards.iter().filter(|s| s.alive()) {
+            any_live = true;
+            if shard.mgr.live_snapshot().queued + shard.inbox.len() < threshold {
+                return false;
+            }
+        }
+        any_live
+    }
+
+    fn emit(&self, event: WlmEvent) {
+        let mut bus = self.events.borrow_mut();
+        if bus.is_active() {
+            bus.emit(event);
+        }
+    }
+
+    /// Cluster admission then routing for one arrival.
+    fn admit_or_route(&mut self, req: Request) {
+        if self.saturated() {
+            self.shed += 1;
+            self.emit(WlmEvent::ClusterShed {
+                at: self.now(),
+                request: req.id,
+                workload: req.spec.label.clone(),
+            });
+            return;
+        }
+        match self.route_target(&req) {
+            Ok(target) => {
+                self.routed += 1;
+                self.emit(WlmEvent::Routed {
+                    at: self.now(),
+                    request: req.id,
+                    workload: req.spec.label.clone(),
+                    shard: target,
+                });
+                self.deliver(target, req);
+            }
+            // No live shard: hold the arrival until one rejoins.
+            Err(_) => self.parked.push_back(req),
+        }
+    }
+
+    /// Charge the warm-partition model and queue the request on `target`.
+    fn deliver(&mut self, target: usize, mut req: Request) {
+        if let Some(cache) = &mut self.warm {
+            cache.on_route(target, &mut req);
+        }
+        let est = self.routing_cost_model.estimate_spec(&req.spec);
+        self.shards[target].routed_cost += est.timerons;
+        self.shards[target].inbox.push(req);
+    }
+
+    /// Pick a live shard for the request per the routing policy.
+    fn route_target(&mut self, req: &Request) -> Result<usize, Error> {
+        let n = self.shards.len();
+        if !self.shards.iter().any(Shard::alive) {
+            return Err(Error::NoLiveShards);
+        }
+        match self.routing {
+            RoutingPolicy::RoundRobin => {
+                for probe in 0..n {
+                    let i = (self.rr_next + probe) % n;
+                    if self.shards[i].alive() {
+                        self.rr_next = (i + 1) % n;
+                        return Ok(i);
+                    }
+                }
+                Err(Error::NoLiveShards)
+            }
+            RoutingPolicy::LeastOutstandingCost => {
+                let mut best: Option<(usize, f64)> = None;
+                for (i, shard) in self.shards.iter().enumerate() {
+                    if !shard.alive() {
+                        continue;
+                    }
+                    let outstanding =
+                        shard.mgr.live_snapshot().outstanding_cost() + shard.routed_cost;
+                    // Strict `<` keeps ties on the lowest index.
+                    if best.is_none_or(|(_, cost)| outstanding < cost) {
+                        best = Some((i, outstanding));
+                    }
+                }
+                best.map(|(i, _)| i).ok_or(Error::NoLiveShards)
+            }
+            RoutingPolicy::Affinity => {
+                let home = (splitmix64(affinity_key(req)) % n as u64) as usize;
+                for probe in 0..n {
+                    let i = (home + probe) % n;
+                    if self.shards[i].alive() {
+                        return Ok(i);
+                    }
+                }
+                Err(Error::NoLiveShards)
+            }
+        }
+    }
+
+    /// Trigger due outages and rejoin shards whose outage has elapsed.
+    fn process_outages(&mut self, now: SimTime) {
+        // Rejoins first: an outage scheduled for this instant on a shard
+        // that just finished one sees the shard up, not down.
+        for shard in &mut self.shards {
+            if shard.down_until.is_some_and(|t| t <= now) {
+                shard.down_until = None;
+            }
+        }
+        for idx in 0..self.outages.len() {
+            if self.outages[idx].triggered || self.outages[idx].at > now {
+                continue;
+            }
+            self.outages[idx].triggered = true;
+            let shard = self.outages[idx].shard;
+            if !self.shards[shard].alive() {
+                continue; // already down: overlapping outages collapse
+            }
+            let until = now + self.outages[idx].duration;
+            match self.failover {
+                FailoverPolicy::WaitForRestart => {
+                    // Freeze the controller's state for the rejoin; the
+                    // queued work waits out the outage in place.
+                    self.outages[idx].saved = Some(self.shards[shard].mgr.checkpoint());
+                    self.shards[shard].down_until = Some(until);
+                }
+                FailoverPolicy::Reroute => self.crash_and_reroute(shard, until),
+            }
+        }
+        // WaitForRestart rejoin: restore the crash-time checkpoint. The
+        // restore reconciliation re-queues whatever the engine finished or
+        // lost while uncontrolled — at-least-once, never silently dropped.
+        for idx in 0..self.outages.len() {
+            let due = self.outages[idx].triggered
+                && self.outages[idx].saved.is_some()
+                && self.outages[idx].at + self.outages[idx].duration <= now;
+            if due {
+                let shard = self.outages[idx].shard;
+                let ckpt = self.outages[idx].saved.take().expect("due checked");
+                self.shards[shard].mgr.restore(&ckpt);
+            }
+        }
+    }
+
+    /// [`FailoverPolicy::Reroute`] crash: checkpoint the dying controller,
+    /// move every queued and in-flight request to the survivors, and
+    /// restore a stripped checkpoint so the reconciliation orphan-kills
+    /// the dead shard's live engine queries (their moved twins run
+    /// elsewhere; nothing is lost, nothing completes twice).
+    fn crash_and_reroute(&mut self, shard: usize, until: SimTime) {
+        let ckpt = self.shards[shard].mgr.checkpoint();
+        let mut moved: Vec<Request> = Vec::new();
+        moved.extend(ckpt.wait_queue.iter().map(|m| m.request.clone()));
+        moved.extend(ckpt.deferred.iter().map(|m| m.request.clone()));
+        moved.extend(ckpt.running.iter().map(|rc| rc.req.request.clone()));
+        moved.extend(ckpt.suspended.iter().map(|s| s.req.request.clone()));
+        moved.extend(self.shards[shard].inbox.drain_all());
+        let stripped = ControllerState {
+            wait_queue: Vec::new(),
+            deferred: Vec::new(),
+            running: Vec::new(),
+            suspended: Vec::new(),
+            ..ckpt
+        };
+        // The stripped restore orphan-kills every engine query the dead
+        // shard was running. Those kills are resource reclamation — the
+        // moved twins finish on the survivors — so they are excluded from
+        // the cluster's aggregate `killed` count.
+        let recovery = self.shards[shard].mgr.restore(&stripped);
+        self.reclaimed += recovery.orphans_killed as u64;
+        self.shards[shard].down_until = Some(until);
+
+        for req in moved {
+            match self.route_target(&req) {
+                Ok(target) => {
+                    self.rerouted += 1;
+                    self.emit(WlmEvent::Rerouted {
+                        at: self.now(),
+                        request: req.id,
+                        workload: req.spec.label.clone(),
+                        from_shard: shard,
+                        to_shard: target,
+                    });
+                    self.deliver(target, req);
+                }
+                Err(_) => self.parked.push_back(req),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("shards", &self.shards.len())
+            .field("routing", &self.routing)
+            .field("failover", &self.failover)
+            .field("now", &self.now())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlm_dbsim::engine::EngineConfig;
+    use wlm_workload::generators::OltpSource;
+
+    fn small_builder(_shard: usize) -> WlmBuilder {
+        WlmBuilder::new()
+            .engine(EngineConfig {
+                cores: 2,
+                disk_pages_per_sec: 20_000,
+                memory_mb: 1_024,
+                ..Default::default()
+            })
+            .cost_model(CostModel::oracle())
+    }
+
+    fn cluster(shards: usize, routing: RoutingPolicy) -> Cluster {
+        ClusterBuilder::new()
+            .shards(shards)
+            .routing(routing)
+            .shard_builder(Box::new(small_builder))
+            .build()
+            .expect("valid configuration")
+    }
+
+    #[test]
+    fn builder_rejects_zero_shards() {
+        let err = ClusterBuilder::new().shards(0).build().unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn round_robin_spreads_and_completes_work() {
+        let mut c = cluster(3, RoutingPolicy::RoundRobin);
+        let mut src = OltpSource::new(60.0, 7);
+        let report = c.run(&mut src, SimDuration::from_secs(5));
+        assert!(report.completed > 0, "work flowed through the cluster");
+        assert_eq!(report.routed, c.routed());
+        for shard in &report.shards {
+            assert!(
+                shard.completed > 0,
+                "round-robin must exercise every shard: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn affinity_routing_is_a_stable_function_of_the_partition() {
+        let mut c = cluster(4, RoutingPolicy::Affinity);
+        // Same partition key, different requests: always the same shard.
+        let mut gen = OltpSource::new(100.0, 3).with_partitions(8);
+        let reqs = gen.poll(SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(1));
+        assert!(!reqs.is_empty());
+        let mut by_partition: std::collections::BTreeMap<u64, usize> = Default::default();
+        for req in &reqs {
+            let target = c.route_target(req).expect("all shards live");
+            let partition = req.shard_key.expect("partitioned source");
+            let prior = by_partition.entry(partition).or_insert(target);
+            assert_eq!(*prior, target, "partition {partition} moved shards");
+        }
+        assert!(
+            by_partition
+                .values()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+                > 1,
+            "8 partitions must spread over more than one of 4 shards"
+        );
+    }
+
+    #[test]
+    fn cluster_run_is_deterministic_per_seed() {
+        let run = |routing| {
+            let mut c = cluster(3, routing);
+            let mut src = OltpSource::new(70.0, 42).with_partitions(6);
+            c.run(&mut src, SimDuration::from_secs(3));
+            c.checkpoints()
+                .iter()
+                .map(|ckpt| ckpt.to_bytes())
+                .collect::<Vec<_>>()
+        };
+        for routing in [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::LeastOutstandingCost,
+            RoutingPolicy::Affinity,
+        ] {
+            assert_eq!(run(routing), run(routing), "{}", routing.name());
+        }
+    }
+
+    #[test]
+    fn outage_on_unknown_shard_is_rejected() {
+        let mut c = cluster(2, RoutingPolicy::RoundRobin);
+        assert_eq!(
+            c.schedule_outage(5, 1.0, 1.0).unwrap_err(),
+            Error::UnknownShard(5)
+        );
+        assert!(matches!(c.shard(9), Err(Error::UnknownShard(9))));
+    }
+
+    #[test]
+    fn reroute_failover_moves_queued_work_to_survivors() {
+        let mut c = cluster(2, RoutingPolicy::RoundRobin);
+        c.schedule_outage(0, 1.0, 2.0).expect("valid shard");
+        let mut src = OltpSource::new(40.0, 11);
+        let report = c.run(&mut src, SimDuration::from_secs(6));
+        assert!(report.rerouted > 0, "crash moved work: {report:?}");
+        assert!(c.shard_alive(0).unwrap(), "shard 0 rejoined");
+        assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn shed_gate_drops_when_every_shard_is_saturated() {
+        let mut c = ClusterBuilder::new()
+            .shards(2)
+            .shard_builder(Box::new(|_| {
+                WlmBuilder::new().engine(EngineConfig {
+                    cores: 1,
+                    disk_pages_per_sec: 200,
+                    memory_mb: 256,
+                    ..Default::default()
+                })
+            }))
+            .shed_when_all_queued_at_least(4)
+            .build()
+            .expect("valid configuration");
+        // Far beyond two tiny shards' capacity: queues fill, the gate opens.
+        let mut src = OltpSource::new(500.0, 5);
+        let report = c.run(&mut src, SimDuration::from_secs(4));
+        assert!(report.shed > 0, "saturation must shed: {report:?}");
+    }
+
+    #[test]
+    fn cluster_snapshot_reflects_shard_state() {
+        let mut c = cluster(2, RoutingPolicy::LeastOutstandingCost);
+        let mut src = OltpSource::new(50.0, 9);
+        c.run(&mut src, SimDuration::from_secs(1));
+        let snap = c.snapshot();
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.live_shards(), 2);
+        assert_eq!(snap.at, c.now());
+    }
+}

@@ -1,0 +1,106 @@
+//! The per-shard inbox: how routed requests reach a shard's manager.
+//!
+//! The cluster front-end routes each arriving request into the target
+//! shard's [`InboxSource`]; the shard's
+//! [`WorkloadManager`](wlm_core::manager::WorkloadManager) then polls that
+//! inbox like any other [`Source`] on its next control cycle. Completion
+//! feedback flows the opposite way: the manager reports completions to the
+//! inbox, which parks them in a buffer shared with the cluster so
+//! [`Cluster::tick`](crate::cluster::Cluster::tick) can forward them to
+//! the cluster-level source after every shard has stepped — closed-loop
+//! sources see the same feedback they would see against a single manager.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use wlm_dbsim::time::SimTime;
+use wlm_workload::generators::Source;
+use wlm_workload::request::Request;
+
+/// Completion feedback parked for the cluster to forward: the completed
+/// request's workload label and completion time.
+pub(crate) type FeedbackBuffer = Rc<RefCell<Vec<(String, SimTime)>>>;
+
+/// A shard's arrival queue, fed by the cluster front-end and drained by
+/// the shard's manager.
+#[derive(Debug)]
+pub struct InboxSource {
+    label: String,
+    pending: VecDeque<Request>,
+    feedback: FeedbackBuffer,
+}
+
+impl InboxSource {
+    pub(crate) fn new(shard: usize, feedback: FeedbackBuffer) -> Self {
+        InboxSource {
+            label: format!("shard-{shard}-inbox"),
+            pending: VecDeque::new(),
+            feedback,
+        }
+    }
+
+    /// Queue a routed request for the shard's next control cycle.
+    pub(crate) fn push(&mut self, req: Request) {
+        self.pending.push_back(req);
+    }
+
+    /// Requests routed but not yet ingested by the shard's manager.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the inbox holds no pending requests.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Take every pending request (failover: the work moves elsewhere).
+    pub(crate) fn drain_all(&mut self) -> Vec<Request> {
+        self.pending.drain(..).collect()
+    }
+}
+
+impl Source for InboxSource {
+    fn poll(&mut self, _from: SimTime, to: SimTime) -> Vec<Request> {
+        let mut out = Vec::new();
+        while self.pending.front().is_some_and(|req| req.arrival <= to) {
+            out.push(self.pending.pop_front().expect("front checked"));
+        }
+        out
+    }
+
+    fn on_completion(&mut self, label: &str, at: SimTime) {
+        self.feedback.borrow_mut().push((label.to_string(), at));
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlm_workload::generators::OltpSource;
+
+    #[test]
+    fn inbox_drains_due_arrivals_and_forwards_feedback() {
+        let window = SimTime::ZERO + wlm_dbsim::time::SimDuration::from_millis(200);
+        let feedback: FeedbackBuffer = Rc::new(RefCell::new(Vec::new()));
+        let mut inbox = InboxSource::new(0, Rc::clone(&feedback));
+        assert!(inbox.is_empty());
+        let mut gen = OltpSource::new(50.0, 1);
+        for req in gen.poll(SimTime::ZERO, window) {
+            inbox.push(req);
+        }
+        assert!(!inbox.is_empty());
+        let n = inbox.len();
+        let drained = inbox.poll(SimTime::ZERO, window);
+        assert_eq!(drained.len(), n);
+        assert!(inbox.is_empty());
+
+        inbox.on_completion("oltp", window);
+        assert_eq!(feedback.borrow().len(), 1);
+        assert_eq!(feedback.borrow()[0].0, "oltp");
+    }
+}

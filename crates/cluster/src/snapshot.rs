@@ -1,0 +1,116 @@
+//! The cluster-wide monitor view the global controller decides against.
+
+use serde::Serialize;
+use wlm_core::api::SystemSnapshot;
+use wlm_dbsim::time::SimTime;
+
+/// One shard as the global front-end sees it.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardView {
+    /// Shard index.
+    pub shard: usize,
+    /// Whether the shard's controller is up (a down shard's engine keeps
+    /// draining, but no new work is routed to it).
+    pub alive: bool,
+    /// The shard controller's maintained monitor snapshot.
+    pub snapshot: SystemSnapshot,
+    /// Requests routed to the shard but not yet ingested by its manager.
+    pub inbox_depth: usize,
+}
+
+impl ShardView {
+    /// Queue pressure the front-end's shed gate evaluates: requests the
+    /// shard knows about plus requests already routed on their way in.
+    pub fn queue_pressure(&self) -> usize {
+        self.snapshot.queued + self.inbox_depth
+    }
+}
+
+/// Point-in-time aggregate view over every shard — the input to
+/// cluster-level admission and routing decisions.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterSnapshot {
+    /// Cluster clock (all shards tick the same quantum, so they agree).
+    pub at: SimTime,
+    /// Per-shard views, in shard order.
+    pub shards: Vec<ShardView>,
+}
+
+impl ClusterSnapshot {
+    /// Shards whose controller is up.
+    pub fn live_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.alive).count()
+    }
+
+    /// Total running queries across live shards.
+    pub fn running(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.snapshot.running)
+            .sum()
+    }
+
+    /// Total queued requests across live shards (controller queues plus
+    /// in-flight inboxes).
+    pub fn queued(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.alive)
+            .map(ShardView::queue_pressure)
+            .sum()
+    }
+
+    /// Whether every live shard's queue pressure is at or above
+    /// `threshold` — the cluster-wide saturation condition that opens the
+    /// shed gate. `false` when no shard is live (failover handles that
+    /// case, not shedding).
+    pub fn saturated(&self, threshold: usize) -> bool {
+        let mut any_live = false;
+        for shard in self.shards.iter().filter(|s| s.alive) {
+            any_live = true;
+            if shard.queue_pressure() < threshold {
+                return false;
+            }
+        }
+        any_live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(shard: usize, alive: bool, queued: usize, inbox: usize) -> ShardView {
+        ShardView {
+            shard,
+            alive,
+            snapshot: SystemSnapshot {
+                queued,
+                ..SystemSnapshot::default()
+            },
+            inbox_depth: inbox,
+        }
+    }
+
+    #[test]
+    fn saturation_requires_every_live_shard_full() {
+        let snap = ClusterSnapshot {
+            at: SimTime::ZERO,
+            shards: vec![view(0, true, 10, 0), view(1, true, 2, 0)],
+        };
+        assert!(!snap.saturated(8), "one shard still has room");
+        let snap = ClusterSnapshot {
+            at: SimTime::ZERO,
+            shards: vec![view(0, true, 10, 0), view(1, true, 6, 2)],
+        };
+        assert!(snap.saturated(8), "inbox depth counts toward pressure");
+        assert_eq!(snap.queued(), 18);
+        let snap = ClusterSnapshot {
+            at: SimTime::ZERO,
+            shards: vec![view(0, false, 100, 100)],
+        };
+        assert!(!snap.saturated(1), "no live shard: shedding is moot");
+        assert_eq!(snap.live_shards(), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! The warm-partition model: why placement-aware routing pays.
+//!
+//! Each shard's buffer pool can keep the hot pages of a bounded number of
+//! partitions resident. [`WarmCache`] tracks that residency as a per-shard
+//! LRU set of partition ids: routing a partition's request to a shard
+//! where the partition is **warm** leaves the request's working set at its
+//! base size (the hot pages are already pooled); routing it somewhere the
+//! partition is **cold** inflates the request's
+//! [`working_set_pages`](wlm_dbsim::plan::QuerySpec::working_set_pages) to
+//! the partition's full hot-set size — the engine's buffer-pool model then
+//! yields a low hit ratio and the request pays physical reads to fault the
+//! partition in.
+//!
+//! This is what separates the routing policies in experiment E21: affinity
+//! routing keeps each partition warm on its home shard, while round-robin
+//! churns every pool through every partition.
+
+use wlm_workload::request::Request;
+
+/// Per-shard LRU residency of partition hot sets.
+#[derive(Debug, Clone)]
+pub struct WarmCache {
+    /// Partitions a single shard's pool can hold warm at once.
+    capacity: usize,
+    /// Working-set size charged to a request whose partition is cold on
+    /// its target shard (the partition's full hot set, in pages).
+    cold_working_set_pages: u64,
+    /// Per-shard LRU: front = least recently routed partition.
+    resident: Vec<Vec<u64>>,
+}
+
+impl WarmCache {
+    /// A cache model over `shards` shards, each able to keep `capacity`
+    /// partitions warm.
+    pub fn new(shards: usize, capacity: usize, cold_working_set_pages: u64) -> Self {
+        WarmCache {
+            capacity: capacity.max(1),
+            cold_working_set_pages,
+            resident: vec![Vec::new(); shards],
+        }
+    }
+
+    /// Whether `partition` is currently warm on `shard`.
+    pub fn is_warm(&self, shard: usize, partition: u64) -> bool {
+        self.resident[shard].contains(&partition)
+    }
+
+    /// Account a request routed to `shard`: charge the cold working set if
+    /// its partition is not resident, then mark the partition most
+    /// recently used (evicting the coldest when over capacity). Requests
+    /// without a partition key are untouched.
+    pub(crate) fn on_route(&mut self, shard: usize, req: &mut Request) {
+        let Some(partition) = req.shard_key else {
+            return;
+        };
+        let lru = &mut self.resident[shard];
+        match lru.iter().position(|&p| p == partition) {
+            Some(pos) => {
+                lru.remove(pos);
+            }
+            None => {
+                req.spec.working_set_pages =
+                    req.spec.working_set_pages.max(self.cold_working_set_pages);
+                if lru.len() == self.capacity {
+                    lru.remove(0);
+                }
+            }
+        }
+        lru.push(partition);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlm_dbsim::plan::PlanBuilder;
+    use wlm_dbsim::time::SimTime;
+    use wlm_workload::request::{Importance, Origin, Request, RequestId};
+
+    fn req(partition: u64) -> Request {
+        Request {
+            id: RequestId(partition),
+            arrival: SimTime::ZERO,
+            origin: Origin::new("t", "t", 1),
+            spec: PlanBuilder::index_lookup(5).build().into_spec(),
+            importance: Importance::Medium,
+            shard_key: Some(partition),
+        }
+    }
+
+    #[test]
+    fn cold_routes_inflate_and_warm_routes_do_not() {
+        let mut cache = WarmCache::new(2, 2, 4_096);
+        let mut a = req(7);
+        let base = a.spec.working_set_pages;
+        cache.on_route(0, &mut a);
+        assert_eq!(a.spec.working_set_pages, 4_096, "first touch is cold");
+        assert!(cache.is_warm(0, 7));
+
+        let mut b = req(7);
+        cache.on_route(0, &mut b);
+        assert_eq!(b.spec.working_set_pages, base, "second touch is warm");
+        assert!(!cache.is_warm(1, 7), "residency is per shard");
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_partition() {
+        let mut cache = WarmCache::new(1, 2, 1_000);
+        for p in [1u64, 2, 3] {
+            cache.on_route(0, &mut req(p));
+        }
+        assert!(!cache.is_warm(0, 1), "1 was evicted by 3");
+        assert!(cache.is_warm(0, 2));
+        assert!(cache.is_warm(0, 3));
+        // Re-touching 2 protects it; 3 becomes the eviction victim.
+        cache.on_route(0, &mut req(2));
+        cache.on_route(0, &mut req(4));
+        assert!(cache.is_warm(0, 2));
+        assert!(!cache.is_warm(0, 3));
+    }
+}

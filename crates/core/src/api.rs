@@ -8,10 +8,16 @@
 //! policies ([`crate::policy`]) and classified in the taxonomy
 //! ([`crate::taxonomy::Classified`]).
 
+use crate::characterize::Characterizer;
+use crate::error::Error;
+use crate::manager::{ManagerConfig, WorkloadManager};
+use crate::policy::WorkloadPolicy;
+use crate::resilience::ResilienceConfig;
+use crate::scheduling::Restructurer;
 use crate::taxonomy::Classified;
 use serde::{Deserialize, Serialize};
-use wlm_dbsim::engine::{QueryId, QueryProgress};
-use wlm_dbsim::optimizer::CostEstimate;
+use wlm_dbsim::engine::{EngineConfig, QueryId, QueryProgress};
+use wlm_dbsim::optimizer::{CostEstimate, CostModel};
 use wlm_dbsim::suspend::SuspendStrategy;
 use wlm_dbsim::time::SimTime;
 use wlm_workload::request::{Importance, Request};
@@ -56,6 +62,12 @@ pub struct SystemSnapshot {
     pub io_utilization: f64,
     /// Sum of estimated costs (timerons) of queries now in the engine.
     pub running_cost: f64,
+    /// Sum of estimated costs (timerons) of requests waiting in the
+    /// scheduler queue or held at the admission gate — together with
+    /// [`Self::running_cost`] the *outstanding* cost a router charges a
+    /// shard with.
+    #[serde(default)]
+    pub queued_cost: f64,
     /// Running-query counts per workload (for per-workload MPL policies).
     pub running_by_workload: std::collections::BTreeMap<String, usize>,
     /// Wait-queue counts per workload (admitted but not yet dispatched) —
@@ -107,6 +119,12 @@ impl SystemSnapshot {
     /// Recent mean response of `workload`, seconds (`None` if unobserved).
     pub fn recent_response_of(&self, workload: &str) -> Option<f64> {
         self.recent_response_by_workload.get(workload).copied()
+    }
+
+    /// Total estimated cost this system is committed to: running plus
+    /// queued, timerons. Least-outstanding-cost routing balances on this.
+    pub fn outstanding_cost(&self) -> f64 {
+        self.running_cost + self.queued_cost
     }
 }
 
@@ -194,6 +212,198 @@ pub trait ExecutionController: Classified {
     fn control(&mut self, running: &[RunningQuery], snap: &SystemSnapshot) -> Vec<ControlAction>;
 }
 
+/// The typed facade for assembling a [`WorkloadManager`].
+///
+/// Every knob of the pipeline — engine sizing, the optimizer's error
+/// level, workload policies, and the pluggable characterizer / admission /
+/// scheduler / execution-control components — is a named builder method,
+/// validated once in [`WlmBuilder::build`]. This replaces constructing a
+/// [`ManagerConfig`] by hand and calling `set_*` mutators afterwards.
+///
+/// ```
+/// use wlm_core::api::WlmBuilder;
+/// use wlm_core::scheduling::PriorityScheduler;
+/// use wlm_workload::generators::OltpSource;
+/// use wlm_dbsim::time::SimDuration;
+///
+/// let mut manager = WlmBuilder::new()
+///     .scheduler(Box::new(PriorityScheduler::new(16)))
+///     .build()
+///     .expect("valid configuration");
+/// let mut source = OltpSource::new(20.0, 1);
+/// let report = manager.run(&mut source, SimDuration::from_secs(5));
+/// assert!(report.workload("oltp").is_some());
+/// ```
+pub struct WlmBuilder {
+    config: ManagerConfig,
+    characterizer: Option<Box<dyn Characterizer>>,
+    admission: Option<Box<dyn AdmissionController>>,
+    scheduler: Option<Box<dyn Scheduler>>,
+    exec_controllers: Vec<Box<dyn ExecutionController>>,
+    restructurer: Option<Restructurer>,
+    resilience: Option<ResilienceConfig>,
+}
+
+impl Default for WlmBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WlmBuilder {
+    /// A builder with pass-through defaults: a default engine, an oracle-free
+    /// default cost model, label-based identification, admit-all, FCFS at
+    /// effectively unlimited MPL and no execution control — the unmanaged
+    /// baseline every technique is measured against.
+    pub fn new() -> Self {
+        WlmBuilder {
+            config: ManagerConfig::default(),
+            characterizer: None,
+            admission: None,
+            scheduler: None,
+            exec_controllers: Vec::new(),
+            restructurer: None,
+            resilience: None,
+        }
+    }
+
+    /// Size the simulated engine.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Set the optimizer cost model (estimation-error level).
+    pub fn cost_model(mut self, cost_model: CostModel) -> Self {
+        self.config.cost_model = cost_model;
+        self
+    }
+
+    /// Add one workload policy (repeatable; workload names must be unique).
+    pub fn policy(mut self, policy: WorkloadPolicy) -> Self {
+        self.config.policies.push(policy);
+        self
+    }
+
+    /// Add several workload policies at once.
+    pub fn policies(mut self, policies: impl IntoIterator<Item = WorkloadPolicy>) -> Self {
+        self.config.policies.extend(policies);
+        self
+    }
+
+    /// Auto-resume suspended queries when fewer than `n` queries run.
+    pub fn resume_when_running_below(mut self, n: usize) -> Self {
+        self.config.resume_when_running_below = n;
+        self
+    }
+
+    /// Response samples per workload kept for the recent-performance window.
+    pub fn response_window(mut self, samples: usize) -> Self {
+        self.config.response_window = samples;
+        self
+    }
+
+    /// Ignore business importance when assigning engine weights (the
+    /// unmanaged baseline that cannot see request priority).
+    pub fn uniform_weights(mut self, uniform: bool) -> Self {
+        self.config.uniform_weights = uniform;
+        self
+    }
+
+    /// Replace the characterizer (workload identification).
+    pub fn characterizer(mut self, c: Box<dyn Characterizer>) -> Self {
+        self.characterizer = Some(c);
+        self
+    }
+
+    /// Replace the admission controller.
+    pub fn admission(mut self, a: Box<dyn AdmissionController>) -> Self {
+        self.admission = Some(a);
+        self
+    }
+
+    /// Replace the scheduler.
+    pub fn scheduler(mut self, s: Box<dyn Scheduler>) -> Self {
+        self.scheduler = Some(s);
+        self
+    }
+
+    /// Add an execution controller (repeatable; they run in insertion
+    /// order).
+    pub fn exec_controller(mut self, c: Box<dyn ExecutionController>) -> Self {
+        self.exec_controllers.push(c);
+        self
+    }
+
+    /// Enable query restructuring with the given policy.
+    pub fn restructurer(mut self, r: Restructurer) -> Self {
+        self.restructurer = Some(r);
+        self
+    }
+
+    /// Enable the resilience layer (retry budgets, circuit breakers, the
+    /// degradation ladder — each only if configured).
+    pub fn resilience(mut self, cfg: ResilienceConfig) -> Self {
+        self.resilience = Some(cfg);
+        self
+    }
+
+    /// Validate the configuration and assemble the manager.
+    pub fn build(self) -> Result<WorkloadManager, Error> {
+        if self.config.engine.cores == 0 {
+            return Err(Error::Config("engine must have at least one core".into()));
+        }
+        if self.config.engine.memory_mb == 0 {
+            return Err(Error::Config("engine must have memory".into()));
+        }
+        if self.config.engine.quantum.as_micros() == 0 {
+            return Err(Error::Config("engine quantum must be positive".into()));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for p in &self.config.policies {
+            if p.workload.is_empty() {
+                return Err(Error::Config("policy workload name is empty".into()));
+            }
+            if !seen.insert(p.workload.clone()) {
+                return Err(Error::Config(format!(
+                    "duplicate policy for workload `{}`",
+                    p.workload
+                )));
+            }
+        }
+        let mut mgr = WorkloadManager::from_config(self.config);
+        if let Some(c) = self.characterizer {
+            mgr.set_characterizer(c);
+        }
+        if let Some(a) = self.admission {
+            mgr.set_admission(a);
+        }
+        if let Some(s) = self.scheduler {
+            mgr.set_scheduler(s);
+        }
+        for c in self.exec_controllers {
+            mgr.add_exec_controller(c);
+        }
+        if let Some(r) = self.restructurer {
+            mgr.set_restructurer(r);
+        }
+        if let Some(cfg) = self.resilience {
+            mgr.set_resilience(cfg);
+        }
+        Ok(mgr)
+    }
+}
+
+impl std::fmt::Debug for WlmBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WlmBuilder")
+            .field("config", &self.config)
+            .field("exec_controllers", &self.exec_controllers.len())
+            .field("restructurer", &self.restructurer)
+            .finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +415,47 @@ mod tests {
             AdmissionDecision::Admit,
             AdmissionDecision::Reject("x".into())
         );
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        let no_cores = WlmBuilder::new().engine(EngineConfig {
+            cores: 0,
+            ..Default::default()
+        });
+        assert!(matches!(no_cores.build(), Err(Error::Config(_))));
+
+        let dup = WlmBuilder::new()
+            .policy(WorkloadPolicy::new("oltp", Importance::High))
+            .policy(WorkloadPolicy::new("oltp", Importance::Low));
+        match dup.build() {
+            Err(Error::Config(msg)) => assert!(msg.contains("oltp"), "{msg}"),
+            other => panic!("expected config error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn builder_applies_components() {
+        let mgr = WlmBuilder::new()
+            .engine(EngineConfig {
+                cores: 2,
+                ..Default::default()
+            })
+            .policy(WorkloadPolicy::new("oltp", Importance::High))
+            .response_window(5)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(mgr.response_window(), 5);
+        assert_eq!(mgr.engine().config().cores, 2);
+    }
+
+    #[test]
+    fn outstanding_cost_sums_running_and_queued() {
+        let snap = SystemSnapshot {
+            running_cost: 10.0,
+            queued_cost: 2.5,
+            ..Default::default()
+        };
+        assert!((snap.outstanding_cost() - 12.5).abs() < 1e-12);
     }
 }

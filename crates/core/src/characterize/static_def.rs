@@ -217,6 +217,7 @@ mod tests {
                 origin: Origin::new(app, "u", 1),
                 spec,
                 importance: Importance::Medium,
+                shard_key: None,
             },
             est,
         )

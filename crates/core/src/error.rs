@@ -1,0 +1,75 @@
+//! The unified error type of the workload-management stack.
+//!
+//! Everything fallible above the engine — facade construction
+//! ([`crate::api::WlmBuilder`]), checkpoint decoding
+//! ([`crate::manager::ControllerState::from_bytes`]), fault injection
+//! ([`crate::manager::WorkloadManager::apply_engine_fault`]) and the
+//! cluster front-end in `wlm-cluster` — reports through one [`Error`]
+//! enum, so callers match on a single type instead of a zoo of strings
+//! and crate-local errors. Engine-level failures stay typed: the
+//! [`Error::Engine`] variant wraps [`EngineError`] and exposes it as the
+//! [`std::error::Error::source`].
+
+use wlm_dbsim::error::EngineError;
+
+/// Any error the workload-management stack can return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The simulated engine refused an operation (unknown query, invalid
+    /// state transition, malformed fault).
+    Engine(EngineError),
+    /// A checkpoint could not be decoded: malformed bytes or an
+    /// unsupported [`CHECKPOINT_VERSION`](crate::manager::CHECKPOINT_VERSION).
+    Checkpoint(String),
+    /// A configuration was rejected before any component was built
+    /// (contradictory builder inputs, empty or duplicate policy names).
+    Config(String),
+    /// A cluster operation addressed a shard the cluster does not have.
+    UnknownShard(usize),
+    /// A cluster operation needed a live shard and every shard was down.
+    NoLiveShards,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Engine(e) => write!(f, "engine error: {e}"),
+            Error::Checkpoint(reason) => write!(f, "checkpoint error: {reason}"),
+            Error::Config(reason) => write!(f, "configuration error: {reason}"),
+            Error::UnknownShard(shard) => write!(f, "unknown shard {shard}"),
+            Error::NoLiveShards => write!(f, "no live shards"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for Error {
+    fn from(e: EngineError) -> Self {
+        Error::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = Error::from(EngineError::UnknownQuery(wlm_dbsim::engine::QueryId(7)));
+        assert!(e.to_string().starts_with("engine error:"));
+        assert!(std::error::Error::source(&e).is_some());
+        let c = Error::Checkpoint("bad version".into());
+        assert!(c.to_string().contains("bad version"));
+        assert!(std::error::Error::source(&c).is_none());
+        assert_eq!(Error::UnknownShard(3).to_string(), "unknown shard 3");
+        assert_eq!(Error::NoLiveShards.to_string(), "no live shards");
+    }
+}

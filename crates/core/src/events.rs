@@ -46,6 +46,9 @@
 //! | [`WlmEvent::ControllerRestored`] | external (crash recovery, via `restore` / `cold_restart`) |
 //! | [`WlmEvent::Quarantined`] | exec-control (runaway watchdog, at the kill site) |
 //! | [`WlmEvent::QuarantineRejected`] | admit (quarantine gate; retry-release drop) |
+//! | [`WlmEvent::Routed`] | external (cluster front-end routing, via its own bus) |
+//! | [`WlmEvent::Rerouted`] | external (cluster front-end failover, via its own bus) |
+//! | [`WlmEvent::ClusterShed`] | external (cluster front-end admission, via its own bus) |
 
 use serde::Serialize;
 use std::cell::RefCell;
@@ -326,6 +329,41 @@ pub enum WlmEvent {
         /// The request's workload.
         workload: String,
     },
+    /// The cluster front-end routed an arriving request to a shard.
+    Routed {
+        /// Emission time.
+        at: SimTime,
+        /// The routed request.
+        request: RequestId,
+        /// The request's workload label.
+        workload: String,
+        /// The shard the request was sent to.
+        shard: usize,
+    },
+    /// The cluster front-end moved queued work off a failed shard onto a
+    /// survivor.
+    Rerouted {
+        /// Emission time.
+        at: SimTime,
+        /// The re-routed request.
+        request: RequestId,
+        /// The request's workload label.
+        workload: String,
+        /// The shard the request was originally routed to.
+        from_shard: usize,
+        /// The surviving shard that took the request over.
+        to_shard: usize,
+    },
+    /// The cluster front-end shed an arriving request because every live
+    /// shard reported saturation.
+    ClusterShed {
+        /// Emission time.
+        at: SimTime,
+        /// The shed request.
+        request: RequestId,
+        /// The request's workload label.
+        workload: String,
+    },
 }
 
 impl WlmEvent {
@@ -354,7 +392,10 @@ impl WlmEvent {
             | WlmEvent::CheckpointTaken { at, .. }
             | WlmEvent::ControllerRestored { at, .. }
             | WlmEvent::Quarantined { at, .. }
-            | WlmEvent::QuarantineRejected { at, .. } => *at,
+            | WlmEvent::QuarantineRejected { at, .. }
+            | WlmEvent::Routed { at, .. }
+            | WlmEvent::Rerouted { at, .. }
+            | WlmEvent::ClusterShed { at, .. } => *at,
         }
     }
 
@@ -380,7 +421,10 @@ impl WlmEvent {
             | WlmEvent::RetryExhausted { workload, .. }
             | WlmEvent::BreakerTransition { workload, .. }
             | WlmEvent::Quarantined { workload, .. }
-            | WlmEvent::QuarantineRejected { workload, .. } => Some(workload),
+            | WlmEvent::QuarantineRejected { workload, .. }
+            | WlmEvent::Routed { workload, .. }
+            | WlmEvent::Rerouted { workload, .. }
+            | WlmEvent::ClusterShed { workload, .. } => Some(workload),
             WlmEvent::MapePlan { .. }
             | WlmEvent::FaultInjected { .. }
             | WlmEvent::LadderStep { .. }
@@ -415,6 +459,9 @@ impl WlmEvent {
             WlmEvent::ControllerRestored { .. } => "controller_restored",
             WlmEvent::Quarantined { .. } => "quarantined",
             WlmEvent::QuarantineRejected { .. } => "quarantine_rejected",
+            WlmEvent::Routed { .. } => "routed",
+            WlmEvent::Rerouted { .. } => "rerouted",
+            WlmEvent::ClusterShed { .. } => "cluster_shed",
         }
     }
 }
@@ -439,6 +486,19 @@ pub struct EventBus {
 }
 
 impl EventBus {
+    /// A bus pre-subscribed to the thread-local trace ring, if
+    /// [`install_thread_trace`] installed one on this thread. External
+    /// control planes with their own decision stream (the cluster
+    /// front-end in `wlm-cluster`) build their bus through this so the
+    /// experiment harness's `--trace` surface sees their events too.
+    pub fn with_thread_trace() -> EventBus {
+        let mut bus = EventBus::default();
+        if let Some(recorder) = thread_trace_recorder() {
+            bus.subscribe(Box::new(recorder));
+        }
+        bus
+    }
+
     /// Attach a subscriber.
     pub fn subscribe(&mut self, sub: Box<dyn EventSubscriber>) {
         self.subscribers.push(sub);
@@ -513,10 +573,10 @@ struct RingState {
 /// reader and subscribe another:
 ///
 /// ```
+/// use wlm_core::api::WlmBuilder;
 /// use wlm_core::events::RingRecorder;
-/// use wlm_core::manager::{ManagerConfig, WorkloadManager};
 ///
-/// let mut mgr = WorkloadManager::new(ManagerConfig::default());
+/// let mut mgr = WlmBuilder::new().build().expect("valid configuration");
 /// let trace = RingRecorder::new(1024);
 /// mgr.subscribe(Box::new(trace.clone()));
 /// // ... run ...
@@ -613,6 +673,12 @@ pub struct EventCounts {
     pub quarantined: u64,
     /// `QuarantineRejected` events.
     pub quarantine_rejections: u64,
+    /// `Routed` events (cluster front-end).
+    pub routed: u64,
+    /// `Rerouted` events (cluster front-end).
+    pub rerouted: u64,
+    /// `ClusterShed` events (cluster front-end).
+    pub cluster_shed: u64,
 }
 
 /// A subscriber maintaining [`EventCounts`] per workload. Clones share the
@@ -668,6 +734,9 @@ impl EventSubscriber for WorkloadEventCounters {
             WlmEvent::BreakerTransition { .. } => c.breaker_transitions += 1,
             WlmEvent::Quarantined { .. } => c.quarantined += 1,
             WlmEvent::QuarantineRejected { .. } => c.quarantine_rejections += 1,
+            WlmEvent::Routed { .. } => c.routed += 1,
+            WlmEvent::Rerouted { .. } => c.rerouted += 1,
+            WlmEvent::ClusterShed { .. } => c.cluster_shed += 1,
             WlmEvent::PolicyChanged { .. }
             | WlmEvent::MapePlan { .. }
             | WlmEvent::FaultInjected { .. }

@@ -34,6 +34,7 @@ pub mod api;
 pub mod autonomic;
 pub mod characterize;
 pub mod dashboard;
+pub mod error;
 pub mod events;
 pub mod execution;
 pub mod manager;
@@ -49,7 +50,8 @@ pub(crate) mod testutil;
 
 pub use api::{
     AdmissionController, AdmissionDecision, ControlAction, ExecutionController, ManagedRequest,
-    RunningQuery, Scheduler, SystemSnapshot,
+    RunningQuery, Scheduler, SystemSnapshot, WlmBuilder,
 };
+pub use error::Error;
 pub use manager::{ManagerConfig, RunReport, WorkloadManager};
 pub use taxonomy::{Classified, TaxonomyPath, TechniqueClass, TechniqueInfo};

@@ -24,6 +24,7 @@ impl WorkloadManager {
             .queued_by_workload
             .entry(req.workload.clone())
             .or_insert(0) += 1;
+        snap.queued_cost += req.estimate.timerons;
         self.wait_queue.push(req);
         snap.queued = self.wait_queue.len() + self.deferred.len();
     }

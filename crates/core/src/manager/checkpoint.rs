@@ -47,6 +47,7 @@
 
 use super::{RunningMeta, WorkloadManager};
 use crate::api::ManagedRequest;
+use crate::error::Error;
 use crate::events::WlmEvent;
 use crate::resilience::ResilienceCheckpoint;
 use crate::stats::StatsBook;
@@ -145,14 +146,14 @@ impl ControllerState {
 
     /// Parse and version-check a checkpoint produced by
     /// [`Self::to_bytes`].
-    pub fn from_bytes(bytes: &[u8]) -> Result<ControllerState, String> {
-        let state: ControllerState =
-            serde_json::from_slice(bytes).map_err(|e| format!("malformed checkpoint: {e}"))?;
+    pub fn from_bytes(bytes: &[u8]) -> Result<ControllerState, Error> {
+        let state: ControllerState = serde_json::from_slice(bytes)
+            .map_err(|e| Error::Checkpoint(format!("malformed checkpoint: {e}")))?;
         if state.version != CHECKPOINT_VERSION {
-            return Err(format!(
+            return Err(Error::Checkpoint(format!(
                 "unsupported checkpoint version {} (this controller reads version {})",
                 state.version, CHECKPOINT_VERSION
-            ));
+            )));
         }
         Ok(state)
     }

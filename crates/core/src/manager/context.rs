@@ -106,6 +106,12 @@ impl WorkloadManager {
     /// Refresh the queue fields from the wait queue and admission gate.
     pub(super) fn refresh_queue_view(&self, snap: &mut SystemSnapshot) {
         snap.queued = self.wait_queue.len() + self.deferred.len();
+        snap.queued_cost = self
+            .wait_queue
+            .iter()
+            .chain(self.deferred.iter())
+            .map(|req| req.estimate.timerons)
+            .sum();
         snap.queued_by_workload.clear();
         for req in &self.wait_queue {
             *snap

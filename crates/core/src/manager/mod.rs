@@ -60,6 +60,7 @@ use crate::api::{
 };
 use crate::characterize::{Characterizer, StaticCharacterizer};
 use crate::dashboard::{Dashboard, WorkloadRow};
+use crate::error::Error;
 use crate::events::{EventBus, EventSink, EventSubscriber, WlmEvent};
 use crate::policy::WorkloadPolicy;
 use crate::resilience::{ResilienceConfig, ResilienceLayer, ResilienceReport};
@@ -71,7 +72,6 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 use wlm_dbsim::engine::{DbEngine, EngineConfig, EngineFault, QueryId};
-use wlm_dbsim::error::EngineError;
 use wlm_dbsim::optimizer::CostModel;
 use wlm_dbsim::plan::QuerySpec;
 use wlm_dbsim::suspend::SuspendedQuery;
@@ -158,14 +158,18 @@ impl RunReport {
 
 /// The workload manager.
 ///
+/// Assemble one with the typed facade, [`crate::api::WlmBuilder`]:
+///
 /// ```
-/// use wlm_core::manager::{ManagerConfig, WorkloadManager};
+/// use wlm_core::api::WlmBuilder;
 /// use wlm_core::scheduling::PriorityScheduler;
 /// use wlm_workload::generators::OltpSource;
 /// use wlm_dbsim::time::SimDuration;
 ///
-/// let mut manager = WorkloadManager::new(ManagerConfig::default());
-/// manager.set_scheduler(Box::new(PriorityScheduler::new(16)));
+/// let mut manager = WlmBuilder::new()
+///     .scheduler(Box::new(PriorityScheduler::new(16)))
+///     .build()
+///     .expect("valid configuration");
 /// let mut source = OltpSource::new(20.0, 1);
 /// let report = manager.run(&mut source, SimDuration::from_secs(5));
 /// assert!(report.workload("oltp").is_some());
@@ -216,10 +220,20 @@ pub struct WorkloadManager {
 }
 
 impl WorkloadManager {
+    /// New manager from a raw [`ManagerConfig`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "assemble managers through `wlm_core::api::WlmBuilder` instead"
+    )]
+    pub fn new(config: ManagerConfig) -> Self {
+        Self::from_config(config)
+    }
+
     /// New manager with pass-through defaults: label-based identification,
     /// admit-all, FCFS at effectively unlimited MPL, no execution control —
-    /// i.e. an unmanaged system. Swap components with the `set_*` methods.
-    pub fn new(config: ManagerConfig) -> Self {
+    /// i.e. an unmanaged system. [`crate::api::WlmBuilder`] validates its
+    /// inputs and then builds through this constructor.
+    pub(crate) fn from_config(config: ManagerConfig) -> Self {
         let engine = DbEngine::new(config.engine);
         let stats = StatsBook::new(engine.now());
         let mut mgr = WorkloadManager {
@@ -331,7 +345,7 @@ impl WorkloadManager {
     /// Inject an engine-level fault (or recovery) into the underlying
     /// engine, publishing a [`WlmEvent::FaultInjected`] record. The fault
     /// drivers in `wlm-chaos` call this between control cycles.
-    pub fn apply_engine_fault(&mut self, fault: EngineFault) -> Result<(), EngineError> {
+    pub fn apply_engine_fault(&mut self, fault: EngineFault) -> Result<(), Error> {
         let kind = fault.kind();
         let detail = format!("{fault:?}");
         self.engine.apply_fault(fault)?;
@@ -546,28 +560,27 @@ impl WorkloadManager {
 mod tests {
     use super::*;
     use crate::admission::ThresholdAdmission;
+    use crate::api::WlmBuilder;
     use crate::execution::{LoadShedSuspender, ThresholdKiller};
     use crate::scheduling::PriorityScheduler;
     use wlm_workload::generators::{BiSource, OltpSource};
     use wlm_workload::mix::MixedSource;
     use wlm_workload::request::Importance;
 
-    fn small_config() -> ManagerConfig {
-        ManagerConfig {
-            engine: EngineConfig {
+    fn small_builder() -> WlmBuilder {
+        WlmBuilder::new()
+            .engine(EngineConfig {
                 cores: 4,
                 disk_pages_per_sec: 20_000,
                 memory_mb: 4_096,
                 ..Default::default()
-            },
-            cost_model: CostModel::oracle(),
-            ..Default::default()
-        }
+            })
+            .cost_model(CostModel::oracle())
     }
 
     #[test]
     fn unmanaged_pipeline_completes_work() {
-        let mut mgr = WorkloadManager::new(small_config());
+        let mut mgr = small_builder().build().expect("valid configuration");
         let mut src = OltpSource::new(20.0, 1);
         let report = mgr.run(&mut src, SimDuration::from_secs(20));
         assert!(report.completed > 200, "completed {}", report.completed);
@@ -578,7 +591,7 @@ mod tests {
 
     #[test]
     fn threshold_admission_rejects_big_queries() {
-        let mut mgr = WorkloadManager::new(small_config());
+        let mut mgr = small_builder().build().expect("valid configuration");
         let adm = ThresholdAdmission::default().with_policy(
             "bi",
             crate::policy::AdmissionPolicy {
@@ -595,7 +608,7 @@ mod tests {
 
     #[test]
     fn killer_controller_kills_long_runners() {
-        let mut mgr = WorkloadManager::new(small_config());
+        let mut mgr = small_builder().build().expect("valid configuration");
         mgr.add_exec_controller(Box::new(ThresholdKiller::new(2.0)));
         let mut src = BiSource::new(1.0, 3);
         let report = mgr.run(&mut src, SimDuration::from_secs(30));
@@ -604,7 +617,7 @@ mod tests {
 
     #[test]
     fn priority_scheduler_under_mpl_prefers_oltp() {
-        let mut mgr = WorkloadManager::new(small_config());
+        let mut mgr = small_builder().build().expect("valid configuration");
         mgr.set_scheduler(Box::new(PriorityScheduler::new(4)));
         let mut mix = MixedSource::new()
             .with(Box::new(OltpSource::new(20.0, 1)))
@@ -618,11 +631,13 @@ mod tests {
 
     #[test]
     fn report_contains_sla_evaluation() {
-        let mut mgr = WorkloadManager::new(ManagerConfig {
-            policies: vec![WorkloadPolicy::new("oltp", Importance::High)
-                .with_sla(ServiceLevelAgreement::avg_response(1.0))],
-            ..small_config()
-        });
+        let mut mgr = small_builder()
+            .policy(
+                WorkloadPolicy::new("oltp", Importance::High)
+                    .with_sla(ServiceLevelAgreement::avg_response(1.0)),
+            )
+            .build()
+            .expect("valid configuration");
         let mut src = OltpSource::new(10.0, 4);
         let report = mgr.run(&mut src, SimDuration::from_secs(10));
         let oltp = report.workload("oltp").expect("oltp workload reported");
@@ -633,7 +648,7 @@ mod tests {
     #[test]
     fn live_snapshot_matches_from_scratch_rebuild() {
         for seed in [1u64, 7, 13] {
-            let mut mgr = WorkloadManager::new(small_config());
+            let mut mgr = small_builder().build().expect("valid configuration");
             mgr.set_scheduler(Box::new(PriorityScheduler::new(4)));
             mgr.add_exec_controller(Box::new(ThresholdKiller::new(2.0)));
             let mut mix = MixedSource::new()
@@ -652,15 +667,15 @@ mod tests {
 
     #[test]
     fn live_snapshot_survives_suspend_restructure_and_deferral() {
-        let mut mgr = WorkloadManager::new(ManagerConfig {
-            engine: EngineConfig {
+        let mut mgr = WlmBuilder::new()
+            .engine(EngineConfig {
                 cores: 2,
                 memory_mb: 512,
                 ..Default::default()
-            },
-            cost_model: CostModel::oracle(),
-            ..Default::default()
-        });
+            })
+            .cost_model(CostModel::oracle())
+            .build()
+            .expect("valid configuration");
         mgr.set_scheduler(Box::new(PriorityScheduler::new(3)));
         mgr.set_admission(Box::new(ThresholdAdmission::with_global_mpl(6)));
         mgr.set_restructurer(Restructurer {

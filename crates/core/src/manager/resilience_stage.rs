@@ -132,6 +132,7 @@ impl WorkloadManager {
                 .queued_by_workload
                 .entry(req.workload.clone())
                 .or_insert(0) += 1;
+            cx.snap.queued_cost += req.estimate.timerons;
             self.wait_queue.push(req);
             cx.snap.queued = self.wait_queue.len() + self.deferred.len();
         }

@@ -20,6 +20,7 @@ pub(crate) fn managed(workload: &str, rows: u64, importance: Importance) -> Mana
             origin: Origin::new("test_app", "tester", 1),
             spec,
             importance,
+            shard_key: None,
         },
         estimate,
         workload: workload.into(),

@@ -17,12 +17,14 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 use wlm_core::admission::ThresholdAdmission;
+use wlm_core::api::WlmBuilder;
 use wlm_core::api::{ControlAction, ExecutionController, RunningQuery, SystemSnapshot};
 use wlm_core::characterize::StaticCharacterizer;
 use wlm_core::events::{EventSubscriber, WlmEvent};
-use wlm_core::manager::{ManagerConfig, WorkloadManager};
+use wlm_core::manager::WorkloadManager;
 use wlm_core::policy::{AdmissionPolicy, AdmissionViolationAction};
 use wlm_core::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use wlm_core::Error;
 use wlm_dbsim::plan::StatementType;
 use wlm_dbsim::time::SimTime;
 
@@ -332,9 +334,14 @@ impl Db2WorkloadManager {
     }
 
     /// Wire this facility's identification, thresholds and service classes
-    /// into a [`WorkloadManager`].
-    pub fn build(&self, config: ManagerConfig) -> WorkloadManager {
-        let mut mgr = WorkloadManager::new(config);
+    /// into the [`WorkloadManager`] assembled from `builder`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Config`] when the builder's configuration is
+    /// invalid.
+    pub fn build(&self, builder: WlmBuilder) -> Result<WorkloadManager, Error> {
+        let mut mgr = builder.build()?;
 
         // Identification: workloads (by connection attributes) first, then
         // work classes (by type/predictive elements), then the default.
@@ -443,7 +450,7 @@ impl Db2WorkloadManager {
         // Monitoring: the activities event monitor subscribes to the
         // manager's event bus.
         mgr.subscribe(Box::new(self.activity.clone()));
-        mgr
+        Ok(mgr)
     }
 
     /// A representative configuration: an interactive class, a batch class
@@ -549,21 +556,19 @@ mod tests {
     use wlm_workload::generators::{BiSource, OltpSource};
     use wlm_workload::mix::MixedSource;
 
-    fn config() -> ManagerConfig {
-        ManagerConfig {
-            engine: EngineConfig {
+    fn builder() -> WlmBuilder {
+        WlmBuilder::new()
+            .engine(EngineConfig {
                 cores: 4,
                 ..Default::default()
-            },
-            cost_model: CostModel::oracle(),
-            ..Default::default()
-        }
+            })
+            .cost_model(CostModel::oracle())
     }
 
     #[test]
     fn identification_maps_pos_to_interactive_and_big_reads_to_batch() {
         let facility = Db2WorkloadManager::example();
-        let mut mgr = facility.build(config());
+        let mut mgr = facility.build(builder()).expect("valid configuration");
         let mut mix = MixedSource::new()
             .with(Box::new(OltpSource::new(10.0, 1)))
             .with(Box::new(BiSource::new(1.0, 2)));
@@ -576,7 +581,7 @@ mod tests {
     #[test]
     fn elapsed_threshold_remaps_batch_work_and_logs_events() {
         let facility = Db2WorkloadManager::example();
-        let mut mgr = facility.build(config());
+        let mut mgr = facility.build(builder()).expect("valid configuration");
         let mut src = BiSource::new(2.0, 3).with_size(20_000_000.0, 0.3);
         mgr.run(&mut src, SimDuration::from_secs(60));
         let events = facility.violation_events();
@@ -600,7 +605,7 @@ mod tests {
         facility
             .thresholds
             .retain(|t| !matches!(t.kind, Db2ThresholdKind::EstimatedCost(c) if c > 2_000_000.0));
-        let mut mgr = facility.build(config());
+        let mut mgr = facility.build(builder()).expect("valid configuration");
         let mut src = BiSource::new(2.0, 4);
         let report = mgr.run(&mut src, SimDuration::from_secs(30));
         assert!(report.rejected > 0, "admission threshold rejects big work");
@@ -614,7 +619,7 @@ mod tests {
             kind: Db2ThresholdKind::RowsReturned(100_000),
             action: Db2ThresholdAction::StopExecution,
         });
-        let mut mgr = facility.build(config());
+        let mut mgr = facility.build(builder()).expect("valid configuration");
         // Ad-hoc scans return millions of rows (no aggregation in the plan),
         // unlike report queries whose final output is small.
         let mut src = wlm_workload::generators::AdHocSource::new(2.0, 9);
@@ -625,7 +630,7 @@ mod tests {
     #[test]
     fn activity_monitor_counts_per_service_class() {
         let facility = Db2WorkloadManager::example();
-        let mut mgr = facility.build(config());
+        let mut mgr = facility.build(builder()).expect("valid configuration");
         let mut mix = MixedSource::new()
             .with(Box::new(OltpSource::new(10.0, 1)))
             .with(Box::new(BiSource::new(1.0, 2)));

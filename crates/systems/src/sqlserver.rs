@@ -14,14 +14,16 @@ use crate::table4::{Facility, Table4Row};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use wlm_core::api::WlmBuilder;
 use wlm_core::api::{
     AdmissionController, AdmissionDecision, ControlAction, ExecutionController, ManagedRequest,
     RunningQuery, SystemSnapshot,
 };
 use wlm_core::characterize::StaticCharacterizer;
 use wlm_core::events::{EventSubscriber, WlmEvent};
-use wlm_core::manager::{ManagerConfig, WorkloadManager};
+use wlm_core::manager::WorkloadManager;
 use wlm_core::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use wlm_core::Error;
 use wlm_dbsim::optimizer::CostEstimate;
 use wlm_workload::request::Request;
 
@@ -332,9 +334,14 @@ impl ResourceGovernor {
         self.classifier = Some(f);
     }
 
-    /// Wire the governor into a manager.
-    pub fn build(mut self, config: ManagerConfig) -> WorkloadManager {
-        let mut mgr = WorkloadManager::new(config);
+    /// Wire the governor into the manager assembled from `builder`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Config`] when the builder's configuration is
+    /// invalid.
+    pub fn build(mut self, builder: WlmBuilder) -> Result<WorkloadManager, Error> {
+        let mut mgr = builder.build()?;
         let group_names: Vec<String> = self.groups.iter().map(|g| g.name.clone()).collect();
         let classifier = self.classifier.take();
         let characterizer = StaticCharacterizer::new(Vec::new())
@@ -363,7 +370,7 @@ impl ResourceGovernor {
         // Monitoring: the per-group performance counters subscribe to the
         // manager's event bus.
         mgr.subscribe(Box::new(self.counters.clone()));
-        mgr
+        Ok(mgr)
     }
 
     /// A representative configuration: an OLTP pool with a strong MIN and a
@@ -421,15 +428,13 @@ mod tests {
     use wlm_workload::generators::{AdHocSource, OltpSource};
     use wlm_workload::mix::MixedSource;
 
-    fn config() -> ManagerConfig {
-        ManagerConfig {
-            engine: EngineConfig {
+    fn builder() -> WlmBuilder {
+        WlmBuilder::new()
+            .engine(EngineConfig {
                 cores: 4,
                 ..Default::default()
-            },
-            cost_model: CostModel::oracle(),
-            ..Default::default()
-        }
+            })
+            .cost_model(CostModel::oracle())
     }
 
     #[test]
@@ -451,7 +456,7 @@ mod tests {
     #[test]
     fn classifier_routes_to_groups_with_default_fallback() {
         let rg = ResourceGovernor::example();
-        let mut mgr = rg.build(config());
+        let mut mgr = rg.build(builder()).expect("valid configuration");
         let mut mix = MixedSource::new()
             .with(Box::new(OltpSource::new(10.0, 1)))
             .with(Box::new(AdHocSource::new(0.5, 2)));
@@ -464,7 +469,7 @@ mod tests {
     fn nonexistent_group_falls_to_default() {
         let mut rg = ResourceGovernor::new();
         rg.register_classifier(Box::new(|_, _| Some("no_such_group".into())));
-        let mut mgr = rg.build(config());
+        let mut mgr = rg.build(builder()).expect("valid configuration");
         let mut src = OltpSource::new(5.0, 3);
         let report = mgr.run(&mut src, SimDuration::from_secs(10));
         assert!(report.workload("default").is_some());
@@ -475,7 +480,7 @@ mod tests {
     fn query_governor_rejects_over_limit_queries() {
         let mut rg = ResourceGovernor::example();
         rg.query_governor_cost_limit_secs = 5.0;
-        let mut mgr = rg.build(config());
+        let mut mgr = rg.build(builder()).expect("valid configuration");
         let mut src = AdHocSource::new(1.0, 4); // huge queries
         let report = mgr.run(&mut src, SimDuration::from_secs(20));
         assert!(report.rejected > 0);
@@ -498,6 +503,7 @@ mod tests {
                 origin: wlm_workload::request::Origin::new("a", "u", 1),
                 spec,
                 importance: wlm_workload::request::Importance::Low,
+                shard_key: None,
             },
             estimate: est,
             workload: "w".into(),
@@ -514,7 +520,7 @@ mod tests {
     fn perf_counters_track_group_lifecycle() {
         let rg = ResourceGovernor::example();
         let counters = rg.perf_counters();
-        let mut mgr = rg.build(config());
+        let mut mgr = rg.build(builder()).expect("valid configuration");
         let mut mix = MixedSource::new()
             .with(Box::new(OltpSource::new(10.0, 1)))
             .with(Box::new(AdHocSource::new(0.5, 2)));

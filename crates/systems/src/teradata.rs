@@ -13,14 +13,16 @@
 use crate::table4::{Facility, Table4Row};
 use std::cell::RefCell;
 use std::rc::Rc;
+use wlm_core::api::WlmBuilder;
 use wlm_core::api::{
     AdmissionController, AdmissionDecision, ControlAction, ExecutionController, ManagedRequest,
     RunningQuery, SystemSnapshot,
 };
 use wlm_core::characterize::StaticCharacterizer;
 use wlm_core::events::{EventSubscriber, WlmEvent};
-use wlm_core::manager::{ManagerConfig, WorkloadManager};
+use wlm_core::manager::WorkloadManager;
 use wlm_core::taxonomy::{Classified, TaxonomyPath, TechniqueClass};
+use wlm_core::Error;
 use wlm_dbsim::plan::StatementType;
 use wlm_dbsim::time::SimTime;
 use wlm_workload::request::Importance;
@@ -315,9 +317,15 @@ impl TeradataAsm {
         self.monitor.clone()
     }
 
-    /// Wire the rules into a manager (the regulator).
-    pub fn build(&self, config: ManagerConfig) -> WorkloadManager {
-        let mut config = config;
+    /// Wire the rules into the manager assembled from `builder` (the
+    /// regulator).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Config`] when the builder's configuration is
+    /// invalid.
+    pub fn build(&self, builder: WlmBuilder) -> Result<WorkloadManager, Error> {
+        let mut builder = builder;
         // SLGs become workload policies.
         for def in &self.definitions {
             let mut policy = wlm_core::policy::WorkloadPolicy::new(&def.name, Importance::Medium);
@@ -325,9 +333,9 @@ impl TeradataAsm {
             if let Some(slg) = &def.slg {
                 policy.sla = slg.clone();
             }
-            config.policies.push(policy);
+            builder = builder.policy(policy);
         }
-        let mut mgr = WorkloadManager::new(config);
+        let mut mgr = builder.build()?;
 
         // Classification: who/what criteria, first match wins.
         let defs = self.definitions.clone();
@@ -360,7 +368,7 @@ impl TeradataAsm {
         // Monitoring: the regulator monitor subscribes to the manager's
         // event bus and reconstructs the regulator's activity from it.
         mgr.subscribe(Box::new(self.monitor.clone()));
-        mgr
+        Ok(mgr)
     }
 
     /// A representative configuration: tactical vs. strategic vs. background
@@ -536,21 +544,19 @@ mod tests {
     use wlm_workload::generators::{BiSource, OltpSource, UtilitySource};
     use wlm_workload::mix::MixedSource;
 
-    fn config() -> ManagerConfig {
-        ManagerConfig {
-            engine: EngineConfig {
+    fn builder() -> WlmBuilder {
+        WlmBuilder::new()
+            .engine(EngineConfig {
                 cores: 4,
                 ..Default::default()
-            },
-            cost_model: CostModel::oracle(),
-            ..Default::default()
-        }
+            })
+            .cost_model(CostModel::oracle())
     }
 
     #[test]
     fn classification_routes_by_who_and_what() {
         let asm = TeradataAsm::example();
-        let mut mgr = asm.build(config());
+        let mut mgr = asm.build(builder()).expect("valid configuration");
         let mut mix = MixedSource::new()
             .with(Box::new(OltpSource::new(10.0, 1)))
             .with(Box::new(BiSource::new(1.0, 2)));
@@ -569,7 +575,7 @@ mod tests {
             max_est_rows: None,
             max_est_secs: Some(5.0),
         }];
-        let mut mgr = asm.build(config());
+        let mut mgr = asm.build(builder()).expect("valid configuration");
         let mut src = BiSource::new(2.0, 3);
         let report = mgr.run(&mut src, SimDuration::from_secs(30));
         assert!(report.rejected > 0);
@@ -578,7 +584,7 @@ mod tests {
     #[test]
     fn utility_throttle_serializes_utilities() {
         let asm = TeradataAsm::example();
-        let mut mgr = asm.build(config());
+        let mut mgr = asm.build(builder()).expect("valid configuration");
         let mut mix = MixedSource::new()
             .with(Box::new(UtilitySource::new(
                 wlm_dbsim::time::SimTime::ZERO,
@@ -622,7 +628,7 @@ mod tests {
                 ));
             }
         }
-        let mut mgr = asm.build(config());
+        let mut mgr = asm.build(builder()).expect("valid configuration");
         let mut src = BiSource::new(1.0, 4).with_size(50_000_000.0, 0.3);
         let report = mgr.run(&mut src, SimDuration::from_secs(40));
         assert!(report.killed > 0, "background monsters must be aborted");
@@ -642,7 +648,7 @@ mod tests {
     #[test]
     fn analyzer_recommends_candidates_from_dbql() {
         // Build a log through a short unmanaged run.
-        let mut mgr = WorkloadManager::new(config());
+        let mut mgr = builder().build().expect("valid configuration");
         let mut mix = MixedSource::new()
             .with(Box::new(OltpSource::new(20.0, 5)))
             .with(Box::new(BiSource::new(2.0, 6)));

@@ -161,6 +161,7 @@ impl Source for CatalogSource {
                 origin,
                 spec,
                 importance,
+                shard_key: None,
             });
             let u: f64 = 1.0 - self.rng.gen::<f64>();
             let gap = SimDuration::from_secs_f64(-u.ln() / self.rate_per_sec.max(1e-9));

@@ -59,6 +59,10 @@ pub struct OltpSource {
     pub hot_keys: u64,
     /// Keys updated per transaction.
     pub keys_per_txn: usize,
+    /// When set, the key space is split into this many equal ranges and
+    /// every transaction stays inside one range (see
+    /// [`OltpSource::with_partitions`]).
+    partitions: Option<u64>,
     next_arrival: SimTime,
     counter: u64,
     importance: Importance,
@@ -76,6 +80,7 @@ impl OltpSource {
             rate_per_sec,
             hot_keys: 100_000,
             keys_per_txn: 3,
+            partitions: None,
             next_arrival: SimTime::ZERO + first,
             counter: 0,
             importance: Importance::High,
@@ -105,12 +110,30 @@ impl OltpSource {
         self.rate_per_sec = rate_per_sec;
     }
 
+    /// Make the workload partitionable: the key space is split into `n`
+    /// equal ranges, each transaction draws every key from one uniformly
+    /// chosen range, and the request is stamped with that range's index as
+    /// its [`Request::shard_key`]. A cluster front-end's affinity router
+    /// can then keep each partition's hot set warm on one shard.
+    pub fn with_partitions(mut self, n: u64) -> Self {
+        self.partitions = Some(n.max(1));
+        self
+    }
+
     fn make_request(&mut self, arrival: SimTime) -> Request {
         self.counter += 1;
         let lookup_rows = self.rng.gen_range(3..=20);
         let updated = self.rng.gen_range(1..=self.keys_per_txn.max(1));
+        let (shard_key, key_base, key_space) = match self.partitions {
+            Some(p) => {
+                let part = self.rng.gen_range(0..p);
+                let span = (self.hot_keys / p).max(1);
+                (Some(part), part * span, span)
+            }
+            None => (None, 0, self.hot_keys),
+        };
         let mut keys: Vec<u64> = (0..updated)
-            .map(|_| hot_key(&mut self.rng, self.hot_keys))
+            .map(|_| key_base + hot_key(&mut self.rng, key_space))
             .collect();
         keys.sort_unstable();
         keys.dedup();
@@ -126,6 +149,7 @@ impl OltpSource {
             origin: Origin::new("pos_terminal", "cashier", self.counter % 64),
             spec,
             importance: self.importance,
+            shard_key,
         }
     }
 }
@@ -229,6 +253,7 @@ impl BiSource {
             origin: Origin::new("report_studio", "analyst", 1000 + self.counter % 16),
             spec,
             importance: self.importance,
+            shard_key: None,
         }
     }
 }
@@ -306,6 +331,7 @@ impl Source for BatchReportSource {
                     origin: Origin::new("nightly_reports", "batch", 5000),
                     spec,
                     importance: self.importance,
+                    shard_key: None,
                 }
             })
             .collect()
@@ -363,6 +389,7 @@ impl Source for AdHocSource {
                 origin: Origin::new("sql_console", "data_scientist", 9000 + self.counter),
                 spec,
                 importance: Importance::Low,
+                shard_key: None,
             });
             let gap = exp_gap(&mut self.rng, self.rate_per_sec);
             self.next_arrival = arrival + gap;
@@ -418,6 +445,7 @@ impl Source for UtilitySource {
             origin: Origin::new("dba_console", "dba", 1),
             spec,
             importance: Importance::Low,
+            shard_key: None,
         }]
     }
 
@@ -571,6 +599,7 @@ impl Source for UniformSource {
                 origin: Origin::new("uniform_bench", "bench", self.counter % 32),
                 spec,
                 importance: self.importance,
+                shard_key: None,
             });
             let gap = exp_gap(&mut self.rng, self.rate_per_sec);
             self.next_arrival = arrival + gap;
@@ -720,6 +749,7 @@ impl Source for PoisonSource {
                 origin: Origin::new("rogue_notebook", "intern", self.counter),
                 spec,
                 importance: Importance::Medium,
+                shard_key: None,
             });
             let gap = exp_gap(&mut self.rng, self.rate_per_sec);
             self.next_arrival = arrival + gap;

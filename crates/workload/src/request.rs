@@ -125,6 +125,11 @@ pub struct Request {
     pub spec: QuerySpec,
     /// Business importance from the submitting workload's SLA.
     pub importance: Importance,
+    /// Data partition the request touches, when the workload is
+    /// partitionable (`None` for scatter work). A cluster front-end's
+    /// affinity router keys on this; single-node pipelines ignore it.
+    #[serde(default)]
+    pub shard_key: Option<u64>,
 }
 
 impl Request {

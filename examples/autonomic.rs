@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example autonomic`
 
+use wlm::core::api::WlmBuilder;
 use wlm::core::autonomic::{AutonomicController, GoalSpec};
-use wlm::core::manager::{ManagerConfig, WorkloadManager};
 use wlm::core::policy::WorkloadPolicy;
 use wlm::dbsim::engine::EngineConfig;
 use wlm::dbsim::time::SimDuration;
@@ -49,17 +49,19 @@ impl Source for DelayedSource {
 }
 
 fn main() {
-    let mut mgr = WorkloadManager::new(ManagerConfig {
-        engine: EngineConfig {
+    let mut mgr = WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 8,
             memory_mb: 1_024,
             ..Default::default()
-        },
-        policies: vec![WorkloadPolicy::new("oltp", Importance::Critical)
-            .with_sla(ServiceLevelAgreement::percentile(95.0, 0.3))],
-        uniform_weights: true, // nothing pre-tuned: the loop does the work
-        ..Default::default()
-    });
+        })
+        .policy(
+            WorkloadPolicy::new("oltp", Importance::Critical)
+                .with_sla(ServiceLevelAgreement::percentile(95.0, 0.3)),
+        )
+        .uniform_weights(true) // nothing pre-tuned: the loop does the work
+        .build()
+        .expect("valid configuration");
 
     let mut controller = AutonomicController::new(vec![GoalSpec {
         workload: "oltp".into(),

@@ -10,9 +10,9 @@
 //! Run with: `cargo run --release --example consolidation`
 
 use wlm::core::admission::ThresholdAdmission;
+use wlm::core::api::WlmBuilder;
 use wlm::core::characterize::{Predicate, StaticCharacterizer, WorkloadDefinition};
 use wlm::core::execution::{PriorityAging, ProgressGuidedKiller, UtilityThrottler};
-use wlm::core::manager::{ManagerConfig, WorkloadManager};
 use wlm::core::policy::{AdmissionPolicy, AdmissionViolationAction, WorkloadPolicy};
 use wlm::core::scheduling::{ServiceClassConfig, UtilityScheduler};
 use wlm::dbsim::engine::EngineConfig;
@@ -26,24 +26,23 @@ use wlm::workload::request::Importance;
 use wlm::workload::sla::ServiceLevelAgreement;
 
 fn main() {
-    let config = ManagerConfig {
-        engine: EngineConfig {
+    let mut mgr = WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 16,
             disk_pages_per_sec: 80_000,
             memory_mb: 2_048,
             ..Default::default()
-        },
-        policies: vec![
+        })
+        .policies([
             WorkloadPolicy::new("transactions", Importance::Critical)
                 .with_sla(ServiceLevelAgreement::percentile(95.0, 0.5)),
             WorkloadPolicy::new("reporting", Importance::Medium)
                 .with_sla(ServiceLevelAgreement::avg_response(90.0)),
             WorkloadPolicy::new("exploration", Importance::Low),
             WorkloadPolicy::new("maintenance", Importance::Low),
-        ],
-        ..Default::default()
-    };
-    let mut mgr = WorkloadManager::new(config);
+        ])
+        .build()
+        .expect("valid configuration");
 
     // Identification: explicit workload definitions (origin + type), the
     // commercial-facility way, instead of trusting generator labels.

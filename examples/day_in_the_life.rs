@@ -13,7 +13,7 @@
 //! Run with: `cargo run --release --example day_in_the_life`
 
 use wlm::core::admission::ThresholdAdmission;
-use wlm::core::manager::{ManagerConfig, WorkloadManager};
+use wlm::core::api::WlmBuilder;
 use wlm::core::policy::{
     AdmissionPolicy, AdmissionViolationAction, OperatingPeriod, WorkloadPolicy,
 };
@@ -26,23 +26,23 @@ use wlm::workload::request::Importance;
 use wlm::workload::sla::ServiceLevelAgreement;
 
 fn main() {
-    let mut mgr = WorkloadManager::new(ManagerConfig {
-        engine: EngineConfig {
+    let mut mgr = WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 16,
             disk_pages_per_sec: 120_000,
             memory_mb: 8_192,
             quantum: SimDuration::from_millis(200),
             metrics_interval: SimDuration::from_secs(60),
             ..Default::default()
-        },
-        cost_model: CostModel::with_error(0.3, 12),
-        policies: vec![
+        })
+        .cost_model(CostModel::with_error(0.3, 12))
+        .policies(vec![
             WorkloadPolicy::new("oltp", Importance::High)
                 .with_sla(ServiceLevelAgreement::percentile(95.0, 1.0)),
             WorkloadPolicy::new("analysis", Importance::Low),
-        ],
-        ..Default::default()
-    });
+        ])
+        .build()
+        .expect("valid configuration");
 
     // The operating-period policy: the analysis threshold is ~16s of work
     // during the day, 1000x that (effectively unlimited) from 22:00 to

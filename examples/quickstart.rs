@@ -8,8 +8,9 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use wlm::core::admission::ThresholdAdmission;
+use wlm::core::api::WlmBuilder;
 use wlm::core::events::{RingRecorder, WorkloadEventCounters};
-use wlm::core::manager::{ManagerConfig, RunReport, WorkloadManager};
+use wlm::core::manager::RunReport;
 use wlm::core::policy::{AdmissionPolicy, AdmissionViolationAction, WorkloadPolicy};
 use wlm::core::scheduling::PriorityScheduler;
 use wlm::dbsim::engine::EngineConfig;
@@ -27,16 +28,16 @@ fn mix(seed: u64) -> MixedSource {
         ))
 }
 
-fn config() -> ManagerConfig {
-    ManagerConfig {
-        engine: EngineConfig {
+fn builder() -> WlmBuilder {
+    WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 8,
             // Tight working memory: an uncontrolled BI herd overcommits it
             // and the whole server pays the paging penalty.
             memory_mb: 256,
             ..Default::default()
-        },
-        policies: vec![
+        })
+        .policies([
             WorkloadPolicy::new("oltp", Importance::High).with_sla(ServiceLevelAgreement {
                 objectives: vec![
                     PerformanceObjective::Percentile {
@@ -51,9 +52,7 @@ fn config() -> ManagerConfig {
             }),
             WorkloadPolicy::new("bi", Importance::Medium)
                 .with_sla(ServiceLevelAgreement::avg_response(120.0)),
-        ],
-        ..Default::default()
-    }
+        ])
 }
 
 fn print_report(title: &str, report: &RunReport) {
@@ -85,16 +84,16 @@ fn main() {
 
     // Unmanaged: the engine cannot see business priority (uniform weights)
     // and admits everything — BI tramples OLTP.
-    let mut unmanaged = WorkloadManager::new(ManagerConfig {
-        uniform_weights: true,
-        ..config()
-    });
+    let mut unmanaged = builder()
+        .uniform_weights(true)
+        .build()
+        .expect("valid configuration");
     let report_unmanaged = unmanaged.run(&mut mix(1), horizon);
 
     // Managed: identification gives OLTP its importance weight, the
     // priority scheduler dispatches it first, and a BI admission MPL keeps
     // the scan herd in check.
-    let mut managed = WorkloadManager::new(config());
+    let mut managed = builder().build().expect("valid configuration");
     // Observe the managed run through the typed event bus: a ring buffer
     // keeps the raw decision trace, the counters aggregate per workload.
     let trace = RingRecorder::new(65_536);

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example resource_governor`
 
-use wlm::core::manager::ManagerConfig;
+use wlm::core::api::WlmBuilder;
 use wlm::dbsim::engine::EngineConfig;
 use wlm::dbsim::time::SimDuration;
 use wlm::systems::sqlserver::{ResourceGovernor, ResourcePool};
@@ -41,14 +41,13 @@ fn main() {
     }
     println!();
 
-    let mut mgr = rg.build(ManagerConfig {
-        engine: EngineConfig {
+    let mut mgr = rg
+        .build(WlmBuilder::new().engine(EngineConfig {
             cores: 8,
             memory_mb: 4_096,
             ..Default::default()
-        },
-        ..Default::default()
-    });
+        }))
+        .expect("valid configuration");
 
     let mut mix = MixedSource::new()
         .with(Box::new(OltpSource::new(80.0, 31)))

@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run --release --example workload_analyzer`
 
-use wlm::core::manager::{ManagerConfig, WorkloadManager};
+use wlm::core::api::WlmBuilder;
 use wlm::dbsim::engine::EngineConfig;
 use wlm::dbsim::optimizer::CostModel;
 use wlm::dbsim::time::SimDuration;
@@ -28,22 +28,20 @@ fn mix(seed: u64) -> MixedSource {
         ))
 }
 
-fn config() -> ManagerConfig {
-    ManagerConfig {
-        engine: EngineConfig {
+fn builder() -> WlmBuilder {
+    WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 8,
             memory_mb: 1_024,
             ..Default::default()
-        },
-        cost_model: CostModel::with_error(0.3, 7),
-        uniform_weights: true,
-        ..Default::default()
-    }
+        })
+        .cost_model(CostModel::with_error(0.3, 7))
+        .uniform_weights(true)
 }
 
 fn main() {
     // Step 1: observe the unmanaged server.
-    let mut observe = WorkloadManager::new(config());
+    let mut observe = builder().build().expect("valid configuration");
     observe.run(&mut mix(40), SimDuration::from_secs(60));
     println!(
         "observation run: {} completed requests logged to the DBQL\n",
@@ -96,7 +94,7 @@ fn main() {
         asm.definitions.len()
     );
 
-    let mut managed = asm.build(config());
+    let mut managed = asm.build(builder()).expect("valid configuration");
     let report = managed.run(&mut mix(40), SimDuration::from_secs(60));
     for w in &report.workloads {
         println!(

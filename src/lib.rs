@@ -16,18 +16,24 @@
 //! | [`core`] | `wlm-core` | the taxonomy, policies and all technique implementations plus the `WorkloadManager` pipeline |
 //! | [`systems`] | `wlm-systems` | IBM DB2 WLM, SQL Server Resource Governor and Teradata ASM emulations |
 //! | [`chaos`] | `wlm-chaos` | deterministic fault plans and the chaos driver for resilience experiments |
+//! | [`cluster`] | `wlm-cluster` | sharded multi-engine cluster under a hierarchical (global + per-shard) controller |
 //!
 //! ## Quickstart
 //!
+//! Managers are assembled through the typed facade,
+//! [`WlmBuilder`](crate::core::api::WlmBuilder):
+//!
 //! ```
-//! use wlm::core::manager::{ManagerConfig, WorkloadManager};
+//! use wlm::core::api::WlmBuilder;
 //! use wlm::core::scheduling::PriorityScheduler;
 //! use wlm::workload::generators::{BiSource, OltpSource};
 //! use wlm::workload::mix::MixedSource;
 //! use wlm::dbsim::time::SimDuration;
 //!
-//! let mut manager = WorkloadManager::new(ManagerConfig::default());
-//! manager.set_scheduler(Box::new(PriorityScheduler::new(16)));
+//! let mut manager = WlmBuilder::new()
+//!     .scheduler(Box::new(PriorityScheduler::new(16)))
+//!     .build()
+//!     .expect("valid configuration");
 //!
 //! let mut mix = MixedSource::new()
 //!     .with(Box::new(OltpSource::new(50.0, 1)))
@@ -36,8 +42,29 @@
 //! let report = manager.run(&mut mix, SimDuration::from_secs(10));
 //! assert!(report.completed > 0);
 //! ```
+//!
+//! The same builder scales out: [`cluster::ClusterBuilder`] stamps one
+//! `WlmBuilder` per shard and routes requests between them.
+//!
+//! ```
+//! use wlm::cluster::{ClusterBuilder, RoutingPolicy};
+//! use wlm::core::api::WlmBuilder;
+//! use wlm::dbsim::time::SimDuration;
+//! use wlm::workload::generators::OltpSource;
+//!
+//! let mut cluster = ClusterBuilder::new()
+//!     .shards(4)
+//!     .routing(RoutingPolicy::Affinity)
+//!     .shard_builder(Box::new(|_shard| WlmBuilder::new()))
+//!     .build()
+//!     .expect("valid configuration");
+//! let mut src = OltpSource::new(80.0, 1).with_partitions(16);
+//! let report = cluster.run(&mut src, SimDuration::from_secs(10));
+//! assert!(report.completed > 0);
+//! ```
 
 pub use wlm_chaos as chaos;
+pub use wlm_cluster as cluster;
 pub use wlm_control as control;
 pub use wlm_core as core;
 pub use wlm_dbsim as dbsim;

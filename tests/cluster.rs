@@ -1,0 +1,174 @@
+//! Cluster-level integration tests: N-shard determinism per seed, aggregate
+//! work conservation across routing policies, and shard-kill failover that
+//! neither loses nor duplicates admitted work.
+
+use proptest::prelude::*;
+use wlm::cluster::{ClusterBuilder, FailoverPolicy, RoutingPolicy};
+use wlm::core::api::WlmBuilder;
+use wlm::dbsim::engine::EngineConfig;
+use wlm::dbsim::optimizer::CostModel;
+use wlm::dbsim::time::{SimDuration, SimTime};
+use wlm::workload::generators::{OltpSource, Source};
+use wlm::workload::mix::MixedSource;
+use wlm::workload::request::Request;
+
+fn shard_builder(_shard: usize) -> WlmBuilder {
+    WlmBuilder::new()
+        .engine(EngineConfig {
+            cores: 2,
+            disk_pages_per_sec: 20_000,
+            memory_mb: 1_024,
+            ..Default::default()
+        })
+        .cost_model(CostModel::oracle())
+}
+
+/// Counts every request handed to the cluster, so conservation can be
+/// checked against the cluster's own books.
+struct CountingSource {
+    inner: OltpSource,
+    handed_out: u64,
+}
+
+impl CountingSource {
+    fn new(rate: f64, seed: u64, partitions: u64) -> Self {
+        CountingSource {
+            inner: OltpSource::new(rate, seed).with_partitions(partitions),
+            handed_out: 0,
+        }
+    }
+}
+
+impl Source for CountingSource {
+    fn poll(&mut self, from: SimTime, to: SimTime) -> Vec<Request> {
+        let batch = self.inner.poll(from, to);
+        self.handed_out += batch.len() as u64;
+        batch
+    }
+
+    fn on_completion(&mut self, label: &str, at: SimTime) {
+        self.inner.on_completion(label, at);
+    }
+
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+}
+
+fn checkpoint_bytes(cluster: &wlm::cluster::Cluster) -> Vec<Vec<u8>> {
+    cluster.checkpoints().iter().map(|c| c.to_bytes()).collect()
+}
+
+#[test]
+fn n_shard_runs_are_byte_identical_per_seed() {
+    for routing in [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::LeastOutstandingCost,
+        RoutingPolicy::Affinity,
+    ] {
+        let run = || {
+            let mut cluster = ClusterBuilder::new()
+                .shards(3)
+                .routing(routing)
+                .shard_builder(Box::new(shard_builder))
+                .build()
+                .expect("valid configuration");
+            let mut src = OltpSource::new(60.0, 0x5eed).with_partitions(12);
+            let report = cluster.run(&mut src, SimDuration::from_secs(10));
+            (checkpoint_bytes(&cluster), report.completed, report.routed)
+        };
+        let (bytes_a, completed_a, routed_a) = run();
+        let (bytes_b, completed_b, routed_b) = run();
+        assert_eq!(completed_a, completed_b, "{routing:?}");
+        assert_eq!(routed_a, routed_b, "{routing:?}");
+        assert_eq!(
+            bytes_a, bytes_b,
+            "{routing:?}: same seed must give byte-identical shard checkpoints"
+        );
+        assert!(completed_a > 0, "{routing:?}: work must complete");
+    }
+}
+
+#[test]
+fn shard_kill_runs_are_byte_identical_per_seed() {
+    let run = || {
+        let mut cluster = ClusterBuilder::new()
+            .shards(4)
+            .routing(RoutingPolicy::Affinity)
+            .failover(FailoverPolicy::Reroute)
+            .shard_builder(Box::new(shard_builder))
+            .build()
+            .expect("valid configuration");
+        cluster.schedule_outage(1, 3.0, 4.0).expect("valid shard");
+        let mut src = OltpSource::new(60.0, 0xbeef).with_partitions(16);
+        let report = cluster.run(&mut src, SimDuration::from_secs(12));
+        (checkpoint_bytes(&cluster), report.rerouted)
+    };
+    let (bytes_a, rerouted_a) = run();
+    let (bytes_b, rerouted_b) = run();
+    assert_eq!(bytes_a, bytes_b);
+    assert_eq!(rerouted_a, rerouted_b);
+}
+
+#[test]
+fn shard_kill_neither_loses_nor_duplicates_work() {
+    for failover in [FailoverPolicy::Reroute, FailoverPolicy::WaitForRestart] {
+        let mut cluster = ClusterBuilder::new()
+            .shards(4)
+            .routing(RoutingPolicy::Affinity)
+            .failover(failover)
+            .shard_builder(Box::new(shard_builder))
+            .build()
+            .expect("valid configuration");
+        cluster.schedule_outage(0, 2.0, 3.0).expect("valid shard");
+        cluster.schedule_outage(2, 4.0, 2.0).expect("valid shard");
+        let mut src = CountingSource::new(50.0, 21, 16);
+        cluster.run(&mut src, SimDuration::from_secs(10));
+        // Quiet drain so everything still in flight (including work parked
+        // or stranded by the outages) finishes.
+        let mut quiet = MixedSource::new();
+        let report = cluster.run(&mut quiet, SimDuration::from_secs(20));
+        let accounted = report.completed + report.killed + report.rejected + report.shed;
+        assert_eq!(
+            accounted, src.handed_out,
+            "{failover:?}: every admitted request must surface exactly once \
+             (completed {} killed {} rejected {} shed {}, handed out {})",
+            report.completed, report.killed, report.rejected, report.shed, src.handed_out
+        );
+        assert!(report.completed > 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Aggregate work conservation: whatever the seed, shard count and
+    /// routing policy, the cluster's books account for every request the
+    /// source handed out — none lost, none counted twice.
+    #[test]
+    fn cluster_conserves_work(
+        seed in 0u64..1_000,
+        shards in 1usize..=4,
+        routing_ix in 0usize..3,
+    ) {
+        let routing = [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::LeastOutstandingCost,
+            RoutingPolicy::Affinity,
+        ][routing_ix];
+        let mut cluster = ClusterBuilder::new()
+            .shards(shards)
+            .routing(routing)
+            .shard_builder(Box::new(shard_builder))
+            .build()
+            .expect("valid configuration");
+        let mut src = CountingSource::new(40.0, seed, 8);
+        cluster.run(&mut src, SimDuration::from_secs(6));
+        let mut quiet = MixedSource::new();
+        let report = cluster.run(&mut quiet, SimDuration::from_secs(10));
+        let accounted = report.completed + report.killed + report.rejected + report.shed;
+        prop_assert_eq!(accounted, src.handed_out);
+        let per_shard: u64 = report.shards.iter().map(|s| s.completed).sum();
+        prop_assert_eq!(per_shard, report.completed);
+    }
+}

@@ -6,10 +6,9 @@
 
 use proptest::prelude::*;
 use wlm::chaos::{run_with_chaos, ChaosDriver, FaultPlanBuilder};
+use wlm::core::api::WlmBuilder;
 use wlm::core::events::WlmEvent;
-use wlm::core::manager::{
-    ControllerState, ManagerConfig, RecoveryReport, WorkloadManager, CHECKPOINT_VERSION,
-};
+use wlm::core::manager::{ControllerState, RecoveryReport, WorkloadManager, CHECKPOINT_VERSION};
 use wlm::core::policy::WorkloadPolicy;
 use wlm::core::resilience::{QuarantineConfig, ResilienceConfig, RetryPolicy};
 use wlm::core::scheduling::PriorityScheduler;
@@ -22,24 +21,24 @@ use wlm::workload::request::{Importance, Request};
 use wlm::workload::sla::ServiceLevelAgreement;
 
 fn manager() -> WorkloadManager {
-    let mut mgr = WorkloadManager::new(ManagerConfig {
-        engine: EngineConfig {
+    let mut mgr = WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 4,
             disk_pages_per_sec: 20_000,
             memory_mb: 4_096,
             ..Default::default()
-        },
-        cost_model: CostModel::oracle(),
-        policies: vec![
+        })
+        .cost_model(CostModel::oracle())
+        .policies(vec![
             WorkloadPolicy::new("oltp", Importance::High)
                 .with_sla(ServiceLevelAgreement::percentile(95.0, 12.0)),
             WorkloadPolicy::new("bi", Importance::Medium)
                 .with_sla(ServiceLevelAgreement::avg_response(60.0)),
             WorkloadPolicy::new("poison", Importance::Medium)
                 .with_sla(ServiceLevelAgreement::best_effort()),
-        ],
-        ..Default::default()
-    });
+        ])
+        .build()
+        .expect("valid configuration");
     mgr.set_scheduler(Box::new(PriorityScheduler::new(12)));
     mgr.set_resilience(
         ResilienceConfig::new(0xC0)
@@ -90,7 +89,10 @@ fn checkpoints_are_byte_deterministic_and_version_gated() {
     let mut tampered = a.clone();
     tampered.version = CHECKPOINT_VERSION + 1;
     let err = ControllerState::from_bytes(&tampered.to_bytes()).unwrap_err();
-    assert!(err.contains("version"), "got: {err}");
+    assert!(
+        matches!(&err, wlm::core::Error::Checkpoint(reason) if reason.contains("version")),
+        "got: {err}"
+    );
     assert!(ControllerState::from_bytes(b"not json").is_err());
 }
 

@@ -1,7 +1,7 @@
 //! Reproducibility: identical seeds and configurations must produce
 //! identical runs, across every component of the stack.
 
-use wlm::core::manager::{ManagerConfig, WorkloadManager};
+use wlm::core::api::WlmBuilder;
 use wlm::core::scheduling::RankScheduler;
 use wlm::dbsim::engine::EngineConfig;
 use wlm::dbsim::optimizer::CostModel;
@@ -10,15 +10,15 @@ use wlm::workload::generators::{BiSource, OltpSource};
 use wlm::workload::mix::MixedSource;
 
 fn run_once(seed: u64) -> (u64, u64, Vec<f64>) {
-    let mut mgr = WorkloadManager::new(ManagerConfig {
-        engine: EngineConfig {
+    let mut mgr = WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 4,
             memory_mb: 1_024,
             ..Default::default()
-        },
-        cost_model: CostModel::with_error(0.5, 77),
-        ..Default::default()
-    });
+        })
+        .cost_model(CostModel::with_error(0.5, 77))
+        .build()
+        .expect("valid configuration");
     mgr.set_scheduler(Box::new(RankScheduler::new(16)));
     let mut mix = MixedSource::new()
         .with(Box::new(OltpSource::new(30.0, seed)))
@@ -48,15 +48,15 @@ fn different_seed_different_history() {
 }
 
 fn full_report(seed: u64, with_recorder: bool) -> (String, usize) {
-    let mut mgr = WorkloadManager::new(ManagerConfig {
-        engine: EngineConfig {
+    let mut mgr = WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 4,
             memory_mb: 1_024,
             ..Default::default()
-        },
-        cost_model: CostModel::with_error(0.5, 77),
-        ..Default::default()
-    });
+        })
+        .cost_model(CostModel::with_error(0.5, 77))
+        .build()
+        .expect("valid configuration");
     let recorder = wlm::core::events::RingRecorder::new(1 << 20);
     if with_recorder {
         mgr.subscribe(Box::new(recorder.clone()));
@@ -97,15 +97,15 @@ fn faulted_report(seed: u64) -> String {
     use wlm::core::resilience::{BreakerConfig, LadderConfig, ResilienceConfig, RetryPolicy};
     use wlm::workload::generators::SurgeSource;
 
-    let mut mgr = WorkloadManager::new(ManagerConfig {
-        engine: EngineConfig {
+    let mut mgr = WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 4,
             memory_mb: 1_024,
             ..Default::default()
-        },
-        cost_model: CostModel::with_error(0.5, 77),
-        ..Default::default()
-    });
+        })
+        .cost_model(CostModel::with_error(0.5, 77))
+        .build()
+        .expect("valid configuration");
     mgr.set_scheduler(Box::new(RankScheduler::new(16)));
     mgr.set_resilience(
         ResilienceConfig::new(seed)

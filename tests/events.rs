@@ -3,8 +3,9 @@
 //! counts agree with the run report.
 
 use wlm::core::admission::ThresholdAdmission;
+use wlm::core::api::WlmBuilder;
 use wlm::core::events::{RingRecorder, WorkloadEventCounters};
-use wlm::core::manager::{ManagerConfig, WorkloadManager};
+use wlm::core::manager::WorkloadManager;
 use wlm::core::policy::{AdmissionPolicy, AdmissionViolationAction, WorkloadPolicy};
 use wlm::core::scheduling::PriorityScheduler;
 use wlm::dbsim::engine::EngineConfig;
@@ -15,18 +16,18 @@ use wlm::workload::request::Importance;
 
 /// The quickstart example's managed configuration.
 fn quickstart_manager() -> WorkloadManager {
-    let mut mgr = WorkloadManager::new(ManagerConfig {
-        engine: EngineConfig {
+    let mut mgr = WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 8,
             memory_mb: 256,
             ..Default::default()
-        },
-        policies: vec![
+        })
+        .policies(vec![
             WorkloadPolicy::new("oltp", Importance::High),
             WorkloadPolicy::new("bi", Importance::Medium),
-        ],
-        ..Default::default()
-    });
+        ])
+        .build()
+        .expect("valid configuration");
     mgr.set_scheduler(Box::new(PriorityScheduler::new(64)));
     mgr.set_admission(Box::new(ThresholdAdmission::default().with_policy(
         "bi",

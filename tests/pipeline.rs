@@ -2,9 +2,9 @@
 //! the simulated engine, spanning every crate.
 
 use wlm::core::admission::ThresholdAdmission;
+use wlm::core::api::WlmBuilder;
 use wlm::core::autonomic::{AutonomicController, GoalSpec};
 use wlm::core::execution::{LoadShedSuspender, PriorityAging, ThresholdKiller};
-use wlm::core::manager::{ManagerConfig, WorkloadManager};
 use wlm::core::policy::{AdmissionPolicy, AdmissionViolationAction, WorkloadPolicy};
 use wlm::core::scheduling::ServiceClassConfig;
 use wlm::core::scheduling::{PriorityScheduler, Restructurer, UtilityScheduler};
@@ -16,26 +16,24 @@ use wlm::workload::mix::MixedSource;
 use wlm::workload::request::Importance;
 use wlm::workload::sla::ServiceLevelAgreement;
 
-fn base_config() -> ManagerConfig {
-    ManagerConfig {
-        engine: EngineConfig {
+fn base_builder() -> WlmBuilder {
+    WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 8,
             memory_mb: 2_048,
             ..Default::default()
-        },
-        cost_model: CostModel::oracle(),
-        policies: vec![
+        })
+        .cost_model(CostModel::oracle())
+        .policies([
             WorkloadPolicy::new("oltp", Importance::High)
                 .with_sla(ServiceLevelAgreement::percentile(95.0, 0.5)),
             WorkloadPolicy::new("bi", Importance::Medium),
-        ],
-        ..Default::default()
-    }
+        ])
 }
 
 #[test]
 fn full_stack_protects_oltp_under_bi_pressure() {
-    let mut mgr = WorkloadManager::new(base_config());
+    let mut mgr = base_builder().build().expect("valid configuration");
     mgr.set_scheduler(Box::new(PriorityScheduler::new(32)));
     mgr.set_admission(Box::new(ThresholdAdmission::default().with_policy(
         "bi",
@@ -58,7 +56,7 @@ fn full_stack_protects_oltp_under_bi_pressure() {
 
 #[test]
 fn utility_scheduler_and_killer_compose() {
-    let mut mgr = WorkloadManager::new(base_config());
+    let mut mgr = base_builder().build().expect("valid configuration");
     mgr.set_scheduler(Box::new(UtilityScheduler::new(
         vec![
             ServiceClassConfig {
@@ -86,7 +84,7 @@ fn utility_scheduler_and_killer_compose() {
 
 #[test]
 fn restructuring_pipeline_preserves_work_accounting() {
-    let mut mgr = WorkloadManager::new(base_config());
+    let mut mgr = base_builder().build().expect("valid configuration");
     mgr.set_restructurer(Restructurer {
         slice_threshold_timerons: 2_000_000.0,
         target_piece_timerons: 1_000_000.0,
@@ -108,10 +106,10 @@ fn restructuring_pipeline_preserves_work_accounting() {
 
 #[test]
 fn suspension_pipeline_round_trips_queries() {
-    let mut mgr = WorkloadManager::new(ManagerConfig {
-        resume_when_running_below: 8,
-        ..base_config()
-    });
+    let mut mgr = base_builder()
+        .resume_when_running_below(8)
+        .build()
+        .expect("valid configuration");
     let shedder = LoadShedSuspender {
         pressure_threshold: 3,
         min_remaining_us: 500_000,
@@ -152,7 +150,7 @@ fn suspension_pipeline_round_trips_queries() {
 
 #[test]
 fn autonomic_loop_with_closed_loop_oltp() {
-    let mut mgr = WorkloadManager::new(base_config());
+    let mut mgr = base_builder().build().expect("valid configuration");
     mgr.add_exec_controller(Box::new(AutonomicController::new(vec![GoalSpec {
         workload: "oltp_closed".into(),
         goal_secs: 0.5,
@@ -174,7 +172,7 @@ fn autonomic_loop_with_closed_loop_oltp() {
 
 #[test]
 fn rejections_are_accounted_per_workload() {
-    let mut mgr = WorkloadManager::new(base_config());
+    let mut mgr = base_builder().build().expect("valid configuration");
     mgr.set_admission(Box::new(ThresholdAdmission::default().with_policy(
         "bi",
         AdmissionPolicy {
@@ -198,7 +196,7 @@ fn rejections_are_accounted_per_workload() {
 #[test]
 fn query_log_feeds_the_workload_analyzer() {
     use wlm::systems::teradata::WorkloadAnalyzer;
-    let mut mgr = WorkloadManager::new(base_config());
+    let mut mgr = base_builder().build().expect("valid configuration");
     let mut mix = MixedSource::new()
         .with(Box::new(OltpSource::new(30.0, 12)))
         .with(Box::new(BiSource::new(2.0, 13)));
@@ -212,14 +210,22 @@ fn query_log_feeds_the_workload_analyzer() {
 
 #[test]
 fn dashboard_reflects_live_state_and_goal_violations() {
-    let mut mgr = WorkloadManager::new(ManagerConfig {
-        policies: vec![
+    // Same engine as `base_builder`, but the tight BI goal is the only
+    // policy: the oltp row must stay violation-free.
+    let mut mgr = WlmBuilder::new()
+        .engine(EngineConfig {
+            cores: 8,
+            memory_mb: 2_048,
+            ..Default::default()
+        })
+        .cost_model(CostModel::oracle())
+        .policy(
             // An absurdly tight goal so violations definitely accrue.
             WorkloadPolicy::new("bi", Importance::Medium)
                 .with_sla(ServiceLevelAgreement::avg_response(0.001)),
-        ],
-        ..base_config()
-    });
+        )
+        .build()
+        .expect("valid configuration");
     let mut mix = MixedSource::new()
         .with(Box::new(OltpSource::new(20.0, 14)))
         .with(Box::new(BiSource::new(1.0, 15)));
@@ -242,7 +248,7 @@ fn dashboard_reflects_live_state_and_goal_violations() {
 
 #[test]
 fn policies_can_change_at_run_time() {
-    let mut mgr = WorkloadManager::new(base_config());
+    let mut mgr = base_builder().build().expect("valid configuration");
     let mut src = BiSource::new(2.0, 16).with_size(2_000_000.0, 0.3);
     mgr.run(&mut src, SimDuration::from_secs(10));
     // Install a policy mid-run: future classifications pick up the weight.

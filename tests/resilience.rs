@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use wlm::chaos::{run_with_chaos, ChaosDriver, FaultPlanBuilder};
-use wlm::core::manager::{ManagerConfig, WorkloadManager};
+use wlm::core::api::WlmBuilder;
 use wlm::core::policy::WorkloadPolicy;
 use wlm::core::resilience::{BreakerConfig, LadderConfig, ResilienceConfig, RetryPolicy};
 use wlm::core::scheduling::PriorityScheduler;
@@ -110,17 +110,17 @@ proptest! {
 /// trips and recovers, and the run still completes work.
 #[test]
 fn resilience_stack_engages_under_faults() {
-    let mut mgr = WorkloadManager::new(ManagerConfig {
-        engine: EngineConfig {
+    let mut mgr = WlmBuilder::new()
+        .engine(EngineConfig {
             cores: 4,
             disk_pages_per_sec: 20_000,
             memory_mb: 2_048,
             ..Default::default()
-        },
-        policies: vec![WorkloadPolicy::new("oltp", Importance::High)
-            .with_sla(ServiceLevelAgreement::percentile(95.0, 12.0))],
-        ..Default::default()
-    });
+        })
+        .policies(vec![WorkloadPolicy::new("oltp", Importance::High)
+            .with_sla(ServiceLevelAgreement::percentile(95.0, 12.0))])
+        .build()
+        .expect("valid configuration");
     mgr.set_scheduler(Box::new(PriorityScheduler::new(8)));
     mgr.set_resilience(
         ResilienceConfig::new(9)

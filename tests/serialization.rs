@@ -91,10 +91,10 @@ fn query_specs_round_trip() {
 
 #[test]
 fn run_reports_serialize_for_dashboards() {
-    use wlm::core::manager::{ManagerConfig, WorkloadManager};
+    use wlm::core::api::WlmBuilder;
     use wlm::dbsim::time::SimDuration;
     use wlm::workload::generators::OltpSource;
-    let mut mgr = WorkloadManager::new(ManagerConfig::default());
+    let mut mgr = WlmBuilder::new().build().expect("valid configuration");
     let mut src = OltpSource::new(20.0, 1);
     let report = mgr.run(&mut src, SimDuration::from_secs(5));
     let json = serde_json::to_string(&report).expect("reports are JSON");
