@@ -1,5 +1,5 @@
 //! The experiment harness binary: regenerates every table and figure of the
-//! paper and runs the quantitative experiments E1–E21.
+//! paper and runs the quantitative experiments E1–E23.
 //!
 //! Usage:
 //!   experiments                # everything
@@ -8,9 +8,11 @@
 //!   experiments --json e1      # machine-readable output (JSON lines only)
 //!   experiments --trace e1     # append the decision-event trace as JSON lines
 //!   experiments --jobs 4       # worker threads (default: available cores)
-//!   experiments --seed 7 e16   # seed for the seeded experiments (E16–E21)
+//!   experiments --seed 7 e16   # seed for the seeded experiments (E16–E23)
 //!   experiments --crash-at 150 --checkpoint-every 25 e18
 //!                              # E18 crash cycle and checkpoint cadence
+//!   experiments --severity 40 e22
+//!                              # E22 single gray-severity override
 //!
 //! Experiments are independent, so they run on a pool of worker threads;
 //! output is printed in submission order regardless of completion order, so
@@ -18,7 +20,7 @@
 //! *only* JSON lines — one typed [`wlm_bench::Envelope`]
 //! (`{"experiment": ..., "seed": ..., "flags": ..., "results": ...}`) per
 //! experiment — so the stream can be piped straight into `jq`, and one
-//! schema covers E1–E21 (`wlm_bench::envelope` pins it with a test).
+//! schema covers E1–E23 (`wlm_bench::envelope` pins it with a test).
 //! The seed (default `0x5eed`) feeds the experiments that take one; it is
 //! echoed in every envelope — alongside the full flag set, unset flags as
 //! `null` — so same-flag runs can be diffed byte for byte. With
@@ -123,6 +125,7 @@ fn main() {
     let mut seed: u64 = DEFAULT_SEED;
     let mut crash_at: Option<u64> = None;
     let mut checkpoint_every: Option<u64> = None;
+    let mut severity: Option<f64> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -152,6 +155,10 @@ fn main() {
             }
             other if other.starts_with("--checkpoint-every=") => {
                 checkpoint_every = other["--checkpoint-every=".len()..].parse().ok();
+            }
+            "--severity" => severity = args.next().and_then(|v| v.parse().ok()),
+            other if other.starts_with("--severity=") => {
+                severity = other["--severity=".len()..].parse().ok();
             }
             other => selected.push(other.to_string()),
         }
@@ -244,6 +251,21 @@ fn main() {
     seeded_job!("e20", exp::e20_shard_scaling);
     seeded_job!("e21", exp::e21_routing_ablation);
 
+    // E22 also takes the gray-severity override flag.
+    if want("e22") {
+        jobs.push(Job {
+            id: "e22",
+            run: Box::new(move || {
+                let result = exp::e22_gray_failure(seed, severity);
+                (
+                    serde_json::to_value(&result).expect("serializable"),
+                    result.render(),
+                )
+            }),
+        });
+    }
+    seeded_job!("e23", exp::e23_partition_heal);
+
     job!("a1", exp::a1_restructure_pieces);
     job!("a2", exp::a2_checkpoint_interval);
     job!("a3", exp::a3_mape_period);
@@ -253,6 +275,7 @@ fn main() {
         jobs: workers,
         crash_at,
         checkpoint_every,
+        severity,
     };
     let workers = workers
         .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())

@@ -1,7 +1,7 @@
 //! The typed JSON envelope every experiment's `--json` output is wrapped
 //! in.
 //!
-//! One schema covers E1–E21, the ablations and the figures job: an
+//! One schema covers E1–E23, the ablations and the figures job: an
 //! [`Envelope`] carries the experiment id, the seed, the full harness
 //! [`Flags`], and the experiment's own serialized result. Every field is
 //! always present (unset flags serialize as `null`), so two runs with the
@@ -24,13 +24,16 @@ pub struct Flags {
     /// `--checkpoint-every N`: E18's checkpoint cadence (`null` =
     /// experiment default).
     pub checkpoint_every: Option<u64>,
+    /// `--severity F`: E22's single gray-severity override (`null` =
+    /// the experiment's built-in severity sweep).
+    pub severity: Option<f64>,
 }
 
 /// One experiment's machine-readable output: exactly one JSON line under
 /// `--json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct Envelope {
-    /// Experiment id (`e1` … `e21`, `a1` … `a3`, `figures`).
+    /// Experiment id (`e1` … `e23`, `a1` … `a3`, `figures`).
     pub experiment: &'static str,
     /// The seed the seeded experiments ran under (echoed for all, so the
     /// stream is diffable without knowing which experiments consume it).
@@ -65,7 +68,7 @@ mod tests {
         };
         assert_eq!(
             env.to_json_line(),
-            r#"{"experiment":"e20","seed":24301,"flags":{"trace":false,"jobs":null,"crash_at":null,"checkpoint_every":null},"results":{"rows":[]}}"#
+            r#"{"experiment":"e20","seed":24301,"flags":{"trace":false,"jobs":null,"crash_at":null,"checkpoint_every":null,"severity":null},"results":{"rows":[]}}"#
         );
 
         let env = Envelope {
@@ -76,12 +79,13 @@ mod tests {
                 jobs: Some(4),
                 crash_at: Some(1_600),
                 checkpoint_every: Some(250),
+                severity: Some(40.0),
             },
             results: serde_json::Value::Null,
         };
         assert_eq!(
             env.to_json_line(),
-            r#"{"experiment":"e18","seed":7,"flags":{"trace":true,"jobs":4,"crash_at":1600,"checkpoint_every":250},"results":null}"#
+            r#"{"experiment":"e18","seed":7,"flags":{"trace":true,"jobs":4,"crash_at":1600,"checkpoint_every":250,"severity":40.0},"results":null}"#
         );
     }
 

@@ -1,4 +1,4 @@
-//! The quantitative experiments (E1–E21 of DESIGN.md).
+//! The quantitative experiments (E1–E23 of DESIGN.md).
 
 pub mod ablations;
 pub mod admission;
@@ -8,6 +8,7 @@ pub mod cluster;
 pub mod crash;
 pub mod engine;
 pub mod execution;
+pub mod fabric;
 pub mod facilities;
 pub mod resilience;
 pub mod scheduling;
@@ -20,6 +21,7 @@ pub use cluster::{e20_shard_scaling, e21_routing_ablation};
 pub use crash::{e18_crash_recovery, e19_poison_quarantine};
 pub use engine::e1_mpl_curve;
 pub use execution::{e12_kill_precision, e4_throttling, e5_suspend, e7_economic};
+pub use fabric::{e22_gray_failure, e23_partition_heal};
 pub use facilities::e9_facilities;
 pub use resilience::{e16_resilience_ablation, e17_fault_recovery};
 pub use scheduling::{e11_restructuring, e3_dynamic_mpl, e6_schedulers};

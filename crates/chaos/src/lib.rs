@@ -49,4 +49,6 @@ pub mod driver;
 pub mod plan;
 
 pub use driver::{run_with_chaos, ChaosDriver};
-pub use plan::{ControlFault, FaultEvent, FaultKind, FaultPlan, FaultPlanBuilder};
+pub use plan::{
+    ControlFault, FaultEvent, FaultKind, FaultPlan, FaultPlanBuilder, NetFault, NetFaultEvent,
+};

@@ -85,12 +85,67 @@ pub struct FaultEvent {
     pub fault: FaultKind,
 }
 
+/// A network-fabric fault against the cluster's simulated link layer
+/// (`wlm-cluster`). Each variant doubles as its own recovery: the window
+/// helpers schedule the fault at the window start and the neutral
+/// parameters at its end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum NetFault {
+    /// Drop each message to `shard` with probability `loss_p`
+    /// (`loss_p: 0.0` restores the configured link).
+    LinkLoss {
+        /// The shard whose link degrades.
+        shard: usize,
+        /// Per-message loss probability while the fault holds.
+        loss_p: f64,
+    },
+    /// Fully partition `shard` from the front-end: every message and ack
+    /// in either direction is lost until the window heals
+    /// (`active: false`).
+    Partition {
+        /// The partitioned shard.
+        shard: usize,
+        /// `true` opens the partition, `false` heals it.
+        active: bool,
+    },
+    /// Make `shard` *gray* — alive but slow: every link delay to and from
+    /// it is multiplied by `delay_factor` (`1.0` recovers).
+    GrayShard {
+        /// The straggling shard.
+        shard: usize,
+        /// Multiplier on the link's base delay.
+        delay_factor: f64,
+    },
+}
+
+impl NetFault {
+    /// The shard the fault targets.
+    pub fn shard(&self) -> usize {
+        match self {
+            NetFault::LinkLoss { shard, .. }
+            | NetFault::Partition { shard, .. }
+            | NetFault::GrayShard { shard, .. } => *shard,
+        }
+    }
+}
+
+/// A network fault scheduled at an instant of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct NetFaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens to the fabric.
+    pub fault: NetFault,
+}
+
 /// An immutable, time-sorted schedule of fault events, plus a
 /// cycle-sorted schedule of control-plane faults.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
     control_events: Vec<ControlFault>,
+    net_events: Vec<NetFaultEvent>,
 }
 
 impl FaultPlan {
@@ -104,14 +159,21 @@ impl FaultPlan {
         &self.control_events
     }
 
-    /// Number of scheduled events (engine/workload plus control-plane).
+    /// Network-fabric faults in firing order (consumed by the
+    /// `wlm-cluster` link layer).
+    pub fn net_events(&self) -> &[NetFaultEvent] {
+        &self.net_events
+    }
+
+    /// Number of scheduled events (engine/workload, control-plane and
+    /// network-fabric).
     pub fn len(&self) -> usize {
-        self.events.len() + self.control_events.len()
+        self.events.len() + self.control_events.len() + self.net_events.len()
     }
 
     /// Whether the plan schedules nothing.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty() && self.control_events.is_empty()
+        self.events.is_empty() && self.control_events.is_empty() && self.net_events.is_empty()
     }
 
     pub(crate) fn into_parts(self) -> (Vec<FaultEvent>, Vec<ControlFault>) {
@@ -130,6 +192,7 @@ pub struct FaultPlanBuilder {
     windows: u64,
     events: Vec<FaultEvent>,
     control_events: Vec<ControlFault>,
+    net_events: Vec<NetFaultEvent>,
 }
 
 impl FaultPlanBuilder {
@@ -143,6 +206,7 @@ impl FaultPlanBuilder {
             windows: 0,
             events: Vec::new(),
             control_events: Vec::new(),
+            net_events: Vec::new(),
         }
     }
 
@@ -271,6 +335,74 @@ impl FaultPlanBuilder {
         self
     }
 
+    fn push_net_at(&mut self, at_secs: f64, fault: NetFault) {
+        self.net_events.push(NetFaultEvent {
+            at: SimTime((at_secs.max(0.0) * 1e6).round() as u64),
+            fault,
+        });
+    }
+
+    /// Degrade the link to `shard`: each message is lost with probability
+    /// `loss_p` over the window (retransmits eventually get through).
+    pub fn link_loss(mut self, at_secs: f64, dur_secs: f64, shard: usize, loss_p: f64) -> Self {
+        let off = self.window_offset();
+        self.push_net_at(at_secs + off, NetFault::LinkLoss { shard, loss_p });
+        self.push_net_at(
+            at_secs + dur_secs + off,
+            NetFault::LinkLoss { shard, loss_p: 0.0 },
+        );
+        self
+    }
+
+    /// Fully partition `shard` from the front-end over the window; the
+    /// heal event at the window end triggers the cluster's partition-heal
+    /// reconciliation.
+    pub fn partition(mut self, at_secs: f64, dur_secs: f64, shard: usize) -> Self {
+        let off = self.window_offset();
+        self.push_net_at(
+            at_secs + off,
+            NetFault::Partition {
+                shard,
+                active: true,
+            },
+        );
+        self.push_net_at(
+            at_secs + dur_secs + off,
+            NetFault::Partition {
+                shard,
+                active: false,
+            },
+        );
+        self
+    }
+
+    /// Make `shard` gray — alive but `delay_factor`× slower on the link —
+    /// over the window.
+    pub fn gray_shard(
+        mut self,
+        at_secs: f64,
+        dur_secs: f64,
+        shard: usize,
+        delay_factor: f64,
+    ) -> Self {
+        let off = self.window_offset();
+        self.push_net_at(
+            at_secs + off,
+            NetFault::GrayShard {
+                shard,
+                delay_factor,
+            },
+        );
+        self.push_net_at(
+            at_secs + dur_secs + off,
+            NetFault::GrayShard {
+                shard,
+                delay_factor: 1.0,
+            },
+        );
+        self
+    }
+
     /// Crash the controller just before control cycle `at_cycle`. Cycle
     /// indexed, so jitter does not apply: crashes land deterministically.
     pub fn controller_crash(mut self, at_cycle: u64) -> Self {
@@ -293,9 +425,11 @@ impl FaultPlanBuilder {
     pub fn build(mut self) -> FaultPlan {
         self.events.sort_by_key(|e| e.at);
         self.control_events.sort_by_key(|e| e.at_cycle());
+        self.net_events.sort_by_key(|e| e.at);
         FaultPlan {
             events: self.events,
             control_events: self.control_events,
+            net_events: self.net_events,
         }
     }
 }
@@ -369,6 +503,56 @@ mod tests {
             .collect();
         assert_eq!(seeds.len(), 2);
         assert_ne!(seeds[0], seeds[1]);
+    }
+
+    #[test]
+    fn net_windows_are_self_healing_and_jitter_together() {
+        let plan = FaultPlanBuilder::new(9)
+            .with_jitter(1.0)
+            .partition(10.0, 4.0, 2)
+            .gray_shard(3.0, 5.0, 1, 25.0)
+            .link_loss(1.0, 2.0, 0, 0.5)
+            .build();
+        assert_eq!(plan.net_events().len(), 6);
+        assert_eq!(plan.len(), 6);
+        assert!(
+            plan.net_events().windows(2).all(|w| w[0].at <= w[1].at),
+            "net events sorted by firing time"
+        );
+        // Every fault has its matching recovery, window duration intact.
+        let parts: Vec<_> = plan
+            .net_events()
+            .iter()
+            .filter(|e| matches!(e.fault, NetFault::Partition { .. }))
+            .collect();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(
+            parts[0].fault,
+            NetFault::Partition {
+                shard: 2,
+                active: true
+            }
+        );
+        assert_eq!(
+            parts[1].fault,
+            NetFault::Partition {
+                shard: 2,
+                active: false
+            }
+        );
+        let dur = parts[1].at.since(parts[0].at).as_secs_f64();
+        assert!((dur - 4.0).abs() < 1e-6, "window duration preserved: {dur}");
+        assert_eq!(
+            plan.net_events(),
+            FaultPlanBuilder::new(9)
+                .with_jitter(1.0)
+                .partition(10.0, 4.0, 2)
+                .gray_shard(3.0, 5.0, 1, 25.0)
+                .link_loss(1.0, 2.0, 0, 0.5)
+                .build()
+                .net_events(),
+            "same seed, same net schedule"
+        );
     }
 
     #[test]

@@ -2,34 +2,53 @@
 //!
 //! [`Cluster::tick`] is the hierarchical control cycle. On the shared
 //! engine quantum it (1) processes due shard outages and rejoins,
-//! (2) polls the cluster-level source for the window's arrivals,
-//! (3) passes each arrival through the cluster admission gate (shedding
-//! when every live shard is saturated) and routes the survivors to shard
-//! inboxes, (4) steps every shard's [`WorkloadManager`] exactly one
-//! control cycle (down shards advance via
+//! (2) applies due network-fabric faults (partitions, gray links, loss
+//! windows) and heals partitions through the reconciliation path,
+//! (3) pumps the [`LinkLayer`](crate::link::LinkLayer) — heartbeats out,
+//! deliveries into shard inboxes, acks and pongs back into the
+//! [`FailureDetector`](crate::detector::FailureDetector) — and hedges the
+//! in-flight work of newly suspected shards, (4) polls the cluster-level
+//! source for the window's arrivals, (5) passes each arrival through the
+//! cluster admission gate (shedding when every live shard is saturated)
+//! and routes the survivors toward shard inboxes, (6) steps every shard's
+//! [`WorkloadManager`] exactly one control cycle (down shards advance via
 //! [`WorkloadManager::tick_uncontrolled`] — the data plane outlives its
-//! controller), and (5) forwards completion feedback to the source. Every
-//! step is deterministic, so an N-shard run is reproducible per seed down
-//! to byte-identical shard checkpoints.
+//! controller), and (7) forwards completion feedback to the source
+//! through the exactly-once filter. Every step is deterministic, so an
+//! N-shard run is reproducible per seed down to byte-identical shard
+//! checkpoints — link faults and all.
 //!
 //! Shard failure reuses the crash-tolerant control plane:
 //! [`FailoverPolicy::Reroute`] checkpoints the dying controller, moves its
-//! queued work (wait queue, admission gate, inbox, and the in-flight
-//! running/suspended sets) onto the survivors, and restores a stripped
-//! checkpoint so the restore reconciliation orphan-kills what the dead
-//! shard's engine was running — each moved request runs again elsewhere,
-//! none is lost, none completes twice. [`FailoverPolicy::WaitForRestart`]
-//! is the ablation baseline: the work stays put and the shard restores its
-//! full checkpoint when it rejoins.
+//! queued work (wait queue, admission gate, inbox, undelivered link
+//! traffic, and the in-flight running/suspended sets) onto the survivors,
+//! and restores a stripped checkpoint so the restore reconciliation
+//! orphan-kills what the dead shard's engine was running — each moved
+//! request runs again elsewhere, none is lost, none completes twice.
+//! [`FailoverPolicy::WaitForRestart`] is the ablation baseline: the work
+//! stays put and the shard restores its full checkpoint when it rejoins.
+//!
+//! Hedged re-dispatch extends the same exactly-once discipline to *gray*
+//! failure. A suspected shard's unacknowledged (and, once it looks dead,
+//! accepted-but-unfinished) requests are re-sent to a healthy peer; the
+//! first completion to reach the front-end wins and the losing copies are
+//! cancelled through the orphan-kill path ([`Cluster::report`] subtracts
+//! nothing twice — duplicate completions of a won race are counted in
+//! [`ClusterReport::duplicate_completions`] and excluded from
+//! [`ClusterReport::completed`]).
 
+use crate::detector::{DetectorConfig, FailureDetector, ShardHealth};
+use crate::hedge::{CompletionVerdict, HedgeConfig, Hedger};
 use crate::inbox::{FeedbackBuffer, InboxSource};
+use crate::link::{LinkConfig, LinkLayer};
 use crate::routing::{affinity_key, splitmix64, RoutingPolicy};
 use crate::snapshot::{ClusterSnapshot, ShardView};
 use crate::warm::WarmCache;
 use serde::Serialize;
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
+use wlm_chaos::{FaultPlan, NetFault, NetFaultEvent};
 use wlm_core::api::WlmBuilder;
 use wlm_core::events::{EventBus, EventSubscriber, WlmEvent};
 use wlm_core::manager::{ControllerState, RunReport, WorkloadManager};
@@ -38,7 +57,7 @@ use wlm_dbsim::engine::EngineFault;
 use wlm_dbsim::optimizer::CostModel;
 use wlm_dbsim::time::{SimDuration, SimTime};
 use wlm_workload::generators::Source;
-use wlm_workload::request::Request;
+use wlm_workload::request::{Request, RequestId};
 
 /// What the front-end does with a failed shard's queued work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -95,13 +114,16 @@ struct Outage {
 pub struct ClusterReport {
     /// Simulated run length, seconds.
     pub elapsed_secs: f64,
-    /// Total completions across shards.
+    /// Total completions across shards, *excluding* duplicate completions
+    /// of hedged races (see [`Self::duplicate_completions`]): each request
+    /// the cluster accepted surfaces here exactly once.
     pub completed: u64,
     /// Total kills across shards, *excluding* crash-recovery reclaims of
-    /// queries whose rerouted twins ran elsewhere (those are resource
-    /// housekeeping, not workload-management outcomes — each such request
-    /// still surfaces exactly once in the cluster's books). The per-shard
-    /// rows in [`Self::shards`] keep the raw counts.
+    /// queries whose rerouted twins ran elsewhere and hedge-loser
+    /// cancellations (those are resource housekeeping, not
+    /// workload-management outcomes — each such request still surfaces
+    /// exactly once in the cluster's books). The per-shard rows in
+    /// [`Self::shards`] keep the raw counts.
     pub killed: u64,
     /// Total shard-level rejections.
     pub rejected: u64,
@@ -111,6 +133,20 @@ pub struct ClusterReport {
     pub rerouted: u64,
     /// Requests shed at the cluster door.
     pub shed: u64,
+    /// Hedged re-dispatches issued against suspected shards.
+    pub hedged: u64,
+    /// Completions of already-won hedge races, absorbed by the
+    /// exactly-once filter instead of reaching the source twice.
+    pub duplicate_completions: u64,
+    /// Link-layer data messages that arrived at a shard (0 without a
+    /// link; includes redeliveries).
+    pub delivered: u64,
+    /// Link-layer messages lost to loss draws or partitions.
+    pub link_dropped: u64,
+    /// Deliveries the shard-side dedup dropped as already seen.
+    pub redelivered: u64,
+    /// Retransmissions the ack timeout triggered.
+    pub retransmits: u64,
     /// Aggregate throughput, completions/second.
     pub throughput: f64,
     /// Per-shard run reports, in shard order.
@@ -126,6 +162,9 @@ pub struct ClusterBuilder {
     shed_threshold: Option<usize>,
     warm_cache: Option<(usize, u64)>,
     routing_cost_model: CostModel,
+    link: Option<LinkConfig>,
+    detector: Option<DetectorConfig>,
+    hedging: Option<HedgeConfig>,
     factory: Option<Box<dyn Fn(usize) -> WlmBuilder>>,
 }
 
@@ -143,13 +182,17 @@ impl std::fmt::Debug for ClusterBuilder {
             .field("failover", &self.failover)
             .field("shed_threshold", &self.shed_threshold)
             .field("warm_cache", &self.warm_cache)
+            .field("link", &self.link)
+            .field("detector", &self.detector.is_some())
+            .field("hedging", &self.hedging.is_some())
             .finish_non_exhaustive()
     }
 }
 
 impl ClusterBuilder {
     /// A single-shard cluster with round-robin routing, re-route failover,
-    /// no shed gate and no warm-partition model.
+    /// no shed gate, no warm-partition model and a direct (in-memory)
+    /// fabric.
     pub fn new() -> Self {
         ClusterBuilder {
             shards: 1,
@@ -158,6 +201,9 @@ impl ClusterBuilder {
             shed_threshold: None,
             warm_cache: None,
             routing_cost_model: CostModel::oracle(),
+            link: None,
+            detector: None,
+            hedging: None,
             factory: None,
         }
     }
@@ -202,22 +248,52 @@ impl ClusterBuilder {
         self
     }
 
-    /// Per-shard manager configuration: `f(shard)` returns the
-    /// [`WlmBuilder`] the shard's manager is built from. Without a
-    /// factory, every shard gets `WlmBuilder::new()` defaults.
-    pub fn shard_builder(mut self, f: Box<dyn Fn(usize) -> WlmBuilder>) -> Self {
-        self.factory = Some(f);
+    /// Put a simulated [`LinkLayer`] between the front-end and the shard
+    /// inboxes: enveloped delivery with seeded delay, jitter, loss,
+    /// duplication and retransmission, plus partition/gray fault windows
+    /// ([`Cluster::schedule_net_fault`]). The default config is a perfect
+    /// link, under which a run is byte-identical to the direct fabric.
+    pub fn link(mut self, cfg: LinkConfig) -> Self {
+        self.link = Some(cfg);
+        self
+    }
+
+    /// Run a [`FailureDetector`] over the link's ack/pong round trips and
+    /// steer routing away from suspected shards. Requires [`Self::link`].
+    pub fn failure_detector(mut self, cfg: DetectorConfig) -> Self {
+        self.detector = Some(cfg);
+        self
+    }
+
+    /// Hedge the in-flight work of suspected shards onto healthy peers,
+    /// first completion wins, exactly-once accounting. Requires
+    /// [`Self::failure_detector`].
+    pub fn hedged_redispatch(mut self, cfg: HedgeConfig) -> Self {
+        self.hedging = Some(cfg);
         self
     }
 
     /// Validate and assemble the cluster.
     ///
     /// Fails with [`Error::Config`] when the shard count is zero, a
-    /// shard's own builder fails validation, or the shards disagree on the
-    /// engine quantum (the two-level controller steps one shared clock).
+    /// shard's own builder fails validation, the shards disagree on the
+    /// engine quantum (the two-level controller steps one shared clock),
+    /// or the fabric stack is inconsistent (a failure detector without a
+    /// link, hedging without a detector).
     pub fn build(self) -> Result<Cluster, Error> {
         if self.shards == 0 {
             return Err(Error::Config("cluster needs at least one shard".into()));
+        }
+        if self.detector.is_some() && self.link.is_none() {
+            return Err(Error::Config(
+                "a failure detector needs a link layer to observe (ClusterBuilder::link)".into(),
+            ));
+        }
+        if self.hedging.is_some() && self.detector.is_none() {
+            return Err(Error::Config(
+                "hedged re-dispatch needs a failure detector (ClusterBuilder::failure_detector)"
+                    .into(),
+            ));
         }
         let feedback: FeedbackBuffer = Rc::new(RefCell::new(Vec::new()));
         let mut shards = Vec::with_capacity(self.shards);
@@ -247,9 +323,19 @@ impl ClusterBuilder {
                 routed_cost: 0.0,
             });
         }
+        let quantum = quantum.ok_or_else(|| {
+            // Unreachable given the zero-shard guard above, but a typed
+            // error beats a panic if the guard ever drifts.
+            Error::Config("cluster needs at least one shard".into())
+        })?;
         let warm = self
             .warm_cache
             .map(|(capacity, cold)| WarmCache::new(self.shards, capacity, cold));
+        let link = self.link.map(|cfg| LinkLayer::new(cfg, self.shards));
+        let detector = self
+            .detector
+            .map(|cfg| FailureDetector::new(cfg, self.shards, SimTime::ZERO));
+        let hedger = self.hedging.map(Hedger::new);
         Ok(Cluster {
             shards,
             routing: self.routing,
@@ -258,16 +344,35 @@ impl ClusterBuilder {
             warm,
             routing_cost_model: self.routing_cost_model,
             rr_next: 0,
-            quantum: quantum.expect("at least one shard"),
+            quantum,
             events: Rc::new(RefCell::new(EventBus::with_thread_trace())),
             feedback,
             parked: VecDeque::new(),
             outages: Vec::new(),
+            link,
+            detector,
+            hedger,
+            accepted: BTreeMap::new(),
+            finished: BTreeSet::new(),
+            held_feedback: BTreeMap::new(),
+            pending_cancels: BTreeMap::new(),
+            net_schedule: Vec::new(),
             routed: 0,
             rerouted: 0,
             shed: 0,
             reclaimed: 0,
+            hedged: 0,
+            redelivered: 0,
+            dup_completions: 0,
         })
+    }
+
+    /// Per-shard manager configuration: `f(shard)` returns the
+    /// [`WlmBuilder`] the shard's manager is built from. Without a
+    /// factory, every shard gets `WlmBuilder::new()` defaults.
+    pub fn shard_builder(mut self, f: Box<dyn Fn(usize) -> WlmBuilder>) -> Self {
+        self.factory = Some(f);
+        self
     }
 }
 
@@ -289,14 +394,42 @@ pub struct Cluster {
     /// Arrivals held while no shard is live (flushed on rejoin).
     parked: VecDeque<Request>,
     outages: Vec<Outage>,
+    /// The simulated fabric; `None` means direct in-memory delivery.
+    link: Option<LinkLayer>,
+    detector: Option<FailureDetector>,
+    hedger: Option<Hedger>,
+    /// Requests a shard has accepted off the link but not yet completed:
+    /// `request -> (the request, shards holding a copy)`. This is the
+    /// hedging candidate set when a shard goes fully dark.
+    accepted: BTreeMap<RequestId, (Request, Vec<usize>)>,
+    /// Requests whose completion has already been forwarded to the
+    /// source. A fast query can finish before its delivery ack makes the
+    /// round trip; without this book the late ack would resurrect an
+    /// `accepted` entry and a later dead-shard hedge would re-dispatch —
+    /// and double-count — work that is long done.
+    finished: BTreeSet<RequestId>,
+    /// Completion feedback that surfaced on a partitioned shard — from
+    /// the front-end's chair it does not exist yet. Flushed through the
+    /// exactly-once filter when the partition heals.
+    held_feedback: BTreeMap<usize, Vec<(RequestId, String, SimTime)>>,
+    /// Hedge-loser cancellations addressed to a partitioned shard,
+    /// applied at heal time.
+    pending_cancels: BTreeMap<usize, Vec<RequestId>>,
+    /// Scheduled network-fabric faults, time-sorted, with applied flags.
+    net_schedule: Vec<(NetFaultEvent, bool)>,
     routed: u64,
     rerouted: u64,
     shed: u64,
     /// Orphan kills performed while stripping a crashed shard under
-    /// [`FailoverPolicy::Reroute`]. Their moved twins run to completion on
-    /// the survivors, so these are subtracted from the aggregate `killed`
-    /// to keep cluster accounting exactly-once.
+    /// [`FailoverPolicy::Reroute`] or cancelling a hedge race's losing
+    /// copy. Their twins run to completion elsewhere, so these are
+    /// subtracted from the aggregate `killed` to keep cluster accounting
+    /// exactly-once.
     reclaimed: u64,
+    hedged: u64,
+    redelivered: u64,
+    /// Completions of already-won hedge races (absorbed, not forwarded).
+    dup_completions: u64,
 }
 
 impl Cluster {
@@ -326,6 +459,18 @@ impl Cluster {
             .ok_or(Error::UnknownShard(shard))
     }
 
+    /// The failure detector's current verdict on `shard` (clusters built
+    /// without a detector report every shard [`ShardHealth::Healthy`]).
+    pub fn shard_health(&self, shard: usize) -> Result<ShardHealth, Error> {
+        if shard >= self.shards.len() {
+            return Err(Error::UnknownShard(shard));
+        }
+        Ok(self
+            .detector
+            .as_ref()
+            .map_or(ShardHealth::Healthy, |d| d.health(shard)))
+    }
+
     /// Requests routed by the front-end so far.
     pub fn routed(&self) -> u64 {
         self.routed
@@ -341,10 +486,27 @@ impl Cluster {
         self.shed
     }
 
+    /// Hedged re-dispatches issued so far.
+    pub fn hedged(&self) -> u64 {
+        self.hedged
+    }
+
+    /// Completions of already-won hedge races absorbed so far.
+    pub fn duplicate_completions(&self) -> u64 {
+        self.dup_completions
+    }
+
+    /// Hedged requests whose race has not been decided yet.
+    pub fn open_hedge_races(&self) -> usize {
+        self.hedger.as_ref().map_or(0, Hedger::races_open)
+    }
+
     /// Attach a subscriber to the front-end's decision-event bus
     /// ([`WlmEvent::Routed`] / [`WlmEvent::Rerouted`] /
-    /// [`WlmEvent::ClusterShed`]). Per-shard pipeline events stay on each
-    /// shard's own bus.
+    /// [`WlmEvent::ClusterShed`] / [`WlmEvent::LinkDropped`] /
+    /// [`WlmEvent::Redelivered`] / [`WlmEvent::ShardSuspected`] /
+    /// [`WlmEvent::Hedged`] / [`WlmEvent::PartitionHealed`]). Per-shard
+    /// pipeline events stay on each shard's own bus.
     pub fn subscribe(&mut self, sub: Box<dyn EventSubscriber>) {
         self.events.borrow_mut().subscribe(sub);
     }
@@ -404,6 +566,39 @@ impl Cluster {
         Ok(())
     }
 
+    /// Schedule a network-fabric fault at `at_secs` of simulated time.
+    /// Requires a cluster built with [`ClusterBuilder::link`]; the shard
+    /// must exist. Fault windows from
+    /// [`FaultPlanBuilder`](wlm_chaos::FaultPlanBuilder) schedule their
+    /// own recovery; a fault scheduled directly holds until a later event
+    /// reverses it.
+    pub fn schedule_net_fault(&mut self, at_secs: f64, fault: NetFault) -> Result<(), Error> {
+        if self.link.is_none() {
+            return Err(Error::Config(
+                "network faults need a link layer (ClusterBuilder::link)".into(),
+            ));
+        }
+        let shard = fault.shard();
+        if shard >= self.shards.len() {
+            return Err(Error::UnknownShard(shard));
+        }
+        let at = SimTime::ZERO + SimDuration::from_secs_f64(at_secs.max(0.0));
+        self.net_schedule.push((NetFaultEvent { at, fault }, false));
+        self.net_schedule.sort_by_key(|(e, _)| e.at);
+        Ok(())
+    }
+
+    /// Schedule every network fault of a chaos [`FaultPlan`] (the
+    /// `FaultPlanBuilder::link_loss` / `partition` / `gray_shard`
+    /// windows). Engine and control-plane events in the plan are ignored
+    /// here — they target single-manager chaos runs.
+    pub fn apply_net_plan(&mut self, plan: &FaultPlan) -> Result<(), Error> {
+        for ev in plan.net_events() {
+            self.schedule_net_fault(ev.at.as_secs_f64(), ev.fault)?;
+        }
+        Ok(())
+    }
+
     /// Inject an engine-level fault into one shard (the chaos drivers'
     /// fault vocabulary applied shard-locally).
     pub fn apply_engine_fault(&mut self, shard: usize, fault: EngineFault) -> Result<(), Error> {
@@ -414,9 +609,10 @@ impl Cluster {
             .apply_engine_fault(fault)
     }
 
-    /// Advance the whole cluster one engine quantum: route the window's
-    /// arrivals through the cluster admission gate, then step every shard
-    /// one control cycle.
+    /// Advance the whole cluster one engine quantum: apply due faults,
+    /// pump the link, hedge suspected shards, route the window's arrivals
+    /// through the cluster admission gate, then step every shard one
+    /// control cycle.
     pub fn tick(&mut self, source: &mut dyn Source) {
         let from = self.now();
         let to = from + self.quantum;
@@ -424,6 +620,12 @@ impl Cluster {
         for shard in &mut self.shards {
             shard.routed_cost = 0.0;
         }
+        self.apply_due_net_faults(from, source);
+        if let Some(link) = self.link.as_mut() {
+            link.heartbeat(from);
+        }
+        self.pump_link(from);
+        self.evaluate_detector(from);
 
         // Arrivals parked during a full outage get first claim on a
         // rejoined shard, ahead of this window's arrivals.
@@ -435,6 +637,9 @@ impl Cluster {
         for req in source.poll(from, to) {
             self.admit_or_route(req);
         }
+        // Second pump: zero-delay deliveries land in their inbox before
+        // the shards step, matching the direct fabric's timing.
+        self.pump_link(from);
 
         for shard in &mut self.shards {
             if shard.alive() {
@@ -446,9 +651,10 @@ impl Cluster {
             }
         }
 
-        let fed: Vec<(String, SimTime)> = self.feedback.borrow_mut().drain(..).collect();
-        for (label, at) in fed {
-            source.on_completion(&label, at);
+        let fed: Vec<(usize, RequestId, String, SimTime)> =
+            self.feedback.borrow_mut().drain(..).collect();
+        for (shard, request, label, at) in fed {
+            self.process_completion(shard, request, label, at, source);
         }
     }
 
@@ -464,7 +670,7 @@ impl Cluster {
     /// Build the aggregate end-of-run report at the current time.
     pub fn report(&self) -> ClusterReport {
         let shards: Vec<RunReport> = self.shards.iter().map(|s| s.mgr.report()).collect();
-        let completed: u64 = shards.iter().map(|r| r.completed).sum();
+        let completed: u64 = shards.iter().map(|r| r.completed).sum::<u64>() - self.dup_completions;
         let elapsed = shards.first().map(|r| r.elapsed_secs).unwrap_or(0.0);
         ClusterReport {
             elapsed_secs: elapsed,
@@ -474,6 +680,12 @@ impl Cluster {
             routed: self.routed,
             rerouted: self.rerouted,
             shed: self.shed,
+            hedged: self.hedged,
+            duplicate_completions: self.dup_completions,
+            delivered: self.link.as_ref().map_or(0, |l| l.delivered),
+            link_dropped: self.link.as_ref().map_or(0, |l| l.dropped),
+            redelivered: self.redelivered,
+            retransmits: self.link.as_ref().map_or(0, |l| l.retransmits),
             throughput: if elapsed > 0.0 {
                 completed as f64 / elapsed
             } else {
@@ -506,6 +718,326 @@ impl Cluster {
         }
     }
 
+    /// Apply every scheduled network fault that is due at `now`.
+    fn apply_due_net_faults(&mut self, now: SimTime, source: &mut dyn Source) {
+        for idx in 0..self.net_schedule.len() {
+            if self.net_schedule[idx].1 || self.net_schedule[idx].0.at > now {
+                continue;
+            }
+            self.net_schedule[idx].1 = true;
+            match self.net_schedule[idx].0.fault {
+                NetFault::LinkLoss { shard, loss_p } => {
+                    if let Some(link) = self.link.as_mut() {
+                        link.set_loss(shard, if loss_p > 0.0 { Some(loss_p) } else { None });
+                    }
+                }
+                NetFault::GrayShard {
+                    shard,
+                    delay_factor,
+                } => {
+                    if let Some(link) = self.link.as_mut() {
+                        link.set_delay_factor(shard, delay_factor);
+                    }
+                }
+                NetFault::Partition { shard, active } => {
+                    if active {
+                        if let Some(link) = self.link.as_mut() {
+                            link.set_partitioned(shard, true);
+                        }
+                    } else {
+                        self.heal_partition(shard, now, source);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Heal a partition: reconnect the link, flush the completions that
+    /// surfaced inside the partition through the exactly-once filter, and
+    /// apply the hedge-loser cancellations that could not reach the shard
+    /// while it was cut off.
+    fn heal_partition(&mut self, shard: usize, now: SimTime, source: &mut dyn Source) {
+        let was_partitioned = self.link.as_ref().is_some_and(|l| l.is_partitioned(shard));
+        if let Some(link) = self.link.as_mut() {
+            link.set_partitioned(shard, false);
+        }
+        if !was_partitioned {
+            return;
+        }
+        let held = self.held_feedback.remove(&shard).unwrap_or_default();
+        let flushed = held.len() as u64;
+        let dups_before = self.dup_completions;
+        for (request, label, at) in held {
+            self.process_completion(shard, request, label, at, source);
+        }
+        let duplicates = self.dup_completions - dups_before;
+        let mut cancelled = 0u64;
+        for request in self.pending_cancels.remove(&shard).unwrap_or_default() {
+            if self.cancel_copy(shard, request) {
+                cancelled += 1;
+            }
+        }
+        self.emit(WlmEvent::PartitionHealed {
+            at: now,
+            shard,
+            flushed,
+            duplicates,
+            cancelled,
+        });
+    }
+
+    /// Advance the link to `now` and absorb everything it surfaced:
+    /// deliveries into shard inboxes (deduplicated by message id), acks
+    /// into the accepted-work books, round trips into the detector, and
+    /// losses into events.
+    fn pump_link(&mut self, now: SimTime) {
+        let Some(link) = self.link.as_mut() else {
+            return;
+        };
+        let out = link.pump(now);
+        for d in &out.dropped {
+            self.emit(WlmEvent::LinkDropped {
+                at: now,
+                request: d.request,
+                workload: d.workload.clone(),
+                shard: d.shard,
+            });
+        }
+        let mut acks = Vec::with_capacity(out.deliveries.len());
+        for d in out.deliveries {
+            let request = d.req.id;
+            let workload = d.req.spec.label.clone();
+            let fresh = self.shards[d.shard].inbox.accept(d.msg, d.req);
+            if !fresh {
+                self.redelivered += 1;
+                self.emit(WlmEvent::Redelivered {
+                    at: now,
+                    request,
+                    workload,
+                    shard: d.shard,
+                });
+            }
+            // Ack fresh deliveries and re-ack redeliveries alike: the
+            // front-end must learn the message landed either way.
+            acks.push((d.msg, d.shard, d.sent_at));
+        }
+        if let Some(link) = self.link.as_mut() {
+            for (msg, shard, sent_at) in acks {
+                link.post_ack(msg, shard, sent_at, now);
+            }
+        }
+        for (shard, req) in out.acked {
+            if self.hedger.is_some() && !self.finished.contains(&req.id) {
+                let entry = self
+                    .accepted
+                    .entry(req.id)
+                    .or_insert_with(|| (req.clone(), Vec::new()));
+                if !entry.1.contains(&shard) {
+                    entry.1.push(shard);
+                }
+            }
+        }
+        if let Some(det) = self.detector.as_mut() {
+            for (shard, rtt) in out.rtt_samples {
+                det.observe(shard, rtt, now);
+            }
+        }
+    }
+
+    /// Re-classify every shard and hedge the in-flight work of newly
+    /// suspected ones.
+    fn evaluate_detector(&mut self, now: SimTime) {
+        let Some(det) = self.detector.as_mut() else {
+            return;
+        };
+        let transitions = det.evaluate(now);
+        for (shard, health, score) in &transitions {
+            self.emit(WlmEvent::ShardSuspected {
+                at: now,
+                shard: *shard,
+                health: health.name(),
+                score: *score,
+            });
+        }
+        if self.hedger.is_none() {
+            return;
+        }
+        for (shard, health, _) in transitions {
+            match health {
+                // Gray: the shard still answers; only re-send what it has
+                // not acknowledged.
+                ShardHealth::Gray => self.hedge_shard(shard, now, false),
+                // Dead: also re-dispatch what it accepted but never
+                // finished — from here it may never finish.
+                ShardHealth::Dead => self.hedge_shard(shard, now, true),
+                ShardHealth::Healthy => {}
+            }
+        }
+    }
+
+    /// Hedge a suspected shard's in-flight work onto healthy peers.
+    fn hedge_shard(&mut self, from: usize, now: SimTime, include_accepted: bool) {
+        let unacked = self
+            .link
+            .as_ref()
+            .map(|l| l.unacked_to(from))
+            .unwrap_or_default();
+        for (msg, req) in unacked {
+            if self.finished.contains(&req.id)
+                || !self.hedger.as_ref().is_some_and(|h| h.may_hedge(req.id))
+            {
+                continue;
+            }
+            let Some(target) = self.hedge_target(from) else {
+                continue;
+            };
+            // Stop retransmitting toward the suspect; copies already in
+            // flight still count — dedup and the exactly-once filter
+            // absorb whichever side loses the race.
+            if let Some(link) = self.link.as_mut() {
+                link.abandon(msg);
+            }
+            self.record_hedge(req, from, target, now);
+        }
+        if include_accepted {
+            let candidates: Vec<Request> = self
+                .accepted
+                .values()
+                .filter(|(req, shards)| shards.contains(&from) && !self.finished.contains(&req.id))
+                .map(|(req, _)| req.clone())
+                .collect();
+            for req in candidates {
+                if !self.hedger.as_ref().is_some_and(|h| h.may_hedge(req.id)) {
+                    continue;
+                }
+                let Some(target) = self.hedge_target(from) else {
+                    continue;
+                };
+                self.record_hedge(req, from, target, now);
+            }
+        }
+    }
+
+    /// Pick the hedge destination: the first trusted live shard after the
+    /// suspect, falling back to any live shard. Never the suspect itself;
+    /// `None` when it has no live peer (a hedge to nowhere helps nobody).
+    fn hedge_target(&self, from: usize) -> Option<usize> {
+        let n = self.shards.len();
+        let start = (from + 1) % n;
+        if let Some(det) = self.detector.as_ref() {
+            for probe in 0..n {
+                let i = (start + probe) % n;
+                if i != from && self.shards[i].alive() && det.health(i) == ShardHealth::Healthy {
+                    return Some(i);
+                }
+            }
+        }
+        (0..n)
+            .map(|probe| (start + probe) % n)
+            .find(|&i| i != from && self.shards[i].alive())
+    }
+
+    /// Book and deliver one hedged copy.
+    fn record_hedge(&mut self, req: Request, from: usize, to: usize, now: SimTime) {
+        if let Some(h) = self.hedger.as_mut() {
+            h.record(req.id, from, to);
+        }
+        self.hedged += 1;
+        self.emit(WlmEvent::Hedged {
+            at: now,
+            request: req.id,
+            workload: req.spec.label.clone(),
+            from_shard: from,
+            to_shard: to,
+        });
+        self.deliver(to, req);
+    }
+
+    /// Route one completion through the exactly-once filter: hold it if
+    /// its shard is partitioned, forward the first completion of each
+    /// request to the source, cancel hedge losers, absorb duplicates.
+    fn process_completion(
+        &mut self,
+        shard: usize,
+        request: RequestId,
+        label: String,
+        at: SimTime,
+        source: &mut dyn Source,
+    ) {
+        if self.link.as_ref().is_some_and(|l| l.is_partitioned(shard)) {
+            self.held_feedback
+                .entry(shard)
+                .or_default()
+                .push((request, label, at));
+            return;
+        }
+        // The choke point of exactly-once accounting: no matter which
+        // path a completion arrives by (live drain, heal-time flush, a
+        // hedge race), a request already forwarded is a duplicate.
+        if self.finished.contains(&request) {
+            self.dup_completions += 1;
+            return;
+        }
+        let verdict = match self.hedger.as_mut() {
+            Some(h) => h.on_completion(request, shard),
+            None => CompletionVerdict::Untracked,
+        };
+        match verdict {
+            CompletionVerdict::Untracked => {
+                self.accepted.remove(&request);
+                self.finished.insert(request);
+                source.on_request_completion(request, &label, at);
+            }
+            CompletionVerdict::Winner { losers } => {
+                self.accepted.remove(&request);
+                self.finished.insert(request);
+                source.on_request_completion(request, &label, at);
+                for loser in losers {
+                    self.cancel_copy(loser, request);
+                }
+            }
+            CompletionVerdict::Duplicate => {
+                self.dup_completions += 1;
+            }
+        }
+    }
+
+    /// Cancel the copy of `request` living on `shard` — on the wire, in
+    /// the inbox, or inside the shard's controller (via checkpoint-strip
+    /// and restore, whose reconciliation orphan-kills a running copy).
+    /// Returns whether a copy was actually found and removed; cancels to
+    /// a partitioned shard are parked and applied at heal.
+    fn cancel_copy(&mut self, shard: usize, request: RequestId) -> bool {
+        if self.link.as_ref().is_some_and(|l| l.is_partitioned(shard)) {
+            self.pending_cancels.entry(shard).or_default().push(request);
+            return false;
+        }
+        if let Some(link) = self.link.as_mut() {
+            link.cancel_request(request, shard);
+        }
+        if self.shards[shard].inbox.remove(request) {
+            return true;
+        }
+        let mut ckpt = self.shards[shard].mgr.checkpoint();
+        let before =
+            ckpt.wait_queue.len() + ckpt.deferred.len() + ckpt.running.len() + ckpt.suspended.len();
+        ckpt.wait_queue.retain(|m| m.request.id != request);
+        ckpt.deferred.retain(|m| m.request.id != request);
+        ckpt.running.retain(|rc| rc.req.request.id != request);
+        ckpt.suspended.retain(|s| s.req.request.id != request);
+        let after =
+            ckpt.wait_queue.len() + ckpt.deferred.len() + ckpt.running.len() + ckpt.suspended.len();
+        if after == before {
+            return false;
+        }
+        // Restoring the stripped checkpoint orphan-kills a running copy.
+        // That kill is housekeeping — the race's winner already surfaced —
+        // so it is reclaimed out of the aggregate `killed`.
+        let recovery = self.shards[shard].mgr.restore(&ckpt);
+        self.reclaimed += recovery.orphans_killed as u64;
+        true
+    }
+
     /// Cluster admission then routing for one arrival.
     fn admit_or_route(&mut self, req: Request) {
         if self.saturated() {
@@ -533,37 +1065,64 @@ impl Cluster {
         }
     }
 
-    /// Charge the warm-partition model and queue the request on `target`.
+    /// Charge the warm-partition model and put the request on its way to
+    /// `target` — directly into the inbox, or onto the link when one is
+    /// configured.
     fn deliver(&mut self, target: usize, mut req: Request) {
+        let now = self.now();
         if let Some(cache) = &mut self.warm {
             cache.on_route(target, &mut req);
         }
         let est = self.routing_cost_model.estimate_spec(&req.spec);
         self.shards[target].routed_cost += est.timerons;
-        self.shards[target].inbox.push(req);
+        match self.link.as_mut() {
+            Some(link) => {
+                link.send(now, target, req);
+            }
+            None => self.shards[target].inbox.push(req),
+        }
     }
 
-    /// Pick a live shard for the request per the routing policy.
+    /// Pick a live shard for the request per the routing policy. With a
+    /// failure detector, shards it trusts are preferred; if none qualify,
+    /// any live shard will do — suspicion degrades routing, it never
+    /// deadlocks it.
     fn route_target(&mut self, req: &Request) -> Result<usize, Error> {
-        let n = self.shards.len();
         if !self.shards.iter().any(Shard::alive) {
             return Err(Error::NoLiveShards);
         }
+        if let Some(det) = self.detector.as_ref() {
+            let trusted: Vec<bool> = (0..self.shards.len())
+                .map(|i| self.shards[i].alive() && det.health(i) == ShardHealth::Healthy)
+                .collect();
+            if trusted.iter().any(|&t| t) {
+                if let Some(target) = self.pick_target(req, &trusted) {
+                    return Ok(target);
+                }
+            }
+        }
+        let alive: Vec<bool> = self.shards.iter().map(Shard::alive).collect();
+        self.pick_target(req, &alive).ok_or(Error::NoLiveShards)
+    }
+
+    /// The routing policy over an eligibility mask.
+    fn pick_target(&mut self, req: &Request, allowed: &[bool]) -> Option<usize> {
+        let n = self.shards.len();
         match self.routing {
             RoutingPolicy::RoundRobin => {
                 for probe in 0..n {
                     let i = (self.rr_next + probe) % n;
-                    if self.shards[i].alive() {
+                    if allowed[i] {
                         self.rr_next = (i + 1) % n;
-                        return Ok(i);
+                        return Some(i);
                     }
                 }
-                Err(Error::NoLiveShards)
+                None
             }
             RoutingPolicy::LeastOutstandingCost => {
                 let mut best: Option<(usize, f64)> = None;
                 for (i, shard) in self.shards.iter().enumerate() {
-                    if !shard.alive() {
+                    if !allowed[i] {
                         continue;
                     }
                     let outstanding =
@@ -573,17 +1132,11 @@ impl Cluster {
                         best = Some((i, outstanding));
                     }
                 }
-                best.map(|(i, _)| i).ok_or(Error::NoLiveShards)
+                best.map(|(i, _)| i)
             }
             RoutingPolicy::Affinity => {
                 let home = (splitmix64(affinity_key(req)) % n as u64) as usize;
-                for probe in 0..n {
-                    let i = (home + probe) % n;
-                    if self.shards[i].alive() {
-                        return Ok(i);
-                    }
-                }
-                Err(Error::NoLiveShards)
+                (0..n).map(|probe| (home + probe) % n).find(|&i| allowed[i])
             }
         }
     }
@@ -626,8 +1179,9 @@ impl Cluster {
                 && self.outages[idx].at + self.outages[idx].duration <= now;
             if due {
                 let shard = self.outages[idx].shard;
-                let ckpt = self.outages[idx].saved.take().expect("due checked");
-                self.shards[shard].mgr.restore(&ckpt);
+                if let Some(ckpt) = self.outages[idx].saved.take() {
+                    self.shards[shard].mgr.restore(&ckpt);
+                }
             }
         }
     }
@@ -645,6 +1199,12 @@ impl Cluster {
         moved.extend(ckpt.running.iter().map(|rc| rc.req.request.clone()));
         moved.extend(ckpt.suspended.iter().map(|s| s.req.request.clone()));
         moved.extend(self.shards[shard].inbox.drain_all());
+        // Messages on the wire toward the crashed shard whose requests
+        // exist nowhere else move too; accepted ones are already covered
+        // by the checkpoint sets or the inbox drain above.
+        if let Some(link) = self.link.as_mut() {
+            moved.extend(link.take_unaccepted(shard));
+        }
         let stripped = ControllerState {
             wait_queue: Vec::new(),
             deferred: Vec::new(),
@@ -685,6 +1245,7 @@ impl std::fmt::Debug for Cluster {
             .field("shards", &self.shards.len())
             .field("routing", &self.routing)
             .field("failover", &self.failover)
+            .field("link", &self.link.is_some())
             .field("now", &self.now())
             .finish_non_exhaustive()
     }
@@ -719,6 +1280,23 @@ mod tests {
     #[test]
     fn builder_rejects_zero_shards() {
         let err = ClusterBuilder::new().shards(0).build().unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_fabric_stack() {
+        let err = ClusterBuilder::new()
+            .shards(2)
+            .failure_detector(DetectorConfig::default())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+        let err = ClusterBuilder::new()
+            .shards(2)
+            .link(LinkConfig::default())
+            .hedged_redispatch(HedgeConfig::default())
+            .build()
+            .unwrap_err();
         assert!(matches!(err, Error::Config(_)), "{err}");
     }
 
@@ -779,6 +1357,132 @@ mod tests {
         ] {
             assert_eq!(run(routing), run(routing), "{}", routing.name());
         }
+    }
+
+    #[test]
+    fn perfect_link_is_byte_identical_to_direct_fabric() {
+        // A default (zero-delay, zero-loss) link must not perturb the
+        // simulation at all: same checkpoints, byte for byte.
+        let run = |with_link: bool| {
+            let mut b = ClusterBuilder::new()
+                .shards(3)
+                .routing(RoutingPolicy::LeastOutstandingCost)
+                .shard_builder(Box::new(small_builder));
+            if with_link {
+                b = b.link(LinkConfig::default());
+            }
+            let mut c = b.build().expect("valid configuration");
+            let mut src = OltpSource::new(70.0, 42).with_partitions(6);
+            c.run(&mut src, SimDuration::from_secs(3));
+            c.checkpoints()
+                .iter()
+                .map(|ckpt| ckpt.to_bytes())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn gray_shard_is_suspected_hedged_and_forgiven() {
+        let mut c = ClusterBuilder::new()
+            .shards(2)
+            .routing(RoutingPolicy::RoundRobin)
+            .shard_builder(Box::new(small_builder))
+            .link(LinkConfig {
+                delay_secs: 0.02,
+                retransmit_secs: 5.0,
+                seed: 3,
+                ..LinkConfig::default()
+            })
+            .failure_detector(DetectorConfig {
+                expected_rtt_secs: 0.05,
+                gray_score: 4.0,
+                recover_score: 2.0,
+                dead_silence_secs: 60.0,
+                ema_alpha: 0.4,
+            })
+            .hedged_redispatch(HedgeConfig::default())
+            .build()
+            .expect("valid configuration");
+        // Shard 1's link turns into a straggler for t in [2, 8).
+        c.schedule_net_fault(
+            2.0,
+            NetFault::GrayShard {
+                shard: 1,
+                delay_factor: 100.0,
+            },
+        )
+        .expect("valid fault");
+        c.schedule_net_fault(
+            8.0,
+            NetFault::GrayShard {
+                shard: 1,
+                delay_factor: 1.0,
+            },
+        )
+        .expect("valid fault");
+        let mut src = OltpSource::new(40.0, 5);
+        let deadline = c.now() + SimDuration::from_secs(16);
+        let mut saw_gray = false;
+        while c.now() < deadline {
+            c.tick(&mut src);
+            if c.shard_health(1).expect("shard exists") == ShardHealth::Gray {
+                saw_gray = true;
+            }
+        }
+        assert!(saw_gray, "the straggler window must trip the detector");
+        assert_eq!(
+            c.shard_health(1).expect("shard exists"),
+            ShardHealth::Healthy,
+            "the verdict recovers after the window"
+        );
+        assert!(c.hedged() > 0, "suspicion must hedge in-flight work");
+        let report = c.report();
+        assert!(report.completed > 0);
+        assert_eq!(report.hedged, c.hedged());
+    }
+
+    #[test]
+    fn net_fault_scheduling_is_validated() {
+        let mut direct = cluster(2, RoutingPolicy::RoundRobin);
+        let err = direct
+            .schedule_net_fault(
+                1.0,
+                NetFault::Partition {
+                    shard: 0,
+                    active: true,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+
+        let mut linked = ClusterBuilder::new()
+            .shards(2)
+            .shard_builder(Box::new(small_builder))
+            .link(LinkConfig::default())
+            .build()
+            .expect("valid configuration");
+        assert_eq!(
+            linked
+                .schedule_net_fault(
+                    1.0,
+                    NetFault::Partition {
+                        shard: 7,
+                        active: true
+                    }
+                )
+                .unwrap_err(),
+            Error::UnknownShard(7)
+        );
+        assert!(linked
+            .schedule_net_fault(
+                1.0,
+                NetFault::LinkLoss {
+                    shard: 1,
+                    loss_p: 0.5
+                }
+            )
+            .is_ok());
     }
 
     #[test]

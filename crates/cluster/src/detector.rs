@@ -1,0 +1,231 @@
+//! Deterministic gray-failure detection from link round-trip evidence.
+//!
+//! The taxonomy's monitoring axis distinguishes *fail-stop* nodes (the
+//! crash outages PR 4 already models) from *gray* nodes that still answer
+//! but answer slowly — the harder case, because naive health checks pass
+//! while tail latency collapses. This detector consumes the round-trip
+//! samples the [`LinkLayer`](crate::link::LinkLayer) produces (heartbeat
+//! pongs and delivery acks) and classifies every shard:
+//!
+//! * **Healthy** — evidence keeps arriving with a round trip near the
+//!   expected baseline;
+//! * **Gray** — evidence keeps arriving, but the EMA-smoothed round trip
+//!   exceeds `gray_score ×` the expected baseline (a straggler, not a
+//!   corpse);
+//! * **Dead** — no evidence at all for `dead_silence_secs` (a partition
+//!   or crash; from the front-end's chair these are indistinguishable).
+//!
+//! The suspicion *score* is the ratio `ema_rtt / expected_rtt`, so 1.0
+//! means nominal. Recovery is hysteretic: a Gray shard must decay below
+//! `recover_score` before it is trusted again, which keeps the verdict
+//! from flapping while the EMA crosses the threshold.
+//!
+//! Scores are pure functions of the sample stream, which is itself a
+//! pure function of the seed — detection instants are deterministic and
+//! experiment pins (E22/E23) can rely on them.
+
+use serde::Serialize;
+use wlm_dbsim::time::SimTime;
+
+/// Tuning for [`FailureDetector`].
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Baseline round trip a healthy shard should show, seconds. Usually
+    /// `2 × LinkConfig::delay_secs` plus jitter headroom.
+    pub expected_rtt_secs: f64,
+    /// Suspect Gray when `ema_rtt / expected_rtt` reaches this ratio.
+    pub gray_score: f64,
+    /// Trust a suspected shard again only once its score decays below
+    /// this (hysteresis; must be below `gray_score`).
+    pub recover_score: f64,
+    /// Declare Dead after this much silence — no ack, no pong.
+    pub dead_silence_secs: f64,
+    /// Weight of each new sample in the EMA (0 < alpha <= 1).
+    pub ema_alpha: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            expected_rtt_secs: 0.05,
+            gray_score: 4.0,
+            recover_score: 2.0,
+            dead_silence_secs: 2.0,
+            ema_alpha: 0.3,
+        }
+    }
+}
+
+/// The detector's verdict on one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ShardHealth {
+    /// Evidence is fresh and round trips are near baseline.
+    Healthy,
+    /// Evidence is fresh but round trips are way above baseline.
+    Gray,
+    /// No evidence for longer than the silence bound.
+    Dead,
+}
+
+impl ShardHealth {
+    /// Stable label used in events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardHealth::Healthy => "healthy",
+            ShardHealth::Gray => "gray",
+            ShardHealth::Dead => "dead",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ShardStat {
+    ema_rtt: f64,
+    last_heard: SimTime,
+    health: ShardHealth,
+}
+
+/// Per-shard suspicion bookkeeping over the link's evidence stream.
+#[derive(Debug)]
+pub(crate) struct FailureDetector {
+    cfg: DetectorConfig,
+    shards: Vec<ShardStat>,
+}
+
+impl FailureDetector {
+    pub(crate) fn new(cfg: DetectorConfig, shards: usize, now: SimTime) -> Self {
+        let expected = cfg.expected_rtt_secs.max(1e-9);
+        FailureDetector {
+            shards: (0..shards)
+                .map(|_| ShardStat {
+                    ema_rtt: expected,
+                    last_heard: now,
+                    health: ShardHealth::Healthy,
+                })
+                .collect(),
+            cfg,
+        }
+    }
+
+    /// Feed one round-trip sample (ack or pong) for `shard`.
+    pub(crate) fn observe(&mut self, shard: usize, rtt_secs: f64, now: SimTime) {
+        let s = &mut self.shards[shard];
+        let a = self.cfg.ema_alpha.clamp(0.0, 1.0);
+        s.ema_rtt = (1.0 - a) * s.ema_rtt + a * rtt_secs;
+        s.last_heard = now;
+    }
+
+    /// Current suspicion score of `shard` (1.0 = nominal round trips).
+    pub(crate) fn score(&self, shard: usize) -> f64 {
+        self.shards[shard].ema_rtt / self.cfg.expected_rtt_secs.max(1e-9)
+    }
+
+    /// Current verdict on `shard`.
+    pub(crate) fn health(&self, shard: usize) -> ShardHealth {
+        self.shards[shard].health
+    }
+
+    /// Re-classify every shard at `now`; returns the transitions that
+    /// happened, as `(shard, new_health, score)`.
+    pub(crate) fn evaluate(&mut self, now: SimTime) -> Vec<(usize, ShardHealth, f64)> {
+        let mut transitions = Vec::new();
+        for shard in 0..self.shards.len() {
+            let silence = now.since(self.shards[shard].last_heard).as_secs_f64();
+            let score = self.score(shard);
+            let prev = self.shards[shard].health;
+            let next = if silence >= self.cfg.dead_silence_secs {
+                ShardHealth::Dead
+            } else if score >= self.cfg.gray_score {
+                ShardHealth::Gray
+            } else if score <= self.cfg.recover_score {
+                ShardHealth::Healthy
+            } else {
+                // Inside the hysteresis band: keep the previous verdict,
+                // except that fresh evidence clears a Dead sentence down
+                // to Gray (the shard is talking again, just slowly).
+                match prev {
+                    ShardHealth::Dead => ShardHealth::Gray,
+                    other => other,
+                }
+            };
+            if next != prev {
+                self.shards[shard].health = next;
+                transitions.push((shard, next, score));
+            }
+        }
+        transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlm_dbsim::time::SimDuration;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(s)
+    }
+
+    fn det(shards: usize) -> FailureDetector {
+        FailureDetector::new(
+            DetectorConfig {
+                expected_rtt_secs: 0.1,
+                gray_score: 4.0,
+                recover_score: 2.0,
+                dead_silence_secs: 1.0,
+                ema_alpha: 0.5,
+            },
+            shards,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn slow_round_trips_turn_gray_then_recover_with_hysteresis() {
+        let mut d = det(1);
+        for i in 0..6 {
+            d.observe(0, 1.0, secs(i as f64 * 0.1));
+        }
+        let t = d.evaluate(secs(0.6));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].1, ShardHealth::Gray);
+        assert!(t[0].2 >= 4.0, "score {}", t[0].2);
+        // A good sample pulls the EMA down, but nowhere near the recover
+        // threshold yet: the verdict must hold, not flap.
+        d.observe(0, 0.1, secs(0.7));
+        assert!(d.evaluate(secs(0.7)).is_empty());
+        assert_eq!(d.health(0), ShardHealth::Gray);
+        for i in 0..8 {
+            d.observe(0, 0.1, secs(0.8 + i as f64 * 0.1));
+        }
+        let t = d.evaluate(secs(1.6));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].1, ShardHealth::Healthy);
+    }
+
+    #[test]
+    fn silence_means_dead_and_fresh_evidence_revives() {
+        let mut d = det(2);
+        d.observe(0, 0.1, secs(2.0));
+        // Shard 1 has heard nothing since t=0.
+        let t = d.evaluate(secs(2.0));
+        assert_eq!(t, vec![(1, ShardHealth::Dead, 1.0)]);
+        assert_eq!(d.health(0), ShardHealth::Healthy);
+        // It comes back talking normally: straight to Healthy.
+        d.observe(1, 0.1, secs(2.5));
+        let t = d.evaluate(secs(2.5));
+        assert_eq!(t, vec![(1, ShardHealth::Healthy, 1.0)]);
+    }
+
+    #[test]
+    fn dead_shard_talking_slowly_downgrades_to_gray() {
+        let mut d = det(1);
+        assert_eq!(d.evaluate(secs(1.5)), vec![(0, ShardHealth::Dead, 1.0)]);
+        // Evidence resumes but round trips are in the hysteresis band:
+        // the shard is alive, just not yet trustworthy.
+        d.observe(0, 0.5, secs(1.6)); // ema 0.3 -> score 3.0, inside the band
+        let t = d.evaluate(secs(1.6));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].1, ShardHealth::Gray);
+    }
+}

@@ -1,0 +1,163 @@
+//! Hedged re-dispatch bookkeeping: first completion wins, exactly once.
+//!
+//! When the failure detector suspects a shard, the cluster re-dispatches
+//! that shard's in-flight work to a healthy peer rather than waiting out
+//! the straggler — the classic tail-latency hedge. That deliberately
+//! creates *two* live copies of a request, so something must guarantee
+//! the external accounting still sees each request exactly once:
+//!
+//! * the **first** completion to reach the front-end wins — it is
+//!   forwarded to the source and the losing copies are cancelled through
+//!   the orphan-kill path;
+//! * any **later** completion of the same request (a copy that finished
+//!   before its cancellation landed, or surfaced out of a healed
+//!   partition) is recorded as a duplicate and *not* forwarded.
+//!
+//! [`Hedger`] owns that state machine. It is transport-agnostic: the
+//! cluster tells it which shards hold copies of which request, and asks
+//! it to classify every completion. [`HedgeConfig::max_hedges`] bounds
+//! the copy fan-out per request so a flapping detector cannot melt the
+//! cluster with clones.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use wlm_workload::request::RequestId;
+
+/// Tuning for hedged re-dispatch.
+#[derive(Debug, Clone)]
+pub struct HedgeConfig {
+    /// Most hedged copies ever created for one request.
+    pub max_hedges: u32,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig { max_hedges: 1 }
+    }
+}
+
+/// What one completion means for the accounting.
+#[derive(Debug, PartialEq, Eq, Serialize)]
+pub(crate) enum CompletionVerdict {
+    /// The request was never hedged: forward it.
+    Untracked,
+    /// First completion of a hedged request: forward it, then cancel the
+    /// losing copies on these shards.
+    Winner { losers: Vec<usize> },
+    /// A copy of an already-won race: count it, do not forward it.
+    Duplicate,
+}
+
+#[derive(Debug)]
+struct CopyState {
+    /// Shards that hold (or held) a copy of the request.
+    shards: Vec<usize>,
+    hedges: u32,
+    won: bool,
+}
+
+/// Copy-tracking for every hedged request in flight.
+#[derive(Debug, Default)]
+pub(crate) struct Hedger {
+    cfg: HedgeConfig,
+    copies: BTreeMap<RequestId, CopyState>,
+}
+
+impl Hedger {
+    pub(crate) fn new(cfg: HedgeConfig) -> Self {
+        Hedger {
+            cfg,
+            copies: BTreeMap::new(),
+        }
+    }
+
+    /// Whether `request` may be hedged (again).
+    pub(crate) fn may_hedge(&self, request: RequestId) -> bool {
+        self.copies
+            .get(&request)
+            .map_or(self.cfg.max_hedges > 0, |c| {
+                !c.won && c.hedges < self.cfg.max_hedges
+            })
+    }
+
+    /// Record a hedge: `request` now also lives on `to` (besides `from`).
+    pub(crate) fn record(&mut self, request: RequestId, from: usize, to: usize) {
+        let c = self.copies.entry(request).or_insert(CopyState {
+            shards: vec![from],
+            hedges: 0,
+            won: false,
+        });
+        if !c.shards.contains(&from) {
+            c.shards.push(from);
+        }
+        if !c.shards.contains(&to) {
+            c.shards.push(to);
+        }
+        c.hedges += 1;
+    }
+
+    /// Classify a completion of `request` that surfaced from `shard`.
+    pub(crate) fn on_completion(&mut self, request: RequestId, shard: usize) -> CompletionVerdict {
+        let Some(c) = self.copies.get_mut(&request) else {
+            return CompletionVerdict::Untracked;
+        };
+        if c.won {
+            return CompletionVerdict::Duplicate;
+        }
+        c.won = true;
+        let losers = c.shards.iter().copied().filter(|&s| s != shard).collect();
+        CompletionVerdict::Winner { losers }
+    }
+
+    /// Number of requests with more than one live copy right now.
+    pub(crate) fn races_open(&self) -> usize {
+        self.copies.values().filter(|c| !c.won).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_completion_wins_rest_are_duplicates() {
+        let mut h = Hedger::new(HedgeConfig::default());
+        assert!(h.may_hedge(RequestId(1)));
+        h.record(RequestId(1), 0, 2);
+        assert!(!h.may_hedge(RequestId(1)), "max_hedges=1 spent");
+        assert_eq!(h.races_open(), 1);
+        assert_eq!(
+            h.on_completion(RequestId(1), 2),
+            CompletionVerdict::Winner { losers: vec![0] }
+        );
+        assert_eq!(
+            h.on_completion(RequestId(1), 0),
+            CompletionVerdict::Duplicate
+        );
+        assert_eq!(h.races_open(), 0);
+    }
+
+    #[test]
+    fn unhedged_requests_pass_through_untracked() {
+        let mut h = Hedger::new(HedgeConfig::default());
+        assert_eq!(
+            h.on_completion(RequestId(9), 0),
+            CompletionVerdict::Untracked
+        );
+    }
+
+    #[test]
+    fn fan_out_is_bounded_and_losers_cover_all_copies() {
+        let mut h = Hedger::new(HedgeConfig { max_hedges: 2 });
+        h.record(RequestId(5), 1, 2);
+        assert!(h.may_hedge(RequestId(5)));
+        h.record(RequestId(5), 1, 3);
+        assert!(!h.may_hedge(RequestId(5)));
+        assert_eq!(
+            h.on_completion(RequestId(5), 1),
+            CompletionVerdict::Winner { losers: vec![2, 3] }
+        );
+        // A won race cannot be hedged again.
+        assert!(!h.may_hedge(RequestId(5)));
+    }
+}

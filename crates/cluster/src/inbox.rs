@@ -9,32 +9,48 @@
 //! [`Cluster::tick`](crate::cluster::Cluster::tick) can forward them to
 //! the cluster-level source after every shard has stepped — closed-loop
 //! sources see the same feedback they would see against a single manager.
+//!
+//! With a [`LinkLayer`](crate::link::LinkLayer) between front-end and
+//! shards, delivery is at-least-once: lost messages are retransmitted and
+//! the link may spontaneously duplicate copies. The inbox is where
+//! at-least-once becomes exactly-once — [`InboxSource::accept`] drops
+//! redeliveries by [`MsgId`](crate::link::MsgId) before they can reach
+//! the shard's admission path.
 
+use crate::link::MsgId;
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::rc::Rc;
 use wlm_dbsim::time::SimTime;
 use wlm_workload::generators::Source;
-use wlm_workload::request::Request;
+use wlm_workload::request::{Request, RequestId};
 
-/// Completion feedback parked for the cluster to forward: the completed
-/// request's workload label and completion time.
-pub(crate) type FeedbackBuffer = Rc<RefCell<Vec<(String, SimTime)>>>;
+/// Completion feedback parked for the cluster to forward: the shard it
+/// surfaced from, the completed request, its workload label and the
+/// completion time. The request id is what lets the cluster recognize a
+/// hedged race's second finisher as a duplicate.
+pub(crate) type FeedbackBuffer = Rc<RefCell<Vec<(usize, RequestId, String, SimTime)>>>;
 
 /// A shard's arrival queue, fed by the cluster front-end and drained by
 /// the shard's manager.
 #[derive(Debug)]
 pub struct InboxSource {
+    shard: usize,
     label: String,
     pending: VecDeque<Request>,
+    /// Message ids already accepted — the shard-side dedup that turns the
+    /// link's at-least-once delivery into exactly-once ingestion.
+    seen: BTreeSet<MsgId>,
     feedback: FeedbackBuffer,
 }
 
 impl InboxSource {
     pub(crate) fn new(shard: usize, feedback: FeedbackBuffer) -> Self {
         InboxSource {
+            shard,
             label: format!("shard-{shard}-inbox"),
             pending: VecDeque::new(),
+            seen: BTreeSet::new(),
             feedback,
         }
     }
@@ -42,6 +58,28 @@ impl InboxSource {
     /// Queue a routed request for the shard's next control cycle.
     pub(crate) fn push(&mut self, req: Request) {
         self.pending.push_back(req);
+    }
+
+    /// Ingest one enveloped message off the link. Returns `true` if the
+    /// message is new (request queued) and `false` for a redelivery — a
+    /// retransmitted or link-duplicated copy of a message this shard
+    /// already accepted. Redeliveries are re-acknowledged by the caller
+    /// but never queued twice.
+    pub(crate) fn accept(&mut self, msg: MsgId, req: Request) -> bool {
+        if !self.seen.insert(msg) {
+            return false;
+        }
+        self.push(req);
+        true
+    }
+
+    /// Remove a pending request by id (a hedge race's losing copy being
+    /// cancelled before the shard ingests it). Returns whether a copy was
+    /// found and removed.
+    pub(crate) fn remove(&mut self, request: RequestId) -> bool {
+        let before = self.pending.len();
+        self.pending.retain(|r| r.id != request);
+        self.pending.len() != before
     }
 
     /// Requests routed but not yet ingested by the shard's manager.
@@ -62,15 +100,29 @@ impl InboxSource {
 
 impl Source for InboxSource {
     fn poll(&mut self, _from: SimTime, to: SimTime) -> Vec<Request> {
+        // The queue is *not* sorted by arrival: redeliveries, hedged
+        // copies and crash-failover transfers enqueue out of order, and a
+        // request's `arrival` keeps its original generator stamp however
+        // it got here. Scan the whole queue instead of stopping at the
+        // first not-yet-due element, or a future-dated request at the
+        // front would starve everything behind it.
         let mut out = Vec::new();
-        while self.pending.front().is_some_and(|req| req.arrival <= to) {
-            out.push(self.pending.pop_front().expect("front checked"));
+        let mut keep = VecDeque::with_capacity(self.pending.len());
+        for req in self.pending.drain(..) {
+            if req.arrival <= to {
+                out.push(req);
+            } else {
+                keep.push_back(req);
+            }
         }
+        self.pending = keep;
         out
     }
 
-    fn on_completion(&mut self, label: &str, at: SimTime) {
-        self.feedback.borrow_mut().push((label.to_string(), at));
+    fn on_request_completion(&mut self, request: RequestId, label: &str, at: SimTime) {
+        self.feedback
+            .borrow_mut()
+            .push((self.shard, request, label.to_string(), at));
     }
 
     fn label(&self) -> &str {
@@ -99,8 +151,71 @@ mod tests {
         assert_eq!(drained.len(), n);
         assert!(inbox.is_empty());
 
-        inbox.on_completion("oltp", window);
+        inbox.on_request_completion(RequestId(7), "oltp", window);
         assert_eq!(feedback.borrow().len(), 1);
-        assert_eq!(feedback.borrow()[0].0, "oltp");
+        let entry = &feedback.borrow()[0];
+        assert_eq!((entry.0, entry.1), (0, RequestId(7)));
+        assert_eq!(entry.2, "oltp");
+    }
+
+    #[test]
+    fn poll_scans_past_future_dated_requests() {
+        // Regression: a not-yet-due request at the *front* of the queue
+        // must not hide due requests queued behind it.
+        let feedback: FeedbackBuffer = Rc::new(RefCell::new(Vec::new()));
+        let mut inbox = InboxSource::new(0, feedback);
+        let horizon = SimTime::ZERO + wlm_dbsim::time::SimDuration::from_secs(1);
+        let mut gen = OltpSource::new(50.0, 1);
+        let mut reqs = gen.poll(
+            SimTime::ZERO,
+            horizon + wlm_dbsim::time::SimDuration::from_secs(9),
+        );
+        assert!(reqs.len() >= 3, "need a spread of arrivals");
+        // Push a late arrival first, then the early ones behind it.
+        let late = reqs.pop().expect("non-empty");
+        assert!(late.arrival > horizon);
+        let due: Vec<Request> = reqs.into_iter().filter(|r| r.arrival <= horizon).collect();
+        assert!(!due.is_empty());
+        inbox.push(late.clone());
+        for r in &due {
+            inbox.push(r.clone());
+        }
+        let drained = inbox.poll(SimTime::ZERO, horizon);
+        assert_eq!(
+            drained.len(),
+            due.len(),
+            "due work behind a future-dated head drains"
+        );
+        assert_eq!(inbox.len(), 1, "only the future request stays queued");
+        assert_eq!(inbox.poll(SimTime::ZERO, late.arrival).len(), 1);
+    }
+
+    #[test]
+    fn drain_all_on_empty_inbox_is_empty() {
+        let feedback: FeedbackBuffer = Rc::new(RefCell::new(Vec::new()));
+        let mut inbox = InboxSource::new(3, feedback);
+        assert!(inbox.drain_all().is_empty());
+        assert!(inbox.is_empty());
+    }
+
+    #[test]
+    fn accept_dedups_by_msg_id_and_remove_cancels_pending() {
+        let feedback: FeedbackBuffer = Rc::new(RefCell::new(Vec::new()));
+        let mut inbox = InboxSource::new(0, feedback);
+        let mut gen = OltpSource::new(50.0, 1);
+        let horizon = SimTime::ZERO + wlm_dbsim::time::SimDuration::from_secs(2);
+        let reqs = gen.poll(SimTime::ZERO, horizon);
+        assert!(reqs.len() >= 2);
+        assert!(inbox.accept(MsgId(1), reqs[0].clone()));
+        assert!(
+            !inbox.accept(MsgId(1), reqs[0].clone()),
+            "redelivery of the same message is dropped"
+        );
+        assert!(inbox.accept(MsgId(2), reqs[1].clone()));
+        assert_eq!(inbox.len(), 2);
+        assert!(inbox.remove(reqs[0].id));
+        assert!(!inbox.remove(reqs[0].id), "second remove finds nothing");
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox.poll(SimTime::ZERO, horizon)[0].id, reqs[1].id);
     }
 }

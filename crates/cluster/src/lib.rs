@@ -11,6 +11,7 @@
 //! | admission control         | cluster-wide load shedding ([`WlmEvent::ClusterShed`]) |
 //! | scheduling                | request routing ([`RoutingPolicy`])          |
 //! | execution control         | shard failover ([`FailoverPolicy`])          |
+//! | monitoring                | link-fault detection ([`LinkLayer`](link) heartbeats → [`detector::FailureDetector`] gray/dead verdicts → hedged re-dispatch) |
 //!
 //! The two levels share the engine quantum: one [`Cluster::tick`] routes
 //! the window's arrivals and then steps every shard exactly one control
@@ -30,6 +31,12 @@
 //!   crashes, move its queued work onto the survivors, reusing the
 //!   checkpoint/restore reconciliation of the crash-tolerant control
 //!   plane (`wlm-core::manager::checkpoint`).
+//! - **Hedge** ([`WlmEvent::Hedged`]): when the [`detector`] suspects a
+//!   shard (gray from slow round trips, dead from silence), re-dispatch
+//!   its in-flight work to a healthy peer over the [`link`]; the first
+//!   completion wins and the loser is cancelled — exactly-once
+//!   accounting end to end, even across partition heals
+//!   ([`WlmEvent::PartitionHealed`]).
 //!
 //! [`DbEngine`]: wlm_dbsim::engine::DbEngine
 //! [`WorkloadManager`]: wlm_core::manager::WorkloadManager
@@ -40,13 +47,19 @@
 //! [`WlmEvent::ClusterShed`]: wlm_core::events::WlmEvent::ClusterShed
 
 pub mod cluster;
+pub mod detector;
+pub mod hedge;
 pub mod inbox;
+pub mod link;
 pub mod routing;
 pub mod snapshot;
 pub mod warm;
 
 pub use cluster::{Cluster, ClusterBuilder, ClusterReport, FailoverPolicy};
+pub use detector::{DetectorConfig, ShardHealth};
+pub use hedge::HedgeConfig;
 pub use inbox::InboxSource;
+pub use link::{LinkConfig, MsgId};
 pub use routing::RoutingPolicy;
 pub use snapshot::{ClusterSnapshot, ShardView};
 pub use warm::WarmCache;

@@ -49,6 +49,11 @@
 //! | [`WlmEvent::Routed`] | external (cluster front-end routing, via its own bus) |
 //! | [`WlmEvent::Rerouted`] | external (cluster front-end failover, via its own bus) |
 //! | [`WlmEvent::ClusterShed`] | external (cluster front-end admission, via its own bus) |
+//! | [`WlmEvent::LinkDropped`] | external (cluster link layer: a message lost in flight) |
+//! | [`WlmEvent::Redelivered`] | external (cluster link layer: shard-side duplicate suppression) |
+//! | [`WlmEvent::ShardSuspected`] | external (cluster failure detector, via its own bus) |
+//! | [`WlmEvent::Hedged`] | external (cluster hedged re-dispatch, via its own bus) |
+//! | [`WlmEvent::PartitionHealed`] | external (cluster partition-heal reconciliation) |
 
 use serde::Serialize;
 use std::cell::RefCell;
@@ -364,6 +369,76 @@ pub enum WlmEvent {
         /// The request's workload label.
         workload: String,
     },
+    /// The simulated link lost a routed message in flight (loss, or a
+    /// partition swallowing it); the front-end's retransmit timer will
+    /// re-send it.
+    LinkDropped {
+        /// Emission time.
+        at: SimTime,
+        /// The request the lost message carried.
+        request: RequestId,
+        /// The request's workload label.
+        workload: String,
+        /// The shard the message was addressed to.
+        shard: usize,
+    },
+    /// A shard inbox received a message it had already accepted (a
+    /// retransmit racing a lost ack, or link-level duplication) and
+    /// suppressed the copy by its `MsgId`.
+    Redelivered {
+        /// Emission time.
+        at: SimTime,
+        /// The request the duplicate message carried.
+        request: RequestId,
+        /// The request's workload label.
+        workload: String,
+        /// The shard that deduplicated the redelivery.
+        shard: usize,
+    },
+    /// The failure detector changed its verdict on a shard (healthy ↔
+    /// gray ↔ dead) from heartbeat and ack latency evidence.
+    ShardSuspected {
+        /// Emission time.
+        at: SimTime,
+        /// The shard whose health classification changed.
+        shard: usize,
+        /// The new verdict (`"healthy"`, `"gray"` or `"dead"`).
+        health: &'static str,
+        /// The suspicion score at the transition (smoothed RTT over the
+        /// expected RTT; higher = more suspect).
+        score: f64,
+    },
+    /// The front-end re-dispatched an in-flight request from a suspected
+    /// shard to a healthy one (first completion wins; the loser is
+    /// cancelled through the orphan-kill path).
+    Hedged {
+        /// Emission time.
+        at: SimTime,
+        /// The hedged request.
+        request: RequestId,
+        /// The request's workload label.
+        workload: String,
+        /// The suspected shard the original copy was addressed to.
+        from_shard: usize,
+        /// The healthy shard the hedge copy was sent to.
+        to_shard: usize,
+    },
+    /// A partition window around a shard ended and the front-end
+    /// reconciled: buffered completion feedback flushed, duplicate
+    /// completions discounted, stale hedged twins cancelled.
+    PartitionHealed {
+        /// Emission time.
+        at: SimTime,
+        /// The shard whose partition healed.
+        shard: usize,
+        /// Completion feedback entries flushed at the heal.
+        flushed: u64,
+        /// Flushed completions discounted as duplicates of hedge winners.
+        duplicates: u64,
+        /// Hedged twins cancelled because their winner completed in the
+        /// partition.
+        cancelled: u64,
+    },
 }
 
 impl WlmEvent {
@@ -395,7 +470,12 @@ impl WlmEvent {
             | WlmEvent::QuarantineRejected { at, .. }
             | WlmEvent::Routed { at, .. }
             | WlmEvent::Rerouted { at, .. }
-            | WlmEvent::ClusterShed { at, .. } => *at,
+            | WlmEvent::ClusterShed { at, .. }
+            | WlmEvent::LinkDropped { at, .. }
+            | WlmEvent::Redelivered { at, .. }
+            | WlmEvent::ShardSuspected { at, .. }
+            | WlmEvent::Hedged { at, .. }
+            | WlmEvent::PartitionHealed { at, .. } => *at,
         }
     }
 
@@ -424,12 +504,17 @@ impl WlmEvent {
             | WlmEvent::QuarantineRejected { workload, .. }
             | WlmEvent::Routed { workload, .. }
             | WlmEvent::Rerouted { workload, .. }
-            | WlmEvent::ClusterShed { workload, .. } => Some(workload),
+            | WlmEvent::ClusterShed { workload, .. }
+            | WlmEvent::LinkDropped { workload, .. }
+            | WlmEvent::Redelivered { workload, .. }
+            | WlmEvent::Hedged { workload, .. } => Some(workload),
             WlmEvent::MapePlan { .. }
             | WlmEvent::FaultInjected { .. }
             | WlmEvent::LadderStep { .. }
             | WlmEvent::CheckpointTaken { .. }
-            | WlmEvent::ControllerRestored { .. } => None,
+            | WlmEvent::ControllerRestored { .. }
+            | WlmEvent::ShardSuspected { .. }
+            | WlmEvent::PartitionHealed { .. } => None,
         }
     }
 
@@ -462,6 +547,11 @@ impl WlmEvent {
             WlmEvent::Routed { .. } => "routed",
             WlmEvent::Rerouted { .. } => "rerouted",
             WlmEvent::ClusterShed { .. } => "cluster_shed",
+            WlmEvent::LinkDropped { .. } => "link_dropped",
+            WlmEvent::Redelivered { .. } => "redelivered",
+            WlmEvent::ShardSuspected { .. } => "shard_suspected",
+            WlmEvent::Hedged { .. } => "hedged",
+            WlmEvent::PartitionHealed { .. } => "partition_healed",
         }
     }
 }
@@ -679,6 +769,12 @@ pub struct EventCounts {
     pub rerouted: u64,
     /// `ClusterShed` events (cluster front-end).
     pub cluster_shed: u64,
+    /// `LinkDropped` events (cluster link layer).
+    pub link_dropped: u64,
+    /// `Redelivered` events (cluster link layer).
+    pub redelivered: u64,
+    /// `Hedged` events (cluster hedged re-dispatch).
+    pub hedged: u64,
 }
 
 /// A subscriber maintaining [`EventCounts`] per workload. Clones share the
@@ -737,12 +833,17 @@ impl EventSubscriber for WorkloadEventCounters {
             WlmEvent::Routed { .. } => c.routed += 1,
             WlmEvent::Rerouted { .. } => c.rerouted += 1,
             WlmEvent::ClusterShed { .. } => c.cluster_shed += 1,
+            WlmEvent::LinkDropped { .. } => c.link_dropped += 1,
+            WlmEvent::Redelivered { .. } => c.redelivered += 1,
+            WlmEvent::Hedged { .. } => c.hedged += 1,
             WlmEvent::PolicyChanged { .. }
             | WlmEvent::MapePlan { .. }
             | WlmEvent::FaultInjected { .. }
             | WlmEvent::LadderStep { .. }
             | WlmEvent::CheckpointTaken { .. }
-            | WlmEvent::ControllerRestored { .. } => {}
+            | WlmEvent::ControllerRestored { .. }
+            | WlmEvent::ShardSuspected { .. }
+            | WlmEvent::PartitionHealed { .. } => {}
         }
     }
 }

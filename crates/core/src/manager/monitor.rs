@@ -109,7 +109,11 @@ impl WorkloadManager {
             });
             self.admission
                 .learn(&meta.req, response_secs, c.work_total_us);
-            source.on_completion(&meta.req.request.spec.label, c.finished);
+            source.on_request_completion(
+                meta.req.request.id,
+                &meta.req.request.spec.label,
+                c.finished,
+            );
             if cx.trace {
                 self.emit(WlmEvent::Completed {
                     at: now,

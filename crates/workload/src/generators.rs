@@ -25,6 +25,14 @@ pub trait Source {
     /// completed request's workload tag. Open-loop sources ignore this.
     fn on_completion(&mut self, _label: &str, _at: SimTime) {}
 
+    /// Completion feedback carrying the completed request's identity.
+    /// The default forwards to [`Source::on_completion`]; sources that
+    /// need to attribute completions to individual requests (the cluster's
+    /// exactly-once accounting across hedged re-dispatch) override this.
+    fn on_request_completion(&mut self, _request: RequestId, label: &str, at: SimTime) {
+        self.on_completion(label, at);
+    }
+
     /// The workload tag this source stamps on its requests.
     fn label(&self) -> &str;
 }

@@ -7,7 +7,7 @@
 //! arrival stream, preserving global arrival order.
 
 use crate::generators::Source;
-use crate::request::Request;
+use crate::request::{Request, RequestId};
 use wlm_dbsim::time::SimTime;
 
 /// Several sources merged into one stream.
@@ -67,6 +67,12 @@ impl Source for MixedSource {
     fn on_completion(&mut self, label: &str, at: SimTime) {
         for s in &mut self.sources {
             s.on_completion(label, at);
+        }
+    }
+
+    fn on_request_completion(&mut self, request: RequestId, label: &str, at: SimTime) {
+        for s in &mut self.sources {
+            s.on_request_completion(request, label, at);
         }
     }
 

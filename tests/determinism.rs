@@ -150,6 +150,107 @@ fn faulted_runs_serialize_byte_identically() {
     assert_ne!(a, c, "a different seed must actually change the run");
 }
 
+/// A cluster run over a faulted link: lossy, jittered, duplicated
+/// transport, a gray window and a partition window, with the failure
+/// detector and hedged re-dispatch on. Returns the serialized report and
+/// every shard checkpoint.
+fn link_faulted_cluster(seed: u64) -> (String, Vec<Vec<u8>>) {
+    use wlm::chaos::NetFault;
+    use wlm::cluster::{ClusterBuilder, DetectorConfig, HedgeConfig, LinkConfig, RoutingPolicy};
+
+    let mut cluster = ClusterBuilder::new()
+        .shards(3)
+        .routing(RoutingPolicy::RoundRobin)
+        .shard_builder(Box::new(|_| {
+            WlmBuilder::new()
+                .engine(EngineConfig {
+                    cores: 2,
+                    disk_pages_per_sec: 20_000,
+                    memory_mb: 1_024,
+                    ..Default::default()
+                })
+                .cost_model(CostModel::oracle())
+        }))
+        .link(LinkConfig {
+            delay_secs: 0.02,
+            jitter_secs: 0.01,
+            loss_p: 0.1,
+            dup_p: 0.1,
+            retransmit_secs: 0.3,
+            seed: seed ^ 0xfab,
+        })
+        .failure_detector(DetectorConfig {
+            expected_rtt_secs: 0.05,
+            gray_score: 4.0,
+            recover_score: 2.0,
+            dead_silence_secs: 1.0,
+            ema_alpha: 0.4,
+        })
+        .hedged_redispatch(HedgeConfig::default())
+        .build()
+        .expect("valid configuration");
+    cluster
+        .schedule_net_fault(
+            2.0,
+            NetFault::GrayShard {
+                shard: 2,
+                delay_factor: 40.0,
+            },
+        )
+        .expect("valid fault");
+    cluster
+        .schedule_net_fault(
+            4.0,
+            NetFault::GrayShard {
+                shard: 2,
+                delay_factor: 1.0,
+            },
+        )
+        .expect("valid fault");
+    cluster
+        .schedule_net_fault(
+            5.0,
+            NetFault::Partition {
+                shard: 1,
+                active: true,
+            },
+        )
+        .expect("valid fault");
+    cluster
+        .schedule_net_fault(
+            8.0,
+            NetFault::Partition {
+                shard: 1,
+                active: false,
+            },
+        )
+        .expect("valid fault");
+    let mut src = OltpSource::new(40.0, seed);
+    let report = cluster.run(&mut src, SimDuration::from_secs(12));
+    let bytes = cluster.checkpoints().iter().map(|c| c.to_bytes()).collect();
+    (
+        serde_json::to_string(&report).expect("report serializes"),
+        bytes,
+    )
+}
+
+#[test]
+fn link_faulted_cluster_runs_are_byte_identical_per_seed() {
+    // The fabric tentpole's determinism guarantee: every loss, jitter,
+    // duplication and retransmit draw, the detector's verdicts and the
+    // hedger's races all replay bit-for-bit under the same seed.
+    let (report_a, bytes_a) = link_faulted_cluster(42);
+    let (report_b, bytes_b) = link_faulted_cluster(42);
+    assert_eq!(
+        report_a, report_b,
+        "same seed must give a byte-identical cluster report"
+    );
+    assert_eq!(
+        bytes_a, bytes_b,
+        "same seed must give byte-identical shard checkpoints"
+    );
+}
+
 #[test]
 fn experiments_are_reproducible() {
     // Spot-check a full experiment: two runs of E5 agree exactly.

@@ -1,0 +1,237 @@
+//! Cluster-fabric integration tests: exactly-once accounting over a lossy,
+//! duplicating, partitionable link with gray-failure detection and hedged
+//! re-dispatch. The invariant under test everywhere: whatever the link
+//! does, the source sees every handed-out request complete exactly once.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use wlm::chaos::NetFault;
+use wlm::cluster::{ClusterBuilder, DetectorConfig, HedgeConfig, LinkConfig, RoutingPolicy};
+use wlm::core::api::WlmBuilder;
+use wlm::dbsim::engine::EngineConfig;
+use wlm::dbsim::optimizer::CostModel;
+use wlm::dbsim::time::{SimDuration, SimTime};
+use wlm::workload::generators::{OltpSource, Source};
+use wlm::workload::request::{Request, RequestId};
+
+fn shard_builder(_shard: usize) -> WlmBuilder {
+    WlmBuilder::new()
+        .engine(EngineConfig {
+            cores: 2,
+            disk_pages_per_sec: 20_000,
+            memory_mb: 1_024,
+            ..Default::default()
+        })
+        .cost_model(CostModel::oracle())
+}
+
+/// Counts completions per request id, so lost requests and double counts
+/// are both directly observable at the source. Arrivals stop at `cutoff`
+/// so the tail of a run drains in-flight work under the same source.
+struct PerRequestSource {
+    inner: OltpSource,
+    cutoff: SimTime,
+    handed_out: u64,
+    seen: BTreeMap<RequestId, u32>,
+}
+
+impl PerRequestSource {
+    fn new(rate: f64, seed: u64, cutoff_secs: u64) -> Self {
+        PerRequestSource {
+            inner: OltpSource::new(rate, seed),
+            cutoff: SimTime::ZERO + SimDuration::from_secs(cutoff_secs),
+            handed_out: 0,
+            seen: BTreeMap::new(),
+        }
+    }
+
+    fn doubles(&self) -> usize {
+        self.seen.values().filter(|&&n| n > 1).count()
+    }
+}
+
+impl Source for PerRequestSource {
+    fn poll(&mut self, from: SimTime, to: SimTime) -> Vec<Request> {
+        if from >= self.cutoff {
+            return Vec::new();
+        }
+        let batch = self.inner.poll(from, to.min(self.cutoff));
+        self.handed_out += batch.len() as u64;
+        batch
+    }
+
+    fn on_request_completion(&mut self, request: RequestId, _label: &str, _at: SimTime) {
+        *self.seen.entry(request).or_insert(0) += 1;
+    }
+
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+}
+
+/// A gray window stretches shard 1's link far past the retransmit timer,
+/// so every in-flight message is re-sent several times and the late
+/// originals arrive as duplicates — which the shard-side dedup must
+/// absorb, completing each request exactly once.
+#[test]
+fn duplicate_deliveries_complete_exactly_once() {
+    let mut cluster = ClusterBuilder::new()
+        .shards(3)
+        .routing(RoutingPolicy::RoundRobin)
+        .shard_builder(Box::new(shard_builder))
+        .link(LinkConfig {
+            delay_secs: 0.02,
+            jitter_secs: 0.01,
+            loss_p: 0.2,
+            dup_p: 0.4,
+            retransmit_secs: 0.3,
+            seed: 0xfab,
+        })
+        .build()
+        .expect("valid configuration");
+    cluster
+        .schedule_net_fault(
+            2.0,
+            NetFault::GrayShard {
+                shard: 1,
+                delay_factor: 60.0,
+            },
+        )
+        .expect("valid fault");
+    cluster
+        .schedule_net_fault(
+            5.0,
+            NetFault::GrayShard {
+                shard: 1,
+                delay_factor: 1.0,
+            },
+        )
+        .expect("valid fault");
+    let mut src = PerRequestSource::new(40.0, 7, 8);
+    cluster.run(&mut src, SimDuration::from_secs(18));
+    let report = cluster.report();
+    assert!(
+        report.retransmits > 0,
+        "the gray window must outlast the retransmit timer"
+    );
+    assert!(
+        report.redelivered > 0,
+        "late originals behind the retransmits must arrive as duplicates"
+    );
+    assert_eq!(src.doubles(), 0, "no completion may be forwarded twice");
+    assert_eq!(
+        src.seen.len() as u64,
+        src.handed_out,
+        "every handed-out request must complete exactly once"
+    );
+}
+
+/// Completions raced by hedged re-dispatch are absorbed as duplicates,
+/// not forwarded twice: partition a shard long enough for the detector
+/// to declare it dead and the hedger to re-dispatch its standing work.
+#[test]
+fn hedge_races_forward_one_completion_per_request() {
+    let mut cluster = ClusterBuilder::new()
+        .shards(3)
+        .routing(RoutingPolicy::RoundRobin)
+        .shard_builder(Box::new(shard_builder))
+        .link(LinkConfig {
+            delay_secs: 0.02,
+            retransmit_secs: 0.4,
+            seed: 0xfab,
+            ..LinkConfig::default()
+        })
+        .failure_detector(DetectorConfig {
+            expected_rtt_secs: 0.05,
+            gray_score: 4.0,
+            recover_score: 2.0,
+            dead_silence_secs: 1.0,
+            ema_alpha: 0.4,
+        })
+        .hedged_redispatch(HedgeConfig::default())
+        .build()
+        .expect("valid configuration");
+    cluster
+        .schedule_net_fault(
+            2.0,
+            NetFault::Partition {
+                shard: 1,
+                active: true,
+            },
+        )
+        .expect("valid fault");
+    cluster
+        .schedule_net_fault(
+            6.0,
+            NetFault::Partition {
+                shard: 1,
+                active: false,
+            },
+        )
+        .expect("valid fault");
+    let mut src = PerRequestSource::new(40.0, 11, 10);
+    cluster.run(&mut src, SimDuration::from_secs(20));
+    let report = cluster.report();
+    assert!(report.hedged > 0, "the dead shard's work must be hedged");
+    assert_eq!(src.doubles(), 0, "hedge races must not double-count");
+    assert_eq!(
+        src.seen.len() as u64,
+        src.handed_out,
+        "the partition must not lose a request"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the loss rate, duplication rate, seed and partition
+    /// window, the detect-and-hedge stack neither loses nor double-counts
+    /// a single request.
+    #[test]
+    fn lossy_hedged_fabric_accounts_exactly_once(
+        seed in 0u64..1_000,
+        loss_p in 0.0f64..0.4,
+        dup_p in 0.0f64..0.4,
+        partition_at in 1u32..4,
+    ) {
+        let mut cluster = ClusterBuilder::new()
+            .shards(3)
+            .routing(RoutingPolicy::RoundRobin)
+            .shard_builder(Box::new(shard_builder))
+            .link(LinkConfig {
+                delay_secs: 0.02,
+                jitter_secs: 0.01,
+                loss_p,
+                dup_p,
+                retransmit_secs: 0.3,
+                seed,
+            })
+            .failure_detector(DetectorConfig {
+                expected_rtt_secs: 0.05,
+                gray_score: 4.0,
+                recover_score: 2.0,
+                dead_silence_secs: 1.0,
+                ema_alpha: 0.4,
+            })
+            .hedged_redispatch(HedgeConfig::default())
+            .build()
+            .expect("valid configuration");
+        let at = f64::from(partition_at);
+        cluster
+            .schedule_net_fault(at, NetFault::Partition { shard: 1, active: true })
+            .expect("valid fault");
+        cluster
+            .schedule_net_fault(at + 3.0, NetFault::Partition { shard: 1, active: false })
+            .expect("valid fault");
+        let mut src = PerRequestSource::new(30.0, seed, 8);
+        cluster.run(&mut src, SimDuration::from_secs(20));
+        prop_assert_eq!(src.doubles(), 0, "double-counted completions");
+        prop_assert_eq!(
+            src.seen.len() as u64,
+            src.handed_out,
+            "lost requests: accounted {} of {}",
+            src.seen.len(),
+            src.handed_out
+        );
+    }
+}
