@@ -1,0 +1,201 @@
+//! Wall-clock throughput harness for the two canonical configurations.
+//!
+//! Runs a fixed, seeded workload against (1) a single workload-managed
+//! engine and (2) an 8-shard cluster under the global front-end, timing
+//! each with the host's monotonic clock, and writes one JSON report —
+//! `BENCH_8.json` in the working directory — plus a human-readable line
+//! per configuration on stdout.
+//!
+//! The *simulated* side of each run is deterministic: same seed, same
+//! completions, same tick count, every time. Only the two wall-clock
+//! rates (`sim_ticks_per_sec`, `completed_per_wall_sec`) vary with the
+//! host, which is the point — they are the regression needle for "did
+//! the simulator get slower", while the deterministic fields pin *what*
+//! was simulated. The report file is gitignored; compare it across
+//! checkouts, don't commit it.
+//!
+//! Usage:
+//!   bench_wall                 # both configurations, default seed
+//!   bench_wall --seed 7        # override the seed
+//!   bench_wall --secs 60       # override the simulated duration
+
+use std::time::Instant;
+
+use serde::Serialize;
+use wlm_cluster::{ClusterBuilder, RoutingPolicy};
+use wlm_core::api::WlmBuilder;
+use wlm_core::policy::WorkloadPolicy;
+use wlm_dbsim::engine::EngineConfig;
+use wlm_dbsim::optimizer::CostModel;
+use wlm_dbsim::time::SimDuration;
+use wlm_workload::generators::OltpSource;
+use wlm_workload::request::Importance;
+use wlm_workload::sla::ServiceLevelAgreement;
+
+/// Default simulated duration per configuration, seconds.
+const DEFAULT_SIM_SECS: u64 = 30;
+/// Default seed for the arrival streams.
+const DEFAULT_SEED: u64 = 0x5eed;
+/// OLTP arrivals per second offered to each engine (weak scaling: the
+/// 8-shard run offers 8× the single-engine rate).
+const RATE_PER_ENGINE: f64 = 25.0;
+/// Partitions the cluster key space is split into.
+const PARTITIONS: u64 = 64;
+
+/// One configuration's timed outcome.
+#[derive(Debug, Clone, Serialize)]
+struct WallRow {
+    /// Configuration name (`single-engine`, `cluster-8`).
+    config: &'static str,
+    /// Seed behind the arrival stream.
+    seed: u64,
+    /// Simulated seconds covered.
+    sim_secs: f64,
+    /// Control quanta stepped (per shard, times shards).
+    sim_ticks: u64,
+    /// Requests completed — deterministic per seed.
+    completed: u64,
+    /// Wall-clock seconds the run took on this host.
+    wall_secs: f64,
+    /// Simulated control quanta per wall-clock second.
+    sim_ticks_per_sec: f64,
+    /// Completed requests per wall-clock second.
+    completed_per_wall_sec: f64,
+}
+
+/// The whole report: both configurations, one file.
+#[derive(Debug, Clone, Serialize)]
+struct WallReport {
+    rows: Vec<WallRow>,
+}
+
+fn bench_engine() -> EngineConfig {
+    EngineConfig {
+        cores: 2,
+        disk_pages_per_sec: 10_000,
+        memory_mb: 2_048,
+        ..Default::default()
+    }
+}
+
+fn bench_builder() -> WlmBuilder {
+    WlmBuilder::new()
+        .engine(bench_engine())
+        .cost_model(CostModel::oracle())
+        .policy(
+            WorkloadPolicy::new("oltp", Importance::High)
+                .with_sla(ServiceLevelAgreement::percentile(95.0, 2.0)),
+        )
+}
+
+fn run_single(seed: u64, sim_secs: u64) -> WallRow {
+    let mut mgr = bench_builder().build().expect("valid configuration");
+    let quantum_us = bench_engine().quantum.as_micros();
+    let mut src = OltpSource::new(RATE_PER_ENGINE, seed);
+    let started = Instant::now();
+    let report = mgr.run(&mut src, SimDuration::from_secs(sim_secs));
+    let wall_secs = started.elapsed().as_secs_f64();
+    row(
+        "single-engine",
+        seed,
+        sim_secs,
+        sim_secs * 1_000_000 / quantum_us,
+        report.completed,
+        wall_secs,
+    )
+}
+
+fn run_cluster8(seed: u64, sim_secs: u64) -> WallRow {
+    let mut cluster = ClusterBuilder::new()
+        .shards(8)
+        .routing(RoutingPolicy::Affinity)
+        .shard_builder(Box::new(|_shard| bench_builder()))
+        .build()
+        .expect("valid configuration");
+    let quantum_us = bench_engine().quantum.as_micros();
+    let mut src = OltpSource::new(RATE_PER_ENGINE * 8.0, seed).with_partitions(PARTITIONS);
+    let started = Instant::now();
+    let report = cluster.run(&mut src, SimDuration::from_secs(sim_secs));
+    let wall_secs = started.elapsed().as_secs_f64();
+    row(
+        "cluster-8",
+        seed,
+        sim_secs,
+        8 * sim_secs * 1_000_000 / quantum_us,
+        report.completed,
+        wall_secs,
+    )
+}
+
+fn row(
+    config: &'static str,
+    seed: u64,
+    sim_secs: u64,
+    sim_ticks: u64,
+    completed: u64,
+    wall_secs: f64,
+) -> WallRow {
+    let denom = wall_secs.max(f64::EPSILON);
+    WallRow {
+        config,
+        seed,
+        sim_secs: sim_secs as f64,
+        sim_ticks,
+        completed,
+        wall_secs,
+        sim_ticks_per_sec: sim_ticks as f64 / denom,
+        completed_per_wall_sec: completed as f64 / denom,
+    }
+}
+
+fn main() {
+    let mut seed = DEFAULT_SEED;
+    let mut sim_secs = DEFAULT_SIM_SECS;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    seed = v;
+                }
+            }
+            other if other.starts_with("--seed=") => {
+                if let Ok(v) = other["--seed=".len()..].parse() {
+                    seed = v;
+                }
+            }
+            "--secs" => {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    sim_secs = v;
+                }
+            }
+            other if other.starts_with("--secs=") => {
+                if let Ok(v) = other["--secs=".len()..].parse() {
+                    sim_secs = v;
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = WallReport {
+        rows: vec![run_single(seed, sim_secs), run_cluster8(seed, sim_secs)],
+    };
+    for r in &report.rows {
+        println!(
+            "{:<14}  {:>7} ticks  {:>6} done  {:>7.3}s wall  {:>10.0} ticks/s  {:>8.0} done/s",
+            r.config,
+            r.sim_ticks,
+            r.completed,
+            r.wall_secs,
+            r.sim_ticks_per_sec,
+            r.completed_per_wall_sec
+        );
+    }
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write("BENCH_8.json", json).expect("write BENCH_8.json");
+    println!("wrote BENCH_8.json");
+}

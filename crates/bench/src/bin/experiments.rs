@@ -1,5 +1,5 @@
 //! The experiment harness binary: regenerates every table and figure of the
-//! paper and runs the quantitative experiments E1–E23.
+//! paper and runs the quantitative experiments E1–E25.
 //!
 //! Usage:
 //!   experiments                # everything
@@ -8,7 +8,7 @@
 //!   experiments --json e1      # machine-readable output (JSON lines only)
 //!   experiments --trace e1     # append the decision-event trace as JSON lines
 //!   experiments --jobs 4       # worker threads (default: available cores)
-//!   experiments --seed 7 e16   # seed for the seeded experiments (E16–E23)
+//!   experiments --seed 7 e16   # seed for the seeded experiments (E16–E25)
 //!   experiments --crash-at 150 --checkpoint-every 25 e18
 //!                              # E18 crash cycle and checkpoint cadence
 //!   experiments --severity 40 e22
@@ -20,7 +20,7 @@
 //! *only* JSON lines — one typed [`wlm_bench::Envelope`]
 //! (`{"experiment": ..., "seed": ..., "flags": ..., "results": ...}`) per
 //! experiment — so the stream can be piped straight into `jq`, and one
-//! schema covers E1–E23 (`wlm_bench::envelope` pins it with a test).
+//! schema covers E1–E25 (`wlm_bench::envelope` pins it with a test).
 //! The seed (default `0x5eed`) feeds the experiments that take one; it is
 //! echoed in every envelope — alongside the full flag set, unset flags as
 //! `null` — so same-flag runs can be diffed byte for byte. With
@@ -265,6 +265,8 @@ fn main() {
         });
     }
     seeded_job!("e23", exp::e23_partition_heal);
+    seeded_job!("e24", exp::e24_elastic_flash_crowd);
+    seeded_job!("e25", exp::e25_retry_storm);
 
     job!("a1", exp::a1_restructure_pieces);
     job!("a2", exp::a2_checkpoint_interval);

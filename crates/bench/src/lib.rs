@@ -2,7 +2,7 @@
 //!
 //! Regenerates every table and figure of the taxonomy paper (Figure 1,
 //! Tables 1–5 — printed directly from the technique registry and facility
-//! emulations) and runs the quantitative experiments E1–E21 of DESIGN.md
+//! emulations) and runs the quantitative experiments E1–E25 of DESIGN.md
 //! that validate each behavioural claim the paper makes about the surveyed
 //! techniques. EXPERIMENTS.md records the paper-claim ↔ measured-shape
 //! correspondence.

@@ -327,6 +327,47 @@ impl FaultPlanBuilder {
         self
     }
 
+    /// A trapezoidal flash crowd as a staircase of
+    /// [`FaultKind::FlashCrowd`] steps: `steps` equal risers climbing to
+    /// `peak` over `ramp_secs`, a hold for `hold_secs`, and `steps`
+    /// risers back down over `decay_secs`, ending at the neutral `1.0`.
+    /// The gradual build-up is what elastic-capacity hysteresis and
+    /// adaptive backpressure are tuned against — a step function
+    /// overstates the onset a real crowd delivers.
+    pub fn flash_crowd_ramp(
+        mut self,
+        at_secs: f64,
+        ramp_secs: f64,
+        hold_secs: f64,
+        decay_secs: f64,
+        peak: f64,
+        steps: usize,
+    ) -> Self {
+        let off = self.window_offset();
+        let steps = steps.max(1);
+        let peak = peak.max(1.0);
+        for k in 1..=steps {
+            let frac = k as f64 / steps as f64;
+            self.push_at(
+                at_secs + ramp_secs * (k - 1) as f64 / steps as f64 + off,
+                FaultKind::FlashCrowd {
+                    factor: 1.0 + (peak - 1.0) * frac,
+                },
+            );
+        }
+        let hold_end = at_secs + ramp_secs + hold_secs;
+        for k in 1..=steps {
+            let frac = k as f64 / steps as f64;
+            self.push_at(
+                hold_end + decay_secs * (k - 1) as f64 / steps as f64 + off,
+                FaultKind::FlashCrowd {
+                    factor: peak - (peak - 1.0) * frac,
+                },
+            );
+        }
+        self
+    }
+
     /// Degrade optimizer estimates to error level `sigma` over the window.
     pub fn optimizer_skew(mut self, at_secs: f64, dur_secs: f64, sigma: f64) -> Self {
         let off = self.window_offset();
@@ -552,6 +593,33 @@ mod tests {
                 .build()
                 .net_events(),
             "same seed, same net schedule"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_ramp_builds_a_monotone_staircase_ending_neutral() {
+        let plan = FaultPlanBuilder::new(7)
+            .flash_crowd_ramp(10.0, 4.0, 6.0, 4.0, 3.0, 4)
+            .build();
+        let steps: Vec<(f64, f64)> = plan
+            .events()
+            .iter()
+            .map(|e| match e.fault {
+                FaultKind::FlashCrowd { factor } => (e.at.as_secs_f64(), factor),
+                ref other => panic!("unexpected fault {other:?}"),
+            })
+            .collect();
+        assert_eq!(steps.len(), 8, "4 risers up, 4 down");
+        // Up the ramp: 1.5, 2.0, 2.5, 3.0 at t = 10, 11, 12, 13.
+        assert_eq!(steps[0], (10.0, 1.5));
+        assert_eq!(steps[3], (13.0, 3.0));
+        // Held at peak until the decay starts at t = 20.
+        assert_eq!(steps[4], (20.0, 2.5));
+        // Last riser lands back on the neutral factor.
+        assert_eq!(steps[7], (23.0, 1.0));
+        assert!(
+            steps.windows(2).all(|w| w[0].0 < w[1].0),
+            "risers fire in time order"
         );
     }
 

@@ -38,6 +38,7 @@
 //! [`ClusterReport::completed`]).
 
 use crate::detector::{DetectorConfig, FailureDetector, ShardHealth};
+use crate::elastic::{Autoscaler, ElasticConfig, ScaleDecision, ShardStage};
 use crate::hedge::{CompletionVerdict, HedgeConfig, Hedger};
 use crate::inbox::{FeedbackBuffer, InboxSource};
 use crate::link::{LinkConfig, LinkLayer};
@@ -149,6 +150,17 @@ pub struct ClusterReport {
     pub retransmits: u64,
     /// Aggregate throughput, completions/second.
     pub throughput: f64,
+    /// Shards the autoscaler spawned over the run (0 without
+    /// [`ClusterBuilder::elastic`]).
+    pub scale_ups: u64,
+    /// Shards the autoscaler drained and retired over the run.
+    pub scale_downs: u64,
+    /// Shard-hours actually spent, in seconds: each tick charges one
+    /// quantum per non-retired shard. A static cluster charges
+    /// `shards * elapsed_secs`; an elastic one charges only for the
+    /// capacity it kept up — the denominator of the provisioning-cost
+    /// comparison in experiment E24.
+    pub shard_seconds: f64,
     /// Per-shard run reports, in shard order.
     pub shards: Vec<RunReport>,
 }
@@ -165,6 +177,7 @@ pub struct ClusterBuilder {
     link: Option<LinkConfig>,
     detector: Option<DetectorConfig>,
     hedging: Option<HedgeConfig>,
+    elastic: Option<ElasticConfig>,
     factory: Option<Box<dyn Fn(usize) -> WlmBuilder>>,
 }
 
@@ -185,6 +198,7 @@ impl std::fmt::Debug for ClusterBuilder {
             .field("link", &self.link)
             .field("detector", &self.detector.is_some())
             .field("hedging", &self.hedging.is_some())
+            .field("elastic", &self.elastic.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -204,6 +218,7 @@ impl ClusterBuilder {
             link: None,
             detector: None,
             hedging: None,
+            elastic: None,
             factory: None,
         }
     }
@@ -273,6 +288,16 @@ impl ClusterBuilder {
         self
     }
 
+    /// Run the shard pool elastically: build all [`Self::shards`] shards
+    /// but keep only [`ElasticConfig::min_shards`] active, letting the
+    /// deterministic [`Autoscaler`] spawn (with a warm-up/cold-cache
+    /// penalty) and drain-then-retire the rest as pressure moves. Without
+    /// this, every shard is active for the whole run.
+    pub fn elastic(mut self, cfg: ElasticConfig) -> Self {
+        self.elastic = Some(cfg);
+        self
+    }
+
     /// Validate and assemble the cluster.
     ///
     /// Fails with [`Error::Config`] when the shard count is zero, a
@@ -294,6 +319,14 @@ impl ClusterBuilder {
                 "hedged re-dispatch needs a failure detector (ClusterBuilder::failure_detector)"
                     .into(),
             ));
+        }
+        if let Some(el) = &self.elastic {
+            if el.min_shards == 0 || el.min_shards > self.shards {
+                return Err(Error::Config(format!(
+                    "elastic min_shards {} must be in 1..={} (the pool size)",
+                    el.min_shards, self.shards
+                )));
+            }
         }
         let feedback: FeedbackBuffer = Rc::new(RefCell::new(Vec::new()));
         let mut shards = Vec::with_capacity(self.shards);
@@ -336,8 +369,25 @@ impl ClusterBuilder {
             .detector
             .map(|cfg| FailureDetector::new(cfg, self.shards, SimTime::ZERO));
         let hedger = self.hedging.map(Hedger::new);
+        // Without elasticity every shard is active for the whole run, so
+        // the routable mask degenerates to plain liveness and a run is
+        // byte-identical to the pre-elastic cluster.
+        let stages: Vec<ShardStage> = match &self.elastic {
+            Some(el) => (0..self.shards)
+                .map(|i| {
+                    if i < el.min_shards {
+                        ShardStage::Active
+                    } else {
+                        ShardStage::Retired
+                    }
+                })
+                .collect(),
+            None => vec![ShardStage::Active; self.shards],
+        };
         Ok(Cluster {
             shards,
+            stages,
+            elastic: self.elastic.map(Autoscaler::new),
             routing: self.routing,
             failover: self.failover,
             shed_threshold: self.shed_threshold,
@@ -364,6 +414,9 @@ impl ClusterBuilder {
             hedged: 0,
             redelivered: 0,
             dup_completions: 0,
+            scale_ups: 0,
+            scale_downs: 0,
+            shard_us: 0,
         })
     }
 
@@ -379,6 +432,11 @@ impl ClusterBuilder {
 /// The sharded cluster under hierarchical workload management.
 pub struct Cluster {
     shards: Vec<Shard>,
+    /// Elastic lifecycle stage per shard (all [`ShardStage::Active`]
+    /// without [`ClusterBuilder::elastic`]).
+    stages: Vec<ShardStage>,
+    /// The deterministic scale controller, when the pool is elastic.
+    elastic: Option<Autoscaler>,
     routing: RoutingPolicy,
     failover: FailoverPolicy,
     shed_threshold: Option<usize>,
@@ -430,6 +488,13 @@ pub struct Cluster {
     redelivered: u64,
     /// Completions of already-won hedge races (absorbed, not forwarded).
     dup_completions: u64,
+    /// Shards spawned by the autoscaler.
+    scale_ups: u64,
+    /// Shards drained and retired by the autoscaler.
+    scale_downs: u64,
+    /// Accumulated shard-microseconds: one quantum per non-retired shard
+    /// per tick (the run's true capacity bill).
+    shard_us: u64,
 }
 
 impl Cluster {
@@ -501,12 +566,50 @@ impl Cluster {
         self.hedger.as_ref().map_or(0, Hedger::races_open)
     }
 
+    /// The shard's elastic lifecycle stage (always
+    /// [`ShardStage::Active`] without [`ClusterBuilder::elastic`]).
+    pub fn shard_stage(&self, shard: usize) -> Result<ShardStage, Error> {
+        self.stages
+            .get(shard)
+            .copied()
+            .ok_or(Error::UnknownShard(shard))
+    }
+
+    /// Shards the autoscaler has spawned so far.
+    pub fn scale_ups(&self) -> u64 {
+        self.scale_ups
+    }
+
+    /// Shards the autoscaler has drained and retired so far.
+    pub fn scale_downs(&self) -> u64 {
+        self.scale_downs
+    }
+
+    /// Shard-hours spent so far, in seconds (one quantum per non-retired
+    /// shard per tick).
+    pub fn shard_seconds(&self) -> f64 {
+        self.shard_us as f64 / 1_000_000.0
+    }
+
+    /// Whether the front-end may route new arrivals to `shard`: its
+    /// controller is up and its lifecycle stage takes traffic.
+    fn routable(&self, shard: usize) -> bool {
+        self.shards[shard].alive() && self.stages[shard].routable()
+    }
+
+    /// Shards currently taking traffic.
+    fn routable_count(&self) -> usize {
+        (0..self.shards.len()).filter(|&i| self.routable(i)).count()
+    }
+
     /// Attach a subscriber to the front-end's decision-event bus
     /// ([`WlmEvent::Routed`] / [`WlmEvent::Rerouted`] /
     /// [`WlmEvent::ClusterShed`] / [`WlmEvent::LinkDropped`] /
     /// [`WlmEvent::Redelivered`] / [`WlmEvent::ShardSuspected`] /
-    /// [`WlmEvent::Hedged`] / [`WlmEvent::PartitionHealed`]). Per-shard
-    /// pipeline events stay on each shard's own bus.
+    /// [`WlmEvent::Hedged`] / [`WlmEvent::PartitionHealed`] /
+    /// [`WlmEvent::ShardSpawned`] / [`WlmEvent::ShardDraining`] /
+    /// [`WlmEvent::ShardRetired`]). Per-shard pipeline events stay on
+    /// each shard's own bus.
     pub fn subscribe(&mut self, sub: Box<dyn EventSubscriber>) {
         self.events.borrow_mut().subscribe(sub);
     }
@@ -522,6 +625,7 @@ impl Cluster {
                 .map(|(i, s)| ShardView {
                     shard: i,
                     alive: s.alive(),
+                    stage: self.stages[i],
                     snapshot: s.mgr.live_snapshot().clone(),
                     inbox_depth: s.inbox.len(),
                 })
@@ -626,10 +730,19 @@ impl Cluster {
         }
         self.pump_link(from);
         self.evaluate_detector(from);
+        self.autoscale_step(from);
+        // The capacity bill: every non-retired shard charges one quantum
+        // this tick, whether it is warming, active, draining or down.
+        let billed = self
+            .stages
+            .iter()
+            .filter(|s| !matches!(s, ShardStage::Retired))
+            .count() as u64;
+        self.shard_us += billed * self.quantum.as_micros();
 
         // Arrivals parked during a full outage get first claim on a
         // rejoined shard, ahead of this window's arrivals.
-        if self.shards.iter().any(Shard::alive) {
+        if self.routable_count() > 0 {
             while let Some(req) = self.parked.pop_front() {
                 self.admit_or_route(req);
             }
@@ -641,12 +754,14 @@ impl Cluster {
         // the shards step, matching the direct fabric's timing.
         self.pump_link(from);
 
-        for shard in &mut self.shards {
-            if shard.alive() {
+        for (shard, stage) in self.shards.iter_mut().zip(&self.stages) {
+            if shard.alive() && !matches!(stage, ShardStage::Retired) {
                 // Split borrow: the manager ticks against its own inbox.
                 let Shard { mgr, inbox, .. } = shard;
                 mgr.tick(inbox);
             } else {
+                // Down and retired shards alike advance uncontrolled so
+                // every engine clock stays on the shared quantum.
                 shard.mgr.tick_uncontrolled();
             }
         }
@@ -691,18 +806,24 @@ impl Cluster {
             } else {
                 0.0
             },
+            scale_ups: self.scale_ups,
+            scale_downs: self.scale_downs,
+            shard_seconds: self.shard_seconds(),
             shards,
         }
     }
 
-    /// Whether every live shard's queue pressure is at or above the shed
-    /// threshold (no gate configured = never saturated).
+    /// Whether every routable shard's queue pressure is at or above the
+    /// shed threshold (no gate configured = never saturated).
     fn saturated(&self) -> bool {
         let Some(threshold) = self.shed_threshold else {
             return false;
         };
         let mut any_live = false;
-        for shard in self.shards.iter().filter(|s| s.alive()) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            if !self.routable(i) {
+                continue;
+            }
             any_live = true;
             if shard.mgr.live_snapshot().queued + shard.inbox.len() < threshold {
                 return false;
@@ -918,23 +1039,24 @@ impl Cluster {
         }
     }
 
-    /// Pick the hedge destination: the first trusted live shard after the
-    /// suspect, falling back to any live shard. Never the suspect itself;
-    /// `None` when it has no live peer (a hedge to nowhere helps nobody).
+    /// Pick the hedge destination: the first trusted routable shard after
+    /// the suspect, falling back to any routable shard. Never the suspect
+    /// itself; `None` when it has no routable peer (a hedge to nowhere
+    /// helps nobody — and a retired shard's controller is off).
     fn hedge_target(&self, from: usize) -> Option<usize> {
         let n = self.shards.len();
         let start = (from + 1) % n;
         if let Some(det) = self.detector.as_ref() {
             for probe in 0..n {
                 let i = (start + probe) % n;
-                if i != from && self.shards[i].alive() && det.health(i) == ShardHealth::Healthy {
+                if i != from && self.routable(i) && det.health(i) == ShardHealth::Healthy {
                     return Some(i);
                 }
             }
         }
         (0..n)
             .map(|probe| (start + probe) % n)
-            .find(|&i| i != from && self.shards[i].alive())
+            .find(|&i| i != from && self.routable(i))
     }
 
     /// Book and deliver one hedged copy.
@@ -1088,12 +1210,16 @@ impl Cluster {
     /// any live shard will do — suspicion degrades routing, it never
     /// deadlocks it.
     fn route_target(&mut self, req: &Request) -> Result<usize, Error> {
-        if !self.shards.iter().any(Shard::alive) {
+        if self.routable_count() == 0 {
             return Err(Error::NoLiveShards);
         }
         if let Some(det) = self.detector.as_ref() {
             let trusted: Vec<bool> = (0..self.shards.len())
-                .map(|i| self.shards[i].alive() && det.health(i) == ShardHealth::Healthy)
+                .map(|i| {
+                    self.shards[i].alive()
+                        && self.stages[i].routable()
+                        && det.health(i) == ShardHealth::Healthy
+                })
                 .collect();
             if trusted.iter().any(|&t| t) {
                 if let Some(target) = self.pick_target(req, &trusted) {
@@ -1101,8 +1227,8 @@ impl Cluster {
                 }
             }
         }
-        let alive: Vec<bool> = self.shards.iter().map(Shard::alive).collect();
-        self.pick_target(req, &alive).ok_or(Error::NoLiveShards)
+        let routable: Vec<bool> = (0..self.shards.len()).map(|i| self.routable(i)).collect();
+        self.pick_target(req, &routable).ok_or(Error::NoLiveShards)
     }
 
     /// The routing policy over an eligibility mask.
@@ -1236,6 +1362,180 @@ impl Cluster {
                 Err(_) => self.parked.push_back(req),
             }
         }
+    }
+
+    /// Advance every shard's lifecycle stage, then feed the autoscaler
+    /// one pressure sample and act on its verdict. A no-op for clusters
+    /// built without [`ClusterBuilder::elastic`].
+    fn autoscale_step(&mut self, now: SimTime) {
+        let Some(cfg) = self.elastic.as_ref().map(|a| *a.config()) else {
+            return;
+        };
+        // Lifecycle first: spawned shards open for traffic, warmed shards
+        // graduate, due drains retire.
+        for i in 0..self.shards.len() {
+            match self.stages[i] {
+                ShardStage::Spawning => {
+                    self.stages[i] = ShardStage::Warming {
+                        until: now + SimDuration::from_secs_f64(cfg.warmup_secs.max(0.0)),
+                    };
+                }
+                ShardStage::Warming { until } if until <= now => {
+                    self.stages[i] = ShardStage::Active;
+                }
+                ShardStage::Draining { deadline } => {
+                    // Early out the moment the shard is empty; otherwise
+                    // the grace deadline force-moves the residue.
+                    if deadline <= now || self.shard_idle(i) {
+                        self.retire_now(i, now);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // The pressure signal: mean over routable shards of the max of
+        // CPU utilization, disk utilization, and normalized queue depth.
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if !self.routable(i) {
+                continue;
+            }
+            let snap = shard.mgr.live_snapshot();
+            let queue = (snap.queued + shard.inbox.len()) as f64 / cfg.queue_target.max(1.0);
+            sum += snap.cpu_utilization.max(snap.io_utilization).max(queue);
+            n += 1;
+        }
+        if n == 0 {
+            // Nothing routable is failover's problem, not scaling's.
+            return;
+        }
+        let decision = self
+            .elastic
+            .as_mut()
+            .and_then(|a| a.observe(sum / n as f64));
+        match decision {
+            Some(ScaleDecision::Up) => self.spawn_shard(now),
+            Some(ScaleDecision::Down) => self.drain_shard(now),
+            None => {}
+        }
+    }
+
+    /// Open the lowest-index retired shard: one tick of boot latency,
+    /// then warming with an evicted buffer pool.
+    fn spawn_shard(&mut self, now: SimTime) {
+        let found = (0..self.shards.len())
+            .find(|&i| matches!(self.stages[i], ShardStage::Retired) && self.shards[i].alive());
+        let Some(i) = found else {
+            return; // pool exhausted: the cluster is at full size
+        };
+        self.stages[i] = ShardStage::Spawning;
+        // The spawned shard restarts cold: every partition routed to it
+        // pays the full fault-in until the LRU refills — the scale-up tax
+        // experiment E24 charges against the shard-hours saved.
+        if let Some(cache) = self.warm.as_mut() {
+            cache.evict_shard(i);
+        }
+        self.scale_ups += 1;
+        self.emit(WlmEvent::ShardSpawned { at: now, shard: i });
+    }
+
+    /// Put the highest-index active shard into its drain: it stops
+    /// receiving routes but keeps running until idle or the grace
+    /// deadline. Never drains below [`ElasticConfig::min_shards`].
+    fn drain_shard(&mut self, now: SimTime) {
+        let Some(cfg) = self.elastic.as_ref().map(|a| *a.config()) else {
+            return;
+        };
+        if self.routable_count() <= cfg.min_shards {
+            return;
+        }
+        let found = (0..self.shards.len())
+            .rev()
+            .find(|&i| matches!(self.stages[i], ShardStage::Active) && self.shards[i].alive());
+        let Some(i) = found else {
+            return;
+        };
+        self.stages[i] = ShardStage::Draining {
+            deadline: now + SimDuration::from_secs_f64(cfg.drain_grace_secs.max(0.0)),
+        };
+        self.scale_downs += 1;
+        self.emit(WlmEvent::ShardDraining { at: now, shard: i });
+    }
+
+    /// Whether a draining shard has nothing left anywhere the front-end
+    /// can see: controller queues, engine, inbox, unacked link traffic.
+    /// (Optimistic about suspended queries and parked retries — both are
+    /// invisible to the live snapshot — but that is safe: `retire_now`
+    /// moves them with the checkpoint-strip either way.)
+    fn shard_idle(&self, i: usize) -> bool {
+        let snap = self.shards[i].mgr.live_snapshot();
+        snap.queued == 0
+            && snap.running == 0
+            && snap.blocked == 0
+            && self.shards[i].inbox.len() == 0
+            && self
+                .link
+                .as_ref()
+                .is_none_or(|l| l.unacked_to(i).is_empty())
+    }
+
+    /// Retire a drained shard now: strip its checkpoint, move every
+    /// residual request — queued, deferred, running, suspended, parked
+    /// retries, inbox, undelivered link traffic — onto the survivors
+    /// through the crash path's exactly-once discipline, and take it out
+    /// of service. No request is lost; any copy the engine was still
+    /// running is orphan-killed while its moved twin finishes elsewhere.
+    fn retire_now(&mut self, shard: usize, now: SimTime) {
+        let ckpt = self.shards[shard].mgr.checkpoint();
+        let mut moved: Vec<Request> = Vec::new();
+        moved.extend(ckpt.wait_queue.iter().map(|m| m.request.clone()));
+        moved.extend(ckpt.deferred.iter().map(|m| m.request.clone()));
+        moved.extend(ckpt.running.iter().map(|rc| rc.req.request.clone()));
+        moved.extend(ckpt.suspended.iter().map(|s| s.req.request.clone()));
+        moved.extend(self.shards[shard].inbox.drain_all());
+        if let Some(link) = self.link.as_mut() {
+            moved.extend(link.take_unaccepted(shard));
+        }
+        let mut stripped = ControllerState {
+            wait_queue: Vec::new(),
+            deferred: Vec::new(),
+            running: Vec::new(),
+            suspended: Vec::new(),
+            ..ckpt
+        };
+        // Unlike a crash (where the shard rejoins and releases them
+        // itself), a retired controller would never release its parked
+        // retries — they move with everything else.
+        if let Some(res) = stripped.resilience.as_mut() {
+            moved.extend(res.retry_queue.drain(..).map(|r| r.req.request));
+        }
+        let recovery = self.shards[shard].mgr.restore(&stripped);
+        self.reclaimed += recovery.orphans_killed as u64;
+        self.stages[shard] = ShardStage::Retired;
+        let mut rerouted = 0usize;
+        for req in moved {
+            match self.route_target(&req) {
+                Ok(target) => {
+                    self.rerouted += 1;
+                    rerouted += 1;
+                    self.emit(WlmEvent::Rerouted {
+                        at: now,
+                        request: req.id,
+                        workload: req.spec.label.clone(),
+                        from_shard: shard,
+                        to_shard: target,
+                    });
+                    self.deliver(target, req);
+                }
+                Err(_) => self.parked.push_back(req),
+            }
+        }
+        self.emit(WlmEvent::ShardRetired {
+            at: now,
+            shard,
+            rerouted,
+        });
     }
 }
 
@@ -1525,6 +1825,107 @@ mod tests {
         let mut src = OltpSource::new(500.0, 5);
         let report = c.run(&mut src, SimDuration::from_secs(4));
         assert!(report.shed > 0, "saturation must shed: {report:?}");
+    }
+
+    #[test]
+    fn elastic_validation_bounds_min_shards() {
+        for bad in [0usize, 5] {
+            let err = ClusterBuilder::new()
+                .shards(4)
+                .elastic(ElasticConfig {
+                    min_shards: bad,
+                    ..ElasticConfig::default()
+                })
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, Error::Config(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn non_elastic_cluster_is_all_active() {
+        let c = cluster(2, RoutingPolicy::RoundRobin);
+        assert_eq!(c.shard_stage(0).unwrap(), ShardStage::Active);
+        assert_eq!(c.shard_stage(1).unwrap(), ShardStage::Active);
+        assert_eq!(c.shard_stage(9).unwrap_err(), Error::UnknownShard(9));
+        assert_eq!(c.scale_ups(), 0);
+        assert_eq!(c.scale_downs(), 0);
+    }
+
+    #[test]
+    fn elastic_pool_scales_with_pressure_and_bills_fewer_shard_hours() {
+        let el = ElasticConfig {
+            min_shards: 1,
+            sustain_ticks: 5,
+            calm_ticks: 20,
+            warmup_secs: 0.5,
+            drain_grace_secs: 2.0,
+            queue_target: 8.0,
+            ..ElasticConfig::default()
+        };
+        let mut c = ClusterBuilder::new()
+            .shards(4)
+            .routing(RoutingPolicy::LeastOutstandingCost)
+            .shard_builder(Box::new(small_builder))
+            .elastic(el)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(c.shard_stage(0).unwrap(), ShardStage::Active);
+        assert_eq!(
+            c.shard_stage(3).unwrap(),
+            ShardStage::Retired,
+            "the pool beyond min_shards starts retired"
+        );
+        // A flash crowd one small shard cannot absorb: queues deepen,
+        // pressure sustains, the pool opens up.
+        let mut hot = OltpSource::new(200.0, 9);
+        c.run(&mut hot, SimDuration::from_secs(12));
+        assert!(c.scale_ups() > 0, "surge must spawn shards: {c:?}");
+        // Calm: the autoscaler drains back toward the floor.
+        let mut quiet = OltpSource::new(0.5, 10);
+        let report = c.run(&mut quiet, SimDuration::from_secs(40));
+        assert!(c.scale_downs() > 0, "calm must drain shards: {report:?}");
+        assert!(report.completed > 0);
+        assert!(
+            report.shard_seconds < 4.0 * report.elapsed_secs,
+            "elasticity must bill fewer shard-hours than the static pool: {report:?}"
+        );
+        assert!(
+            report.shard_seconds >= report.elapsed_secs,
+            "the min_shards floor is always billed: {report:?}"
+        );
+        assert_eq!(report.scale_ups, c.scale_ups());
+        assert_eq!(report.scale_downs, c.scale_downs());
+    }
+
+    #[test]
+    fn elastic_run_is_deterministic_per_seed() {
+        let run = || {
+            let mut c = ClusterBuilder::new()
+                .shards(3)
+                .routing(RoutingPolicy::LeastOutstandingCost)
+                .shard_builder(Box::new(small_builder))
+                .elastic(ElasticConfig {
+                    min_shards: 1,
+                    sustain_ticks: 5,
+                    calm_ticks: 20,
+                    queue_target: 8.0,
+                    ..ElasticConfig::default()
+                })
+                .build()
+                .expect("valid configuration");
+            let mut src = OltpSource::new(150.0, 21).with_partitions(6);
+            c.run(&mut src, SimDuration::from_secs(8));
+            (
+                c.scale_ups(),
+                c.scale_downs(),
+                c.checkpoints()
+                    .iter()
+                    .map(|ckpt| ckpt.to_bytes())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run(), "the scaling schedule is seed-deterministic");
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Elastic shard lifecycle: a deterministic autoscaler over the shard
+//! pool, with warm-up on the way in and drain-then-retire on the way out.
+//!
+//! The cluster is built with its **full** shard pool up front (every
+//! fabric structure — link lanes, detector rows, warm-cache residency —
+//! is shard-count-sized), but with [`ElasticConfig::min_shards`] of them
+//! *active*. The [`Autoscaler`] watches a smoothed pressure signal (the
+//! max of CPU utilization, disk utilization, and normalized queue depth,
+//! averaged over the routable shards) and, with hysteresis on both edges,
+//! walks shards through the lifecycle state machine:
+//!
+//! ```text
+//! retired ──spawn──▶ spawning ──▶ warming ──▶ active
+//!    ▲                                           │
+//!    └────────── drain-then-retire ◀── draining ─┘
+//! ```
+//!
+//! * **Spawning** models boot latency: the shard is decided-on this tick
+//!   but routable only from the next, when it enters **warming**.
+//! * **Warming** shards take traffic immediately but start with an
+//!   evicted buffer pool — every partition routed to them is cold until
+//!   the [`WarmCache`](crate::warm::WarmCache) refills, which is the
+//!   cold-cache penalty that makes scale-up a real cost, not a free
+//!   lever. The stage flips to **active** after
+//!   [`ElasticConfig::warmup_secs`].
+//! * **Draining** shards stop receiving routes but keep their controller
+//!   running so queued work finishes in place. The shard retires early
+//!   the moment it is idle, or at the drain deadline — at which point any
+//!   residue (wait queue, deferrals, parked retries, running and
+//!   suspended queries, inbox, undelivered link traffic) is moved to the
+//!   survivors through the same checkpoint-strip path a crash uses, so
+//!   retirement loses zero requests and double-counts none: the restore
+//!   reconciliation orphan-kills the local copies whose twins now run
+//!   elsewhere, and the exactly-once finished-book absorbs any race.
+//! * **Retired** shards tick uncontrolled (their engine clock stays
+//!   aligned with the cluster's) and charge no shard-hours.
+//!
+//! Every decision is a pure function of the observed pressure series, so
+//! an autoscaled run is byte-identical per seed — the scaling *schedule*
+//! itself is reproducible.
+
+use serde::Serialize;
+use wlm_dbsim::time::SimTime;
+
+/// Tuning for the elastic shard lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElasticConfig {
+    /// Shards active at build time and the floor the autoscaler never
+    /// drains below.
+    pub min_shards: usize,
+    /// EWMA smoothing factor for the pressure signal.
+    pub ema_alpha: f64,
+    /// Smoothed pressure at or above which the up-streak accumulates.
+    pub scale_up_pressure: f64,
+    /// Smoothed pressure at or below which the down-streak accumulates.
+    pub scale_down_pressure: f64,
+    /// Consecutive over-pressure ticks required before a scale-up
+    /// (hysteresis against bursts).
+    pub sustain_ticks: u32,
+    /// Consecutive under-pressure ticks required before a scale-down
+    /// (much longer than `sustain_ticks`: spare capacity is cheap
+    /// insurance, flapping is not).
+    pub calm_ticks: u32,
+    /// Simulated seconds a spawned shard spends warming before it counts
+    /// as fully active.
+    pub warmup_secs: f64,
+    /// Grace period a draining shard gets to finish its queued work
+    /// before the residue is force-moved to the survivors.
+    pub drain_grace_secs: f64,
+    /// Queue depth (controller queue plus inbox) that counts as pressure
+    /// 1.0 on the queue axis of the signal.
+    pub queue_target: f64,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        ElasticConfig {
+            min_shards: 1,
+            ema_alpha: 0.2,
+            scale_up_pressure: 0.85,
+            scale_down_pressure: 0.35,
+            sustain_ticks: 8,
+            calm_ticks: 40,
+            warmup_secs: 2.0,
+            drain_grace_secs: 5.0,
+            queue_target: 32.0,
+        }
+    }
+}
+
+/// Where one shard stands in the elastic lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ShardStage {
+    /// Decided-on this tick; routable from the next (boot latency).
+    Spawning,
+    /// Taking traffic with a cold buffer pool until `until`.
+    Warming {
+        /// When the shard graduates to [`ShardStage::Active`].
+        until: SimTime,
+    },
+    /// Fully in service.
+    Active,
+    /// No longer routable; finishing its queued work until `deadline`.
+    Draining {
+        /// When any residue is force-moved to the survivors.
+        deadline: SimTime,
+    },
+    /// Out of service: engine clock ticks along, no controller, no
+    /// shard-hours charged.
+    Retired,
+}
+
+impl ShardStage {
+    /// Whether the front-end may route new arrivals to a shard in this
+    /// stage.
+    pub fn routable(&self) -> bool {
+        matches!(self, ShardStage::Warming { .. } | ShardStage::Active)
+    }
+
+    /// Stable stage name (used in snapshots and experiment output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardStage::Spawning => "spawning",
+            ShardStage::Warming { .. } => "warming",
+            ShardStage::Active => "active",
+            ShardStage::Draining { .. } => "draining",
+            ShardStage::Retired => "retired",
+        }
+    }
+}
+
+/// A scale decision the cluster acts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Spawn one retired shard.
+    Up,
+    /// Drain one active shard.
+    Down,
+}
+
+/// The deterministic utilization/queue-depth controller: EWMA smoothing
+/// plus dual-threshold hysteresis with debounce streaks on both edges.
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    cfg: ElasticConfig,
+    ema: f64,
+    up_streak: u32,
+    down_streak: u32,
+}
+
+impl Autoscaler {
+    /// A fresh controller at zero pressure.
+    pub fn new(cfg: ElasticConfig) -> Self {
+        Autoscaler {
+            cfg,
+            ema: 0.0,
+            up_streak: 0,
+            down_streak: 0,
+        }
+    }
+
+    /// The configuration this controller was built with.
+    pub fn config(&self) -> &ElasticConfig {
+        &self.cfg
+    }
+
+    /// Smoothed pressure signal.
+    pub fn pressure_ema(&self) -> f64 {
+        self.ema
+    }
+
+    /// Feed one tick's raw pressure sample; returns a decision when a
+    /// debounce streak completes. Both streaks reset after a decision, so
+    /// consecutive scale steps each re-earn their hysteresis.
+    pub fn observe(&mut self, pressure: f64) -> Option<ScaleDecision> {
+        let alpha = self.cfg.ema_alpha.clamp(0.0, 1.0);
+        self.ema = alpha * pressure + (1.0 - alpha) * self.ema;
+        if self.ema >= self.cfg.scale_up_pressure {
+            self.up_streak += 1;
+            self.down_streak = 0;
+        } else if self.ema <= self.cfg.scale_down_pressure {
+            self.down_streak += 1;
+            self.up_streak = 0;
+        } else {
+            // The dead band between the thresholds: holding steady resets
+            // both streaks, so a decision needs *consecutive* evidence.
+            self.up_streak = 0;
+            self.down_streak = 0;
+        }
+        if self.up_streak >= self.cfg.sustain_ticks.max(1) {
+            self.up_streak = 0;
+            self.down_streak = 0;
+            return Some(ScaleDecision::Up);
+        }
+        if self.down_streak >= self.cfg.calm_ticks.max(1) {
+            self.up_streak = 0;
+            self.down_streak = 0;
+            return Some(ScaleDecision::Down);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ElasticConfig {
+        ElasticConfig {
+            min_shards: 1,
+            ema_alpha: 0.5,
+            scale_up_pressure: 0.8,
+            scale_down_pressure: 0.3,
+            sustain_ticks: 3,
+            calm_ticks: 5,
+            ..ElasticConfig::default()
+        }
+    }
+
+    #[test]
+    fn sustained_pressure_scales_up_after_the_debounce() {
+        let mut a = Autoscaler::new(quick());
+        let mut decisions = Vec::new();
+        for _ in 0..8 {
+            if let Some(d) = a.observe(1.0) {
+                decisions.push(d);
+            }
+        }
+        // The EWMA needs ~2 ticks to cross 0.8, then 3 sustained ticks;
+        // the streak resets after each decision, so 8 ticks yield one.
+        assert_eq!(decisions, vec![ScaleDecision::Up]);
+        assert!(a.pressure_ema() > 0.9);
+    }
+
+    #[test]
+    fn calm_scales_down_and_the_dead_band_holds() {
+        let mut a = Autoscaler::new(quick());
+        for _ in 0..4 {
+            a.observe(1.0);
+        }
+        // Mid-band pressure: no decision, streaks reset.
+        for _ in 0..50 {
+            assert_eq!(a.observe(0.55), None, "dead band never decides");
+        }
+        let mut downs = 0;
+        for _ in 0..14 {
+            if a.observe(0.0) == Some(ScaleDecision::Down) {
+                downs += 1;
+            }
+        }
+        assert!(downs >= 1, "sustained calm drains a shard");
+    }
+
+    #[test]
+    fn a_burst_shorter_than_the_debounce_does_not_scale() {
+        let mut a = Autoscaler::new(quick());
+        for _ in 0..2 {
+            assert_eq!(a.observe(1.0), None);
+        }
+        assert_eq!(a.observe(0.55), None, "burst over before the streak");
+        for _ in 0..2 {
+            assert_eq!(a.observe(1.0), None, "streak restarted from zero");
+        }
+    }
+
+    #[test]
+    fn stage_routability_and_names_are_stable() {
+        assert!(ShardStage::Active.routable());
+        assert!(ShardStage::Warming {
+            until: SimTime::ZERO
+        }
+        .routable());
+        assert!(!ShardStage::Spawning.routable());
+        assert!(!ShardStage::Draining {
+            deadline: SimTime::ZERO
+        }
+        .routable());
+        assert!(!ShardStage::Retired.routable());
+        assert_eq!(ShardStage::Spawning.name(), "spawning");
+        assert_eq!(ShardStage::Retired.name(), "retired");
+    }
+}

@@ -10,7 +10,7 @@
 //! | workload characterization | routing key extraction ([`Request::shard_key`]) |
 //! | admission control         | cluster-wide load shedding ([`WlmEvent::ClusterShed`]) |
 //! | scheduling                | request routing ([`RoutingPolicy`])          |
-//! | execution control         | shard failover ([`FailoverPolicy`])          |
+//! | execution control         | shard failover ([`FailoverPolicy`]) and the elastic shard lifecycle ([`elastic::Autoscaler`] spawn/warm/drain/retire) |
 //! | monitoring                | link-fault detection ([`LinkLayer`](link) heartbeats → [`detector::FailureDetector`] gray/dead verdicts → hedged re-dispatch) |
 //!
 //! The two levels share the engine quantum: one [`Cluster::tick`] routes
@@ -48,6 +48,7 @@
 
 pub mod cluster;
 pub mod detector;
+pub mod elastic;
 pub mod hedge;
 pub mod inbox;
 pub mod link;
@@ -57,6 +58,7 @@ pub mod warm;
 
 pub use cluster::{Cluster, ClusterBuilder, ClusterReport, FailoverPolicy};
 pub use detector::{DetectorConfig, ShardHealth};
+pub use elastic::{Autoscaler, ElasticConfig, ScaleDecision, ShardStage};
 pub use hedge::HedgeConfig;
 pub use inbox::InboxSource;
 pub use link::{LinkConfig, MsgId};

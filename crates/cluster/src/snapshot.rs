@@ -1,5 +1,6 @@
 //! The cluster-wide monitor view the global controller decides against.
 
+use crate::elastic::ShardStage;
 use serde::Serialize;
 use wlm_core::api::SystemSnapshot;
 use wlm_dbsim::time::SimTime;
@@ -12,6 +13,9 @@ pub struct ShardView {
     /// Whether the shard's controller is up (a down shard's engine keeps
     /// draining, but no new work is routed to it).
     pub alive: bool,
+    /// Elastic lifecycle stage (always [`ShardStage::Active`] in a
+    /// non-elastic cluster).
+    pub stage: ShardStage,
     /// The shard controller's maintained monitor snapshot.
     pub snapshot: SystemSnapshot,
     /// Requests routed to the shard but not yet ingested by its manager.
@@ -85,6 +89,7 @@ mod tests {
         ShardView {
             shard,
             alive,
+            stage: ShardStage::Active,
             snapshot: SystemSnapshot {
                 queued,
                 ..SystemSnapshot::default()

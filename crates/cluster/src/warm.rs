@@ -68,6 +68,13 @@ impl WarmCache {
         }
         lru.push(partition);
     }
+
+    /// Drop every resident partition of `shard` — a freshly spawned
+    /// (or long-retired) shard restarts with an empty buffer pool, so
+    /// every partition routed to it is cold until the LRU refills.
+    pub(crate) fn evict_shard(&mut self, shard: usize) {
+        self.resident[shard].clear();
+    }
 }
 
 #[cfg(test)]
@@ -117,5 +124,8 @@ mod tests {
         cache.on_route(0, &mut req(4));
         assert!(cache.is_warm(0, 2));
         assert!(!cache.is_warm(0, 3));
+        cache.evict_shard(0);
+        assert!(!cache.is_warm(0, 2), "eviction empties the shard's pool");
+        assert!(!cache.is_warm(0, 4));
     }
 }

@@ -54,6 +54,11 @@
 //! | [`WlmEvent::ShardSuspected`] | external (cluster failure detector, via its own bus) |
 //! | [`WlmEvent::Hedged`] | external (cluster hedged re-dispatch, via its own bus) |
 //! | [`WlmEvent::PartitionHealed`] | external (cluster partition-heal reconciliation) |
+//! | [`WlmEvent::BackpressureStep`] | admit (adaptive backpressure gate adjustment) |
+//! | [`WlmEvent::RetrySuppressed`] | admit (retry-budget bucket held matured retries) |
+//! | [`WlmEvent::ShardSpawned`] | external (cluster autoscaler: shard provisioned, caches cold) |
+//! | [`WlmEvent::ShardDraining`] | external (cluster autoscaler: shard stopped admitting) |
+//! | [`WlmEvent::ShardRetired`] | external (cluster autoscaler: drain complete, residue rerouted) |
 
 use serde::Serialize;
 use std::cell::RefCell;
@@ -439,6 +444,53 @@ pub enum WlmEvent {
         /// partition.
         cancelled: u64,
     },
+    /// The adaptive admission backpressure gate changed its door setting.
+    BackpressureStep {
+        /// Emission time.
+        at: SimTime,
+        /// Admit fraction before the adjustment.
+        from_fraction: f64,
+        /// Admit fraction after the adjustment.
+        to_fraction: f64,
+        /// The smoothed queue-depth signal that drove the adjustment.
+        queue_ema: f64,
+    },
+    /// The retry-budget token bucket held matured retries back this cycle
+    /// (retry-storm suppression).
+    RetrySuppressed {
+        /// Emission time.
+        at: SimTime,
+        /// Matured retries held parked for lack of tokens.
+        held: usize,
+    },
+    /// The cluster autoscaler provisioned a shard out of the retired pool;
+    /// its caches start cold (every partition routed to it pays the
+    /// cold-working-set penalty until re-warmed).
+    ShardSpawned {
+        /// Emission time.
+        at: SimTime,
+        /// The shard entering service.
+        shard: usize,
+    },
+    /// The cluster autoscaler took a shard out of the routable set; it
+    /// finishes its residue before retiring.
+    ShardDraining {
+        /// Emission time.
+        at: SimTime,
+        /// The shard being drained.
+        shard: usize,
+    },
+    /// A draining shard retired: any residue left at the drain deadline
+    /// was checkpoint-stripped and rerouted through the exactly-once
+    /// finished book.
+    ShardRetired {
+        /// Emission time.
+        at: SimTime,
+        /// The shard that retired.
+        shard: usize,
+        /// Requests rerouted to surviving shards at retirement.
+        rerouted: usize,
+    },
 }
 
 impl WlmEvent {
@@ -475,7 +527,12 @@ impl WlmEvent {
             | WlmEvent::Redelivered { at, .. }
             | WlmEvent::ShardSuspected { at, .. }
             | WlmEvent::Hedged { at, .. }
-            | WlmEvent::PartitionHealed { at, .. } => *at,
+            | WlmEvent::PartitionHealed { at, .. }
+            | WlmEvent::BackpressureStep { at, .. }
+            | WlmEvent::RetrySuppressed { at, .. }
+            | WlmEvent::ShardSpawned { at, .. }
+            | WlmEvent::ShardDraining { at, .. }
+            | WlmEvent::ShardRetired { at, .. } => *at,
         }
     }
 
@@ -514,7 +571,12 @@ impl WlmEvent {
             | WlmEvent::CheckpointTaken { .. }
             | WlmEvent::ControllerRestored { .. }
             | WlmEvent::ShardSuspected { .. }
-            | WlmEvent::PartitionHealed { .. } => None,
+            | WlmEvent::PartitionHealed { .. }
+            | WlmEvent::BackpressureStep { .. }
+            | WlmEvent::RetrySuppressed { .. }
+            | WlmEvent::ShardSpawned { .. }
+            | WlmEvent::ShardDraining { .. }
+            | WlmEvent::ShardRetired { .. } => None,
         }
     }
 
@@ -552,6 +614,11 @@ impl WlmEvent {
             WlmEvent::ShardSuspected { .. } => "shard_suspected",
             WlmEvent::Hedged { .. } => "hedged",
             WlmEvent::PartitionHealed { .. } => "partition_healed",
+            WlmEvent::BackpressureStep { .. } => "backpressure_step",
+            WlmEvent::RetrySuppressed { .. } => "retry_suppressed",
+            WlmEvent::ShardSpawned { .. } => "shard_spawned",
+            WlmEvent::ShardDraining { .. } => "shard_draining",
+            WlmEvent::ShardRetired { .. } => "shard_retired",
         }
     }
 }

@@ -75,6 +75,14 @@ impl WorkloadManager {
         }
         match self.admission.decide(&req, snap) {
             AdmissionDecision::Admit => {
+                if reason == AdmitReason::Fresh {
+                    // Fresh admissions replenish the retry-suppression
+                    // token bucket: the retry rate is capped as a
+                    // fraction of this.
+                    if let Some(layer) = self.resilience.as_mut() {
+                        layer.note_fresh_admission();
+                    }
+                }
                 if let Some(r) = self.restructurer {
                     let pieces = r.restructure(&req);
                     if pieces.len() > 1 {
@@ -143,6 +151,9 @@ impl WorkloadManager {
         // Matured retries re-enter the wait queue ahead of this cycle's
         // admissions (they already passed the gate once).
         self.release_due_retries(cx);
+        // The adaptive backpressure gate re-judges its door from this
+        // cycle's queue depth and goodput gradient.
+        self.observe_backpressure(cx);
         self.admission.observe(&cx.snap);
         let deferred: Vec<ManagedRequest> = self.deferred.drain(..).collect();
         for req in deferred {
@@ -150,6 +161,11 @@ impl WorkloadManager {
         }
         let incoming = std::mem::take(&mut cx.incoming);
         for req in incoming {
+            // Only fresh arrivals face the backpressure gate: deferred
+            // requests and matured retries already passed the door once.
+            if self.backpressure_rejects(&req, cx) {
+                continue;
+            }
             self.admit(req, &mut cx.snap, AdmitReason::Fresh, cx.trace);
         }
     }

@@ -94,12 +94,20 @@ impl WorkloadManager {
     }
 
     /// Move matured retries back into the wait queue, applying the same
-    /// snapshot delta an admission would.
+    /// snapshot delta an admission would. With a retry budget configured,
+    /// releases the token bucket cannot pay for stay parked (retry-storm
+    /// suppression) and the hold is published.
     pub(super) fn release_due_retries(&mut self, cx: &mut CycleContext) {
-        let due = match self.resilience.as_mut() {
+        let (due, held) = match self.resilience.as_mut() {
             Some(layer) => layer.take_due(cx.snap.now),
             None => return,
         };
+        if held > 0 && cx.trace {
+            self.emit(WlmEvent::RetrySuppressed {
+                at: cx.snap.now,
+                held,
+            });
+        }
         for (req, attempt) in due {
             // A request quarantined while its retry was parked (e.g. via a
             // restored checkpoint) does not get back in.
@@ -138,13 +146,72 @@ impl WorkloadManager {
         }
     }
 
-    /// Whether the ladder currently sheds an arrival of this importance.
+    /// Whether the ladder currently sheds an arrival of this importance:
+    /// `Low` from level 1, `Medium`-and-below from the brownout rung when
+    /// one is configured. Classes always shed in importance order.
     pub(super) fn ladder_sheds(&self, importance: Importance) -> bool {
-        importance == Importance::Low
-            && self
-                .resilience
-                .as_ref()
-                .is_some_and(|layer| layer.ladder_level() >= 1)
+        let Some(layer) = self.resilience.as_ref() else {
+            return false;
+        };
+        let level = layer.ladder_level();
+        if importance == Importance::Low && level >= 1 {
+            return true;
+        }
+        importance <= Importance::Medium && layer.brownout_level().is_some_and(|rung| level >= rung)
+    }
+
+    /// Feed the backpressure gate this cycle's queue depth and goodput
+    /// gradient, publishing a [`WlmEvent::BackpressureStep`] when the
+    /// door setting moves.
+    pub(super) fn observe_backpressure(&mut self, cx: &mut CycleContext) {
+        let step = match self.resilience.as_mut() {
+            Some(layer) => {
+                let rising = cx.snap.last_throughput > cx.snap.prev_throughput;
+                layer.backpressure_observe(cx.snap.queued, rising)
+            }
+            None => None,
+        };
+        if let Some((from_fraction, to_fraction)) = step {
+            if cx.trace {
+                let queue_ema = self
+                    .resilience
+                    .as_ref()
+                    .map_or(0.0, |l| l.backpressure_queue_ema());
+                self.emit(WlmEvent::BackpressureStep {
+                    at: cx.snap.now,
+                    from_fraction,
+                    to_fraction,
+                    queue_ema,
+                });
+            }
+        }
+    }
+
+    /// Whether the backpressure gate turns this fresh arrival away at the
+    /// door (counted and published as a rejection).
+    pub(super) fn backpressure_rejects(
+        &mut self,
+        req: &ManagedRequest,
+        cx: &mut CycleContext,
+    ) -> bool {
+        let admitted = match self.resilience.as_mut() {
+            Some(layer) => layer.backpressure_admits(req.request.id),
+            None => true,
+        };
+        if admitted {
+            return false;
+        }
+        self.rejected += 1;
+        self.stats.entry(&req.workload).rejected += 1;
+        if cx.trace {
+            self.emit(WlmEvent::Rejected {
+                at: cx.snap.now,
+                request: req.request.id,
+                workload: req.workload.clone(),
+                reason: "backpressure shed".to_string(),
+            });
+        }
+        true
     }
 
     /// Hold scheduler releases whose workload breaker is open; held

@@ -133,7 +133,16 @@ impl CircuitBreaker {
             }
             BreakerState::Open => None, // stragglers finishing; ignore
             BreakerState::HalfOpen => {
-                self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+                // Only probe outcomes are judged here. A straggler
+                // dispatched before the trip that finishes while we are
+                // half-open with no probe in flight must be ignored: a
+                // straggler failure would otherwise re-trip the breaker
+                // and re-arm the full cooldown a second time, doubling
+                // the recovery debounce for one stale outcome.
+                if self.probes_in_flight == 0 {
+                    return None;
+                }
+                self.probes_in_flight -= 1;
                 if success {
                     self.probe_successes += 1;
                     if self.probe_successes >= cfg.probe_successes.max(1) {
@@ -486,10 +495,48 @@ mod tests {
         // The restored bank continues the probe episode identically.
         bank.record("bi", true, SimTime(2_600_000));
         restored.record("bi", true, SimTime(2_600_000));
+        assert!(bank.allow("bi"), "second probe in flight");
+        assert!(restored.allow("bi"));
         bank.record("bi", true, SimTime(2_700_000));
         restored.record("bi", true, SimTime(2_700_000));
         assert_eq!(bank.state("bi"), BreakerState::Closed);
         assert_eq!(bank.checkpoint(), restored.checkpoint());
+    }
+
+    #[test]
+    fn half_open_straggler_failure_does_not_rearm_cooldown() {
+        let mut bank = BreakerBank::new(Some(cfg()));
+        let t0 = SimTime::ZERO;
+        for _ in 0..4 {
+            bank.record("bi", false, t0);
+        }
+        assert_eq!(bank.state("bi"), BreakerState::Open);
+        let probing = t0 + SimDuration::from_secs_f64(2.5);
+        bank.poll(probing);
+        assert_eq!(bank.state("bi"), BreakerState::HalfOpen);
+        // A straggler dispatched before the trip fails now, with no probe
+        // in flight: it must not re-trip (which would restart the full
+        // cooldown debounce a second time).
+        bank.record("bi", false, probing);
+        assert_eq!(
+            bank.state("bi"),
+            BreakerState::HalfOpen,
+            "straggler outcome is not a probe verdict"
+        );
+        // Straggler successes are equally ignored — they must not close
+        // the breaker without a real probe round trip.
+        bank.record("bi", true, probing);
+        bank.record("bi", true, probing);
+        assert_eq!(bank.state("bi"), BreakerState::HalfOpen);
+        // A genuine probe failure still re-trips exactly once.
+        assert!(bank.allow("bi"));
+        bank.record("bi", false, probing);
+        assert_eq!(bank.state("bi"), BreakerState::Open);
+        assert_eq!(
+            bank.transitions(),
+            3,
+            "closed->open, open->half, half->open"
+        );
     }
 
     #[test]

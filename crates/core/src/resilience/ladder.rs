@@ -12,6 +12,13 @@
 //! | 2     | also throttle running `Medium`-and-below queries |
 //! | 3     | also suspend `Medium`-and-below queries to disk |
 //!
+//! With [`LadderConfig::brownout_medium_at`] set, the rung it names gains
+//! a **brownout** mitigation: incoming `Medium`-and-below arrivals are
+//! shed at the door too, so under deep overload only the most important
+//! class is still admitted. Workload classes are always shed in
+//! importance order — `Low` first (level 1), `Medium` only at the
+//! brownout rung. The default (`None`) keeps the classic ladder.
+//!
 //! "Pressure" is judged by the exec-control stage from breaker state,
 //! recent failure rate, and queue depth; the ladder itself only debounces
 //! that boolean so a single bad cycle never sheds work.
@@ -31,6 +38,10 @@ pub struct LadderConfig {
     pub calm_cycles: u32,
     /// Throttle applied to `Medium`-and-below queries at level >= 2.
     pub throttle_fraction: f64,
+    /// Brownout rung: at this level and above, `Medium`-and-below
+    /// arrivals are shed at the door as well (`None` = brownout off, the
+    /// classic ladder).
+    pub brownout_medium_at: Option<u8>,
 }
 
 impl Default for LadderConfig {
@@ -41,7 +52,18 @@ impl Default for LadderConfig {
             sustain_cycles: 25,
             calm_cycles: 150,
             throttle_fraction: 0.5,
+            brownout_medium_at: None,
         }
+    }
+}
+
+impl LadderConfig {
+    /// Enable the brownout rung at `level` (clamped to the ladder's
+    /// range): `Medium`-and-below arrivals are shed once the ladder
+    /// reaches it.
+    pub fn with_brownout(mut self, level: u8) -> Self {
+        self.brownout_medium_at = Some(level.clamp(1, MAX_LEVEL));
+        self
     }
 }
 

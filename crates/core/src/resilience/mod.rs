@@ -1,8 +1,8 @@
 //! The manager's resilience layer: what keeps SLOs alive while the
 //! infrastructure underneath is failing.
 //!
-//! Three cooperating mechanisms, each independently switchable (so the
-//! ablation experiment can compare stacks):
+//! Five cooperating mechanisms, each independently switchable (so the
+//! ablation experiments can compare stacks):
 //!
 //! * **Retry budgets** ([`retry::RetryPolicy`]) — killed or timed-out
 //!   queries are re-queued after an exponential backoff with deterministic
@@ -14,8 +14,18 @@
 //! * **Degradation ladder** ([`ladder::DegradationLadder`]) — under
 //!   sustained pressure the exec-control stage walks a ladder of
 //!   increasingly drastic measures: shed best-effort arrivals, throttle
-//!   medium-importance queries, suspend them outright — and walks back
-//!   down in reverse as calm returns.
+//!   medium-importance queries, suspend them outright (and, with the
+//!   brownout rung enabled, shed `Medium`-and-below arrivals too) — and
+//!   walks back down in reverse as calm returns.
+//! * **Admission backpressure** ([`backpressure::BackpressureGate`]) —
+//!   a CoDel-style adaptive door that sheds a growing fraction of fresh
+//!   arrivals while the standing queue sits above target and goodput has
+//!   stopped rising, before the queue goes metastable.
+//! * **Retry-storm suppression** ([`RetryBudgetConfig`]) — a token
+//!   bucket that caps the rate matured retries re-enter the queue as a
+//!   fraction of fresh admissions, so a post-surge retry backlog drains
+//!   gradually instead of crowding out new work and re-collapsing
+//!   goodput.
 //!
 //! The layer lives inside the
 //! [`WorkloadManager`](crate::manager::WorkloadManager) (enable with
@@ -24,11 +34,13 @@
 //! variants: `RetryScheduled`, `RetryExhausted`, `BreakerTransition`,
 //! `LadderStep`.
 
+pub mod backpressure;
 pub mod breaker;
 pub mod ladder;
 pub mod quarantine;
 pub mod retry;
 
+pub use backpressure::{BackpressureCheckpoint, BackpressureConfig, BackpressureGate};
 pub use breaker::{
     BreakerBank, BreakerBankCheckpoint, BreakerConfig, BreakerState, CircuitBreaker,
 };
@@ -69,6 +81,32 @@ pub struct ResilienceConfig {
     pub ladder: Option<LadderConfig>,
     /// Runaway-query quarantine configuration (`None` = watchdog off).
     pub quarantine: Option<QuarantineConfig>,
+    /// Adaptive admission backpressure (`None` = gate off).
+    pub backpressure: Option<BackpressureConfig>,
+    /// Retry-storm suppression (`None` = matured retries always release).
+    pub retry_budget: Option<RetryBudgetConfig>,
+}
+
+/// Retry-storm suppression tuning: a token bucket replenished by fresh
+/// admissions and drained by retry releases, capping the cluster-wide
+/// retry rate at a fraction of the fresh-admission rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudgetConfig {
+    /// Tokens added per fresh admission — the steady-state ceiling on
+    /// retries per fresh request.
+    pub max_retry_fraction: f64,
+    /// Token-bucket burst capacity (how many retries may release back to
+    /// back after a quiet stretch).
+    pub burst: f64,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        RetryBudgetConfig {
+            max_retry_fraction: 0.5,
+            burst: 8.0,
+        }
+    }
 }
 
 impl ResilienceConfig {
@@ -115,6 +153,18 @@ impl ResilienceConfig {
         self.quarantine = Some(cfg);
         self
     }
+
+    /// Enable the adaptive admission backpressure gate.
+    pub fn with_backpressure(mut self, cfg: BackpressureConfig) -> Self {
+        self.backpressure = Some(cfg);
+        self
+    }
+
+    /// Enable retry-storm suppression with the given budget.
+    pub fn with_retry_budget(mut self, cfg: RetryBudgetConfig) -> Self {
+        self.retry_budget = Some(cfg);
+        self
+    }
 }
 
 /// A retry waiting out its backoff before re-entering the wait queue.
@@ -146,6 +196,13 @@ pub struct ResilienceReport {
     pub quarantined: usize,
     /// Admissions rejected because the request was quarantined.
     pub quarantine_rejections: u64,
+    /// Retry-release slots denied by the suppression bucket (cumulative
+    /// over hold cycles).
+    pub retries_suppressed: u64,
+    /// The backpressure gate's current admit fraction (1.0 = open or off).
+    pub backpressure_fraction: f64,
+    /// Fresh arrivals shed by the backpressure gate.
+    pub backpressure_sheds: u64,
 }
 
 /// The live resilience state owned by the manager. Constructed from a
@@ -166,6 +223,14 @@ pub struct ResilienceLayer {
     retries_exhausted: u64,
     quarantine_cfg: Option<QuarantineConfig>,
     quarantine: QuarantineList,
+    backpressure: Option<BackpressureGate>,
+    retry_budget: Option<RetryBudgetConfig>,
+    /// Token bucket for retry-storm suppression: fresh admissions add
+    /// `max_retry_fraction`, each retry release consumes 1.0.
+    retry_tokens: f64,
+    /// Retry-release slots denied by the suppression bucket (cumulative
+    /// over hold cycles — one matured retry held for N cycles counts N).
+    retries_suppressed: u64,
 }
 
 impl ResilienceLayer {
@@ -185,6 +250,12 @@ impl ResilienceLayer {
             retries_exhausted: 0,
             quarantine_cfg: cfg.quarantine,
             quarantine: QuarantineList::default(),
+            backpressure: cfg.backpressure.map(BackpressureGate::new),
+            retry_budget: cfg.retry_budget,
+            // Start at burst so early kills (before any fresh admissions
+            // replenish the bucket) can still retry.
+            retry_tokens: cfg.retry_budget.map_or(0.0, |b| b.burst.max(0.0)),
+            retries_suppressed: 0,
         }
     }
 
@@ -239,6 +310,13 @@ impl ResilienceLayer {
         self.ladder.as_ref().map_or(0, |l| l.level())
     }
 
+    /// The ladder's brownout rung, when one is configured.
+    pub(crate) fn brownout_level(&self) -> Option<u8> {
+        self.ladder
+            .as_ref()
+            .and_then(|l| l.config().brownout_medium_at)
+    }
+
     /// Park a request until `due`, when it re-enters the wait queue as
     /// attempt number `attempt`.
     pub(crate) fn push_retry(&mut self, due: SimTime, req: ManagedRequest, attempt: u32) {
@@ -252,19 +330,74 @@ impl ResilienceLayer {
     }
 
     /// Remove and return the retries due at or before `now`, in the order
-    /// they were scheduled.
-    pub(crate) fn take_due(&mut self, now: SimTime) -> Vec<(ManagedRequest, u32)> {
+    /// they were scheduled. With a retry budget configured, releases stop
+    /// once the token bucket runs dry — the remaining matured retries stay
+    /// parked (still due, so they compete again next cycle) and are
+    /// counted in `held`, the second element of the return.
+    pub(crate) fn take_due(&mut self, now: SimTime) -> (Vec<(ManagedRequest, u32)>, usize) {
         let mut due = Vec::new();
+        let mut held = 0usize;
         let mut rest = Vec::with_capacity(self.retry_queue.len());
         for pr in self.retry_queue.drain(..) {
-            if pr.due <= now {
-                due.push((pr.req, pr.attempt));
-            } else {
+            if pr.due > now {
                 rest.push(pr);
+                continue;
             }
+            if self.retry_budget.is_some() && self.retry_tokens < 1.0 {
+                held += 1;
+                rest.push(pr);
+                continue;
+            }
+            if self.retry_budget.is_some() {
+                self.retry_tokens -= 1.0;
+            }
+            due.push((pr.req, pr.attempt));
         }
         self.retry_queue = rest;
-        due
+        self.retries_suppressed += held as u64;
+        (due, held)
+    }
+
+    /// Credit the suppression bucket for one fresh admission.
+    pub(crate) fn note_fresh_admission(&mut self) {
+        if let Some(budget) = self.retry_budget {
+            self.retry_tokens =
+                (self.retry_tokens + budget.max_retry_fraction.max(0.0)).min(budget.burst.max(0.0));
+        }
+    }
+
+    /// Feed the backpressure gate one cycle's queue depth and goodput
+    /// gradient; returns the `(from, to)` admit fractions when the door
+    /// setting changed.
+    pub(crate) fn backpressure_observe(
+        &mut self,
+        queued: usize,
+        goodput_rising: bool,
+    ) -> Option<(f64, f64)> {
+        self.backpressure
+            .as_mut()
+            .and_then(|g| g.observe(queued, goodput_rising))
+    }
+
+    /// Whether the backpressure gate admits this fresh arrival (always
+    /// true with the gate off). The seed makes the verdict deterministic.
+    pub(crate) fn backpressure_admits(&mut self, id: RequestId) -> bool {
+        let seed = self.seed;
+        self.backpressure
+            .as_mut()
+            .is_none_or(|g| g.admits(seed, id))
+    }
+
+    /// The gate's current admit fraction (1.0 when the gate is off).
+    pub fn backpressure_fraction(&self) -> f64 {
+        self.backpressure
+            .as_ref()
+            .map_or(1.0, |g| g.admit_fraction())
+    }
+
+    /// The gate's smoothed queue signal (0.0 when the gate is off).
+    pub(crate) fn backpressure_queue_ema(&self) -> f64 {
+        self.backpressure.as_ref().map_or(0.0, |g| g.queue_ema())
     }
 
     /// Whether the runaway-query watchdog is enabled, and if so its kill
@@ -314,6 +447,9 @@ impl ResilienceLayer {
             breakers: self.breakers.borrow().checkpoint(),
             ladder: self.ladder.as_ref().map(|l| l.checkpoint()),
             quarantine: self.quarantine.clone(),
+            backpressure: self.backpressure.as_ref().map(|g| g.checkpoint()),
+            retry_tokens: self.retry_tokens,
+            retries_suppressed: self.retries_suppressed,
         }
     }
 
@@ -345,6 +481,16 @@ impl ResilienceLayer {
             }
         }
         self.quarantine = ckpt.quarantine.clone();
+        if let Some(gate) = self.backpressure.as_mut() {
+            match ckpt.backpressure.as_ref() {
+                Some(g_ckpt) => gate.restore(g_ckpt),
+                // A checkpoint with no gate state (cold restart) reopens
+                // the door with fresh signal clocks.
+                None => *gate = BackpressureGate::new(*gate.config()),
+            }
+        }
+        self.retry_tokens = ckpt.retry_tokens;
+        self.retries_suppressed = ckpt.retries_suppressed;
     }
 
     /// Snapshot for reports.
@@ -360,6 +506,9 @@ impl ResilienceLayer {
             breaker_transitions: bank.transitions(),
             quarantined: self.quarantine.len(),
             quarantine_rejections: self.quarantine.rejections(),
+            retries_suppressed: self.retries_suppressed,
+            backpressure_fraction: self.backpressure_fraction(),
+            backpressure_sheds: self.backpressure.as_ref().map_or(0, |g| g.sheds()),
         }
     }
 }
@@ -396,6 +545,15 @@ pub struct ResilienceCheckpoint {
     pub ladder: Option<LadderCheckpoint>,
     /// The poison quarantine — deliberately durable across crashes.
     pub quarantine: QuarantineList,
+    /// The admission backpressure gate, when enabled.
+    #[serde(default)]
+    pub backpressure: Option<BackpressureCheckpoint>,
+    /// Retry-suppression token bucket level.
+    #[serde(default)]
+    pub retry_tokens: f64,
+    /// Retry-release slots denied by the suppression bucket so far.
+    #[serde(default)]
+    pub retries_suppressed: u64,
 }
 
 impl std::fmt::Debug for ResilienceLayer {
@@ -498,11 +656,47 @@ mod tests {
         layer.push_retry(SimTime(100), req.clone(), 1);
         layer.push_retry(SimTime(50), req.clone(), 1);
         layer.push_retry(SimTime(500), req, 2);
-        assert_eq!(layer.take_due(SimTime(0)).len(), 0);
-        let due = layer.take_due(SimTime(100));
+        assert_eq!(layer.take_due(SimTime(0)).0.len(), 0);
+        let (due, held) = layer.take_due(SimTime(100));
         assert_eq!(due.len(), 2, "both matured retries release");
+        assert_eq!(held, 0, "no suppression without a retry budget");
         assert_eq!(layer.report().pending_retries, 1);
         assert_eq!(layer.report().retries_scheduled, 3);
+    }
+
+    #[test]
+    fn retry_budget_caps_releases_as_a_fraction_of_fresh_admissions() {
+        let mut layer = ResilienceLayer::new(ResilienceConfig::new(1).with_retry_budget(
+            RetryBudgetConfig {
+                max_retry_fraction: 0.5,
+                burst: 2.0,
+            },
+        ));
+        let req = crate::testutil::managed("w", 1, Importance::Medium);
+        for _ in 0..6 {
+            layer.push_retry(SimTime(10), req.clone(), 1);
+        }
+        // The bucket starts at burst: exactly two release, four are held.
+        let (due, held) = layer.take_due(SimTime(10));
+        assert_eq!(due.len(), 2);
+        assert_eq!(held, 4);
+        // Dry bucket: nothing releases until fresh admissions replenish.
+        let (due, held) = layer.take_due(SimTime(10));
+        assert_eq!(due.len(), 0);
+        assert_eq!(held, 4);
+        // Two fresh admissions buy one retry slot (fraction 0.5).
+        layer.note_fresh_admission();
+        layer.note_fresh_admission();
+        let (due, held) = layer.take_due(SimTime(10));
+        assert_eq!(due.len(), 1);
+        assert_eq!(held, 3);
+        assert_eq!(
+            layer.report().retries_suppressed,
+            11,
+            "4 + 4 + 3 hold slots"
+        );
+        // The held retries are still parked, not dropped.
+        assert_eq!(layer.report().pending_retries, 3);
     }
 
     #[test]
@@ -511,8 +705,12 @@ mod tests {
             .with_retry(RetryPolicy::default())
             .with_breaker(BreakerConfig::default())
             .with_ladder(LadderConfig::default())
-            .with_quarantine(QuarantineConfig { kill_threshold: 2 });
+            .with_quarantine(QuarantineConfig { kill_threshold: 2 })
+            .with_backpressure(BackpressureConfig::default())
+            .with_retry_budget(RetryBudgetConfig::default());
         let mut layer = ResilienceLayer::new(cfg.clone());
+        layer.backpressure_observe(100, false);
+        layer.note_fresh_admission();
         let req = crate::testutil::managed("w", 1, Importance::Medium);
         layer.push_retry(SimTime(400), req.clone(), 2);
         layer.note_exhausted();
@@ -532,7 +730,7 @@ mod tests {
         assert_eq!(restored.checkpoint(), ckpt, "round trip is lossless");
         assert!(restored.is_quarantined(RequestId(5)));
         assert_eq!(restored.report().quarantine_rejections, 1);
-        assert_eq!(restored.take_due(SimTime(400)).len(), 1, "retry survived");
+        assert_eq!(restored.take_due(SimTime(400)).0.len(), 1, "retry survived");
         // And the checkpoint itself survives serde.
         let bytes = serde_json::to_vec(&ckpt).expect("serializes");
         let back: ResilienceCheckpoint = serde_json::from_slice(&bytes).expect("deserializes");

@@ -788,6 +788,45 @@ impl SurgeHandle {
     }
 }
 
+/// A deterministic trapezoid amplification schedule for a
+/// [`SurgeSource`]: flat at `1.0` until `start_secs`, linear ramp to
+/// `peak` over `ramp_secs`, hold for `hold_secs`, linear decay back to
+/// `1.0` over `decay_secs`. The realistic shape of a flash crowd — a
+/// step function overstates the onset, and the autoscaler's hysteresis
+/// is tuned against exactly this kind of gradual build-up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurgeRamp {
+    /// When the ramp leaves the baseline, simulated seconds.
+    pub start_secs: f64,
+    /// Seconds spent climbing from `1.0` to `peak`.
+    pub ramp_secs: f64,
+    /// Seconds held at `peak`.
+    pub hold_secs: f64,
+    /// Seconds spent decaying back to `1.0`.
+    pub decay_secs: f64,
+    /// Amplification at the top of the trapezoid (clamped to `>= 1.0`).
+    pub peak: f64,
+}
+
+impl SurgeRamp {
+    /// The schedule's amplification factor at `t_secs` of simulated time.
+    pub fn factor_at(&self, t_secs: f64) -> f64 {
+        let peak = self.peak.max(1.0);
+        let ramp_end = self.start_secs + self.ramp_secs.max(0.0);
+        let hold_end = ramp_end + self.hold_secs.max(0.0);
+        let decay_end = hold_end + self.decay_secs.max(0.0);
+        if t_secs < self.start_secs || t_secs >= decay_end {
+            1.0
+        } else if t_secs < ramp_end {
+            1.0 + (peak - 1.0) * (t_secs - self.start_secs) / self.ramp_secs.max(f64::EPSILON)
+        } else if t_secs < hold_end {
+            peak
+        } else {
+            peak - (peak - 1.0) * (t_secs - hold_end) / self.decay_secs.max(f64::EPSILON)
+        }
+    }
+}
+
 /// A flash-crowd wrapper: replays its inner source and, while the surge
 /// factor is above `1.0`, clones each arrival `factor − 1` times (the
 /// fractional part as a seeded Bernoulli draw) with fresh request ids and
@@ -797,6 +836,7 @@ pub struct SurgeSource {
     inner: Box<dyn Source>,
     rng: SmallRng,
     factor: std::rc::Rc<std::cell::RefCell<f64>>,
+    ramp: Option<SurgeRamp>,
     counter: u64,
 }
 
@@ -810,17 +850,29 @@ impl SurgeSource {
                 inner,
                 rng: SmallRng::seed_from_u64(seed),
                 factor,
+                ramp: None,
                 counter: 0,
             },
             handle,
         )
+    }
+
+    /// Drive the surge on a fixed trapezoid schedule. The schedule
+    /// *multiplies* whatever the handle holds, so a chaos driver can
+    /// still stack an extra step on top of the ramp.
+    pub fn with_ramp(mut self, ramp: SurgeRamp) -> Self {
+        self.ramp = Some(ramp);
+        self
     }
 }
 
 impl Source for SurgeSource {
     fn poll(&mut self, from: SimTime, to: SimTime) -> Vec<Request> {
         let base = self.inner.poll(from, to);
-        let factor = *self.factor.borrow();
+        let mut factor = *self.factor.borrow();
+        if let Some(ramp) = &self.ramp {
+            factor *= ramp.factor_at(from.as_secs_f64());
+        }
         if factor <= 1.0 || base.is_empty() {
             return base;
         }
@@ -861,6 +913,37 @@ mod tests {
 
     fn window(secs: u64) -> (SimTime, SimTime) {
         (SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(secs))
+    }
+
+    #[test]
+    fn surge_ramp_follows_the_trapezoid() {
+        let ramp = SurgeRamp {
+            start_secs: 10.0,
+            ramp_secs: 4.0,
+            hold_secs: 6.0,
+            decay_secs: 4.0,
+            peak: 3.0,
+        };
+        assert_eq!(ramp.factor_at(0.0), 1.0, "baseline before the start");
+        assert_eq!(ramp.factor_at(12.0), 2.0, "halfway up the ramp");
+        assert_eq!(ramp.factor_at(14.0), 3.0, "peak reached");
+        assert_eq!(ramp.factor_at(19.0), 3.0, "held at peak");
+        assert_eq!(ramp.factor_at(22.0), 2.0, "halfway down the decay");
+        assert_eq!(ramp.factor_at(24.0), 1.0, "back to baseline");
+        assert_eq!(ramp.factor_at(100.0), 1.0);
+
+        // Wired into the source, amplification tracks the schedule.
+        let (surged, handle) = SurgeSource::new(Box::new(OltpSource::new(30.0, 5)), 9);
+        let mut surged = surged.with_ramp(ramp);
+        let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
+        let calm = surged.poll(t(0), t(5)).len();
+        surged.poll(t(5), t(14)); // advance through the ramp
+        let hot = surged.poll(t(14), t(19)).len();
+        assert!(
+            hot as f64 > 2.0 * calm as f64,
+            "peak window must amplify ~3x: calm={calm} hot={hot}"
+        );
+        assert_eq!(handle.factor(), 1.0, "the handle itself was never moved");
     }
 
     #[test]

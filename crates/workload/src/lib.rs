@@ -27,7 +27,7 @@ pub mod trace;
 pub use catalog_workloads::CatalogSource;
 pub use generators::{
     AdHocSource, BatchReportSource, BiSource, BurstySource, ClosedLoopOltpSource, OltpSource,
-    PoisonSource, Source, SurgeHandle, SurgeSource, UniformSource, UtilitySource,
+    PoisonSource, Source, SurgeHandle, SurgeRamp, SurgeSource, UniformSource, UtilitySource,
 };
 pub use mix::MixedSource;
 pub use request::{Importance, Origin, Request, RequestId};

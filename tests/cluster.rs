@@ -3,7 +3,7 @@
 //! neither loses nor duplicates admitted work.
 
 use proptest::prelude::*;
-use wlm::cluster::{ClusterBuilder, FailoverPolicy, RoutingPolicy};
+use wlm::cluster::{ClusterBuilder, ElasticConfig, FailoverPolicy, RoutingPolicy};
 use wlm::core::api::WlmBuilder;
 use wlm::dbsim::engine::EngineConfig;
 use wlm::dbsim::optimizer::CostModel;
@@ -139,6 +139,55 @@ fn shard_kill_neither_loses_nor_duplicates_work() {
     }
 }
 
+/// A deliberately churny autoscaler: short debounces and a raised
+/// scale-down threshold, so a hot-then-quiet load spins shards up and
+/// drains them again inside a short test run — drain-then-retire fires
+/// while residue is still queued, exercising the reroute path.
+fn churny_elastic() -> ElasticConfig {
+    ElasticConfig {
+        min_shards: 1,
+        ema_alpha: 0.3,
+        scale_up_pressure: 0.8,
+        scale_down_pressure: 0.5,
+        sustain_ticks: 10,
+        calm_ticks: 20,
+        warmup_secs: 0.3,
+        drain_grace_secs: 0.5,
+        queue_target: 8.0,
+    }
+}
+
+#[test]
+fn elastic_spin_down_neither_loses_nor_duplicates_work() {
+    let mut cluster = ClusterBuilder::new()
+        .shards(4)
+        .routing(RoutingPolicy::LeastOutstandingCost)
+        .shard_builder(Box::new(shard_builder))
+        .elastic(churny_elastic())
+        .build()
+        .expect("valid configuration");
+    // Hot phase overloads the 1-shard floor so the pool spins up...
+    let mut src = CountingSource::new(120.0, 0x17a, 16);
+    cluster.run(&mut src, SimDuration::from_secs(8));
+    // ...then a quiet drain lets the autoscaler retire the surge capacity
+    // (rerouting whatever the drained shards still held) and every
+    // admitted request finish somewhere.
+    let mut quiet = MixedSource::new();
+    let report = cluster.run(&mut quiet, SimDuration::from_secs(20));
+    assert!(report.scale_ups > 0, "hot phase must spin shards up");
+    assert!(report.scale_downs > 0, "quiet phase must drain them again");
+    let accounted = report.completed + report.killed + report.rejected + report.shed;
+    assert_eq!(
+        accounted, src.handed_out,
+        "every admitted request must surface exactly once across spin-down \
+         (completed {} killed {} rejected {} shed {}, handed out {})",
+        report.completed, report.killed, report.rejected, report.shed, src.handed_out
+    );
+    assert!(report.completed > 0);
+    let per_shard: u64 = report.shards.iter().map(|s| s.completed).sum();
+    assert_eq!(per_shard, report.completed);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -166,6 +215,35 @@ proptest! {
         cluster.run(&mut src, SimDuration::from_secs(6));
         let mut quiet = MixedSource::new();
         let report = cluster.run(&mut quiet, SimDuration::from_secs(10));
+        let accounted = report.completed + report.killed + report.rejected + report.shed;
+        prop_assert_eq!(accounted, src.handed_out);
+        let per_shard: u64 = report.shards.iter().map(|s| s.completed).sum();
+        prop_assert_eq!(per_shard, report.completed);
+    }
+
+    /// The same exactly-once identity with the elastic lifecycle in the
+    /// loop: whatever the seed, pool size and hot-phase rate, spinning
+    /// shards up and drain-retiring them again neither loses an admitted
+    /// request nor counts one twice.
+    #[test]
+    fn elastic_cluster_conserves_work_across_spin_down(
+        seed in 0u64..1_000,
+        pool in 2usize..=4,
+        rate in 60.0f64..120.0,
+    ) {
+        let mut cluster = ClusterBuilder::new()
+            .shards(pool)
+            .routing(RoutingPolicy::LeastOutstandingCost)
+            .shard_builder(Box::new(shard_builder))
+            .elastic(churny_elastic())
+            .build()
+            .expect("valid configuration");
+        let mut src = CountingSource::new(rate, seed, 8);
+        cluster.run(&mut src, SimDuration::from_secs(6));
+        let mut quiet = MixedSource::new();
+        let report = cluster.run(&mut quiet, SimDuration::from_secs(15));
+        prop_assert!(report.scale_ups > 0, "the hot phase must overload the floor");
+        prop_assert!(report.scale_downs > 0, "the quiet tail must drain the pool");
         let accounted = report.completed + report.killed + report.rejected + report.shed;
         prop_assert_eq!(accounted, src.handed_out);
         let per_shard: u64 = report.shards.iter().map(|s| s.completed).sum();

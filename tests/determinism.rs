@@ -251,6 +251,85 @@ fn link_faulted_cluster_runs_are_byte_identical_per_seed() {
     );
 }
 
+/// An autoscaled cluster riding a flash-crowd trapezoid, with per-shard
+/// resilience (timeouts + retries) in the loop: shards spawn, warm, drain
+/// and retire mid-run, and retirement strips and reroutes residue —
+/// parked retries included — through the exactly-once finished book.
+/// Returns the serialized report, every shard checkpoint, and the scale
+/// counters.
+fn elastic_surge_cluster(seed: u64) -> (String, Vec<Vec<u8>>, u64, u64) {
+    use wlm::cluster::{ClusterBuilder, ElasticConfig, RoutingPolicy};
+    use wlm::core::resilience::{ResilienceConfig, RetryPolicy};
+    use wlm::workload::generators::{SurgeRamp, SurgeSource};
+
+    let mut cluster = ClusterBuilder::new()
+        .shards(4)
+        .routing(RoutingPolicy::LeastOutstandingCost)
+        .shard_builder(Box::new(move |_| {
+            WlmBuilder::new()
+                .engine(EngineConfig {
+                    cores: 2,
+                    disk_pages_per_sec: 10_000,
+                    memory_mb: 1_024,
+                    ..Default::default()
+                })
+                .cost_model(CostModel::oracle())
+                .resilience(
+                    ResilienceConfig::new(seed)
+                        .with_timeout("oltp", 2.0)
+                        .with_retry(RetryPolicy::default()),
+                )
+        }))
+        .elastic(ElasticConfig {
+            min_shards: 1,
+            sustain_ticks: 10,
+            calm_ticks: 50,
+            warmup_secs: 0.5,
+            drain_grace_secs: 1.0,
+            scale_down_pressure: 0.5,
+            ..Default::default()
+        })
+        .build()
+        .expect("valid configuration");
+    let inner = OltpSource::new(25.0, seed).with_partitions(8);
+    let (src, _handle) = SurgeSource::new(Box::new(inner), seed ^ 0xe1a);
+    let mut src = src.with_ramp(SurgeRamp {
+        start_secs: 2.0,
+        ramp_secs: 1.0,
+        hold_secs: 4.0,
+        decay_secs: 1.0,
+        peak: 5.0,
+    });
+    let report = cluster.run(&mut src, SimDuration::from_secs(16));
+    let bytes = cluster.checkpoints().iter().map(|c| c.to_bytes()).collect();
+    (
+        serde_json::to_string(&report).expect("report serializes"),
+        bytes,
+        report.scale_ups,
+        report.scale_downs,
+    )
+}
+
+#[test]
+fn autoscaled_cluster_runs_are_byte_identical_per_seed() {
+    // The elastic tentpole's determinism guarantee: the pressure EMA, the
+    // hysteresis streaks, every spawn/warm/drain/retire transition and
+    // every retirement reroute replay bit-for-bit under the same seed.
+    let (report_a, bytes_a, ups_a, downs_a) = elastic_surge_cluster(42);
+    let (report_b, bytes_b, ups_b, downs_b) = elastic_surge_cluster(42);
+    assert!(ups_a > 0, "the surge must spin shards up");
+    assert!(downs_a > 0, "the calm tail must drain them again");
+    assert_eq!((ups_a, downs_a), (ups_b, downs_b));
+    assert_eq!(
+        report_a, report_b,
+        "same seed must give a byte-identical cluster report"
+    );
+    assert_eq!(
+        bytes_a, bytes_b,
+        "same seed must give byte-identical shard checkpoints"
+    );
+}
+
 #[test]
 fn experiments_are_reproducible() {
     // Spot-check a full experiment: two runs of E5 agree exactly.

@@ -5,12 +5,14 @@ use proptest::prelude::*;
 use wlm::chaos::{run_with_chaos, ChaosDriver, FaultPlanBuilder};
 use wlm::core::api::WlmBuilder;
 use wlm::core::policy::WorkloadPolicy;
-use wlm::core::resilience::{BreakerConfig, LadderConfig, ResilienceConfig, RetryPolicy};
+use wlm::core::resilience::{
+    BreakerBank, BreakerConfig, BreakerState, LadderConfig, ResilienceConfig, RetryPolicy,
+};
 use wlm::core::scheduling::PriorityScheduler;
 use wlm::dbsim::engine::{CompletionKind, DbEngine, EngineConfig, EngineFault};
 use wlm::dbsim::plan::PlanBuilder;
 use wlm::dbsim::suspend::SuspendStrategy;
-use wlm::dbsim::time::SimDuration;
+use wlm::dbsim::time::{SimDuration, SimTime};
 use wlm::workload::generators::OltpSource;
 use wlm::workload::request::Importance;
 use wlm::workload::sla::ServiceLevelAgreement;
@@ -146,4 +148,48 @@ fn resilience_stack_engages_under_faults() {
         "the oltp breaker must trip under the fault"
     );
     assert_eq!(res.pending_retries, 0, "no retries stranded after recovery");
+}
+
+/// Regression: a straggler outcome landing while a breaker is half-open
+/// with no probe in flight must not count as a probe verdict. Before the
+/// fix, a failure from a query dispatched *before* the trip re-tripped
+/// the half-open breaker and re-armed the full cooldown — one stale
+/// outcome doubled the recovery debounce and kept the workload dark for
+/// a second cooldown its real probes would have ended.
+#[test]
+fn half_open_straggler_does_not_double_the_recovery_debounce() {
+    let cfg = BreakerConfig {
+        window: 8,
+        failure_threshold: 0.5,
+        min_outcomes: 4,
+        cooldown_secs: 2.0,
+        probe_quota: 2,
+        probe_successes: 2,
+    };
+    let mut bank = BreakerBank::new(Some(cfg));
+    for _ in 0..4 {
+        bank.record("oltp", false, SimTime::ZERO);
+    }
+    assert_eq!(bank.state("oltp"), BreakerState::Open);
+    // The cooldown elapses and the breaker half-opens...
+    let probing = SimTime(2_500_000);
+    bank.poll(probing);
+    assert_eq!(bank.state("oltp"), BreakerState::HalfOpen);
+    // ...and a straggler dispatched before the trip fails right then,
+    // before any probe has been allowed out.
+    bank.record("oltp", false, probing);
+    assert_eq!(
+        bank.state("oltp"),
+        BreakerState::HalfOpen,
+        "a straggler outcome is not a probe verdict"
+    );
+    // The genuine probes go out and succeed: the breaker closes on the
+    // original schedule instead of a full cooldown later.
+    assert!(bank.allow("oltp"), "probe quota untouched by the straggler");
+    bank.record("oltp", true, SimTime(2_600_000));
+    assert!(bank.allow("oltp"));
+    bank.record("oltp", true, SimTime(2_700_000));
+    assert_eq!(bank.state("oltp"), BreakerState::Closed);
+    // Exactly one trip, one half-open, one close.
+    assert_eq!(bank.transitions(), 3);
 }
