@@ -13,6 +13,8 @@
 //!                              # E18 crash cycle and checkpoint cadence
 //!   experiments --severity 40 e22
 //!                              # E22 single gray-severity override
+//!   experiments --budget 12 e27
+//!                              # E27 fault-space sweep schedule budget
 //!
 //! Experiments are independent, so they run on a pool of worker threads;
 //! output is printed in submission order regardless of completion order, so
@@ -126,6 +128,7 @@ fn main() {
     let mut crash_at: Option<u64> = None;
     let mut checkpoint_every: Option<u64> = None;
     let mut severity: Option<f64> = None;
+    let mut budget: Option<usize> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -159,6 +162,10 @@ fn main() {
             "--severity" => severity = args.next().and_then(|v| v.parse().ok()),
             other if other.starts_with("--severity=") => {
                 severity = other["--severity=".len()..].parse().ok();
+            }
+            "--budget" => budget = args.next().and_then(|v| v.parse().ok()),
+            other if other.starts_with("--budget=") => {
+                budget = other["--budget=".len()..].parse().ok();
             }
             other => selected.push(other.to_string()),
         }
@@ -267,6 +274,21 @@ fn main() {
     seeded_job!("e23", exp::e23_partition_heal);
     seeded_job!("e24", exp::e24_elastic_flash_crowd);
     seeded_job!("e25", exp::e25_retry_storm);
+    seeded_job!("e26", exp::e26_corrupted_checkpoint);
+
+    // E27 also takes the schedule-budget flag.
+    if want("e27") {
+        jobs.push(Job {
+            id: "e27",
+            run: Box::new(move || {
+                let result = exp::e27_fault_sweep(seed, budget);
+                (
+                    serde_json::to_value(&result).expect("serializable"),
+                    result.render(),
+                )
+            }),
+        });
+    }
 
     job!("a1", exp::a1_restructure_pieces);
     job!("a2", exp::a2_checkpoint_interval);
@@ -278,6 +300,7 @@ fn main() {
         crash_at,
         checkpoint_every,
         severity,
+        budget,
     };
     let workers = workers
         .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())

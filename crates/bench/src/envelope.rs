@@ -27,6 +27,9 @@ pub struct Flags {
     /// `--severity F`: E22's single gray-severity override (`null` =
     /// the experiment's built-in severity sweep).
     pub severity: Option<f64>,
+    /// `--budget N`: E27's schedule budget (`null` = the explorer's
+    /// default, which admits the whole grid).
+    pub budget: Option<usize>,
 }
 
 /// One experiment's machine-readable output: exactly one JSON line under
@@ -68,7 +71,7 @@ mod tests {
         };
         assert_eq!(
             env.to_json_line(),
-            r#"{"experiment":"e20","seed":24301,"flags":{"trace":false,"jobs":null,"crash_at":null,"checkpoint_every":null,"severity":null},"results":{"rows":[]}}"#
+            r#"{"experiment":"e20","seed":24301,"flags":{"trace":false,"jobs":null,"crash_at":null,"checkpoint_every":null,"severity":null,"budget":null},"results":{"rows":[]}}"#
         );
 
         let env = Envelope {
@@ -80,12 +83,13 @@ mod tests {
                 crash_at: Some(1_600),
                 checkpoint_every: Some(250),
                 severity: Some(40.0),
+                budget: Some(12),
             },
             results: serde_json::Value::Null,
         };
         assert_eq!(
             env.to_json_line(),
-            r#"{"experiment":"e18","seed":7,"flags":{"trace":true,"jobs":4,"crash_at":1600,"checkpoint_every":250,"severity":40.0},"results":null}"#
+            r#"{"experiment":"e18","seed":7,"flags":{"trace":true,"jobs":4,"crash_at":1600,"checkpoint_every":250,"severity":40.0,"budget":12},"results":null}"#
         );
     }
 

@@ -197,7 +197,7 @@ fn run_crash_variant(
             // crash cycle; when the crash cycle is itself on the cadence,
             // the checkpoint taken right before the crash is the boundary
             // state itself.
-            let state = if crash_at % every == 0 {
+            let state = if crash_at.is_multiple_of(every) {
                 mgr.checkpoint()
             } else {
                 driver

@@ -1,0 +1,623 @@
+//! E26/E27 — checkpoint durability and the fault-space sweep.
+//!
+//! E26 measures what the checksummed, generation-chained checkpoint
+//! envelope buys when the checkpoint *medium* — not just the controller
+//! — fails. The same faulted scenario runs three ways: uninterrupted;
+//! with a cadence checkpoint truncated at rest and a crash shortly
+//! after, recovered through the envelope store (verification rejects
+//! the damaged generation and falls back one cadence point); and the
+//! blind ablation (raw bytes, no envelope), where the same damage makes
+//! the newest checkpoint unusable and the controller restarts cold.
+//! The pinned claims: the fallback restore's post-crash SLA violations
+//! stay within a fixed bound of the uninterrupted run's, and the blind
+//! arm fails verification (its recovery re-adopts nothing).
+//!
+//! E27 turns the hand-picked fault schedules of E16–E25 into a budgeted
+//! sweep. The [`wlm_chaos::explore`] enumerator walks a grid of
+//! controller crash points × a second-shard kill × link-degradation
+//! windows × a torn checkpoint write; each schedule drives a canonical
+//! two-shard cluster run, and four invariants are machine-checked on
+//! every outcome (exactly-once, work conservation, bounded recovery, no
+//! stuck requests). The pinned claims: the sweep reports **zero**
+//! violations across the grid, and a known-bad synthetic schedule —
+//! at-rest corruption of a crash-time strip image, which *loses queued
+//! work by design* — is caught by the conservation invariant and shrunk
+//! to its two-fault core.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use wlm_chaos::{
+    explore, run_with_chaos, shrink, ChaosDriver, ExploreConfig, FaultPlanBuilder, NetFault,
+    RunOutcome, Schedule, ScheduleFault, Verdict,
+};
+use wlm_cluster::{Cluster, ClusterBuilder, LinkConfig, RoutingPolicy};
+use wlm_core::api::WlmBuilder;
+use wlm_core::events::RingRecorder;
+use wlm_core::manager::store::{CorruptionKind, StoreConfig};
+use wlm_core::manager::{RecoveryReport, WorkloadManager};
+use wlm_core::policy::WorkloadPolicy;
+use wlm_core::scheduling::PriorityScheduler;
+use wlm_dbsim::engine::EngineConfig;
+use wlm_dbsim::optimizer::CostModel;
+use wlm_dbsim::time::{SimDuration, SimTime};
+use wlm_workload::generators::{BiSource, OltpSource, Source};
+use wlm_workload::mix::MixedSource;
+use wlm_workload::request::{Importance, Request, RequestId};
+use wlm_workload::sla::ServiceLevelAgreement;
+
+/// E26 run length, seconds.
+const E26_RUN_SECS: u64 = 45;
+/// E26 checkpoint cadence, control cycles.
+const E26_CHECKPOINT_EVERY: u64 = 250;
+/// E26 corruption cycle: lands exactly on a cadence point, so the
+/// generation written there is the one damaged at rest.
+const E26_CORRUPT_AT: u64 = 1_500;
+/// E26 crash cycle: one drift window after the damaged save.
+const E26_CRASH_AT: u64 = 1_600;
+/// The E26 pinned bound: post-crash SLA violations of the fallback
+/// restore may exceed the uninterrupted run's by at most this many.
+pub const E26_VIOLATION_BOUND: u64 = 60;
+
+/// One recovery arm's outcome under the shared corruption + crash.
+#[derive(Debug, Clone, Serialize)]
+pub struct E26Variant {
+    /// Arm name (`uninterrupted`, `envelope-fallback`, `blind-restore`).
+    pub variant: &'static str,
+    /// Goal misses + kills + rejections of the SLA-bearing workloads
+    /// over the whole run.
+    pub sla_violations: u64,
+    /// Completions on the final books.
+    pub completed: u64,
+    /// What recovery did (absent for the uninterrupted baseline).
+    pub recovery: Option<RecoveryReport>,
+    /// `checkpoint_rejected` events the restore emitted.
+    pub checkpoint_rejected: u64,
+    /// `checkpoint_fallback` events the restore emitted.
+    pub checkpoint_fallback: u64,
+    /// Restores where no generation verified and the controller
+    /// restarted cold.
+    pub cold_restarts: u64,
+    /// Checkpoint generations held by the store at end of run.
+    pub generations: usize,
+}
+
+/// Result of E26.
+#[derive(Debug, Clone, Serialize)]
+pub struct E26Result {
+    /// The seed behind the arrival streams.
+    pub seed: u64,
+    /// Cycle whose cadence checkpoint is damaged at rest.
+    pub corrupt_at_cycle: u64,
+    /// Cycle the controller crash lands on.
+    pub crash_at_cycle: u64,
+    /// Checkpoint cadence, cycles.
+    pub checkpoint_every: u64,
+    /// The pinned violation bound of the fallback arm.
+    pub violation_bound: u64,
+    /// Recovery arms, baseline first.
+    pub variants: Vec<E26Variant>,
+}
+
+fn e26_manager() -> WorkloadManager {
+    WlmBuilder::new()
+        .engine(EngineConfig {
+            cores: 4,
+            disk_pages_per_sec: 20_000,
+            memory_mb: 4_096,
+            ..Default::default()
+        })
+        .cost_model(CostModel::oracle())
+        .policies(vec![
+            WorkloadPolicy::new("oltp", Importance::High)
+                .with_sla(ServiceLevelAgreement::percentile(95.0, 12.0)),
+            WorkloadPolicy::new("bi", Importance::Medium)
+                .with_sla(ServiceLevelAgreement::avg_response(60.0)),
+        ])
+        .build()
+        .expect("valid configuration")
+}
+
+fn e26_mix(seed: u64) -> MixedSource {
+    MixedSource::new()
+        .with(Box::new(OltpSource::new(25.0, seed)))
+        .with(Box::new(BiSource::new(1.0, seed + 1)))
+}
+
+/// Goal misses + kills + rejections across the SLA-bearing workloads.
+fn e26_sla_violations(mgr: &WorkloadManager) -> u64 {
+    let report = mgr.report();
+    let mut total = 0;
+    for name in ["oltp", "bi"] {
+        total += mgr.goal_violations_in(name);
+        if let Some(w) = report.workload(name) {
+            total += w.stats.killed + w.stats.rejected;
+        }
+    }
+    total
+}
+
+fn e26_arm(variant: &'static str, seed: u64, crash: bool, envelope: bool) -> E26Variant {
+    let mut mgr = e26_manager();
+    let trace = RingRecorder::new(1 << 14);
+    mgr.subscribe(Box::new(trace.clone()));
+    let mut src = e26_mix(seed);
+    let mut builder = FaultPlanBuilder::new(seed);
+    if crash {
+        builder = builder
+            .corrupt_checkpoint(E26_CORRUPT_AT, CorruptionKind::Truncate)
+            .controller_crash(E26_CRASH_AT);
+    }
+    let mut driver = ChaosDriver::new(builder.build())
+        .with_checkpoint_every(E26_CHECKPOINT_EVERY)
+        .with_store(StoreConfig {
+            envelope,
+            ..StoreConfig::default()
+        });
+    run_with_chaos(
+        &mut mgr,
+        &mut src,
+        SimDuration::from_secs(E26_RUN_SECS),
+        &mut driver,
+    );
+    let events = trace.events();
+    let count = |kind: &str| events.iter().filter(|e| e.kind() == kind).count() as u64;
+    E26Variant {
+        variant,
+        sla_violations: e26_sla_violations(&mgr),
+        completed: mgr.report().completed,
+        recovery: driver.last_recovery(),
+        checkpoint_rejected: count("checkpoint_rejected"),
+        checkpoint_fallback: count("checkpoint_fallback"),
+        cold_restarts: driver.cold_restarts(),
+        generations: driver.store().map_or(0, |s| s.generations()),
+    }
+}
+
+/// Run E26: damage the cadence checkpoint at rest, crash the controller,
+/// and compare envelope-verified fallback against the blind ablation and
+/// the uninterrupted baseline.
+pub fn e26_corrupted_checkpoint(seed: u64) -> E26Result {
+    E26Result {
+        seed,
+        corrupt_at_cycle: E26_CORRUPT_AT,
+        crash_at_cycle: E26_CRASH_AT,
+        checkpoint_every: E26_CHECKPOINT_EVERY,
+        violation_bound: E26_VIOLATION_BOUND,
+        variants: vec![
+            e26_arm("uninterrupted", seed, false, true),
+            e26_arm("envelope-fallback", seed, true, true),
+            e26_arm("blind-restore", seed, true, false),
+        ],
+    }
+}
+
+impl E26Result {
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "E26 — checkpoint truncated at cycle {}, crash at cycle {} (cadence {}, seed {})\n  arm                  sla viol.   completed   rejected/fallback   cold   readopt/requeue/orphans\n",
+            self.corrupt_at_cycle, self.crash_at_cycle, self.checkpoint_every, self.seed
+        );
+        for v in &self.variants {
+            let rec = v.recovery.map_or("-".to_string(), |r| {
+                format!("{}/{}/{}", r.readopted, r.requeued, r.orphans_killed)
+            });
+            out.push_str(&format!(
+                "  {:<18}   {:>9}   {:>9}   {:>17}   {:>4}   {}\n",
+                v.variant,
+                v.sla_violations,
+                v.completed,
+                format!("{}/{}", v.checkpoint_rejected, v.checkpoint_fallback),
+                v.cold_restarts,
+                rec
+            ));
+        }
+        out.push_str(
+            "  the envelope rejects the damaged generation and falls back one cadence\n  point; the blind store restores nothing and restarts cold\n",
+        );
+        out
+    }
+}
+
+/// E27 run length, seconds: arrivals stop at the cutoff so every
+/// surviving request can drain before the deadline.
+const E27_RUN_SECS: u64 = 10;
+/// E27 arrival cutoff, seconds (every scheduled fault window closes by
+/// 4 s as well).
+const E27_CUTOFF_SECS: u64 = 4;
+/// E27 canonical OLTP arrival rate, queries/second.
+const E27_OLTP_RATE: f64 = 2_000.0;
+/// E27 canonical BI arrival rate, queries/second. Sub-millisecond OLTP
+/// alone leaves the controllers empty at any crash instant; ~300k-row
+/// scans (tens of milliseconds each) keep a standing running set and
+/// wait queue resident, so every crash point finds controller-held
+/// work — the work an unverified strip image silently loses. The rate
+/// is sized so that even when Reroute failover concentrates the whole
+/// sweep's scans on the one surviving shard, their aggregate disk
+/// demand still drains inside the post-cutoff window.
+const E27_BI_RATE: f64 = 12.0;
+
+/// Result of E27.
+#[derive(Debug, Clone, Serialize)]
+pub struct E27Result {
+    /// The base seed of the sweep.
+    pub seed: u64,
+    /// Schedules the budget admitted (all of them ran).
+    pub schedules_run: usize,
+    /// Size of the full grid before the budget cut.
+    pub grid_size: usize,
+    /// Total invariant violations across the sweep — the pinned zero.
+    pub violations: usize,
+    /// The failing verdicts, if any (each carries its schedule).
+    pub failures: Vec<Verdict>,
+    /// The known-bad synthetic schedule's violations, as rendered
+    /// invariant breaches.
+    pub known_bad_violations: Vec<String>,
+    /// Faults left after shrinking the known-bad schedule.
+    pub known_bad_minimal_faults: usize,
+    /// The minimal reproducer, as a seed + schedule literal.
+    pub known_bad_reproducer: String,
+}
+
+/// The audited source behind the conservation and exactly-once checks:
+/// counts every request handed to the cluster and every completion
+/// reported back, by id.
+struct AuditedSource {
+    inner: MixedSource,
+    cutoff: SimTime,
+    handed_out: u64,
+    seen: BTreeMap<RequestId, u32>,
+}
+
+impl AuditedSource {
+    fn new(seed: u64) -> Self {
+        let inner = MixedSource::new()
+            .with(Box::new(OltpSource::new(E27_OLTP_RATE, seed)))
+            .with(Box::new(
+                BiSource::new(E27_BI_RATE, seed ^ 0xb1).with_size(300_000.0, 0.5),
+            ));
+        AuditedSource {
+            inner,
+            cutoff: SimTime::ZERO + SimDuration::from_secs(E27_CUTOFF_SECS),
+            handed_out: 0,
+            seen: BTreeMap::new(),
+        }
+    }
+}
+
+impl Source for AuditedSource {
+    fn poll(&mut self, from: SimTime, to: SimTime) -> Vec<Request> {
+        if from >= self.cutoff {
+            return Vec::new();
+        }
+        let reqs = self.inner.poll(from, to.min(self.cutoff));
+        self.handed_out += reqs.len() as u64;
+        reqs
+    }
+
+    fn on_request_completion(&mut self, request: RequestId, _label: &str, _at: SimTime) {
+        *self.seen.entry(request).or_insert(0) += 1;
+    }
+
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+}
+
+/// An E27 shard. The MPL cap matters: a rejoining shard inherits the
+/// whole outage backlog in one burst, and uncapped admission of a
+/// hundred-odd queries overcommits the engine's memory and crawls —
+/// the sweep found exactly that before the cap was here.
+fn e27_shard(_shard: usize) -> WlmBuilder {
+    WlmBuilder::new()
+        .engine(EngineConfig {
+            cores: 2,
+            disk_pages_per_sec: 20_000,
+            memory_mb: 1_024,
+            ..Default::default()
+        })
+        .scheduler(Box::new(PriorityScheduler::new(64)))
+        .cost_model(CostModel::oracle())
+        .policies(vec![
+            WorkloadPolicy::new("oltp", Importance::High)
+                .with_sla(ServiceLevelAgreement::best_effort()),
+            WorkloadPolicy::new("bi", Importance::Medium)
+                .with_sla(ServiceLevelAgreement::best_effort()),
+        ])
+}
+
+fn e27_cluster(seed: u64) -> Cluster {
+    ClusterBuilder::new()
+        .shards(2)
+        .routing(RoutingPolicy::RoundRobin)
+        .shard_builder(Box::new(e27_shard))
+        .link(LinkConfig {
+            delay_secs: 0.02,
+            retransmit_secs: 0.5,
+            seed: seed ^ 0x27,
+            ..LinkConfig::default()
+        })
+        .build()
+        .expect("valid configuration")
+}
+
+/// Apply one schedule to a fresh canonical cluster and run it: the
+/// adapter between [`wlm_chaos::explore`]'s abstract fault vocabulary
+/// and the cluster's concrete APIs.
+pub fn e27_run_schedule(schedule: &Schedule) -> RunOutcome {
+    let mut cluster = e27_cluster(schedule.seed);
+    for fault in &schedule.faults {
+        match *fault {
+            ScheduleFault::ShardCrash {
+                shard,
+                at_ds,
+                dur_ds,
+            } => cluster
+                .schedule_outage(
+                    shard,
+                    ScheduleFault::secs(at_ds),
+                    ScheduleFault::secs(dur_ds),
+                )
+                .expect("grid shard exists"),
+            ScheduleFault::LinkLoss {
+                shard,
+                at_ds,
+                dur_ds,
+                loss_pct,
+            } => {
+                let loss_p = f64::from(loss_pct) / 100.0;
+                cluster
+                    .schedule_net_fault(
+                        ScheduleFault::secs(at_ds),
+                        NetFault::LinkLoss { shard, loss_p },
+                    )
+                    .expect("valid fault");
+                cluster
+                    .schedule_net_fault(
+                        ScheduleFault::secs(at_ds + dur_ds),
+                        NetFault::LinkLoss { shard, loss_p: 0.0 },
+                    )
+                    .expect("valid fault");
+            }
+            ScheduleFault::Partition {
+                shard,
+                at_ds,
+                dur_ds,
+            } => {
+                cluster
+                    .schedule_net_fault(
+                        ScheduleFault::secs(at_ds),
+                        NetFault::Partition {
+                            shard,
+                            active: true,
+                        },
+                    )
+                    .expect("valid fault");
+                cluster
+                    .schedule_net_fault(
+                        ScheduleFault::secs(at_ds + dur_ds),
+                        NetFault::Partition {
+                            shard,
+                            active: false,
+                        },
+                    )
+                    .expect("valid fault");
+            }
+            ScheduleFault::CorruptCheckpoint { shard, kind } => cluster
+                .arm_checkpoint_fault(shard, kind)
+                .expect("grid shard exists"),
+        }
+    }
+    let mut src = AuditedSource::new(schedule.seed);
+    let report = cluster.run(&mut src, SimDuration::from_secs(E27_RUN_SECS));
+    let distinct: u64 = src.seen.len() as u64;
+    let duplicates: u64 = src.seen.values().map(|&c| u64::from(c) - 1).sum();
+    // Anything still live after the six-second drain is both in flight
+    // (accounted — not lost) and permanently stuck (the run gave it
+    // every chance to finish).
+    let live: u64 = cluster
+        .checkpoints()
+        .iter()
+        .map(|s| {
+            (s.wait_queue.len() + s.deferred.len() + s.running.len() + s.suspended.len()) as u64
+        })
+        .sum();
+    let all_alive = (0..2).all(|i| cluster.shard_alive(i).unwrap_or(false));
+    RunOutcome {
+        issued: src.handed_out,
+        completed: distinct,
+        killed: report.killed,
+        rejected: report.rejected,
+        shed: report.shed,
+        in_flight: live,
+        duplicate_completions: duplicates,
+        stuck: live,
+        // Every scheduled outage closes by the cutoff; a shard still
+        // down at the deadline has blown any recovery bound.
+        recovery_ticks: if all_alive { 0 } else { u64::MAX },
+    }
+}
+
+/// The known-bad synthetic schedule of the E27 pin: a crash whose
+/// strip-time checkpoint image is bit-flipped at rest (queued work is
+/// unrecoverable by design), padded with three innocent faults the
+/// shrinker must strip.
+pub fn e27_known_bad(seed: u64) -> Schedule {
+    Schedule {
+        seed,
+        faults: vec![
+            ScheduleFault::LinkLoss {
+                shard: 0,
+                at_ds: 5,
+                dur_ds: 20,
+                loss_pct: 30,
+            },
+            ScheduleFault::ShardCrash {
+                shard: 0,
+                at_ds: 10,
+                dur_ds: 20,
+            },
+            ScheduleFault::Partition {
+                shard: 1,
+                at_ds: 12,
+                dur_ds: 10,
+            },
+            ScheduleFault::CorruptCheckpoint {
+                shard: 0,
+                kind: CorruptionKind::BitFlip,
+            },
+            ScheduleFault::ShardCrash {
+                shard: 1,
+                at_ds: 25,
+                dur_ds: 15,
+            },
+        ],
+    }
+}
+
+/// Run E27: sweep the budgeted grid, then catch and shrink the known-bad
+/// synthetic schedule.
+pub fn e27_fault_sweep(seed: u64, budget: Option<usize>) -> E27Result {
+    let cfg = ExploreConfig {
+        seed,
+        budget: budget.unwrap_or(ExploreConfig::default().budget),
+        ..ExploreConfig::default()
+    };
+    let report = explore(&cfg, e27_run_schedule);
+
+    let is_failing =
+        |s: &Schedule| !wlm_chaos::explore::check(&cfg, &e27_run_schedule(s)).is_empty();
+    let bad = e27_known_bad(seed);
+    let known_bad_violations: Vec<String> =
+        wlm_chaos::explore::check(&cfg, &e27_run_schedule(&bad))
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+    let minimal = if known_bad_violations.is_empty() {
+        bad.clone()
+    } else {
+        shrink(&bad, is_failing)
+    };
+    E27Result {
+        seed,
+        schedules_run: report.verdicts.len(),
+        grid_size: report.grid_size,
+        violations: report.violations(),
+        failures: report.failures().into_iter().cloned().collect(),
+        known_bad_violations,
+        known_bad_minimal_faults: minimal.faults.len(),
+        known_bad_reproducer: minimal.reproducer(),
+    }
+}
+
+impl E27Result {
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "E27 — fault-space sweep: {} of {} grid schedules run (seed {})\n  invariant violations across the sweep: {}\n",
+            self.schedules_run, self.grid_size, self.seed, self.violations
+        );
+        for f in &self.failures {
+            out.push_str(&format!(
+                "  FAILING: {} — {:?}\n",
+                f.schedule.reproducer(),
+                f.violations
+            ));
+        }
+        out.push_str(&format!(
+            "  known-bad synthetic schedule: {} (shrunk to {} faults)\n    {}\n",
+            self.known_bad_violations
+                .first()
+                .map_or("NOT CAUGHT", |v| v.as_str()),
+            self.known_bad_minimal_faults,
+            self.known_bad_reproducer
+        ));
+        out.push_str(
+            "  the grid stays inside the write protocol's guarantee (torn writes are\n  caught); at-rest damage of a crash-time image loses work — and the\n  conservation invariant catches exactly that\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e26_fallback_bounds_violations_and_blind_fails_verification() {
+        let r = e26_corrupted_checkpoint(7);
+        let [unint, envelope, blind] = &r.variants[..] else {
+            panic!("three arms expected");
+        };
+        assert!(unint.recovery.is_none());
+        assert_eq!(unint.checkpoint_rejected, 0);
+
+        // The envelope arm rejects the damaged generation and falls back
+        // one cadence point — to the 1250-cycle checkpoint.
+        let rec = envelope.recovery.expect("the crash recovered");
+        assert_eq!(envelope.checkpoint_rejected, 1, "one generation rejected");
+        assert_eq!(envelope.checkpoint_fallback, 1, "one fallback event");
+        assert_eq!(envelope.cold_restarts, 0);
+        assert_eq!(
+            rec.from_cycle,
+            E26_CORRUPT_AT - E26_CHECKPOINT_EVERY,
+            "fallback lands on the previous cadence point"
+        );
+        assert!(rec.readopted > 0, "the fallback still re-adopts live work");
+
+        // The blind ablation cannot tell damage from truth: the newest
+        // raw image fails to parse and the controller restarts cold.
+        assert_eq!(blind.cold_restarts, 1, "blind restore fails verification");
+        let blind_rec = blind.recovery.expect("the crash recovered");
+        assert_eq!(blind_rec.readopted, 0, "a cold restart re-adopts nothing");
+        assert!(
+            blind.completed < envelope.completed,
+            "cold books forget the pre-crash run: {} vs {}",
+            blind.completed,
+            envelope.completed
+        );
+
+        // The pinned E26 bound.
+        assert!(
+            envelope.sla_violations <= unint.sla_violations + E26_VIOLATION_BOUND,
+            "fallback {} vs uninterrupted {} (+{} allowed)",
+            envelope.sla_violations,
+            unint.sla_violations,
+            E26_VIOLATION_BOUND
+        );
+    }
+
+    #[test]
+    fn e27_sweep_is_clean_and_the_known_bad_schedule_shrinks() {
+        let r = e27_fault_sweep(7, None);
+        assert_eq!(r.schedules_run, 36, "the pinned claim covers the full grid");
+        assert_eq!(r.grid_size, 36);
+        assert_eq!(r.violations, 0, "failures: {:?}", r.failures);
+
+        assert!(
+            r.known_bad_violations
+                .iter()
+                .any(|v| v.contains("work lost")),
+            "the conservation invariant must catch the strip-image loss: {:?}",
+            r.known_bad_violations
+        );
+        assert_eq!(
+            r.known_bad_minimal_faults, 2,
+            "shrinking must strip the three innocent faults: {}",
+            r.known_bad_reproducer
+        );
+        assert!(
+            r.known_bad_reproducer.contains("ShardCrash")
+                && r.known_bad_reproducer.contains("CorruptCheckpoint"),
+            "{}",
+            r.known_bad_reproducer
+        );
+    }
+
+    #[test]
+    fn e26_and_e27_are_deterministic_per_seed() {
+        let a = serde_json::to_string(&e27_fault_sweep(3, Some(6))).unwrap();
+        let b = serde_json::to_string(&e27_fault_sweep(3, Some(6))).unwrap();
+        assert_eq!(a, b);
+    }
+}

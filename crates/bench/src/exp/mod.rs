@@ -1,4 +1,4 @@
-//! The quantitative experiments (E1–E25 of DESIGN.md).
+//! The quantitative experiments (E1–E27 of DESIGN.md).
 
 pub mod ablations;
 pub mod admission;
@@ -6,6 +6,7 @@ pub mod arrivals;
 pub mod autonomic;
 pub mod cluster;
 pub mod crash;
+pub mod durability;
 pub mod elastic;
 pub mod engine;
 pub mod execution;
@@ -20,6 +21,7 @@ pub use arrivals::e15_open_vs_closed;
 pub use autonomic::{e10_mape, e13_classifier};
 pub use cluster::{e20_shard_scaling, e21_routing_ablation};
 pub use crash::{e18_crash_recovery, e19_poison_quarantine};
+pub use durability::{e26_corrupted_checkpoint, e27_fault_sweep};
 pub use elastic::{e24_elastic_flash_crowd, e25_retry_storm};
 pub use engine::e1_mpl_curve;
 pub use execution::{e12_kill_precision, e4_throttling, e5_suspend, e7_economic};

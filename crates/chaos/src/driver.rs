@@ -17,8 +17,17 @@
 //! [`ControlFault::SkippedCycles`] stalls the control loop instead: the
 //! engine advances via [`WorkloadManager::tick_uncontrolled`] while the
 //! missed cycles elapse.
+//!
+//! With [`ChaosDriver::with_store`] the cadence checkpoint goes through a
+//! durable [`CheckpointStore`] instead of a trusted in-memory slot:
+//! every save is sealed, verified and chained, and crash recovery walks
+//! the generation chain ([`WorkloadManager::restore_from_store`]) —
+//! falling back to [`WorkloadManager::cold_restart`] only when no
+//! generation verifies. [`ControlFault::CorruptCheckpoint`] faults arm
+//! torn writes, bit flips and truncation against that store.
 
 use crate::plan::{ControlFault, FaultEvent, FaultKind, FaultPlan};
+use wlm_core::manager::store::{CheckpointStore, CorruptionKind, StoreConfig};
 use wlm_core::manager::{ControllerState, RecoveryReport, RunReport, WorkloadManager};
 use wlm_dbsim::time::SimDuration;
 use wlm_workload::generators::{Source, SurgeHandle};
@@ -42,12 +51,31 @@ pub struct ChaosDriver {
     last_recovery: Option<RecoveryReport>,
     checkpoints_taken: u64,
     crashes: u64,
+    /// Durable store for cadence checkpoints (`None` = trusted
+    /// in-memory slot, the pre-store behavior).
+    store: Option<CheckpointStore>,
+    /// Checkpoint-corruption faults, cycle-sorted, consumed in order.
+    corrupt: Vec<(u64, CorruptionKind)>,
+    next_corrupt: usize,
+    corruptions_armed: u64,
+    cold_restarts: u64,
 }
 
 impl ChaosDriver {
     /// A driver over `plan` (already time-sorted by its builder).
     pub fn new(plan: FaultPlan) -> Self {
-        let (events, control) = plan.into_parts();
+        let (events, mut control) = plan.into_parts();
+        // Corruption faults arm the store *before* the cadence save on
+        // their cycle; crash/skip faults fire *after* it. Splitting them
+        // here keeps `before_cycle` a simple two-pass sweep.
+        let corrupt: Vec<(u64, CorruptionKind)> = control
+            .iter()
+            .filter_map(|f| match f {
+                ControlFault::CorruptCheckpoint { at_cycle, kind } => Some((*at_cycle, *kind)),
+                _ => None,
+            })
+            .collect();
+        control.retain(|f| !matches!(f, ControlFault::CorruptCheckpoint { .. }));
         ChaosDriver {
             events,
             next: 0,
@@ -62,6 +90,11 @@ impl ChaosDriver {
             last_recovery: None,
             checkpoints_taken: 0,
             crashes: 0,
+            store: None,
+            corrupt,
+            next_corrupt: 0,
+            corruptions_armed: 0,
+            cold_restarts: 0,
         }
     }
 
@@ -77,6 +110,16 @@ impl ChaosDriver {
     /// checkpoint to restore). Crash recovery restores the latest one.
     pub fn with_checkpoint_every(mut self, cycles: u64) -> Self {
         self.checkpoint_every = Some(cycles.max(1));
+        self
+    }
+
+    /// Route cadence checkpoints through a durable [`CheckpointStore`]:
+    /// sealed envelopes, staged-write verification, a bounded generation
+    /// chain, and walk-back recovery on crash. This is what
+    /// [`ControlFault::CorruptCheckpoint`] faults act on — without a
+    /// store they are counted as skipped.
+    pub fn with_store(mut self, cfg: StoreConfig) -> Self {
+        self.store = Some(CheckpointStore::new(cfg));
         self
     }
 
@@ -131,9 +174,28 @@ impl ChaosDriver {
     /// many control cycles the caller must skip (0 = tick normally).
     pub fn before_cycle(&mut self, mgr: &mut WorkloadManager) -> u64 {
         let cycle = mgr.cycle();
+        // Corruption faults arm before the save their cycle gates, so a
+        // fault and a cadence point on the same cycle damage that save.
+        while self.next_corrupt < self.corrupt.len() && self.corrupt[self.next_corrupt].0 <= cycle {
+            let (_, kind) = self.corrupt[self.next_corrupt];
+            self.next_corrupt += 1;
+            match self.store.as_mut() {
+                Some(store) => {
+                    store.arm_fault(kind);
+                    self.corruptions_armed += 1;
+                }
+                None => self.skipped += 1,
+            }
+        }
         if let Some(every) = self.checkpoint_every {
-            if cycle % every == 0 {
-                self.last_checkpoint = Some(mgr.checkpoint());
+            if cycle.is_multiple_of(every) {
+                let state = mgr.checkpoint();
+                match self.store.as_mut() {
+                    Some(store) => {
+                        store.commit(&state);
+                    }
+                    None => self.last_checkpoint = Some(state),
+                }
                 self.checkpoints_taken += 1;
             }
         }
@@ -146,13 +208,28 @@ impl ChaosDriver {
             match fault {
                 ControlFault::ControllerCrash { .. } => {
                     self.crashes += 1;
-                    let report = match self.last_checkpoint.as_ref() {
-                        Some(ckpt) => mgr.restore(ckpt),
-                        None => mgr.cold_restart(),
+                    let report = if let Some(store) = self.store.as_ref() {
+                        match mgr.restore_from_store(store) {
+                            Ok(report) => report,
+                            Err(_) => {
+                                // Every generation failed verification:
+                                // the controller restarts from nothing.
+                                self.cold_restarts += 1;
+                                mgr.cold_restart()
+                            }
+                        }
+                    } else {
+                        match self.last_checkpoint.as_ref() {
+                            Some(ckpt) => mgr.restore(ckpt),
+                            None => mgr.cold_restart(),
+                        }
                     };
                     self.last_recovery = Some(report);
                 }
                 ControlFault::SkippedCycles { cycles, .. } => skip += cycles,
+                ControlFault::CorruptCheckpoint { .. } => {
+                    unreachable!("corruption faults are split out in ChaosDriver::new")
+                }
             }
         }
         skip
@@ -160,7 +237,9 @@ impl ChaosDriver {
 
     /// Whether every plan event has fired.
     pub fn done(&self) -> bool {
-        self.next >= self.events.len() && self.next_control >= self.control.len()
+        self.next >= self.events.len()
+            && self.next_control >= self.control.len()
+            && self.next_corrupt >= self.corrupt.len()
     }
 
     /// Events applied successfully so far.
@@ -192,6 +271,22 @@ impl ChaosDriver {
     /// Controller crashes injected so far.
     pub fn crashes(&self) -> u64 {
         self.crashes
+    }
+
+    /// The durable checkpoint store, when one is attached.
+    pub fn store(&self) -> Option<&CheckpointStore> {
+        self.store.as_ref()
+    }
+
+    /// Corruption faults armed against the store so far.
+    pub fn corruptions_armed(&self) -> u64 {
+        self.corruptions_armed
+    }
+
+    /// Crash recoveries that found no verifiable generation and fell
+    /// back to a cold restart.
+    pub fn cold_restarts(&self) -> u64 {
+        self.cold_restarts
     }
 }
 
@@ -326,6 +421,76 @@ mod tests {
         run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(1), &mut driver);
         assert_eq!(mgr.cycle(), 100, "uncontrolled quanta still count");
         assert!(driver.done());
+    }
+
+    #[test]
+    fn corrupted_cadence_checkpoint_falls_back_a_generation() {
+        use wlm_core::manager::store::{CorruptionKind, StoreConfig};
+        let plan = FaultPlanBuilder::new(9)
+            .corrupt_checkpoint(40, CorruptionKind::BitFlip)
+            .controller_crash(50)
+            .build();
+        let mut driver = ChaosDriver::new(plan)
+            .with_checkpoint_every(20)
+            .with_store(StoreConfig::default());
+        let mut mgr = manager();
+        let mut src = OltpSource::new(30.0, 13);
+        run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(1), &mut driver);
+        assert_eq!(driver.corruptions_armed(), 1);
+        assert_eq!(driver.crashes(), 1);
+        assert_eq!(driver.cold_restarts(), 0);
+        let recovery = driver.last_recovery().expect("crash recovered");
+        assert_eq!(
+            recovery.from_cycle, 20,
+            "the damaged cycle-40 generation is rejected; recovery walks back to cycle 20"
+        );
+        assert!(driver.done());
+    }
+
+    #[test]
+    fn torn_write_is_caught_before_the_swap() {
+        use wlm_core::manager::store::{CorruptionKind, StoreConfig};
+        let plan = FaultPlanBuilder::new(10)
+            .corrupt_checkpoint(40, CorruptionKind::TornWrite)
+            .controller_crash(50)
+            .build();
+        let mut driver = ChaosDriver::new(plan)
+            .with_checkpoint_every(20)
+            .with_store(StoreConfig::default());
+        let mut mgr = manager();
+        let mut src = OltpSource::new(30.0, 13);
+        run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(1), &mut driver);
+        assert_eq!(driver.store().unwrap().torn_writes_caught(), 1);
+        let recovery = driver.last_recovery().expect("crash recovered");
+        assert_eq!(
+            recovery.from_cycle, 40,
+            "write verification re-staged the torn cycle-40 save; no fallback needed"
+        );
+    }
+
+    #[test]
+    fn exhausted_generation_chain_cold_restarts() {
+        use wlm_core::manager::store::{CorruptionKind, StoreConfig};
+        let plan = FaultPlanBuilder::new(11)
+            .corrupt_checkpoint(40, CorruptionKind::Truncate)
+            .controller_crash(50)
+            .build();
+        let mut driver = ChaosDriver::new(plan)
+            .with_checkpoint_every(20)
+            .with_store(StoreConfig {
+                keep_generations: 1,
+                ..StoreConfig::default()
+            });
+        let mut mgr = manager();
+        let mut src = OltpSource::new(30.0, 13);
+        run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(1), &mut driver);
+        assert_eq!(
+            driver.cold_restarts(),
+            1,
+            "single retained generation was damaged"
+        );
+        let recovery = driver.last_recovery().expect("crash recovered");
+        assert_eq!(recovery.readopted, 0, "nothing survives the cold restart");
     }
 
     #[test]

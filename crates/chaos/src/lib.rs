@@ -46,9 +46,14 @@
 //! ```
 
 pub mod driver;
+pub mod explore;
 pub mod plan;
 
 pub use driver::{run_with_chaos, ChaosDriver};
+pub use explore::{
+    explore, shrink, ExploreConfig, ExploreReport, RunOutcome, Schedule, ScheduleFault, Verdict,
+    Violation,
+};
 pub use plan::{
     ControlFault, FaultEvent, FaultKind, FaultPlan, FaultPlanBuilder, NetFault, NetFaultEvent,
 };

@@ -12,6 +12,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
+use wlm_core::manager::store::CorruptionKind;
 use wlm_dbsim::engine::EngineFault;
 use wlm_dbsim::time::SimTime;
 
@@ -64,6 +65,18 @@ pub enum ControlFault {
         /// How many consecutive cycles are missed.
         cycles: u64,
     },
+    /// Damage the checkpoint written at or after cycle `at_cycle`: the
+    /// fault is armed against the driver's checkpoint store and lands on
+    /// the next cadence save (torn writes hit the staged copy, bit flips
+    /// and truncation the bytes at rest). Requires a store-backed driver
+    /// ([`ChaosDriver::with_store`](crate::driver::ChaosDriver::with_store));
+    /// a plain driver ignores it.
+    CorruptCheckpoint {
+        /// Cycle at (or after) which the next checkpoint is damaged.
+        at_cycle: u64,
+        /// The damage applied.
+        kind: CorruptionKind,
+    },
 }
 
 impl ControlFault {
@@ -71,7 +84,8 @@ impl ControlFault {
     pub fn at_cycle(&self) -> u64 {
         match self {
             ControlFault::ControllerCrash { at_cycle }
-            | ControlFault::SkippedCycles { at_cycle, .. } => *at_cycle,
+            | ControlFault::SkippedCycles { at_cycle, .. }
+            | ControlFault::CorruptCheckpoint { at_cycle, .. } => *at_cycle,
         }
     }
 }
@@ -457,6 +471,14 @@ impl FaultPlanBuilder {
     pub fn skip_cycles(mut self, at_cycle: u64, cycles: u64) -> Self {
         self.control_events
             .push(ControlFault::SkippedCycles { at_cycle, cycles });
+        self
+    }
+
+    /// Damage the next checkpoint taken at or after `at_cycle` with
+    /// `kind`. Cycle indexed and jitter-free, like every control fault.
+    pub fn corrupt_checkpoint(mut self, at_cycle: u64, kind: CorruptionKind) -> Self {
+        self.control_events
+            .push(ControlFault::CorruptCheckpoint { at_cycle, kind });
         self
     }
 

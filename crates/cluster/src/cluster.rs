@@ -52,6 +52,7 @@ use std::rc::Rc;
 use wlm_chaos::{FaultPlan, NetFault, NetFaultEvent};
 use wlm_core::api::WlmBuilder;
 use wlm_core::events::{EventBus, EventSubscriber, WlmEvent};
+use wlm_core::manager::store::{corrupt_bytes, open, seal, CorruptionKind};
 use wlm_core::manager::{ControllerState, RunReport, WorkloadManager};
 use wlm_core::Error;
 use wlm_dbsim::engine::EngineFault;
@@ -105,9 +106,11 @@ struct Outage {
     at: SimTime,
     duration: SimDuration,
     triggered: bool,
-    /// The full crash-time checkpoint, held for the shard's rejoin under
-    /// [`FailoverPolicy::WaitForRestart`].
-    saved: Option<ControllerState>,
+    /// The sealed crash-time checkpoint image, held for the shard's
+    /// rejoin under [`FailoverPolicy::WaitForRestart`]. Verified when
+    /// read back: a damaged image forces a cold restart instead of a
+    /// garbage restore.
+    saved: Option<Vec<u8>>,
 }
 
 /// End-of-run summary aggregated over every shard.
@@ -119,11 +122,14 @@ pub struct ClusterReport {
     /// of hedged races (see [`Self::duplicate_completions`]): each request
     /// the cluster accepted surfaces here exactly once.
     pub completed: u64,
-    /// Total kills across shards, *excluding* crash-recovery reclaims of
-    /// queries whose rerouted twins ran elsewhere and hedge-loser
-    /// cancellations (those are resource housekeeping, not
-    /// workload-management outcomes — each such request still surfaces
-    /// exactly once in the cluster's books). The per-shard rows in
+    /// Total kills across shards, *excluding* crash-recovery reclaims
+    /// and hedge-loser cancellations (those are resource housekeeping,
+    /// not workload-management outcomes). After a *verified* recovery
+    /// each reclaimed request still surfaces exactly once through its
+    /// rerouted twin; after a failed checkpoint verification the
+    /// reclaimed queries have no twins — their requests never surface
+    /// again, which is exactly the work-loss signal the E27
+    /// conservation invariant detects. The per-shard rows in
     /// [`Self::shards`] keep the raw counts.
     pub killed: u64,
     /// Total shard-level rejections.
@@ -417,6 +423,9 @@ impl ClusterBuilder {
             scale_ups: 0,
             scale_downs: 0,
             shard_us: 0,
+            armed_ckpt_faults: BTreeMap::new(),
+            ckpt_torn_caught: 0,
+            ckpt_rejected: 0,
         })
     }
 
@@ -495,6 +504,14 @@ pub struct Cluster {
     /// Accumulated shard-microseconds: one quantum per non-retired shard
     /// per tick (the run's true capacity bill).
     shard_us: u64,
+    /// One-shot checkpoint-media faults armed per shard, consumed by the
+    /// next sealed checkpoint write on that shard.
+    armed_ckpt_faults: BTreeMap<usize, CorruptionKind>,
+    /// Torn staged checkpoint writes caught by the verify-back.
+    ckpt_torn_caught: u64,
+    /// Sealed shard checkpoints that failed verification when read back
+    /// (at-rest corruption got past the write protocol).
+    ckpt_rejected: u64,
 }
 
 impl Cluster {
@@ -963,6 +980,15 @@ impl Cluster {
                 det.observe(shard, rtt, now);
             }
         }
+        // With the acks absorbed, the link knows which message ids can
+        // never be (re)delivered again — let every inbox forget them so
+        // the dedup sets stay bounded by in-flight traffic.
+        if let Some(link) = self.link.as_ref() {
+            let floor = link.retired_before();
+            for shard in &mut self.shards {
+                shard.inbox.evict_seen_below(floor);
+            }
+        }
     }
 
     /// Re-classify every shard and hedge the in-flight work of newly
@@ -1268,6 +1294,73 @@ impl Cluster {
     }
 
     /// Trigger due outages and rejoin shards whose outage has elapsed.
+    /// Arm a one-shot media fault against the next sealed checkpoint
+    /// write on `shard` — the WaitForRestart freeze, the Reroute strip,
+    /// or the autoscaler's retirement strip, whichever comes first.
+    pub fn arm_checkpoint_fault(
+        &mut self,
+        shard: usize,
+        kind: CorruptionKind,
+    ) -> Result<(), Error> {
+        if shard >= self.shards.len() {
+            return Err(Error::UnknownShard(shard));
+        }
+        self.armed_ckpt_faults.insert(shard, kind);
+        Ok(())
+    }
+
+    /// Sealed shard checkpoints that failed verification when read back.
+    pub fn checkpoint_rejections(&self) -> u64 {
+        self.ckpt_rejected
+    }
+
+    /// Torn staged checkpoint writes caught (and re-staged) by the
+    /// write-verify step.
+    pub fn checkpoint_torn_writes_caught(&self) -> u64 {
+        self.ckpt_torn_caught
+    }
+
+    /// Write one sealed checkpoint image of `shard`'s controller through
+    /// the simulated staged-write protocol. An armed torn write is
+    /// caught by the verify-back and re-staged from memory; at-rest
+    /// faults (bit flip, truncation) land after the swap and survive
+    /// into the returned bytes.
+    fn seal_shard_checkpoint(&mut self, shard: usize) -> Vec<u8> {
+        let state = self.shards[shard].mgr.checkpoint();
+        let payload = state.to_bytes();
+        let mut sealed = seal(&payload, 0, state.cycle);
+        match self.armed_ckpt_faults.remove(&shard) {
+            Some(CorruptionKind::TornWrite) => {
+                corrupt_bytes(&mut sealed, CorruptionKind::TornWrite);
+                if open(&sealed).is_err() {
+                    sealed = seal(&payload, 0, state.cycle);
+                    self.ckpt_torn_caught += 1;
+                }
+            }
+            Some(kind) => corrupt_bytes(&mut sealed, kind),
+            None => {}
+        }
+        sealed
+    }
+
+    /// Read a sealed shard image back. On verification failure, emit
+    /// [`WlmEvent::CheckpointRejected`] and return `None` — the caller
+    /// must fall back to a cold restart rather than restore garbage.
+    fn open_shard_checkpoint(&mut self, bytes: &[u8]) -> Option<ControllerState> {
+        match open(bytes).and_then(|(_, payload)| ControllerState::from_bytes(payload)) {
+            Ok(state) => Some(state),
+            Err(e) => {
+                self.ckpt_rejected += 1;
+                self.emit(WlmEvent::CheckpointRejected {
+                    at: self.now(),
+                    generation: 0,
+                    reason: e.to_string(),
+                });
+                None
+            }
+        }
+    }
+
     fn process_outages(&mut self, now: SimTime) {
         // Rejoins first: an outage scheduled for this instant on a shard
         // that just finished one sees the shard up, not down.
@@ -1290,7 +1383,7 @@ impl Cluster {
                 FailoverPolicy::WaitForRestart => {
                     // Freeze the controller's state for the rejoin; the
                     // queued work waits out the outage in place.
-                    self.outages[idx].saved = Some(self.shards[shard].mgr.checkpoint());
+                    self.outages[idx].saved = Some(self.seal_shard_checkpoint(shard));
                     self.shards[shard].down_until = Some(until);
                 }
                 FailoverPolicy::Reroute => self.crash_and_reroute(shard, until),
@@ -1305,8 +1398,22 @@ impl Cluster {
                 && self.outages[idx].at + self.outages[idx].duration <= now;
             if due {
                 let shard = self.outages[idx].shard;
-                if let Some(ckpt) = self.outages[idx].saved.take() {
-                    self.shards[shard].mgr.restore(&ckpt);
+                if let Some(bytes) = self.outages[idx].saved.take() {
+                    match self.open_shard_checkpoint(&bytes) {
+                        Some(ckpt) => {
+                            self.shards[shard].mgr.restore(&ckpt);
+                        }
+                        None => {
+                            // The frozen image is garbage: restoring it
+                            // would wreck the books. The shard restarts
+                            // cold — detectably, not silently. Its
+                            // orphan kills are recovery housekeeping,
+                            // not policy verdicts: the dead queries'
+                            // requests simply never surface again.
+                            let recovery = self.shards[shard].mgr.cold_restart();
+                            self.reclaimed += recovery.orphans_killed as u64;
+                        }
+                    }
                 }
             }
         }
@@ -1318,32 +1425,57 @@ impl Cluster {
     /// the dead shard's live engine queries (their moved twins run
     /// elsewhere; nothing is lost, nothing completes twice).
     fn crash_and_reroute(&mut self, shard: usize, until: SimTime) {
-        let ckpt = self.shards[shard].mgr.checkpoint();
+        let sealed = self.seal_shard_checkpoint(shard);
         let mut moved: Vec<Request> = Vec::new();
-        moved.extend(ckpt.wait_queue.iter().map(|m| m.request.clone()));
-        moved.extend(ckpt.deferred.iter().map(|m| m.request.clone()));
-        moved.extend(ckpt.running.iter().map(|rc| rc.req.request.clone()));
-        moved.extend(ckpt.suspended.iter().map(|s| s.req.request.clone()));
-        moved.extend(self.shards[shard].inbox.drain_all());
-        // Messages on the wire toward the crashed shard whose requests
-        // exist nowhere else move too; accepted ones are already covered
-        // by the checkpoint sets or the inbox drain above.
-        if let Some(link) = self.link.as_mut() {
-            moved.extend(link.take_unaccepted(shard));
+        match self.open_shard_checkpoint(&sealed) {
+            Some(ckpt) => {
+                moved.extend(ckpt.wait_queue.iter().map(|m| m.request.clone()));
+                moved.extend(ckpt.deferred.iter().map(|m| m.request.clone()));
+                moved.extend(ckpt.running.iter().map(|rc| rc.req.request.clone()));
+                moved.extend(ckpt.suspended.iter().map(|s| s.req.request.clone()));
+                moved.extend(self.shards[shard].inbox.drain_all());
+                // Messages on the wire toward the crashed shard whose
+                // requests exist nowhere else move too; accepted ones are
+                // already covered by the checkpoint sets or the inbox
+                // drain above.
+                if let Some(link) = self.link.as_mut() {
+                    moved.extend(link.take_unaccepted(shard));
+                }
+                let stripped = ControllerState {
+                    wait_queue: Vec::new(),
+                    deferred: Vec::new(),
+                    running: Vec::new(),
+                    suspended: Vec::new(),
+                    ..ckpt
+                };
+                // The stripped restore orphan-kills every engine query the
+                // dead shard was running. Those kills are resource
+                // reclamation — the moved twins finish on the survivors —
+                // so they are excluded from the cluster's aggregate
+                // `killed` count.
+                let recovery = self.shards[shard].mgr.restore(&stripped);
+                self.reclaimed += recovery.orphans_killed as u64;
+            }
+            None => {
+                // The crash-time image failed verification: the dead
+                // controller's queue contents are unrecoverable. Only the
+                // work held outside the shard — its inbox and undelivered
+                // link traffic — can still move; the rest is detectably
+                // lost (the conservation invariant the explorer checks).
+                moved.extend(self.shards[shard].inbox.drain_all());
+                if let Some(link) = self.link.as_mut() {
+                    moved.extend(link.take_unaccepted(shard));
+                }
+                // Unlike the verified strip, these orphan kills have no
+                // moved twins: the dead queries' requests never surface
+                // again. Classing them as recovery reclaims (rather
+                // than policy kills) keeps that loss visible to the
+                // work-conservation check instead of laundering it
+                // through the kill books.
+                let recovery = self.shards[shard].mgr.cold_restart();
+                self.reclaimed += recovery.orphans_killed as u64;
+            }
         }
-        let stripped = ControllerState {
-            wait_queue: Vec::new(),
-            deferred: Vec::new(),
-            running: Vec::new(),
-            suspended: Vec::new(),
-            ..ckpt
-        };
-        // The stripped restore orphan-kills every engine query the dead
-        // shard was running. Those kills are resource reclamation — the
-        // moved twins finish on the survivors — so they are excluded from
-        // the cluster's aggregate `killed` count.
-        let recovery = self.shards[shard].mgr.restore(&stripped);
-        self.reclaimed += recovery.orphans_killed as u64;
         self.shards[shard].down_until = Some(until);
 
         for req in moved {
@@ -1383,13 +1515,12 @@ impl Cluster {
                 ShardStage::Warming { until } if until <= now => {
                     self.stages[i] = ShardStage::Active;
                 }
-                ShardStage::Draining { deadline } => {
+                ShardStage::Draining { deadline }
                     // Early out the moment the shard is empty; otherwise
                     // the grace deadline force-moves the residue.
-                    if deadline <= now || self.shard_idle(i) {
+                    if (deadline <= now || self.shard_idle(i)) => {
                         self.retire_now(i, now);
                     }
-                }
                 _ => {}
             }
         }
@@ -1473,7 +1604,7 @@ impl Cluster {
         snap.queued == 0
             && snap.running == 0
             && snap.blocked == 0
-            && self.shards[i].inbox.len() == 0
+            && self.shards[i].inbox.is_empty()
             && self
                 .link
                 .as_ref()
@@ -1487,31 +1618,48 @@ impl Cluster {
     /// of service. No request is lost; any copy the engine was still
     /// running is orphan-killed while its moved twin finishes elsewhere.
     fn retire_now(&mut self, shard: usize, now: SimTime) {
-        let ckpt = self.shards[shard].mgr.checkpoint();
+        let sealed = self.seal_shard_checkpoint(shard);
         let mut moved: Vec<Request> = Vec::new();
-        moved.extend(ckpt.wait_queue.iter().map(|m| m.request.clone()));
-        moved.extend(ckpt.deferred.iter().map(|m| m.request.clone()));
-        moved.extend(ckpt.running.iter().map(|rc| rc.req.request.clone()));
-        moved.extend(ckpt.suspended.iter().map(|s| s.req.request.clone()));
-        moved.extend(self.shards[shard].inbox.drain_all());
-        if let Some(link) = self.link.as_mut() {
-            moved.extend(link.take_unaccepted(shard));
+        match self.open_shard_checkpoint(&sealed) {
+            Some(ckpt) => {
+                moved.extend(ckpt.wait_queue.iter().map(|m| m.request.clone()));
+                moved.extend(ckpt.deferred.iter().map(|m| m.request.clone()));
+                moved.extend(ckpt.running.iter().map(|rc| rc.req.request.clone()));
+                moved.extend(ckpt.suspended.iter().map(|s| s.req.request.clone()));
+                moved.extend(self.shards[shard].inbox.drain_all());
+                if let Some(link) = self.link.as_mut() {
+                    moved.extend(link.take_unaccepted(shard));
+                }
+                let mut stripped = ControllerState {
+                    wait_queue: Vec::new(),
+                    deferred: Vec::new(),
+                    running: Vec::new(),
+                    suspended: Vec::new(),
+                    ..ckpt
+                };
+                // Unlike a crash (where the shard rejoins and releases
+                // them itself), a retired controller would never release
+                // its parked retries — they move with everything else.
+                if let Some(res) = stripped.resilience.as_mut() {
+                    moved.extend(res.retry_queue.drain(..).map(|r| r.req.request));
+                }
+                let recovery = self.shards[shard].mgr.restore(&stripped);
+                self.reclaimed += recovery.orphans_killed as u64;
+            }
+            None => {
+                // Verification failed at retirement: the drained shard's
+                // residue (normally empty by now, but the grace deadline
+                // can force-retire a busy one) cannot be read back. Move
+                // what lives outside the controller and let the explorer's
+                // conservation check surface anything lost.
+                moved.extend(self.shards[shard].inbox.drain_all());
+                if let Some(link) = self.link.as_mut() {
+                    moved.extend(link.take_unaccepted(shard));
+                }
+                let recovery = self.shards[shard].mgr.cold_restart();
+                self.reclaimed += recovery.orphans_killed as u64;
+            }
         }
-        let mut stripped = ControllerState {
-            wait_queue: Vec::new(),
-            deferred: Vec::new(),
-            running: Vec::new(),
-            suspended: Vec::new(),
-            ..ckpt
-        };
-        // Unlike a crash (where the shard rejoins and releases them
-        // itself), a retired controller would never release its parked
-        // retries — they move with everything else.
-        if let Some(res) = stripped.resilience.as_mut() {
-            moved.extend(res.retry_queue.drain(..).map(|r| r.req.request));
-        }
-        let recovery = self.shards[shard].mgr.restore(&stripped);
-        self.reclaimed += recovery.orphans_killed as u64;
         self.stages[shard] = ShardStage::Retired;
         let mut rerouted = 0usize;
         for req in moved {
@@ -1555,7 +1703,7 @@ impl std::fmt::Debug for Cluster {
 mod tests {
     use super::*;
     use wlm_dbsim::engine::EngineConfig;
-    use wlm_workload::generators::OltpSource;
+    use wlm_workload::generators::{BiSource, OltpSource};
 
     fn small_builder(_shard: usize) -> WlmBuilder {
         WlmBuilder::new()
@@ -1799,7 +1947,10 @@ mod tests {
     fn reroute_failover_moves_queued_work_to_survivors() {
         let mut c = cluster(2, RoutingPolicy::RoundRobin);
         c.schedule_outage(0, 1.0, 2.0).expect("valid shard");
-        let mut src = OltpSource::new(40.0, 11);
+        // Enough concurrent work that the crash instant finds requests
+        // in flight on shard 0 — sub-millisecond OLTP at low rates
+        // leaves nothing to move.
+        let mut src = OltpSource::new(4000.0, 11);
         let report = c.run(&mut src, SimDuration::from_secs(6));
         assert!(report.rerouted > 0, "crash moved work: {report:?}");
         assert!(c.shard_alive(0).unwrap(), "shard 0 rejoined");
@@ -1878,7 +2029,7 @@ mod tests {
         );
         // A flash crowd one small shard cannot absorb: queues deepen,
         // pressure sustains, the pool opens up.
-        let mut hot = OltpSource::new(200.0, 9);
+        let mut hot = BiSource::new(10.0, 9);
         c.run(&mut hot, SimDuration::from_secs(12));
         assert!(c.scale_ups() > 0, "surge must spawn shards: {c:?}");
         // Calm: the autoscaler drains back toward the floor.
@@ -1937,5 +2088,92 @@ mod tests {
         assert_eq!(snap.shards.len(), 2);
         assert_eq!(snap.live_shards(), 2);
         assert_eq!(snap.at, c.now());
+    }
+
+    #[test]
+    fn armed_bitflip_forces_a_cold_rejoin_after_wait_for_restart() {
+        let mut c = ClusterBuilder::new()
+            .shards(2)
+            .routing(RoutingPolicy::RoundRobin)
+            .failover(FailoverPolicy::WaitForRestart)
+            .shard_builder(Box::new(small_builder))
+            .build()
+            .expect("valid configuration");
+        c.schedule_outage(0, 1.0, 2.0).expect("valid shard");
+        c.arm_checkpoint_fault(0, CorruptionKind::BitFlip)
+            .expect("valid shard");
+        let trace = wlm_core::events::RingRecorder::new(1 << 16);
+        c.subscribe(Box::new(trace.clone()));
+        let mut src = OltpSource::new(2_000.0, 11);
+        let report = c.run(&mut src, SimDuration::from_secs(6));
+        assert_eq!(
+            c.checkpoint_rejections(),
+            1,
+            "the bit-flipped rejoin image must fail verification"
+        );
+        assert!(
+            trace
+                .events()
+                .iter()
+                .any(|e| e.kind() == "checkpoint_rejected"),
+            "the rejection must be visible on the event bus"
+        );
+        assert!(c.shard_alive(0).unwrap(), "shard 0 rejoined, cold");
+        assert!(report.completed > 0, "survivors kept serving: {report:?}");
+    }
+
+    #[test]
+    fn armed_torn_write_is_caught_by_the_verify_back() {
+        let mut c = ClusterBuilder::new()
+            .shards(2)
+            .routing(RoutingPolicy::RoundRobin)
+            .failover(FailoverPolicy::WaitForRestart)
+            .shard_builder(Box::new(small_builder))
+            .build()
+            .expect("valid configuration");
+        c.schedule_outage(0, 1.0, 2.0).expect("valid shard");
+        c.arm_checkpoint_fault(0, CorruptionKind::TornWrite)
+            .expect("valid shard");
+        let mut src = OltpSource::new(2_000.0, 11);
+        let report = c.run(&mut src, SimDuration::from_secs(6));
+        assert_eq!(
+            c.checkpoint_torn_writes_caught(),
+            1,
+            "the staged-write verify must catch the torn copy"
+        );
+        assert_eq!(
+            c.checkpoint_rejections(),
+            0,
+            "a caught torn write never reaches the read path"
+        );
+        assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn corrupted_reroute_strip_loses_queued_work_detectably() {
+        let run = |corrupt: bool| {
+            let mut c = cluster(2, RoutingPolicy::RoundRobin);
+            c.schedule_outage(0, 1.0, 2.0).expect("valid shard");
+            if corrupt {
+                c.arm_checkpoint_fault(0, CorruptionKind::BitFlip)
+                    .expect("valid shard");
+            }
+            let mut src = OltpSource::new(4_000.0, 11);
+            let report = c.run(&mut src, SimDuration::from_secs(6));
+            (report.rerouted, c.checkpoint_rejections())
+        };
+        let (clean_rerouted, clean_rejected) = run(false);
+        let (bad_rerouted, bad_rejected) = run(true);
+        assert_eq!(clean_rejected, 0);
+        assert_eq!(bad_rejected, 1, "the strip image must fail verification");
+        assert!(
+            clean_rerouted > 0,
+            "the crash instant must find work in flight"
+        );
+        assert!(
+            bad_rerouted < clean_rerouted,
+            "an unreadable strip image can only move work held outside the \
+             controller ({bad_rerouted} rerouted vs {clean_rerouted} clean)"
+        );
     }
 }

@@ -96,6 +96,22 @@ impl InboxSource {
     pub(crate) fn drain_all(&mut self) -> Vec<Request> {
         self.pending.drain(..).collect()
     }
+
+    /// Forget dedup entries for message ids the link has fully retired —
+    /// ids below `floor` have no outstanding or in-flight copy left (see
+    /// [`LinkLayer::retired_before`](crate::link::LinkLayer::retired_before)),
+    /// so no redelivery of them can ever reach this inbox. Called by the
+    /// cluster every link pump, this keeps `seen` proportional to the
+    /// in-flight window instead of the whole run's message history.
+    pub(crate) fn evict_seen_below(&mut self, floor: MsgId) {
+        self.seen = self.seen.split_off(&floor);
+    }
+
+    /// Dedup entries currently held (the bounded-memory regression probe).
+    #[cfg(test)]
+    pub(crate) fn seen_len(&self) -> usize {
+        self.seen.len()
+    }
 }
 
 impl Source for InboxSource {
@@ -196,6 +212,67 @@ mod tests {
         let mut inbox = InboxSource::new(3, feedback);
         assert!(inbox.drain_all().is_empty());
         assert!(inbox.is_empty());
+    }
+
+    #[test]
+    fn seen_set_stays_flat_across_100k_messages() {
+        // Regression: without watermark eviction the dedup set grows one
+        // entry per message for the life of the run. Stream 100k messages
+        // through a duplicating link with prompt acks and check the set
+        // stays sized to the in-flight window, not the message history.
+        use crate::link::{LinkConfig, LinkLayer};
+        use wlm_dbsim::plan::PlanBuilder;
+        use wlm_dbsim::time::SimDuration;
+        use wlm_workload::request::{Importance, Origin};
+
+        let cfg = LinkConfig {
+            dup_p: 0.05,
+            retransmit_secs: 0.1,
+            seed: 9,
+            ..LinkConfig::default()
+        };
+        let mut link = LinkLayer::new(cfg, 1);
+        let feedback: FeedbackBuffer = Rc::new(RefCell::new(Vec::new()));
+        let mut inbox = InboxSource::new(0, feedback);
+        let mut peak = 0usize;
+        let mut accepted = 0u64;
+        for i in 0..100_000u64 {
+            let now = SimTime::ZERO + SimDuration::from_secs_f64(i as f64 * 1e-4);
+            let req = Request {
+                id: RequestId(i),
+                arrival: now,
+                origin: Origin::new("test", "t", i),
+                spec: PlanBuilder::table_scan(100)
+                    .build()
+                    .into_spec()
+                    .labeled("oltp"),
+                importance: Importance::Medium,
+                shard_key: None,
+            };
+            link.send(now, 0, req);
+            // First pump surfaces the delivery (and any duplicate copy);
+            // the second resolves the zero-delay acks posted for them.
+            let mut acks = Vec::new();
+            for d in link.pump(now).deliveries {
+                if inbox.accept(d.msg, d.req) {
+                    accepted += 1;
+                }
+                acks.push((d.msg, d.sent_at));
+            }
+            for (msg, sent_at) in acks {
+                link.post_ack(msg, 0, sent_at, now);
+            }
+            let _ = link.pump(now);
+            inbox.evict_seen_below(link.retired_before());
+            peak = peak.max(inbox.seen_len());
+            inbox.drain_all();
+        }
+        assert_eq!(accepted, 100_000, "every message ingested exactly once");
+        assert!(
+            peak <= 8,
+            "dedup memory must stay flat, peaked at {peak} entries"
+        );
+        assert_eq!(inbox.seen_len(), 0, "a drained link leaves nothing behind");
     }
 
     #[test]

@@ -445,6 +445,23 @@ impl LinkLayer {
         moved
     }
 
+    /// The dedup watermark: every message id strictly below the returned
+    /// bound is fully retired — it is no longer outstanding (so it will
+    /// never be retransmitted) and has no copy in flight (so nothing
+    /// already on the wire can still land). No shard will ever see such
+    /// an id delivered again, which makes it safe for inboxes to forget
+    /// it (see [`InboxSource::evict_seen_below`](crate::inbox::InboxSource::evict_seen_below)).
+    pub(crate) fn retired_before(&self) -> MsgId {
+        let mut floor = MsgId(self.next_msg + 1);
+        if let Some((&id, _)) = self.outstanding.iter().next() {
+            floor = floor.min(id);
+        }
+        if let Some(min) = self.deliveries.values().map(|d| d.msg).min() {
+            floor = floor.min(min);
+        }
+        floor
+    }
+
     /// Sent-but-unacked messages currently on the books.
     #[cfg(test)]
     pub(crate) fn outstanding_len(&self) -> usize {

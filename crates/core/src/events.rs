@@ -44,6 +44,8 @@
 //! | [`WlmEvent::LadderStep`] | exec-control (resilience layer) |
 //! | [`WlmEvent::CheckpointTaken`] | external (chaos driver / harness, via `checkpoint`) |
 //! | [`WlmEvent::ControllerRestored`] | external (crash recovery, via `restore` / `cold_restart`) |
+//! | [`WlmEvent::CheckpointRejected`] | external (checkpoint store: envelope failed verification) |
+//! | [`WlmEvent::CheckpointFallback`] | external (checkpoint store: recovery walked back a generation) |
 //! | [`WlmEvent::Quarantined`] | exec-control (runaway watchdog, at the kill site) |
 //! | [`WlmEvent::QuarantineRejected`] | admit (quarantine gate; retry-release drop) |
 //! | [`WlmEvent::Routed`] | external (cluster front-end routing, via its own bus) |
@@ -319,6 +321,30 @@ pub enum WlmEvent {
         /// them.
         orphans_killed: usize,
     },
+    /// A stored checkpoint generation failed envelope verification
+    /// (checksum mismatch, truncation, or a torn staged write) and was
+    /// rejected rather than restored.
+    CheckpointRejected {
+        /// Emission time.
+        at: SimTime,
+        /// Generation number of the rejected envelope.
+        generation: u64,
+        /// Why verification failed.
+        reason: String,
+    },
+    /// Recovery walked back the generation chain: the newest checkpoint
+    /// was unusable, and an older verified generation was restored
+    /// instead.
+    CheckpointFallback {
+        /// Emission time.
+        at: SimTime,
+        /// Newest (rejected) generation.
+        from_generation: u64,
+        /// Generation actually restored.
+        to_generation: u64,
+        /// Generations rejected before a verified one was found.
+        rejected: usize,
+    },
     /// The runaway watchdog moved a request into the poison quarantine.
     Quarantined {
         /// Emission time.
@@ -518,6 +544,8 @@ impl WlmEvent {
             | WlmEvent::LadderStep { at, .. }
             | WlmEvent::CheckpointTaken { at, .. }
             | WlmEvent::ControllerRestored { at, .. }
+            | WlmEvent::CheckpointRejected { at, .. }
+            | WlmEvent::CheckpointFallback { at, .. }
             | WlmEvent::Quarantined { at, .. }
             | WlmEvent::QuarantineRejected { at, .. }
             | WlmEvent::Routed { at, .. }
@@ -570,6 +598,8 @@ impl WlmEvent {
             | WlmEvent::LadderStep { .. }
             | WlmEvent::CheckpointTaken { .. }
             | WlmEvent::ControllerRestored { .. }
+            | WlmEvent::CheckpointRejected { .. }
+            | WlmEvent::CheckpointFallback { .. }
             | WlmEvent::ShardSuspected { .. }
             | WlmEvent::PartitionHealed { .. }
             | WlmEvent::BackpressureStep { .. }
@@ -604,6 +634,8 @@ impl WlmEvent {
             WlmEvent::LadderStep { .. } => "ladder_step",
             WlmEvent::CheckpointTaken { .. } => "checkpoint_taken",
             WlmEvent::ControllerRestored { .. } => "controller_restored",
+            WlmEvent::CheckpointRejected { .. } => "checkpoint_rejected",
+            WlmEvent::CheckpointFallback { .. } => "checkpoint_fallback",
             WlmEvent::Quarantined { .. } => "quarantined",
             WlmEvent::QuarantineRejected { .. } => "quarantine_rejected",
             WlmEvent::Routed { .. } => "routed",
@@ -909,8 +941,15 @@ impl EventSubscriber for WorkloadEventCounters {
             | WlmEvent::LadderStep { .. }
             | WlmEvent::CheckpointTaken { .. }
             | WlmEvent::ControllerRestored { .. }
+            | WlmEvent::CheckpointRejected { .. }
+            | WlmEvent::CheckpointFallback { .. }
             | WlmEvent::ShardSuspected { .. }
-            | WlmEvent::PartitionHealed { .. } => {}
+            | WlmEvent::PartitionHealed { .. }
+            | WlmEvent::BackpressureStep { .. }
+            | WlmEvent::RetrySuppressed { .. }
+            | WlmEvent::ShardSpawned { .. }
+            | WlmEvent::ShardDraining { .. }
+            | WlmEvent::ShardRetired { .. } => {}
         }
     }
 }

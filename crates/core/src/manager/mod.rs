@@ -49,9 +49,13 @@ mod identify;
 mod monitor;
 mod resilience_stage;
 mod schedule;
+pub mod store;
 
 pub use checkpoint::{
     ControllerState, RecoveryReport, RunningCheckpoint, SuspendedCheckpoint, CHECKPOINT_VERSION,
+};
+pub use store::{
+    CheckpointStore, CommitReport, CorruptionKind, LoadOutcome, StoreConfig, ENVELOPE_VERSION,
 };
 
 use crate::admission::AdmitAll;

@@ -234,7 +234,7 @@ impl WorkloadManager {
             }
         }
         if !held.is_empty() {
-            held.extend(self.wait_queue.drain(..));
+            held.append(&mut self.wait_queue);
             self.wait_queue = held;
         }
         pass

@@ -266,9 +266,7 @@ impl ResilienceLayer {
 
     /// The retry policy applying to `workload`, if retries are enabled.
     pub fn retry_policy(&self, workload: &str) -> Option<&RetryPolicy> {
-        self.retry_overrides
-            .get(workload)
-            .or_else(|| self.retry.as_ref())
+        self.retry_overrides.get(workload).or(self.retry.as_ref())
     }
 
     /// The query timeout for `workload`, if any.

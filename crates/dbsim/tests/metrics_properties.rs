@@ -18,7 +18,7 @@ proptest! {
     fn percentile_returns_a_sample_member(sorted in sorted_samples(), p in 0.0f64..=100.0) {
         let v = percentile(&sorted, p);
         prop_assert!(
-            sorted.iter().any(|s| *s == v),
+            sorted.contains(&v),
             "percentile {p} produced {v}, not a member of the sample"
         );
     }

@@ -96,9 +96,41 @@ fn checkpoints_are_byte_deterministic_and_version_gated() {
     assert!(ControllerState::from_bytes(b"not json").is_err());
 }
 
+#[test]
+fn future_version_restore_fails_typed_and_the_manager_keeps_serving() {
+    // A checkpoint stamped one format version ahead must be refused
+    // through the manager's own restore path — and the refusal must
+    // leave the live controller untouched and serving.
+    let mut tampered = checkpoint_after(42, 4);
+    tampered.version = CHECKPOINT_VERSION + 1;
+    let bytes = tampered.to_bytes();
+
+    let mut mgr = manager();
+    let mut src = mix(7);
+    mgr.run(&mut src, SimDuration::from_secs(4));
+    let before = mgr.report().completed;
+    assert!(before > 0, "the manager served before the restore attempt");
+
+    let err = mgr.restore_from_bytes(&bytes).unwrap_err();
+    assert!(
+        matches!(&err, wlm::core::Error::Checkpoint(reason) if reason.contains("version")),
+        "a typed version error, got: {err}"
+    );
+
+    // The refused restore must not have disturbed the running books.
+    assert_eq!(mgr.report().completed, before);
+    mgr.run(&mut src, SimDuration::from_secs(4));
+    assert!(
+        mgr.report().completed > before,
+        "the manager keeps serving after the refused restore"
+    );
+}
+
 /// The history fingerprint compared across runs: every counter and every
 /// individual response time.
-fn fingerprint(mgr: &WorkloadManager) -> (u64, u64, u64, Vec<f64>, Vec<f64>) {
+type Fingerprint = (u64, u64, u64, Vec<f64>, Vec<f64>);
+
+fn fingerprint(mgr: &WorkloadManager) -> Fingerprint {
     let report = mgr.report();
     let grab = |name: &str| {
         report
@@ -141,7 +173,7 @@ fn save_restore_continue_equals_uninterrupted() {
     assert_eq!(uninterrupted.cycle(), restored.cycle());
 }
 
-fn crashed_run(seed: u64) -> ((u64, u64, u64, Vec<f64>, Vec<f64>), RecoveryReport, Vec<u8>) {
+fn crashed_run(seed: u64) -> (Fingerprint, RecoveryReport, Vec<u8>) {
     let mut mgr = manager();
     let mut src = mix(seed);
     let plan = FaultPlanBuilder::new(seed)

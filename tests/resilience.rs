@@ -13,7 +13,7 @@ use wlm::dbsim::engine::{CompletionKind, DbEngine, EngineConfig, EngineFault};
 use wlm::dbsim::plan::PlanBuilder;
 use wlm::dbsim::suspend::SuspendStrategy;
 use wlm::dbsim::time::{SimDuration, SimTime};
-use wlm::workload::generators::OltpSource;
+use wlm::workload::generators::BiSource;
 use wlm::workload::request::Importance;
 use wlm::workload::sla::ServiceLevelAgreement;
 
@@ -119,14 +119,14 @@ fn resilience_stack_engages_under_faults() {
             memory_mb: 2_048,
             ..Default::default()
         })
-        .policies(vec![WorkloadPolicy::new("oltp", Importance::High)
+        .policies(vec![WorkloadPolicy::new("bi", Importance::High)
             .with_sla(ServiceLevelAgreement::percentile(95.0, 12.0))])
         .build()
         .expect("valid configuration");
     mgr.set_scheduler(Box::new(PriorityScheduler::new(8)));
     mgr.set_resilience(
         ResilienceConfig::new(9)
-            .with_timeout("oltp", 2.0)
+            .with_timeout("bi", 2.0)
             .with_retry(RetryPolicy::aggressive())
             .with_breaker(BreakerConfig::default())
             .with_ladder(LadderConfig::default()),
@@ -136,7 +136,9 @@ fn resilience_stack_engages_under_faults() {
         .core_loss(8.0, 8.0, 3)
         .build();
     let mut driver = ChaosDriver::new(plan);
-    let mut src = OltpSource::new(25.0, 9);
+    // Scans heavy enough that the IO spike pushes them past the 2s
+    // timeout — point lookups never would, whatever the disk does.
+    let mut src = BiSource::new(8.0, 9).with_size(300_000.0, 0.5);
     let report = run_with_chaos(&mut mgr, &mut src, SimDuration::from_secs(30), &mut driver);
     assert!(driver.done());
     assert_eq!(driver.skipped(), 0);
